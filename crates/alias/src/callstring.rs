@@ -1,0 +1,660 @@
+//! A k=1 *call-string* context-sensitive baseline.
+//!
+//! The paper (§4.1) contrasts two ways to make an analysis
+//! context-sensitive: tagging dataflow facts with an abstraction of the
+//! call stack (Cooper; Choi, Burke & Carini) versus the assumption sets
+//! it adopts. This module implements the call-stack flavor at depth
+//! k = 1: every points-to fact is qualified by the immediate call site
+//! of the procedure it lives in, return values flow only to their
+//! originating site, and deeper context is merged — the "k-limiting"
+//! Deutsch's PLDI 1994 title pushes beyond.
+//!
+//! Precision relative to the paper's two analyses:
+//!
+//! ```text
+//! CI (Fig. 1) ⊒ k=1 call-strings
+//! ```
+//!
+//! and at *call results* the assumption-set analysis is at least as
+//! precise as k=1 (it tracks arbitrarily deep context; see the
+//! two-level wrapper test below, where k=1 merges and assumption sets
+//! do not). The full stripped per-output solutions of the two
+//! context-sensitive analyses are, however, formally incomparable: the
+//! assumption-set analysis chains pairs that arrived from *different*
+//! contexts through a procedure's lookups and updates — qualifying the
+//! result with an assumption set no single call site satisfies — while
+//! the call-string partition never combines them in the first place.
+//! Such unsatisfiably-qualified pairs survive stripping inside the
+//! procedure even though they are filtered at every return.
+
+use crate::path::{AccessOp, Pair, PathId, PathTable};
+use std::collections::{HashMap, HashSet, VecDeque};
+use vdg::graph::{Graph, InputId, NodeId, NodeKind, OutputId, VFuncId};
+
+/// A length-1 call string: the immediate call site, or the root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ctx(u32);
+
+impl Ctx {
+    const ROOT: Ctx = Ctx(0);
+
+    fn of_call(call: NodeId) -> Ctx {
+        Ctx(call.0 + 1)
+    }
+}
+
+/// Configuration (the step budget mirrors the CS solver's).
+#[derive(Debug, Clone)]
+pub struct CallStringConfig {
+    /// Perform strong updates (as the paper's solvers do).
+    pub strong_updates: bool,
+    /// Abort after this many transfer applications.
+    pub max_steps: u64,
+}
+
+impl Default for CallStringConfig {
+    fn default() -> Self {
+        CallStringConfig {
+            strong_updates: true,
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+/// Result of the k=1 analysis, stripped of contexts.
+#[derive(Debug, Clone)]
+pub struct CallStringResult {
+    /// The interned path universe.
+    pub paths: PathTable,
+    stripped: Vec<Vec<Pair>>,
+    /// Transfer-function applications.
+    pub flow_ins: u64,
+    /// Meet operations.
+    pub flow_outs: u64,
+    /// Number of (function, context) pairs analyzed.
+    pub contexts: usize,
+}
+
+impl CallStringResult {
+    /// The context-stripped pairs on an output, sorted.
+    pub fn pairs(&self, o: OutputId) -> &[Pair] {
+        &self.stripped[o.0 as usize]
+    }
+
+    /// Total stripped pairs.
+    pub fn total_pairs(&self) -> usize {
+        self.stripped.iter().map(|p| p.len()).sum()
+    }
+
+    /// Distinct referents at a memory operation's location input.
+    pub fn loc_referents(&self, graph: &Graph, node: NodeId) -> Vec<PathId> {
+        let loc_out = graph.input_src(node, 0);
+        let mut refs: Vec<PathId> = self.pairs(loc_out).iter().map(|p| p.referent).collect();
+        refs.sort_unstable();
+        refs.dedup();
+        refs
+    }
+}
+
+impl crate::stats::PointsToSolution for CallStringResult {
+    fn pairs_at(&self, o: OutputId) -> &[Pair] {
+        self.pairs(o)
+    }
+    fn path_table(&self) -> &PathTable {
+        &self.paths
+    }
+}
+
+/// Runs the k=1 call-string analysis.
+///
+/// # Errors
+///
+/// Returns [`crate::cs::StepLimitExceeded`] when the step budget runs
+/// out.
+pub fn analyze_callstring(
+    graph: &Graph,
+    config: &CallStringConfig,
+) -> Result<CallStringResult, crate::cs::StepLimitExceeded> {
+    analyze_callstring_from(graph, PathTable::for_graph(graph), config)
+}
+
+/// Like [`analyze_callstring`], but starting from an existing path table
+/// so the resulting [`Pair`]s are id-comparable with another solver's.
+pub fn analyze_callstring_from(
+    graph: &Graph,
+    paths: PathTable,
+    config: &CallStringConfig,
+) -> Result<CallStringResult, crate::cs::StepLimitExceeded> {
+    let mut s = K1 {
+        g: graph,
+        cfg: config.clone(),
+        paths,
+        p: vec![HashMap::new(); graph.output_count()],
+        wl: VecDeque::new(),
+        owner: crate::modref::node_owner_map(graph),
+        active: HashMap::new(),
+        call_ctxs: HashMap::new(),
+        callees: HashMap::new(),
+        callers: HashMap::new(),
+        flow_ins: 0,
+        flow_outs: 0,
+    };
+    s.activate(graph.root(), Ctx::ROOT);
+    s.run()?;
+    Ok(s.finish())
+}
+
+struct K1<'g> {
+    g: &'g Graph,
+    cfg: CallStringConfig,
+    paths: PathTable,
+    /// Per output: context -> pairs.
+    p: Vec<HashMap<Ctx, HashSet<Pair>>>,
+    wl: VecDeque<(InputId, Ctx, Pair)>,
+    owner: Vec<VFuncId>,
+    /// Contexts under which each function has been activated.
+    active: HashMap<VFuncId, HashSet<Ctx>>,
+    /// Caller contexts observed at each call node (for k=1 returns).
+    call_ctxs: HashMap<NodeId, HashSet<Ctx>>,
+    callees: HashMap<NodeId, Vec<VFuncId>>,
+    callers: HashMap<VFuncId, Vec<NodeId>>,
+    flow_ins: u64,
+    flow_outs: u64,
+}
+
+impl<'g> K1<'g> {
+    /// First entry of `f` under `ctx`: seed its constant nodes there and
+    /// mark every call site it owns as reachable under `ctx` (so callee
+    /// returns flow back even when no actual ever carries a pair — e.g.
+    /// a call made while the store is still empty).
+    fn activate(&mut self, f: VFuncId, ctx: Ctx) {
+        if !self.active.entry(f).or_default().insert(ctx) {
+            return;
+        }
+        let mut seeds = Vec::new();
+        let mut owned_calls = Vec::new();
+        for (id, n) in self.g.nodes() {
+            if self.owner[id.0 as usize] != f {
+                continue;
+            }
+            if matches!(n.kind, NodeKind::Call) {
+                owned_calls.push(id);
+            }
+            let base = match n.kind {
+                NodeKind::Base(b) | NodeKind::Alloc(b) | NodeKind::FuncConst(b) => b,
+                _ => continue,
+            };
+            let root = self.paths.base_root(base);
+            seeds.push((n.outputs[0], Pair::new(PathTable::EMPTY, root)));
+        }
+        for (o, p) in seeds {
+            self.flow_out(o, ctx, p);
+        }
+        for call in owned_calls {
+            self.call_ctxs.entry(call).or_default().insert(ctx);
+            let callees = self.callees.get(&call).cloned().unwrap_or_default();
+            let mut em = Vec::new();
+            for cf in callees {
+                self.pull_returns(call, cf, ctx, &mut em);
+            }
+            for (o, c, p) in em {
+                self.flow_out(o, c, p);
+            }
+        }
+    }
+
+    fn flow_out(&mut self, out: OutputId, ctx: Ctx, pair: Pair) {
+        self.flow_outs += 1;
+        if self.p[out.0 as usize]
+            .entry(ctx)
+            .or_default()
+            .insert(pair)
+        {
+            for &input in self.g.consumers(out) {
+                self.wl.push_back((input, ctx, pair));
+            }
+        }
+    }
+
+    fn run(&mut self) -> Result<(), crate::cs::StepLimitExceeded> {
+        while let Some((input, ctx, pair)) = self.wl.pop_front() {
+            self.flow_ins += 1;
+            if self.flow_ins > self.cfg.max_steps {
+                return Err(crate::cs::StepLimitExceeded {
+                    steps: self.cfg.max_steps,
+                });
+            }
+            let info = self.g.input(input);
+            let emits = self.transfer(info.node, info.port as usize, ctx, pair);
+            for (out, ctx, pair) in emits {
+                self.flow_out(out, ctx, pair);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> CallStringResult {
+        let contexts = self.active.values().map(|c| c.len()).sum();
+        let stripped = self
+            .p
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<Pair> = m.into_values().flatten().collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        CallStringResult {
+            paths: self.paths,
+            stripped,
+            flow_ins: self.flow_ins,
+            flow_outs: self.flow_outs,
+            contexts,
+        }
+    }
+
+    fn pairs_at(&self, node: NodeId, port: usize, ctx: Ctx) -> Vec<Pair> {
+        let src = self.g.input_src(node, port);
+        self.p[src.0 as usize]
+            .get(&ctx)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn transfer(
+        &mut self,
+        node: NodeId,
+        port: usize,
+        ctx: Ctx,
+        pair: Pair,
+    ) -> Vec<(OutputId, Ctx, Pair)> {
+        let n = self.g.node(node);
+        let kind = n.kind.clone();
+        let outs = n.outputs.clone();
+        let mut em: Vec<(OutputId, Ctx, Pair)> = Vec::new();
+        match kind {
+            NodeKind::Member(f) => {
+                let r = self.paths.child(pair.referent, AccessOp::Field(f));
+                em.push((outs[0], ctx, Pair::new(pair.path, r)));
+            }
+            NodeKind::IndexElem => {
+                let r = self.paths.child(pair.referent, AccessOp::Index);
+                em.push((outs[0], ctx, Pair::new(pair.path, r)));
+            }
+            NodeKind::ExtractField(f) => {
+                if let Some(p) = self.paths.strip_first(pair.path, AccessOp::Field(f)) {
+                    em.push((outs[0], ctx, Pair::new(p, pair.referent)));
+                }
+            }
+            NodeKind::ExtractElem => {
+                if let Some(p) = self.paths.strip_first(pair.path, AccessOp::Index) {
+                    em.push((outs[0], ctx, Pair::new(p, pair.referent)));
+                }
+            }
+            NodeKind::PassThrough
+                if port == 0 => {
+                    em.push((outs[0], ctx, pair));
+                }
+            NodeKind::Gamma => em.push((outs[0], ctx, pair)),
+            NodeKind::Primop => {}
+            NodeKind::Lookup { .. } => match port {
+                0 => {
+                    for sp in self.pairs_at(node, 1, ctx) {
+                        if self.paths.dom(pair.referent, sp.path) {
+                            let off = self.paths.subtract(sp.path, pair.referent);
+                            let p = self.paths.append(pair.path, off);
+                            em.push((outs[0], ctx, Pair::new(p, sp.referent)));
+                        }
+                    }
+                }
+                _ => {
+                    for lp in self.pairs_at(node, 0, ctx) {
+                        if self.paths.dom(lp.referent, pair.path) {
+                            let off = self.paths.subtract(pair.path, lp.referent);
+                            let p = self.paths.append(lp.path, off);
+                            em.push((outs[0], ctx, Pair::new(p, pair.referent)));
+                        }
+                    }
+                }
+            },
+            NodeKind::Update { .. } => match port {
+                0 => {
+                    for vp in self.pairs_at(node, 2, ctx) {
+                        let path = self.paths.append(pair.referent, vp.path);
+                        em.push((outs[0], ctx, Pair::new(path, vp.referent)));
+                    }
+                    for sp in self.pairs_at(node, 1, ctx) {
+                        if !(self.cfg.strong_updates
+                            && self.paths.strong_dom(pair.referent, sp.path))
+                        {
+                            em.push((outs[0], ctx, sp));
+                        }
+                    }
+                }
+                1 => {
+                    let locs = self.pairs_at(node, 0, ctx);
+                    let passes = locs.iter().any(|lp| {
+                        !(self.cfg.strong_updates
+                            && self.paths.strong_dom(lp.referent, pair.path))
+                    });
+                    if passes {
+                        em.push((outs[0], ctx, pair));
+                    }
+                }
+                _ => {
+                    for lp in self.pairs_at(node, 0, ctx) {
+                        let path = self.paths.append(lp.referent, pair.path);
+                        em.push((outs[0], ctx, Pair::new(path, pair.referent)));
+                    }
+                }
+            },
+            NodeKind::CopyMem => match port {
+                0 => {
+                    em.push((outs[0], ctx, pair));
+                    let dsts = self.pairs_at(node, 1, ctx);
+                    for srcp in self.pairs_at(node, 2, ctx) {
+                        if self.paths.dom(srcp.referent, pair.path) {
+                            let off = self.paths.subtract(pair.path, srcp.referent);
+                            for dp in &dsts {
+                                let path = self.paths.append(dp.referent, off);
+                                em.push((outs[0], ctx, Pair::new(path, pair.referent)));
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let stores = self.pairs_at(node, 0, ctx);
+                    let dsts = self.pairs_at(node, 1, ctx);
+                    let srcs = self.pairs_at(node, 2, ctx);
+                    for srcp in &srcs {
+                        for sp in &stores {
+                            if self.paths.dom(srcp.referent, sp.path) {
+                                let off = self.paths.subtract(sp.path, srcp.referent);
+                                for dp in &dsts {
+                                    let path = self.paths.append(dp.referent, off);
+                                    em.push((outs[0], ctx, Pair::new(path, sp.referent)));
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+            NodeKind::Call => {
+                if port == 0 {
+                    if let Some(f) = self.paths.func_of(pair.referent) {
+                        self.register_callee(node, f, &mut em);
+                    }
+                } else {
+                    // Remember the caller context, then forward under the
+                    // k=1 context of this call site.
+                    self.call_ctxs.entry(node).or_default().insert(ctx);
+                    let callees = self.callees.get(&node).cloned().unwrap_or_default();
+                    for f in callees {
+                        self.forward_to_formal(node, port, pair, f, &mut em);
+                        // Returns already computed under this call's
+                        // context flow back out under the newly seen
+                        // caller context.
+                        self.pull_returns(node, f, ctx, &mut em);
+                    }
+                }
+            }
+            NodeKind::Return { func } => {
+                // A pair at a return under context (call c) flows only to
+                // call c, under every caller context seen there.
+                let Ctx(raw) = ctx;
+                if raw == 0 {
+                    return em; // the root never returns anywhere
+                }
+                let call = NodeId(raw - 1);
+                if !self
+                    .callers
+                    .get(&func)
+                    .map(|cs| cs.contains(&call))
+                    .unwrap_or(false)
+                {
+                    return em;
+                }
+                let caller_ctxs: Vec<Ctx> = self
+                    .call_ctxs
+                    .get(&call)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                let outs = self.g.node(call).outputs.clone();
+                if port < outs.len() {
+                    for cctx in caller_ctxs {
+                        em.push((outs[port], cctx, pair));
+                    }
+                }
+            }
+            _ => {}
+        }
+        em
+    }
+
+    fn register_callee(
+        &mut self,
+        call: NodeId,
+        f: VFuncId,
+        em: &mut Vec<(OutputId, Ctx, Pair)>,
+    ) {
+        let list = self.callees.entry(call).or_default();
+        if list.contains(&f) {
+            return;
+        }
+        list.push(f);
+        self.callers.entry(f).or_default().push(call);
+        self.activate(f, Ctx::of_call(call));
+        // Push existing actual pairs (in every caller context seen so far).
+        let n_inputs = self.g.node(call).inputs.len();
+        let src_ctxs: Vec<(usize, Ctx, Pair)> = (1..n_inputs)
+            .flat_map(|port| {
+                let src = self.g.input_src(call, port);
+                self.p[src.0 as usize]
+                    .iter()
+                    .flat_map(move |(ctx, pairs)| {
+                        pairs.iter().map(move |&p| (port, *ctx, p))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (port, ctx, pair) in src_ctxs {
+            self.call_ctxs.entry(call).or_default().insert(ctx);
+            self.forward_to_formal(call, port, pair, f, em);
+        }
+        // Pull any returns already computed.
+        let ctxs: Vec<Ctx> = self
+            .call_ctxs
+            .get(&call)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for ctx in ctxs {
+            self.pull_returns(call, f, ctx, em);
+        }
+    }
+
+    fn forward_to_formal(
+        &mut self,
+        call: NodeId,
+        port: usize,
+        pair: Pair,
+        f: VFuncId,
+        em: &mut Vec<(OutputId, Ctx, Pair)>,
+    ) {
+        let entry = self.g.func(f).entry;
+        let formals = &self.g.node(entry).outputs;
+        let idx = port - 1;
+        if idx >= formals.len() {
+            return;
+        }
+        let callee_ctx = Ctx::of_call(call);
+        self.activate(f, callee_ctx);
+        em.push((formals[idx], callee_ctx, pair));
+    }
+
+    /// Flows pairs already present on `f`'s returns (under this call's
+    /// context) back to the call outputs under `caller_ctx`.
+    fn pull_returns(
+        &mut self,
+        call: NodeId,
+        f: VFuncId,
+        caller_ctx: Ctx,
+        em: &mut Vec<(OutputId, Ctx, Pair)>,
+    ) {
+        let callee_ctx = Ctx::of_call(call);
+        let outs = self.g.node(call).outputs.clone();
+        let returns = self.g.func(f).returns.clone();
+        for ret in returns {
+            let n_ports = self.g.node(ret).inputs.len().min(outs.len());
+            #[allow(clippy::needless_range_loop)] // indexes two parallel structures
+            for port in 0..n_ports {
+                for pair in self.pairs_at(ret, port, callee_ctx) {
+                    em.push((outs[port], caller_ctx, pair));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ci::{analyze_ci, CiConfig};
+    use crate::cs::{analyze_cs, CsConfig};
+    use vdg::build::{lower, BuildOptions};
+
+    fn pipeline(src: &str) -> (Graph, crate::ci::CiResult, CallStringResult) {
+        let p = cfront::compile(src).expect("compiles");
+        let g = lower(&p, &BuildOptions::default()).expect("lowers");
+        let ci = analyze_ci(&g, &CiConfig::default());
+        // Share the CI path table so pairs are id-comparable.
+        let k1 = analyze_callstring_from(&g, ci.paths.clone(), &CallStringConfig::default())
+            .expect("budget");
+        (g, ci, k1)
+    }
+
+    fn names(paths: &PathTable, g: &Graph, refs: &[PathId]) -> Vec<String> {
+        let mut v: Vec<String> = refs.iter().map(|&p| paths.display(p, g)).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn k1_separates_one_level_of_context() {
+        let (g, ci, k1) = pipeline(
+            "int a; int b;\n\
+             int *id(int *p) { return p; }\n\
+             int main(void) { int *x; int *y; x = id(&a); y = id(&b); \
+             return *x + *y; }",
+        );
+        let ops = g.indirect_mem_ops();
+        let (rx, _) = ops[0];
+        assert_eq!(names(&ci.paths, &g, &ci.loc_referents(&g, rx)), vec!["a", "b"]);
+        assert_eq!(names(&k1.paths, &g, &k1.loc_referents(&g, rx)), vec!["a"]);
+    }
+
+    #[test]
+    fn k1_merges_two_levels_where_assumption_sets_do_not() {
+        // `outer` wraps `inner`; the single outer->inner call site
+        // exhausts the k=1 budget, so the two main-level contexts merge.
+        let src = "int a; int b;\n\
+             int *inner(int *p) { return p; }\n\
+             int *outer(int *q) { return inner(q); }\n\
+             int main(void) { int *x; int *y; x = outer(&a); y = outer(&b); \
+             return *x + *y; }";
+        let p = cfront::compile(src).unwrap();
+        let g = lower(&p, &BuildOptions::default()).unwrap();
+        let ci = analyze_ci(&g, &CiConfig::default());
+        let k1 = analyze_callstring_from(&g, ci.paths.clone(), &CallStringConfig::default())
+            .unwrap();
+        let cs = analyze_cs(&g, &ci, &CsConfig::default()).unwrap();
+        let (rx, _) = g.indirect_mem_ops()[0];
+        assert_eq!(
+            names(&k1.paths, &g, &k1.loc_referents(&g, rx)),
+            vec!["a", "b"],
+            "k=1 merges the wrapper's callers"
+        );
+        assert_eq!(
+            names(&cs.paths, &g, &cs.loc_referents(&g, rx)),
+            vec!["a"],
+            "assumption sets track through the wrapper"
+        );
+    }
+
+    #[test]
+    fn k1_is_contained_in_ci() {
+        let (g, ci, k1) = pipeline(
+            "int buf;\n\
+             void put(int **slot) { *slot = &buf; }\n\
+             int use_a(void) { int *a; put(&a); return *a; }\n\
+             int use_b(void) { int *b; put(&b); return *b; }\n\
+             int main(void) { return use_a() + use_b(); }",
+        );
+        for o in g.output_ids() {
+            let ci_set: HashSet<Pair> = ci.pairs(o).iter().copied().collect();
+            for p in k1.pairs(o) {
+                assert!(ci_set.contains(p), "k=1 produced a pair CI lacks");
+            }
+        }
+        assert!(k1.total_pairs() < ci.total_pairs());
+    }
+
+    #[test]
+    fn assumption_sets_beat_k1_at_call_results() {
+        // On the two-level wrapper, assumption sets keep the call results
+        // exact while k=1 merges them (tested above); at those outputs
+        // the CS answer is strictly contained in the k=1 answer.
+        let src = "int a; int b;\n\
+             int *inner(int *p) { return p; }\n\
+             int *outer(int *q) { return inner(q); }\n\
+             int main(void) { int *x; int *y; x = outer(&a); y = outer(&b); \
+             return *x + *y; }";
+        let p = cfront::compile(src).unwrap();
+        let g = lower(&p, &BuildOptions::default()).unwrap();
+        let ci = analyze_ci(&g, &CiConfig::default());
+        let k1 = analyze_callstring_from(&g, ci.paths.clone(), &CallStringConfig::default())
+            .unwrap();
+        let cs = analyze_cs(&g, &ci, &CsConfig { ci_pruning: false, ..CsConfig::default() })
+            .unwrap();
+        for (node, _) in g.indirect_mem_ops() {
+            let loc = g.input_src(node, 0);
+            let k1_set: HashSet<Pair> = k1.pairs(loc).iter().copied().collect();
+            for pr in cs.pairs(loc) {
+                assert!(k1_set.contains(pr), "CS exceeded k=1 at a deref input");
+            }
+        }
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let (g, ci, k1) = pipeline(
+            "int g;\n\
+             int *walk(int n, int *p) { if (n == 0) return p; \
+             return walk(n - 1, p); }\n\
+             int main(void) { int *q; q = walk(5, &g); return *q; }",
+        );
+        let (read, _) = *g
+            .indirect_mem_ops()
+            .iter()
+            .find(|&&(_, w)| !w)
+            .unwrap();
+        assert_eq!(names(&k1.paths, &g, &k1.loc_referents(&g, read)), vec!["g"]);
+        assert_eq!(
+            names(&ci.paths, &g, &ci.loc_referents(&g, read)),
+            vec!["g"]
+        );
+        assert!(k1.contexts >= 2);
+    }
+
+    #[test]
+    fn context_count_reported() {
+        let (_, _, k1) = pipeline(
+            "int g;\n\
+             void touch(void) { g = 1; }\n\
+             int main(void) { touch(); touch(); return g; }",
+        );
+        // touch is called from two sites: two contexts plus main's plus
+        // the root's.
+        assert!(k1.contexts >= 4, "contexts = {}", k1.contexts);
+    }
+}

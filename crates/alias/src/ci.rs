@@ -1,0 +1,986 @@
+//! The context-insensitive points-to analysis (paper §3, Figure 1).
+//!
+//! A worklist of `(input, pair)` deliveries grows per-output points-to
+//! sets monotonically; calls and returns are treated like jumps (all
+//! information at actuals flows to all callees, all returns flow to all
+//! callers). Strong updates block store pairs whose paths are definitely
+//! overwritten; the pseudocode's dual-worklist effect (delaying store
+//! pairs until a location pair arrives, re-examining blocked pairs when
+//! further location pairs arrive) falls out of the arrival-driven
+//! transfer functions.
+
+use crate::path::{AccessOp, Pair, PathId, PathTable};
+use std::collections::{HashMap, HashSet, VecDeque};
+use vdg::graph::{Graph, InputId, NodeId, NodeKind, OutputId, VFuncId};
+
+/// Worklist discipline; the fixpoint is scheduling-independent (tested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorklistOrder {
+    /// Process oldest deliveries first (queue).
+    #[default]
+    Fifo,
+    /// Process newest deliveries first (stack).
+    Lifo,
+}
+
+/// How heap allocation sites are named (paper §2 footnote 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeapNaming {
+    /// One base-location per static allocation site (paper default).
+    #[default]
+    Site,
+    /// Site plus the immediate caller of the allocating function: when a
+    /// heap pair leaves the function containing its allocation site, the
+    /// base is cloned per call site — "naming such base-locations with a
+    /// call string instead of a single allocation site". The paper
+    /// (§5.1.1) predicts finer heap naming yields a larger pool of
+    /// locations and *more* spurious pairs under context-insensitivity.
+    CallString1,
+}
+
+/// Configuration of the CI solver.
+#[derive(Debug, Clone)]
+pub struct CiConfig {
+    /// Perform strong updates (paper default: yes). Disabling is an
+    /// ablation that degrades precision but stays sound.
+    pub strong_updates: bool,
+    /// Worklist discipline (results are order-independent).
+    pub order: WorklistOrder,
+    /// How heap allocation sites are named.
+    pub heap_naming: HeapNaming,
+}
+
+impl Default for CiConfig {
+    fn default() -> Self {
+        CiConfig {
+            strong_updates: true,
+            order: WorklistOrder::Fifo,
+            heap_naming: HeapNaming::Site,
+        }
+    }
+}
+
+/// Result of the context-insensitive analysis.
+#[derive(Debug, Clone)]
+pub struct CiResult {
+    /// The interned path universe (shared vocabulary with the CS solver).
+    pub paths: PathTable,
+    pairs: Vec<Vec<Pair>>,
+    /// Transfer-function applications (`flow-in`s; §4.2 cost metric).
+    pub flow_ins: u64,
+    /// Meet operations (`flow-out`s; §4.2 cost metric).
+    pub flow_outs: u64,
+    /// Discovered call graph: call node -> callees.
+    pub callees: HashMap<NodeId, Vec<VFuncId>>,
+}
+
+impl CiResult {
+    /// The points-to pairs on an output, sorted.
+    pub fn pairs(&self, o: OutputId) -> &[Pair] {
+        &self.pairs[o.0 as usize]
+    }
+
+    /// Total number of points-to pairs across all outputs (Figure 3).
+    pub fn total_pairs(&self) -> usize {
+        self.pairs.iter().map(|p| p.len()).sum()
+    }
+
+    /// Distinct referents of the location input of a memory operation
+    /// (the Figure 4 "locations accessed" metric).
+    pub fn loc_referents(&self, graph: &Graph, node: NodeId) -> Vec<PathId> {
+        let loc_out = graph.input_src(node, 0);
+        let mut refs: Vec<PathId> = self
+            .pairs(loc_out)
+            .iter()
+            .map(|p| p.referent)
+            .collect();
+        refs.sort_unstable();
+        refs.dedup();
+        refs
+    }
+}
+
+/// Runs the context-insensitive analysis over `graph`.
+pub fn analyze_ci(graph: &Graph, config: &CiConfig) -> CiResult {
+    let mut s = Solver::new(graph, config.clone());
+    s.seed();
+    s.run();
+    s.finish()
+}
+
+struct Solver<'g> {
+    g: &'g Graph,
+    cfg: CiConfig,
+    paths: PathTable,
+    p: Vec<HashSet<Pair>>,
+    wl: VecDeque<(InputId, Pair)>,
+    callees: HashMap<NodeId, Vec<VFuncId>>,
+    callers: HashMap<VFuncId, Vec<NodeId>>,
+    /// Owner function of each heap base's allocation site (only filled
+    /// under [`HeapNaming::CallString1`]).
+    alloc_owner: HashMap<vdg::graph::BaseId, VFuncId>,
+    flow_ins: u64,
+    flow_outs: u64,
+}
+
+/// Computes the owning function of every heap allocation site.
+pub(crate) fn alloc_owner_map(g: &Graph) -> HashMap<vdg::graph::BaseId, VFuncId> {
+    let owner = crate::modref::node_owner_map(g);
+    let mut map = HashMap::new();
+    for (id, n) in g.nodes() {
+        if let NodeKind::Alloc(b) = n.kind {
+            map.insert(b, owner[id.0 as usize]);
+        }
+    }
+    map
+}
+
+impl<'g> Solver<'g> {
+    fn new(g: &'g Graph, cfg: CiConfig) -> Self {
+        let alloc_owner = if cfg.heap_naming == HeapNaming::CallString1 {
+            alloc_owner_map(g)
+        } else {
+            HashMap::new()
+        };
+        Solver {
+            g,
+            cfg,
+            paths: PathTable::for_graph(g),
+            p: vec![HashSet::new(); g.output_count()],
+            wl: VecDeque::new(),
+            callees: HashMap::new(),
+            callers: HashMap::new(),
+            alloc_owner,
+            flow_ins: 0,
+            flow_outs: 0,
+        }
+    }
+
+    /// Under k=1 heap naming, a heap pair leaving its allocator function
+    /// `f` through `call` gets its heap bases cloned per call site.
+    fn rename_heap(&mut self, pair: Pair, f: VFuncId, call: NodeId) -> Pair {
+        if self.cfg.heap_naming != HeapNaming::CallString1 {
+            return pair;
+        }
+        let fix = |paths: &mut PathTable,
+                   alloc_owner: &HashMap<vdg::graph::BaseId, VFuncId>,
+                   p: PathId|
+         -> PathId {
+            match paths.base_of(p) {
+                Some(b)
+                    if !paths.is_synthetic(b)
+                        && alloc_owner.get(&b) == Some(&f) =>
+                {
+                    let clone = paths.heap_clone(b, call.0);
+                    paths.rebase(p, clone)
+                }
+                _ => p,
+            }
+        };
+        Pair::new(
+            fix(&mut self.paths, &self.alloc_owner, pair.path),
+            fix(&mut self.paths, &self.alloc_owner, pair.referent),
+        )
+    }
+
+    /// Seeds address/function/allocation constants with `(ε, base)` —
+    /// the paper's initialization loop over base-locations.
+    fn seed(&mut self) {
+        let mut seeds = Vec::new();
+        for (id, n) in self.g.nodes() {
+            let base = match n.kind {
+                NodeKind::Base(b) | NodeKind::Alloc(b) | NodeKind::FuncConst(b) => b,
+                _ => continue,
+            };
+            let root = self.paths.base_root(base);
+            let out = self.g.node(id).outputs[0];
+            seeds.push((out, Pair::new(PathTable::EMPTY, root)));
+        }
+        for (out, pair) in seeds {
+            self.flow_out(out, pair);
+        }
+    }
+
+    fn run(&mut self) {
+        loop {
+            let item = match self.cfg.order {
+                WorklistOrder::Fifo => self.wl.pop_front(),
+                WorklistOrder::Lifo => self.wl.pop_back(),
+            };
+            let Some((input, pair)) = item else { break };
+            self.flow_ins += 1;
+            let info = self.g.input(input);
+            let emits = self.transfer(info.node, info.port as usize, pair);
+            for (out, pair) in emits {
+                self.flow_out(out, pair);
+            }
+        }
+    }
+
+    fn finish(self) -> CiResult {
+        let pairs = self
+            .p
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<Pair> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        CiResult {
+            paths: self.paths,
+            pairs,
+            flow_ins: self.flow_ins,
+            flow_outs: self.flow_outs,
+            callees: self.callees,
+        }
+    }
+
+    fn flow_out(&mut self, out: OutputId, pair: Pair) {
+        self.flow_outs += 1;
+        if self.p[out.0 as usize].insert(pair) {
+            for &input in self.g.consumers(out) {
+                self.wl.push_back((input, pair));
+            }
+        }
+    }
+
+    fn pairs_at(&self, node: NodeId, port: usize) -> Vec<Pair> {
+        let src = self.g.input_src(node, port);
+        self.p[src.0 as usize].iter().copied().collect()
+    }
+
+    /// Cooper-scheme variants of a pair crossing a call/return boundary
+    /// into/out of `boundary_func`: any base with an `older` companion
+    /// whose owner may be re-entered through the boundary also denotes
+    /// older instances on the far side.
+    fn cooper_variants(&mut self, pair: Pair, boundary_func: VFuncId) -> Vec<Pair> {
+        let mut out = vec![pair];
+        for side in 0..2 {
+            let n = out.len();
+            for i in 0..n {
+                let p = out[i];
+                let path = if side == 0 { p.path } else { p.referent };
+                let Some(older) = self.paths.cooper_older_of(path) else {
+                    continue;
+                };
+                let Some(base) = self.paths.base_of(path) else {
+                    continue;
+                };
+                let owner = match &self.g.base(base).kind {
+                    vdg::graph::BaseKind::Local { func, .. } => *func,
+                    _ => continue,
+                };
+                if !self.g.can_reach(boundary_func, owner) {
+                    continue;
+                }
+                let rebased = self.paths.rebase(path, older);
+                let variant = if side == 0 {
+                    Pair::new(rebased, p.referent)
+                } else {
+                    Pair::new(p.path, rebased)
+                };
+                out.push(variant);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The transfer function: a new `pair` arrived on `port` of `node`;
+    /// returns the pairs to emit on outputs.
+    fn transfer(&mut self, node: NodeId, port: usize, pair: Pair) -> Vec<(OutputId, Pair)> {
+        let n = self.g.node(node);
+        let kind = n.kind.clone();
+        let outs = n.outputs.clone();
+        let mut em: Vec<(OutputId, Pair)> = Vec::new();
+        match kind {
+            NodeKind::Member(f) => {
+                let r = self.paths.child(pair.referent, AccessOp::Field(f));
+                em.push((outs[0], Pair::new(pair.path, r)));
+            }
+            NodeKind::IndexElem => {
+                let r = self.paths.child(pair.referent, AccessOp::Index);
+                em.push((outs[0], Pair::new(pair.path, r)));
+            }
+            NodeKind::ExtractField(f) => {
+                if let Some(p) = self.paths.strip_first(pair.path, AccessOp::Field(f)) {
+                    em.push((outs[0], Pair::new(p, pair.referent)));
+                }
+            }
+            NodeKind::ExtractElem => {
+                if let Some(p) = self.paths.strip_first(pair.path, AccessOp::Index) {
+                    em.push((outs[0], Pair::new(p, pair.referent)));
+                }
+            }
+            NodeKind::PassThrough => {
+                if port == 0 {
+                    em.push((outs[0], pair));
+                }
+            }
+            NodeKind::Gamma => {
+                em.push((outs[0], pair));
+            }
+            NodeKind::Primop => {}
+            NodeKind::Lookup { .. } => match port {
+                0 => {
+                    // New location: read every store pair it may observe.
+                    for sp in self.pairs_at(node, 1) {
+                        if self.paths.dom(pair.referent, sp.path) {
+                            let off = self.paths.subtract(sp.path, pair.referent);
+                            let p = self.paths.append(pair.path, off);
+                            em.push((outs[0], Pair::new(p, sp.referent)));
+                        }
+                    }
+                }
+                _ => {
+                    // New store pair: dereference through every location.
+                    for lp in self.pairs_at(node, 0) {
+                        if self.paths.dom(lp.referent, pair.path) {
+                            let off = self.paths.subtract(pair.path, lp.referent);
+                            let p = self.paths.append(lp.path, off);
+                            em.push((outs[0], Pair::new(p, pair.referent)));
+                        }
+                    }
+                }
+            },
+            NodeKind::Update { .. } => match port {
+                0 => {
+                    // New location pair.
+                    for vp in self.pairs_at(node, 2) {
+                        let path = self.paths.append(pair.referent, vp.path);
+                        em.push((outs[0], Pair::new(path, vp.referent)));
+                    }
+                    for sp in self.pairs_at(node, 1) {
+                        if !(self.cfg.strong_updates
+                            && self.paths.strong_dom(pair.referent, sp.path))
+                        {
+                            em.push((outs[0], sp));
+                        }
+                    }
+                }
+                1 => {
+                    // New store pair: propagated if at least one location
+                    // does not strongly update it. (No location pairs yet
+                    // means the pair stays blocked — the dual-worklist
+                    // delay of [CWZ90].)
+                    let locs = self.pairs_at(node, 0);
+                    let passes = locs.iter().any(|lp| {
+                        !(self.cfg.strong_updates
+                            && self.paths.strong_dom(lp.referent, pair.path))
+                    });
+                    if passes {
+                        em.push((outs[0], pair));
+                    }
+                }
+                _ => {
+                    // New value pair: a store pair per location.
+                    for lp in self.pairs_at(node, 0) {
+                        let path = self.paths.append(lp.referent, pair.path);
+                        em.push((outs[0], Pair::new(path, pair.referent)));
+                    }
+                }
+            },
+            NodeKind::CopyMem => match port {
+                0 => {
+                    // Store pairs pass through (the copy only adds), and
+                    // pairs under src re-root under dst.
+                    em.push((outs[0], pair));
+                    let dsts = self.pairs_at(node, 1);
+                    for srcp in self.pairs_at(node, 2) {
+                        if self.paths.dom(srcp.referent, pair.path) {
+                            let off = self.paths.subtract(pair.path, srcp.referent);
+                            for dp in &dsts {
+                                let path = self.paths.append(dp.referent, off);
+                                em.push((outs[0], Pair::new(path, pair.referent)));
+                            }
+                        }
+                    }
+                }
+                1 => {
+                    // New dst pointer.
+                    let stores = self.pairs_at(node, 0);
+                    for srcp in self.pairs_at(node, 2) {
+                        for sp in &stores {
+                            if self.paths.dom(srcp.referent, sp.path) {
+                                let off = self.paths.subtract(sp.path, srcp.referent);
+                                let path = self.paths.append(pair.referent, off);
+                                em.push((outs[0], Pair::new(path, sp.referent)));
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    // New src pointer.
+                    let stores = self.pairs_at(node, 0);
+                    for dp in self.pairs_at(node, 1) {
+                        for sp in &stores {
+                            if self.paths.dom(pair.referent, sp.path) {
+                                let off = self.paths.subtract(sp.path, pair.referent);
+                                let path = self.paths.append(dp.referent, off);
+                                em.push((outs[0], Pair::new(path, sp.referent)));
+                            }
+                        }
+                    }
+                }
+            },
+            NodeKind::Call => {
+                if port == 0 {
+                    // A new function value: extend the call graph and
+                    // repropagate existing information (paper Fig. 1,
+                    // "performs appropriate repropagation").
+                    if let Some(f) = self.paths.func_of(pair.referent) {
+                        self.register_callee(node, f, &mut em);
+                    }
+                } else {
+                    // Actual (or store) pair: forward to the matching
+                    // formal of every callee.
+                    let callees = self.callees.get(&node).cloned().unwrap_or_default();
+                    for f in callees {
+                        self.forward_to_formal(node, port, pair, f, &mut em);
+                    }
+                }
+            }
+            NodeKind::Return { func } => {
+                let callers = self.callers.get(&func).cloned().unwrap_or_default();
+                for call in callers {
+                    self.forward_to_caller(call, port, pair, func, &mut em);
+                }
+            }
+            NodeKind::Base(_)
+            | NodeKind::Alloc(_)
+            | NodeKind::FuncConst(_)
+            | NodeKind::InitStore
+            | NodeKind::ScalarConst
+            | NodeKind::NullConst
+            | NodeKind::Entry { .. } => {}
+        }
+        em
+    }
+
+    fn register_callee(
+        &mut self,
+        call: NodeId,
+        f: VFuncId,
+        em: &mut Vec<(OutputId, Pair)>,
+    ) {
+        let list = self.callees.entry(call).or_default();
+        if list.contains(&f) {
+            return;
+        }
+        list.push(f);
+        self.callers.entry(f).or_default().push(call);
+        // Push existing actual pairs to the new callee's formals.
+        let n_inputs = self.g.node(call).inputs.len();
+        for port in 1..n_inputs {
+            for pair in self.pairs_at(call, port) {
+                self.forward_to_formal(call, port, pair, f, em);
+            }
+        }
+        // Pull existing return pairs to this call's results.
+        let returns = self.g.func(f).returns.clone();
+        for ret in returns {
+            let n_ret_inputs = self.g.node(ret).inputs.len();
+            for port in 0..n_ret_inputs {
+                for pair in self.pairs_at(ret, port) {
+                    self.forward_to_caller(call, port, pair, f, em);
+                }
+            }
+        }
+    }
+
+    /// Call input `port` (1 = store, 2+i = actual i) feeds entry output
+    /// `port - 1` of the callee.
+    fn forward_to_formal(
+        &mut self,
+        _call: NodeId,
+        port: usize,
+        pair: Pair,
+        f: VFuncId,
+        em: &mut Vec<(OutputId, Pair)>,
+    ) {
+        let entry = self.g.func(f).entry;
+        let formals = &self.g.node(entry).outputs;
+        let idx = port - 1;
+        if idx >= formals.len() {
+            return; // arity mismatch through a function pointer
+        }
+        let formal = formals[idx];
+        for v in self.cooper_variants(pair, f) {
+            em.push((formal, v));
+        }
+    }
+
+    /// Return input `port` (0 = store, 1 = value) feeds call output `port`.
+    fn forward_to_caller(
+        &mut self,
+        call: NodeId,
+        port: usize,
+        pair: Pair,
+        f: VFuncId,
+        em: &mut Vec<(OutputId, Pair)>,
+    ) {
+        let outs = &self.g.node(call).outputs;
+        if port >= outs.len() {
+            return; // e.g. value returned to a void-typed call site
+        }
+        let out = outs[port];
+        let pair = self.rename_heap(pair, f, call);
+        for v in self.cooper_variants(pair, f) {
+            em.push((out, v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdg::build::{lower, BuildOptions};
+
+    fn analyze(src: &str) -> (Graph, CiResult) {
+        let p = cfront::compile(src).expect("compiles");
+        let g = lower(&p, &BuildOptions::default()).expect("lowers");
+        let r = analyze_ci(&g, &CiConfig::default());
+        (g, r)
+    }
+
+    /// The referents at the sole indirect op, rendered as strings.
+    fn indirect_ref_names(src: &str) -> Vec<Vec<String>> {
+        let (g, r) = analyze(src);
+        g.indirect_mem_ops()
+            .iter()
+            .map(|&(n, _)| {
+                let mut v: Vec<String> = r
+                    .loc_referents(&g, n)
+                    .iter()
+                    .map(|&p| r.paths.display(p, &g))
+                    .collect();
+                v.sort();
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn direct_pointer_resolves() {
+        let refs = indirect_ref_names(
+            "int g; int main(void) { int *p; p = &g; return *p; }",
+        );
+        assert_eq!(refs, vec![vec!["g".to_string()]]);
+    }
+
+    #[test]
+    fn merge_yields_two_referents() {
+        let refs = indirect_ref_names(
+            "int a; int b;\n\
+             int main(void) { int *p; int c; c = getchar();\n\
+               if (c) { p = &a; } else { p = &b; }\n\
+               return *p; }",
+        );
+        assert_eq!(refs, vec![vec!["a".to_string(), "b".to_string()]]);
+    }
+
+    #[test]
+    fn strong_update_kills_previous_binding() {
+        // p first points to a, then definitely to b: the read sees only b.
+        let refs = indirect_ref_names(
+            "int a; int b; int *p;\n\
+             int main(void) { int **q; q = &p; p = &a; *q = &b; return *p; }",
+        );
+        // Two indirect ops: `*q = &b` (write through q) and `*p` (read).
+        // The read must see only b thanks to the strong update through q
+        // (q definitely points to p, p is strongly updateable).
+        let read_refs = refs.last().expect("two ops");
+        assert_eq!(read_refs, &vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn weak_update_on_array_keeps_both() {
+        let refs = indirect_ref_names(
+            "int a; int b; int *arr[4];\n\
+             int main(void) { arr[0] = &a; arr[1] = &b; return *(arr[0]); }",
+        );
+        let read_refs = refs.last().expect("read op");
+        assert_eq!(read_refs, &vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn null_only_pointer_has_no_referents() {
+        let refs = indirect_ref_names(
+            "int main(void) { int *p; p = NULL; return *p; }",
+        );
+        assert_eq!(refs, vec![Vec::<String>::new()]);
+    }
+
+    #[test]
+    fn heap_allocation_sites_are_distinct() {
+        let refs = indirect_ref_names(
+            "int main(void) { int *p; int *q; \
+             p = (int*)malloc(4); q = (int*)malloc(4); *p = 1; return *q; }",
+        );
+        assert_eq!(refs.len(), 2);
+        assert_ne!(refs[0], refs[1]);
+        assert_eq!(refs[0].len(), 1);
+    }
+
+    #[test]
+    fn struct_fields_are_separate_paths() {
+        let refs = indirect_ref_names(
+            "struct s { int *x; int *y; };\n\
+             int a; int b;\n\
+             int main(void) { struct s v; int *r; v.x = &a; v.y = &b; \
+             r = v.x; return *r; }",
+        );
+        assert_eq!(refs, vec![vec!["a".to_string()]]);
+    }
+
+    #[test]
+    fn linked_list_collapses_to_site() {
+        let (g, r) = analyze(
+            "struct node { int v; struct node *next; };\n\
+             int main(void) {\n\
+               struct node *h; struct node *n; int i; h = NULL;\n\
+               for (i = 0; i < 3; i++) {\n\
+                 n = (struct node*)malloc(sizeof(struct node));\n\
+                 n->v = i; n->next = h; h = n;\n\
+               }\n\
+               while (h != NULL) { h = h->next; }\n\
+               return 0;\n\
+             }",
+        );
+        // Every indirect op references exactly the one heap site.
+        for (node, _) in g.indirect_mem_ops() {
+            let refs = r.loc_referents(&g, node);
+            assert_eq!(refs.len(), 1, "op should see one heap site");
+        }
+    }
+
+    #[test]
+    fn interprocedural_flow_through_call() {
+        let refs = indirect_ref_names(
+            "int g;\n\
+             int *id(int *p) { return p; }\n\
+             int main(void) { int *q; q = id(&g); return *q; }",
+        );
+        assert_eq!(refs, vec![vec!["g".to_string()]]);
+    }
+
+    #[test]
+    fn out_parameter_flow() {
+        let refs = indirect_ref_names(
+            "int g;\n\
+             void put(int **slot) { *slot = &g; }\n\
+             int main(void) { int *p; put(&p); return *p; }",
+        );
+        // Two indirect ops: `*slot = &g`, `*p`.
+        assert_eq!(refs.last().unwrap(), &vec!["g".to_string()]);
+    }
+
+    #[test]
+    fn context_insensitive_merges_callers() {
+        // The classic CI imprecision: both callers' values merge.
+        let refs = indirect_ref_names(
+            "int a; int b;\n\
+             int *id(int *p) { return p; }\n\
+             int main(void) { int *x; int *y; x = id(&a); y = id(&b); \
+             return *x + *y; }",
+        );
+        assert_eq!(refs[0], vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(refs[1], vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn function_pointers_resolve_indirect_calls() {
+        let refs = indirect_ref_names(
+            "int a; int b;\n\
+             int *fa(void) { return &a; }\n\
+             int *fb(void) { return &b; }\n\
+             int main(void) { int *(*fp)(void); int c; c = getchar();\n\
+               if (c) { fp = fa; } else { fp = fb; }\n\
+               return *(fp()); }",
+        );
+        assert_eq!(refs, vec![vec!["a".to_string(), "b".to_string()]]);
+    }
+
+    #[test]
+    fn call_graph_discovered() {
+        let (g, r) = analyze(
+            "int f(void) { return 1; }\n\
+             int h(void) { return 2; }\n\
+             int main(void) { int (*fp)(void); fp = f; return fp() + h(); }",
+        );
+        let mut callee_names: Vec<Vec<&str>> = r
+            .callees
+            .values()
+            .map(|fs| fs.iter().map(|f| g.func(*f).name.as_str()).collect())
+            .collect();
+        callee_names.iter_mut().for_each(|v| v.sort());
+        callee_names.sort();
+        assert_eq!(callee_names, vec![vec!["f"], vec!["h"], vec!["main"]]);
+    }
+
+    #[test]
+    fn recursion_reaches_fixpoint() {
+        let refs = indirect_ref_names(
+            "int g;\n\
+             int *walk(int n, int *p) { if (n == 0) return p; return walk(n - 1, p); }\n\
+             int main(void) { int *q; q = walk(5, &g); return *q; }",
+        );
+        assert_eq!(refs, vec![vec!["g".to_string()]]);
+    }
+
+    #[test]
+    fn global_initializers_seed_the_store() {
+        let refs = indirect_ref_names(
+            "int x; int *gp = &x;\n\
+             int main(void) { return *gp; }",
+        );
+        assert_eq!(refs, vec![vec!["x".to_string()]]);
+    }
+
+    #[test]
+    fn aggregate_copy_transfers_pointers() {
+        let refs = indirect_ref_names(
+            "struct s { int *p; };\n\
+             int a;\n\
+             int main(void) { struct s u; struct s w; u.p = &a; w = u; return *(w.p); }",
+        );
+        assert_eq!(refs, vec![vec!["a".to_string()]]);
+    }
+
+    #[test]
+    fn memcpy_reroots_pointers() {
+        let refs = indirect_ref_names(
+            "struct s { int *p; };\n\
+             int a;\n\
+             int main(void) { struct s u; struct s w; u.p = &a;\n\
+               memcpy(&w, &u, sizeof(struct s));\n\
+               return *(w.p); }",
+        );
+        assert_eq!(refs.last().unwrap(), &vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn union_members_alias() {
+        let refs = indirect_ref_names(
+            "union u { int *p; int *q; };\n\
+             int a;\n\
+             int main(void) { union u v; int *r; v.p = &a; r = v.q; return *r; }",
+        );
+        assert_eq!(refs, vec![vec!["a".to_string()]]);
+    }
+
+    #[test]
+    fn scalar_outputs_carry_no_pairs() {
+        let (g, r) = analyze(
+            "int g; int main(void) { int *p; p = &g; return *p + 3; }",
+        );
+        for o in g.output_ids() {
+            if matches!(g.output(o).kind, vdg::graph::ValueKind::Scalar) {
+                assert!(
+                    r.pairs(o).is_empty(),
+                    "scalar output {o} has pairs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_and_lifo_agree() {
+        let src = "struct node { int v; struct node *next; };\n\
+             struct node *cons(int v, struct node *t) {\n\
+               struct node *n; n = (struct node*)malloc(sizeof(struct node));\n\
+               n->v = v; n->next = t; return n; }\n\
+             int main(void) { struct node *l; l = cons(1, cons(2, NULL));\n\
+               while (l != NULL) { l = l->next; } return 0; }";
+        let p = cfront::compile(src).unwrap();
+        let g = lower(&p, &BuildOptions::default()).unwrap();
+        let fifo = analyze_ci(&g, &CiConfig::default());
+        let lifo = analyze_ci(
+            &g,
+            &CiConfig {
+                order: WorklistOrder::Lifo,
+                ..CiConfig::default()
+            },
+        );
+        // PathIds are interned in solver-visit order, so two runs must be
+        // compared by rendered path content, not raw ids.
+        let render = |r: &CiResult, o: vdg::graph::OutputId| -> Vec<(String, String)> {
+            let mut v: Vec<(String, String)> = r
+                .pairs(o)
+                .iter()
+                .map(|pr| {
+                    (
+                        r.paths.display(pr.path, &g),
+                        r.paths.display(pr.referent, &g),
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        for o in g.output_ids() {
+            assert_eq!(render(&fifo, o), render(&lifo, o), "output {o} differs");
+        }
+    }
+
+    #[test]
+    fn disabling_strong_updates_is_sound_but_weaker() {
+        let src = "int a; int b; int *p;\n\
+             int main(void) { int **q; q = &p; p = &a; *q = &b; return *p; }";
+        let p = cfront::compile(src).unwrap();
+        let g = lower(&p, &BuildOptions::default()).unwrap();
+        let strong = analyze_ci(&g, &CiConfig::default());
+        let weak = analyze_ci(
+            &g,
+            &CiConfig {
+                strong_updates: false,
+                ..CiConfig::default()
+            },
+        );
+        // Strong ⊆ weak on every output.
+        for o in g.output_ids() {
+            let ws: std::collections::HashSet<_> = weak.pairs(o).iter().collect();
+            for pr in strong.pairs(o) {
+                assert!(ws.contains(pr), "strong found pair weak missed");
+            }
+        }
+        // And the read is strictly more precise with strong updates.
+        let read = g
+            .indirect_mem_ops()
+            .into_iter()
+            .find(|&(n, w)| !w && matches!(g.node(n).kind, NodeKind::Lookup { .. }))
+            .map(|(n, _)| n)
+            .unwrap();
+        assert_eq!(strong.loc_referents(&g, read).len(), 1);
+        assert_eq!(weak.loc_referents(&g, read).len(), 2);
+    }
+
+    #[test]
+    fn cooper_and_weak_schemes_agree_without_downward_escape() {
+        // Matches the paper's observation that the scheme choice is
+        // irrelevant for programs that do not pass addresses of local
+        // pointer variables down recursive calls.
+        let src = "int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }\n\
+             int g; int main(void) { int *p; p = &g; return *p + fact(3); }";
+        let p = cfront::compile(src).unwrap();
+        let g_weak = lower(&p, &BuildOptions::default()).unwrap();
+        let g_cooper = lower(
+            &p,
+            &BuildOptions {
+                rec_local_scheme: vdg::RecLocalScheme::Cooper,
+            },
+        )
+        .unwrap();
+        let rw = analyze_ci(&g_weak, &CiConfig::default());
+        let rc = analyze_ci(&g_cooper, &CiConfig::default());
+        let iw = g_weak.indirect_mem_ops();
+        let ic = g_cooper.indirect_mem_ops();
+        assert_eq!(iw.len(), ic.len());
+        for (&(nw, _), &(nc, _)) in iw.iter().zip(ic.iter()) {
+            assert_eq!(
+                rw.loc_referents(&g_weak, nw).len(),
+                rc.loc_referents(&g_cooper, nc).len()
+            );
+        }
+    }
+
+    #[test]
+    fn callstring_heap_naming_splits_allocation_sites() {
+        let src = "struct node { int v; struct node *next; };\n\
+             struct node *mk(int v) { struct node *n;\n\
+               n = (struct node*)malloc(sizeof(struct node));\n\
+               n->v = v; n->next = NULL; return n; }\n\
+             int main(void) { struct node *a; struct node *b;\n\
+               a = mk(1); b = mk(2); return a->v + b->v; }";
+        let p = cfront::compile(src).unwrap();
+        let g = lower(&p, &BuildOptions::default()).unwrap();
+        let site = analyze_ci(&g, &CiConfig::default());
+        let k1 = analyze_ci(
+            &g,
+            &CiConfig {
+                heap_naming: HeapNaming::CallString1,
+                ..CiConfig::default()
+            },
+        );
+        // The two reads in main reference the same site base under
+        // site naming but per-caller clones under k=1 naming.
+        let reads: Vec<_> = g
+            .indirect_mem_ops()
+            .into_iter()
+            .filter(|&(_n, w)| !w)
+            .map(|(n, _)| n)
+            .collect();
+        let main_reads: Vec<_> = reads
+            .iter()
+            .copied()
+            .filter(|&n| {
+                let owner = crate::modref::node_owner_map(&g)[n.0 as usize];
+                g.func(owner).name == "main"
+            })
+            .collect();
+        assert_eq!(main_reads.len(), 2);
+        let site_refs: Vec<Vec<String>> = main_reads
+            .iter()
+            .map(|&n| {
+                site.loc_referents(&g, n)
+                    .iter()
+                    .map(|&p| site.paths.display(p, &g))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(site_refs[0], site_refs[1], "site naming merges callers");
+        let k1_refs: Vec<Vec<String>> = main_reads
+            .iter()
+            .map(|&n| {
+                k1.loc_referents(&g, n)
+                    .iter()
+                    .map(|&p| k1.paths.display(p, &g))
+                    .collect()
+            })
+            .collect();
+        assert_ne!(k1_refs[0], k1_refs[1], "k=1 naming splits callers");
+        assert_eq!(k1_refs[0].len(), 1);
+        assert!(k1_refs[0][0].contains("@call"), "{:?}", k1_refs[0]);
+        // Collapsing the clones recovers a subset of the site solution.
+        // (Compare by rendered content: the two runs intern PathIds in
+        // different orders.)
+        let mut k1_paths = k1.paths.clone();
+        for o in g.output_ids() {
+            let site_set: std::collections::HashSet<(String, String)> = site
+                .pairs(o)
+                .iter()
+                .map(|p| {
+                    (
+                        site.paths.display(p.path, &g),
+                        site.paths.display(p.referent, &g),
+                    )
+                })
+                .collect();
+            for pr in k1.pairs(o) {
+                let collapsed = (
+                    {
+                        let c = k1_paths.collapse_synthetic(pr.path);
+                        k1_paths.display(c, &g)
+                    },
+                    {
+                        let c = k1_paths.collapse_synthetic(pr.referent);
+                        k1_paths.display(c, &g)
+                    },
+                );
+                assert!(
+                    site_set.contains(&collapsed),
+                    "collapsed k=1 pair escaped the site solution at {o}: {collapsed:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn op_counters_advance() {
+        let (_, r) = analyze("int g; int main(void) { int *p; p = &g; return *p; }");
+        assert!(r.flow_ins > 0);
+        assert!(r.flow_outs >= r.flow_ins / 4);
+    }
+}

@@ -1,0 +1,316 @@
+//! Def/use analysis — the paper's other motivating client (§3.2: "Such
+//! applications are concerned only with the memory locations referenced
+//! by each memory read or write").
+//!
+//! For every `lookup` (a *use*) this module computes the set of `update`
+//! nodes (*defs*) whose written locations it may observe, by walking the
+//! store dataflow backwards — through gammas, into callees at calls, and
+//! out to call sites at entries — pruning along the way:
+//!
+//! - an update is a *may-def* for a use referent if one of its written
+//!   paths overlaps the referent (either is a prefix of the other);
+//! - the walk past an update stops for a referent the update *definitely*
+//!   overwrites (the strong-update condition), mirroring how the solvers
+//!   kill store pairs.
+//!
+//! Because both ends are driven by points-to sets, def/use edge counts
+//! are a client-level measure of analysis precision; the headline
+//! experiment shows up here as identical edge sets under CI and CS.
+
+use crate::path::{PathId, PathTable};
+use crate::stats::PointsToSolution;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use vdg::graph::{Graph, NodeId, NodeKind, OutputId, ValueKind};
+
+/// Def/use edges: for each lookup node, the update nodes it may observe.
+#[derive(Debug, Clone, Default)]
+pub struct DefUse {
+    /// use (lookup) -> defs (updates), sorted.
+    pub uses: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl DefUse {
+    /// Total number of def/use edges.
+    pub fn edge_count(&self) -> usize {
+        self.uses.values().map(|v| v.len()).sum()
+    }
+
+    /// Defs of one use.
+    pub fn defs_of(&self, lookup: NodeId) -> &[NodeId] {
+        self.uses.get(&lookup).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+/// Whether a read of `a` may observe a write to `b`: overlap in either
+/// prefix direction.
+fn overlaps(paths: &PathTable, a: PathId, b: PathId) -> bool {
+    paths.dom(a, b) || paths.dom(b, a)
+}
+
+/// Computes def/use edges for every lookup, using `sol` for the location
+/// sets and `callees` (from the CI solver) for the interprocedural store
+/// graph.
+pub fn def_use(
+    graph: &Graph,
+    sol: &dyn PointsToSolution,
+    callees: &HashMap<NodeId, Vec<vdg::graph::VFuncId>>,
+) -> DefUse {
+    let paths = sol.path_table();
+    let mut out = DefUse::default();
+    for (node, is_write) in graph.all_mem_ops() {
+        if is_write {
+            continue;
+        }
+        let loc_out = graph.input_src(node, 0);
+        let referents: Vec<PathId> = {
+            let mut v: Vec<PathId> = sol.pairs_at(loc_out).iter().map(|p| p.referent).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut defs = BTreeSet::new();
+        for r in referents {
+            walk_defs(graph, sol, paths, callees, graph.input_src(node, 1), r, &mut defs);
+        }
+        out.uses.insert(node, defs.into_iter().collect());
+    }
+    out
+}
+
+/// Backward walk over the store dataflow from `store_out`, collecting
+/// updates that may define `referent`.
+fn walk_defs(
+    graph: &Graph,
+    sol: &dyn PointsToSolution,
+    paths: &PathTable,
+    callees: &HashMap<NodeId, Vec<vdg::graph::VFuncId>>,
+    store_out: OutputId,
+    referent: PathId,
+    defs: &mut BTreeSet<NodeId>,
+) {
+    let mut visited: HashSet<OutputId> = HashSet::new();
+    let mut stack = vec![store_out];
+    while let Some(o) = stack.pop() {
+        if !visited.insert(o) {
+            continue;
+        }
+        debug_assert!(matches!(graph.output(o).kind, ValueKind::Store));
+        let node = graph.output(o).node;
+        match &graph.node(node).kind {
+            NodeKind::Update { .. } => {
+                // Written paths of this update.
+                let loc_refs: Vec<PathId> = sol
+                    .pairs_at(graph.input_src(node, 0))
+                    .iter()
+                    .map(|p| p.referent)
+                    .collect();
+                let val_offsets: Vec<PathId> = {
+                    let mut v: Vec<PathId> = sol
+                        .pairs_at(graph.input_src(node, 2))
+                        .iter()
+                        .map(|p| p.path)
+                        .collect();
+                    // Scalar writes still define the location itself.
+                    v.push(PathTable::EMPTY);
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                };
+                let mut may_def = false;
+                for &lr in &loc_refs {
+                    // The update writes lr (scalar view) and lr+offset for
+                    // each pointer offset of the value; the whole-location
+                    // overlap check covers both.
+                    let _ = &val_offsets;
+                    if overlaps(paths, referent, lr) {
+                        may_def = true;
+                    }
+                }
+                if may_def {
+                    defs.insert(node);
+                }
+                // Strong kill: a definite overwrite of the referent ends
+                // the walk on this path.
+                let killed = loc_refs.len() == 1
+                    && paths.strong_dom(loc_refs[0], referent);
+                if !killed {
+                    stack.push(graph.input_src(node, 1));
+                }
+            }
+            NodeKind::Gamma => {
+                for port in 0..graph.node(node).inputs.len() {
+                    stack.push(graph.input_src(node, port));
+                }
+            }
+            NodeKind::CopyMem => {
+                // Conservative: treat as a weak def of everything under
+                // its destinations and keep walking.
+                let dsts: Vec<PathId> = sol
+                    .pairs_at(graph.input_src(node, 1))
+                    .iter()
+                    .map(|p| p.referent)
+                    .collect();
+                if dsts.iter().any(|&d| overlaps(paths, referent, d)) {
+                    defs.insert(node);
+                }
+                stack.push(graph.input_src(node, 0));
+            }
+            NodeKind::Call => {
+                // The call's store output comes from its callees' returns.
+                if let Some(fs) = callees.get(&node) {
+                    for f in fs {
+                        for &ret in &graph.func(*f).returns {
+                            stack.push(graph.input_src(ret, 0));
+                        }
+                    }
+                }
+            }
+            NodeKind::Entry { func } => {
+                // The entry store comes from every call site of `func`.
+                for (call, fs) in callees {
+                    if fs.contains(func) && graph.has_input(*call, 1) {
+                        stack.push(graph.input_src(*call, 1));
+                    }
+                }
+            }
+            NodeKind::InitStore => {}
+            other => {
+                debug_assert!(
+                    false,
+                    "unexpected store producer {other:?} during def/use walk"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ci::{analyze_ci, CiConfig};
+    use vdg::build::{lower, BuildOptions};
+
+    fn pipeline(src: &str) -> (Graph, crate::ci::CiResult, DefUse) {
+        let p = cfront::compile(src).expect("compiles");
+        let g = lower(&p, &BuildOptions::default()).expect("lowers");
+        let ci = analyze_ci(&g, &CiConfig::default());
+        let du = def_use(&g, &ci, &ci.callees);
+        (g, ci, du)
+    }
+
+    /// The lookup reading through `*p`-style derefs (first indirect read).
+    fn first_indirect_read(g: &Graph) -> NodeId {
+        g.indirect_mem_ops()
+            .into_iter()
+            .find(|&(_, w)| !w)
+            .map(|(n, _)| n)
+            .expect("an indirect read exists")
+    }
+
+    #[test]
+    fn direct_def_reaches_use() {
+        let (g, _, du) = pipeline(
+            "int g; int main(void) { int *p; p = &g; g = 5; return *p; }",
+        );
+        let read = first_indirect_read(&g);
+        assert_eq!(du.defs_of(read).len(), 1);
+    }
+
+    #[test]
+    fn strong_update_kills_earlier_def() {
+        let (g, _, du) = pipeline(
+            "int g; int main(void) { int *p; p = &g; g = 1; g = 2; return *p; }",
+        );
+        let read = first_indirect_read(&g);
+        // Only the second `g = ...` reaches the read.
+        assert_eq!(du.defs_of(read).len(), 1);
+        let def = du.defs_of(read)[0];
+        // It must be the later update (higher node id than the killed one).
+        let updates: Vec<NodeId> = g
+            .all_mem_ops()
+            .into_iter()
+            .filter(|&(_, w)| w)
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(updates.len(), 2);
+        assert_eq!(def, *updates.iter().max().unwrap());
+    }
+
+    #[test]
+    fn weak_updates_accumulate_defs() {
+        let (g, _, du) = pipeline(
+            "int arr[4];\n\
+             int main(void) { int *p; p = &arr[1]; arr[0] = 1; arr[1] = 2; \
+             return *p; }",
+        );
+        let read = first_indirect_read(&g);
+        // Array writes are weak; both may define arr[*].
+        assert_eq!(du.defs_of(read).len(), 2);
+    }
+
+    #[test]
+    fn interprocedural_defs_found() {
+        let (g, _, du) = pipeline(
+            "int g;\n\
+             void set(void) { g = 3; }\n\
+             int main(void) { int *p; p = &g; set(); return *p; }",
+        );
+        let read = first_indirect_read(&g);
+        assert_eq!(du.defs_of(read).len(), 1);
+    }
+
+    #[test]
+    fn unrelated_defs_excluded() {
+        let (g, _, du) = pipeline(
+            "int a; int b;\n\
+             int main(void) { int *p; p = &a; a = 1; b = 2; return *p; }",
+        );
+        let read = first_indirect_read(&g);
+        assert_eq!(du.defs_of(read).len(), 1, "write to b must not reach");
+    }
+
+    #[test]
+    fn field_writes_overlap_whole_struct_reads() {
+        let (g, _, du) = pipeline(
+            "struct s { int x; int y; };\n\
+             struct s v;\n\
+             int take(struct s w) { return w.x; }\n\
+             int main(void) { v.x = 1; v.y = 2; return take(v); }",
+        );
+        // The whole-struct read (aggregate lookup for the by-value arg)
+        // observes both field writes.
+        let agg_read = g
+            .all_mem_ops()
+            .into_iter()
+            .find(|&(n, w)| {
+                !w && matches!(
+                    g.output(g.node(n).outputs[0]).kind,
+                    ValueKind::Agg { .. }
+                )
+            })
+            .map(|(n, _)| n)
+            .expect("aggregate read");
+        assert_eq!(du.defs_of(agg_read).len(), 2);
+    }
+
+    #[test]
+    fn headline_at_the_defuse_level() {
+        // CS and CI produce the same def/use edges on a suite-style
+        // program (the client-level restatement of §4.3).
+        let src = "int buf;\n\
+             void put(int **slot) { *slot = &buf; }\n\
+             int use_a(void) { int *a; put(&a); buf = 1; return *a; }\n\
+             int use_b(void) { int *b; put(&b); buf = 2; return *b; }\n\
+             int main(void) { return use_a() + use_b(); }";
+        let p = cfront::compile(src).unwrap();
+        let g = lower(&p, &BuildOptions::default()).unwrap();
+        let ci = analyze_ci(&g, &CiConfig::default());
+        let cs = crate::cs::analyze_cs(&g, &ci, &crate::cs::CsConfig::default()).unwrap();
+        let du_ci = def_use(&g, &ci, &ci.callees);
+        let du_cs = def_use(&g, &cs, &ci.callees);
+        assert_eq!(du_ci.edge_count(), du_cs.edge_count());
+        for (u, defs) in &du_ci.uses {
+            assert_eq!(defs, du_cs.uses.get(u).unwrap());
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Mod/ref analysis — the client application the paper uses to motivate
+//! points-to precision (§3.2: "we can learn more by considering an
+//! application, such as def/use or mod/ref analysis").
+//!
+//! For every function we compute the set of abstract locations its
+//! memory reads may reference and its memory writes may modify, both
+//! directly and transitively through callees discovered by the solver.
+
+use crate::path::PathId;
+use crate::stats::PointsToSolution;
+use std::collections::{BTreeSet, HashMap};
+use vdg::graph::{Graph, NodeId, VFuncId};
+
+/// Locations read/written by one function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModRef {
+    /// Locations possibly referenced by reads (`ref` set).
+    pub refs: BTreeSet<PathId>,
+    /// Locations possibly modified by writes (`mod` set).
+    pub mods: BTreeSet<PathId>,
+}
+
+/// Mod/ref summaries for every function.
+#[derive(Debug, Clone, Default)]
+pub struct ModRefSummary {
+    /// Direct effects (this function's own memory operations).
+    pub direct: HashMap<VFuncId, ModRef>,
+    /// Transitive effects (including everything reachable through the
+    /// call graph discovered by the points-to solver).
+    pub transitive: HashMap<VFuncId, ModRef>,
+}
+
+/// Computes mod/ref summaries from a points-to solution.
+///
+/// `callees` is the call graph discovered by the solver
+/// ([`crate::ci::CiResult::callees`]).
+pub fn mod_ref(
+    graph: &Graph,
+    sol: &dyn PointsToSolution,
+    callees: &HashMap<NodeId, Vec<VFuncId>>,
+) -> ModRefSummary {
+    // Assign every memory op and call to its owning function by walking
+    // each function's node range; nodes are created per function in
+    // sequence, so use entry/returns? Simpler and robust: ownership via
+    // traversal from entry is overkill — instead, record ownership by
+    // scanning which function's node-id interval contains the node.
+    // Function nodes are emitted contiguously per function by the
+    // builder, with the root last; compute intervals from entry ids.
+    let owner = node_owner_map(graph);
+
+    let mut direct: HashMap<VFuncId, ModRef> = HashMap::new();
+    for f in graph.func_ids() {
+        direct.insert(f, ModRef::default());
+    }
+    for (node, is_write) in graph.all_mem_ops() {
+        let f = owner[node.0 as usize];
+        let loc_out = graph.input_src(node, 0);
+        let entry = direct.entry(f).or_default();
+        for p in sol.pairs_at(loc_out) {
+            if is_write {
+                entry.mods.insert(p.referent);
+            } else {
+                entry.refs.insert(p.referent);
+            }
+        }
+    }
+
+    // Transitive closure over the discovered call graph.
+    let mut call_edges: HashMap<VFuncId, BTreeSet<VFuncId>> = HashMap::new();
+    for (call, fs) in callees {
+        let from = owner[call.0 as usize];
+        call_edges.entry(from).or_default().extend(fs.iter().copied());
+    }
+    let mut transitive: HashMap<VFuncId, ModRef> = direct.clone();
+    // Simple fixpoint; call graphs are small.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for f in graph.func_ids() {
+            let Some(callees) = call_edges.get(&f) else {
+                continue;
+            };
+            let mut add = ModRef::default();
+            for c in callees {
+                if let Some(m) = transitive.get(c) {
+                    add.refs.extend(m.refs.iter().copied());
+                    add.mods.extend(m.mods.iter().copied());
+                }
+            }
+            let entry = transitive.entry(f).or_default();
+            let before = (entry.refs.len(), entry.mods.len());
+            entry.refs.extend(add.refs);
+            entry.mods.extend(add.mods);
+            if (entry.refs.len(), entry.mods.len()) != before {
+                changed = true;
+            }
+        }
+    }
+    ModRefSummary { direct, transitive }
+}
+
+/// Maps each node to its owning function (delegates to
+/// [`vdg::display::owner_map`], which derives ownership from the
+/// builder's contiguous per-function node layout).
+pub fn node_owner_map(graph: &Graph) -> Vec<VFuncId> {
+    vdg::display::owner_map(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ci::{analyze_ci, CiConfig};
+    use vdg::build::{lower, BuildOptions};
+
+    fn summary(src: &str) -> (Graph, crate::ci::CiResult, ModRefSummary) {
+        let p = cfront::compile(src).expect("compiles");
+        let g = lower(&p, &BuildOptions::default()).expect("lowers");
+        let ci = analyze_ci(&g, &CiConfig::default());
+        let s = mod_ref(&g, &ci, &ci.callees);
+        (g, ci, s)
+    }
+
+    fn loc_names(
+        g: &Graph,
+        ci: &crate::ci::CiResult,
+        set: &BTreeSet<PathId>,
+    ) -> Vec<String> {
+        let mut v: Vec<String> = set.iter().map(|&p| ci.paths.display(p, g)).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn direct_effects_are_per_function() {
+        let (g, ci, s) = summary(
+            "int a; int b;\n\
+             void wa(void) { a = 1; }\n\
+             int rb(void) { return b; }\n\
+             int main(void) { wa(); return rb(); }",
+        );
+        let wa = VFuncId(0);
+        let rb = VFuncId(1);
+        assert_eq!(loc_names(&g, &ci, &s.direct[&wa].mods), vec!["a"]);
+        assert!(s.direct[&wa].refs.is_empty());
+        assert_eq!(loc_names(&g, &ci, &s.direct[&rb].refs), vec!["b"]);
+        assert!(s.direct[&rb].mods.is_empty());
+    }
+
+    #[test]
+    fn transitive_effects_include_callees() {
+        let (g, ci, s) = summary(
+            "int a;\n\
+             void leaf(void) { a = 1; }\n\
+             void mid(void) { leaf(); }\n\
+             int main(void) { mid(); return 0; }",
+        );
+        let mid = VFuncId(1);
+        let main = VFuncId(2);
+        assert_eq!(loc_names(&g, &ci, &s.transitive[&mid].mods), vec!["a"]);
+        assert_eq!(loc_names(&g, &ci, &s.transitive[&main].mods), vec!["a"]);
+        assert!(s.direct[&mid].mods.is_empty());
+    }
+
+    #[test]
+    fn indirect_writes_use_points_to() {
+        let (g, ci, s) = summary(
+            "int x; int y;\n\
+             void poke(int *p) { *p = 7; }\n\
+             int main(void) { poke(&x); poke(&y); return x + y; }",
+        );
+        let poke = VFuncId(0);
+        assert_eq!(loc_names(&g, &ci, &s.direct[&poke].mods), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn node_owner_map_covers_all_nodes() {
+        let (g, _, _) = summary("int main(void) { return 0; }");
+        let owner = node_owner_map(&g);
+        assert_eq!(owner.len(), g.node_count());
+    }
+}

@@ -1,0 +1,110 @@
+//! The precision spectrum across related analyses (our extension):
+//!
+//! ```text
+//! Weihl (program-wide)       ⊒ CI (Fig. 1) ⊒ k=1 call-strings ⊒ assumption sets (Fig. 5)
+//! Steensgaard (unification)  ⊒ CI (Fig. 1)
+//! ```
+//!
+//! Weihl and Steensgaard are incomparable with each other: the former
+//! loses program-point distinctions but keeps fields and subset
+//! direction; the latter keeps neither but is almost linear.
+//!
+//! For each benchmark, reports the average number of *base-locations*
+//! referenced per indirect memory operation under each analysis (the
+//! field-insensitive unification baseline can only be compared at base
+//! granularity), plus analysis time.
+
+use alias::callstring::{analyze_callstring, CallStringConfig};
+use alias::steensgaard::{analyze_steensgaard, ci_referent_bases};
+use alias::weihl::analyze_weihl;
+use std::time::Instant;
+
+/// Average distinct referent bases per indirect op.
+fn avg_bases(counts: &[usize]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    counts.iter().sum::<usize>() as f64 / counts.len() as f64
+}
+
+fn base_count_of_paths(
+    paths: &alias::PathTable,
+    refs: &[alias::PathId],
+) -> usize {
+    let mut bases: Vec<_> = refs.iter().filter_map(|&p| paths.base_of(p)).collect();
+    bases.sort_unstable();
+    bases.dedup();
+    bases.len()
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for d in bench_harness::prepare_all() {
+        let t0 = Instant::now();
+        let weihl = analyze_weihl(&d.graph);
+        let weihl_t = t0.elapsed();
+        let t1 = Instant::now();
+        let mut steens = analyze_steensgaard(&d.graph);
+        let steens_t = t1.elapsed();
+        let t2 = Instant::now();
+        let k1 = analyze_callstring(&d.graph, &CallStringConfig::default())
+            .expect("k=1 within budget");
+        let k1_t = t2.elapsed();
+
+        let ops = d.graph.indirect_mem_ops();
+        let mut w_counts = Vec::new();
+        let mut s_counts = Vec::new();
+        let mut ci_counts = Vec::new();
+        let mut k1_counts = Vec::new();
+        let mut cs_counts = Vec::new();
+        for &(node, _) in &ops {
+            w_counts.push(base_count_of_paths(
+                &weihl.paths,
+                &weihl.loc_referents(&d.graph, node),
+            ));
+            s_counts.push(steens.loc_bases(&d.graph, node).len());
+            ci_counts.push(ci_referent_bases(&d.ci, &d.graph, node).len());
+            k1_counts.push(base_count_of_paths(
+                &k1.paths,
+                &k1.loc_referents(&d.graph, node),
+            ));
+            cs_counts.push(base_count_of_paths(
+                &d.cs.paths,
+                &d.cs.loc_referents(&d.graph, node),
+            ));
+        }
+        rows.push(vec![
+            d.name.to_string(),
+            format!("{:.2}", avg_bases(&w_counts)),
+            format!("{:.2}", avg_bases(&s_counts)),
+            format!("{:.2}", avg_bases(&ci_counts)),
+            format!("{:.2}", avg_bases(&k1_counts)),
+            format!("{:.2}", avg_bases(&cs_counts)),
+            format!("{:.0?}", weihl_t),
+            format!("{:.0?}", steens_t),
+            format!("{:.0?}", d.ci_time),
+            format!("{:.0?}", k1_t),
+            format!("{:.0?}", d.cs_time),
+        ]);
+    }
+    println!(
+        "Precision spectrum: average base-locations per indirect memory op\n\
+         (base granularity, so the field-insensitive unification baseline is\n\
+         comparable; lower is more precise)\n"
+    );
+    println!(
+        "{}",
+        bench_harness::render_table(
+            &["name", "Weihl", "Steens", "CI", "k=1", "CS(assum)",
+              "t(Weihl)", "t(Steens)", "t(CI)", "t(k=1)", "t(CS)"],
+            &rows
+        )
+    );
+    println!(
+        "Expected per row: Weihl >= CI, Steens >= CI, CI >= k=1 >= CS, and\n\
+         CI == CS at indirect references (the paper's headline). Weihl and\n\
+         Steens are mutually incomparable. The question the paper isolates\n\
+         is the CI-vs-CS column pair; the left columns show how much the\n\
+         program-point-specific formulation already bought."
+    );
+}

@@ -1,0 +1,88 @@
+//! Figure 2 — benchmark programs and their sizes in source and VDG form,
+//! plus the §5.1.2 call-graph shape statistics ("procedures average 4.2
+//! callers, 54% of procedures have only one caller").
+
+use std::collections::HashMap;
+use vdg::stats::size_stats;
+
+fn main() {
+    let mut rows = Vec::new();
+    let (mut tl, mut tn, mut ta) = (0, 0, 0);
+    let mut total_funcs = 0usize;
+    let mut total_callers = 0usize;
+    let mut single_caller = 0usize;
+    for d in bench_harness::prepare_all() {
+        let s = size_stats(&d.graph, d.source);
+        tl += s.lines;
+        tn += s.nodes;
+        ta += s.alias_related_outputs;
+
+        // Callers per function, from the solver-discovered call graph.
+        let mut callers: HashMap<u32, usize> = HashMap::new();
+        for fs in d.ci.callees.values() {
+            for f in fs {
+                *callers.entry(f.0).or_default() += 1;
+            }
+        }
+        let mut n_funcs = 0usize;
+        let mut n_callers = 0usize;
+        let mut n_single = 0usize;
+        for f in d.graph.func_ids() {
+            if f == d.graph.root() || d.graph.func(f).name == "main" {
+                continue;
+            }
+            let c = callers.get(&f.0).copied().unwrap_or(0);
+            n_funcs += 1;
+            n_callers += c;
+            if c == 1 {
+                n_single += 1;
+            }
+        }
+        total_funcs += n_funcs;
+        total_callers += n_callers;
+        single_caller += n_single;
+
+        rows.push(vec![
+            d.name.to_string(),
+            s.lines.to_string(),
+            s.nodes.to_string(),
+            s.alias_related_outputs.to_string(),
+            n_funcs.to_string(),
+            if n_funcs > 0 {
+                format!("{:.1}", n_callers as f64 / n_funcs as f64)
+            } else {
+                "-".into()
+            },
+            if n_funcs > 0 {
+                format!("{:.0}%", 100.0 * n_single as f64 / n_funcs as f64)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    rows.push(vec![
+        "TOTAL".into(),
+        tl.to_string(),
+        tn.to_string(),
+        ta.to_string(),
+        total_funcs.to_string(),
+        format!("{:.1}", total_callers as f64 / total_funcs as f64),
+        format!("{:.0}%", 100.0 * single_caller as f64 / total_funcs as f64),
+    ]);
+    println!("Figure 2: benchmark programs and their sizes (this reproduction)\n");
+    println!(
+        "{}",
+        bench_harness::render_table(
+            &["name", "source lines", "VDG nodes", "alias-related outputs",
+              "procs", "avg callers", "1-caller"],
+            &rows
+        )
+    );
+    println!(
+        "Notes: sources are reconstructions (see DESIGN.md \u{00a7}4); absolute sizes\n\
+         are smaller than the paper's originals, the node/line ratio is the\n\
+         comparable quantity. The caller statistics reproduce \u{00a7}5.1.2's\n\
+         sparse-call-graph observation (paper: 4.2 avg callers, 54% single-\n\
+         caller procedures; `main` and the root are excluded)."
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 3 — total points-to relationships computed by the
+//! context-insensitive analysis, by output type.
+
+use alias::stats::pair_type_counts;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut tot = alias::stats::PairTypeCounts::default();
+    for d in bench_harness::prepare_all() {
+        let c = pair_type_counts(&d.graph, &d.ci);
+        tot.pointer += c.pointer;
+        tot.function += c.function;
+        tot.aggregate += c.aggregate;
+        tot.store += c.store;
+        rows.push(vec![
+            d.name.to_string(),
+            c.pointer.to_string(),
+            c.function.to_string(),
+            c.aggregate.to_string(),
+            c.store.to_string(),
+            c.total().to_string(),
+        ]);
+    }
+    rows.push(vec![
+        "TOTAL".into(),
+        tot.pointer.to_string(),
+        tot.function.to_string(),
+        tot.aggregate.to_string(),
+        tot.store.to_string(),
+        tot.total().to_string(),
+    ]);
+    println!("Figure 3: total points-to pairs (context-insensitive analysis)\n");
+    println!(
+        "{}",
+        bench_harness::render_table(
+            &["name", "pointer", "function", "aggregate", "store", "total"],
+            &rows
+        )
+    );
+}

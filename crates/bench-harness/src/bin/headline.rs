@@ -1,0 +1,46 @@
+//! The §4.3 headline experiment: compare CI and CS solutions at the
+//! location inputs of every indirect memory reference.
+
+use alias::stats::compare_at_indirect_refs;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut any = 0usize;
+    for d in bench_harness::prepare_all() {
+        let ops = d.graph.indirect_mem_ops().len();
+        let mismatches = compare_at_indirect_refs(&d.graph, &d.ci, &d.cs);
+        any += mismatches.len();
+        rows.push(vec![
+            d.name.to_string(),
+            ops.to_string(),
+            mismatches.len().to_string(),
+            if mismatches.is_empty() { "identical" } else { "DIFFERS" }.to_string(),
+        ]);
+        for m in mismatches {
+            println!(
+                "  {} mismatch: CI {{{}}} vs CS {{{}}}",
+                d.name,
+                m.ci_referents.join(", "),
+                m.cs_referents.join(", ")
+            );
+        }
+    }
+    println!("Headline (§4.3): CS vs CI at indirect memory references\n");
+    println!(
+        "{}",
+        bench_harness::render_table(
+            &["name", "indirect refs", "mismatches", "verdict"],
+            &rows
+        )
+    );
+    if any == 0 {
+        println!(
+            "Reproduced: \"the spurious information does not affect the solution\n\
+             at all; the results for indirect memory references are identical to\n\
+             the context-insensitive results.\""
+        );
+    } else {
+        println!("{any} mismatches — the headline did NOT reproduce.");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,133 @@
+//! # bench-harness — table and figure regeneration
+//!
+//! One binary per table/figure of the paper's evaluation:
+//!
+//! | binary     | reproduces                                            |
+//! |------------|-------------------------------------------------------|
+//! | `fig2`     | Figure 2 — program sizes                              |
+//! | `fig3`     | Figure 3 — CI points-to pairs by output type          |
+//! | `fig4`     | Figure 4 — locations accessed by indirect refs        |
+//! | `fig6`     | Figure 6 — CS pairs, CI total, % spurious             |
+//! | `fig7`     | Figure 7 — path × referent type distribution          |
+//! | `headline` | §4.3 — CS vs CI at indirect memory references         |
+//! | `cost`     | §4.2 — flow-in/flow-out counts and timing ratios      |
+//! | `ablation` | strong updates / subsumption / CI-pruning ablations   |
+//!
+//! Criterion benches (`cargo bench -p bench-harness`) time the solvers
+//! themselves.
+
+#![warn(missing_docs)]
+
+use alias::{analyze_ci, analyze_cs, CiConfig, CiResult, CsConfig, CsResult};
+use std::time::{Duration, Instant};
+use vdg::build::{lower, BuildOptions};
+use vdg::Graph;
+
+/// Everything computed for one benchmark program.
+pub struct BenchData {
+    /// Benchmark name (Figure 2 order).
+    pub name: &'static str,
+    /// mini-C source text.
+    pub source: &'static str,
+    /// The checked program.
+    pub program: cfront::Program,
+    /// Its VDG.
+    pub graph: Graph,
+    /// Context-insensitive solution.
+    pub ci: CiResult,
+    /// Wall-clock time of the CI run.
+    pub ci_time: Duration,
+    /// Context-sensitive solution (default optimizations).
+    pub cs: CsResult,
+    /// Wall-clock time of the CS run.
+    pub cs_time: Duration,
+}
+
+/// Compiles, lowers, and runs both analyses on one benchmark.
+///
+/// # Panics
+///
+/// Panics if the benchmark fails any pipeline stage (the test suite
+/// guarantees it does not).
+pub fn prepare(b: &suite::Benchmark) -> BenchData {
+    let program = cfront::compile(b.source).expect("benchmark compiles");
+    let graph = lower(&program, &BuildOptions::default()).expect("benchmark lowers");
+    let t0 = Instant::now();
+    let ci = analyze_ci(&graph, &CiConfig::default());
+    let ci_time = t0.elapsed();
+    let t1 = Instant::now();
+    let cs = analyze_cs(&graph, &ci, &CsConfig::default()).expect("CS within budget");
+    let cs_time = t1.elapsed();
+    BenchData {
+        name: b.name,
+        source: b.source,
+        program,
+        graph,
+        ci,
+        ci_time,
+        cs,
+        cs_time,
+    }
+}
+
+/// Prepares every suite benchmark.
+pub fn prepare_all() -> Vec<BenchData> {
+    suite::benchmarks().iter().map(prepare).collect()
+}
+
+/// Renders an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        line.push_str(&format!("{h:>w$}  "));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len() - 2));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            line.push_str(&format!("{cell:>w$}  "));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_runs_one_benchmark() {
+        let b = suite::by_name("span").unwrap();
+        let d = prepare(&b);
+        assert!(d.ci.total_pairs() > 0);
+        assert!(d.cs.total_pairs() > 0);
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            &["name", "n"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].contains("long-name"));
+    }
+}

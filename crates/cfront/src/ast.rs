@@ -1,0 +1,577 @@
+//! Abstract syntax tree for mini-C.
+//!
+//! Expressions live in a per-program arena ([`ExprArena`]) so that semantic
+//! analysis can attach types and name resolutions in side tables keyed by
+//! [`ExprId`]. Statements own their children directly.
+
+use crate::source::Span;
+use crate::types::{RecordId, TypeId, TypeTable};
+
+/// Index of an expression in the program's [`ExprArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+/// Index of a user-defined function in [`Program::funcs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Index of a global variable in [`Program::globals`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+/// Index of a local variable (including parameters) within its function's
+/// unified local table (`FuncDecl::vars`). Parameters come first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocalId(pub u32);
+
+/// Library functions modeled by the analysis (lowered in `vdg::build`).
+///
+/// Variants name their C function directly ([`Builtin::name`]).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    Malloc,
+    Calloc,
+    Realloc,
+    Free,
+    Strcpy,
+    Strncpy,
+    Strcat,
+    Strcmp,
+    Strncmp,
+    Strlen,
+    Strchr,
+    Strdup,
+    Memcpy,
+    Memmove,
+    Memset,
+    Printf,
+    Sprintf,
+    Puts,
+    Putchar,
+    Getchar,
+    Atoi,
+    Exit,
+    Abs,
+    Rand,
+    Srand,
+}
+
+impl Builtin {
+    /// Resolves a builtin by its C name.
+    pub fn by_name(name: &str) -> Option<Builtin> {
+        use Builtin::*;
+        Some(match name {
+            "malloc" => Malloc,
+            "calloc" => Calloc,
+            "realloc" => Realloc,
+            "free" => Free,
+            "strcpy" => Strcpy,
+            "strncpy" => Strncpy,
+            "strcat" => Strcat,
+            "strcmp" => Strcmp,
+            "strncmp" => Strncmp,
+            "strlen" => Strlen,
+            "strchr" => Strchr,
+            "strdup" => Strdup,
+            "memcpy" => Memcpy,
+            "memmove" => Memmove,
+            "memset" => Memset,
+            "printf" => Printf,
+            "sprintf" => Sprintf,
+            "puts" => Puts,
+            "putchar" => Putchar,
+            "getchar" => Getchar,
+            "atoi" => Atoi,
+            "exit" => Exit,
+            "abs" => Abs,
+            "rand" => Rand,
+            "srand" => Srand,
+            _ => return None,
+        })
+    }
+
+    /// The C-level name.
+    pub fn name(self) -> &'static str {
+        use Builtin::*;
+        match self {
+            Malloc => "malloc",
+            Calloc => "calloc",
+            Realloc => "realloc",
+            Free => "free",
+            Strcpy => "strcpy",
+            Strncpy => "strncpy",
+            Strcat => "strcat",
+            Strcmp => "strcmp",
+            Strncmp => "strncmp",
+            Strlen => "strlen",
+            Strchr => "strchr",
+            Strdup => "strdup",
+            Memcpy => "memcpy",
+            Memmove => "memmove",
+            Memset => "memset",
+            Printf => "printf",
+            Sprintf => "sprintf",
+            Puts => "puts",
+            Putchar => "putchar",
+            Getchar => "getchar",
+            Atoi => "atoi",
+            Exit => "exit",
+            Abs => "abs",
+            Rand => "rand",
+            Srand => "srand",
+        }
+    }
+
+    /// Whether this builtin allocates fresh heap storage (each static call
+    /// site becomes a heap base-location, per paper §2).
+    pub fn allocates(self) -> bool {
+        matches!(
+            self,
+            Builtin::Malloc | Builtin::Calloc | Builtin::Realloc | Builtin::Strdup
+        )
+    }
+}
+
+/// What an identifier resolved to (filled in by sema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdentTarget {
+    /// A global variable.
+    Global(GlobalId),
+    /// A local or parameter of the enclosing function.
+    Local(LocalId),
+    /// A user-defined function used as a value (or called directly).
+    Func(FuncId),
+    /// A modeled library function.
+    Builtin(Builtin),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical not `!e`.
+    Not,
+    /// Bitwise not `~e`.
+    BitNot,
+    /// Pointer dereference `*e`.
+    Deref,
+    /// Address-of `&e`.
+    Addr,
+}
+
+/// Binary operators (`&&`/`||` included; they do not short-circuit in the
+/// analysis but do in the interpreter). Variants spell their operator
+/// ([`BinOp::symbol`]).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean-ish `int` regardless of
+    /// operand types.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// C spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            And => "&&",
+            Or => "||",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            Shl => "<<",
+            Shr => ">>",
+        }
+    }
+}
+
+/// Expression node kinds; fields mirror the surface syntax one-to-one.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    /// The `NULL` keyword or `(T*)0`.
+    Null,
+    Ident {
+        name: String,
+        /// Filled by sema.
+        target: Option<IdentTarget>,
+    },
+    Unary {
+        op: UnOp,
+        arg: ExprId,
+    },
+    Binary {
+        op: BinOp,
+        lhs: ExprId,
+        rhs: ExprId,
+    },
+    /// `lhs = rhs` or compound `lhs op= rhs`.
+    Assign {
+        op: Option<BinOp>,
+        lhs: ExprId,
+        rhs: ExprId,
+    },
+    /// `++e`, `e++`, `--e`, `e--`.
+    IncDec {
+        pre: bool,
+        inc: bool,
+        arg: ExprId,
+    },
+    Call {
+        callee: ExprId,
+        args: Vec<ExprId>,
+    },
+    /// `base.field` or `base->field` (when `arrow`).
+    Member {
+        base: ExprId,
+        field: String,
+        arrow: bool,
+        /// Filled by sema: the record and field index.
+        record: Option<RecordId>,
+        field_index: Option<usize>,
+    },
+    /// `base[index]`; `base` may be an array lvalue or a pointer.
+    Index {
+        base: ExprId,
+        index: ExprId,
+    },
+    Cast {
+        ty: TypeId,
+        arg: ExprId,
+    },
+    SizeofType(TypeId),
+    SizeofExpr(ExprId),
+    /// Ternary `cond ? then_e : else_e`.
+    Cond {
+        cond: ExprId,
+        then_e: ExprId,
+        else_e: ExprId,
+    },
+    /// `{a, b, c}` initializer list (only in declarations).
+    InitList(Vec<ExprId>),
+    /// Comma operator `lhs, rhs`: evaluates both, yields `rhs`.
+    Comma {
+        lhs: ExprId,
+        rhs: ExprId,
+    },
+}
+
+/// An expression: kind, source span, and (after sema) its type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression's syntactic form.
+    pub kind: ExprKind,
+    /// Source range.
+    pub span: Span,
+    /// Filled by sema.
+    pub ty: Option<TypeId>,
+}
+
+/// Arena of all expressions in a program.
+#[derive(Debug, Clone, Default)]
+pub struct ExprArena {
+    exprs: Vec<Expr>,
+}
+
+impl ExprArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates an expression, returning its id.
+    pub fn alloc(&mut self, kind: ExprKind, span: Span) -> ExprId {
+        let id = ExprId(self.exprs.len() as u32);
+        self.exprs.push(Expr {
+            kind,
+            span,
+            ty: None,
+        });
+        id
+    }
+
+    /// Immutable access.
+    pub fn get(&self, id: ExprId) -> &Expr {
+        &self.exprs[id.0 as usize]
+    }
+
+    /// Mutable access (used by sema to attach types/resolutions).
+    pub fn get_mut(&mut self, id: ExprId) -> &mut Expr {
+        &mut self.exprs[id.0 as usize]
+    }
+
+    /// The resolved type of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sema has not run.
+    pub fn ty(&self, id: ExprId) -> TypeId {
+        self.get(id).ty.expect("sema must assign expression types")
+    }
+
+    /// Number of expressions allocated.
+    pub fn len(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty()
+    }
+
+    /// Iterates over `(id, expr)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ExprId, &Expr)> {
+        self.exprs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ExprId(i as u32), e))
+    }
+}
+
+/// A `switch` case group: one or more `case` values guarding a block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchCase {
+    /// The stacked `case` label values selecting this group.
+    pub values: Vec<i64>,
+    /// Statements run when any label matches (no fallthrough).
+    pub body: Block,
+}
+
+/// Statement kinds; fields mirror the surface syntax one-to-one.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(ExprId),
+    /// Local declaration. `slot` is assigned by sema.
+    Local {
+        name: String,
+        ty: TypeId,
+        init: Option<ExprId>,
+        span: Span,
+        slot: Option<LocalId>,
+    },
+    If {
+        cond: ExprId,
+        then_blk: Block,
+        else_blk: Option<Block>,
+    },
+    While {
+        cond: ExprId,
+        body: Block,
+    },
+    DoWhile {
+        body: Block,
+        cond: ExprId,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<ExprId>,
+        step: Option<ExprId>,
+        body: Block,
+    },
+    Switch {
+        scrutinee: ExprId,
+        cases: Vec<SwitchCase>,
+        default: Option<Block>,
+        span: Span,
+    },
+    Return {
+        value: Option<ExprId>,
+        span: Span,
+    },
+    Break(Span),
+    Continue(Span),
+    Block(Block),
+}
+
+/// A brace-delimited statement sequence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements, in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A variable slot of a function: parameters first, then locals in
+/// declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarSlot {
+    /// Declared name (slots, not names, are unique per function).
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeId,
+    /// Source range of the declaration.
+    pub span: Span,
+    /// Whether this slot is one of the function's parameters.
+    pub is_param: bool,
+    /// Set by sema if `&var` occurs anywhere (or the var is an aggregate,
+    /// which always lives in the store).
+    pub addr_taken: bool,
+}
+
+/// A function definition or prototype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: TypeId,
+    /// Number of parameters; `vars[..n_params]` are the parameter slots.
+    pub n_params: usize,
+    /// Parameters followed by all block-scoped locals (flattened by sema;
+    /// names are made unique per function).
+    pub vars: Vec<VarSlot>,
+    /// The body; `None` for an undefined prototype.
+    pub body: Option<Block>,
+    /// Source range of the declaration.
+    pub span: Span,
+}
+
+impl FuncDecl {
+    /// Parameter slots.
+    pub fn params(&self) -> &[VarSlot] {
+        &self.vars[..self.n_params]
+    }
+
+    /// Whether this is a prototype with no body.
+    pub fn is_proto(&self) -> bool {
+        self.body.is_none()
+    }
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeId,
+    /// Optional initializer expression (constant, address, or list).
+    pub init: Option<ExprId>,
+    /// Source range of the declaration.
+    pub span: Span,
+}
+
+/// A parsed (and, after [`crate::sema::check`], resolved) program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// All interned types and record definitions.
+    pub types: TypeTable,
+    /// Global variables, indexable by [`GlobalId`].
+    pub globals: Vec<GlobalDecl>,
+    /// Functions (definitions and prototypes), indexable by [`FuncId`].
+    pub funcs: Vec<FuncDecl>,
+    /// The expression arena shared by all declarations.
+    pub exprs: ExprArena,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Accessor by id.
+    pub fn func(&self, id: FuncId) -> &FuncDecl {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Accessor by id.
+    pub fn global(&self, id: GlobalId) -> &GlobalDecl {
+        &self.globals[id.0 as usize]
+    }
+
+    /// Iterates over function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> {
+        (0..self.funcs.len() as u32).map(FuncId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_allocates_sequential_ids() {
+        let mut a = ExprArena::new();
+        let e0 = a.alloc(ExprKind::IntLit(1), Span::dummy());
+        let e1 = a.alloc(ExprKind::Null, Span::dummy());
+        assert_eq!(e0, ExprId(0));
+        assert_eq!(e1, ExprId(1));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(e0).kind, ExprKind::IntLit(1));
+    }
+
+    #[test]
+    fn builtin_name_round_trips() {
+        for b in [
+            Builtin::Malloc,
+            Builtin::Strcpy,
+            Builtin::Printf,
+            Builtin::Exit,
+            Builtin::Strdup,
+        ] {
+            assert_eq!(Builtin::by_name(b.name()), Some(b));
+        }
+        assert_eq!(Builtin::by_name("open"), None);
+    }
+
+    #[test]
+    fn allocating_builtins() {
+        assert!(Builtin::Malloc.allocates());
+        assert!(Builtin::Strdup.allocates());
+        assert!(!Builtin::Free.allocates());
+        assert!(!Builtin::Strcpy.allocates());
+    }
+
+    #[test]
+    fn comparison_ops() {
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert_eq!(BinOp::Shl.symbol(), "<<");
+    }
+}

@@ -1,0 +1,574 @@
+//! Hand-written lexer for the mini-C language.
+//!
+//! Supports decimal/hex/octal integer literals, character literals (which
+//! lex as integer literals), string literals with the common escapes,
+//! line (`//`) and block (`/* */`) comments, and the full operator set of
+//! the mini-C grammar.
+
+use crate::source::{Diagnostic, Span};
+use crate::token::{Token, TokenKind};
+
+/// Lexes `src` into a token stream terminated by an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] on the first malformed token (unterminated
+/// string or comment, stray character, bad escape).
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    /// Object-like `#define NAME tokens...` macros. Function-like macros
+    /// are not supported (the suite does not need them).
+    macros: std::collections::HashMap<String, Vec<TokenKind>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+            macros: std::collections::HashMap::new(),
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn err(&self, start: usize, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Span::new(start as u32, self.pos as u32), msg)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+        self.lex_all()?;
+        Ok(self.tokens)
+    }
+
+    fn lex_all(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            if self.pos >= self.src.len() {
+                self.push(TokenKind::Eof, start);
+                return Ok(());
+            }
+            let c = self.bump();
+            match c {
+                b'0'..=b'9' => self.number(start)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start),
+                b'"' => self.string(start)?,
+                b'\'' => self.char_lit(start)?,
+                b'(' => self.push(TokenKind::LParen, start),
+                b')' => self.push(TokenKind::RParen, start),
+                b'{' => self.push(TokenKind::LBrace, start),
+                b'}' => self.push(TokenKind::RBrace, start),
+                b'[' => self.push(TokenKind::LBracket, start),
+                b']' => self.push(TokenKind::RBracket, start),
+                b';' => self.push(TokenKind::Semi, start),
+                b',' => self.push(TokenKind::Comma, start),
+                b':' => self.push(TokenKind::Colon, start),
+                b'?' => self.push(TokenKind::Question, start),
+                b'~' => self.push(TokenKind::Tilde, start),
+                b'.' => self.push(TokenKind::Dot, start),
+                b'+' => {
+                    let k = if self.eat(b'+') {
+                        TokenKind::PlusPlus
+                    } else if self.eat(b'=') {
+                        TokenKind::PlusEq
+                    } else {
+                        TokenKind::Plus
+                    };
+                    self.push(k, start);
+                }
+                b'-' => {
+                    let k = if self.eat(b'-') {
+                        TokenKind::MinusMinus
+                    } else if self.eat(b'=') {
+                        TokenKind::MinusEq
+                    } else if self.eat(b'>') {
+                        TokenKind::Arrow
+                    } else {
+                        TokenKind::Minus
+                    };
+                    self.push(k, start);
+                }
+                b'*' => {
+                    let k = if self.eat(b'=') {
+                        TokenKind::StarEq
+                    } else {
+                        TokenKind::Star
+                    };
+                    self.push(k, start);
+                }
+                b'/' => {
+                    let k = if self.eat(b'=') {
+                        TokenKind::SlashEq
+                    } else {
+                        TokenKind::Slash
+                    };
+                    self.push(k, start);
+                }
+                b'%' => {
+                    let k = if self.eat(b'=') {
+                        TokenKind::PercentEq
+                    } else {
+                        TokenKind::Percent
+                    };
+                    self.push(k, start);
+                }
+                b'&' => {
+                    let k = if self.eat(b'&') {
+                        TokenKind::AmpAmp
+                    } else if self.eat(b'=') {
+                        TokenKind::AmpEq
+                    } else {
+                        TokenKind::Amp
+                    };
+                    self.push(k, start);
+                }
+                b'|' => {
+                    let k = if self.eat(b'|') {
+                        TokenKind::PipePipe
+                    } else if self.eat(b'=') {
+                        TokenKind::PipeEq
+                    } else {
+                        TokenKind::Pipe
+                    };
+                    self.push(k, start);
+                }
+                b'^' => {
+                    let k = if self.eat(b'=') {
+                        TokenKind::CaretEq
+                    } else {
+                        TokenKind::Caret
+                    };
+                    self.push(k, start);
+                }
+                b'!' => {
+                    let k = if self.eat(b'=') {
+                        TokenKind::Ne
+                    } else {
+                        TokenKind::Bang
+                    };
+                    self.push(k, start);
+                }
+                b'=' => {
+                    let k = if self.eat(b'=') {
+                        TokenKind::EqEq
+                    } else {
+                        TokenKind::Eq
+                    };
+                    self.push(k, start);
+                }
+                b'<' => {
+                    let k = if self.eat(b'=') {
+                        TokenKind::Le
+                    } else if self.eat(b'<') {
+                        if self.eat(b'=') {
+                            TokenKind::ShlEq
+                        } else {
+                            TokenKind::Shl
+                        }
+                    } else {
+                        TokenKind::Lt
+                    };
+                    self.push(k, start);
+                }
+                b'>' => {
+                    let k = if self.eat(b'=') {
+                        TokenKind::Ge
+                    } else if self.eat(b'>') {
+                        if self.eat(b'=') {
+                            TokenKind::ShrEq
+                        } else {
+                            TokenKind::Shr
+                        }
+                    } else {
+                        TokenKind::Gt
+                    };
+                    self.push(k, start);
+                }
+                other => {
+                    return Err(self.err(
+                        start,
+                        format!("unexpected character `{}`", other as char),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == c {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens
+            .push(Token::new(kind, Span::new(start as u32, self.pos as u32)));
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        if self.pos + 1 >= self.src.len() {
+                            self.pos = self.src.len();
+                            return Err(self.err(start, "unterminated block comment"));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                // Preprocessor lines. `#define NAME tokens...` registers an
+                // object-like macro; everything else (`#include`, guards)
+                // is skipped wholesale.
+                b'#' => {
+                    let line_start = self.pos;
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.pos += 1;
+                    }
+                    let line = std::str::from_utf8(&self.src[line_start..self.pos])
+                        .expect("source is ASCII")
+                        .to_string();
+                    self.register_define(&line, line_start)?;
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self, start: usize) -> Result<(), Diagnostic> {
+        let first = self.src[start];
+        let (radix, digits_start) = if first == b'0' && (self.peek() == b'x' || self.peek() == b'X')
+        {
+            self.pos += 1;
+            (16, self.pos)
+        } else if first == b'0' && self.peek().is_ascii_digit() {
+            (8, self.pos)
+        } else {
+            (10, start)
+        };
+        while self.peek().is_ascii_alphanumeric() {
+            self.pos += 1;
+        }
+        // Floating-point literal: digits '.' digits (decimal only).
+        if radix == 10 && self.peek() == b'.' && self.src.get(self.pos + 1).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+            while self.peek().is_ascii_digit() {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ASCII");
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(start, format!("invalid float literal `{text}`")))?;
+            self.push(TokenKind::FloatLit(v.to_bits()), start);
+            return Ok(());
+        }
+        let mut text = std::str::from_utf8(&self.src[digits_start..self.pos])
+            .expect("digits are ASCII")
+            .to_string();
+        // Strip integer suffixes (L, U, UL, ...).
+        while text.ends_with(['l', 'L', 'u', 'U']) {
+            text.pop();
+        }
+        if text.is_empty() {
+            // A bare `0x` or plain `0`.
+            if radix == 16 {
+                return Err(self.err(start, "hex literal with no digits"));
+            }
+            self.push(TokenKind::IntLit(0), start);
+            return Ok(());
+        }
+        match i64::from_str_radix(&text, radix) {
+            Ok(v) => {
+                self.push(TokenKind::IntLit(v), start);
+                Ok(())
+            }
+            Err(_) => Err(self.err(start, format!("invalid integer literal `{text}`"))),
+        }
+    }
+
+    fn ident(&mut self, start: usize) {
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("identifier bytes are ASCII")
+            .to_string();
+        if let Some(expansion) = self.macros.get(&text) {
+            for k in expansion.clone() {
+                self.push(k, start);
+            }
+            return;
+        }
+        let kind = TokenKind::keyword(&text).unwrap_or(TokenKind::Ident(text));
+        self.push(kind, start);
+    }
+
+    /// Parses `#define NAME tokens...` and registers the macro; other
+    /// directives are ignored. Expansions inside the definition are
+    /// resolved immediately (against earlier macros), so recursion is
+    /// impossible.
+    fn register_define(&mut self, line: &str, at: usize) -> Result<(), Diagnostic> {
+        let rest = line.trim_start_matches('#').trim_start();
+        let Some(rest) = rest.strip_prefix("define") else {
+            return Ok(());
+        };
+        let rest = rest.trim_start();
+        let name_end = rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(rest.len());
+        let name = &rest[..name_end];
+        if name.is_empty() {
+            return Err(Diagnostic::new(
+                Span::new(at as u32, at as u32 + line.len() as u32),
+                "malformed #define",
+            ));
+        }
+        let body = &rest[name_end..];
+        if body.starts_with('(') {
+            return Err(Diagnostic::new(
+                Span::new(at as u32, at as u32 + line.len() as u32),
+                "function-like macros are not supported",
+            ));
+        }
+        // Lex the body with the macros known so far.
+        let mut sub = Lexer::new(body);
+        sub.macros = std::mem::take(&mut self.macros);
+        let lexed = sub.lex_all();
+        self.macros = std::mem::take(&mut sub.macros);
+        lexed.map_err(|mut d| {
+            d.span = Span::new(at as u32, at as u32 + line.len() as u32);
+            d
+        })?;
+        let kinds: Vec<TokenKind> = sub
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .filter(|k| !matches!(k, TokenKind::Eof))
+            .collect();
+        self.macros.insert(name.to_string(), kinds);
+        Ok(())
+    }
+
+    fn escape(&mut self, start: usize) -> Result<u8, Diagnostic> {
+        let c = self.bump();
+        Ok(match c {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0' => 0,
+            b'\\' => b'\\',
+            b'\'' => b'\'',
+            b'"' => b'"',
+            other => {
+                return Err(self.err(start, format!("unknown escape `\\{}`", other as char)))
+            }
+        })
+    }
+
+    fn string(&mut self, start: usize) -> Result<(), Diagnostic> {
+        let mut out = String::new();
+        loop {
+            if self.pos >= self.src.len() {
+                return Err(self.err(start, "unterminated string literal"));
+            }
+            match self.bump() {
+                b'"' => break,
+                b'\\' => out.push(self.escape(start)? as char),
+                b'\n' => return Err(self.err(start, "newline in string literal")),
+                c => out.push(c as char),
+            }
+        }
+        self.push(TokenKind::StrLit(out), start);
+        Ok(())
+    }
+
+    fn char_lit(&mut self, start: usize) -> Result<(), Diagnostic> {
+        if self.pos >= self.src.len() {
+            return Err(self.err(start, "unterminated character literal"));
+        }
+        let v = match self.bump() {
+            b'\\' => self.escape(start)?,
+            b'\'' => return Err(self.err(start, "empty character literal")),
+            c => c,
+        };
+        if self.bump() != b'\'' {
+            return Err(self.err(start, "unterminated character literal"));
+        }
+        self.push(TokenKind::IntLit(v as i64), start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .expect("lex should succeed")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![KwInt, Ident("x".into()), Eq, IntLit(42), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_longest_match() {
+        assert_eq!(
+            kinds("a <<= b >> c->d ++e"),
+            vec![
+                Ident("a".into()),
+                ShlEq,
+                Ident("b".into()),
+                Shr,
+                Ident("c".into()),
+                Arrow,
+                Ident("d".into()),
+                PlusPlus,
+                Ident("e".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_number_radixes() {
+        assert_eq!(
+            kinds("0 10 0x1f 017 42L 7u"),
+            vec![
+                IntLit(0),
+                IntLit(10),
+                IntLit(31),
+                IntLit(15),
+                IntLit(42),
+                IntLit(7),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_char_and_string_escapes() {
+        assert_eq!(
+            kinds(r#"'a' '\n' "hi\tthere""#),
+            vec![
+                IntLit(97),
+                IntLit(10),
+                StrLit("hi\tthere".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_preprocessor() {
+        assert_eq!(
+            kinds("#include <stdio.h>\n// line\nint /* mid */ x;"),
+            vec![KwInt, Ident("x".into()), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn object_macros_expand() {
+        assert_eq!(
+            kinds("#define N 8\n#define M (N + 1)\nint a[N]; int b[M];"),
+            vec![
+                KwInt,
+                Ident("a".into()),
+                LBracket,
+                IntLit(8),
+                RBracket,
+                Semi,
+                KwInt,
+                Ident("b".into()),
+                LBracket,
+                LParen,
+                IntLit(8),
+                Plus,
+                IntLit(1),
+                RParen,
+                RBracket,
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn function_like_macros_rejected() {
+        assert!(lex("#define F(x) x\nint y;").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        assert!(lex("int x @ y;").is_err());
+    }
+
+    #[test]
+    fn spans_point_at_tokens() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, crate::source::Span::new(0, 2));
+        assert_eq!(toks[1].span, crate::source::Span::new(3, 5));
+    }
+
+    #[test]
+    fn keywords_are_not_identifiers() {
+        assert_eq!(kinds("return x;")[0], KwReturn);
+        assert_eq!(kinds("returned;")[0], Ident("returned".into()));
+    }
+}

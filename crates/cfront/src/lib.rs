@@ -1,0 +1,90 @@
+//! # cfront — a mini-C frontend
+//!
+//! This crate implements the C-subset frontend for the reproduction of
+//! Erik Ruf's *Context-Insensitive Alias Analysis Reconsidered* (PLDI
+//! 1995). It covers the language features the paper's analysis observes:
+//! multi-level pointers, structs/unions, arrays, function pointers,
+//! address-of, heap allocation via modeled `malloc`-family builtins,
+//! string literals, recursion, and the usual statement forms.
+//!
+//! Deliberately outside the subset — matching the paper's own caveats
+//! (§2) — are pointer/integer casts, `setjmp`/`longjmp`, signal handlers,
+//! bitfields, and varargs definitions.
+//!
+//! ## Pipeline
+//!
+//! ```
+//! use cfront::compile;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = compile("int g; int main(void) { int *p; p = &g; *p = 4; return g; }")?;
+//! assert_eq!(program.funcs.len(), 1);
+//! assert!(program.func_by_name("main").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod source;
+pub mod token;
+pub mod types;
+
+pub use ast::Program;
+pub use source::{Diagnostic, FrontendError, SourceFile, Span};
+
+/// Lexes, parses, and semantically checks `src`, returning a fully
+/// resolved [`Program`] ready for lowering to the VDG.
+///
+/// # Errors
+///
+/// Returns every diagnostic produced by the lexer (first error only),
+/// parser (first error only), or semantic checker (all errors).
+pub fn compile(src: &str) -> Result<Program, FrontendError> {
+    let tokens = lexer::lex(src).map_err(FrontendError::single)?;
+    let mut program = parser::parse(tokens).map_err(FrontendError::single)?;
+    sema::check(&mut program)?;
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_end_to_end() {
+        let p = compile(
+            "struct list { int v; struct list *next; };\n\
+             struct list *cons(int v, struct list *tail) {\n\
+                 struct list *n;\n\
+                 n = (struct list*)malloc(sizeof(struct list));\n\
+                 n->v = v; n->next = tail;\n\
+                 return n;\n\
+             }\n\
+             int sum(struct list *l) {\n\
+                 int s; s = 0;\n\
+                 while (l != NULL) { s += l->v; l = l->next; }\n\
+                 return s;\n\
+             }\n\
+             int main(void) { return sum(cons(1, cons(2, NULL))); }",
+        )
+        .expect("compiles");
+        assert_eq!(p.funcs.len(), 3);
+    }
+
+    #[test]
+    fn compile_reports_sema_errors() {
+        let err = compile("int main(void) { return undefined_var; }").unwrap_err();
+        assert_eq!(err.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn compile_reports_parse_errors() {
+        assert!(compile("int main(void) { return 0 }").is_err());
+    }
+}

@@ -1,0 +1,1389 @@
+//! Recursive-descent parser for mini-C.
+//!
+//! The parser owns the [`TypeTable`] so it can resolve `struct`, `union`,
+//! and `typedef` names while parsing (the classic C declaration/expression
+//! ambiguity). Output is an unresolved [`Program`]; run
+//! [`crate::sema::check`] afterwards to resolve names and types.
+
+use crate::ast::*;
+use crate::source::{Diagnostic, Span};
+use crate::token::{Token, TokenKind};
+use crate::types::{Field, FuncSig, TypeId, TypeKind, TypeTable};
+use std::collections::HashMap;
+
+/// Parses a token stream into a program.
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered.
+pub fn parse(tokens: Vec<Token>) -> Result<Program, Diagnostic> {
+    Parser::new(tokens).program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    types: TypeTable,
+    typedefs: HashMap<String, TypeId>,
+    /// Enumeration constants; identifiers naming them parse as integer
+    /// literals (so they also work in case labels and array sizes).
+    enum_consts: HashMap<String, i64>,
+    exprs: ExprArena,
+    globals: Vec<GlobalDecl>,
+    funcs: Vec<FuncDecl>,
+}
+
+/// Parsed declarator shape, applied inside-out to a base type.
+#[derive(Debug)]
+enum Decl {
+    Name(Option<(String, Span)>),
+    Ptr(Box<Decl>),
+    Arr(Box<Decl>, u32),
+    Fun(Box<Decl>, Vec<(Option<String>, TypeId, Span)>),
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            types: TypeTable::new(),
+            typedefs: HashMap::new(),
+            enum_consts: HashMap::new(),
+            exprs: ExprArena::new(),
+            globals: Vec::new(),
+            funcs: Vec::new(),
+        }
+    }
+
+    // ----- token helpers --------------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let i = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Span, Diagnostic> {
+        if self.peek() == &kind {
+            let s = self.span();
+            self.bump();
+            Ok(s)
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let s = self.span();
+                self.bump();
+                Ok((name, s))
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(self.span(), msg)
+    }
+
+    fn alloc(&mut self, kind: ExprKind, span: Span) -> ExprId {
+        self.exprs.alloc(kind, span)
+    }
+
+    // ----- type recognition -----------------------------------------------
+
+    fn at_type_start(&self) -> bool {
+        self.kind_is_type_start(self.peek())
+    }
+
+    fn kind_is_type_start(&self, k: &TokenKind) -> bool {
+        use TokenKind::*;
+        match k {
+            KwInt | KwChar | KwVoid | KwStruct | KwUnion | KwEnum | KwConst | KwUnsigned
+            | KwLong | KwShort | KwFloat | KwDouble | KwStatic | KwExtern => true,
+            Ident(n) => self.typedefs.contains_key(n),
+            _ => false,
+        }
+    }
+
+    /// Parses declaration specifiers (storage classes are accepted and
+    /// ignored; type qualifiers likewise).
+    fn declspec(&mut self) -> Result<TypeId, Diagnostic> {
+        use TokenKind::*;
+        // Skip storage classes / qualifiers.
+        while matches!(self.peek(), KwStatic | KwExtern | KwConst) {
+            self.bump();
+        }
+        match self.peek().clone() {
+            KwEnum => {
+                self.bump();
+                // Optional tag name; enums are plain ints in this subset.
+                if matches!(self.peek(), Ident(_)) {
+                    self.bump();
+                }
+                if self.eat(&LBrace) {
+                    let mut next = 0i64;
+                    while !self.eat(&RBrace) {
+                        let (name, _) = self.expect_ident()?;
+                        if self.eat(&Eq) {
+                            next = self.const_int_expr()?;
+                        }
+                        self.enum_consts.insert(name, next);
+                        next += 1;
+                        if !self.eat(&Comma) {
+                            self.expect(RBrace)?;
+                            break;
+                        }
+                    }
+                }
+                Ok(self.types.int())
+            }
+            KwStruct | KwUnion => {
+                let is_union = matches!(self.peek(), KwUnion);
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                let rec = self.types.declare_record(&name, is_union);
+                if self.eat(&LBrace) {
+                    let mut fields = Vec::new();
+                    while !self.eat(&RBrace) {
+                        let base = self.declspec()?;
+                        loop {
+                            let d = self.declarator()?;
+                            let (fname, fty) = self.apply_declarator(d, base)?;
+                            let (fname, fspan) = fname.ok_or_else(|| {
+                                self.err("struct field requires a name")
+                            })?;
+                            if self.types.is_func(fty) {
+                                return Err(Diagnostic::new(
+                                    fspan,
+                                    "struct field cannot have function type",
+                                ));
+                            }
+                            fields.push(Field { name: fname, ty: fty });
+                            if !self.eat(&Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(Semi)?;
+                    }
+                    if !self.types.define_record(rec, fields) {
+                        return Err(self.err(format!(
+                            "redefinition of {} {}",
+                            if is_union { "union" } else { "struct" },
+                            name
+                        )));
+                    }
+                }
+                Ok(self.types.intern(TypeKind::Record(rec)))
+            }
+            Ident(n) if self.typedefs.contains_key(&n) => {
+                self.bump();
+                Ok(self.typedefs[&n])
+            }
+            KwVoid => {
+                self.bump();
+                Ok(self.types.void())
+            }
+            KwFloat | KwDouble => {
+                self.bump();
+                Ok(self.types.float())
+            }
+            KwInt | KwChar | KwUnsigned | KwLong | KwShort => {
+                let mut has_char = false;
+                let mut any = false;
+                while matches!(
+                    self.peek(),
+                    KwInt | KwChar | KwUnsigned | KwLong | KwShort
+                ) {
+                    has_char |= matches!(self.peek(), KwChar);
+                    any = true;
+                    self.bump();
+                }
+                debug_assert!(any);
+                Ok(if has_char {
+                    self.types.char()
+                } else {
+                    self.types.int()
+                })
+            }
+            other => Err(self.err(format!("expected a type, found {}", other.describe()))),
+        }
+    }
+
+    // ----- declarators ----------------------------------------------------
+
+    fn declarator(&mut self) -> Result<Decl, Diagnostic> {
+        if self.eat(&TokenKind::Star) {
+            while self.eat(&TokenKind::KwConst) {}
+            return Ok(Decl::Ptr(Box::new(self.declarator()?)));
+        }
+        self.direct_declarator()
+    }
+
+    fn direct_declarator(&mut self) -> Result<Decl, Diagnostic> {
+        let mut core = match self.peek().clone() {
+            TokenKind::Ident(_) => {
+                let (name, span) = self.expect_ident()?;
+                Decl::Name(Some((name, span)))
+            }
+            TokenKind::LParen if self.paren_is_nested_declarator() => {
+                self.bump();
+                let inner = self.declarator()?;
+                self.expect(TokenKind::RParen)?;
+                inner
+            }
+            _ => Decl::Name(None),
+        };
+        loop {
+            if self.eat(&TokenKind::LBracket) {
+                let len = if self.peek() == &TokenKind::RBracket {
+                    0
+                } else {
+                    let v = self.const_int_expr()?;
+                    u32::try_from(v).map_err(|_| self.err("array length out of range"))?
+                };
+                self.expect(TokenKind::RBracket)?;
+                core = Decl::Arr(Box::new(core), len);
+            } else if self.peek() == &TokenKind::LParen {
+                self.bump();
+                let params = self.param_list()?;
+                core = Decl::Fun(Box::new(core), params);
+            } else {
+                break;
+            }
+        }
+        Ok(core)
+    }
+
+    /// Disambiguates `(` in declarator position: it opens a nested
+    /// declarator when followed by `*`, another `(`, or a non-type
+    /// identifier; otherwise it is a parameter list.
+    fn paren_is_nested_declarator(&self) -> bool {
+        match self.peek_at(1) {
+            TokenKind::Star | TokenKind::LParen => true,
+            TokenKind::Ident(n) => !self.typedefs.contains_key(n),
+            _ => false,
+        }
+    }
+
+    fn param_list(&mut self) -> Result<Vec<(Option<String>, TypeId, Span)>, Diagnostic> {
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::RParen) {
+            return Ok(params);
+        }
+        // `(void)` means "no parameters".
+        if self.peek() == &TokenKind::KwVoid && self.peek_at(1) == &TokenKind::RParen {
+            self.bump();
+            self.bump();
+            return Ok(params);
+        }
+        loop {
+            let span = self.span();
+            let base = self.declspec()?;
+            let d = self.declarator()?;
+            let (name, mut ty) = self.apply_declarator(d, base)?;
+            // Arrays and functions decay to pointers in parameter position.
+            ty = self.types.decay(ty);
+            if self.types.is_func(ty) {
+                ty = self.types.ptr(ty);
+            }
+            let (name, span) = match name {
+                Some((n, s)) => (Some(n), s),
+                None => (None, span),
+            };
+            params.push((name, ty, span));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(params)
+    }
+
+    /// Applies a declarator tree to a base type, producing the declared
+    /// name (if any) and full type.
+    #[allow(clippy::only_used_in_recursion)]
+    fn apply_declarator(
+        &mut self,
+        d: Decl,
+        base: TypeId,
+    ) -> Result<(Option<(String, Span)>, TypeId), Diagnostic> {
+        match d {
+            Decl::Name(n) => Ok((n, base)),
+            Decl::Ptr(inner) => {
+                let t = self.types.ptr(base);
+                self.apply_declarator(*inner, t)
+            }
+            Decl::Arr(inner, len) => {
+                let t = self.types.array(base, len);
+                self.apply_declarator(*inner, t)
+            }
+            Decl::Fun(inner, params) => {
+                let sig = FuncSig {
+                    params: params.iter().map(|(_, t, _)| *t).collect(),
+                    ret: base,
+                    varargs: false,
+                };
+                let t = self.types.intern(TypeKind::Func(sig));
+                self.apply_declarator(*inner, t)
+            }
+        }
+    }
+
+    // ----- top level --------------------------------------------------------
+
+    fn program(mut self) -> Result<Program, Diagnostic> {
+        while self.peek() != &TokenKind::Eof {
+            self.top_level()?;
+        }
+        Ok(Program {
+            types: self.types,
+            globals: self.globals,
+            funcs: self.funcs,
+            exprs: self.exprs,
+        })
+    }
+
+    fn top_level(&mut self) -> Result<(), Diagnostic> {
+        if self.eat(&TokenKind::KwTypedef) {
+            let base = self.declspec()?;
+            let d = self.declarator()?;
+            let (name, ty) = self.apply_declarator(d, base)?;
+            let (name, _) =
+                name.ok_or_else(|| self.err("typedef requires a name"))?;
+            self.typedefs.insert(name, ty);
+            self.expect(TokenKind::Semi)?;
+            return Ok(());
+        }
+        let start_span = self.span();
+        let base = self.declspec()?;
+        // A bare `struct S { ... };` declaration.
+        if self.eat(&TokenKind::Semi) {
+            return Ok(());
+        }
+        let d = self.declarator()?;
+        // A `{` after the declarator means this is a function definition.
+        // The declarator then has the shape `Ptr*(Fun(Name, params))`, with
+        // the pointer layers belonging to the return type.
+        if self.peek() == &TokenKind::LBrace {
+            let mut ret = base;
+            let mut cur = d;
+            while let Decl::Ptr(inner) = cur {
+                ret = self.types.ptr(ret);
+                cur = *inner;
+            }
+            if let Decl::Fun(inner, params) = cur {
+                if let Decl::Name(Some((name, name_span))) = *inner {
+                    return self.function_def(name, name_span.to(start_span), ret, params);
+                }
+            }
+            return Err(self.err("expected a function declarator before `{`"));
+        }
+        let (name, ty) = self.apply_declarator(d, base)?;
+        let (name, span) = name.ok_or_else(|| self.err("declaration requires a name"))?;
+        if self.types.is_func(ty) {
+            // Prototype: recorded so sema can match calls before definition.
+            self.funcs.push(FuncDecl {
+                name,
+                ret: match self.types.kind(ty) {
+                    TypeKind::Func(sig) => sig.ret,
+                    _ => unreachable!(),
+                },
+                n_params: 0,
+                vars: Vec::new(),
+                body: None,
+                span,
+            });
+            self.expect(TokenKind::Semi)?;
+            return Ok(());
+        }
+        self.global_tail(name, ty, span)?;
+        Ok(())
+    }
+
+    fn global_tail(&mut self, name: String, ty: TypeId, span: Span) -> Result<(), Diagnostic> {
+        let mut pending = vec![(name, ty, span)];
+        loop {
+            let (name, ty, span) = pending.pop().expect("one pending declarator");
+            let init = if self.eat(&TokenKind::Eq) {
+                Some(self.initializer()?)
+            } else {
+                None
+            };
+            self.globals.push(GlobalDecl { name, ty, init, span });
+            if self.eat(&TokenKind::Comma) {
+                // Re-parse: same base type, new declarator. The base type of
+                // the previous declarator is not directly recoverable from
+                // its full type, so multi-declarator globals share the first
+                // declarator's *base*; we approximate by requiring the next
+                // declarator to start from the same declspec result. To keep
+                // the grammar honest we re-derive the base from the first
+                // global's innermost type.
+                let base = self.strip_to_base(self.globals.last().expect("just pushed").ty);
+                let d = self.declarator()?;
+                let (n2, t2) = self.apply_declarator(d, base)?;
+                let (n2, s2) = n2.ok_or_else(|| self.err("declaration requires a name"))?;
+                pending.push((n2, t2, s2));
+                continue;
+            }
+            self.expect(TokenKind::Semi)?;
+            return Ok(());
+        }
+    }
+
+    /// Recovers the declspec base type from a fully derived type by
+    /// stripping pointer/array/function layers.
+    fn strip_to_base(&self, mut ty: TypeId) -> TypeId {
+        loop {
+            match self.types.kind(ty) {
+                TypeKind::Ptr(t) => ty = *t,
+                TypeKind::Array(t, _) => ty = *t,
+                TypeKind::Func(sig) => ty = sig.ret,
+                _ => return ty,
+            }
+        }
+    }
+
+    fn function_def(
+        &mut self,
+        name: String,
+        span: Span,
+        ret: TypeId,
+        params: Vec<(Option<String>, TypeId, Span)>,
+    ) -> Result<(), Diagnostic> {
+        let mut vars = Vec::new();
+        for (pname, pty, pspan) in &params {
+            let pname = pname
+                .clone()
+                .ok_or_else(|| Diagnostic::new(*pspan, "parameter requires a name"))?;
+            vars.push(VarSlot {
+                name: pname,
+                ty: *pty,
+                span: *pspan,
+                is_param: true,
+                addr_taken: false,
+            });
+        }
+        let body = self.block()?;
+        // Replace a matching prototype in place so FuncIds are stable.
+        if let Some(existing) = self.funcs.iter_mut().find(|f| f.name == name) {
+            if existing.body.is_some() {
+                return Err(Diagnostic::new(span, format!("redefinition of `{name}`")));
+            }
+            *existing = FuncDecl {
+                name,
+                ret,
+                n_params: vars.len(),
+                vars,
+                body: Some(body),
+                span,
+            };
+        } else {
+            self.funcs.push(FuncDecl {
+                name,
+                ret,
+                n_params: vars.len(),
+                vars,
+                body: Some(body),
+                span,
+            });
+        }
+        Ok(())
+    }
+
+    // ----- statements -------------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, Diagnostic> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            self.stmt_into(&mut stmts)?;
+        }
+        Ok(Block { stmts })
+    }
+
+    /// Parses one statement; declarations may expand to several `Local`s.
+    fn stmt_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), Diagnostic> {
+        if self.at_type_start() {
+            let base = self.declspec()?;
+            loop {
+                let span = self.span();
+                let d = self.declarator()?;
+                let (name, ty) = self.apply_declarator(d, base)?;
+                let (name, span) = name
+                    .ok_or_else(|| Diagnostic::new(span, "declaration requires a name"))?;
+                let init = if self.eat(&TokenKind::Eq) {
+                    Some(self.initializer()?)
+                } else {
+                    None
+                };
+                out.push(Stmt::Local {
+                    name,
+                    ty,
+                    init,
+                    span,
+                    slot: None,
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::Semi)?;
+            return Ok(());
+        }
+        out.push(self.stmt()?);
+        Ok(())
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        use TokenKind::*;
+        match self.peek().clone() {
+            LBrace => Ok(Stmt::Block(self.block()?)),
+            Semi => {
+                self.bump();
+                Ok(Stmt::Block(Block::default()))
+            }
+            KwIf => {
+                self.bump();
+                self.expect(LParen)?;
+                let cond = self.expr()?;
+                self.expect(RParen)?;
+                let then_blk = self.stmt_as_block()?;
+                let else_blk = if self.eat(&KwElse) {
+                    Some(self.stmt_as_block()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                })
+            }
+            KwWhile => {
+                self.bump();
+                self.expect(LParen)?;
+                let cond = self.expr()?;
+                self.expect(RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            KwDo => {
+                self.bump();
+                let body = self.stmt_as_block()?;
+                self.expect(KwWhile)?;
+                self.expect(LParen)?;
+                let cond = self.expr()?;
+                self.expect(RParen)?;
+                self.expect(Semi)?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            KwFor => {
+                self.bump();
+                self.expect(LParen)?;
+                let init = if self.eat(&Semi) {
+                    None
+                } else if self.at_type_start() {
+                    let mut decls = Vec::new();
+                    self.stmt_into(&mut decls)?;
+                    // `stmt_into` consumed the `;`. Multiple declarators fold
+                    // into a block.
+                    Some(Box::new(if decls.len() == 1 {
+                        decls.pop().expect("one declaration")
+                    } else {
+                        Stmt::Block(Block { stmts: decls })
+                    }))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(Semi)?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if self.peek() == &Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Semi)?;
+                let step = if self.peek() == &RParen {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            KwReturn => {
+                let span = self.span();
+                self.bump();
+                let value = if self.peek() == &Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Semi)?;
+                Ok(Stmt::Return { value, span })
+            }
+            KwBreak => {
+                let span = self.span();
+                self.bump();
+                self.expect(Semi)?;
+                Ok(Stmt::Break(span))
+            }
+            KwContinue => {
+                let span = self.span();
+                self.bump();
+                self.expect(Semi)?;
+                Ok(Stmt::Continue(span))
+            }
+            KwSwitch => self.switch_stmt(),
+            _ => {
+                let e = self.expr()?;
+                self.expect(Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Block, Diagnostic> {
+        if self.peek() == &TokenKind::LBrace {
+            self.block()
+        } else {
+            let mut stmts = Vec::new();
+            self.stmt_into(&mut stmts)?;
+            Ok(Block { stmts })
+        }
+    }
+
+    /// Parses a structured `switch`. Each case group must end with `break`
+    /// or `return` (fallthrough between non-empty bodies is rejected); the
+    /// terminating `break` is stripped, since cases are modeled as an
+    /// if-else chain downstream.
+    fn switch_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        use TokenKind::*;
+        let span = self.span();
+        self.bump();
+        self.expect(LParen)?;
+        let scrutinee = self.expr()?;
+        self.expect(RParen)?;
+        self.expect(LBrace)?;
+        let mut cases: Vec<SwitchCase> = Vec::new();
+        let mut default: Option<Block> = None;
+        while !self.eat(&RBrace) {
+            let mut values = Vec::new();
+            let mut is_default = false;
+            loop {
+                match self.peek().clone() {
+                    KwCase => {
+                        self.bump();
+                        let v = self.const_int_expr()?;
+                        self.expect(Colon)?;
+                        values.push(v);
+                    }
+                    KwDefault => {
+                        self.bump();
+                        self.expect(Colon)?;
+                        is_default = true;
+                    }
+                    _ => break,
+                }
+            }
+            if values.is_empty() && !is_default {
+                return Err(self.err("expected `case` or `default` label"));
+            }
+            let mut stmts = Vec::new();
+            let mut terminated = false;
+            while !matches!(self.peek(), KwCase | KwDefault | RBrace) {
+                if self.peek() == &KwBreak {
+                    self.bump();
+                    self.expect(Semi)?;
+                    terminated = true;
+                    break;
+                }
+                let before = stmts.len();
+                self.stmt_into(&mut stmts)?;
+                if stmts[before..]
+                    .iter()
+                    .any(|s| matches!(s, Stmt::Return { .. }))
+                {
+                    terminated = true;
+                    break;
+                }
+            }
+            if !terminated
+                && !stmts.is_empty()
+                && !matches!(self.peek(), RBrace)
+            {
+                return Err(self.err(
+                    "switch fallthrough between non-empty cases is not supported; \
+                     end the case with `break` or `return`",
+                ));
+            }
+            let body = Block { stmts };
+            if is_default {
+                if default.is_some() {
+                    return Err(self.err("duplicate `default` label"));
+                }
+                default = Some(body);
+            } else {
+                cases.push(SwitchCase { values, body });
+            }
+        }
+        Ok(Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+            span,
+        })
+    }
+
+    /// Constant integer expressions (case labels, array lengths, macro
+    /// bodies): literals, parentheses, unary minus, and `+ - * / % << >>`.
+    fn const_int_expr(&mut self) -> Result<i64, Diagnostic> {
+        let mut v = self.const_term()?;
+        loop {
+            match self.peek() {
+                TokenKind::Plus => {
+                    self.bump();
+                    v += self.const_term()?;
+                }
+                TokenKind::Minus => {
+                    self.bump();
+                    v -= self.const_term()?;
+                }
+                TokenKind::Shl => {
+                    self.bump();
+                    v <<= self.const_term()?;
+                }
+                TokenKind::Shr => {
+                    self.bump();
+                    v >>= self.const_term()?;
+                }
+                _ => return Ok(v),
+            }
+        }
+    }
+
+    fn const_term(&mut self) -> Result<i64, Diagnostic> {
+        let mut v = self.const_factor()?;
+        loop {
+            match self.peek() {
+                TokenKind::Star => {
+                    self.bump();
+                    v *= self.const_factor()?;
+                }
+                TokenKind::Slash => {
+                    self.bump();
+                    let d = self.const_factor()?;
+                    if d == 0 {
+                        return Err(self.err("division by zero in constant"));
+                    }
+                    v /= d;
+                }
+                TokenKind::Percent => {
+                    self.bump();
+                    let d = self.const_factor()?;
+                    if d == 0 {
+                        return Err(self.err("remainder by zero in constant"));
+                    }
+                    v %= d;
+                }
+                _ => return Ok(v),
+            }
+        }
+    }
+
+    fn const_factor(&mut self) -> Result<i64, Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(-self.const_factor()?)
+            }
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(v)
+            }
+            TokenKind::Ident(n) if self.enum_consts.contains_key(&n) => {
+                self.bump();
+                Ok(self.enum_consts[&n])
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let v = self.const_int_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(v)
+            }
+            other => Err(self.err(format!(
+                "expected constant integer, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    // ----- expressions ------------------------------------------------------
+
+    fn initializer(&mut self) -> Result<ExprId, Diagnostic> {
+        if self.peek() == &TokenKind::LBrace {
+            let span = self.span();
+            self.bump();
+            let mut items = Vec::new();
+            while !self.eat(&TokenKind::RBrace) {
+                items.push(self.initializer()?);
+                if !self.eat(&TokenKind::Comma) {
+                    self.expect(TokenKind::RBrace)?;
+                    break;
+                }
+            }
+            let end = self.prev_span();
+            Ok(self.alloc(ExprKind::InitList(items), span.to(end)))
+        } else {
+            self.assign_expr()
+        }
+    }
+
+    fn expr(&mut self) -> Result<ExprId, Diagnostic> {
+        let mut e = self.assign_expr()?;
+        while self.eat(&TokenKind::Comma) {
+            let rhs = self.assign_expr()?;
+            let span = self.exprs.get(e).span.to(self.exprs.get(rhs).span);
+            e = self.alloc(ExprKind::Comma { lhs: e, rhs }, span);
+        }
+        Ok(e)
+    }
+
+    fn assign_expr(&mut self) -> Result<ExprId, Diagnostic> {
+        let lhs = self.cond_expr()?;
+        use TokenKind::*;
+        let op = match self.peek() {
+            Eq => None,
+            PlusEq => Some(BinOp::Add),
+            MinusEq => Some(BinOp::Sub),
+            StarEq => Some(BinOp::Mul),
+            SlashEq => Some(BinOp::Div),
+            PercentEq => Some(BinOp::Rem),
+            AmpEq => Some(BinOp::BitAnd),
+            PipeEq => Some(BinOp::BitOr),
+            CaretEq => Some(BinOp::BitXor),
+            ShlEq => Some(BinOp::Shl),
+            ShrEq => Some(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.assign_expr()?;
+        let span = self.exprs.get(lhs).span.to(self.exprs.get(rhs).span);
+        Ok(self.alloc(ExprKind::Assign { op, lhs, rhs }, span))
+    }
+
+    fn cond_expr(&mut self) -> Result<ExprId, Diagnostic> {
+        let cond = self.binary_expr(0)?;
+        if !self.eat(&TokenKind::Question) {
+            return Ok(cond);
+        }
+        let then_e = self.expr()?;
+        self.expect(TokenKind::Colon)?;
+        let else_e = self.cond_expr()?;
+        let span = self
+            .exprs
+            .get(cond)
+            .span
+            .to(self.exprs.get(else_e).span);
+        Ok(self.alloc(
+            ExprKind::Cond {
+                cond,
+                then_e,
+                else_e,
+            },
+            span,
+        ))
+    }
+
+    fn binop_at(&self, level: u8) -> Option<BinOp> {
+        use TokenKind as T;
+        let (op, lvl) = match self.peek() {
+            T::PipePipe => (BinOp::Or, 0),
+            T::AmpAmp => (BinOp::And, 1),
+            T::Pipe => (BinOp::BitOr, 2),
+            T::Caret => (BinOp::BitXor, 3),
+            T::Amp => (BinOp::BitAnd, 4),
+            T::EqEq => (BinOp::Eq, 5),
+            T::Ne => (BinOp::Ne, 5),
+            T::Lt => (BinOp::Lt, 6),
+            T::Gt => (BinOp::Gt, 6),
+            T::Le => (BinOp::Le, 6),
+            T::Ge => (BinOp::Ge, 6),
+            T::Shl => (BinOp::Shl, 7),
+            T::Shr => (BinOp::Shr, 7),
+            T::Plus => (BinOp::Add, 8),
+            T::Minus => (BinOp::Sub, 8),
+            T::Star => (BinOp::Mul, 9),
+            T::Slash => (BinOp::Div, 9),
+            T::Percent => (BinOp::Rem, 9),
+            _ => return None,
+        };
+        (lvl == level).then_some(op)
+    }
+
+    fn binary_expr(&mut self, level: u8) -> Result<ExprId, Diagnostic> {
+        if level > 9 {
+            return self.unary_expr();
+        }
+        let mut lhs = self.binary_expr(level + 1)?;
+        while let Some(op) = self.binop_at(level) {
+            self.bump();
+            let rhs = self.binary_expr(level + 1)?;
+            let span = self.exprs.get(lhs).span.to(self.exprs.get(rhs).span);
+            lhs = self.alloc(ExprKind::Binary { op, lhs, rhs }, span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<ExprId, Diagnostic> {
+        use TokenKind::*;
+        let span = self.span();
+        match self.peek().clone() {
+            PlusPlus | MinusMinus => {
+                let inc = self.peek() == &PlusPlus;
+                self.bump();
+                let arg = self.unary_expr()?;
+                let span = span.to(self.exprs.get(arg).span);
+                Ok(self.alloc(
+                    ExprKind::IncDec {
+                        pre: true,
+                        inc,
+                        arg,
+                    },
+                    span,
+                ))
+            }
+            Plus => {
+                self.bump();
+                self.unary_expr()
+            }
+            Minus => {
+                self.bump();
+                let arg = self.unary_expr()?;
+                let span = span.to(self.exprs.get(arg).span);
+                Ok(self.alloc(ExprKind::Unary { op: UnOp::Neg, arg }, span))
+            }
+            Bang => {
+                self.bump();
+                let arg = self.unary_expr()?;
+                let span = span.to(self.exprs.get(arg).span);
+                Ok(self.alloc(ExprKind::Unary { op: UnOp::Not, arg }, span))
+            }
+            Tilde => {
+                self.bump();
+                let arg = self.unary_expr()?;
+                let span = span.to(self.exprs.get(arg).span);
+                Ok(self.alloc(
+                    ExprKind::Unary {
+                        op: UnOp::BitNot,
+                        arg,
+                    },
+                    span,
+                ))
+            }
+            Star => {
+                self.bump();
+                let arg = self.unary_expr()?;
+                let span = span.to(self.exprs.get(arg).span);
+                Ok(self.alloc(
+                    ExprKind::Unary {
+                        op: UnOp::Deref,
+                        arg,
+                    },
+                    span,
+                ))
+            }
+            Amp => {
+                self.bump();
+                let arg = self.unary_expr()?;
+                let span = span.to(self.exprs.get(arg).span);
+                Ok(self.alloc(ExprKind::Unary { op: UnOp::Addr, arg }, span))
+            }
+            KwSizeof => {
+                self.bump();
+                if self.peek() == &LParen && self.kind_is_type_start(self.peek_at(1)) {
+                    self.bump();
+                    let base = self.declspec()?;
+                    let d = self.declarator()?;
+                    let (name, ty) = self.apply_declarator(d, base)?;
+                    if name.is_some() {
+                        return Err(self.err("sizeof type must be abstract"));
+                    }
+                    let end = self.expect(RParen)?;
+                    Ok(self.alloc(ExprKind::SizeofType(ty), span.to(end)))
+                } else {
+                    let arg = self.unary_expr()?;
+                    let span = span.to(self.exprs.get(arg).span);
+                    Ok(self.alloc(ExprKind::SizeofExpr(arg), span))
+                }
+            }
+            LParen if self.kind_is_type_start(self.peek_at(1)) => {
+                self.bump();
+                let base = self.declspec()?;
+                let d = self.declarator()?;
+                let (name, ty) = self.apply_declarator(d, base)?;
+                if name.is_some() {
+                    return Err(self.err("cast type must be abstract"));
+                }
+                self.expect(RParen)?;
+                let arg = self.unary_expr()?;
+                let span = span.to(self.exprs.get(arg).span);
+                // `(T*)0` is NULL.
+                if self.types.is_ptr(ty) {
+                    if let ExprKind::IntLit(0) = self.exprs.get(arg).kind {
+                        return Ok(self.alloc(ExprKind::Null, span));
+                    }
+                }
+                Ok(self.alloc(ExprKind::Cast { ty, arg }, span))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<ExprId, Diagnostic> {
+        use TokenKind::*;
+        let mut e = self.primary_expr()?;
+        loop {
+            let span = self.exprs.get(e).span;
+            match self.peek().clone() {
+                LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&RParen) {
+                        loop {
+                            args.push(self.assign_expr()?);
+                            if !self.eat(&Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(RParen)?;
+                    }
+                    let end = self.prev_span();
+                    e = self.alloc(ExprKind::Call { callee: e, args }, span.to(end));
+                }
+                LBracket => {
+                    self.bump();
+                    let index = self.expr()?;
+                    let end = self.expect(RBracket)?;
+                    e = self.alloc(ExprKind::Index { base: e, index }, span.to(end));
+                }
+                Dot | Arrow => {
+                    let arrow = self.peek() == &Arrow;
+                    self.bump();
+                    let (field, fspan) = self.expect_ident()?;
+                    e = self.alloc(
+                        ExprKind::Member {
+                            base: e,
+                            field,
+                            arrow,
+                            record: None,
+                            field_index: None,
+                        },
+                        span.to(fspan),
+                    );
+                }
+                PlusPlus | MinusMinus => {
+                    let inc = self.peek() == &PlusPlus;
+                    let end = self.span();
+                    self.bump();
+                    e = self.alloc(
+                        ExprKind::IncDec {
+                            pre: false,
+                            inc,
+                            arg: e,
+                        },
+                        span.to(end),
+                    );
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<ExprId, Diagnostic> {
+        use TokenKind::*;
+        let span = self.span();
+        match self.peek().clone() {
+            IntLit(v) => {
+                self.bump();
+                Ok(self.alloc(ExprKind::IntLit(v), span))
+            }
+            FloatLit(bits) => {
+                self.bump();
+                Ok(self.alloc(ExprKind::FloatLit(f64::from_bits(bits)), span))
+            }
+            StrLit(s) => {
+                self.bump();
+                // Adjacent string literals concatenate.
+                let mut s = s;
+                let mut end = span;
+                while let StrLit(next) = self.peek().clone() {
+                    end = self.span();
+                    self.bump();
+                    s.push_str(&next);
+                }
+                Ok(self.alloc(ExprKind::StrLit(s), span.to(end)))
+            }
+            KwNull => {
+                self.bump();
+                Ok(self.alloc(ExprKind::Null, span))
+            }
+            Ident(name) => {
+                self.bump();
+                if let Some(&v) = self.enum_consts.get(&name) {
+                    return Ok(self.alloc(ExprKind::IntLit(v), span));
+                }
+                Ok(self.alloc(ExprKind::Ident { name, target: None }, span))
+            }
+            LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(RParen)?;
+                Ok(e)
+            }
+            other => Err(self.err(format!(
+                "expected an expression, found {}",
+                other.describe()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> Program {
+        parse(lex(src).expect("lex")).expect("parse")
+    }
+
+    fn parse_err(src: &str) -> Diagnostic {
+        parse(lex(src).expect("lex")).expect_err("expected parse error")
+    }
+
+    #[test]
+    fn parses_globals_and_functions() {
+        let p = parse_ok("int g; int main(void) { return g; }");
+        assert_eq!(p.globals.len(), 1);
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+        assert_eq!(p.funcs[0].n_params, 0);
+    }
+
+    #[test]
+    fn parses_pointer_declarators() {
+        let p = parse_ok("int **pp; int *arr_of_ptr[10]; int (*ptr_to_arr)[10];");
+        let t = &p.types;
+        let pp = p.globals[0].ty;
+        assert!(t.is_ptr(pp) && t.is_ptr(t.pointee(pp).unwrap()));
+        let aop = p.globals[1].ty;
+        assert!(t.is_array(aop) && t.is_ptr(t.element(aop).unwrap()));
+        let pta = p.globals[2].ty;
+        assert!(t.is_ptr(pta) && t.is_array(t.pointee(pta).unwrap()));
+    }
+
+    #[test]
+    fn parses_function_pointer_declarators() {
+        let p = parse_ok("int (*handler)(int, char*); void go(int (*f)(int)) { f(1); }");
+        assert!(p.types.is_func_ptr(p.globals[0].ty));
+        let go = &p.funcs[0];
+        assert_eq!(go.n_params, 1);
+        assert!(p.types.is_func_ptr(go.vars[0].ty));
+    }
+
+    #[test]
+    fn parses_struct_with_self_pointer() {
+        let p = parse_ok(
+            "struct node { int v; struct node *next; };\n\
+             struct node *head;",
+        );
+        assert!(p.types.is_ptr(p.globals[0].ty));
+        let rec = p.types.records().first().expect("one record");
+        assert_eq!(rec.fields.len(), 2);
+        assert!(rec.defined);
+    }
+
+    #[test]
+    fn parses_enums() {
+        let p = parse_ok(
+            "enum color { RED, GREEN = 5, BLUE };\n\
+             enum color paint;\n\
+             int pick(int c) { switch (c) { case RED: return 1; \
+             case BLUE: return 2; default: return 0; } }\n\
+             int table[BLUE];",
+        );
+        // `paint` is a plain int; BLUE = 6 sizes the array.
+        assert!(matches!(
+            p.types.kind(p.globals[0].ty),
+            crate::types::TypeKind::Int
+        ));
+        assert!(matches!(
+            p.types.kind(p.globals[1].ty),
+            crate::types::TypeKind::Array(_, 6)
+        ));
+        // The enum constants fold into the case labels.
+        let Stmt::Switch { cases, .. } = &p.funcs[0].body.as_ref().unwrap().stmts[0] else {
+            panic!("expected a switch");
+        };
+        assert_eq!(cases[0].values, vec![0]);
+        assert_eq!(cases[1].values, vec![6]);
+    }
+
+    #[test]
+    fn parses_typedef() {
+        let p = parse_ok("typedef struct pt { int x; } pt_t; pt_t *origin;");
+        assert!(p.types.is_ptr(p.globals[0].ty));
+    }
+
+    #[test]
+    fn prototype_then_definition_share_one_func() {
+        let p = parse_ok("int f(int x); int f(int x) { return x; }");
+        assert_eq!(p.funcs.len(), 1);
+        assert!(p.funcs[0].body.is_some());
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse_ok(
+            "int main(void) {\n\
+               int i; int n;\n\
+               n = 0;\n\
+               for (i = 0; i < 10; i++) { if (i % 2) continue; n += i; }\n\
+               while (n > 0) n--;\n\
+               do { n++; } while (n < 3);\n\
+               return n;\n\
+             }",
+        );
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn parses_switch_without_fallthrough() {
+        let p = parse_ok(
+            "int f(int c) { switch (c) { case 1: case 2: return 1; \
+             case 3: c = 9; break; default: c = 0; break; } return c; }",
+        );
+        let Stmt::Switch { cases, default, .. } = &p.funcs[0].body.as_ref().unwrap().stmts[0]
+        else {
+            panic!("expected switch");
+        };
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].values, vec![1, 2]);
+        assert!(default.is_some());
+    }
+
+    #[test]
+    fn rejects_switch_fallthrough() {
+        let d = parse_err("int f(int c) { switch (c) { case 1: c = 2; case 2: break; } return c; }");
+        assert!(d.message.contains("fallthrough"), "{}", d.message);
+    }
+
+    #[test]
+    fn parses_casts_and_null() {
+        let p = parse_ok("int main(void) { int *p; p = (int*)0; p = NULL; return 0; }");
+        let body = p.funcs[0].body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 4);
+    }
+
+    #[test]
+    fn parses_sizeof_forms() {
+        parse_ok(
+            "struct s { int a; }; int main(void) { int n; n = sizeof(struct s); \
+             n = sizeof(int*); n = sizeof n; return n; }",
+        );
+    }
+
+    #[test]
+    fn parses_ternary_and_comma() {
+        parse_ok("int main(void) { int a; int b; a = 1, b = a ? 2 : 3; return b; }");
+    }
+
+    #[test]
+    fn parses_init_lists() {
+        let p = parse_ok("int a[3] = {1, 2, 3}; struct p { int x; int y; }; struct p o = {4, 5};");
+        assert!(matches!(
+            p.exprs.get(p.globals[0].init.unwrap()).kind,
+            ExprKind::InitList(_)
+        ));
+    }
+
+    #[test]
+    fn parses_string_concatenation() {
+        let p = parse_ok("char *s = \"ab\" \"cd\";");
+        let ExprKind::StrLit(ref s) = p.exprs.get(p.globals[0].init.unwrap()).kind else {
+            panic!("expected string literal");
+        };
+        assert_eq!(s, "abcd");
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let d = parse_err("int x");
+        assert!(d.message.contains("expected"), "{}", d.message);
+    }
+
+    #[test]
+    fn rejects_struct_redefinition() {
+        let d = parse_err("struct s { int a; }; struct s { int b; };");
+        assert!(d.message.contains("redefinition"), "{}", d.message);
+    }
+
+    #[test]
+    fn parses_pointer_returning_function() {
+        let p = parse_ok("int g; int *addr(void) { return &g; }");
+        let f = &p.funcs[0];
+        assert_eq!(f.name, "addr");
+        assert!(p.types.is_ptr(f.ret));
+    }
+
+    #[test]
+    fn multi_declarator_globals() {
+        let p = parse_ok("int a, *b, c[4];");
+        assert_eq!(p.globals.len(), 3);
+        assert!(p.types.is_ptr(p.globals[1].ty));
+        assert!(p.types.is_array(p.globals[2].ty));
+    }
+}

@@ -1,0 +1,460 @@
+//! Pretty-printer: renders a [`Program`] back to parseable mini-C.
+//!
+//! Used by the round-trip property tests (`parse ∘ print` is a fixpoint)
+//! and by the random program generator in the `suite` crate.
+
+use crate::ast::*;
+use crate::types::{TypeId, TypeKind, TypeTable};
+use std::fmt::Write as _;
+
+/// Renders a full program as mini-C source.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, rec) in p.types.records().iter().enumerate() {
+        let _ = i;
+        if !rec.defined {
+            continue;
+        }
+        let kw = if rec.is_union { "union" } else { "struct" };
+        let _ = writeln!(out, "{} {} {{", kw, rec.name);
+        for f in &rec.fields {
+            let _ = writeln!(out, "    {};", declare(&p.types, f.ty, &f.name));
+        }
+        let _ = writeln!(out, "}};");
+    }
+    for g in &p.globals {
+        let decl = declare(&p.types, g.ty, &g.name);
+        match g.init {
+            Some(init) => {
+                let _ = writeln!(out, "{} = {};", decl, print_expr(p, init));
+            }
+            None => {
+                let _ = writeln!(out, "{};", decl);
+            }
+        }
+    }
+    for f in &p.funcs {
+        print_func(p, f, &mut out);
+    }
+    out
+}
+
+/// Renders `ty` applied to `name` as a C declarator (e.g. `int (*f)(int)`).
+pub fn declare(types: &TypeTable, ty: TypeId, name: &str) -> String {
+    match types.kind(ty) {
+        TypeKind::Void => join_base("void", name),
+        TypeKind::Int => join_base("int", name),
+        TypeKind::Char => join_base("char", name),
+        TypeKind::Float => join_base("double", name),
+        TypeKind::Record(r) => {
+            let rec = types.record(*r);
+            let kw = if rec.is_union { "union" } else { "struct" };
+            join_base(&format!("{kw} {}", rec.name), name)
+        }
+        TypeKind::Ptr(inner) => {
+            let needs_parens = matches!(
+                types.kind(*inner),
+                TypeKind::Array(..) | TypeKind::Func(_)
+            );
+            let new_name = if needs_parens {
+                format!("(*{name})")
+            } else {
+                format!("*{name}")
+            };
+            declare(types, *inner, &new_name)
+        }
+        TypeKind::Array(inner, n) => {
+            let new_name = if *n == 0 {
+                format!("{name}[]")
+            } else {
+                format!("{name}[{n}]")
+            };
+            declare(types, *inner, &new_name)
+        }
+        TypeKind::Func(sig) => {
+            let params = if sig.params.is_empty() {
+                "void".to_string()
+            } else {
+                sig.params
+                    .iter()
+                    .map(|p| declare(types, *p, ""))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let new_name = format!("{name}({params})");
+            declare(types, sig.ret, &new_name)
+        }
+    }
+}
+
+fn join_base(base: &str, name: &str) -> String {
+    if name.is_empty() {
+        base.to_string()
+    } else {
+        format!("{base} {name}")
+    }
+}
+
+fn print_func(p: &Program, f: &FuncDecl, out: &mut String) {
+    let params = if f.n_params == 0 {
+        "void".to_string()
+    } else {
+        f.params()
+            .iter()
+            .map(|v| declare(&p.types, v.ty, &v.name))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let header = declare(&p.types, f.ret, &format!("{}({})", f.name, params));
+    match &f.body {
+        Some(body) => {
+            let _ = writeln!(out, "{header} {{");
+            for s in &body.stmts {
+                print_stmt(p, s, 1, out);
+            }
+            let _ = writeln!(out, "}}");
+        }
+        None => {
+            let _ = writeln!(out, "{header};");
+        }
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(p: &Program, b: &Block, level: usize, out: &mut String) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        print_stmt(p, s, level + 1, out);
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+fn print_stmt(p: &Program, s: &Stmt, level: usize, out: &mut String) {
+    indent(out, level);
+    match s {
+        Stmt::Expr(e) => {
+            let _ = writeln!(out, "{};", print_expr(p, *e));
+        }
+        Stmt::Local { name, ty, init, .. } => {
+            let decl = declare(&p.types, *ty, name);
+            match init {
+                Some(i) => {
+                    let _ = writeln!(out, "{} = {};", decl, print_expr(p, *i));
+                }
+                None => {
+                    let _ = writeln!(out, "{decl};");
+                }
+            }
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            let _ = write!(out, "if ({}) ", print_expr(p, *cond));
+            print_block(p, then_blk, level, out);
+            if let Some(e) = else_blk {
+                out.push_str(" else ");
+                print_block(p, e, level, out);
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body } => {
+            let _ = write!(out, "while ({}) ", print_expr(p, *cond));
+            print_block(p, body, level, out);
+            out.push('\n');
+        }
+        Stmt::DoWhile { body, cond } => {
+            out.push_str("do ");
+            print_block(p, body, level, out);
+            let _ = writeln!(out, " while ({});", print_expr(p, *cond));
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            out.push_str("for (");
+            match init.as_deref() {
+                Some(Stmt::Expr(e)) => {
+                    let _ = write!(out, "{}; ", print_expr(p, *e));
+                }
+                Some(Stmt::Local { name, ty, init, .. }) => {
+                    let decl = declare(&p.types, *ty, name);
+                    match init {
+                        Some(i) => {
+                            let _ = write!(out, "{} = {}; ", decl, print_expr(p, *i));
+                        }
+                        None => {
+                            let _ = write!(out, "{decl}; ");
+                        }
+                    }
+                }
+                Some(other) => {
+                    // Multi-declarator inits were folded into a block by the
+                    // parser; re-render as a preceding statement is not
+                    // possible inline, so print the block's declarations
+                    // separated by commas is not valid C either. Fall back
+                    // to an empty init (callers in this repo never build
+                    // such `for` nodes programmatically).
+                    debug_assert!(matches!(other, Stmt::Block(_)), "unexpected for-init");
+                    out.push_str("; ");
+                }
+                None => out.push_str("; "),
+            }
+            match cond {
+                Some(c) => {
+                    let _ = write!(out, "{}; ", print_expr(p, *c));
+                }
+                None => out.push_str("; "),
+            }
+            if let Some(st) = step {
+                let _ = write!(out, "{}", print_expr(p, *st));
+            }
+            out.push_str(") ");
+            print_block(p, body, level, out);
+            out.push('\n');
+        }
+        Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+            ..
+        } => {
+            let _ = writeln!(out, "switch ({}) {{", print_expr(p, *scrutinee));
+            for c in cases {
+                for v in &c.values {
+                    indent(out, level);
+                    let _ = writeln!(out, "case {v}:");
+                }
+                for st in &c.body.stmts {
+                    print_stmt(p, st, level + 1, out);
+                }
+                indent(out, level + 1);
+                out.push_str("break;\n");
+            }
+            if let Some(d) = default {
+                indent(out, level);
+                out.push_str("default:\n");
+                for st in &d.stmts {
+                    print_stmt(p, st, level + 1, out);
+                }
+                indent(out, level + 1);
+                out.push_str("break;\n");
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(v) => {
+                let _ = writeln!(out, "return {};", print_expr(p, *v));
+            }
+            None => {
+                let _ = writeln!(out, "return;");
+            }
+        },
+        Stmt::Break(_) => {
+            let _ = writeln!(out, "break;");
+        }
+        Stmt::Continue(_) => {
+            let _ = writeln!(out, "continue;");
+        }
+        Stmt::Block(b) => {
+            print_block(p, b, level, out);
+            out.push('\n');
+        }
+    }
+}
+
+/// Renders an expression (fully parenthesized where precedence could bite).
+pub fn print_expr(p: &Program, e: ExprId) -> String {
+    let expr = p.exprs.get(e);
+    match &expr.kind {
+        ExprKind::IntLit(v) => v.to_string(),
+        ExprKind::FloatLit(v) => {
+            let s = format!("{v}");
+            if s.contains('.') {
+                s
+            } else {
+                format!("{v}.0")
+            }
+        }
+        ExprKind::StrLit(s) => format!("\"{}\"", escape_str(s)),
+        ExprKind::Null => "NULL".to_string(),
+        ExprKind::Ident { name, .. } => name.clone(),
+        ExprKind::Unary { op, arg } => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::BitNot => "~",
+                UnOp::Deref => "*",
+                UnOp::Addr => "&",
+            };
+            format!("{}({})", sym, print_expr(p, *arg))
+        }
+        ExprKind::Binary { op, lhs, rhs } => format!(
+            "({} {} {})",
+            print_expr(p, *lhs),
+            op.symbol(),
+            print_expr(p, *rhs)
+        ),
+        ExprKind::Assign { op, lhs, rhs } => {
+            let sym = match op {
+                None => "=".to_string(),
+                Some(o) => format!("{}=", o.symbol()),
+            };
+            format!("{} {} {}", print_expr(p, *lhs), sym, print_expr(p, *rhs))
+        }
+        ExprKind::IncDec { pre, inc, arg } => {
+            let sym = if *inc { "++" } else { "--" };
+            if *pre {
+                format!("{}({})", sym, print_expr(p, *arg))
+            } else {
+                format!("({}){}", print_expr(p, *arg), sym)
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            let args = args
+                .iter()
+                .map(|a| print_expr(p, *a))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{}({})", print_expr(p, *callee), args)
+        }
+        ExprKind::Member {
+            base, field, arrow, ..
+        } => format!(
+            "({}){}{}",
+            print_expr(p, *base),
+            if *arrow { "->" } else { "." },
+            field
+        ),
+        ExprKind::Index { base, index } => {
+            format!("({})[{}]", print_expr(p, *base), print_expr(p, *index))
+        }
+        ExprKind::Cast { ty, arg } => {
+            format!("({})({})", declare(&p.types, *ty, ""), print_expr(p, *arg))
+        }
+        ExprKind::SizeofType(ty) => format!("sizeof({})", declare(&p.types, *ty, "")),
+        ExprKind::SizeofExpr(arg) => format!("sizeof({})", print_expr(p, *arg)),
+        ExprKind::Cond {
+            cond,
+            then_e,
+            else_e,
+        } => format!(
+            "({} ? {} : {})",
+            print_expr(p, *cond),
+            print_expr(p, *then_e),
+            print_expr(p, *else_e)
+        ),
+        ExprKind::InitList(items) => {
+            let items = items
+                .iter()
+                .map(|i| print_expr(p, *i))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{{{items}}}")
+        }
+        ExprKind::Comma { lhs, rhs } => {
+            format!("({}, {})", print_expr(p, *lhs), print_expr(p, *rhs))
+        }
+    }
+}
+
+fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\0' => out.push_str("\\0"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) -> String {
+        let p = parse(lex(src).expect("lex")).expect("parse");
+        print_program(&p)
+    }
+
+    fn fixpoint(src: &str) {
+        let once = round_trip(src);
+        let twice = round_trip(&once);
+        assert_eq!(once, twice, "printer is not a parse fixpoint for:\n{src}");
+    }
+
+    #[test]
+    fn declarator_rendering() {
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let ip = t.ptr(int);
+        assert_eq!(declare(&t, ip, "p"), "int *p");
+        let arr = t.array(ip, 10);
+        assert_eq!(declare(&t, arr, "a"), "int *a[10]");
+        let arr2 = t.array(int, 10);
+        let pta = t.ptr(arr2);
+        assert_eq!(declare(&t, pta, "pa"), "int (*pa)[10]");
+        let sig = crate::types::FuncSig {
+            params: vec![int, ip],
+            ret: int,
+            varargs: false,
+        };
+        let fty = t.intern(crate::types::TypeKind::Func(sig));
+        let fp = t.ptr(fty);
+        assert_eq!(declare(&t, fp, "f"), "int (*f)(int, int *)");
+    }
+
+    #[test]
+    fn fixpoint_simple_program() {
+        fixpoint("int g; int main(void) { g = 1 + 2 * 3; return g; }");
+    }
+
+    #[test]
+    fn fixpoint_pointer_program() {
+        fixpoint(
+            "struct node { int v; struct node *next; };\n\
+             struct node *mk(int v) { struct node *n; \
+             n = (struct node*)malloc(sizeof(struct node)); n->v = v; \
+             n->next = NULL; return n; }\n\
+             int main(void) { struct node *h; h = mk(3); return h->v; }",
+        );
+    }
+
+    #[test]
+    fn fixpoint_control_flow() {
+        fixpoint(
+            "int main(void) { int i; int s; s = 0; \
+             for (i = 0; i < 4; i++) { if (i == 2) continue; s += i; } \
+             while (s > 0) { s--; if (s == 1) break; } \
+             do { s++; } while (s < 2); \
+             switch (s) { case 1: s = 9; break; default: s = 0; break; } \
+             return s ? 1 : 0; }",
+        );
+    }
+
+    #[test]
+    fn fixpoint_strings_and_arrays() {
+        fixpoint(
+            "char buf[32] = \"hi\\n\"; int table[3] = {1, 2, 3};\n\
+             int main(void) { char *p; p = buf; return (int)p[0] + table[1]; }",
+        );
+    }
+}

@@ -1,0 +1,1034 @@
+//! Name resolution and type checking for mini-C.
+//!
+//! [`check`] resolves every identifier, assigns a type to every expression,
+//! flattens block-scoped locals into their function's variable table, and
+//! marks address-taken variables. The checked program is what `vdg` lowers.
+
+use crate::ast::*;
+use crate::source::{Diagnostic, FrontendError, Span};
+use crate::types::{FuncSig, TypeId, TypeKind, TypeTable};
+use std::collections::HashMap;
+
+/// Runs semantic analysis over a freshly parsed program, mutating it in
+/// place (expression types, identifier targets, local slots).
+///
+/// # Errors
+///
+/// Returns all diagnostics discovered (the checker recovers per function).
+pub fn check(program: &mut Program) -> Result<(), FrontendError> {
+    let mut diags = Vec::new();
+
+    // Global maps, computed up front so function bodies can reference
+    // later definitions.
+    let mut global_map = HashMap::new();
+    for (i, g) in program.globals.iter().enumerate() {
+        if global_map
+            .insert(g.name.clone(), GlobalId(i as u32))
+            .is_some()
+        {
+            diags.push(Diagnostic::new(
+                g.span,
+                format!("redefinition of global `{}`", g.name),
+            ));
+        }
+    }
+    let mut func_map = HashMap::new();
+    for (i, f) in program.funcs.iter().enumerate() {
+        func_map.insert(f.name.clone(), FuncId(i as u32));
+        if global_map.contains_key(&f.name) {
+            diags.push(Diagnostic::new(
+                f.span,
+                format!("`{}` defined as both global and function", f.name),
+            ));
+        }
+    }
+    let func_sigs: Vec<FnInfo> = program
+        .funcs
+        .iter()
+        .map(|f| FnInfo {
+            ret: f.ret,
+            params: f.params().iter().map(|p| p.ty).collect(),
+            defined: f.body.is_some(),
+        })
+        .collect();
+
+    let Program {
+        ref mut types,
+        ref mut globals,
+        ref mut funcs,
+        ref mut exprs,
+    } = *program;
+
+    // Check global initializers in a scope with no locals.
+    for gi in 0..globals.len() {
+        let (ty, init, span) = {
+            let g = &globals[gi];
+            (g.ty, g.init, g.span)
+        };
+        if types.is_func(ty) {
+            diags.push(Diagnostic::new(span, "global cannot have function type"));
+            continue;
+        }
+        if let Some(init) = init {
+            let mut ck = Checker {
+                types,
+                exprs,
+                globals,
+                global_map: &global_map,
+                func_map: &func_map,
+                func_sigs: &func_sigs,
+                scopes: Vec::new(),
+                vars: &mut Vec::new(),
+                ret: None,
+                diags: &mut diags,
+            };
+            ck.check_initializer(init, ty);
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // split borrows of `funcs[fi]` fields
+    for fi in 0..funcs.len() {
+        let Some(mut body) = funcs[fi].body.take() else {
+            continue;
+        };
+        let mut vars = std::mem::take(&mut funcs[fi].vars);
+        let ret = funcs[fi].ret;
+        {
+            let mut ck = Checker {
+                types,
+                exprs,
+                globals,
+                global_map: &global_map,
+                func_map: &func_map,
+                func_sigs: &func_sigs,
+                scopes: vec![HashMap::new()],
+                vars: &mut vars,
+                ret: Some(ret),
+                diags: &mut diags,
+            };
+            // Parameters populate the outermost scope.
+            for (i, v) in ck.vars.iter().enumerate() {
+                ck.scopes[0].insert(v.name.clone(), LocalId(i as u32));
+            }
+            ck.check_block(&mut body);
+        }
+        funcs[fi].vars = vars;
+        funcs[fi].body = Some(body);
+    }
+
+    if diags.is_empty() {
+        Ok(())
+    } else {
+        Err(FrontendError { diagnostics: diags })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FnInfo {
+    ret: TypeId,
+    params: Vec<TypeId>,
+    defined: bool,
+}
+
+struct Checker<'a> {
+    types: &'a mut TypeTable,
+    exprs: &'a mut ExprArena,
+    globals: &'a [GlobalDecl],
+    global_map: &'a HashMap<String, GlobalId>,
+    func_map: &'a HashMap<String, FuncId>,
+    func_sigs: &'a [FnInfo],
+    /// Innermost scope last; maps names to slots in `vars`.
+    scopes: Vec<HashMap<String, LocalId>>,
+    vars: &'a mut Vec<VarSlot>,
+    /// Return type; `None` when checking global initializers.
+    ret: Option<TypeId>,
+    diags: &'a mut Vec<Diagnostic>,
+}
+
+impl<'a> Checker<'a> {
+    fn error(&mut self, span: Span, msg: impl Into<String>) {
+        self.diags.push(Diagnostic::new(span, msg));
+    }
+
+    fn lookup(&self, name: &str) -> Option<IdentTarget> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&slot) = scope.get(name) {
+                return Some(IdentTarget::Local(slot));
+            }
+        }
+        if let Some(&g) = self.global_map.get(name) {
+            return Some(IdentTarget::Global(g));
+        }
+        if let Some(&f) = self.func_map.get(name) {
+            return Some(IdentTarget::Func(f));
+        }
+        Builtin::by_name(name).map(IdentTarget::Builtin)
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    fn check_block(&mut self, block: &mut Block) {
+        self.scopes.push(HashMap::new());
+        for stmt in &mut block.stmts {
+            self.check_stmt(stmt);
+        }
+        self.scopes.pop();
+    }
+
+    fn check_stmt(&mut self, stmt: &mut Stmt) {
+        match stmt {
+            Stmt::Expr(e) => {
+                self.check_expr(*e);
+            }
+            Stmt::Local {
+                name,
+                ty,
+                init,
+                span,
+                slot,
+            } => {
+                if self.types.is_func(*ty) {
+                    self.error(*span, "local cannot have function type");
+                }
+                let id = LocalId(self.vars.len() as u32);
+                self.vars.push(VarSlot {
+                    name: name.clone(),
+                    ty: *ty,
+                    span: *span,
+                    is_param: false,
+                    addr_taken: false,
+                });
+                self.scopes
+                    .last_mut()
+                    .expect("at least one scope")
+                    .insert(name.clone(), id);
+                *slot = Some(id);
+                if let Some(init) = *init {
+                    self.check_initializer(init, *ty);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.check_scalar_cond(*cond);
+                self.check_block(then_blk);
+                if let Some(e) = else_blk {
+                    self.check_block(e);
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.check_scalar_cond(*cond);
+                self.check_block(body);
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.check_block(body);
+                self.check_scalar_cond(*cond);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // `for` introduces a scope for its init declaration.
+                self.scopes.push(HashMap::new());
+                if let Some(s) = init {
+                    self.check_stmt(s);
+                }
+                if let Some(c) = *cond {
+                    self.check_scalar_cond(c);
+                }
+                if let Some(s) = *step {
+                    self.check_expr(s);
+                }
+                self.check_block(body);
+                self.scopes.pop();
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+                span,
+            } => {
+                let t = self.check_expr(*scrutinee);
+                if let Some(t) = t {
+                    if !self.types.is_arith(t) {
+                        self.error(*span, "switch scrutinee must be integral");
+                    }
+                }
+                for c in cases {
+                    self.check_block(&mut c.body);
+                }
+                if let Some(d) = default {
+                    self.check_block(d);
+                }
+            }
+            Stmt::Return { value, span } => {
+                let ret = self.ret.expect("return outside function");
+                match (*value, self.types.kind(ret).clone()) {
+                    (None, TypeKind::Void) => {}
+                    (None, _) => self.error(*span, "non-void function must return a value"),
+                    (Some(v), TypeKind::Void) => {
+                        self.error(self.exprs.get(v).span, "void function cannot return a value")
+                    }
+                    (Some(v), _) => {
+                        if let Some(vt) = self.check_expr(v) {
+                            self.require_assignable(ret, vt, v);
+                        }
+                    }
+                }
+            }
+            Stmt::Break(_) | Stmt::Continue(_) => {}
+            Stmt::Block(b) => self.check_block(b),
+        }
+    }
+
+    fn check_scalar_cond(&mut self, e: ExprId) {
+        if let Some(t) = self.check_expr(e) {
+            if !(self.types.is_arith(t) || self.types.is_ptr(t) || self.types.is_array(t)) {
+                let span = self.exprs.get(e).span;
+                let d = self.types.display(t);
+                self.error(span, format!("condition must be scalar, found `{d}`"));
+            }
+        }
+    }
+
+    // ----- initializers -----------------------------------------------------
+
+    fn check_initializer(&mut self, init: ExprId, target: TypeId) {
+        let span = self.exprs.get(init).span;
+        if let ExprKind::InitList(items) = self.exprs.get(init).kind.clone() {
+            match self.types.kind(target).clone() {
+                TypeKind::Array(elem, len) => {
+                    if len != 0 && items.len() as u32 > len {
+                        self.error(span, "too many array initializer elements");
+                    }
+                    for item in items {
+                        self.check_initializer(item, elem);
+                    }
+                }
+                TypeKind::Record(r) => {
+                    let fields: Vec<TypeId> = self
+                        .types
+                        .record(r)
+                        .fields
+                        .iter()
+                        .map(|f| f.ty)
+                        .collect();
+                    if items.len() > fields.len() {
+                        self.error(span, "too many struct initializer elements");
+                    }
+                    for (item, fty) in items.into_iter().zip(fields) {
+                        self.check_initializer(item, fty);
+                    }
+                }
+                _ => self.error(span, "initializer list requires an aggregate target"),
+            }
+            self.exprs.get_mut(init).ty = Some(target);
+            return;
+        }
+        // `char buf[] = "text"` and `char buf[N] = "text"`.
+        if let (ExprKind::StrLit(_), TypeKind::Array(elem, _)) = (
+            &self.exprs.get(init).kind,
+            self.types.kind(target).clone(),
+        ) {
+            if matches!(self.types.kind(elem), TypeKind::Char) {
+                self.exprs.get_mut(init).ty = Some(target);
+                return;
+            }
+        }
+        if let Some(t) = self.check_expr(init) {
+            self.require_assignable(target, t, init);
+        }
+    }
+
+    // ----- expressions ------------------------------------------------------
+
+    fn set_ty(&mut self, e: ExprId, ty: TypeId) -> Option<TypeId> {
+        self.exprs.get_mut(e).ty = Some(ty);
+        Some(ty)
+    }
+
+    /// Decayed type: arrays become pointers, functions become function
+    /// pointers (for use in value position).
+    fn decayed(&mut self, t: TypeId) -> TypeId {
+        if self.types.is_array(t) {
+            self.types.decay(t)
+        } else if self.types.is_func(t) {
+            self.types.ptr(t)
+        } else {
+            t
+        }
+    }
+
+    fn require_assignable(&mut self, dst: TypeId, src: TypeId, at: ExprId) {
+        let src = self.decayed(src);
+        if !self.types.assignable(dst, src) {
+            let span = self.exprs.get(at).span;
+            let (d, s) = (self.types.display(dst), self.types.display(src));
+            self.error(span, format!("cannot assign `{s}` to `{d}`"));
+        }
+    }
+
+    fn is_lvalue(&self, e: ExprId) -> bool {
+        match &self.exprs.get(e).kind {
+            ExprKind::Ident { target, .. } => !matches!(
+                target,
+                Some(IdentTarget::Func(_)) | Some(IdentTarget::Builtin(_))
+            ),
+            ExprKind::Unary { op: UnOp::Deref, .. } => true,
+            ExprKind::Member { base, arrow, .. } => *arrow || self.is_lvalue(*base),
+            ExprKind::Index { .. } => true,
+            ExprKind::StrLit(_) => true,
+            _ => false,
+        }
+    }
+
+    /// Marks the root variable of an lvalue expression as address-taken.
+    fn mark_addr_taken(&mut self, e: ExprId) {
+        match self.exprs.get(e).kind.clone() {
+            // Globals are always store-resident; nothing to record for them.
+            ExprKind::Ident {
+                target: Some(IdentTarget::Local(slot)),
+                ..
+            } => {
+                self.vars[slot.0 as usize].addr_taken = true;
+            }
+            ExprKind::Ident { .. } => {}
+            ExprKind::Member { base, arrow, .. }
+                if !arrow => {
+                    self.mark_addr_taken(base);
+                }
+                // `p->f` addresses the pointee, not a named variable.
+            ExprKind::Index { base, .. } => {
+                // Only array lvalues root into a variable; pointer indexing
+                // addresses the pointee.
+                let bt = self.exprs.get(base).ty;
+                if let Some(bt) = bt {
+                    if self.types.is_array(bt) {
+                        self.mark_addr_taken(base);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn check_expr(&mut self, e: ExprId) -> Option<TypeId> {
+        let kind = self.exprs.get(e).kind.clone();
+        let span = self.exprs.get(e).span;
+        match kind {
+            ExprKind::IntLit(_) => {
+                let t = self.types.int();
+                self.set_ty(e, t)
+            }
+            ExprKind::FloatLit(_) => {
+                let t = self.types.float();
+                self.set_ty(e, t)
+            }
+            ExprKind::StrLit(s) => {
+                let ch = self.types.char();
+                let t = self.types.array(ch, s.len() as u32 + 1);
+                self.set_ty(e, t)
+            }
+            ExprKind::Null => {
+                let t = self.types.void_ptr();
+                self.set_ty(e, t)
+            }
+            ExprKind::Ident { name, .. } => {
+                let Some(target) = self.lookup(&name) else {
+                    self.error(span, format!("undeclared identifier `{name}`"));
+                    return None;
+                };
+                let ty = match target {
+                    IdentTarget::Global(g) => self.globals[g.0 as usize].ty,
+                    IdentTarget::Local(l) => self.vars[l.0 as usize].ty,
+                    IdentTarget::Func(f) => {
+                        let info = &self.func_sigs[f.0 as usize];
+                        let sig = FuncSig {
+                            params: info.params.clone(),
+                            ret: info.ret,
+                            varargs: false,
+                        };
+                        self.types.intern(TypeKind::Func(sig))
+                    }
+                    IdentTarget::Builtin(b) => {
+                        let sig = builtin_sig(b, self.types);
+                        self.types.intern(TypeKind::Func(sig))
+                    }
+                };
+                if let ExprKind::Ident { target: t, .. } = &mut self.exprs.get_mut(e).kind {
+                    *t = Some(target);
+                }
+                self.set_ty(e, ty)
+            }
+            ExprKind::Unary { op, arg } => {
+                let at = self.check_expr(arg)?;
+                match op {
+                    UnOp::Neg | UnOp::BitNot => {
+                        if !self.types.is_arith(at) {
+                            self.error(span, "operand must be arithmetic");
+                        }
+                        self.set_ty(e, at)
+                    }
+                    UnOp::Not => {
+                        let t = self.types.int();
+                        self.set_ty(e, t)
+                    }
+                    UnOp::Deref => {
+                        let at = self.decayed(at);
+                        match self.types.pointee(at) {
+                            Some(p) => self.set_ty(e, p),
+                            None => {
+                                let d = self.types.display(at);
+                                self.error(span, format!("cannot dereference `{d}`"));
+                                None
+                            }
+                        }
+                    }
+                    UnOp::Addr => {
+                        // `&func` yields a function pointer.
+                        if self.types.is_func(at) {
+                            let t = self.types.ptr(at);
+                            return self.set_ty(e, t);
+                        }
+                        if !self.is_lvalue(arg) {
+                            self.error(span, "`&` requires an lvalue");
+                            return None;
+                        }
+                        self.mark_addr_taken(arg);
+                        let t = self.types.ptr(at);
+                        self.set_ty(e, t)
+                    }
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lt = self.check_expr(lhs);
+                let rt = self.check_expr(rhs);
+                let (lt, rt) = (lt?, rt?);
+                let ld = self.decayed(lt);
+                let rd = self.decayed(rt);
+                let int = self.types.int();
+                use BinOp::*;
+                let ty = match op {
+                    Add => {
+                        if self.types.is_ptr(ld) && self.types.is_arith(rd) {
+                            ld
+                        } else if self.types.is_arith(ld) && self.types.is_ptr(rd) {
+                            rd
+                        } else if self.types.is_arith(ld) && self.types.is_arith(rd) {
+                            self.arith_common(ld, rd)
+                        } else {
+                            self.error(span, "invalid operands to `+`");
+                            return None;
+                        }
+                    }
+                    Sub => {
+                        if self.types.is_ptr(ld) && self.types.is_ptr(rd) {
+                            int
+                        } else if self.types.is_ptr(ld) && self.types.is_arith(rd) {
+                            ld
+                        } else if self.types.is_arith(ld) && self.types.is_arith(rd) {
+                            self.arith_common(ld, rd)
+                        } else {
+                            self.error(span, "invalid operands to `-`");
+                            return None;
+                        }
+                    }
+                    Mul | Div | Rem => {
+                        if self.types.is_arith(ld) && self.types.is_arith(rd) {
+                            self.arith_common(ld, rd)
+                        } else {
+                            self.error(span, format!("invalid operands to `{}`", op.symbol()));
+                            return None;
+                        }
+                    }
+                    Lt | Gt | Le | Ge | Eq | Ne => {
+                        let ok = (self.types.is_arith(ld) && self.types.is_arith(rd))
+                            || (self.types.is_ptr(ld) && self.types.is_ptr(rd));
+                        if !ok {
+                            self.error(span, format!("invalid comparison `{}`", op.symbol()));
+                        }
+                        int
+                    }
+                    And | Or => int,
+                    BitAnd | BitOr | BitXor | Shl | Shr => {
+                        if !(self.types.is_arith(ld) && self.types.is_arith(rd)) {
+                            self.error(span, format!("invalid operands to `{}`", op.symbol()));
+                        }
+                        int
+                    }
+                };
+                self.set_ty(e, ty)
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                let lt = self.check_expr(lhs);
+                let rt = self.check_expr(rhs);
+                let (lt, rt) = (lt?, rt?);
+                if !self.is_lvalue(lhs) {
+                    self.error(span, "left side of assignment is not an lvalue");
+                }
+                if self.types.is_array(lt) {
+                    self.error(span, "cannot assign to an array");
+                }
+                let rd = self.decayed(rt);
+                match op {
+                    None => self.require_assignable(lt, rt, rhs),
+                    Some(BinOp::Add | BinOp::Sub) if self.types.is_ptr(lt) => {
+                        if !self.types.is_arith(rd) {
+                            self.error(span, "pointer compound assignment needs integer");
+                        }
+                    }
+                    Some(_) => {
+                        if !(self.types.is_arith(lt) && self.types.is_arith(rd)) {
+                            self.error(span, "invalid compound assignment operands");
+                        }
+                    }
+                }
+                self.set_ty(e, lt)
+            }
+            ExprKind::IncDec { arg, .. } => {
+                let at = self.check_expr(arg)?;
+                if !self.is_lvalue(arg) {
+                    self.error(span, "`++`/`--` requires an lvalue");
+                }
+                if !(self.types.is_arith(at) || self.types.is_ptr(at)) {
+                    self.error(span, "`++`/`--` requires a scalar");
+                }
+                self.set_ty(e, at)
+            }
+            ExprKind::Call { callee, args } => self.check_call(e, callee, args, span),
+            ExprKind::Member {
+                base,
+                field,
+                arrow,
+                ..
+            } => {
+                let bt = self.check_expr(base)?;
+                let rec_ty = if arrow {
+                    let bd = self.decayed(bt);
+                    match self.types.pointee(bd) {
+                        Some(p) => p,
+                        None => {
+                            self.error(span, "`->` requires a pointer to struct/union");
+                            return None;
+                        }
+                    }
+                } else {
+                    bt
+                };
+                let TypeKind::Record(rid) = *self.types.kind(rec_ty) else {
+                    let d = self.types.display(rec_ty);
+                    self.error(span, format!("member access on non-struct `{d}`"));
+                    return None;
+                };
+                let rec = self.types.record(rid);
+                if !rec.defined {
+                    let n = rec.name.clone();
+                    self.error(span, format!("use of undefined struct/union `{n}`"));
+                    return None;
+                }
+                let Some(idx) = rec.field_index(&field) else {
+                    let n = rec.name.clone();
+                    self.error(span, format!("no field `{field}` in `{n}`"));
+                    return None;
+                };
+                let fty = rec.fields[idx].ty;
+                if let ExprKind::Member {
+                    record,
+                    field_index,
+                    ..
+                } = &mut self.exprs.get_mut(e).kind
+                {
+                    *record = Some(rid);
+                    *field_index = Some(idx);
+                }
+                self.set_ty(e, fty)
+            }
+            ExprKind::Index { base, index } => {
+                let bt = self.check_expr(base);
+                let it = self.check_expr(index);
+                let bt = bt?;
+                if let Some(it) = it {
+                    if !self.types.is_arith(it) {
+                        self.error(span, "array index must be integral");
+                    }
+                }
+                let elem = if let Some(elem) = self.types.element(bt) {
+                    Some(elem)
+                } else {
+                    let bd = self.decayed(bt);
+                    self.types.pointee(bd)
+                };
+                match elem {
+                    Some(t) => self.set_ty(e, t),
+                    None => {
+                        let d = self.types.display(bt);
+                        self.error(span, format!("cannot index `{d}`"));
+                        None
+                    }
+                }
+            }
+            ExprKind::Cast { ty, arg } => {
+                let at = self.check_expr(arg)?;
+                let ad = self.decayed(at);
+                let ok = match (self.types.kind(ty).clone(), self.types.kind(ad).clone()) {
+                    (TypeKind::Void, _) => true,
+                    (TypeKind::Ptr(_), TypeKind::Ptr(_)) => true,
+                    (a, b) if !matches!(a, TypeKind::Ptr(_)) && !matches!(b, TypeKind::Ptr(_)) => {
+                        self.types.is_arith(ty) && self.types.is_arith(ad)
+                    }
+                    _ => false,
+                };
+                if !ok {
+                    let (f, t) = (self.types.display(ad), self.types.display(ty));
+                    self.error(
+                        span,
+                        format!("unsupported cast from `{f}` to `{t}` (pointer/integer casts are outside the modeled subset)"),
+                    );
+                }
+                self.set_ty(e, ty)
+            }
+            ExprKind::SizeofType(_) | ExprKind::SizeofExpr(_) => {
+                if let ExprKind::SizeofExpr(inner) = kind {
+                    self.check_expr(inner);
+                }
+                let t = self.types.int();
+                self.set_ty(e, t)
+            }
+            ExprKind::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                self.check_scalar_cond(cond);
+                let tt = self.check_expr(then_e);
+                let et = self.check_expr(else_e);
+                let (tt, et) = (tt?, et?);
+                let td = self.decayed(tt);
+                let ed = self.decayed(et);
+                let ty = if td == ed {
+                    td
+                } else if self.types.is_arith(td) && self.types.is_arith(ed) {
+                    self.arith_common(td, ed)
+                } else if self.types.is_ptr(td) && self.types.is_ptr(ed) {
+                    // One side void* (e.g. NULL): the other side wins.
+                    if self.types.pointee(td).map(|p| self.types.kind(p).clone())
+                        == Some(TypeKind::Void)
+                    {
+                        ed
+                    } else {
+                        td
+                    }
+                } else {
+                    self.error(span, "incompatible ternary branch types");
+                    return None;
+                };
+                self.set_ty(e, ty)
+            }
+            ExprKind::InitList(_) => {
+                self.error(span, "initializer list is only allowed in declarations");
+                None
+            }
+            ExprKind::Comma { lhs, rhs } => {
+                self.check_expr(lhs);
+                let rt = self.check_expr(rhs)?;
+                self.set_ty(e, rt)
+            }
+        }
+    }
+
+    fn arith_common(&mut self, a: TypeId, b: TypeId) -> TypeId {
+        let float = self.types.float();
+        if a == float || b == float {
+            float
+        } else {
+            self.types.int()
+        }
+    }
+
+    fn check_call(
+        &mut self,
+        e: ExprId,
+        callee: ExprId,
+        args: Vec<ExprId>,
+        span: Span,
+    ) -> Option<TypeId> {
+        let ct = self.check_expr(callee)?;
+        // Peel `*fp` / decay to reach a function signature.
+        let sig = match self.types.kind(ct).clone() {
+            TypeKind::Func(sig) => sig,
+            TypeKind::Ptr(p) => match self.types.kind(p).clone() {
+                TypeKind::Func(sig) => sig,
+                _ => {
+                    self.error(span, "called object is not a function");
+                    return None;
+                }
+            },
+            _ => {
+                self.error(span, "called object is not a function");
+                return None;
+            }
+        };
+        // Direct calls to user functions must have a definition somewhere.
+        if let ExprKind::Ident {
+            target: Some(IdentTarget::Func(f)),
+            ..
+        } = self.exprs.get(callee).kind
+        {
+            if !self.func_sigs[f.0 as usize].defined {
+                self.error(span, "call to function that is declared but never defined");
+            }
+        }
+        let arg_tys: Vec<Option<TypeId>> = args.iter().map(|a| self.check_expr(*a)).collect();
+        if sig.varargs {
+            if args.len() < sig.params.len() {
+                self.error(span, "too few arguments");
+            }
+        } else if args.len() != sig.params.len() {
+            self.error(
+                span,
+                format!(
+                    "expected {} argument(s), found {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+            );
+        }
+        for (i, (&arg, pty)) in args.iter().zip(sig.params.iter()).enumerate() {
+            if let Some(at) = arg_tys[i] {
+                self.require_assignable(*pty, at, arg);
+            }
+        }
+        self.set_ty(e, sig.ret)
+    }
+}
+
+/// The modeled signature of a builtin.
+pub fn builtin_sig(b: Builtin, types: &mut TypeTable) -> FuncSig {
+    use Builtin::*;
+    let int = types.int();
+    let void = types.void();
+    let vp = types.void_ptr();
+    let cp = types.char_ptr();
+    let (params, ret, varargs) = match b {
+        Malloc => (vec![int], vp, false),
+        Calloc => (vec![int, int], vp, false),
+        Realloc => (vec![vp, int], vp, false),
+        Free => (vec![vp], void, false),
+        Strcpy => (vec![cp, cp], cp, false),
+        Strncpy => (vec![cp, cp, int], cp, false),
+        Strcat => (vec![cp, cp], cp, false),
+        Strcmp => (vec![cp, cp], int, false),
+        Strncmp => (vec![cp, cp, int], int, false),
+        Strlen => (vec![cp], int, false),
+        Strchr => (vec![cp, int], cp, false),
+        Strdup => (vec![cp], cp, false),
+        Memcpy => (vec![vp, vp, int], vp, false),
+        Memmove => (vec![vp, vp, int], vp, false),
+        Memset => (vec![vp, int, int], vp, false),
+        Printf => (vec![cp], int, true),
+        Sprintf => (vec![cp, cp], int, true),
+        Puts => (vec![cp], int, false),
+        Putchar => (vec![int], int, false),
+        Getchar => (vec![], int, false),
+        Atoi => (vec![cp], int, false),
+        Exit => (vec![int], void, false),
+        Abs => (vec![int], int, false),
+        Rand => (vec![], int, false),
+        Srand => (vec![int], void, false),
+    };
+    FuncSig {
+        params,
+        ret,
+        varargs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_ok(src: &str) -> Program {
+        let mut p = parse(lex(src).expect("lex")).expect("parse");
+        check(&mut p).expect("sema");
+        p
+    }
+
+    fn check_err(src: &str) -> FrontendError {
+        let mut p = parse(lex(src).expect("lex")).expect("parse");
+        check(&mut p).expect_err("expected sema error")
+    }
+
+    #[test]
+    fn resolves_locals_params_globals() {
+        let p = check_ok(
+            "int g;\n\
+             int add(int a, int b) { int c; c = a + b + g; return c; }",
+        );
+        let f = &p.funcs[0];
+        assert_eq!(f.vars.len(), 3);
+        assert!(f.vars[0].is_param && f.vars[1].is_param && !f.vars[2].is_param);
+    }
+
+    #[test]
+    fn shadowing_resolves_innermost() {
+        let p = check_ok(
+            "int f(int x) { { int x; x = 1; } return x; }",
+        );
+        assert_eq!(p.funcs[0].vars.len(), 2);
+    }
+
+    #[test]
+    fn marks_addr_taken() {
+        let p = check_ok("void f(void) { int a; int b; int *p; p = &a; *p = b; }");
+        let vars = &p.funcs[0].vars;
+        assert!(vars.iter().find(|v| v.name == "a").unwrap().addr_taken);
+        assert!(!vars.iter().find(|v| v.name == "b").unwrap().addr_taken);
+        assert!(!vars.iter().find(|v| v.name == "p").unwrap().addr_taken);
+    }
+
+    #[test]
+    fn addr_of_member_marks_root() {
+        let p = check_ok(
+            "struct s { int x; };\n\
+             void f(void) { struct s v; int *p; p = &v.x; *p = 1; }",
+        );
+        let vars = &p.funcs[0].vars;
+        assert!(vars.iter().find(|v| v.name == "v").unwrap().addr_taken);
+    }
+
+    #[test]
+    fn types_flow_through_exprs() {
+        let p = check_ok("int *f(int *p) { return p + 1; }");
+        let body = p.funcs[0].body.as_ref().unwrap();
+        let Stmt::Return { value: Some(v), .. } = &body.stmts[0] else {
+            panic!()
+        };
+        assert!(p.types.is_ptr(p.exprs.ty(*v)));
+    }
+
+    #[test]
+    fn rejects_undeclared() {
+        let e = check_err("int f(void) { return missing; }");
+        assert!(e.diagnostics[0].message.contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_bad_assignment() {
+        let e = check_err("void f(void) { int *p; int q; p = q; }");
+        assert!(e.diagnostics[0].message.contains("cannot assign"));
+    }
+
+    #[test]
+    fn void_star_interconverts() {
+        check_ok(
+            "void f(void) { int *p; void *v; p = malloc(4); v = p; p = v; free(v); }",
+        );
+    }
+
+    #[test]
+    fn null_assigns_to_pointers() {
+        check_ok("void f(void) { char *c; int *i; c = NULL; i = (int*)0; if (c == NULL) i = NULL; }");
+    }
+
+    #[test]
+    fn rejects_int_to_pointer_cast() {
+        let e = check_err("void f(int x) { int *p; p = (int*)x; }");
+        assert!(e.diagnostics[0].message.contains("cast"));
+    }
+
+    #[test]
+    fn member_resolution() {
+        let p = check_ok(
+            "struct node { int v; struct node *next; };\n\
+             int f(struct node *n) { return n->next->v; }",
+        );
+        let mut member_count = 0;
+        for (_, ex) in p.exprs.iter() {
+            if let ExprKind::Member {
+                record,
+                field_index,
+                ..
+            } = &ex.kind
+            {
+                assert!(record.is_some() && field_index.is_some());
+                member_count += 1;
+            }
+        }
+        assert_eq!(member_count, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_field() {
+        let e = check_err("struct s { int a; }; int f(struct s *p) { return p->b; }");
+        assert!(e.diagnostics[0].message.contains("no field"));
+    }
+
+    #[test]
+    fn function_pointers_check() {
+        check_ok(
+            "int add(int a, int b) { return a + b; }\n\
+             int apply(int (*op)(int, int), int x) { return op(x, x); }\n\
+             int main(void) { return apply(add, 3) + apply(&add, 4); }",
+        );
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let e = check_err("int f(int a) { return a; } int g(void) { return f(1, 2); }");
+        assert!(e.diagnostics[0].message.contains("argument"));
+    }
+
+    #[test]
+    fn rejects_call_to_undefined() {
+        let e = check_err("int f(int a); int g(void) { return f(1); }");
+        assert!(e.diagnostics[0].message.contains("never defined"));
+    }
+
+    #[test]
+    fn return_type_checked() {
+        let e = check_err("int *f(void) { int x; return x; }");
+        assert!(e.diagnostics[0].message.contains("cannot assign"));
+    }
+
+    #[test]
+    fn array_decays_in_calls_and_arith() {
+        check_ok(
+            "int sum(int *p, int n) { int s; int i; s = 0; \
+             for (i = 0; i < n; i++) s += p[i]; return s; }\n\
+             int main(void) { int a[8]; return sum(a, 8) + sum(a + 2, 4); }",
+        );
+    }
+
+    #[test]
+    fn string_literal_initializes_char_array() {
+        check_ok("char buf[16] = \"hello\"; char *msg = \"world\";");
+    }
+
+    #[test]
+    fn init_lists_check_recursively() {
+        check_ok(
+            "struct pt { int x; int y; };\n\
+             struct pt grid[2] = {{1, 2}, {3, 4}};\n\
+             int bad_free[3] = {1, 2, 3};",
+        );
+        let e = check_err("int a[2] = {1, 2, 3};");
+        assert!(e.diagnostics[0].message.contains("too many"));
+    }
+
+    #[test]
+    fn global_init_with_address() {
+        check_ok("int x; int *px = &x; int (*fp)(void);");
+    }
+
+    #[test]
+    fn aggregates_are_not_conditions() {
+        let e = check_err("struct s { int a; }; void f(struct s v) { if (v) return; }");
+        assert!(e.diagnostics[0].message.contains("scalar"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Source positions, spans, and diagnostics for the mini-C frontend.
+
+use std::fmt;
+
+/// A half-open byte range into a source buffer.
+///
+/// Spans are carried on tokens and AST nodes so that diagnostics and the
+/// downstream analyses can point back at concrete source locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Returns a zero-width span, used for synthesized nodes.
+    pub fn dummy() -> Span {
+        Span { start: 0, end: 0 }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Line/column pair (1-based) resolved from a byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+/// A source buffer plus the machinery to resolve spans to line/column.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    name: String,
+    text: String,
+    /// Byte offsets at which each line starts.
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    /// Wraps source text under a display name.
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile {
+            name: name.into(),
+            text,
+            line_starts,
+        }
+    }
+
+    /// The display name given at construction time.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The full source text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Number of lines in the file (a trailing newline does not add a line).
+    pub fn line_count(&self) -> usize {
+        if self.text.ends_with('\n') {
+            self.line_starts.len() - 1
+        } else {
+            self.line_starts.len()
+        }
+    }
+
+    /// Number of source lines that contain at least one non-whitespace
+    /// character. This is the "lines" statistic reported in Figure 2.
+    pub fn nonblank_line_count(&self) -> usize {
+        self.text.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+
+    /// Resolves a byte offset to a 1-based line/column pair.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line as u32 + 1,
+            col: offset - self.line_starts[line] + 1,
+        }
+    }
+
+    /// Returns the text covered by `span`.
+    pub fn snippet(&self, span: Span) -> &str {
+        &self.text[span.start as usize..span.end as usize]
+    }
+}
+
+/// A diagnostic produced by the lexer, parser, or semantic analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Where the problem is.
+    pub span: Span,
+    /// Human-readable description, lowercase, no trailing period.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a new diagnostic at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the diagnostic with line/column info against `file`.
+    pub fn render(&self, file: &SourceFile) -> String {
+        let lc = file.line_col(self.span.start);
+        format!("{}:{}:{}: error: {}", file.name(), lc.line, lc.col, self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Error type aggregating one or more frontend diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// Everything that went wrong, in source order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl FrontendError {
+    /// Wraps a single diagnostic.
+    pub fn single(d: Diagnostic) -> Self {
+        FrontendError {
+            diagnostics: vec![d],
+        }
+    }
+
+    /// Renders all diagnostics against `file`, one per line.
+    pub fn render(&self, file: &SourceFile) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| d.render(file))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<Diagnostic> for FrontendError {
+    fn from(d: Diagnostic) -> Self {
+        FrontendError::single(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_union_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn line_col_resolution() {
+        let f = SourceFile::new("t.c", "ab\ncd\n\nxyz");
+        assert_eq!(f.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(f.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(f.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(f.line_col(6), LineCol { line: 3, col: 1 });
+        assert_eq!(f.line_col(7), LineCol { line: 4, col: 1 });
+        assert_eq!(f.line_count(), 4);
+    }
+
+    #[test]
+    fn nonblank_lines_skip_whitespace_only() {
+        let f = SourceFile::new("t.c", "int x;\n\n  \nint y;\n");
+        assert_eq!(f.nonblank_line_count(), 2);
+        assert_eq!(f.line_count(), 4);
+    }
+
+    #[test]
+    fn snippet_extracts_text() {
+        let f = SourceFile::new("t.c", "hello world");
+        assert_eq!(f.snippet(Span::new(6, 11)), "world");
+    }
+
+    #[test]
+    fn diagnostic_renders_position() {
+        let f = SourceFile::new("t.c", "int x\nint y;");
+        let d = Diagnostic::new(Span::new(6, 9), "expected `;`");
+        assert_eq!(d.render(&f), "t.c:2:1: error: expected `;`");
+    }
+}

@@ -1,0 +1,282 @@
+//! Token definitions for the mini-C lexer.
+
+use crate::source::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+///
+/// Variant names mirror their C spelling (see [`TokenKind::describe`]),
+/// so per-variant docs would only repeat the name.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// An integer literal (decimal, hex `0x`, octal `0`, or character literal).
+    IntLit(i64),
+    /// A floating-point literal, stored as `f64` bits so the token can
+    /// remain `Eq`/`Hash`.
+    FloatLit(u64),
+    /// A string literal with escapes already processed.
+    StrLit(String),
+    /// An identifier or (if it matches) a keyword; keywords are separated
+    /// out by the lexer into the variants below.
+    Ident(String),
+
+    // Keywords.
+    KwInt,
+    KwChar,
+    KwVoid,
+    KwStruct,
+    KwUnion,
+    KwEnum,
+    KwTypedef,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwDo,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSizeof,
+    KwNull,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwExtern,
+    KwStatic,
+    KwConst,
+    KwUnsigned,
+    KwLong,
+    KwShort,
+    KwFloat,
+    KwDouble,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AmpAmp,
+    PipePipe,
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    PlusPlus,
+    MinusMinus,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            IntLit(v) => format!("integer literal `{v}`"),
+            FloatLit(b) => format!("float literal `{}`", f64::from_bits(*b)),
+            StrLit(_) => "string literal".to_string(),
+            Ident(s) => format!("identifier `{s}`"),
+            Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    /// The literal spelling of a punctuation or keyword token.
+    fn symbol(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            KwInt => "int",
+            KwChar => "char",
+            KwVoid => "void",
+            KwStruct => "struct",
+            KwUnion => "union",
+            KwEnum => "enum",
+            KwTypedef => "typedef",
+            KwIf => "if",
+            KwElse => "else",
+            KwWhile => "while",
+            KwFor => "for",
+            KwDo => "do",
+            KwReturn => "return",
+            KwBreak => "break",
+            KwContinue => "continue",
+            KwSizeof => "sizeof",
+            KwNull => "NULL",
+            KwSwitch => "switch",
+            KwCase => "case",
+            KwDefault => "default",
+            KwExtern => "extern",
+            KwStatic => "static",
+            KwConst => "const",
+            KwUnsigned => "unsigned",
+            KwLong => "long",
+            KwShort => "short",
+            KwFloat => "float",
+            KwDouble => "double",
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Colon => ":",
+            Question => "?",
+            Dot => ".",
+            Arrow => "->",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Bang => "!",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            Ne => "!=",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            Eq => "=",
+            PlusEq => "+=",
+            MinusEq => "-=",
+            StarEq => "*=",
+            SlashEq => "/=",
+            PercentEq => "%=",
+            AmpEq => "&=",
+            PipeEq => "|=",
+            CaretEq => "^=",
+            ShlEq => "<<=",
+            ShrEq => ">>=",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            IntLit(_) | FloatLit(_) | StrLit(_) | Ident(_) | Eof => unreachable!(),
+        }
+    }
+
+    /// Returns the keyword kind for `ident`, if it is a keyword.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match ident {
+            "int" => KwInt,
+            "char" => KwChar,
+            "void" => KwVoid,
+            "struct" => KwStruct,
+            "union" => KwUnion,
+            "enum" => KwEnum,
+            "typedef" => KwTypedef,
+            "if" => KwIf,
+            "else" => KwElse,
+            "while" => KwWhile,
+            "for" => KwFor,
+            "do" => KwDo,
+            "return" => KwReturn,
+            "break" => KwBreak,
+            "continue" => KwContinue,
+            "sizeof" => KwSizeof,
+            "NULL" => KwNull,
+            "switch" => KwSwitch,
+            "case" => KwCase,
+            "default" => KwDefault,
+            "extern" => KwExtern,
+            "static" => KwStatic,
+            "const" => KwConst,
+            "unsigned" => KwUnsigned,
+            "long" => KwLong,
+            "short" => KwShort,
+            "float" => KwFloat,
+            "double" => KwDouble,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token: a kind plus the span it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(TokenKind::keyword("NULL"), Some(TokenKind::KwNull));
+        assert_eq!(TokenKind::keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn describe_is_never_empty() {
+        for k in [
+            TokenKind::Arrow,
+            TokenKind::IntLit(3),
+            TokenKind::Ident("x".into()),
+            TokenKind::Eof,
+            TokenKind::ShlEq,
+        ] {
+            assert!(!k.describe().is_empty());
+        }
+    }
+}

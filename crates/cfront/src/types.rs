@@ -1,0 +1,470 @@
+//! Interned types for the mini-C language.
+//!
+//! The subset mirrors what Ruf's analysis observes: scalars (`int`, `char`,
+//! `float`/`double` collapse to [`TypeKind::Float`]), pointers, arrays,
+//! structs/unions, and function types (which appear only behind pointers or
+//! as the type of a function declaration).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an interned type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+/// Identifier of a struct or union definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId(pub u32);
+
+/// Structural kind of a type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TypeKind {
+    /// The `void` type.
+    Void,
+    /// All integer flavors (`int`, `char`, `short`, `long`, `unsigned`).
+    /// `char` is kept distinct so array-of-char can host string literals.
+    Int,
+    /// The character type (an integer in this model).
+    Char,
+    /// `float` and `double`.
+    Float,
+    /// Pointer to the payload type.
+    Ptr(TypeId),
+    /// Fixed-size array. A length of 0 means "unsized" (e.g. `int a[]`).
+    Array(TypeId, u32),
+    /// Struct or union; fields live in the [`Record`] table.
+    Record(RecordId),
+    /// Function type; only meaningful behind a pointer or on declarations.
+    Func(FuncSig),
+}
+
+/// Signature of a function type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FuncSig {
+    /// Parameter types, in order.
+    pub params: Vec<TypeId>,
+    /// Return type.
+    pub ret: TypeId,
+    /// `true` for printf-style builtins; user functions are never varargs.
+    pub varargs: bool,
+}
+
+/// A struct/union field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: TypeId,
+}
+
+/// A struct or union definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The `struct`/`union` tag.
+    pub name: String,
+    /// Whether this is a `union` (members share storage).
+    pub is_union: bool,
+    /// Fields, in declaration order.
+    pub fields: Vec<Field>,
+    /// `false` while only forward-declared.
+    pub defined: bool,
+}
+
+impl Record {
+    /// Finds a field index by name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+}
+
+/// Interning table for types and records.
+#[derive(Debug, Clone, Default)]
+pub struct TypeTable {
+    kinds: Vec<TypeKind>,
+    interned: HashMap<TypeKind, TypeId>,
+    records: Vec<Record>,
+    record_names: HashMap<(String, bool), RecordId>,
+}
+
+impl TypeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `kind`, returning a stable [`TypeId`].
+    pub fn intern(&mut self, kind: TypeKind) -> TypeId {
+        if let Some(&id) = self.interned.get(&kind) {
+            return id;
+        }
+        let id = TypeId(self.kinds.len() as u32);
+        self.kinds.push(kind.clone());
+        self.interned.insert(kind, id);
+        id
+    }
+
+    /// Interns `void`.
+    pub fn void(&mut self) -> TypeId {
+        self.intern(TypeKind::Void)
+    }
+    /// Interns `int`.
+    pub fn int(&mut self) -> TypeId {
+        self.intern(TypeKind::Int)
+    }
+    /// Interns `char`.
+    pub fn char(&mut self) -> TypeId {
+        self.intern(TypeKind::Char)
+    }
+    /// Interns the floating-point type.
+    pub fn float(&mut self) -> TypeId {
+        self.intern(TypeKind::Float)
+    }
+    /// Interns pointer-to-`inner`.
+    pub fn ptr(&mut self, inner: TypeId) -> TypeId {
+        self.intern(TypeKind::Ptr(inner))
+    }
+    /// Interns `inner[len]`.
+    pub fn array(&mut self, inner: TypeId, len: u32) -> TypeId {
+        self.intern(TypeKind::Array(inner, len))
+    }
+    /// Interns `void*`.
+    pub fn void_ptr(&mut self) -> TypeId {
+        let v = self.void();
+        self.ptr(v)
+    }
+    /// Interns `char*`.
+    pub fn char_ptr(&mut self) -> TypeId {
+        let c = self.char();
+        self.ptr(c)
+    }
+
+    /// The kind of `id`.
+    pub fn kind(&self, id: TypeId) -> &TypeKind {
+        &self.kinds[id.0 as usize]
+    }
+
+    /// Declares (or retrieves) a record by name, initially undefined.
+    pub fn declare_record(&mut self, name: &str, is_union: bool) -> RecordId {
+        if let Some(&id) = self.record_names.get(&(name.to_string(), is_union)) {
+            return id;
+        }
+        let id = RecordId(self.records.len() as u32);
+        self.records.push(Record {
+            name: name.to_string(),
+            is_union,
+            fields: Vec::new(),
+            defined: false,
+        });
+        self.record_names.insert((name.to_string(), is_union), id);
+        id
+    }
+
+    /// Fills in the fields of a previously declared record.
+    ///
+    /// Returns `false` if the record was already defined (a redefinition).
+    pub fn define_record(&mut self, id: RecordId, fields: Vec<Field>) -> bool {
+        let r = &mut self.records[id.0 as usize];
+        if r.defined {
+            return false;
+        }
+        r.fields = fields;
+        r.defined = true;
+        true
+    }
+
+    /// Accessor for a record definition.
+    pub fn record(&self, id: RecordId) -> &Record {
+        &self.records[id.0 as usize]
+    }
+
+    /// All records in declaration order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of interned types.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether no types have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    // ----- predicates ---------------------------------------------------
+
+    /// `int`, `char`, or `float`: arithmetic scalar.
+    pub fn is_arith(&self, id: TypeId) -> bool {
+        matches!(
+            self.kind(id),
+            TypeKind::Int | TypeKind::Char | TypeKind::Float
+        )
+    }
+
+    /// Any pointer type.
+    pub fn is_ptr(&self, id: TypeId) -> bool {
+        matches!(self.kind(id), TypeKind::Ptr(_))
+    }
+
+    /// Pointer to a function type.
+    pub fn is_func_ptr(&self, id: TypeId) -> bool {
+        match self.kind(id) {
+            TypeKind::Ptr(inner) => matches!(self.kind(*inner), TypeKind::Func(_)),
+            _ => false,
+        }
+    }
+
+    /// Array type.
+    pub fn is_array(&self, id: TypeId) -> bool {
+        matches!(self.kind(id), TypeKind::Array(..))
+    }
+
+    /// Struct, union, or array: a value with internal structure.
+    pub fn is_aggregate(&self, id: TypeId) -> bool {
+        matches!(self.kind(id), TypeKind::Record(_) | TypeKind::Array(..))
+    }
+
+    /// Struct or union.
+    pub fn is_record(&self, id: TypeId) -> bool {
+        matches!(self.kind(id), TypeKind::Record(_))
+    }
+
+    /// Function (not function pointer).
+    pub fn is_func(&self, id: TypeId) -> bool {
+        matches!(self.kind(id), TypeKind::Func(_))
+    }
+
+    /// Pointee of a pointer type.
+    pub fn pointee(&self, id: TypeId) -> Option<TypeId> {
+        match self.kind(id) {
+            TypeKind::Ptr(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Element type of an array.
+    pub fn element(&self, id: TypeId) -> Option<TypeId> {
+        match self.kind(id) {
+            TypeKind::Array(t, _) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Array-to-pointer decay; other types pass through unchanged.
+    pub fn decay(&mut self, id: TypeId) -> TypeId {
+        match self.kind(id) {
+            TypeKind::Array(t, _) => {
+                let t = *t;
+                self.ptr(t)
+            }
+            _ => id,
+        }
+    }
+
+    /// Whether a value of this type can transitively hold a pointer or
+    /// function value. Drives the "alias-related output" statistic of
+    /// Figure 2 and the aggregate column of Figure 3.
+    pub fn contains_pointer(&self, id: TypeId) -> bool {
+        match self.kind(id) {
+            TypeKind::Ptr(_) | TypeKind::Func(_) => true,
+            TypeKind::Array(t, _) => self.contains_pointer(*t),
+            TypeKind::Record(r) => {
+                let r = self.record(*r);
+                r.fields.iter().any(|f| self.contains_pointer(f.ty))
+            }
+            _ => false,
+        }
+    }
+
+    /// A deterministic byte size used to fold `sizeof`. Padding-free and
+    /// not ABI-accurate; only the analysis-irrelevant constant matters.
+    pub fn size_of(&self, id: TypeId) -> u64 {
+        match self.kind(id) {
+            TypeKind::Void => 1,
+            TypeKind::Char => 1,
+            TypeKind::Int => 4,
+            TypeKind::Float => 8,
+            TypeKind::Ptr(_) | TypeKind::Func(_) => 8,
+            TypeKind::Array(t, n) => self.size_of(*t) * (*n as u64).max(1),
+            TypeKind::Record(r) => {
+                let r = self.record(*r);
+                if r.is_union {
+                    r.fields.iter().map(|f| self.size_of(f.ty)).max().unwrap_or(1)
+                } else {
+                    r.fields.iter().map(|f| self.size_of(f.ty)).sum::<u64>().max(1)
+                }
+            }
+        }
+    }
+
+    /// Whether a value of type `src` may be assigned to a location of type
+    /// `dst` without an explicit cast. Mini-C is permissive in the ways C
+    /// compilers of the era were: `void*` converts freely, integer types
+    /// interconvert, and the integer literal 0 (handled by the caller)
+    /// converts to any pointer.
+    pub fn assignable(&self, dst: TypeId, src: TypeId) -> bool {
+        if dst == src {
+            return true;
+        }
+        match (self.kind(dst), self.kind(src)) {
+            (TypeKind::Int | TypeKind::Char | TypeKind::Float, _)
+                if self.is_arith(src) =>
+            {
+                true
+            }
+            (TypeKind::Ptr(a), TypeKind::Ptr(b)) => {
+                matches!(self.kind(*a), TypeKind::Void)
+                    || matches!(self.kind(*b), TypeKind::Void)
+                    // Era-typical laxity: char* and other pointers interconvert
+                    // only through void* or casts; identical pointees needed here.
+                    || a == b
+            }
+            _ => false,
+        }
+    }
+
+    /// Renders `id` as C-ish syntax (for diagnostics and the pretty-printer).
+    pub fn display(&self, id: TypeId) -> String {
+        match self.kind(id) {
+            TypeKind::Void => "void".into(),
+            TypeKind::Int => "int".into(),
+            TypeKind::Char => "char".into(),
+            TypeKind::Float => "double".into(),
+            TypeKind::Ptr(t) => format!("{}*", self.display(*t)),
+            TypeKind::Array(t, n) => format!("{}[{}]", self.display(*t), n),
+            TypeKind::Record(r) => {
+                let r = self.record(*r);
+                format!("{} {}", if r.is_union { "union" } else { "struct" }, r.name)
+            }
+            TypeKind::Func(sig) => {
+                let params = sig
+                    .params
+                    .iter()
+                    .map(|p| self.display(*p))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("{}({})", self.display(sig.ret), params)
+            }
+        }
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ty{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut t = TypeTable::new();
+        let i1 = t.int();
+        let i2 = t.int();
+        assert_eq!(i1, i2);
+        let p1 = t.ptr(i1);
+        let p2 = t.ptr(i2);
+        assert_eq!(p1, p2);
+        assert_ne!(i1, p1);
+    }
+
+    #[test]
+    fn decay_turns_arrays_into_pointers() {
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let arr = t.array(int, 10);
+        let decayed = t.decay(arr);
+        assert_eq!(t.kind(decayed), &TypeKind::Ptr(int));
+        assert_eq!(t.decay(int), int);
+    }
+
+    #[test]
+    fn contains_pointer_walks_aggregates() {
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let ip = t.ptr(int);
+        let r = t.declare_record("node", false);
+        let rec_ty = t.intern(TypeKind::Record(r));
+        let self_ptr = t.ptr(rec_ty);
+        t.define_record(
+            r,
+            vec![
+                Field { name: "v".into(), ty: int },
+                Field { name: "next".into(), ty: self_ptr },
+            ],
+        );
+        assert!(t.contains_pointer(rec_ty));
+        assert!(t.contains_pointer(ip));
+        assert!(!t.contains_pointer(int));
+        let arr = t.array(int, 4);
+        assert!(!t.contains_pointer(arr));
+        let parr = t.array(ip, 4);
+        assert!(t.contains_pointer(parr));
+    }
+
+    #[test]
+    fn record_redefinition_rejected() {
+        let mut t = TypeTable::new();
+        let r = t.declare_record("s", false);
+        assert!(t.define_record(r, vec![]));
+        assert!(!t.define_record(r, vec![]));
+    }
+
+    #[test]
+    fn struct_and_union_names_are_distinct_namespaces() {
+        let mut t = TypeTable::new();
+        let s = t.declare_record("u", false);
+        let u = t.declare_record("u", true);
+        assert_ne!(s, u);
+    }
+
+    #[test]
+    fn assignability_rules() {
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let ch = t.char();
+        let vp = t.void_ptr();
+        let ip = t.ptr(int);
+        let cp = t.char_ptr();
+        assert!(t.assignable(int, ch));
+        assert!(t.assignable(vp, ip));
+        assert!(t.assignable(ip, vp));
+        assert!(t.assignable(ip, ip));
+        assert!(!t.assignable(ip, cp));
+        assert!(!t.assignable(ip, int));
+    }
+
+    #[test]
+    fn sizeof_is_deterministic() {
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let arr = t.array(int, 10);
+        assert_eq!(t.size_of(arr), 40);
+        let r = t.declare_record("pair", false);
+        t.define_record(
+            r,
+            vec![
+                Field { name: "a".into(), ty: int },
+                Field { name: "b".into(), ty: int },
+            ],
+        );
+        let rt = t.intern(TypeKind::Record(r));
+        assert_eq!(t.size_of(rt), 8);
+    }
+
+    #[test]
+    fn display_renders_nested_types() {
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let ipp = {
+            let ip = t.ptr(int);
+            t.ptr(ip)
+        };
+        assert_eq!(t.display(ipp), "int**");
+    }
+}

@@ -1,0 +1,242 @@
+//! `ruf95` — command-line driver for the alias-analysis reproduction.
+//!
+//! ```text
+//! ruf95 refs <file.c | bench:NAME>      points-to sets at indirect refs (CI)
+//! ruf95 compare <file.c | bench:NAME>   CI vs CS at every indirect ref
+//! ruf95 modref <file.c | bench:NAME>    per-function mod/ref summary
+//! ruf95 dot <file.c | bench:NAME>       VDG in Graphviz DOT on stdout
+//! ruf95 ir <file.c | bench:NAME>        VDG as a per-function listing
+//! ruf95 run <file.c | bench:NAME>       interpret and check soundness
+//! ruf95 spectrum <file.c | bench:NAME>  Weihl/Steensgaard/CI/k=1/CS table
+//! ruf95 list                            list bundled benchmarks
+//! ```
+//!
+//! `bench:NAME` loads a program from the bundled suite instead of disk.
+
+use alias::callstring::{analyze_callstring_from, CallStringConfig};
+use alias::modref::mod_ref;
+use alias::steensgaard::analyze_steensgaard;
+use alias::stats::compare_at_indirect_refs;
+use alias::weihl::analyze_weihl_from;
+use alias::{analyze_cs, Analysis, CsConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ruf95 <refs|compare|modref|dot|ir|run|spectrum> <file.c | bench:NAME>\n\
+         \u{20}      ruf95 list"
+    );
+    ExitCode::from(2)
+}
+
+fn load_source(spec: &str) -> Result<(String, String), String> {
+    if let Some(name) = spec.strip_prefix("bench:") {
+        let b = suite::by_name(name)
+            .ok_or_else(|| format!("unknown benchmark `{name}` (try `ruf95 list`)"))?;
+        return Ok((name.to_string(), b.source.to_string()));
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+    Ok((spec.to_string(), text))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    if cmd == "list" {
+        for b in suite::benchmarks() {
+            println!(
+                "{:<10} {:>5} lines  exit {}",
+                b.name,
+                b.source.lines().count(),
+                b.expected_exit
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let Some(spec) = args.get(1) else {
+        return usage();
+    };
+    let (name, source) = match load_source(spec) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_command(cmd, &name, &source) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_command(cmd: &str, name: &str, source: &str) -> Result<(), String> {
+    let render_err = |e: alias::AnalysisError| -> String {
+        match &e {
+            alias::AnalysisError::Frontend(f) => {
+                f.render(&cfront::SourceFile::new(name, source))
+            }
+            other => other.to_string(),
+        }
+    };
+    let a = Analysis::of_source(source).map_err(render_err)?;
+    let file = cfront::SourceFile::new(name, source);
+    match cmd {
+        "refs" => cmd_refs(&a, &file),
+        "compare" => cmd_compare(&a, &file),
+        "modref" => cmd_modref(&a),
+        "dot" => {
+            print!("{}", vdg::dot::to_dot(&a.graph));
+            Ok(())
+        }
+        "ir" => {
+            print!("{}", vdg::display::to_text(&a.graph));
+            Ok(())
+        }
+        "run" => cmd_run(&a, name),
+        "spectrum" => cmd_spectrum(&a, &file),
+        _ => Err(format!("unknown command `{cmd}`")),
+    }
+}
+
+/// Renders a node's source position as `line:col`.
+fn site_line(a: &Analysis, file: &cfront::SourceFile, node: vdg::NodeId) -> String {
+    let span = a.graph.node(node).span;
+    let lc = file.line_col(span.start);
+    format!("{}:{}", lc.line, lc.col)
+}
+
+fn cmd_refs(a: &Analysis, file: &cfront::SourceFile) -> Result<(), String> {
+    println!(
+        "{} nodes, {} outputs, {} CI points-to pairs\n",
+        a.graph.node_count(),
+        a.graph.output_count(),
+        a.ci.total_pairs()
+    );
+    for (node, is_write) in a.graph.indirect_mem_ops() {
+        let names: Vec<String> = a
+            .ci
+            .loc_referents(&a.graph, node)
+            .iter()
+            .map(|&p| a.ci.paths.display(p, &a.graph))
+            .collect();
+        println!(
+            "{} at {}: {{{}}}",
+            if is_write { "write" } else { "read " },
+            site_line(a, file, node),
+            names.join(", ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compare(a: &Analysis, file: &cfront::SourceFile) -> Result<(), String> {
+    let cs = a
+        .run_cs(&CsConfig::default())
+        .map_err(|e| e.to_string())?;
+    let mismatches = compare_at_indirect_refs(&a.graph, &a.ci, &cs);
+    println!(
+        "CI pairs: {}   CS pairs: {}   indirect refs: {}   mismatches: {}",
+        a.ci.total_pairs(),
+        cs.total_pairs(),
+        a.graph.indirect_mem_ops().len(),
+        mismatches.len()
+    );
+    for m in &mismatches {
+        println!(
+            "  {} at {}: CI {{{}}} vs CS {{{}}}",
+            if m.is_write { "write" } else { "read" },
+            site_line(a, file, m.node),
+            m.ci_referents.join(", "),
+            m.cs_referents.join(", ")
+        );
+    }
+    if mismatches.is_empty() {
+        println!("identical at every indirect memory reference (the paper's headline)");
+    }
+    Ok(())
+}
+
+fn cmd_modref(a: &Analysis) -> Result<(), String> {
+    let summary = mod_ref(&a.graph, &a.ci, &a.ci.callees);
+    for f in a.graph.func_ids() {
+        let info = a.graph.func(f);
+        if info.name == "<root>" {
+            continue;
+        }
+        let Some(mr) = summary.transitive.get(&f) else {
+            continue;
+        };
+        let fmt = |set: &std::collections::BTreeSet<alias::PathId>| {
+            set.iter()
+                .map(|&p| a.ci.paths.display(p, &a.graph))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!("{}:", info.name);
+        println!("  ref: {{{}}}", fmt(&mr.refs));
+        println!("  mod: {{{}}}", fmt(&mr.mods));
+    }
+    Ok(())
+}
+
+fn cmd_run(a: &Analysis, name: &str) -> Result<(), String> {
+    let input = suite::by_name(name)
+        .map(|b| b.input.to_vec())
+        .unwrap_or_default();
+    let out = interp::run(
+        &a.program,
+        &interp::Config {
+            input,
+            ..interp::Config::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    print!("{}", out.stdout);
+    println!("[exit {} after {} steps]", out.exit, out.steps);
+    let violations = interp::check_solution(&a.program, &a.graph, &a.ci, &out.trace);
+    if violations.is_empty() {
+        println!("[soundness: every runtime dereference was predicted by the CI analysis]");
+        Ok(())
+    } else {
+        Err(format!("soundness violations: {violations:#?}"))
+    }
+}
+
+fn cmd_spectrum(a: &Analysis, file: &cfront::SourceFile) -> Result<(), String> {
+    let w = analyze_weihl_from(&a.graph, a.ci.paths.clone());
+    let mut st = analyze_steensgaard(&a.graph);
+    let k1 = analyze_callstring_from(&a.graph, a.ci.paths.clone(), &CallStringConfig::default())
+        .map_err(|e| e.to_string())?;
+    let cs = analyze_cs(&a.graph, &a.ci, &CsConfig::default()).map_err(|e| e.to_string())?;
+    println!(
+        "{:<32} {:>6} {:>7} {:>5} {:>5} {:>5}",
+        "indirect ref", "Weihl", "Steens", "CI", "k=1", "CS"
+    );
+    for (node, is_write) in a.graph.indirect_mem_ops() {
+        let bases = |refs: Vec<alias::PathId>, paths: &alias::PathTable| -> usize {
+            let mut b: Vec<_> = refs.iter().filter_map(|&p| paths.base_of(p)).collect();
+            b.sort_unstable();
+            b.dedup();
+            b.len()
+        };
+        println!(
+            "{:<32} {:>6} {:>7} {:>5} {:>5} {:>5}",
+            format!(
+                "{} {}",
+                if is_write { "write" } else { "read" },
+                site_line(a, file, node)
+            ),
+            bases(w.loc_referents(&a.graph, node), &w.paths),
+            st.loc_bases(&a.graph, node).len(),
+            bases(a.ci.loc_referents(&a.graph, node), &a.ci.paths),
+            bases(k1.loc_referents(&a.graph, node), &k1.paths),
+            bases(cs.loc_referents(&a.graph, node), &cs.paths),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,1144 @@
+//! A concrete interpreter for checked mini-C programs.
+//!
+//! Besides producing output and an exit code, the interpreter traces the
+//! concrete location touched by every memory read and write, keyed by the
+//! AST expression performing the access. The `oracle` module compares
+//! those traces against the points-to analyses: every runtime dereference
+//! target must be covered by the analysis' prediction at the matching VDG
+//! node — an automated version of the soundness the paper argues
+//! informally.
+
+use crate::memory::{AbsLoc, CStep, Loc, Memory, Origin, Value};
+use cfront::ast::*;
+use cfront::types::{TypeKind, TypeTable};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Interpreter limits and inputs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum evaluation steps before aborting.
+    pub max_steps: u64,
+    /// Bytes served to `getchar()`.
+    pub input: Vec<u8>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_steps: 10_000_000,
+            input: Vec::new(),
+        }
+    }
+}
+
+/// Where the interpreter stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A dynamic error (null deref, division by zero, bad pointer math).
+    Dynamic(String),
+    /// The step budget ran out (probable infinite loop).
+    StepLimit,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Dynamic(m) => write!(f, "runtime error: {m}"),
+            RunError::StepLimit => write!(f, "interpreter step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Memory accesses observed at runtime, abstracted and keyed by the AST
+/// expression that performed them.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Abstract locations read, per reading expression.
+    pub reads: HashMap<ExprId, HashSet<AbsLoc>>,
+    /// Abstract locations written, per writing expression.
+    pub writes: HashMap<ExprId, HashSet<AbsLoc>>,
+}
+
+/// Result of a complete run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// `main`'s return value (or the `exit()` argument).
+    pub exit: i64,
+    /// Captured `printf`/`puts`/`putchar` output.
+    pub stdout: String,
+    /// Evaluation steps consumed.
+    pub steps: u64,
+    /// The memory-access trace for the soundness oracle.
+    pub trace: Trace,
+}
+
+/// Runs `main()` of a checked program.
+///
+/// # Errors
+///
+/// Returns [`RunError`] for dynamic errors or step-budget exhaustion.
+pub fn run(prog: &Program, cfg: &Config) -> Result<Outcome, RunError> {
+    let mut x = Exec::new(prog, cfg.clone());
+    match x.run_program() {
+        Ok(exit) | Err(Stop::Exit(exit)) => Ok(Outcome {
+            exit,
+            stdout: std::mem::take(&mut x.out),
+            steps: x.steps,
+            trace: std::mem::take(&mut x.trace),
+        }),
+        Err(Stop::Error(m)) => Err(RunError::Dynamic(m)),
+        Err(Stop::StepLimit) => Err(RunError::StepLimit),
+    }
+}
+
+enum Stop {
+    Error(String),
+    Exit(i64),
+    StepLimit,
+}
+
+impl From<String> for Stop {
+    fn from(m: String) -> Stop {
+        Stop::Error(m)
+    }
+}
+
+type R<T> = Result<T, Stop>;
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+struct Frame {
+    locals: Vec<u32>,
+}
+
+struct Exec<'p> {
+    prog: &'p Program,
+    cfg: Config,
+    mem: Memory,
+    globals: Vec<u32>,
+    frames: Vec<Frame>,
+    trace: Trace,
+    out: String,
+    steps: u64,
+    input_pos: usize,
+    rng: u64,
+}
+
+impl<'p> Exec<'p> {
+    fn new(prog: &'p Program, cfg: Config) -> Self {
+        Exec {
+            prog,
+            cfg,
+            mem: Memory::new(),
+            globals: Vec::new(),
+            frames: Vec::new(),
+            trace: Trace::default(),
+            out: String::new(),
+            steps: 0,
+            input_pos: 0,
+            rng: 0x2545F4914F6CDD1D,
+        }
+    }
+
+    fn types(&self) -> &TypeTable {
+        &self.prog.types
+    }
+
+    fn tick(&mut self) -> R<()> {
+        self.steps += 1;
+        if self.steps > self.cfg.max_steps {
+            return Err(Stop::StepLimit);
+        }
+        Ok(())
+    }
+
+    fn run_program(&mut self) -> R<i64> {
+        // Globals.
+        for (i, g) in self.prog.globals.iter().enumerate() {
+            let v = Memory::value_of_type(self.types(), g.ty);
+            let o = self.mem.alloc(v, Origin::Global(i as u32));
+            self.globals.push(o);
+        }
+        // A pseudo-frame so global initializers can evaluate.
+        self.frames.push(Frame { locals: Vec::new() });
+        for gi in 0..self.prog.globals.len() {
+            let g = &self.prog.globals[gi];
+            if let Some(init) = g.init {
+                let loc = Loc::of(self.globals[gi]);
+                self.run_initializer(&loc, g.ty, init)?;
+            }
+        }
+        self.frames.pop();
+
+        let main = self
+            .prog
+            .func_by_name("main")
+            .ok_or_else(|| Stop::Error("no main function".into()))?;
+        let v = self.call_user(main.0, Vec::new())?;
+        v.as_int().map_err(Stop::Error)
+    }
+
+    // ----- calls ---------------------------------------------------------
+
+    fn call_user(&mut self, f: u32, args: Vec<Value>) -> R<Value> {
+        self.tick()?;
+        // Each interpreted frame consumes several host frames; the limit
+        // keeps well within a test thread's 2 MiB stack.
+        if self.frames.len() > 128 {
+            return Err(Stop::Error("call stack too deep".into()));
+        }
+        let decl = &self.prog.funcs[f as usize];
+        let mut locals = Vec::with_capacity(decl.vars.len());
+        for (vi, v) in decl.vars.iter().enumerate() {
+            let init = Memory::value_of_type(self.types(), v.ty);
+            let o = self.mem.alloc(
+                init,
+                Origin::Local {
+                    func: f,
+                    slot: vi as u32,
+                },
+            );
+            locals.push(o);
+        }
+        for (i, a) in args.into_iter().enumerate().take(decl.n_params) {
+            let loc = Loc::of(locals[i]);
+            self.mem
+                .write(&loc, a, &self.prog.types)
+                .map_err(Stop::Error)?;
+        }
+        self.frames.push(Frame { locals });
+        let body = decl.body.as_ref().expect("called function has a body");
+        let flow = self.exec_block(body)?;
+        self.frames.pop();
+        Ok(match flow {
+            Flow::Return(v) => v,
+            _ => Value::Uninit,
+        })
+    }
+
+    fn frame(&self) -> &Frame {
+        self.frames.last().expect("active frame")
+    }
+
+    // ----- tracing helpers --------------------------------------------------
+
+    fn record_read(&mut self, e: ExprId, loc: &Loc) {
+        let a = self.mem.abstract_loc(loc, self.types());
+        self.trace.reads.entry(e).or_default().insert(a);
+    }
+
+    fn record_write(&mut self, e: ExprId, loc: &Loc) {
+        let a = self.mem.abstract_loc(loc, self.types());
+        self.trace.writes.entry(e).or_default().insert(a);
+    }
+
+    fn read_at(&mut self, e: ExprId, loc: &Loc) -> R<Value> {
+        self.record_read(e, loc);
+        self.mem.read(loc, &self.prog.types).map_err(Stop::Error)
+    }
+
+    fn write_at(&mut self, e: ExprId, loc: &Loc, v: Value) -> R<()> {
+        self.record_write(e, loc);
+        self.mem.write(loc, v, &self.prog.types).map_err(Stop::Error)
+    }
+
+    // ----- statements ---------------------------------------------------------
+
+    fn exec_block(&mut self, b: &Block) -> R<Flow> {
+        for s in &b.stmts {
+            match self.exec_stmt(s)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> R<Flow> {
+        self.tick()?;
+        match s {
+            Stmt::Expr(e) => {
+                self.eval(*e)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Local { ty, init, slot, .. } => {
+                let slot = slot.expect("sema assigned slot");
+                let obj = self.frame().locals[slot.0 as usize];
+                // Re-entering a block re-initializes the object shape
+                // (loops redeclare block-scoped locals).
+                let fresh = Memory::value_of_type(self.types(), *ty);
+                self.mem
+                    .write(&Loc::of(obj), fresh, &self.prog.types)
+                    .map_err(Stop::Error)?;
+                if let Some(init) = init {
+                    let loc = Loc::of(obj);
+                    self.run_initializer(&loc, *ty, *init)?;
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                if self.eval(*cond)?.truthy() {
+                    self.exec_block(then_blk)
+                } else if let Some(e) = else_blk {
+                    self.exec_block(e)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.eval(*cond)?.truthy() {
+                    self.tick()?;
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::DoWhile { body, cond } => {
+                loop {
+                    self.tick()?;
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if !self.eval(*cond)?.truthy() {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    if let Flow::Return(v) = self.exec_stmt(i)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                loop {
+                    self.tick()?;
+                    if let Some(c) = cond {
+                        if !self.eval(*c)?.truthy() {
+                            break;
+                        }
+                    }
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if let Some(st) = step {
+                        self.eval(*st)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+                ..
+            } => {
+                let v = self.eval(*scrutinee)?.as_int().map_err(Stop::Error)?;
+                for c in cases {
+                    if c.values.contains(&v) {
+                        return match self.exec_block(&c.body)? {
+                            Flow::Break => Ok(Flow::Normal),
+                            other => Ok(other),
+                        };
+                    }
+                }
+                if let Some(d) = default {
+                    return match self.exec_block(d)? {
+                        Flow::Break => Ok(Flow::Normal),
+                        other => Ok(other),
+                    };
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(v) => self.eval(*v)?,
+                    None => Value::Uninit,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break(_) => Ok(Flow::Break),
+            Stmt::Continue(_) => Ok(Flow::Continue),
+            Stmt::Block(b) => self.exec_block(b),
+        }
+    }
+
+    fn run_initializer(&mut self, loc: &Loc, ty: cfront::types::TypeId, init: ExprId) -> R<()> {
+        let kind = self.prog.exprs.get(init).kind.clone();
+        match kind {
+            ExprKind::InitList(items) => match self.types().kind(ty).clone() {
+                TypeKind::Array(elem, _) => {
+                    for (i, item) in items.into_iter().enumerate() {
+                        let el = loc.push(CStep::Elem(i as u32));
+                        self.run_initializer(&el, elem, item)?;
+                    }
+                    Ok(())
+                }
+                TypeKind::Record(r) => {
+                    let fields: Vec<_> = self
+                        .types()
+                        .record(r)
+                        .fields
+                        .iter()
+                        .map(|f| f.ty)
+                        .collect();
+                    for (i, (item, fty)) in items.into_iter().zip(fields).enumerate() {
+                        let fl = loc.push(CStep::Field {
+                            rec: r,
+                            idx: i as u32,
+                        });
+                        self.run_initializer(&fl, fty, item)?;
+                    }
+                    Ok(())
+                }
+                _ => Err(Stop::Error("init list on scalar".into())),
+            },
+            ExprKind::StrLit(s) if self.types().is_array(ty) => {
+                // `char buf[N] = "text"`.
+                for (i, b) in s.bytes().chain(std::iter::once(0)).enumerate() {
+                    let el = loc.push(CStep::Elem(i as u32));
+                    self.mem
+                        .write(&el, Value::Int(b as i64), &self.prog.types)
+                        .map_err(Stop::Error)?;
+                }
+                Ok(())
+            }
+            _ => {
+                let v = self.eval(init)?;
+                self.write_at(init, loc, v)
+            }
+        }
+    }
+
+    // ----- lvalues ----------------------------------------------------------
+
+    fn as_ptr(&self, v: Value) -> R<Loc> {
+        match v {
+            Value::Ptr(l) => Ok(l),
+            Value::Null => Err(Stop::Error("null pointer dereference".into())),
+            Value::Uninit => Err(Stop::Error("dereference of uninitialized pointer".into())),
+            other => Err(Stop::Error(format!("dereference of non-pointer {other:?}"))),
+        }
+    }
+
+    fn eval_lvalue(&mut self, e: ExprId) -> R<Loc> {
+        let kind = self.prog.exprs.get(e).kind.clone();
+        match kind {
+            ExprKind::Ident { target, .. } => match target.expect("resolved") {
+                IdentTarget::Local(slot) => Ok(Loc::of(self.frame().locals[slot.0 as usize])),
+                IdentTarget::Global(g) => Ok(Loc::of(self.globals[g.0 as usize])),
+                _ => Err(Stop::Error("function is not an object lvalue".into())),
+            },
+            ExprKind::Unary {
+                op: UnOp::Deref,
+                arg,
+            } => {
+                let v = self.eval(arg)?;
+                self.as_ptr(v)
+            }
+            ExprKind::Member {
+                base,
+                arrow,
+                record,
+                field_index,
+                ..
+            } => {
+                let rec = record.expect("resolved");
+                let idx = field_index.expect("resolved") as u32;
+                let base_loc = if arrow {
+                    let v = self.eval(base)?;
+                    self.as_ptr(v)?
+                } else {
+                    self.eval_lvalue(base)?
+                };
+                Ok(base_loc.push(CStep::Field { rec, idx }))
+            }
+            ExprKind::Index { base, index } => {
+                let i = self.eval(index)?.as_int().map_err(Stop::Error)?;
+                let bt = self.prog.exprs.ty(base);
+                if self.types().is_array(bt) {
+                    if i < 0 {
+                        return Err(Stop::Error("negative array index".into()));
+                    }
+                    let bl = self.eval_lvalue(base)?;
+                    Ok(bl.push(CStep::Elem(i as u32)))
+                } else {
+                    let v = self.eval(base)?;
+                    let l = self.as_ptr(v)?;
+                    l.add(i).map_err(Stop::Error)
+                }
+            }
+            ExprKind::StrLit(s) => {
+                let o = self.mem.str_object(e, &s);
+                Ok(Loc::of(o))
+            }
+            _ => Err(Stop::Error("expression is not an lvalue".into())),
+        }
+    }
+
+    /// Whether `e` is an lvalue expression after sema.
+    fn is_lvalue(&self, e: ExprId) -> bool {
+        match &self.prog.exprs.get(e).kind {
+            ExprKind::Ident { target, .. } => !matches!(
+                target,
+                Some(IdentTarget::Func(_)) | Some(IdentTarget::Builtin(_))
+            ),
+            ExprKind::Unary { op: UnOp::Deref, .. } => true,
+            ExprKind::Member { base, arrow, .. } => *arrow || self.is_lvalue(*base),
+            ExprKind::Index { .. } => true,
+            ExprKind::StrLit(_) => true,
+            _ => false,
+        }
+    }
+
+    // ----- expressions ---------------------------------------------------------
+
+    fn eval(&mut self, e: ExprId) -> R<Value> {
+        self.tick()?;
+        let kind = self.prog.exprs.get(e).kind.clone();
+        match kind {
+            ExprKind::IntLit(v) => Ok(Value::Int(v)),
+            ExprKind::FloatLit(v) => Ok(Value::Float(v)),
+            ExprKind::SizeofType(t) => Ok(Value::Int(self.types().size_of(t) as i64)),
+            ExprKind::SizeofExpr(arg) => {
+                let t = self.prog.exprs.ty(arg);
+                Ok(Value::Int(self.types().size_of(t) as i64))
+            }
+            ExprKind::Null => Ok(Value::Null),
+            ExprKind::StrLit(ref s) => {
+                let o = self.mem.str_object(e, s);
+                Ok(Value::Ptr(Loc::of(o).push(CStep::Elem(0))))
+            }
+            ExprKind::Ident { target, .. } => match target.expect("resolved") {
+                IdentTarget::Func(f) => Ok(Value::Func(f.0)),
+                IdentTarget::Builtin(_) => {
+                    Err(Stop::Error("builtin used as a value".into()))
+                }
+                _ => self.read_lvalue_rvalue(e),
+            },
+            ExprKind::Unary { op, arg } => match op {
+                UnOp::Deref => {
+                    if self.types().is_func(self.prog.exprs.ty(e)) {
+                        return self.eval(arg);
+                    }
+                    let v = self.eval(arg)?;
+                    let loc = self.as_ptr(v)?;
+                    if self.types().is_array(self.prog.exprs.ty(e)) {
+                        return Ok(Value::Ptr(loc.push(CStep::Elem(0))));
+                    }
+                    self.read_at(e, &loc)
+                }
+                UnOp::Addr => {
+                    if self.types().is_func(self.prog.exprs.ty(arg)) {
+                        return self.eval(arg);
+                    }
+                    let loc = self.eval_lvalue(arg)?;
+                    Ok(Value::Ptr(loc))
+                }
+                UnOp::Neg => match self.eval(arg)? {
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    v => Ok(Value::Int(v.as_int().map_err(Stop::Error)?.wrapping_neg())),
+                },
+                UnOp::Not => Ok(Value::Int(i64::from(!self.eval(arg)?.truthy()))),
+                UnOp::BitNot => Ok(Value::Int(!self.eval(arg)?.as_int().map_err(Stop::Error)?)),
+            },
+            ExprKind::Binary { op, lhs, rhs } => self.eval_binary(op, lhs, rhs),
+            ExprKind::Assign { op, lhs, rhs } => {
+                match op {
+                    None => {
+                        // Address before value, matching the VDG builder's
+                        // store-threading order.
+                        let loc = self.eval_lvalue(lhs)?;
+                        let v = self.eval(rhs)?;
+                        self.write_at(lhs, &loc, v.clone())?;
+                        Ok(v)
+                    }
+                    Some(op) => {
+                        let loc = self.eval_lvalue(lhs)?;
+                        let old = self.read_at(lhs, &loc)?;
+                        let rv = self.eval(rhs)?;
+                        let new = self.apply_binop(op, old, rv)?;
+                        self.write_at(lhs, &loc, new.clone())?;
+                        Ok(new)
+                    }
+                }
+            }
+            ExprKind::IncDec { pre, inc, arg } => {
+                let loc = self.eval_lvalue(arg)?;
+                let old = self.read_at(arg, &loc)?;
+                let delta = if inc { 1 } else { -1 };
+                let new = match &old {
+                    Value::Ptr(l) => Value::Ptr(l.add(delta).map_err(Stop::Error)?),
+                    Value::Float(f) => Value::Float(f + delta as f64),
+                    v => Value::Int(v.as_int().map_err(Stop::Error)?.wrapping_add(delta)),
+                };
+                self.write_at(arg, &loc, new.clone())?;
+                Ok(if pre { new } else { old })
+            }
+            ExprKind::Call { callee, args } => self.eval_call(e, callee, &args),
+            ExprKind::Member {
+                base,
+                record,
+                field_index,
+                ..
+            } => {
+                if self.is_lvalue(e) {
+                    self.read_lvalue_rvalue(e)
+                } else {
+                    // Field of a struct rvalue (e.g. returned by value).
+                    let v = self.eval(base)?;
+                    let rec = record.expect("resolved");
+                    let idx = field_index.expect("resolved");
+                    match v {
+                        Value::Record(r, fields) if r == rec => Ok(fields
+                            .get(idx)
+                            .cloned()
+                            .unwrap_or(Value::Uninit)),
+                        Value::Union(_, inner) => Ok(*inner),
+                        other => Err(Stop::Error(format!(
+                            "member access on non-struct value {other:?}"
+                        ))),
+                    }
+                }
+            }
+            ExprKind::Index { .. } => self.read_lvalue_rvalue(e),
+            ExprKind::Cast { ty, arg } => {
+                let v = self.eval(arg)?;
+                match self.types().kind(ty).clone() {
+                    TypeKind::Ptr(_) => Ok(v),
+                    TypeKind::Float => Ok(Value::Float(v.as_float().map_err(Stop::Error)?)),
+                    TypeKind::Int | TypeKind::Char => {
+                        Ok(Value::Int(v.as_int().map_err(Stop::Error)?))
+                    }
+                    TypeKind::Void => Ok(Value::Int(0)),
+                    _ => Ok(v),
+                }
+            }
+            ExprKind::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                if self.eval(cond)?.truthy() {
+                    self.eval(then_e)
+                } else {
+                    self.eval(else_e)
+                }
+            }
+            ExprKind::InitList(_) => Err(Stop::Error("init list outside declaration".into())),
+            ExprKind::Comma { lhs, rhs } => {
+                self.eval(lhs)?;
+                self.eval(rhs)
+            }
+        }
+    }
+
+    /// Reads an lvalue expression as an rvalue, decaying arrays.
+    fn read_lvalue_rvalue(&mut self, e: ExprId) -> R<Value> {
+        let ty = self.prog.exprs.ty(e);
+        if self.types().is_array(ty) {
+            let loc = self.eval_lvalue(e)?;
+            return Ok(Value::Ptr(loc.push(CStep::Elem(0))));
+        }
+        let loc = self.eval_lvalue(e)?;
+        self.read_at(e, &loc)
+    }
+
+    fn eval_binary(&mut self, op: BinOp, lhs: ExprId, rhs: ExprId) -> R<Value> {
+        // Short-circuit forms first.
+        match op {
+            BinOp::And => {
+                if !self.eval(lhs)?.truthy() {
+                    return Ok(Value::Int(0));
+                }
+                return Ok(Value::Int(i64::from(self.eval(rhs)?.truthy())));
+            }
+            BinOp::Or => {
+                if self.eval(lhs)?.truthy() {
+                    return Ok(Value::Int(1));
+                }
+                return Ok(Value::Int(i64::from(self.eval(rhs)?.truthy())));
+            }
+            _ => {}
+        }
+        let a = self.eval(lhs)?;
+        let b = self.eval(rhs)?;
+        self.apply_binop(op, a, b)
+    }
+
+    fn apply_binop(&mut self, op: BinOp, a: Value, b: Value) -> R<Value> {
+        use BinOp::*;
+        // Pointer arithmetic and comparisons.
+        match (&a, &b, op) {
+            (Value::Ptr(l), _, Add) => {
+                let i = b.as_int().map_err(Stop::Error)?;
+                return Ok(Value::Ptr(l.add(i).map_err(Stop::Error)?));
+            }
+            (_, Value::Ptr(l), Add) => {
+                let i = a.as_int().map_err(Stop::Error)?;
+                return Ok(Value::Ptr(l.add(i).map_err(Stop::Error)?));
+            }
+            (Value::Ptr(l), _, Sub) if !matches!(b, Value::Ptr(_) | Value::Null) => {
+                let i = b.as_int().map_err(Stop::Error)?;
+                return Ok(Value::Ptr(l.add(-i).map_err(Stop::Error)?));
+            }
+            (Value::Ptr(x), Value::Ptr(y), Sub) => {
+                return self.ptr_diff(x, y).map(Value::Int);
+            }
+            (
+                Value::Ptr(_) | Value::Null | Value::Func(_),
+                Value::Ptr(_) | Value::Null | Value::Func(_),
+                Eq,
+            ) => {
+                return Ok(Value::Int(i64::from(a == b)));
+            }
+            (
+                Value::Ptr(_) | Value::Null | Value::Func(_),
+                Value::Ptr(_) | Value::Null | Value::Func(_),
+                Ne,
+            ) => {
+                return Ok(Value::Int(i64::from(a != b)));
+            }
+            (Value::Ptr(x), Value::Ptr(y), Lt | Gt | Le | Ge) => {
+                let d = self.ptr_diff(x, y)?;
+                let r = match op {
+                    Lt => d < 0,
+                    Gt => d > 0,
+                    Le => d <= 0,
+                    _ => d >= 0,
+                };
+                return Ok(Value::Int(i64::from(r)));
+            }
+            _ => {}
+        }
+        // Floating point.
+        if matches!(a, Value::Float(_)) || matches!(b, Value::Float(_)) {
+            let x = a.as_float().map_err(Stop::Error)?;
+            let y = b.as_float().map_err(Stop::Error)?;
+            return Ok(match op {
+                Add => Value::Float(x + y),
+                Sub => Value::Float(x - y),
+                Mul => Value::Float(x * y),
+                Div => {
+                    if y == 0.0 {
+                        return Err(Stop::Error("division by zero".into()));
+                    }
+                    Value::Float(x / y)
+                }
+                Lt => Value::Int(i64::from(x < y)),
+                Gt => Value::Int(i64::from(x > y)),
+                Le => Value::Int(i64::from(x <= y)),
+                Ge => Value::Int(i64::from(x >= y)),
+                Eq => Value::Int(i64::from(x == y)),
+                Ne => Value::Int(i64::from(x != y)),
+                _ => return Err(Stop::Error("invalid float operation".into())),
+            });
+        }
+        // Integers.
+        let x = a.as_int().map_err(Stop::Error)?;
+        let y = b.as_int().map_err(Stop::Error)?;
+        Ok(Value::Int(match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            Div => {
+                if y == 0 {
+                    return Err(Stop::Error("division by zero".into()));
+                }
+                x.wrapping_div(y)
+            }
+            Rem => {
+                if y == 0 {
+                    return Err(Stop::Error("remainder by zero".into()));
+                }
+                x.wrapping_rem(y)
+            }
+            Lt => i64::from(x < y),
+            Gt => i64::from(x > y),
+            Le => i64::from(x <= y),
+            Ge => i64::from(x >= y),
+            Eq => i64::from(x == y),
+            Ne => i64::from(x != y),
+            BitAnd => x & y,
+            BitOr => x | y,
+            BitXor => x ^ y,
+            Shl => x.wrapping_shl(y as u32),
+            Shr => x.wrapping_shr(y as u32),
+            And | Or => unreachable!("short-circuited"),
+        }))
+    }
+
+    fn ptr_diff(&self, x: &Loc, y: &Loc) -> R<i64> {
+        if x.obj != y.obj {
+            return Err(Stop::Error("pointer difference across objects".into()));
+        }
+        let (xi, yi) = match (x.path.last(), y.path.last()) {
+            (Some(CStep::Elem(a)), Some(CStep::Elem(b)))
+                if x.path[..x.path.len() - 1] == y.path[..y.path.len() - 1] =>
+            {
+                (*a as i64, *b as i64)
+            }
+            _ if x.path == y.path => (0, 0),
+            _ => return Err(Stop::Error("incomparable pointers".into())),
+        };
+        Ok(xi - yi)
+    }
+
+    // ----- calls & builtins ------------------------------------------------------
+
+    fn eval_call(&mut self, e: ExprId, callee: ExprId, args: &[ExprId]) -> R<Value> {
+        // Builtins (peeling &/* like the lowering does).
+        let mut c = callee;
+        while let ExprKind::Unary {
+            op: UnOp::Deref | UnOp::Addr,
+            arg,
+        } = &self.prog.exprs.get(c).kind
+        {
+            c = *arg;
+        }
+        if let ExprKind::Ident {
+            target: Some(IdentTarget::Builtin(b)),
+            ..
+        } = self.prog.exprs.get(c).kind
+        {
+            return self.eval_builtin(e, b, args);
+        }
+        let fv = self.eval(callee)?;
+        let Value::Func(f) = fv else {
+            return Err(Stop::Error("called value is not a function".into()));
+        };
+        let mut argv = Vec::with_capacity(args.len());
+        for &a in args {
+            argv.push(self.eval(a)?);
+        }
+        self.call_user(f, argv)
+    }
+
+    fn getchar(&mut self) -> i64 {
+        match self.cfg.input.get(self.input_pos) {
+            Some(&b) => {
+                self.input_pos += 1;
+                b as i64
+            }
+            None => -1,
+        }
+    }
+
+    fn read_byte(&mut self, loc: &Loc) -> R<i64> {
+        self.mem
+            .read(loc, &self.prog.types)
+            .map_err(Stop::Error)?
+            .as_int()
+            .map_err(Stop::Error)
+    }
+
+    fn c_string(&mut self, mut loc: Loc) -> R<String> {
+        let mut s = String::new();
+        loop {
+            let b = self.read_byte(&loc)?;
+            if b == 0 {
+                return Ok(s);
+            }
+            s.push(b as u8 as char);
+            loc = loc.add(1).map_err(Stop::Error)?;
+            if s.len() > 1_000_000 {
+                return Err(Stop::Error("unterminated string".into()));
+            }
+        }
+    }
+
+    fn write_c_string(&mut self, mut loc: Loc, s: &str) -> R<()> {
+        for b in s.bytes().chain(std::iter::once(0)) {
+            self.mem
+                .write(&loc, Value::Int(b as i64), &self.prog.types)
+                .map_err(Stop::Error)?;
+            loc = loc.add(1).map_err(Stop::Error)?;
+        }
+        Ok(())
+    }
+
+    fn format(&mut self, fmt: &str, args: &[Value]) -> R<String> {
+        let mut out = String::new();
+        let mut ai = 0;
+        let mut chars = fmt.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c != '%' {
+                out.push(c);
+                continue;
+            }
+            // Skip flags/width/length; find the conversion letter.
+            let mut conv = None;
+            for c2 in chars.by_ref() {
+                if c2.is_ascii_alphabetic() || c2 == '%' {
+                    conv = Some(match c2 {
+                        'l' | 'h' => continue,
+                        other => other,
+                    });
+                    break;
+                }
+            }
+            let Some(conv) = conv else { break };
+            if conv == '%' {
+                out.push('%');
+                continue;
+            }
+            let arg = args.get(ai).cloned().unwrap_or(Value::Int(0));
+            ai += 1;
+            match conv {
+                'd' | 'i' | 'u' => out.push_str(&arg.as_int().map_err(Stop::Error)?.to_string()),
+                'x' => out.push_str(&format!("{:x}", arg.as_int().map_err(Stop::Error)?)),
+                'o' => out.push_str(&format!("{:o}", arg.as_int().map_err(Stop::Error)?)),
+                'c' => out.push(arg.as_int().map_err(Stop::Error)? as u8 as char),
+                'f' | 'g' | 'e' => {
+                    out.push_str(&format!("{:.6}", arg.as_float().map_err(Stop::Error)?))
+                }
+                's' => match arg {
+                    Value::Ptr(l) => out.push_str(&self.c_string(l)?),
+                    Value::Null => out.push_str("(null)"),
+                    other => {
+                        return Err(Stop::Error(format!("%s with non-pointer {other:?}")))
+                    }
+                },
+                'p' => out.push_str("0xptr"),
+                other => return Err(Stop::Error(format!("unsupported format %{other}"))),
+            }
+        }
+        Ok(out)
+    }
+
+    fn eval_builtin(&mut self, e: ExprId, b: Builtin, args: &[ExprId]) -> R<Value> {
+        let mut argv = Vec::with_capacity(args.len());
+        for &a in args {
+            argv.push(self.eval(a)?);
+        }
+        use Builtin::*;
+        match b {
+            Malloc | Calloc => {
+                let o = self.mem.alloc(Value::Uninit, Origin::Heap(e));
+                Ok(Value::Ptr(Loc::of(o).push(CStep::Elem(0))))
+            }
+            Realloc => {
+                let o = self.mem.alloc(Value::Uninit, Origin::Heap(e));
+                if let Value::Ptr(src) = &argv[0] {
+                    let root = Loc::of(src.obj);
+                    let v = self.mem.read(&root, &self.prog.types).map_err(Stop::Error)?;
+                    self.mem
+                        .write(&Loc::of(o), v, &self.prog.types)
+                        .map_err(Stop::Error)?;
+                }
+                Ok(Value::Ptr(Loc::of(o).push(CStep::Elem(0))))
+            }
+            Strdup => {
+                let Value::Ptr(src) = argv[0].clone() else {
+                    return Err(Stop::Error("strdup of non-pointer".into()));
+                };
+                let s = self.c_string(src)?;
+                let o = self.mem.alloc(Value::Uninit, Origin::Heap(e));
+                let dst = Loc::of(o).push(CStep::Elem(0));
+                self.write_c_string(dst.clone(), &s)?;
+                Ok(Value::Ptr(dst))
+            }
+            Free => Ok(Value::Int(0)),
+            Strcpy | Strncpy => {
+                let (Value::Ptr(d), Value::Ptr(s)) = (argv[0].clone(), argv[1].clone()) else {
+                    return Err(Stop::Error("strcpy needs pointers".into()));
+                };
+                let mut text = self.c_string(s)?;
+                if b == Strncpy {
+                    let n = argv[2].as_int().map_err(Stop::Error)? as usize;
+                    text.truncate(n);
+                }
+                self.write_c_string(d.clone(), &text)?;
+                Ok(Value::Ptr(d))
+            }
+            Strcat => {
+                let (Value::Ptr(d), Value::Ptr(s)) = (argv[0].clone(), argv[1].clone()) else {
+                    return Err(Stop::Error("strcat needs pointers".into()));
+                };
+                let head = self.c_string(d.clone())?;
+                let tail = self.c_string(s)?;
+                self.write_c_string(d.clone(), &format!("{head}{tail}"))?;
+                Ok(Value::Ptr(d))
+            }
+            Strcmp | Strncmp => {
+                let (Value::Ptr(x), Value::Ptr(y)) = (argv[0].clone(), argv[1].clone()) else {
+                    return Err(Stop::Error("strcmp needs pointers".into()));
+                };
+                let mut a = self.c_string(x)?;
+                let mut bs = self.c_string(y)?;
+                if b == Strncmp {
+                    let n = argv[2].as_int().map_err(Stop::Error)? as usize;
+                    a.truncate(n);
+                    bs.truncate(n);
+                }
+                Ok(Value::Int(match a.cmp(&bs) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                }))
+            }
+            Strlen => {
+                let Value::Ptr(p) = argv[0].clone() else {
+                    return Err(Stop::Error("strlen of non-pointer".into()));
+                };
+                Ok(Value::Int(self.c_string(p)?.len() as i64))
+            }
+            Strchr => {
+                let Value::Ptr(p) = argv[0].clone() else {
+                    return Err(Stop::Error("strchr of non-pointer".into()));
+                };
+                let target = argv[1].as_int().map_err(Stop::Error)? as u8 as char;
+                let s = self.c_string(p.clone())?;
+                match s.find(target) {
+                    Some(i) => Ok(Value::Ptr(p.add(i as i64).map_err(Stop::Error)?)),
+                    None => Ok(Value::Null),
+                }
+            }
+            Memcpy | Memmove => {
+                let (Value::Ptr(d), Value::Ptr(s)) = (argv[0].clone(), argv[1].clone()) else {
+                    return Err(Stop::Error("memcpy needs pointers".into()));
+                };
+                // Copy the pointed-to region: whole sub-objects in this
+                // model (callers use `sizeof` of that object).
+                let dc = Self::container(&d);
+                let sc = Self::container(&s);
+                let v = self.mem.read(&sc, &self.prog.types).map_err(Stop::Error)?;
+                self.mem
+                    .write(&dc, v, &self.prog.types)
+                    .map_err(Stop::Error)?;
+                Ok(argv[0].clone())
+            }
+            Memset => {
+                let Value::Ptr(d) = argv[0].clone() else {
+                    return Err(Stop::Error("memset of non-pointer".into()));
+                };
+                let fill = argv[1].clone();
+                let dc = Self::container(&d);
+                let slot = self
+                    .mem
+                    .slot_mut(&dc, &self.prog.types)
+                    .map_err(Stop::Error)?;
+                fill_with(slot, &fill);
+                Ok(argv[0].clone())
+            }
+            Printf => {
+                let Value::Ptr(f) = argv[0].clone() else {
+                    return Err(Stop::Error("printf needs a format string".into()));
+                };
+                let fmt = self.c_string(f)?;
+                let s = self.format(&fmt, &argv[1..])?;
+                let n = s.len() as i64;
+                self.out.push_str(&s);
+                Ok(Value::Int(n))
+            }
+            Sprintf => {
+                let (Value::Ptr(d), Value::Ptr(f)) = (argv[0].clone(), argv[1].clone()) else {
+                    return Err(Stop::Error("sprintf needs pointers".into()));
+                };
+                let fmt = self.c_string(f)?;
+                let s = self.format(&fmt, &argv[2..])?;
+                self.write_c_string(d, &s)?;
+                Ok(Value::Int(s.len() as i64))
+            }
+            Puts => {
+                let Value::Ptr(p) = argv[0].clone() else {
+                    return Err(Stop::Error("puts of non-pointer".into()));
+                };
+                let s = self.c_string(p)?;
+                self.out.push_str(&s);
+                self.out.push('\n');
+                Ok(Value::Int(0))
+            }
+            Putchar => {
+                let c = argv[0].as_int().map_err(Stop::Error)?;
+                self.out.push(c as u8 as char);
+                Ok(Value::Int(c))
+            }
+            Getchar => Ok(Value::Int(self.getchar())),
+            Atoi => {
+                let Value::Ptr(p) = argv[0].clone() else {
+                    return Err(Stop::Error("atoi of non-pointer".into()));
+                };
+                let s = self.c_string(p)?;
+                let t = s.trim();
+                let end = t
+                    .char_indices()
+                    .take_while(|(i, c)| c.is_ascii_digit() || (*i == 0 && (*c == '-' || *c == '+')))
+                    .map(|(i, c)| i + c.len_utf8())
+                    .last()
+                    .unwrap_or(0);
+                Ok(Value::Int(t[..end].parse().unwrap_or(0)))
+            }
+            Exit => Err(Stop::Exit(argv[0].as_int().map_err(Stop::Error)?)),
+            Abs => Ok(Value::Int(argv[0].as_int().map_err(Stop::Error)?.abs())),
+            Rand => {
+                self.rng = self
+                    .rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                Ok(Value::Int(((self.rng >> 33) & 0x7fff_ffff) as i64))
+            }
+            Srand => {
+                self.rng = argv[0].as_int().map_err(Stop::Error)? as u64 | 1;
+                Ok(Value::Int(0))
+            }
+        }
+    }
+
+    /// Drops a trailing `[0]` so `memcpy(a, b, n)` style calls address the
+    /// containing object.
+    fn container(loc: &Loc) -> Loc {
+        let mut l = loc.clone();
+        if matches!(l.path.last(), Some(CStep::Elem(0))) {
+            l.path.pop();
+        }
+        l
+    }
+}
+
+/// Recursively fills scalar slots with `fill` (the `memset` model).
+fn fill_with(slot: &mut Value, fill: &Value) {
+    match slot {
+        Value::Record(_, fields) => {
+            for f in fields {
+                fill_with(f, fill);
+            }
+        }
+        Value::Array(elems) => {
+            for e in elems {
+                fill_with(e, fill);
+            }
+        }
+        Value::Union(_, inner) => fill_with(inner, fill),
+        other => {
+            *other = match fill {
+                Value::Int(v) => Value::Int(*v),
+                _ => Value::Int(0),
+            }
+        }
+    }
+}

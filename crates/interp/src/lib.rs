@@ -1,0 +1,451 @@
+//! # interp — a concrete mini-C interpreter and soundness oracle
+//!
+//! Executes checked mini-C programs deterministically while tracing every
+//! memory access, then checks that the `alias` crate's points-to
+//! solutions cover every runtime dereference target
+//! ([`oracle::check_solution`]). This automates the soundness argument
+//! the paper makes informally and backs the property tests over randomly
+//! generated programs.
+//!
+//! ```
+//! use interp::exec::{run, Config};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let prog = cfront::compile(
+//!     "int main(void) { int a; int *p; p = &a; *p = 41; return a + 1; }",
+//! )?;
+//! let out = run(&prog, &Config::default())?;
+//! assert_eq!(out.exit, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod memory;
+pub mod oracle;
+
+pub use exec::{run, Config, Outcome, RunError, Trace};
+pub use oracle::{check_solution, Violation};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
+    use vdg::build::{lower, BuildOptions};
+
+    fn exec(src: &str) -> Outcome {
+        let p = cfront::compile(src).expect("compiles");
+        run(&p, &Config::default()).expect("runs")
+    }
+
+    fn exec_with_input(src: &str, input: &str) -> Outcome {
+        let p = cfront::compile(src).expect("compiles");
+        run(
+            &p,
+            &Config {
+                input: input.as_bytes().to_vec(),
+                ..Config::default()
+            },
+        )
+        .expect("runs")
+    }
+
+    /// Runs the program and checks both CI and CS solutions against the
+    /// trace; panics on any violation.
+    fn exec_checked(src: &str) -> Outcome {
+        let p = cfront::compile(src).expect("compiles");
+        let g = lower(&p, &BuildOptions::default()).expect("lowers");
+        let ci = analyze_ci(&g, &CiConfig::default());
+        let cs = analyze_cs(&g, &ci, &CsConfig::default()).expect("cs budget");
+        let out = run(&p, &Config::default()).expect("runs");
+        let v_ci = check_solution(&p, &g, &ci, &out.trace);
+        assert!(v_ci.is_empty(), "CI violations: {v_ci:#?}");
+        let v_cs = check_solution(&p, &g, &cs, &out.trace);
+        assert!(v_cs.is_empty(), "CS violations: {v_cs:#?}");
+        out
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let out = exec(
+            "int main(void) { int i; int s; s = 0; \
+             for (i = 1; i <= 10; i++) { if (i % 2 == 0) continue; s += i; } \
+             return s; }",
+        );
+        assert_eq!(out.exit, 25);
+    }
+
+    #[test]
+    fn switch_and_loops() {
+        let out = exec(
+            "int classify(int c) { switch (c) { case 0: return 100; \
+             case 1: case 2: return 200; default: return 300; } }\n\
+             int main(void) { return classify(0) + classify(1) + classify(2) + classify(7); }",
+        );
+        assert_eq!(out.exit, 100 + 200 + 200 + 300);
+    }
+
+    #[test]
+    fn pointers_and_out_params() {
+        let out = exec_checked(
+            "void swap(int *a, int *b) { int t; t = *a; *a = *b; *b = t; }\n\
+             int main(void) { int x; int y; x = 3; y = 4; swap(&x, &y); \
+             return x * 10 + y; }",
+        );
+        assert_eq!(out.exit, 43);
+    }
+
+    #[test]
+    fn linked_list_program() {
+        let out = exec_checked(
+            "struct node { int v; struct node *next; };\n\
+             struct node *cons(int v, struct node *t) {\n\
+               struct node *n; n = (struct node*)malloc(sizeof(struct node));\n\
+               n->v = v; n->next = t; return n; }\n\
+             int sum(struct node *l) { int s; s = 0;\n\
+               while (l != NULL) { s += l->v; l = l->next; } return s; }\n\
+             int main(void) { return sum(cons(1, cons(2, cons(3, NULL)))); }",
+        );
+        assert_eq!(out.exit, 6);
+    }
+
+    #[test]
+    fn arrays_and_pointer_arithmetic() {
+        let out = exec_checked(
+            "int sum(int *p, int n) { int s; int i; s = 0; \
+             for (i = 0; i < n; i++) s += p[i]; return s; }\n\
+             int main(void) { int a[5]; int i; \
+             for (i = 0; i < 5; i++) a[i] = i + 1; \
+             return sum(a, 5) + sum(a + 2, 2) + *(a + 4); }",
+        );
+        assert_eq!(out.exit, 15 + 7 + 5);
+    }
+
+    #[test]
+    fn strings_and_output() {
+        let out = exec(
+            "int main(void) { char buf[32]; \
+             strcpy(buf, \"hello\"); strcat(buf, \" world\"); \
+             printf(\"%s! %d\\n\", buf, strlen(buf)); \
+             return strcmp(buf, \"hello world\"); }",
+        );
+        assert_eq!(out.exit, 0);
+        assert_eq!(out.stdout, "hello world! 11\n");
+    }
+
+    #[test]
+    fn function_pointers() {
+        let out = exec_checked(
+            "int add(int a, int b) { return a + b; }\n\
+             int mul(int a, int b) { return a * b; }\n\
+             int apply(int (*op)(int, int), int x, int y) { return op(x, y); }\n\
+             int main(void) { int (*f)(int, int); f = add; \
+             return apply(f, 2, 3) + apply(mul, 2, 3); }",
+        );
+        assert_eq!(out.exit, 11);
+    }
+
+    #[test]
+    fn struct_copies() {
+        let out = exec_checked(
+            "struct pt { int x; int y; };\n\
+             int main(void) { struct pt a; struct pt b; \
+             a.x = 1; a.y = 2; b = a; b.x = 10; \
+             return a.x + b.x + b.y; }",
+        );
+        assert_eq!(out.exit, 13);
+    }
+
+    #[test]
+    fn unions_share_storage_at_runtime() {
+        let out = exec(
+            "union u { int a; int b; };\n\
+             int main(void) { union u v; v.a = 7; return v.b; }",
+        );
+        assert_eq!(out.exit, 7);
+    }
+
+    #[test]
+    fn getchar_reads_configured_input() {
+        let out = exec_with_input(
+            "int main(void) { int c; int n; n = 0; \
+             while ((c = getchar()) != -1) { n = n * 10 + (c - '0'); } \
+             return n; }",
+            "123",
+        );
+        assert_eq!(out.exit, 123);
+    }
+
+    #[test]
+    fn recursion() {
+        let out = exec_checked(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n\
+             int main(void) { return fib(10); }",
+        );
+        assert_eq!(out.exit, 55);
+    }
+
+    #[test]
+    fn heap_buffers_and_memset() {
+        let out = exec_checked(
+            "int main(void) { int *buf; int i; int s; \
+             buf = (int*)malloc(10 * sizeof(int)); \
+             for (i = 0; i < 10; i++) buf[i] = i; \
+             s = 0; for (i = 0; i < 10; i++) s += buf[i]; \
+             free(buf); return s; }",
+        );
+        assert_eq!(out.exit, 45);
+    }
+
+    #[test]
+    fn exit_builtin_stops_program() {
+        let out = exec("int main(void) { exit(9); return 1; }");
+        assert_eq!(out.exit, 9);
+    }
+
+    #[test]
+    fn null_deref_is_dynamic_error() {
+        let p = cfront::compile("int main(void) { int *p; p = NULL; return *p; }").unwrap();
+        let err = run(&p, &Config::default()).unwrap_err();
+        assert!(matches!(err, RunError::Dynamic(_)));
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let p = cfront::compile("int main(void) { for (;;) {} return 0; }").unwrap();
+        let err = run(
+            &p,
+            &Config {
+                max_steps: 10_000,
+                ..Config::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::StepLimit);
+    }
+
+    #[test]
+    fn trace_records_abstract_locations() {
+        let p = cfront::compile(
+            "int g; int main(void) { int *p; p = &g; *p = 5; return g; }",
+        )
+        .unwrap();
+        let out = run(&p, &Config::default()).unwrap();
+        // Some write must target the abstraction of g.
+        let hit = out.trace.writes.values().flatten().any(|a| {
+            matches!(a.origin, crate::memory::Origin::Global(0)) && a.steps.is_empty()
+        });
+        assert!(hit);
+    }
+
+    #[test]
+    fn oracle_catches_an_unsound_solution() {
+        // An empty "solution" must be flagged when the program writes
+        // through a pointer.
+        use alias::stats::PointsToSolution;
+        struct EmptySol(alias::PathTable);
+        impl PointsToSolution for EmptySol {
+            fn pairs_at(&self, _: vdg::graph::OutputId) -> &[alias::Pair] {
+                &[]
+            }
+            fn path_table(&self) -> &alias::PathTable {
+                &self.0
+            }
+        }
+        let p = cfront::compile(
+            "int g; int main(void) { int *p; p = &g; *p = 5; return g; }",
+        )
+        .unwrap();
+        let g = lower(&p, &BuildOptions::default()).unwrap();
+        let out = run(&p, &Config::default()).unwrap();
+        let sol = EmptySol(alias::PathTable::for_graph(&g));
+        let violations = check_solution(&p, &g, &sol, &out.trace);
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn memcpy_copies_structs() {
+        let out = exec_checked(
+            "struct s { int a; int *p; };\n\
+             int g;\n\
+             int main(void) { struct s x; struct s y; \
+             x.a = 5; x.p = &g; g = 7; \
+             memcpy(&y, &x, sizeof(struct s)); \
+             return y.a + *(y.p); }",
+        );
+        assert_eq!(out.exit, 12);
+    }
+
+    #[test]
+    fn strdup_and_strchr() {
+        let out = exec(
+            "int main(void) { char *s; char *t; \
+             s = strdup(\"abcdef\"); t = strchr(s, 'c'); \
+             if (t == NULL) return 99; return t - s; }",
+        );
+        assert_eq!(out.exit, 2);
+    }
+
+    #[test]
+    fn sprintf_formats_into_buffer() {
+        let out = exec(
+            "int main(void) { char buf[64]; \
+             sprintf(buf, \"%d-%s\", 42, \"x\"); \
+             return strlen(buf); }",
+        );
+        assert_eq!(out.exit, 4);
+    }
+
+    #[test]
+    fn deterministic_rand() {
+        let a = exec("int main(void) { srand(7); return rand() % 100; }");
+        let b = exec("int main(void) { srand(7); return rand() % 100; }");
+        assert_eq!(a.exit, b.exit);
+    }
+
+    #[test]
+    fn global_initializers_run() {
+        let out = exec_checked(
+            "int x; int *gp = &x; int table[3] = {10, 20, 30};\n\
+             int main(void) { *gp = table[1]; return x; }",
+        );
+        assert_eq!(out.exit, 20);
+    }
+
+    #[test]
+    fn do_while_and_compound_assignment() {
+        let out = exec(
+            "int main(void) { int n; int s; n = 5; s = 1;              do { s *= 2; n -= 1; } while (n > 0); return s; }",
+        );
+        assert_eq!(out.exit, 32);
+    }
+
+    #[test]
+    fn two_dimensional_arrays() {
+        let out = exec_checked(
+            "int grid[3][4];
+             int main(void) { int i; int j; int s; s = 0;
+               for (i = 0; i < 3; i++) { for (j = 0; j < 4; j++) {                  grid[i][j] = i * 4 + j; } }
+               for (i = 0; i < 3; i++) { s += grid[i][i]; }
+               return s; }",
+        );
+        assert_eq!(out.exit, 5 + 10);
+    }
+
+    #[test]
+    fn pointer_into_struct_field() {
+        let out = exec_checked(
+            "struct s { int a; int b; };
+             int main(void) { struct s v; int *p; v.a = 1; v.b = 2;              p = &v.b; *p = 9; return v.a + v.b; }",
+        );
+        assert_eq!(out.exit, 10);
+    }
+
+    #[test]
+    fn array_of_structs_with_pointers() {
+        let out = exec_checked(
+            "struct cell { int v; int *link; };
+             struct cell cells[3];
+             int shared;
+             int main(void) { int i; int s; shared = 7; s = 0;
+               for (i = 0; i < 3; i++) { cells[i].v = i; cells[i].link = &shared; }
+               for (i = 0; i < 3; i++) { s += cells[i].v + *(cells[i].link); }
+               return s; }",
+        );
+        assert_eq!(out.exit, 1 + 2 + 21);
+    }
+
+    #[test]
+    fn division_by_zero_is_dynamic_error() {
+        let p = cfront::compile("int main(void) { int a; a = 0; return 5 / a; }").unwrap();
+        assert!(matches!(
+            run(&p, &Config::default()),
+            Err(RunError::Dynamic(_))
+        ));
+    }
+
+    #[test]
+    fn pointer_difference_and_relational() {
+        let out = exec(
+            "int main(void) { int a[8]; int *p; int *q;              p = &a[1]; q = &a[6];              if (p >= q) { return 99; }              return q - p; }",
+        );
+        assert_eq!(out.exit, 5);
+    }
+
+    #[test]
+    fn cross_object_pointer_difference_is_error() {
+        let p = cfront::compile(
+            "int a[2]; int b[2];
+             int main(void) { int *p; int *q; p = a; q = b; return q - p; }",
+        )
+        .unwrap();
+        assert!(matches!(
+            run(&p, &Config::default()),
+            Err(RunError::Dynamic(_))
+        ));
+    }
+
+    #[test]
+    fn negative_index_is_error() {
+        let p = cfront::compile(
+            "int a[4]; int main(void) { int i; i = -1; return a[i]; }",
+        )
+        .unwrap();
+        assert!(matches!(
+            run(&p, &Config::default()),
+            Err(RunError::Dynamic(_))
+        ));
+    }
+
+    #[test]
+    fn deep_recursion_is_bounded() {
+        let p = cfront::compile(
+            "int down(int n) { if (n == 0) return 0; return down(n - 1); }
+             int main(void) { return down(100000); }",
+        )
+        .unwrap();
+        assert!(matches!(
+            run(&p, &Config::default()),
+            Err(RunError::Dynamic(_))
+        ));
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        let out = exec(
+            "int main(void) { double x; double y; x = 1.5; y = 2.25;              return (int)((x + y) * 4.0); }",
+        );
+        assert_eq!(out.exit, 15);
+    }
+
+    #[test]
+    fn printf_number_formats() {
+        let out = exec(
+            "int main(void) { printf(\"%d %x %o %c|\", 255, 255, 8, 'A'); \
+             printf(\"%%|%s\", \"end\"); return 0; }",
+        );
+        assert_eq!(out.stdout, "255 ff 10 A|%|end");
+    }
+
+    #[test]
+    fn enum_constants_run() {
+        let out = exec(
+            "enum sizes { SMALL = 1, LARGE = 10 };
+             int main(void) { int total[LARGE]; int i;
+               for (i = 0; i < LARGE; i++) { total[i] = SMALL; }
+               return total[3] + LARGE; }",
+        );
+        assert_eq!(out.exit, 11);
+    }
+
+    #[test]
+    fn ternary_and_comma() {
+        let out = exec(
+            "int main(void) { int a; int b; a = 5; \
+             b = (a > 3 ? 10 : 20); a = (b += 1, b * 2); return a; }",
+        );
+        assert_eq!(out.exit, 22);
+    }
+}

@@ -1,0 +1,133 @@
+/* allroots -- reconstruction of the Landi-suite polynomial root finder.
+ *
+ * Pointer idioms: double arrays passed as pointers, caller-allocated
+ * out-parameter buffers, single-level pointers throughout. */
+
+#define MAXDEG 8
+
+double poly_coef[MAXDEG + 1];
+int poly_deg;
+
+double work_a[MAXDEG + 1];
+double work_b[MAXDEG + 1];
+
+/* Evaluate polynomial given by (c, deg) at x via Horner's rule. */
+double eval_poly(double *c, int deg, double x) {
+    double acc;
+    int i;
+    acc = c[deg];
+    for (i = deg - 1; i >= 0; i--) {
+        acc = acc * x + c[i];
+    }
+    return acc;
+}
+
+/* Write the derivative of (c, deg) into caller-provided buffer d. */
+void derive_poly(double *c, int deg, double *d) {
+    int i;
+    for (i = 1; i <= deg; i++) {
+        d[i - 1] = c[i] * i;
+    }
+}
+
+/* Deflate polynomial by root r: synthetic division into out. */
+void deflate(double *c, int deg, double r, double *out) {
+    double carry;
+    int i;
+    carry = c[deg];
+    for (i = deg - 1; i >= 0; i--) {
+        double t;
+        t = c[i];
+        out[i] = carry;
+        carry = t + carry * r;
+    }
+}
+
+/* Newton iteration from x0; returns 1 on convergence, root in *root. */
+int newton(double *c, int deg, double x0, double *root) {
+    double x;
+    double d[MAXDEG + 1];
+    int iter;
+    derive_poly(c, deg, d);
+    x = x0;
+    for (iter = 0; iter < 60; iter++) {
+        double f;
+        double fp;
+        f = eval_poly(c, deg, x);
+        fp = eval_poly(d, deg - 1, x);
+        if (f < 0.000000001 && f > -0.000000001) {
+            *root = x;
+            return 1;
+        }
+        if (fp < 0.0000001 && fp > -0.0000001) {
+            return 0;
+        }
+        x = x - f / fp;
+    }
+    *root = x;
+    return 1;
+}
+
+/* Find all real roots; store them in roots, return the count. */
+int all_roots(double *c, int deg, double *roots) {
+    double *cur;
+    double *next;
+    double *tmp;
+    int found;
+    int i;
+    cur = work_a;
+    next = work_b;
+    for (i = 0; i <= deg; i++) {
+        cur[i] = c[i];
+    }
+    found = 0;
+    while (deg > 0) {
+        double r;
+        if (!newton(cur, deg, 0.5 + found, &r)) {
+            break;
+        }
+        roots[found++] = r;
+        deflate(cur, deg, r, next);
+        deg--;
+        tmp = cur;
+        cur = next;
+        next = tmp;
+    }
+    return found;
+}
+
+void load_poly(int which) {
+    int i;
+    for (i = 0; i <= MAXDEG; i++) {
+        poly_coef[i] = 0.0;
+    }
+    if (which == 0) {
+        /* (x-1)(x-2) = x^2 - 3x + 2 */
+        poly_deg = 2;
+        poly_coef[2] = 1.0;
+        poly_coef[1] = -3.0;
+        poly_coef[0] = 2.0;
+    } else {
+        /* (x-1)(x-2)(x-3) */
+        poly_deg = 3;
+        poly_coef[3] = 1.0;
+        poly_coef[2] = -6.0;
+        poly_coef[1] = 11.0;
+        poly_coef[0] = -6.0;
+    }
+}
+
+int main(void) {
+    double roots[MAXDEG];
+    int n;
+    int total;
+    int which;
+    total = 0;
+    for (which = 0; which < 2; which++) {
+        load_poly(which);
+        n = all_roots(poly_coef, poly_deg, roots);
+        total += n;
+        printf("poly %d: %d roots\n", which, n);
+    }
+    return total;
+}

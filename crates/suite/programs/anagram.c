@@ -1,0 +1,154 @@
+/* anagram -- reconstruction of Todd Austin's anagram finder.
+ *
+ * Pointer idioms: arrays of char*, heap-duplicated strings, character
+ * pointers walked by utility routines, an insertion sort over a pointer
+ * table. Pointers are almost entirely single-level and reference
+ * character (scalar) storage, the shape the paper highlights in §5.1.2. */
+
+#define MAXWORDS 24
+#define WORDLEN 16
+
+char *dictionary[MAXWORDS];
+char *signatures[MAXWORDS];
+int nwords;
+
+/* The embedded word list (the original read a dictionary file). */
+char *raw_words[MAXWORDS] = {
+    "listen", "silent", "enlist", "google", "banana", "inlets",
+    "stone", "tones", "notes", "onset", "steno", "seton",
+    "cat", "act", "tac", "dog", "god", "odg",
+    "part", "trap", "rapt", "tarp", "prat", "zzz"
+};
+
+/* Copy src into a fresh heap buffer. */
+char *dup_word(char *src) {
+    char *buf;
+    buf = (char*)malloc(WORDLEN);
+    strcpy(buf, src);
+    return buf;
+}
+
+/* Fetch a heap copy of a raw word into a caller-provided slot (the
+ * out-parameter idiom of paper §5.2: every caller's slot receives a
+ * value from the same source, so the cross-caller pairs CI invents are
+ * harmless at every dereference). */
+void fetch_word(char **slot, int i) {
+    *slot = dup_word(raw_words[i % MAXWORDS]);
+}
+
+/* Sort the characters of s in place (selection sort). */
+void sort_chars(char *s) {
+    int i;
+    int j;
+    int n;
+    n = strlen(s);
+    for (i = 0; i < n - 1; i++) {
+        int best;
+        best = i;
+        for (j = i + 1; j < n; j++) {
+            if (s[j] < s[best]) {
+                best = j;
+            }
+        }
+        if (best != i) {
+            char t;
+            t = s[i];
+            s[i] = s[best];
+            s[best] = t;
+        }
+    }
+}
+
+/* Build the sorted-letter signature of word w into the heap. */
+char *make_signature(char *w) {
+    char *sig;
+    sig = dup_word(w);
+    sort_chars(sig);
+    return sig;
+}
+
+void load_words(void) {
+    int i;
+    char *w;
+    nwords = 0;
+    for (i = 0; i < MAXWORDS; i++) {
+        fetch_word(&w, i);
+        dictionary[nwords] = w;
+        signatures[nwords] = make_signature(w);
+        nwords++;
+    }
+}
+
+/* Longest raw word, fetched through the same out-parameter utility. */
+int longest_raw(void) {
+    int i;
+    int best;
+    char *cursor;
+    best = 0;
+    for (i = 0; i < MAXWORDS; i++) {
+        int n;
+        fetch_word(&cursor, i);
+        n = strlen(cursor);
+        if (n > best) {
+            best = n;
+        }
+    }
+    return best;
+}
+
+/* Sort dictionary and signatures together by signature (insertion sort
+ * over the pointer tables). */
+void sort_by_signature(void) {
+    int i;
+    int j;
+    for (i = 1; i < nwords; i++) {
+        char *sig;
+        char *word;
+        sig = signatures[i];
+        word = dictionary[i];
+        j = i - 1;
+        while (j >= 0 && strcmp(signatures[j], sig) > 0) {
+            signatures[j + 1] = signatures[j];
+            dictionary[j + 1] = dictionary[j];
+            j--;
+        }
+        signatures[j + 1] = sig;
+        dictionary[j + 1] = word;
+    }
+}
+
+/* Count and print anagram groups of size >= 2. */
+int report_groups(void) {
+    int i;
+    int groups;
+    int start;
+    groups = 0;
+    start = 0;
+    for (i = 1; i <= nwords; i++) {
+        if (i == nwords || strcmp(signatures[i], signatures[start]) != 0) {
+            if (i - start >= 2) {
+                int k;
+                groups++;
+                printf("group:");
+                for (k = start; k < i; k++) {
+                    printf(" %s", dictionary[k]);
+                }
+                printf("\n");
+            }
+            start = i;
+        }
+    }
+    return groups;
+}
+
+int main(void) {
+    int groups;
+    load_words();
+    sort_by_signature();
+    groups = report_groups();
+    printf("groups=%d words=%d longest=%d\n", groups, nwords, longest_raw());
+    if (groups != 5) {
+        return 1;
+    }
+    return 0;
+}

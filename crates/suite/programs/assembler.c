@@ -1,0 +1,341 @@
+/* assembler -- reconstruction of the Landi-suite two-pass assembler.
+ *
+ * Pointer idioms: an opcode table of structs searched by mnemonic, a
+ * label symbol list on the heap, char* scanning cursors, and a tagged
+ * union for decoded operands (exercising the union-aliasing model of
+ * paper §2). */
+
+#define NOPS 8
+#define MAXLINES 32
+#define MAXLABELS 16
+#define MAXWORDS 64
+
+#define OPD_NONE 0
+#define OPD_REG 1
+#define OPD_IMM 2
+#define OPD_LABEL 3
+
+struct opdef {
+    char *mnemonic;
+    int code;
+    int operands;
+};
+
+struct opdef optable[NOPS] = {
+    { "halt", 0, 0 },
+    { "load", 1, 2 },
+    { "store", 2, 2 },
+    { "add", 3, 2 },
+    { "sub", 4, 2 },
+    { "jmp", 5, 1 },
+    { "jnz", 6, 1 },
+    { "out", 7, 1 }
+};
+
+union opval {
+    int reg;
+    int imm;
+    char label[8];
+};
+
+struct operand {
+    int tag;
+    union opval v;
+};
+
+struct label {
+    char name[8];
+    int addr;
+    struct label *next;
+};
+
+char *program_lines[MAXLINES] = {
+    "start:",
+    "  load r0 #10",
+    "  load r1 #0",
+    "loop:",
+    "  add r1 r0",
+    "  sub r0 #1",
+    "  jnz loop",
+    "  out r1",
+    "  store r1 @acc",
+    "  jmp done",
+    "  out r0",
+    "done:",
+    "  out r1",
+    "  halt",
+    NULL
+};
+
+struct label *labels;
+int words[MAXWORDS];
+int nwords;
+int errors;
+
+/* ----- small string helpers over scan cursors ----- */
+
+char *skip_blanks(char *p) {
+    while (*p == ' ' || *p == '\t') {
+        p++;
+    }
+    return p;
+}
+
+/* Copy the next word (letters/digits/_/@/#/:) into buf; return cursor. */
+char *take_word(char *p, char *buf, int cap) {
+    int n;
+    n = 0;
+    while (*p != 0 && *p != ' ' && *p != '\t') {
+        if (n < cap - 1) {
+            buf[n++] = *p;
+        }
+        p++;
+    }
+    buf[n] = 0;
+    return p;
+}
+
+/* ----- label table (single allocation site) ----- */
+
+void def_label(char *name, int addr) {
+    struct label *l;
+    l = labels;
+    while (l != NULL) {
+        if (strcmp(l->name, name) == 0) {
+            errors++;
+            return;
+        }
+        l = l->next;
+    }
+    l = (struct label*)malloc(sizeof(struct label));
+    strncpy(l->name, name, 7);
+    l->name[7] = 0;
+    l->addr = addr;
+    l->next = labels;
+    labels = l;
+}
+
+int lookup_label(char *name) {
+    struct label *l;
+    l = labels;
+    while (l != NULL) {
+        if (strcmp(l->name, name) == 0) {
+            return l->addr;
+        }
+        l = l->next;
+    }
+    errors++;
+    return 0;
+}
+
+/* ----- mnemonic lookup: returns a pointer into the optable ----- */
+
+struct opdef *find_op(char *name) {
+    int i;
+    for (i = 0; i < NOPS; i++) {
+        if (strcmp(optable[i].mnemonic, name) == 0) {
+            return &optable[i];
+        }
+    }
+    return NULL;
+}
+
+/* Fetch the opcode definition into a caller-provided slot; both passes
+ * share this lookup, and every slot receives pointers into the one
+ * static table. */
+void opdef_for(struct opdef **slot, char *name) {
+    *slot = find_op(name);
+}
+
+/* ----- operand decoding into the tagged union ----- */
+
+void decode_operand(char *text, struct operand *out) {
+    if (text[0] == 'r' && text[1] >= '0' && text[1] <= '9') {
+        out->tag = OPD_REG;
+        out->v.reg = text[1] - '0';
+        return;
+    }
+    if (text[0] == '#') {
+        int v;
+        int i;
+        v = 0;
+        i = 1;
+        while (text[i] >= '0' && text[i] <= '9') {
+            v = v * 10 + (text[i] - '0');
+            i++;
+        }
+        out->tag = OPD_IMM;
+        out->v.imm = v;
+        return;
+    }
+    out->tag = OPD_LABEL;
+    strncpy(out->v.label, text, 7);
+    out->v.label[7] = 0;
+}
+
+int operand_word(struct operand *o) {
+    if (o->tag == OPD_REG) {
+        return o->v.reg;
+    }
+    if (o->tag == OPD_IMM) {
+        return 1000 + o->v.imm;
+    }
+    return 2000 + lookup_label(o->v.label);
+}
+
+/* Whether the line defines a label ("name:"). */
+int is_label_line(char *buf) {
+    int n;
+    n = strlen(buf);
+    return n > 0 && buf[n - 1] == ':';
+}
+
+/* ----- pass 1: assign addresses to labels ----- */
+
+void pass_one(void) {
+    int line;
+    int addr;
+    char buf[16];
+    addr = 0;
+    for (line = 0; program_lines[line] != NULL; line++) {
+        char *p;
+        p = skip_blanks(program_lines[line]);
+        if (*p == 0) {
+            continue;
+        }
+        take_word(p, buf, 16);
+        if (is_label_line(buf)) {
+            buf[strlen(buf) - 1] = 0;
+            def_label(buf, addr);
+        } else {
+            struct opdef *op;
+            opdef_for(&op, buf);
+            if (op == NULL) {
+                errors++;
+            } else {
+                addr = addr + 1 + op->operands;
+            }
+        }
+    }
+}
+
+/* ----- pass 2: encode instructions ----- */
+
+void emit_word(int w) {
+    if (nwords < MAXWORDS) {
+        words[nwords++] = w;
+    }
+}
+
+void pass_two(void) {
+    int line;
+    char buf[16];
+    struct operand opnd;
+    for (line = 0; program_lines[line] != NULL; line++) {
+        char *p;
+        struct opdef *op;
+        int k;
+        p = skip_blanks(program_lines[line]);
+        if (*p == 0) {
+            continue;
+        }
+        p = take_word(p, buf, 16);
+        if (is_label_line(buf)) {
+            continue;
+        }
+        opdef_for(&op, buf);
+        if (op == NULL) {
+            continue;
+        }
+        emit_word(op->code * 100);
+        for (k = 0; k < op->operands; k++) {
+            p = skip_blanks(p);
+            p = take_word(p, buf, 16);
+            decode_operand(buf, &opnd);
+            emit_word(operand_word(&opnd));
+        }
+    }
+}
+
+/* ----- disassembler: decode the words back to text, re-counting ----- */
+
+struct opdef *op_by_code(int code) {
+    int i;
+    for (i = 0; i < NOPS; i++) {
+        if (optable[i].code == code) {
+            return &optable[i];
+        }
+    }
+    return NULL;
+}
+
+/* Renders one operand word; returns its contribution to the checksum. */
+int show_operand(int w) {
+    if (w >= 2000) {
+        printf(" @%d", w - 2000);
+        return w - 2000;
+    }
+    if (w >= 1000) {
+        printf(" #%d", w - 1000);
+        return w - 1000;
+    }
+    printf(" r%d", w);
+    return w;
+}
+
+/* Walks the emitted words, printing mnemonics; returns an operand sum
+ * (a second, independent traversal of the encoded program). */
+int disassemble(void) {
+    int i;
+    int sum;
+    sum = 0;
+    i = 0;
+    while (i < nwords) {
+        struct opdef *op;
+        int k;
+        op = op_by_code(words[i] / 100);
+        if (op == NULL) {
+            printf("?? %d\n", words[i]);
+            i++;
+            continue;
+        }
+        printf("%4d: %s", i, op->mnemonic);
+        i++;
+        for (k = 0; k < op->operands && i < nwords; k++) {
+            sum += show_operand(words[i]);
+            i++;
+        }
+        printf("\n");
+    }
+    return sum;
+}
+
+int checksum(void) {
+    int i;
+    int sum;
+    sum = 0;
+    for (i = 0; i < nwords; i++) {
+        sum = (sum * 7 + words[i]) % 99991;
+    }
+    return sum;
+}
+
+int main(void) {
+    labels = NULL;
+    nwords = 0;
+    errors = 0;
+    pass_one();
+    pass_two();
+    printf("words=%d errors=%d labels(start)=%d labels(loop)=%d sum=%d\n",
+           nwords, errors, lookup_label("start"), lookup_label("loop"),
+           checksum());
+    printf("opsum=%d\n", disassemble());
+    if (errors != 1) {
+        /* exactly one: the @acc label is never defined */
+        return 1;
+    }
+    if (nwords != 26) {
+        return 2;
+    }
+    return 0;
+}

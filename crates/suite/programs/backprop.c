@@ -1,0 +1,151 @@
+/* backprop -- reconstruction of Todd Austin's neural-network trainer.
+ *
+ * Pointer idioms: heap-allocated weight matrices handed around as
+ * double*, layer activations in caller-provided buffers, all pointers
+ * single-level and referencing floating-point (scalar) storage. The
+ * paper notes this program's indirect operations each touch exactly one
+ * location. */
+
+#define NIN 4
+#define NHID 3
+#define NOUT 2
+
+double *w_in_hid;   /* NIN x NHID  */
+double *w_hid_out;  /* NHID x NOUT */
+
+double inputs[NIN];
+double hidden[NHID];
+double outputs[NOUT];
+double targets[NOUT];
+double err_out[NOUT];
+double err_hid[NHID];
+
+/* A tiny deterministic pseudo-random weight stream. */
+int wseed;
+double next_weight(void) {
+    wseed = (wseed * 1103515245 + 12345) % 2147483647;
+    if (wseed < 0) {
+        wseed = -wseed;
+    }
+    return (wseed % 1000) / 1000.0 - 0.5;
+}
+
+double *alloc_matrix(int rows, int cols) {
+    double *m;
+    int i;
+    m = (double*)malloc(rows * cols * 8);
+    for (i = 0; i < rows * cols; i++) {
+        m[i] = next_weight();
+    }
+    return m;
+}
+
+/* Squashing function (piecewise-linear sigmoid stand-in). */
+double squash(double x) {
+    if (x > 1.0) {
+        return 1.0;
+    }
+    if (x < -1.0) {
+        return 0.0;
+    }
+    return (x + 1.0) / 2.0;
+}
+
+/* Forward pass from src (n_src wide) through w into dst (n_dst wide). */
+void forward_layer(double *src, int n_src, double *w, double *dst, int n_dst) {
+    int i;
+    int j;
+    for (j = 0; j < n_dst; j++) {
+        double sum;
+        sum = 0.0;
+        for (i = 0; i < n_src; i++) {
+            sum += src[i] * w[i * n_dst + j];
+        }
+        dst[j] = squash(sum);
+    }
+}
+
+/* Output-layer error into caller buffer err. */
+void output_error(double *out, double *want, double *err, int n) {
+    int j;
+    for (j = 0; j < n; j++) {
+        err[j] = (want[j] - out[j]) * out[j] * (1.0 - out[j]);
+    }
+}
+
+/* Back-propagate err_dst through w into err_src. */
+void hidden_error(double *err_dst, int n_dst, double *w, double *act_src,
+                  double *err_src, int n_src) {
+    int i;
+    int j;
+    for (i = 0; i < n_src; i++) {
+        double sum;
+        sum = 0.0;
+        for (j = 0; j < n_dst; j++) {
+            sum += err_dst[j] * w[i * n_dst + j];
+        }
+        err_src[i] = sum * act_src[i] * (1.0 - act_src[i]);
+    }
+}
+
+/* Gradient step on w given source activations and destination errors. */
+void adjust_weights(double *src, int n_src, double *err, int n_dst, double *w) {
+    int i;
+    int j;
+    for (i = 0; i < n_src; i++) {
+        for (j = 0; j < n_dst; j++) {
+            w[i * n_dst + j] += 0.25 * err[j] * src[i];
+        }
+    }
+}
+
+void load_case(int which) {
+    int i;
+    for (i = 0; i < NIN; i++) {
+        inputs[i] = ((which + i) % 3) / 2.0;
+    }
+    targets[0] = (which % 2 == 0) ? 1.0 : 0.0;
+    targets[1] = 1.0 - targets[0];
+}
+
+double train_epoch(void) {
+    double total;
+    int c;
+    total = 0.0;
+    for (c = 0; c < 8; c++) {
+        int j;
+        load_case(c);
+        forward_layer(inputs, NIN, w_in_hid, hidden, NHID);
+        forward_layer(hidden, NHID, w_hid_out, outputs, NOUT);
+        output_error(outputs, targets, err_out, NOUT);
+        hidden_error(err_out, NOUT, w_hid_out, hidden, err_hid, NHID);
+        adjust_weights(hidden, NHID, err_out, NOUT, w_hid_out);
+        adjust_weights(inputs, NIN, err_hid, NHID, w_in_hid);
+        for (j = 0; j < NOUT; j++) {
+            double d;
+            d = targets[j] - outputs[j];
+            if (d < 0.0) {
+                d = -d;
+            }
+            total += d;
+        }
+    }
+    return total;
+}
+
+int main(void) {
+    int epoch;
+    double err;
+    wseed = 12345;
+    w_in_hid = alloc_matrix(NIN, NHID);
+    w_hid_out = alloc_matrix(NHID, NOUT);
+    err = 0.0;
+    for (epoch = 0; epoch < 12; epoch++) {
+        err = train_epoch();
+    }
+    printf("final error x1000 = %d\n", (int)(err * 1000.0));
+    if (err > 16.0) {
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,547 @@
+/* bc -- reconstruction of GNU bc (the largest program of the suite).
+ *
+ * An arbitrary-precision calculator core: a scanner over an embedded
+ * script, a recursive-descent expression parser, bignums as heap digit
+ * arrays handed around through struct pointers, a free list of number
+ * cells, and single-letter variables.
+ *
+ * Pointer idioms: heap records from a central allocator, digit arrays
+ * walked by int*, caller-owned result slots, utility routines shared by
+ * every arithmetic path. */
+
+#define MAXDIGITS 64
+#define NVARS 26
+
+struct number {
+    int ndigits;          /* significant base-10 digits           */
+    int negative;
+    int *digits;          /* least-significant first, heap        */
+    struct number *link;  /* free-list chain                      */
+};
+
+struct number *free_nums;
+int live_nums;
+int peak_nums;
+
+char *script;
+int lookahead;
+
+struct number *variables[NVARS];
+int out_checksum;
+
+/* ----- number cell management (one allocation site each) ----- */
+
+struct number *num_alloc(void) {
+    struct number *n;
+    if (free_nums != NULL) {
+        n = free_nums;
+        free_nums = n->link;
+    } else {
+        n = (struct number*)malloc(sizeof(struct number));
+        n->digits = (int*)malloc(MAXDIGITS * 4);
+    }
+    n->ndigits = 1;
+    n->negative = 0;
+    n->digits[0] = 0;
+    n->link = NULL;
+    live_nums++;
+    if (live_nums > peak_nums) {
+        peak_nums = live_nums;
+    }
+    return n;
+}
+
+void num_free(struct number *n) {
+    if (n == NULL) {
+        return;
+    }
+    n->link = free_nums;
+    free_nums = n;
+    live_nums--;
+}
+
+struct number *num_from_int(int v) {
+    struct number *n;
+    n = num_alloc();
+    if (v < 0) {
+        n->negative = 1;
+        v = -v;
+    }
+    n->ndigits = 0;
+    if (v == 0) {
+        n->digits[0] = 0;
+        n->ndigits = 1;
+    }
+    while (v > 0) {
+        n->digits[n->ndigits++] = v % 10;
+        v = v / 10;
+    }
+    return n;
+}
+
+struct number *num_copy(struct number *src) {
+    struct number *n;
+    int i;
+    n = num_alloc();
+    n->ndigits = src->ndigits;
+    n->negative = src->negative;
+    for (i = 0; i < src->ndigits; i++) {
+        n->digits[i] = src->digits[i];
+    }
+    return n;
+}
+
+void num_trim(struct number *n) {
+    while (n->ndigits > 1 && n->digits[n->ndigits - 1] == 0) {
+        n->ndigits--;
+    }
+    if (n->ndigits == 1 && n->digits[0] == 0) {
+        n->negative = 0;
+    }
+}
+
+/* |a| vs |b|: -1, 0, 1 */
+int num_cmp_mag(struct number *a, struct number *b) {
+    int i;
+    if (a->ndigits != b->ndigits) {
+        return a->ndigits < b->ndigits ? -1 : 1;
+    }
+    for (i = a->ndigits - 1; i >= 0; i--) {
+        if (a->digits[i] != b->digits[i]) {
+            return a->digits[i] < b->digits[i] ? -1 : 1;
+        }
+    }
+    return 0;
+}
+
+/* ----- magnitude arithmetic into caller-provided result cells ----- */
+
+void mag_add(struct number *a, struct number *b, struct number *r) {
+    int carry;
+    int i;
+    int n;
+    n = a->ndigits > b->ndigits ? a->ndigits : b->ndigits;
+    carry = 0;
+    for (i = 0; i < n; i++) {
+        int da;
+        int db;
+        int s;
+        da = i < a->ndigits ? a->digits[i] : 0;
+        db = i < b->ndigits ? b->digits[i] : 0;
+        s = da + db + carry;
+        r->digits[i] = s % 10;
+        carry = s / 10;
+    }
+    if (carry && n < MAXDIGITS) {
+        r->digits[n++] = carry;
+    }
+    r->ndigits = n;
+    num_trim(r);
+}
+
+/* Requires |a| >= |b|. */
+void mag_sub(struct number *a, struct number *b, struct number *r) {
+    int borrow;
+    int i;
+    borrow = 0;
+    for (i = 0; i < a->ndigits; i++) {
+        int da;
+        int db;
+        int d;
+        da = a->digits[i];
+        db = i < b->ndigits ? b->digits[i] : 0;
+        d = da - db - borrow;
+        if (d < 0) {
+            d += 10;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        r->digits[i] = d;
+    }
+    r->ndigits = a->ndigits;
+    num_trim(r);
+}
+
+void mag_mul(struct number *a, struct number *b, struct number *r) {
+    int i;
+    int j;
+    int n;
+    n = a->ndigits + b->ndigits;
+    if (n > MAXDIGITS) {
+        n = MAXDIGITS;
+    }
+    for (i = 0; i < n; i++) {
+        r->digits[i] = 0;
+    }
+    for (i = 0; i < a->ndigits; i++) {
+        int carry;
+        carry = 0;
+        for (j = 0; j < b->ndigits && i + j < MAXDIGITS; j++) {
+            int cell;
+            cell = r->digits[i + j] + a->digits[i] * b->digits[j] + carry;
+            r->digits[i + j] = cell % 10;
+            carry = cell / 10;
+        }
+        if (i + b->ndigits < MAXDIGITS) {
+            r->digits[i + b->ndigits] += carry;
+        }
+    }
+    r->ndigits = n;
+    num_trim(r);
+}
+
+/* ----- signed operations producing fresh cells ----- */
+
+struct number *num_add(struct number *a, struct number *b) {
+    struct number *r;
+    r = num_alloc();
+    if (a->negative == b->negative) {
+        mag_add(a, b, r);
+        r->negative = a->negative;
+    } else if (num_cmp_mag(a, b) >= 0) {
+        mag_sub(a, b, r);
+        r->negative = a->negative;
+    } else {
+        mag_sub(b, a, r);
+        r->negative = b->negative;
+    }
+    num_trim(r);
+    return r;
+}
+
+struct number *num_neg(struct number *a) {
+    struct number *r;
+    r = num_copy(a);
+    if (r->ndigits != 1 || r->digits[0] != 0) {
+        r->negative = !r->negative;
+    }
+    return r;
+}
+
+struct number *num_sub(struct number *a, struct number *b) {
+    struct number *nb;
+    struct number *r;
+    nb = num_neg(b);
+    r = num_add(a, nb);
+    num_free(nb);
+    return r;
+}
+
+struct number *num_mul(struct number *a, struct number *b) {
+    struct number *r;
+    r = num_alloc();
+    mag_mul(a, b, r);
+    r->negative = a->negative != b->negative;
+    num_trim(r);
+    return r;
+}
+
+/* Signed comparison: -1, 0, 1. */
+int num_cmp(struct number *a, struct number *b) {
+    if (a->negative != b->negative) {
+        return a->negative ? -1 : 1;
+    }
+    if (a->negative) {
+        return -num_cmp_mag(a, b);
+    }
+    return num_cmp_mag(a, b);
+}
+
+int num_is_zero(struct number *a) {
+    return a->ndigits == 1 && a->digits[0] == 0;
+}
+
+/* Schoolbook long division (truncating); returns NULL on divide-by-zero.
+ * The remainder accumulates in a caller-provided work cell. */
+struct number *num_div(struct number *a, struct number *b) {
+    struct number *q;
+    struct number *rem;
+    int i;
+    if (num_is_zero(b)) {
+        return NULL;
+    }
+    q = num_alloc();
+    q->ndigits = a->ndigits;
+    rem = num_from_int(0);
+    for (i = a->ndigits - 1; i >= 0; i--) {
+        int d;
+        int k;
+        /* rem = rem * 10 + a->digits[i] */
+        for (k = rem->ndigits; k > 0; k--) {
+            rem->digits[k] = rem->digits[k - 1];
+        }
+        rem->digits[0] = a->digits[i];
+        if (rem->ndigits < MAXDIGITS) {
+            rem->ndigits++;
+        }
+        num_trim(rem);
+        /* find the quotient digit by repeated subtraction of |b| */
+        d = 0;
+        while (num_cmp_mag(rem, b) >= 0) {
+            struct number *nr;
+            nr = num_alloc();
+            mag_sub(rem, b, nr);
+            num_free(rem);
+            rem = nr;
+            d++;
+            if (d > 9) {
+                break;
+            }
+        }
+        q->digits[i] = d;
+    }
+    q->negative = a->negative != b->negative;
+    num_trim(q);
+    num_free(rem);
+    return q;
+}
+
+/* Boolean result cells for the comparison operators. */
+struct number *num_bool(int flag) {
+    return num_from_int(flag ? 1 : 0);
+}
+
+/* By-value peek at a number cell (struct copies carry the digit
+ * pointer through the dataflow as an aggregate value). */
+struct number peek(struct number *n) {
+    return *n;
+}
+
+/* ----- printing ----- */
+
+void num_print(struct number *n) {
+    int i;
+    char buf[MAXDIGITS + 2];
+    int pos;
+    pos = 0;
+    if (n->negative) {
+        buf[pos++] = '-';
+    }
+    for (i = n->ndigits - 1; i >= 0; i--) {
+        buf[pos++] = '0' + n->digits[i];
+    }
+    buf[pos] = 0;
+    printf("%s\n", buf);
+    for (i = 0; buf[i] != 0; i++) {
+        out_checksum = (out_checksum * 31 + buf[i]) % 99991;
+    }
+}
+
+/* ----- scanner ----- */
+
+void advance(void) {
+    while (*script == ' ' || *script == '\n') {
+        script++;
+    }
+    lookahead = *script;
+}
+
+void eat_char(void) {
+    script++;
+    advance();
+}
+
+struct number *scan_number(void) {
+    int v;
+    v = 0;
+    while (*script >= '0' && *script <= '9') {
+        v = v * 10 + (*script - '0');
+        script++;
+    }
+    advance();
+    return num_from_int(v);
+}
+
+/* ----- parser / evaluator: expr := term (('+'|'-') term)*
+ *        term := factor ('*' factor)*
+ *        factor := NUM | VAR | '-' factor | '(' expr ')' ----- */
+
+struct number *parse_expr(void);
+
+struct number *parse_factor(void) {
+    if (lookahead >= '0' && lookahead <= '9') {
+        return scan_number();
+    }
+    if (lookahead >= 'a' && lookahead <= 'z') {
+        int v;
+        v = lookahead - 'a';
+        eat_char();
+        if (variables[v] == NULL) {
+            variables[v] = num_from_int(0);
+        }
+        return num_copy(variables[v]);
+    }
+    if (lookahead == '-') {
+        struct number *inner;
+        struct number *r;
+        eat_char();
+        inner = parse_factor();
+        r = num_neg(inner);
+        num_free(inner);
+        return r;
+    }
+    if (lookahead == '(') {
+        struct number *e;
+        eat_char();
+        e = parse_expr();
+        if (lookahead == ')') {
+            eat_char();
+        }
+        return e;
+    }
+    /* Syntax error: treat as zero and skip. */
+    eat_char();
+    return num_from_int(0);
+}
+
+struct number *parse_term(void) {
+    struct number *lhs;
+    lhs = parse_factor();
+    while (lookahead == '*' || lookahead == '/') {
+        struct number *rhs;
+        struct number *r;
+        int divide;
+        divide = lookahead == '/';
+        eat_char();
+        rhs = parse_factor();
+        if (divide) {
+            r = num_div(lhs, rhs);
+            if (r == NULL) {
+                /* divide by zero: bc prints a warning and yields 0 */
+                printf("divide by zero\n");
+                r = num_from_int(0);
+            }
+        } else {
+            r = num_mul(lhs, rhs);
+        }
+        num_free(lhs);
+        num_free(rhs);
+        lhs = r;
+    }
+    return lhs;
+}
+
+struct number *parse_sum(void);
+
+/* expr := sum (('<'|'>') sum)?   -- comparisons yield 0/1 */
+struct number *parse_expr(void) {
+    struct number *lhs;
+    lhs = parse_sum();
+    while (lookahead == '<' || lookahead == '>') {
+        struct number *rhs;
+        struct number *r;
+        int less;
+        less = lookahead == '<';
+        eat_char();
+        rhs = parse_sum();
+        if (less) {
+            r = num_bool(num_cmp(lhs, rhs) < 0);
+        } else {
+            r = num_bool(num_cmp(lhs, rhs) > 0);
+        }
+        num_free(lhs);
+        num_free(rhs);
+        lhs = r;
+    }
+    return lhs;
+}
+
+struct number *parse_sum(void) {
+    struct number *lhs;
+    lhs = parse_term();
+    while (lookahead == '+' || lookahead == '-') {
+        struct number *rhs;
+        struct number *r;
+        int minus;
+        minus = lookahead == '-';
+        eat_char();
+        rhs = parse_term();
+        if (minus) {
+            r = num_sub(lhs, rhs);
+        } else {
+            r = num_add(lhs, rhs);
+        }
+        num_free(lhs);
+        num_free(rhs);
+        lhs = r;
+    }
+    return lhs;
+}
+
+/* stmt := VAR '=' expr ';' | expr ';'  (bare expressions print) */
+void run_stmt(void) {
+    if (lookahead >= 'a' && lookahead <= 'z' && script[1] == ' '
+        && script[2] == '=' && script[3] != '=') {
+        int target;
+        struct number *v;
+        target = lookahead - 'a';
+        eat_char(); /* the variable    */
+        eat_char(); /* the '='         */
+        v = parse_expr();
+        num_free(variables[target]);
+        variables[target] = v;
+    } else {
+        struct number *v;
+        v = parse_expr();
+        num_print(v);
+        num_free(v);
+    }
+    if (lookahead == ';') {
+        eat_char();
+    }
+}
+
+void run_script(char *text) {
+    script = text;
+    advance();
+    while (lookahead != 0) {
+        run_stmt();
+    }
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < NVARS; i++) {
+        variables[i] = NULL;
+    }
+    free_nums = NULL;
+    live_nums = 0;
+    peak_nums = 0;
+    out_checksum = 0;
+
+    run_script(
+        "a = 123456789 + 987654321;"
+        "a;"
+        "b = a * a;"
+        "b;"
+        "c = b - 1234567890 * 999;"
+        "c;"
+        "d = c * 0 - 42;"
+        "d;"
+        "(a + b) * 2 + d;"
+        "z + 7;"
+        "e = b / a;"
+        "e;"
+        "f = b / 97;"
+        "f;"
+        "g = (a < b) + (b < a) * 10 + (d < 0) * 100;"
+        "g;"
+        "h = e / 0;"
+        "h;");
+
+    if (variables[0] != NULL) {
+        struct number snap;
+        snap = peek(variables[0]);
+        printf("a has %d digits (neg=%d)\n", snap.ndigits, snap.negative);
+        if (snap.digits == NULL) {
+            return 2;
+        }
+    }
+    printf("live=%d peak=%d sum=%d\n", live_nums, peak_nums, out_checksum);
+    /* 123456789 + 987654321 = 1111111110 */
+    if (out_checksum == 0) {
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,287 @@
+/* compiler -- reconstruction of the Landi-suite toy compiler.
+ *
+ * Pipeline: scanner over an embedded source string, recursive-descent
+ * parser building heap AST nodes, a tree-walking constant folder, a
+ * code generator emitting stack-machine instructions, and a small VM.
+ *
+ * Pointer idioms: AST node pointers (one allocation site feeding every
+ * tree constructor), a char* scan cursor held in a global, parent
+ * routines receiving subtree pointers from a single producer. */
+
+enum node_kind { N_NUM, N_VAR, N_ADD, N_SUB, N_MUL };
+
+enum opcode {
+    OP_PUSH, OP_LOAD, OP_ADD, OP_SUB, OP_MUL, OP_STORE, OP_PRINT
+};
+
+#define MAXCODE 256
+#define NVARS 26
+
+struct ast {
+    int kind;
+    int value;       /* number or variable index */
+    struct ast *lhs;
+    struct ast *rhs;
+};
+
+char *src;
+int lookahead;
+
+int code_op[MAXCODE];
+int code_arg[MAXCODE];
+int ncode;
+
+int vars[NVARS];
+int stack[64];
+int printed;
+
+/* ----- scanner ----- */
+
+void advance(void) {
+    while (*src == ' ') {
+        src++;
+    }
+    lookahead = *src;
+}
+
+int scan_number(void) {
+    int v;
+    v = 0;
+    while (*src >= '0' && *src <= '9') {
+        v = v * 10 + (*src - '0');
+        src++;
+    }
+    advance();
+    return v;
+}
+
+int scan_var(void) {
+    int v;
+    v = *src - 'a';
+    src++;
+    advance();
+    return v;
+}
+
+void eat(int c) {
+    if (lookahead != c) {
+        printf("syntax error: expected %c\n", c);
+        exit(2);
+    }
+    src++;
+    advance();
+}
+
+/* ----- parser: expr := term (('+'|'-') term)*; term := factor ('*' factor)*;
+ *       factor := NUM | VAR | '(' expr ')' ----- */
+
+struct ast *mk_node(int kind, int value, struct ast *lhs, struct ast *rhs) {
+    struct ast *n;
+    n = (struct ast*)malloc(sizeof(struct ast));
+    n->kind = kind;
+    n->value = value;
+    n->lhs = lhs;
+    n->rhs = rhs;
+    return n;
+}
+
+struct ast *parse_expr(void);
+
+struct ast *parse_factor(void) {
+    if (lookahead >= '0' && lookahead <= '9') {
+        return mk_node(N_NUM, scan_number(), NULL, NULL);
+    }
+    if (lookahead >= 'a' && lookahead <= 'z') {
+        return mk_node(N_VAR, scan_var(), NULL, NULL);
+    }
+    if (lookahead == '(') {
+        struct ast *e;
+        eat('(');
+        e = parse_expr();
+        eat(')');
+        return e;
+    }
+    printf("syntax error at factor\n");
+    exit(2);
+    return NULL;
+}
+
+struct ast *parse_term(void) {
+    struct ast *lhs;
+    lhs = parse_factor();
+    while (lookahead == '*') {
+        eat('*');
+        lhs = mk_node(N_MUL, 0, lhs, parse_factor());
+    }
+    return lhs;
+}
+
+struct ast *parse_expr(void) {
+    struct ast *lhs;
+    lhs = parse_term();
+    while (lookahead == '+' || lookahead == '-') {
+        if (lookahead == '+') {
+            eat('+');
+            lhs = mk_node(N_ADD, 0, lhs, parse_term());
+        } else {
+            eat('-');
+            lhs = mk_node(N_SUB, 0, lhs, parse_term());
+        }
+    }
+    return lhs;
+}
+
+/* ----- constant folding (tree rewrite in place) ----- */
+
+struct ast *fold(struct ast *n) {
+    if (n == NULL) {
+        return NULL;
+    }
+    n->lhs = fold(n->lhs);
+    n->rhs = fold(n->rhs);
+    if (n->kind >= N_ADD && n->lhs->kind == N_NUM && n->rhs->kind == N_NUM) {
+        int a;
+        int b;
+        int v;
+        a = n->lhs->value;
+        b = n->rhs->value;
+        v = 0;
+        switch (n->kind) {
+        case N_ADD:
+            v = a + b;
+            break;
+        case N_SUB:
+            v = a - b;
+            break;
+        case N_MUL:
+            v = a * b;
+            break;
+        }
+        n->kind = N_NUM;
+        n->value = v;
+        n->lhs = NULL;
+        n->rhs = NULL;
+    }
+    return n;
+}
+
+/* ----- code generation ----- */
+
+void emit(int op, int arg) {
+    if (ncode < MAXCODE) {
+        code_op[ncode] = op;
+        code_arg[ncode] = arg;
+        ncode++;
+    }
+}
+
+void gen_expr(struct ast *n) {
+    if (n->kind == N_NUM) {
+        emit(OP_PUSH, n->value);
+        return;
+    }
+    if (n->kind == N_VAR) {
+        emit(OP_LOAD, n->value);
+        return;
+    }
+    gen_expr(n->lhs);
+    gen_expr(n->rhs);
+    if (n->kind == N_ADD) {
+        emit(OP_ADD, 0);
+    } else if (n->kind == N_SUB) {
+        emit(OP_SUB, 0);
+    } else {
+        emit(OP_MUL, 0);
+    }
+}
+
+/* stmt := VAR '=' expr ';' | '!' expr ';'   ('!' prints) */
+void gen_stmt(void) {
+    if (lookahead == '!') {
+        struct ast *e;
+        eat('!');
+        e = fold(parse_expr());
+        gen_expr(e);
+        emit(OP_PRINT, 0);
+    } else {
+        int target;
+        struct ast *e;
+        target = scan_var();
+        eat('=');
+        e = fold(parse_expr());
+        gen_expr(e);
+        emit(OP_STORE, target);
+    }
+    eat(';');
+}
+
+void compile(char *text) {
+    src = text;
+    ncode = 0;
+    advance();
+    while (lookahead != 0) {
+        gen_stmt();
+    }
+}
+
+/* ----- the stack-machine VM ----- */
+
+int run_vm(void) {
+    int pc;
+    int sp;
+    sp = 0;
+    printed = 0;
+    for (pc = 0; pc < ncode; pc++) {
+        int op;
+        int arg;
+        op = code_op[pc];
+        arg = code_arg[pc];
+        switch (op) {
+        case OP_PUSH:
+            stack[sp++] = arg;
+            break;
+        case OP_LOAD:
+            stack[sp++] = vars[arg];
+            break;
+        case OP_ADD:
+            sp--;
+            stack[sp - 1] += stack[sp];
+            break;
+        case OP_SUB:
+            sp--;
+            stack[sp - 1] -= stack[sp];
+            break;
+        case OP_MUL:
+            sp--;
+            stack[sp - 1] *= stack[sp];
+            break;
+        case OP_STORE:
+            vars[arg] = stack[--sp];
+            break;
+        case OP_PRINT:
+            printf("= %d\n", stack[--sp]);
+            printed++;
+            break;
+        }
+    }
+    return sp;
+}
+
+int main(void) {
+    int i;
+    int leftover;
+    for (i = 0; i < NVARS; i++) {
+        vars[i] = 0;
+    }
+    compile("a = 2 + 3 * 4; b = a * a; c = (a + b) * 2 - 6; ! a; ! b; ! c; ! 7 * 6;");
+    leftover = run_vm();
+    printf("code=%d printed=%d a=%d b=%d c=%d\n",
+           ncode, printed, vars[0], vars[1], vars[2]);
+    if (vars[0] != 14 || vars[1] != 196 || vars[2] != 414) {
+        return 1;
+    }
+    if (leftover != 0 || printed != 4) {
+        return 2;
+    }
+    return 0;
+}

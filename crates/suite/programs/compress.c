@@ -1,0 +1,183 @@
+/* compress -- reconstruction of the SPEC92 LZW compressor.
+ *
+ * Pointer idioms: code tables as flat arrays indexed through pointers,
+ * char* cursors over input/output buffers, a hash probe loop. Pointers
+ * are single-level onto scalar (char / int) storage. */
+
+#define HSIZE 257
+#define MAXCODES 256
+#define INLEN 96
+#define OUTLEN 256
+
+char input_buf[INLEN];
+int output_codes[OUTLEN];
+char recon_buf[OUTLEN];
+
+int hash_code[HSIZE];   /* code stored at this slot, -1 = empty   */
+int hash_prefix[HSIZE]; /* prefix code of the stored entry        */
+int hash_ch[HSIZE];     /* extension character of the entry       */
+
+int next_code;
+int n_out;
+
+/* Read stdin into the input buffer; fall back to a deterministic
+ * repetitive text when stdin is empty (the original read a file). */
+void make_input(void) {
+    char *pat;
+    int i;
+    int j;
+    int c;
+    i = 0;
+    while (i < INLEN - 1 && (c = getchar()) != -1) {
+        input_buf[i++] = c;
+    }
+    if (i > 0) {
+        input_buf[i] = 0;
+        return;
+    }
+    pat = "the cat sat on the mat ";
+    j = 0;
+    for (i = 0; i < INLEN - 1; i++) {
+        input_buf[i] = pat[j];
+        j++;
+        if (pat[j] == 0) {
+            j = 0;
+        }
+    }
+    input_buf[INLEN - 1] = 0;
+}
+
+void clear_table(void) {
+    int i;
+    for (i = 0; i < HSIZE; i++) {
+        hash_code[i] = -1;
+    }
+    next_code = 256;
+}
+
+/* Probe the table for (prefix, ch); returns slot index. */
+int probe(int prefix, int ch) {
+    int h;
+    h = ((prefix << 4) ^ ch) % HSIZE;
+    if (h < 0) {
+        h += HSIZE;
+    }
+    while (hash_code[h] != -1) {
+        if (hash_prefix[h] == prefix && hash_ch[h] == ch) {
+            return h;
+        }
+        h = (h + 1) % HSIZE;
+    }
+    return h;
+}
+
+/* Hand out a cursor into the code stream (out-parameter; every caller
+ * receives a pointer into the same output array). */
+void code_cursor(int **slot, int at) {
+    *slot = &output_codes[at];
+}
+
+void emit(int code) {
+    int *cell;
+    code_cursor(&cell, n_out);
+    *cell = code;
+    n_out++;
+}
+
+/* LZW compression over the input buffer; returns emitted code count. */
+int compress(void) {
+    char *in;
+    int prefix;
+    n_out = 0;
+    clear_table();
+    in = input_buf;
+    prefix = *in++;
+    while (*in != 0) {
+        int ch;
+        int slot;
+        ch = *in++;
+        slot = probe(prefix, ch);
+        if (hash_code[slot] != -1) {
+            prefix = hash_code[slot];
+        } else {
+            emit(prefix);
+            if (next_code < MAXCODES + 256) {
+                hash_code[slot] = next_code;
+                hash_prefix[slot] = prefix;
+                hash_ch[slot] = ch;
+                next_code++;
+            }
+            prefix = ch;
+        }
+    }
+    emit(prefix);
+    return n_out;
+}
+
+/* Expand a code into recon_buf at position pos; returns new pos. */
+int expand_code(int code, int pos) {
+    char stack[64];
+    int sp;
+    sp = 0;
+    while (code >= 256) {
+        int slot;
+        int found;
+        found = -1;
+        /* Reverse lookup: find the slot holding this code. */
+        for (slot = 0; slot < HSIZE; slot++) {
+            if (hash_code[slot] == code) {
+                found = slot;
+                break;
+            }
+        }
+        if (found < 0) {
+            return -1;
+        }
+        stack[sp++] = hash_ch[found];
+        code = hash_prefix[found];
+    }
+    recon_buf[pos++] = code;
+    while (sp > 0) {
+        recon_buf[pos++] = stack[--sp];
+    }
+    return pos;
+}
+
+/* Decompress all codes; returns reconstructed length. */
+int decompress(void) {
+    int i;
+    int pos;
+    int *cur;
+    pos = 0;
+    for (i = 0; i < n_out; i++) {
+        code_cursor(&cur, i);
+        pos = expand_code(*cur, pos);
+        if (pos < 0) {
+            return -1;
+        }
+    }
+    recon_buf[pos] = 0;
+    return pos;
+}
+
+int main(void) {
+    int codes;
+    int relen;
+    int i;
+    int inlen;
+    make_input();
+    inlen = strlen(input_buf);
+    codes = compress();
+    relen = decompress();
+    printf("in=%d codes=%d out=%d\n", inlen, codes, relen);
+    if (relen != inlen) {
+        return 1;
+    }
+    for (i = 0; i < relen; i++) {
+        if (recon_buf[i] != input_buf[i]) {
+            return 2;
+        }
+    }
+    printf("roundtrip ok, ratio x100 = %d\n", codes * 100 / inlen);
+    return 0;
+}

@@ -1,0 +1,163 @@
+/* lex315 -- reconstruction of the Landi-suite lexical analyzer.
+ *
+ * Pointer idioms: a char* cursor threaded through scanner routines, a
+ * keyword table of char* entries, token text copied into a shared global
+ * buffer whose address is returned to every caller (the same-value
+ * out-parameter pattern of paper §5.2). */
+
+#define T_EOF 0
+#define T_IDENT 1
+#define T_NUMBER 2
+#define T_KEYWORD 3
+#define T_PUNCT 4
+#define NKEYWORDS 8
+
+char *keywords[NKEYWORDS] = {
+    "if", "else", "while", "return", "int", "char", "for", "break"
+};
+
+char token_text[32];
+int token_kind;
+int counts[5];
+
+char *source_text =
+    "int main ( ) { int x ; x = 42 ; while ( x ) { x = x - 1 ; } "
+    "if ( x ) return 1 ; else return 0 ; }";
+
+char *banner_text = "lex315 reconstruction for the ruf95 suite";
+
+/* The active input; reassigned between phases. A strongly-updateable
+ * global pointer: the strong update between the phases keeps each
+ * phase's dereferences single-target (visible in the strong-update
+ * ablation). */
+char *active_text;
+
+int is_alpha(int c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+int is_digit(int c) {
+    return c >= '0' && c <= '9';
+}
+
+/* Look the spelled token up in the keyword table. */
+int is_keyword(char *text) {
+    int i;
+    for (i = 0; i < NKEYWORDS; i++) {
+        if (strcmp(keywords[i], text) == 0) {
+            return 1;
+        }
+    }
+    return 0;
+}
+
+/* Scan one identifier starting at *pp; advances the cursor. */
+void scan_ident(char **pp) {
+    char *p;
+    int n;
+    p = *pp;
+    n = 0;
+    while (is_alpha(*p) || is_digit(*p)) {
+        if (n < 31) {
+            token_text[n++] = *p;
+        }
+        p++;
+    }
+    token_text[n] = 0;
+    *pp = p;
+    token_kind = is_keyword(token_text) ? T_KEYWORD : T_IDENT;
+}
+
+void scan_number(char **pp) {
+    char *p;
+    int n;
+    p = *pp;
+    n = 0;
+    while (is_digit(*p)) {
+        if (n < 31) {
+            token_text[n++] = *p;
+        }
+        p++;
+    }
+    token_text[n] = 0;
+    *pp = p;
+    token_kind = T_NUMBER;
+}
+
+void scan_punct(char **pp) {
+    char *p;
+    p = *pp;
+    token_text[0] = *p;
+    token_text[1] = 0;
+    *pp = p + 1;
+    token_kind = T_PUNCT;
+}
+
+/* Get the next token; returns its kind, spelling in token_text. */
+int next_token(char **pp) {
+    char *p;
+    p = *pp;
+    while (*p == ' ' || *p == '\t' || *p == '\n') {
+        p++;
+    }
+    *pp = p;
+    if (*p == 0) {
+        token_kind = T_EOF;
+        token_text[0] = 0;
+        return T_EOF;
+    }
+    if (is_alpha(*p)) {
+        scan_ident(pp);
+    } else if (is_digit(*p)) {
+        scan_number(pp);
+    } else {
+        scan_punct(pp);
+    }
+    return token_kind;
+}
+
+/* Scan everything in active_text; returns the token count. */
+int scan_phase(void) {
+    char *cursor;
+    int kind;
+    int total;
+    cursor = active_text;
+    total = 0;
+    while ((kind = next_token(&cursor)) != T_EOF) {
+        counts[kind]++;
+        total++;
+        if (total > 500) {
+            return -1;
+        }
+    }
+    return total;
+}
+
+int main(void) {
+    int total;
+    int banner_total;
+    int i;
+    for (i = 0; i < 5; i++) {
+        counts[i] = 0;
+    }
+    active_text = source_text;
+    total = scan_phase();
+    active_text = banner_text;   /* phase 2: the banner */
+    /* A direct sanity deref between the phases: with strong updates the
+     * assignment above definitely overwrote active_text, so this read
+     * sees only the banner; the weak-update ablation sees both texts. */
+    if (*active_text != 'l') {
+        return 3;
+    }
+    banner_total = scan_phase();
+    printf("tokens=%d banner=%d ident=%d num=%d kw=%d punct=%d\n",
+           total, banner_total, counts[T_IDENT], counts[T_NUMBER],
+           counts[T_KEYWORD], counts[T_PUNCT]);
+    if (total < 0 || banner_total != 6) {
+        return 2;
+    }
+    if (counts[T_KEYWORD] != 8) {
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,188 @@
+/* loader -- reconstruction of the Landi-suite object-file loader.
+ *
+ * Pointer idioms: a symbol table of heap records chained into hash
+ * buckets, relocation entries resolved by pointer-returning lookups
+ * (every lookup returns a pointer into the one symbol heap), and a
+ * simulated segment image patched through int*. */
+
+#define NBUCKETS 13
+#define SEGSIZE 64
+#define MAXRELOC 32
+
+struct symbol {
+    char name[12];
+    int value;
+    int defined;
+    struct symbol *link;
+};
+
+struct reloc {
+    int offset;
+    char refname[12];
+};
+
+struct symbol *buckets[NBUCKETS];
+int segment[SEGSIZE];
+struct reloc relocs[MAXRELOC];
+int nrelocs;
+int errors;
+
+int hash_name(char *s) {
+    int h;
+    h = 0;
+    while (*s != 0) {
+        h = (h * 31 + *s) % NBUCKETS;
+        s++;
+    }
+    if (h < 0) {
+        h += NBUCKETS;
+    }
+    return h;
+}
+
+/* Find a symbol; NULL when absent. */
+struct symbol *find_symbol(char *name) {
+    struct symbol *s;
+    s = buckets[hash_name(name)];
+    while (s != NULL) {
+        if (strcmp(s->name, name) == 0) {
+            return s;
+        }
+        s = s->link;
+    }
+    return NULL;
+}
+
+/* Find-or-create (the single allocation site of the table). */
+struct symbol *intern_symbol(char *name) {
+    struct symbol *s;
+    int h;
+    s = find_symbol(name);
+    if (s != NULL) {
+        return s;
+    }
+    s = (struct symbol*)malloc(sizeof(struct symbol));
+    strcpy(s->name, name);
+    s->value = 0;
+    s->defined = 0;
+    h = hash_name(name);
+    s->link = buckets[h];
+    buckets[h] = s;
+    return s;
+}
+
+/* "Define" a symbol at a segment address. */
+void define_symbol(char *name, int value) {
+    struct symbol *s;
+    s = intern_symbol(name);
+    if (s->defined) {
+        errors++;
+        return;
+    }
+    s->value = value;
+    s->defined = 1;
+}
+
+/* Record a relocation against a (possibly forward) reference. */
+void add_reloc(int offset, char *name) {
+    if (nrelocs < MAXRELOC) {
+        relocs[nrelocs].offset = offset;
+        strcpy(relocs[nrelocs].refname, name);
+        nrelocs++;
+    }
+}
+
+/* Resolve a name into a caller-provided slot; all slots receive
+ * pointers from the one symbol heap. */
+void symbol_into(struct symbol **slot, char *name) {
+    *slot = find_symbol(name);
+}
+
+/* Patch the segment image through the table. */
+int resolve_all(void) {
+    int i;
+    int unresolved;
+    unresolved = 0;
+    for (i = 0; i < nrelocs; i++) {
+        struct symbol *s;
+        int *slot;
+        symbol_into(&s, relocs[i].refname);
+        if (s == NULL || !s->defined) {
+            unresolved++;
+            continue;
+        }
+        slot = &segment[relocs[i].offset];
+        *slot = *slot + s->value;
+    }
+    return unresolved;
+}
+
+/* A tiny "object file": define/refer directives driven by tables. */
+char *def_names[6] = { "start", "loop", "body", "exit", "data", "tab" };
+int def_addrs[6] = { 0, 8, 16, 32, 40, 48 };
+
+char *ref_names[8] = {
+    "loop", "exit", "data", "start", "tab", "body", "data", "ghost"
+};
+int ref_sites[8] = { 1, 3, 5, 7, 9, 11, 13, 15 };
+
+void load_object(void) {
+    int i;
+    for (i = 0; i < SEGSIZE; i++) {
+        segment[i] = i;
+    }
+    for (i = 0; i < 6; i++) {
+        define_symbol(def_names[i], def_addrs[i]);
+    }
+    for (i = 0; i < 8; i++) {
+        add_reloc(ref_sites[i], ref_names[i]);
+    }
+    /* A duplicate definition to exercise the error path. */
+    define_symbol("loop", 99);
+}
+
+/* Count defined symbols by re-resolving each definition name. */
+int defined_count(void) {
+    int i;
+    int n;
+    struct symbol *probe;
+    n = 0;
+    for (i = 0; i < 6; i++) {
+        symbol_into(&probe, def_names[i]);
+        if (probe != NULL && probe->defined) {
+            n++;
+        }
+    }
+    return n;
+}
+
+int checksum(void) {
+    int i;
+    int sum;
+    sum = 0;
+    for (i = 0; i < SEGSIZE; i++) {
+        sum = (sum * 3 + segment[i]) % 65521;
+    }
+    return sum;
+}
+
+int main(void) {
+    int unresolved;
+    int i;
+    for (i = 0; i < NBUCKETS; i++) {
+        buckets[i] = NULL;
+    }
+    nrelocs = 0;
+    errors = 0;
+    load_object();
+    unresolved = resolve_all();
+    printf("relocs=%d unresolved=%d errors=%d defined=%d sum=%d\n",
+           nrelocs, unresolved, errors, defined_count(), checksum());
+    if (unresolved != 1) {
+        return 1;
+    }
+    if (errors != 1) {
+        return 2;
+    }
+    return 0;
+}

@@ -1,0 +1,164 @@
+/* part -- reconstruction of Todd Austin's `part` benchmark.
+ *
+ * The paper singles this program out (§5.2): it "independently constructs
+ * two linked lists that are both manipulated via the same set of
+ * routines", and early in its execution it "exchanges elements between
+ * the lists, forcing each list's locations to model all of the values
+ * held by the other list's locations" — so the cross-pollution that
+ * context-insensitivity introduces is already true at runtime. */
+
+struct item {
+    int id;
+    int weight;
+    struct item *next;
+};
+
+struct item *free_list;
+int made;
+
+struct item *new_item(int id, int weight) {
+    struct item *it;
+    if (free_list != NULL) {
+        it = free_list;
+        free_list = it->next;
+    } else {
+        it = (struct item*)malloc(sizeof(struct item));
+    }
+    it->id = id;
+    it->weight = weight;
+    it->next = NULL;
+    made++;
+    return it;
+}
+
+/* Shared routines used by BOTH lists. */
+struct item *push(struct item *head, struct item *it) {
+    it->next = head;
+    return it;
+}
+
+struct item *pop(struct item *head, struct item **out) {
+    if (head == NULL) {
+        *out = NULL;
+        return NULL;
+    }
+    *out = head;
+    return head->next;
+}
+
+int total_weight(struct item *head) {
+    int sum;
+    sum = 0;
+    while (head != NULL) {
+        sum += head->weight;
+        head = head->next;
+    }
+    return sum;
+}
+
+int count(struct item *head) {
+    int n;
+    n = 0;
+    while (head != NULL) {
+        n++;
+        head = head->next;
+    }
+    return n;
+}
+
+struct item *reverse(struct item *head) {
+    struct item *prev;
+    struct item *next;
+    prev = NULL;
+    while (head != NULL) {
+        next = head->next;
+        head->next = prev;
+        prev = head;
+        head = next;
+    }
+    return prev;
+}
+
+/* Partition: move items heavier than limit from *from onto *onto
+ * (the element exchange between the two lists). */
+void exchange_heavy(struct item **from, struct item **onto, int limit) {
+    struct item *kept;
+    struct item *cur;
+    kept = NULL;
+    cur = *from;
+    while (cur != NULL) {
+        struct item *next;
+        next = cur->next;
+        if (cur->weight > limit) {
+            cur->next = *onto;
+            *onto = cur;
+        } else {
+            cur->next = kept;
+            kept = cur;
+        }
+        cur = next;
+    }
+    *from = reverse(kept);
+}
+
+/* By-value snapshot of an item; aggregate values carry their pointer
+ * fields through the dataflow (Figure 3's aggregate column). */
+struct item snapshot(struct item *it) {
+    return *it;
+}
+
+int main(void) {
+    struct item *light;
+    struct item *heavy;
+    struct item *it;
+    int i;
+    int wl;
+    int wh;
+    light = NULL;
+    heavy = NULL;
+    free_list = NULL;
+    made = 0;
+
+    /* Build the two lists independently. */
+    for (i = 0; i < 10; i++) {
+        light = push(light, new_item(i, (i * 7) % 13));
+    }
+    for (i = 10; i < 18; i++) {
+        heavy = push(heavy, new_item(i, 20 + (i * 3) % 9));
+    }
+
+    /* Exchange elements between the lists, both directions. */
+    exchange_heavy(&light, &heavy, 9);
+    exchange_heavy(&heavy, &light, 21);
+
+    light = reverse(light);
+    heavy = reverse(heavy);
+
+    wl = total_weight(light);
+    wh = total_weight(heavy);
+    if (light != NULL) {
+        struct item snap;
+        snap = snapshot(light);
+        if (snap.next != NULL && snap.weight > 100) {
+            return 3;
+        }
+    }
+    printf("light: n=%d w=%d\n", count(light), wl);
+    printf("heavy: n=%d w=%d\n", count(heavy), wh);
+
+    /* Recycle one list through the free list, rebuild, and re-count. */
+    while (light != NULL) {
+        light = pop(light, &it);
+        it->next = free_list;
+        free_list = it;
+    }
+    for (i = 0; i < 4; i++) {
+        light = push(light, new_item(100 + i, i));
+    }
+    printf("rebuilt: n=%d made=%d\n", count(light), made);
+
+    if (wl + wh != total_weight(light) + wh + wl - total_weight(light)) {
+        return 1;
+    }
+    return 0;
+}

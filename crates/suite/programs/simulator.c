@@ -1,0 +1,262 @@
+/* simulator -- reconstruction of the Landi-suite machine simulator.
+ *
+ * Pointer idioms: a register file and memory image addressed through
+ * int*, a function-pointer dispatch table (one of the few indirect-call
+ * users in the suite, as the paper notes), and decode buffers passed to
+ * helper routines. */
+
+#define MEMSIZE 128
+#define NREGS 8
+
+#define I_HALT 0
+#define I_LOADI 1
+#define I_MOV 2
+#define I_ADD 3
+#define I_SUB 4
+#define I_LOAD 5
+#define I_STORE 6
+#define I_JNZ 7
+#define I_OUT 8
+#define I_JZ 9
+#define I_MUL 10
+#define NINSTR 11
+
+int memory[MEMSIZE];
+int regs[NREGS];
+int pc;
+int running;
+int out_sum;
+int cycles;
+
+/* Current decoded instruction. */
+struct decoded {
+    int op;
+    int a;
+    int b;
+};
+
+struct decoded cur;
+
+/* ----- per-opcode handlers, dispatched through a table ----- */
+
+void op_halt(struct decoded *d) {
+    running = 0;
+}
+
+void op_loadi(struct decoded *d) {
+    regs[d->a] = d->b;
+}
+
+void op_mov(struct decoded *d) {
+    regs[d->a] = regs[d->b];
+}
+
+void op_add(struct decoded *d) {
+    regs[d->a] += regs[d->b];
+}
+
+void op_sub(struct decoded *d) {
+    regs[d->a] -= regs[d->b];
+}
+
+/* Hand out a memory cell (out-parameter; all callers receive pointers
+ * into the one memory image). */
+void mem_cell(int **slot, int addr) {
+    *slot = &memory[addr % MEMSIZE];
+}
+
+void op_load(struct decoded *d) {
+    int *cell;
+    mem_cell(&cell, regs[d->b]);
+    regs[d->a] = *cell;
+}
+
+void op_store(struct decoded *d) {
+    int *cell;
+    mem_cell(&cell, regs[d->b]);
+    *cell = regs[d->a];
+}
+
+void op_jnz(struct decoded *d) {
+    if (regs[d->a] != 0) {
+        pc = d->b;
+    }
+}
+
+void op_jz(struct decoded *d) {
+    if (regs[d->a] == 0) {
+        pc = d->b;
+    }
+}
+
+void op_mul(struct decoded *d) {
+    regs[d->a] *= regs[d->b];
+}
+
+void op_out(struct decoded *d) {
+    out_sum += regs[d->a];
+}
+
+void (*dispatch[NINSTR])(struct decoded *) = {
+    op_halt, op_loadi, op_mov, op_add, op_sub,
+    op_load, op_store, op_jnz, op_out, op_jz, op_mul
+};
+
+/* Fetch the handler for an opcode into a caller slot (function-pointer
+ * out-parameter; the values all come from the one dispatch table). */
+void handler_for(void (**slot)(struct decoded *), int op) {
+    *slot = dispatch[op];
+}
+
+/* ----- fetch/decode/execute ----- */
+
+void fetch_decode(struct decoded *d) {
+    d->op = memory[pc++];
+    d->a = 0;
+    d->b = 0;
+    if (d->op == I_HALT) {
+        return;
+    }
+    d->a = memory[pc++];
+    if (d->op != I_OUT) {
+        d->b = memory[pc++];
+    }
+}
+
+int step(void) {
+    void (*handler)(struct decoded *);
+    if (pc < 0 || pc >= MEMSIZE) {
+        running = 0;
+        return 0;
+    }
+    fetch_decode(&cur);
+    if (cur.op < 0 || cur.op >= NINSTR) {
+        running = 0;
+        return 0;
+    }
+    handler_for(&handler, cur.op);
+    handler(&cur);
+    cycles++;
+    return 1;
+}
+
+/* ----- program loading ----- */
+
+int load_at;
+
+void emit3(int op, int a, int b) {
+    memory[load_at++] = op;
+    memory[load_at++] = a;
+    memory[load_at++] = b;
+}
+
+void emit2(int op, int a) {
+    memory[load_at++] = op;
+    memory[load_at++] = a;
+}
+
+void load_sum_program(void) {
+    /* sum 1..10 into r1, write result to memory[100], print it */
+    emit3(I_LOADI, 0, 10);   /* r0 = 10        */
+    emit3(I_LOADI, 1, 0);    /* r1 = 0         */
+    emit3(I_LOADI, 2, 1);    /* r2 = 1         */
+    emit3(I_LOADI, 3, 100);  /* r3 = 100       */
+    /* loop at pc=12: */
+    emit3(I_ADD, 1, 0);      /* r1 += r0       */
+    emit3(I_SUB, 0, 2);      /* r0 -= 1        */
+    emit3(I_JNZ, 0, 12);     /* if r0 jmp loop */
+    emit3(I_STORE, 1, 3);    /* mem[r3] = r1   */
+    emit3(I_LOAD, 4, 3);     /* r4 = mem[r3]   */
+    emit2(I_OUT, 4);         /* out r4         */
+    emit2(I_HALT, 0);
+}
+
+void load_factorial_program(void) {
+    /* 6! into r1 via MUL/JZ, stash in memory[101] */
+    emit3(I_LOADI, 0, 6);    /* r0 = 6             */
+    emit3(I_LOADI, 1, 1);    /* r1 = 1             */
+    emit3(I_LOADI, 2, 1);    /* r2 = 1             */
+    emit3(I_LOADI, 3, 101);  /* r3 = 101           */
+    /* loop at pc=12: */
+    emit3(I_JZ, 0, 24);      /* if !r0 jmp done    */
+    emit3(I_MUL, 1, 0);      /* r1 *= r0           */
+    emit3(I_SUB, 0, 2);      /* r0 -= 1            */
+    emit3(I_JNZ, 2, 12);     /* jmp loop (r2 == 1) */
+    /* done at pc=24: */
+    emit3(I_MOV, 5, 1);      /* r5 = r1            */
+    emit3(I_STORE, 5, 3);    /* mem[r3] = r5       */
+    emit2(I_OUT, 5);         /* out r5             */
+    emit2(I_HALT, 0);
+}
+
+void clear_machine(void) {
+    int i;
+    for (i = 0; i < MEMSIZE; i++) {
+        memory[i] = 0;
+    }
+    for (i = 0; i < NREGS; i++) {
+        regs[i] = 0;
+    }
+    load_at = 0;
+    pc = 0;
+    running = 1;
+}
+
+/* Run whatever is loaded; returns the consumed cycles. */
+int run_machine(void) {
+    int start;
+    start = cycles;
+    while (running) {
+        if (!step()) {
+            break;
+        }
+        if (cycles - start > 10000) {
+            return -1;
+        }
+    }
+    return cycles - start;
+}
+
+/* Checksum the low memory words through the shared cell accessor. */
+int mem_census(void) {
+    int addr;
+    int sum;
+    int *probe;
+    sum = 0;
+    for (addr = 0; addr < 8; addr++) {
+        mem_cell(&probe, addr);
+        sum = sum * 5 + *probe;
+    }
+    return sum % 1000;
+}
+
+int main(void) {
+    int sum_result;
+    int fact_result;
+    out_sum = 0;
+    cycles = 0;
+
+    clear_machine();
+    load_sum_program();
+    if (run_machine() < 0) {
+        return 9;
+    }
+    sum_result = memory[100];
+
+    clear_machine();
+    load_factorial_program();
+    if (run_machine() < 0) {
+        return 9;
+    }
+    fact_result = memory[101];
+
+    printf("cycles=%d out=%d sum=%d fact=%d census=%d\n",
+           cycles, out_sum, sum_result, fact_result, mem_census());
+    if (sum_result != 55 || fact_result != 720) {
+        return 1;
+    }
+    if (out_sum != 55 + 720) {
+        return 2;
+    }
+    return 0;
+}

@@ -1,0 +1,152 @@
+/* span -- reconstruction of Todd Austin's spanning-tree benchmark.
+ *
+ * Pointer idioms: adjacency lists of heap cells, a work queue of node
+ * pointers, parent links written through single-level pointers. The
+ * paper reports zero spurious pairs and single-location indirect
+ * references for this program. */
+
+#define NNODES 12
+
+struct edge {
+    int to;
+    struct edge *next;
+};
+
+struct edge *adj[NNODES];
+int parent[NNODES];
+int seen[NNODES];
+int queue_buf[NNODES];
+int tree_edges;
+
+void add_edge(int a, int b) {
+    struct edge *e;
+    e = (struct edge*)malloc(sizeof(struct edge));
+    e->to = b;
+    e->next = adj[a];
+    adj[a] = e;
+}
+
+void add_undirected(int a, int b) {
+    add_edge(a, b);
+    add_edge(b, a);
+}
+
+void build_graph(void) {
+    int i;
+    for (i = 0; i < NNODES; i++) {
+        adj[i] = NULL;
+        parent[i] = -1;
+        seen[i] = 0;
+    }
+    /* A connected graph: ring plus chords. */
+    for (i = 0; i < NNODES; i++) {
+        add_undirected(i, (i + 1) % NNODES);
+    }
+    add_undirected(0, 6);
+    add_undirected(2, 9);
+    add_undirected(4, 11);
+    add_undirected(1, 7);
+}
+
+/* Fetch a node's adjacency list into a caller slot (out-parameter
+ * idiom; all callers receive pointers from the one edge heap). */
+void edges_of(struct edge **slot, int node) {
+    *slot = adj[node];
+}
+
+/* Breadth-first spanning tree from root; returns nodes reached. */
+int bfs_span(int root) {
+    int head;
+    int tail;
+    int reached;
+    queue_buf[0] = root;
+    head = 0;
+    tail = 1;
+    seen[root] = 1;
+    parent[root] = root;
+    reached = 1;
+    while (head < tail) {
+        int u;
+        struct edge *e;
+        u = queue_buf[head++];
+        edges_of(&e, u);
+        while (e != NULL) {
+            int v;
+            v = e->to;
+            if (!seen[v]) {
+                seen[v] = 1;
+                parent[v] = u;
+                tree_edges++;
+                queue_buf[tail++] = v;
+                reached++;
+            }
+            e = e->next;
+        }
+    }
+    return reached;
+}
+
+/* Depth of node v in the spanning tree. */
+int depth_of(int v) {
+    int d;
+    d = 0;
+    while (parent[v] != v) {
+        v = parent[v];
+        d++;
+        if (d > NNODES) {
+            return -1;
+        }
+    }
+    return d;
+}
+
+int check_tree(void) {
+    int i;
+    int maxd;
+    maxd = 0;
+    for (i = 0; i < NNODES; i++) {
+        int d;
+        d = depth_of(i);
+        if (d < 0) {
+            return -1;
+        }
+        if (d > maxd) {
+            maxd = d;
+        }
+    }
+    return maxd;
+}
+
+/* Total degree, walking every adjacency list through edges_of. */
+int total_degree(void) {
+    int i;
+    int n;
+    struct edge *walk;
+    n = 0;
+    for (i = 0; i < NNODES; i++) {
+        edges_of(&walk, i);
+        while (walk != NULL) {
+            n++;
+            walk = walk->next;
+        }
+    }
+    return n;
+}
+
+int main(void) {
+    int reached;
+    int maxd;
+    tree_edges = 0;
+    build_graph();
+    reached = bfs_span(0);
+    maxd = check_tree();
+    printf("reached=%d tree_edges=%d maxdepth=%d degree=%d\n",
+           reached, tree_edges, maxd, total_degree());
+    if (reached != NNODES) {
+        return 1;
+    }
+    if (tree_edges != NNODES - 1) {
+        return 2;
+    }
+    return 0;
+}

@@ -1,0 +1,1665 @@
+//! Lowering from a checked mini-C [`Program`] to the whole-program VDG.
+//!
+//! The lowering threads an explicit store value through every statement
+//! and keeps non-addressed scalar locals in a register environment (the
+//! SSA-like transformation of paper §5.1.1), so only genuine memory
+//! traffic becomes `lookup`/`update` nodes. Control flow becomes `gamma`
+//! merge nodes; loops produce cyclic graphs, which the fixpoint solvers
+//! handle naturally.
+
+use crate::graph::*;
+use cfront::ast::{
+    BinOp, Block, Builtin, Expr, ExprId, ExprKind, FuncDecl, IdentTarget, LocalId,
+    Program, Stmt, UnOp,
+};
+use cfront::source::{Diagnostic, Span};
+use cfront::types::{TypeId, TypeKind, TypeTable};
+use std::collections::{HashMap, HashSet};
+
+/// How locals of recursive procedures with escaping addresses are modeled
+/// (paper §3.1, footnote 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecLocalScheme {
+    /// One weakly-updateable base-location per such local.
+    #[default]
+    Weak,
+    /// Cooper's model: a strongly-updateable base for the most recent
+    /// instance plus a weak base for all older stack instances.
+    Cooper,
+}
+
+/// Options controlling the lowering.
+#[derive(Debug, Clone, Default)]
+pub struct BuildOptions {
+    /// Modeling of recursive procedures' addressed locals.
+    pub rec_local_scheme: RecLocalScheme,
+}
+
+/// Lowers a checked program to its VDG.
+///
+/// # Errors
+///
+/// Returns a diagnostic for the few constructs the model excludes (taking
+/// the address of a library builtin, a `main` with parameters, calling a
+/// value that never names a function).
+pub fn lower(program: &Program, opts: &BuildOptions) -> Result<Graph, Diagnostic> {
+    let mut b = Builder::new(program, opts.clone());
+    b.prepare()?;
+    for (i, f) in program.funcs.iter().enumerate() {
+        b.lower_func(VFuncId(i as u32), f)?;
+    }
+    b.lower_root()?;
+    let g = b.finish();
+    debug_assert_eq!(g.validate(), Ok(()));
+    Ok(g)
+}
+
+/// Computes the value kind of a C type.
+pub fn value_kind(types: &TypeTable, ty: TypeId) -> ValueKind {
+    match types.kind(ty) {
+        TypeKind::Ptr(inner) => {
+            if matches!(types.kind(*inner), TypeKind::Func(_)) {
+                ValueKind::Func
+            } else {
+                ValueKind::Ptr
+            }
+        }
+        TypeKind::Func(_) => ValueKind::Func,
+        TypeKind::Array(..) | TypeKind::Record(_) => ValueKind::Agg {
+            has_ptr: types.contains_pointer(ty),
+        },
+        _ => ValueKind::Scalar,
+    }
+}
+
+/// Dataflow state at a program point during lowering.
+#[derive(Debug, Clone)]
+struct State {
+    env: HashMap<LocalId, OutputId>,
+    store: OutputId,
+}
+
+/// Pending break/continue edges of the innermost loop.
+#[derive(Debug, Default)]
+struct LoopCtx {
+    breaks: Vec<State>,
+    continues: Vec<State>,
+}
+
+/// An lvalue: either a register slot or an address in memory.
+#[derive(Debug, Clone, Copy)]
+enum LV {
+    Reg(LocalId),
+    Mem { addr: OutputId, indirect: bool },
+}
+
+struct Builder<'p> {
+    prog: &'p Program,
+    opts: BuildOptions,
+    g: Graph,
+    /// Bases of globals, by GlobalId index.
+    global_bases: Vec<BaseId>,
+    /// Bases of store-resident locals: (func, slot) -> base.
+    local_bases: HashMap<(u32, u32), BaseId>,
+    /// Function-value bases, created on demand.
+    func_bases: HashMap<VFuncId, BaseId>,
+    /// Address-taken user functions.
+    addr_taken_funcs: HashSet<u32>,
+    /// Per-function recursion flags (filled in `prepare`).
+    recursive: Vec<bool>,
+    str_count: u32,
+    heap_count: u32,
+
+    // --- per-function lowering state ---
+    cur_func: VFuncId,
+    state: Option<State>,
+    loops: Vec<LoopCtx>,
+    scalar_const: Option<OutputId>,
+    null_const: Option<OutputId>,
+}
+
+impl<'p> Builder<'p> {
+    fn new(prog: &'p Program, opts: BuildOptions) -> Self {
+        Builder {
+            prog,
+            opts,
+            g: Graph::new(),
+            global_bases: Vec::new(),
+            local_bases: HashMap::new(),
+            func_bases: HashMap::new(),
+            addr_taken_funcs: HashSet::new(),
+            recursive: Vec::new(),
+            str_count: 0,
+            heap_count: 0,
+            cur_func: VFuncId(0),
+            state: None,
+            loops: Vec::new(),
+            scalar_const: None,
+            null_const: None,
+        }
+    }
+
+    fn types(&self) -> &TypeTable {
+        &self.prog.types
+    }
+
+    fn expr(&self, e: ExprId) -> &Expr {
+        self.prog.exprs.get(e)
+    }
+
+    fn ty_of(&self, e: ExprId) -> TypeId {
+        self.prog.exprs.ty(e)
+    }
+
+    fn kind_of(&self, e: ExprId) -> ValueKind {
+        value_kind(self.types(), self.ty_of(e))
+    }
+
+    // ----- preparation ------------------------------------------------------
+
+    /// Computes the conservative call graph, function records, and
+    /// variable base-locations.
+    fn prepare(&mut self) -> Result<(), Diagnostic> {
+        let nf = self.prog.funcs.len();
+        // Function records (entries filled during lowering; placeholder ids).
+        for f in &self.prog.funcs {
+            self.g.add_func(FuncInfo {
+                name: f.name.clone(),
+                entry: NodeId(0),
+                returns: Vec::new(),
+                address_taken: false,
+            });
+        }
+        self.g.add_func(FuncInfo {
+            name: "<root>".to_string(),
+            entry: NodeId(0),
+            returns: Vec::new(),
+            address_taken: false,
+        });
+
+        // Address-taken functions: any Ident naming a function outside
+        // direct-callee position.
+        let mut direct_callee_exprs = HashSet::new();
+        for (_, e) in self.prog.exprs.iter() {
+            if let ExprKind::Call { callee, .. } = &e.kind {
+                let mut c = *callee;
+                // `(*fp)(..)` and `(&f)(..)` peel one level.
+                while let ExprKind::Unary {
+                    op: UnOp::Deref | UnOp::Addr,
+                    arg,
+                } = &self.expr(c).kind
+                {
+                    c = *arg;
+                }
+                direct_callee_exprs.insert(c);
+            }
+        }
+        for (id, e) in self.prog.exprs.iter() {
+            if let ExprKind::Ident {
+                target: Some(IdentTarget::Func(f)),
+                ..
+            } = &e.kind
+            {
+                if !direct_callee_exprs.contains(&id) {
+                    self.addr_taken_funcs.insert(f.0);
+                }
+            }
+        }
+        for &f in &self.addr_taken_funcs {
+            self.g.func_mut(VFuncId(f)).address_taken = true;
+        }
+
+        // Conservative call graph.
+        let mut edges: Vec<HashSet<u32>> = vec![HashSet::new(); nf + 1];
+        for (fi, f) in self.prog.funcs.iter().enumerate() {
+            if let Some(body) = &f.body {
+                let mut callees = HashSet::new();
+                collect_calls(self.prog, body, &mut callees);
+                for (indirect, target) in callees {
+                    if indirect {
+                        for &t in &self.addr_taken_funcs {
+                            edges[fi].insert(t);
+                        }
+                    } else {
+                        edges[fi].insert(target);
+                    }
+                }
+            }
+        }
+        if let Some(main) = self.prog.func_by_name("main") {
+            edges[nf].insert(main.0);
+        }
+        // Reachability by BFS.
+        let mut reach = vec![vec![false; nf + 1]; nf + 1];
+        for (start, row) in reach.iter_mut().enumerate() {
+            let mut stack: Vec<u32> = edges[start].iter().copied().collect();
+            while let Some(f) = stack.pop() {
+                if !row[f as usize] {
+                    row[f as usize] = true;
+                    stack.extend(edges[f as usize].iter().copied());
+                }
+            }
+        }
+        self.recursive = (0..nf).map(|i| reach[i][i]).collect();
+        self.g.set_reach(reach);
+
+        // Global bases.
+        for g in &self.prog.globals {
+            let id = self.g.add_base(BaseInfo {
+                kind: BaseKind::Global {
+                    name: g.name.clone(),
+                },
+                single_instance: true,
+                cooper_older: None,
+                site_expr: None,
+            });
+            self.global_bases.push(id);
+        }
+        // Store-resident local bases.
+        for (fi, f) in self.prog.funcs.iter().enumerate() {
+            for (vi, v) in f.vars.iter().enumerate() {
+                if !Self::store_resident(self.types(), v.addr_taken, v.ty) {
+                    continue;
+                }
+                let owner_recursive = self.recursive[fi];
+                let (single, older) = if !owner_recursive {
+                    (true, None)
+                } else {
+                    match self.opts.rec_local_scheme {
+                        RecLocalScheme::Weak => (false, None),
+                        RecLocalScheme::Cooper => {
+                            let older = self.g.add_base(BaseInfo {
+                                kind: BaseKind::Local {
+                                    func: VFuncId(fi as u32),
+                                    name: format!("{}@older", v.name),
+                                },
+                                single_instance: false,
+                                cooper_older: None,
+                                site_expr: None,
+                            });
+                            (true, Some(older))
+                        }
+                    }
+                };
+                let id = self.g.add_base(BaseInfo {
+                    kind: BaseKind::Local {
+                        func: VFuncId(fi as u32),
+                        name: v.name.clone(),
+                    },
+                    single_instance: single,
+                    cooper_older: older,
+                    site_expr: None,
+                });
+                self.local_bases.insert((fi as u32, vi as u32), id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a variable lives in the store (vs. the register
+    /// environment).
+    fn store_resident(types: &TypeTable, addr_taken: bool, ty: TypeId) -> bool {
+        addr_taken || types.is_aggregate(ty)
+    }
+
+    // ----- node helpers -------------------------------------------------------
+
+    fn node1(
+        &mut self,
+        kind: NodeKind,
+        out: ValueKind,
+        span: Span,
+        site: Option<ExprId>,
+        ins: &[OutputId],
+    ) -> OutputId {
+        let n = self.g.add_node(kind, &[out], span, site);
+        for &i in ins {
+            self.g.add_input(n, i);
+        }
+        self.g.node(n).outputs[0]
+    }
+
+    fn scalar(&mut self) -> OutputId {
+        if let Some(s) = self.scalar_const {
+            return s;
+        }
+        let s = self.node1(
+            NodeKind::ScalarConst,
+            ValueKind::Scalar,
+            Span::dummy(),
+            None,
+            &[],
+        );
+        self.scalar_const = Some(s);
+        s
+    }
+
+    fn null(&mut self) -> OutputId {
+        if let Some(s) = self.null_const {
+            return s;
+        }
+        let s = self.node1(NodeKind::NullConst, ValueKind::Ptr, Span::dummy(), None, &[]);
+        self.null_const = Some(s);
+        s
+    }
+
+    fn base_addr(&mut self, base: BaseId, span: Span) -> OutputId {
+        self.node1(NodeKind::Base(base), ValueKind::Ptr, span, None, &[])
+    }
+
+    fn func_const(&mut self, f: VFuncId, span: Span) -> OutputId {
+        let base = *self.func_bases.entry(f).or_insert_with(|| {
+            self.g.add_base(BaseInfo {
+                kind: BaseKind::Func { func: f },
+                single_instance: true,
+                cooper_older: None,
+                site_expr: None,
+            })
+        });
+        self.node1(NodeKind::FuncConst(base), ValueKind::Func, span, None, &[])
+    }
+
+    fn local_base(&self, slot: LocalId) -> BaseId {
+        self.local_bases[&(self.cur_func.0, slot.0)]
+    }
+
+    fn state(&mut self) -> &mut State {
+        self.state.as_mut().expect("lowering in unreachable code")
+    }
+
+    fn store(&mut self) -> OutputId {
+        self.state().store
+    }
+
+    /// Merges several reachable states (0 states = unreachable).
+    fn merge_states(&mut self, states: Vec<State>, span: Span) -> Option<State> {
+        if states.is_empty() {
+            return None;
+        }
+        if states.len() == 1 {
+            return states.into_iter().next();
+        }
+        // Store merge.
+        let stores: Vec<OutputId> = states.iter().map(|s| s.store).collect();
+        let store = if stores.iter().all(|s| *s == stores[0]) {
+            stores[0]
+        } else {
+            self.node1(NodeKind::Gamma, ValueKind::Store, span, None, &stores)
+        };
+        // Env merge over the union of keys; a slot missing from some state
+        // is an uninitialized path and contributes an undef (empty) value.
+        let mut keys: Vec<LocalId> = states
+            .iter()
+            .flat_map(|s| s.env.keys().copied())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut env = HashMap::new();
+        for k in keys {
+            let vals: Vec<Option<OutputId>> =
+                states.iter().map(|s| s.env.get(&k).copied()).collect();
+            let first = vals[0];
+            if vals.iter().all(|v| *v == first) {
+                if let Some(v) = first {
+                    env.insert(k, v);
+                }
+                continue;
+            }
+            let kind = value_kind(
+                self.types(),
+                self.prog.funcs[self.cur_func.0 as usize].vars[k.0 as usize].ty,
+            );
+            let undef = self.scalar();
+            let ins: Vec<OutputId> = vals.into_iter().map(|v| v.unwrap_or(undef)).collect();
+            let merged = self.node1(NodeKind::Gamma, kind, span, None, &ins);
+            env.insert(k, merged);
+        }
+        Some(State { env, store })
+    }
+
+    // ----- function lowering ---------------------------------------------------
+
+    fn lower_func(&mut self, fid: VFuncId, f: &'p FuncDecl) -> Result<(), Diagnostic> {
+        self.cur_func = fid;
+        self.scalar_const = None;
+        self.null_const = None;
+        self.loops.clear();
+
+        let out_kinds: Vec<ValueKind> = std::iter::once(ValueKind::Store)
+            .chain(
+                f.params()
+                    .iter()
+                    .map(|p| value_kind(self.types(), p.ty)),
+            )
+            .collect();
+        let entry = self
+            .g
+            .add_node(NodeKind::Entry { func: fid }, &out_kinds, f.span, None);
+        self.g.func_mut(fid).entry = entry;
+        let entry_outs = self.g.node(entry).outputs.clone();
+
+        let mut env = HashMap::new();
+        let mut store = entry_outs[0];
+        // Prologue: spill store-resident parameters.
+        for (pi, p) in f.params().iter().enumerate() {
+            let slot = LocalId(pi as u32);
+            let val = entry_outs[pi + 1];
+            if Self::store_resident(self.types(), p.addr_taken, p.ty) {
+                let base = self.local_base(slot);
+                let addr = self.base_addr(base, p.span);
+                store = self.node1(
+                    NodeKind::Update { indirect: false },
+                    ValueKind::Store,
+                    p.span,
+                    None,
+                    &[addr, store, val],
+                );
+            } else {
+                env.insert(slot, val);
+            }
+        }
+        self.state = Some(State { env, store });
+
+        if let Some(body) = &f.body {
+            self.lower_block(body)?;
+        }
+        // Implicit return on fall-through.
+        if self.state.is_some() {
+            let store = self.store();
+            let ret = self.g.add_node(
+                NodeKind::Return { func: fid },
+                &[],
+                f.span,
+                None,
+            );
+            self.g.add_input(ret, store);
+            if !matches!(self.types().kind(f.ret), TypeKind::Void) {
+                let undef = self.scalar();
+                self.g.add_input(ret, undef);
+            }
+            self.g.func_mut(fid).returns.push(ret);
+        }
+        self.state = None;
+        Ok(())
+    }
+
+    fn lower_root(&mut self) -> Result<(), Diagnostic> {
+        let root = self.g.root();
+        self.cur_func = root;
+        self.scalar_const = None;
+        self.null_const = None;
+        let entry = self
+            .g
+            .add_node(NodeKind::Entry { func: root }, &[ValueKind::Store], Span::dummy(), None);
+        self.g.func_mut(root).entry = entry;
+        let init = self.node1(NodeKind::InitStore, ValueKind::Store, Span::dummy(), None, &[]);
+        self.state = Some(State {
+            env: HashMap::new(),
+            store: init,
+        });
+
+        // Global initializers, in declaration order.
+        for gi in 0..self.prog.globals.len() {
+            let g = &self.prog.globals[gi];
+            let Some(init) = g.init else { continue };
+            let base = self.global_bases[gi];
+            let addr = self.base_addr(base, g.span);
+            self.lower_init_into(addr, g.ty, init, false)?;
+        }
+
+        // Call main.
+        let Some(main) = self.prog.func_by_name("main") else {
+            return Err(Diagnostic::new(
+                Span::dummy(),
+                "program has no `main` function",
+            ));
+        };
+        let main_decl = &self.prog.funcs[main.0 as usize];
+        if main_decl.n_params != 0 {
+            return Err(Diagnostic::new(
+                main_decl.span,
+                "`main` must take no parameters in the modeled subset",
+            ));
+        }
+        let fv = self.func_const(VFuncId(main.0), main_decl.span);
+        let store = self.store();
+        let ret_kind = value_kind(self.types(), main_decl.ret);
+        let call = self.g.add_node(
+            NodeKind::Call,
+            &[ValueKind::Store, ret_kind],
+            main_decl.span,
+            None,
+        );
+        self.g.add_input(call, fv);
+        self.g.add_input(call, store);
+        self.state = None;
+        Ok(())
+    }
+
+    fn finish(mut self) -> Graph {
+        self.g
+            .set_var_bases(self.global_bases.clone(), self.local_bases.clone());
+        std::mem::take(&mut self.g)
+    }
+
+    // ----- statements ------------------------------------------------------------
+
+    fn lower_block(&mut self, b: &'p Block) -> Result<(), Diagnostic> {
+        for s in &b.stmts {
+            if self.state.is_none() {
+                // Unreachable trailing code is skipped entirely; the paper
+                // notes spurious pairs on dead code are harmless, and our
+                // representation simply never materializes dead nodes.
+                break;
+            }
+            self.lower_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &'p Stmt) -> Result<(), Diagnostic> {
+        match s {
+            Stmt::Expr(e) => {
+                self.eval(*e)?;
+            }
+            Stmt::Local {
+                ty, init, slot, span, ..
+            } => {
+                let slot = slot.expect("sema assigns slots");
+                let f = &self.prog.funcs[self.cur_func.0 as usize];
+                let resident =
+                    Self::store_resident(self.types(), f.vars[slot.0 as usize].addr_taken, *ty);
+                match init {
+                    None => {}
+                    Some(init) => {
+                        if resident {
+                            let base = self.local_base(slot);
+                            let addr = self.base_addr(base, *span);
+                            self.lower_init_into(addr, *ty, *init, false)?;
+                        } else {
+                            let v = self.eval(*init)?;
+                            self.state().env.insert(slot, v);
+                        }
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.eval(*cond)?;
+                let snap = self.state.clone();
+                self.lower_block(then_blk)?;
+                let then_state = self.state.take();
+                self.state = snap;
+                if let Some(eb) = else_blk {
+                    self.lower_block(eb)?;
+                }
+                let else_state = self.state.take();
+                let states: Vec<State> =
+                    [then_state, else_state].into_iter().flatten().collect();
+                self.state = self.merge_states(states, span_of_stmt(s));
+            }
+            Stmt::While { cond, body } => {
+                self.lower_loop(Some(*cond), None, body, false)?;
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.lower_loop(Some(*cond), None, body, true)?;
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(init) = init {
+                    self.lower_stmt(init)?;
+                }
+                if self.state.is_some() {
+                    self.lower_loop(*cond, *step, body, false)?;
+                }
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+                span,
+            } => {
+                self.eval(*scrutinee)?;
+                let snap = self.state.clone();
+                let mut ends = Vec::new();
+                for c in cases {
+                    self.state = snap.clone();
+                    self.lower_block(&c.body)?;
+                    if let Some(s) = self.state.take() {
+                        ends.push(s);
+                    }
+                }
+                match default {
+                    Some(d) => {
+                        self.state = snap;
+                        self.lower_block(d)?;
+                        if let Some(s) = self.state.take() {
+                            ends.push(s);
+                        }
+                    }
+                    None => {
+                        // No matching case: control skips the switch.
+                        if let Some(s) = snap {
+                            ends.push(s);
+                        }
+                    }
+                }
+                self.state = self.merge_states(ends, *span);
+            }
+            Stmt::Return { value, span } => {
+                let v = match value {
+                    Some(v) => Some(self.eval(*v)?),
+                    None => None,
+                };
+                let store = self.store();
+                let fid = self.cur_func;
+                let ret = self.g.add_node(NodeKind::Return { func: fid }, &[], *span, None);
+                self.g.add_input(ret, store);
+                if let Some(v) = v {
+                    self.g.add_input(ret, v);
+                }
+                self.g.func_mut(fid).returns.push(ret);
+                self.state = None;
+            }
+            Stmt::Break(_) => {
+                let st = self.state.take().expect("reachable break");
+                self.loops
+                    .last_mut()
+                    .expect("break outside loop")
+                    .breaks
+                    .push(st);
+            }
+            Stmt::Continue(_) => {
+                let st = self.state.take().expect("reachable continue");
+                self.loops
+                    .last_mut()
+                    .expect("continue outside loop")
+                    .continues
+                    .push(st);
+            }
+            Stmt::Block(b) => self.lower_block(b)?,
+        }
+        Ok(())
+    }
+
+    /// Shared lowering for `while` / `do-while` / `for` loop bodies.
+    ///
+    /// The loop header is a set of gamma nodes merging the entry state
+    /// with the back edge; the back-edge inputs are patched after the body
+    /// is lowered, producing a cyclic graph.
+    fn lower_loop(
+        &mut self,
+        cond: Option<ExprId>,
+        step: Option<ExprId>,
+        body: &'p Block,
+        body_first: bool,
+    ) -> Result<(), Diagnostic> {
+        let span = body
+            .stmts
+            .first()
+            .map(span_of_stmt)
+            .unwrap_or_else(Span::dummy);
+        let entry = self.state.take().expect("reachable loop");
+
+        // Which register slots the loop may redefine.
+        let mut assigned = HashSet::new();
+        if let Some(c) = cond {
+            collect_assigned_exprs(self.prog, c, &mut assigned);
+        }
+        if let Some(st) = step {
+            collect_assigned_exprs(self.prog, st, &mut assigned);
+        }
+        collect_assigned_block(self.prog, body, &mut assigned);
+
+        // Header gammas: input 0 = entry value, input 1 patched later.
+        let store_gamma = self.g.add_node(NodeKind::Gamma, &[ValueKind::Store], span, None);
+        self.g.add_input(store_gamma, entry.store);
+        let store_h = self.g.node(store_gamma).outputs[0];
+        let mut env_h = entry.env.clone();
+        let mut var_gammas: Vec<(LocalId, NodeId)> = Vec::new();
+        let mut slots: Vec<LocalId> = assigned
+            .iter()
+            .copied()
+            .filter(|s| entry.env.contains_key(s))
+            .collect();
+        slots.sort_unstable();
+        for slot in slots {
+            let kind = value_kind(
+                self.types(),
+                self.prog.funcs[self.cur_func.0 as usize].vars[slot.0 as usize].ty,
+            );
+            let gm = self.g.add_node(NodeKind::Gamma, &[kind], span, None);
+            self.g.add_input(gm, entry.env[&slot]);
+            env_h.insert(slot, self.g.node(gm).outputs[0]);
+            var_gammas.push((slot, gm));
+        }
+        let header = State {
+            env: env_h,
+            store: store_h,
+        };
+
+        self.loops.push(LoopCtx::default());
+
+        // Body/cond order differs between while-style and do-while.
+        let (after_cond, body_end) = if body_first {
+            // do { body } while (cond);
+            self.state = Some(header.clone());
+            self.lower_block(body)?;
+            let ctx_continues = std::mem::take(&mut self.loops.last_mut().expect("loop").continues);
+            let mut pre_cond: Vec<State> = ctx_continues;
+            if let Some(s) = self.state.take() {
+                pre_cond.push(s);
+            }
+            self.state = self.merge_states(pre_cond, span);
+            if let (Some(_), Some(c)) = (&self.state, cond) {
+                self.eval(c)?;
+            }
+            let after = self.state.take();
+            (after.clone(), after)
+        } else {
+            // while (cond) { body; step; }
+            self.state = Some(header.clone());
+            if let Some(c) = cond {
+                self.eval(c)?;
+            }
+            let after_cond = self.state.clone();
+            self.lower_block(body)?;
+            let ctx_continues = std::mem::take(&mut self.loops.last_mut().expect("loop").continues);
+            let mut pre_step: Vec<State> = ctx_continues;
+            if let Some(s) = self.state.take() {
+                pre_step.push(s);
+            }
+            self.state = self.merge_states(pre_step, span);
+            if let (Some(_), Some(st)) = (&self.state, step) {
+                self.eval(st)?;
+            }
+            (after_cond, self.state.take())
+        };
+
+        // Patch back edges.
+        let back = body_end.unwrap_or_else(|| header.clone());
+        self.g.add_input(store_gamma, back.store);
+        for (slot, gm) in &var_gammas {
+            let v = back
+                .env
+                .get(slot)
+                .copied()
+                .unwrap_or(header.env[slot]);
+            self.g.add_input(*gm, v);
+        }
+
+        // Loop exit: the state after the condition (when it is false) plus
+        // all break states.
+        let ctx = self.loops.pop().expect("loop ctx");
+        let mut exits: Vec<State> = ctx.breaks;
+        // Without a condition (`for (;;)`) the loop exits only via break.
+        if cond.is_some() {
+            if let Some(ac) = after_cond {
+                exits.push(ac);
+            }
+        }
+        self.state = self.merge_states(exits, span);
+        Ok(())
+    }
+
+    // ----- initializers --------------------------------------------------------
+
+    /// Lowers an initializer (possibly a brace list) into memory at `addr`.
+    fn lower_init_into(
+        &mut self,
+        addr: OutputId,
+        ty: TypeId,
+        init: ExprId,
+        indirect: bool,
+    ) -> Result<(), Diagnostic> {
+        let span = self.expr(init).span;
+        if let ExprKind::InitList(items) = self.expr(init).kind.clone() {
+            match self.types().kind(ty).clone() {
+                TypeKind::Array(elem, _) => {
+                    for item in items {
+                        let ea =
+                            self.node1(NodeKind::IndexElem, ValueKind::Ptr, span, None, &[addr]);
+                        self.lower_init_into(ea, elem, item, indirect)?;
+                    }
+                }
+                TypeKind::Record(r) => {
+                    let rec = self.types().record(r);
+                    let is_union = rec.is_union;
+                    let fields: Vec<(String, TypeId)> = rec
+                        .fields
+                        .iter()
+                        .map(|f| (f.name.clone(), f.ty))
+                        .collect();
+                    for (item, (fname, fty)) in items.into_iter().zip(fields) {
+                        let fa = if is_union {
+                            addr
+                        } else {
+                            let fid = self.g.intern_field(&fname);
+                            self.node1(NodeKind::Member(fid), ValueKind::Ptr, span, None, &[addr])
+                        };
+                        self.lower_init_into(fa, fty, item, indirect)?;
+                    }
+                }
+                _ => unreachable!("sema validated init lists"),
+            }
+            return Ok(());
+        }
+        // `char buf[...] = "text"`: character contents carry no pointers.
+        if matches!(self.expr(init).kind, ExprKind::StrLit(_))
+            && self.types().is_array(ty)
+        {
+            return Ok(());
+        }
+        let v = self.eval(init)?;
+        let store = self.store();
+        let kind = ValueKind::Store;
+        let st = self.node1(
+            NodeKind::Update { indirect },
+            kind,
+            span,
+            Some(init),
+            &[addr, store, v],
+        );
+        self.state().store = st;
+        Ok(())
+    }
+
+    // ----- lvalues ---------------------------------------------------------------
+
+    fn eval_lvalue(&mut self, e: ExprId) -> Result<LV, Diagnostic> {
+        let span = self.expr(e).span;
+        match self.expr(e).kind.clone() {
+            ExprKind::Ident { target, .. } => match target.expect("sema resolved") {
+                IdentTarget::Local(slot) => {
+                    let f = &self.prog.funcs[self.cur_func.0 as usize];
+                    let v = &f.vars[slot.0 as usize];
+                    if Self::store_resident(self.types(), v.addr_taken, v.ty) {
+                        let base = self.local_base(slot);
+                        let addr = self.base_addr(base, span);
+                        Ok(LV::Mem {
+                            addr,
+                            indirect: false,
+                        })
+                    } else {
+                        Ok(LV::Reg(slot))
+                    }
+                }
+                IdentTarget::Global(gid) => {
+                    let addr = self.base_addr(self.global_bases[gid.0 as usize], span);
+                    Ok(LV::Mem {
+                        addr,
+                        indirect: false,
+                    })
+                }
+                IdentTarget::Func(_) | IdentTarget::Builtin(_) => Err(Diagnostic::new(
+                    span,
+                    "functions are not assignable lvalues",
+                )),
+            },
+            ExprKind::Unary {
+                op: UnOp::Deref,
+                arg,
+            } => {
+                let p = self.eval(arg)?;
+                Ok(LV::Mem {
+                    addr: p,
+                    indirect: true,
+                })
+            }
+            ExprKind::Member {
+                base,
+                arrow,
+                record,
+                field,
+                ..
+            } => {
+                let rec = record.expect("sema resolved member");
+                let is_union = self.types().record(rec).is_union;
+                let (base_addr, indirect) = if arrow {
+                    (self.eval(base)?, true)
+                } else {
+                    match self.eval_lvalue(base)? {
+                        LV::Mem { addr, indirect } => (addr, indirect),
+                        LV::Reg(_) => {
+                            return Err(Diagnostic::new(
+                                span,
+                                "member access on a register value is not an lvalue",
+                            ))
+                        }
+                    }
+                };
+                let addr = if is_union {
+                    base_addr
+                } else {
+                    let fid = self.g.intern_field(&field);
+                    self.node1(
+                        NodeKind::Member(fid),
+                        ValueKind::Ptr,
+                        span,
+                        None,
+                        &[base_addr],
+                    )
+                };
+                Ok(LV::Mem { addr, indirect })
+            }
+            ExprKind::Index { base, index } => {
+                self.eval(index)?;
+                let bt = self.ty_of(base);
+                if self.types().is_array(bt) {
+                    let (base_addr, indirect) = match self.eval_lvalue(base)? {
+                        LV::Mem { addr, indirect } => (addr, indirect),
+                        LV::Reg(_) => unreachable!("arrays are store-resident"),
+                    };
+                    let addr = self.node1(
+                        NodeKind::IndexElem,
+                        ValueKind::Ptr,
+                        span,
+                        None,
+                        &[base_addr],
+                    );
+                    Ok(LV::Mem { addr, indirect })
+                } else {
+                    // Pointer indexing: address is the pointer value itself
+                    // (array contents collapse to one path).
+                    let p = self.eval(base)?;
+                    Ok(LV::Mem {
+                        addr: p,
+                        indirect: true,
+                    })
+                }
+            }
+            ExprKind::StrLit(s) => {
+                let base = self.g.add_base(BaseInfo {
+                    kind: BaseKind::StrLit {
+                        index: self.str_count,
+                    },
+                    single_instance: true,
+                    cooper_older: None,
+                    site_expr: Some(e),
+                });
+                self.str_count += 1;
+                let _ = s;
+                let addr = self.base_addr(base, span);
+                Ok(LV::Mem {
+                    addr,
+                    indirect: false,
+                })
+            }
+            _ => Err(Diagnostic::new(span, "expression is not an lvalue")),
+        }
+    }
+
+    fn read_lv(&mut self, lv: LV, kind: ValueKind, span: Span, site: ExprId) -> OutputId {
+        match lv {
+            LV::Reg(slot) => match self.state().env.get(&slot).copied() {
+                Some(v) => v,
+                None => {
+                    // Read of an uninitialized register local: an undef
+                    // value with no points-to pairs.
+                    let undef = self.scalar();
+                    self.state().env.insert(slot, undef);
+                    undef
+                }
+            },
+            LV::Mem { addr, indirect } => {
+                let store = self.store();
+                self.node1(
+                    NodeKind::Lookup { indirect },
+                    kind,
+                    span,
+                    Some(site),
+                    &[addr, store],
+                )
+            }
+        }
+    }
+
+    fn write_lv(&mut self, lv: LV, val: OutputId, span: Span, site: ExprId) {
+        match lv {
+            LV::Reg(slot) => {
+                self.state().env.insert(slot, val);
+            }
+            LV::Mem { addr, indirect } => {
+                let store = self.store();
+                let st = self.node1(
+                    NodeKind::Update { indirect },
+                    ValueKind::Store,
+                    span,
+                    Some(site),
+                    &[addr, store, val],
+                );
+                self.state().store = st;
+            }
+        }
+    }
+
+    // ----- expressions -------------------------------------------------------------
+
+    fn eval(&mut self, e: ExprId) -> Result<OutputId, Diagnostic> {
+        let span = self.expr(e).span;
+        let ekind = self.expr(e).kind.clone();
+        match ekind {
+            ExprKind::IntLit(_)
+            | ExprKind::FloatLit(_)
+            | ExprKind::SizeofType(_)
+            | ExprKind::SizeofExpr(_) => Ok(self.scalar()),
+            ExprKind::Null => Ok(self.null()),
+            ExprKind::StrLit(_) => {
+                let lv = self.eval_lvalue(e)?;
+                let LV::Mem { addr, .. } = lv else { unreachable!() };
+                Ok(self.node1(NodeKind::IndexElem, ValueKind::Ptr, span, None, &[addr]))
+            }
+            ExprKind::Ident { target, .. } => match target.expect("sema resolved") {
+                IdentTarget::Func(f) => Ok(self.func_const(VFuncId(f.0), span)),
+                IdentTarget::Builtin(_) => Err(Diagnostic::new(
+                    span,
+                    "library builtins cannot be used as values",
+                )),
+                _ => {
+                    let ty = self.ty_of(e);
+                    if self.types().is_array(ty) {
+                        // Array decay: pointer to the first element.
+                        let lv = self.eval_lvalue(e)?;
+                        let LV::Mem { addr, .. } = lv else {
+                            unreachable!("arrays are store-resident")
+                        };
+                        Ok(self.node1(NodeKind::IndexElem, ValueKind::Ptr, span, None, &[addr]))
+                    } else {
+                        let kind = self.kind_of(e);
+                        let lv = self.eval_lvalue(e)?;
+                        Ok(self.read_lv(lv, kind, span, e))
+                    }
+                }
+            },
+            ExprKind::Unary { op, arg } => match op {
+                UnOp::Deref => {
+                    let pt = self.ty_of(e);
+                    if self.types().is_func(pt) {
+                        // `*fp` in call position: function value passes through.
+                        return self.eval(arg);
+                    }
+                    let p = self.eval(arg)?;
+                    let kind = self.kind_of(e);
+                    let store = self.store();
+                    Ok(self.node1(
+                        NodeKind::Lookup { indirect: true },
+                        kind,
+                        span,
+                        Some(e),
+                        &[p, store],
+                    ))
+                }
+                UnOp::Addr => {
+                    if self.types().is_func(self.ty_of(arg)) {
+                        let ExprKind::Ident {
+                            target: Some(IdentTarget::Func(f)),
+                            ..
+                        } = self.expr(arg).kind
+                        else {
+                            return Err(Diagnostic::new(span, "cannot take this address"));
+                        };
+                        return Ok(self.func_const(VFuncId(f.0), span));
+                    }
+                    match self.eval_lvalue(arg)? {
+                        LV::Mem { addr, .. } => Ok(addr),
+                        LV::Reg(_) => unreachable!("sema marks addressed vars store-resident"),
+                    }
+                }
+                UnOp::Neg | UnOp::Not | UnOp::BitNot => {
+                    let v = self.eval(arg)?;
+                    Ok(self.node1(NodeKind::Primop, ValueKind::Scalar, span, None, &[v]))
+                }
+            },
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lk = self.kind_of(lhs);
+                let rk = self.kind_of(rhs);
+                let result_kind = self.kind_of(e);
+                let lv = self.eval(lhs)?;
+                let rv = self.eval(rhs)?;
+                let lhs_ptrish = matches!(lk, ValueKind::Ptr | ValueKind::Agg { .. });
+                let rhs_ptrish = matches!(rk, ValueKind::Ptr | ValueKind::Agg { .. });
+                match op {
+                    BinOp::Add | BinOp::Sub
+                        if matches!(result_kind, ValueKind::Ptr) =>
+                    {
+                        // Pointer arithmetic: pairs of the pointer side pass.
+                        let (p, i) = if lhs_ptrish && !rhs_ptrish {
+                            (lv, rv)
+                        } else {
+                            (rv, lv)
+                        };
+                        Ok(self.node1(
+                            NodeKind::PassThrough,
+                            ValueKind::Ptr,
+                            span,
+                            None,
+                            &[p, i],
+                        ))
+                    }
+                    _ => Ok(self.node1(
+                        NodeKind::Primop,
+                        ValueKind::Scalar,
+                        span,
+                        None,
+                        &[lv, rv],
+                    )),
+                }
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                let lhs_kind = self.kind_of(lhs);
+                match op {
+                    None => {
+                        let lv = self.eval_lvalue(lhs)?;
+                        let rv = self.eval_rvalue_for(rhs)?;
+                        self.write_lv(lv, rv, span, lhs);
+                        Ok(rv)
+                    }
+                    Some(op) => {
+                        let lv = self.eval_lvalue(lhs)?;
+                        let old = self.read_lv(lv, lhs_kind, span, lhs);
+                        let rv = self.eval(rhs)?;
+                        let newv = if matches!(lhs_kind, ValueKind::Ptr)
+                            && matches!(op, BinOp::Add | BinOp::Sub)
+                        {
+                            self.node1(NodeKind::PassThrough, ValueKind::Ptr, span, None, &[old, rv])
+                        } else {
+                            self.node1(NodeKind::Primop, ValueKind::Scalar, span, None, &[old, rv])
+                        };
+                        self.write_lv(lv, newv, span, lhs);
+                        Ok(newv)
+                    }
+                }
+            }
+            ExprKind::IncDec { pre, inc: _, arg } => {
+                let kind = self.kind_of(arg);
+                let lv = self.eval_lvalue(arg)?;
+                let old = self.read_lv(lv, kind, span, arg);
+                let one = self.scalar();
+                let newv = if matches!(kind, ValueKind::Ptr) {
+                    self.node1(NodeKind::PassThrough, ValueKind::Ptr, span, None, &[old, one])
+                } else {
+                    self.node1(NodeKind::Primop, ValueKind::Scalar, span, None, &[old, one])
+                };
+                self.write_lv(lv, newv, span, arg);
+                Ok(if pre { newv } else { old })
+            }
+            ExprKind::Call { callee, args } => self.eval_call(e, callee, &args, span),
+            ExprKind::Member {
+                base,
+                arrow,
+                record,
+                field,
+                ..
+            } => {
+                // Lvalue path when possible; otherwise extract from an
+                // aggregate value (e.g. `f().x`).
+                let can_lv = arrow || is_lvalue_expr(self.prog, base);
+                if can_lv {
+                    let kind = self.kind_of(e);
+                    if self.types().is_array(self.ty_of(e)) {
+                        let lv = self.eval_lvalue(e)?;
+                        let LV::Mem { addr, .. } = lv else { unreachable!() };
+                        return Ok(self.node1(
+                            NodeKind::IndexElem,
+                            ValueKind::Ptr,
+                            span,
+                            None,
+                            &[addr],
+                        ));
+                    }
+                    let lv = self.eval_lvalue(e)?;
+                    Ok(self.read_lv(lv, kind, span, e))
+                } else {
+                    let v = self.eval(base)?;
+                    let rec = record.expect("sema resolved");
+                    if self.types().record(rec).is_union {
+                        return Ok(v);
+                    }
+                    let fid = self.g.intern_field(&field);
+                    let kind = self.kind_of(e);
+                    Ok(self.node1(NodeKind::ExtractField(fid), kind, span, None, &[v]))
+                }
+            }
+            ExprKind::Index { .. } => {
+                let kind = self.kind_of(e);
+                if self.types().is_array(self.ty_of(e)) {
+                    let lv = self.eval_lvalue(e)?;
+                    let LV::Mem { addr, .. } = lv else { unreachable!() };
+                    return Ok(self.node1(NodeKind::IndexElem, ValueKind::Ptr, span, None, &[addr]));
+                }
+                let lv = self.eval_lvalue(e)?;
+                Ok(self.read_lv(lv, kind, span, e))
+            }
+            ExprKind::Cast { ty, arg } => {
+                let v = self.eval(arg)?;
+                if self.types().is_ptr(ty) {
+                    Ok(self.node1(NodeKind::PassThrough, value_kind(self.types(), ty), span, None, &[v]))
+                } else {
+                    Ok(self.scalar())
+                }
+            }
+            ExprKind::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                self.eval(cond)?;
+                let snap = self.state.clone();
+                let tv = self.eval(then_e)?;
+                let t_state = self.state.take();
+                self.state = snap;
+                let ev = self.eval(else_e)?;
+                let e_state = self.state.take();
+                let states: Vec<State> = [t_state, e_state].into_iter().flatten().collect();
+                self.state = self.merge_states(states, span);
+                let kind = self.kind_of(e);
+                if matches!(kind, ValueKind::Scalar) {
+                    Ok(self.node1(NodeKind::Primop, ValueKind::Scalar, span, None, &[tv, ev]))
+                } else {
+                    Ok(self.node1(NodeKind::Gamma, kind, span, None, &[tv, ev]))
+                }
+            }
+            ExprKind::InitList(_) => Err(Diagnostic::new(
+                span,
+                "initializer list outside a declaration",
+            )),
+            ExprKind::Comma { lhs, rhs } => {
+                self.eval(lhs)?;
+                self.eval(rhs)
+            }
+        }
+    }
+
+    /// Evaluates an rvalue, reading whole aggregates out of memory when
+    /// the expression is an aggregate lvalue (struct assignment reads).
+    fn eval_rvalue_for(&mut self, e: ExprId) -> Result<OutputId, Diagnostic> {
+        let ty = self.ty_of(e);
+        if self.types().is_record(ty) && is_lvalue_expr(self.prog, e) {
+            let span = self.expr(e).span;
+            let kind = self.kind_of(e);
+            let lv = self.eval_lvalue(e)?;
+            return Ok(self.read_lv(lv, kind, span, e));
+        }
+        self.eval(e)
+    }
+
+    // ----- calls -------------------------------------------------------------------
+
+    fn eval_call(
+        &mut self,
+        e: ExprId,
+        callee: ExprId,
+        args: &[ExprId],
+        span: Span,
+    ) -> Result<OutputId, Diagnostic> {
+        // Builtin?
+        let mut c = callee;
+        while let ExprKind::Unary {
+            op: UnOp::Deref | UnOp::Addr,
+            arg,
+        } = &self.expr(c).kind
+        {
+            c = *arg;
+        }
+        if let ExprKind::Ident {
+            target: Some(IdentTarget::Builtin(b)),
+            ..
+        } = self.expr(c).kind
+        {
+            return self.eval_builtin(e, b, args, span);
+        }
+
+        let fv = self.eval(callee)?;
+        let mut argvs = Vec::with_capacity(args.len());
+        for &a in args {
+            argvs.push(self.eval_rvalue_for(a)?);
+        }
+        let ret_ty = self.ty_of(e);
+        let ret_kind = value_kind(self.types(), ret_ty);
+        let has_result = !matches!(self.types().kind(ret_ty), TypeKind::Void);
+        let out_kinds: Vec<ValueKind> = if has_result {
+            vec![ValueKind::Store, ret_kind]
+        } else {
+            vec![ValueKind::Store]
+        };
+        let store = self.store();
+        let call = self.g.add_node(NodeKind::Call, &out_kinds, span, Some(e));
+        self.g.add_input(call, fv);
+        self.g.add_input(call, store);
+        for v in argvs {
+            self.g.add_input(call, v);
+        }
+        let outs = self.g.node(call).outputs.clone();
+        self.state().store = outs[0];
+        Ok(if has_result { outs[1] } else { self.scalar() })
+    }
+
+    fn eval_builtin(
+        &mut self,
+        e: ExprId,
+        b: Builtin,
+        args: &[ExprId],
+        span: Span,
+    ) -> Result<OutputId, Diagnostic> {
+        let mut argvs = Vec::with_capacity(args.len());
+        for &a in args {
+            argvs.push(self.eval(a)?);
+        }
+        use Builtin::*;
+        match b {
+            Malloc | Calloc => {
+                let base = self.heap_base(b.name(), e);
+                Ok(self.node1(NodeKind::Alloc(base), ValueKind::Ptr, span, Some(e), &[]))
+            }
+            Realloc => {
+                // Result may be the original block or a fresh one whose
+                // contents were copied over.
+                let base = self.heap_base(b.name(), e);
+                let fresh = self.node1(NodeKind::Alloc(base), ValueKind::Ptr, span, Some(e), &[]);
+                let store = self.store();
+                let copied = self.node1(
+                    NodeKind::CopyMem,
+                    ValueKind::Store,
+                    span,
+                    Some(e),
+                    &[store, fresh, argvs[0]],
+                );
+                self.state().store = copied;
+                Ok(self.node1(
+                    NodeKind::Gamma,
+                    ValueKind::Ptr,
+                    span,
+                    None,
+                    &[fresh, argvs[0]],
+                ))
+            }
+            Strdup => {
+                let base = self.heap_base(b.name(), e);
+                let fresh = self.node1(NodeKind::Alloc(base), ValueKind::Ptr, span, Some(e), &[]);
+                let store = self.store();
+                let copied = self.node1(
+                    NodeKind::CopyMem,
+                    ValueKind::Store,
+                    span,
+                    Some(e),
+                    &[store, fresh, argvs[0]],
+                );
+                self.state().store = copied;
+                Ok(fresh)
+            }
+            Memcpy | Memmove => {
+                let store = self.store();
+                let st = self.node1(
+                    NodeKind::CopyMem,
+                    ValueKind::Store,
+                    span,
+                    Some(e),
+                    &[store, argvs[0], argvs[1]],
+                );
+                self.state().store = st;
+                Ok(argvs[0])
+            }
+            // Store identities returning a pointer into their first
+            // argument (paper §5.1.2 footnote 10).
+            Strcpy | Strncpy | Strcat | Strchr | Memset => Ok(argvs[0]),
+            _ => {
+                // Pure scalars: strcmp, strlen, printf, getchar, free,
+                // exit, ... `exit` is treated as returning (a sound
+                // over-approximation; values flowing "past" it are dead at
+                // runtime and only add may-information).
+                Ok(self.scalar())
+            }
+        }
+    }
+
+    fn heap_base(&mut self, what: &str, expr: ExprId) -> BaseId {
+        let fname = self.g.func(self.cur_func).name.clone();
+        let site = format!("{fname}:{what}#{}", self.heap_count);
+        self.heap_count += 1;
+        self.g.add_base(BaseInfo {
+            kind: BaseKind::Heap { site },
+            single_instance: false,
+            cooper_older: None,
+            site_expr: Some(expr),
+        })
+    }
+}
+
+// ----- AST walking helpers ------------------------------------------------------
+
+fn span_of_stmt(s: &Stmt) -> Span {
+    match s {
+        Stmt::Return { span, .. } | Stmt::Break(span) | Stmt::Continue(span) => *span,
+        Stmt::Local { span, .. } => *span,
+        Stmt::Switch { span, .. } => *span,
+        _ => Span::dummy(),
+    }
+}
+
+/// Whether `e` is an lvalue expression (post-sema shapes only).
+fn is_lvalue_expr(p: &Program, e: ExprId) -> bool {
+    match &p.exprs.get(e).kind {
+        ExprKind::Ident { target, .. } => !matches!(
+            target,
+            Some(IdentTarget::Func(_)) | Some(IdentTarget::Builtin(_))
+        ),
+        ExprKind::Unary { op: UnOp::Deref, .. } => true,
+        ExprKind::Member { base, arrow, .. } => *arrow || is_lvalue_expr(p, *base),
+        ExprKind::Index { .. } => true,
+        ExprKind::StrLit(_) => true,
+        _ => false,
+    }
+}
+
+fn collect_calls(p: &Program, b: &Block, out: &mut HashSet<CallTargetKey>) {
+    for s in &b.stmts {
+        collect_calls_stmt(p, s, out);
+    }
+}
+
+type CallTargetKey = (bool, u32); // (is_indirect, func id or 0)
+
+fn record_call(p: &Program, callee: ExprId, out: &mut HashSet<CallTargetKey>) {
+    let mut c = callee;
+    while let ExprKind::Unary {
+        op: UnOp::Deref | UnOp::Addr,
+        arg,
+    } = &p.exprs.get(c).kind
+    {
+        c = *arg;
+    }
+    match &p.exprs.get(c).kind {
+        ExprKind::Ident {
+            target: Some(IdentTarget::Func(f)),
+            ..
+        } => {
+            out.insert((false, f.0));
+        }
+        ExprKind::Ident {
+            target: Some(IdentTarget::Builtin(_)),
+            ..
+        } => {}
+        _ => {
+            out.insert((true, 0));
+        }
+    }
+}
+
+fn collect_calls_stmt(p: &Program, s: &Stmt, out: &mut HashSet<CallTargetKey>) {
+    let mut exprs = Vec::new();
+    stmt_exprs(s, &mut exprs);
+    for e in exprs {
+        walk_expr(p, e, &mut |id| {
+            if let ExprKind::Call { callee, .. } = &p.exprs.get(id).kind {
+                record_call(p, *callee, out);
+            }
+        });
+    }
+    match s {
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => {
+            collect_calls(p, then_blk, out);
+            if let Some(e) = else_blk {
+                collect_calls(p, e, out);
+            }
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => collect_calls(p, body, out),
+        Stmt::For { init, body, .. } => {
+            if let Some(i) = init {
+                collect_calls_stmt(p, i, out);
+            }
+            collect_calls(p, body, out);
+        }
+        Stmt::Switch { cases, default, .. } => {
+            for c in cases {
+                collect_calls(p, &c.body, out);
+            }
+            if let Some(d) = default {
+                collect_calls(p, d, out);
+            }
+        }
+        Stmt::Block(b) => collect_calls(p, b, out),
+        _ => {}
+    }
+}
+
+/// Top-level expressions directly attached to a statement (not recursing
+/// into nested blocks).
+fn stmt_exprs(s: &Stmt, out: &mut Vec<ExprId>) {
+    match s {
+        Stmt::Expr(e) => out.push(*e),
+        Stmt::Local { init, .. } => out.extend(init.iter().copied()),
+        Stmt::If { cond, .. } => out.push(*cond),
+        Stmt::While { cond, .. } | Stmt::DoWhile { cond, .. } => out.push(*cond),
+        Stmt::For { cond, step, .. } => {
+            out.extend(cond.iter().copied());
+            out.extend(step.iter().copied());
+        }
+        Stmt::Switch { scrutinee, .. } => out.push(*scrutinee),
+        Stmt::Return { value, .. } => out.extend(value.iter().copied()),
+        _ => {}
+    }
+}
+
+/// Depth-first walk over an expression tree.
+pub fn walk_expr(p: &Program, e: ExprId, f: &mut impl FnMut(ExprId)) {
+    f(e);
+    match &p.exprs.get(e).kind {
+        ExprKind::Unary { arg, .. }
+        | ExprKind::IncDec { arg, .. }
+        | ExprKind::Cast { arg, .. }
+        | ExprKind::SizeofExpr(arg) => walk_expr(p, *arg, f),
+        ExprKind::Binary { lhs, rhs, .. }
+        | ExprKind::Assign { lhs, rhs, .. }
+        | ExprKind::Comma { lhs, rhs } => {
+            walk_expr(p, *lhs, f);
+            walk_expr(p, *rhs, f);
+        }
+        ExprKind::Call { callee, args } => {
+            walk_expr(p, *callee, f);
+            for a in args {
+                walk_expr(p, *a, f);
+            }
+        }
+        ExprKind::Member { base, .. } => walk_expr(p, *base, f),
+        ExprKind::Index { base, index } => {
+            walk_expr(p, *base, f);
+            walk_expr(p, *index, f);
+        }
+        ExprKind::Cond {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            walk_expr(p, *cond, f);
+            walk_expr(p, *then_e, f);
+            walk_expr(p, *else_e, f);
+        }
+        ExprKind::InitList(items) => {
+            for i in items {
+                walk_expr(p, *i, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Register slots assigned anywhere in an expression.
+fn collect_assigned_exprs(p: &Program, e: ExprId, out: &mut HashSet<LocalId>) {
+    walk_expr(p, e, &mut |id| {
+        let lhs = match &p.exprs.get(id).kind {
+            ExprKind::Assign { lhs, .. } => Some(*lhs),
+            ExprKind::IncDec { arg, .. } => Some(*arg),
+            _ => None,
+        };
+        if let Some(lhs) = lhs {
+            if let ExprKind::Ident {
+                target: Some(IdentTarget::Local(slot)),
+                ..
+            } = &p.exprs.get(lhs).kind
+            {
+                out.insert(*slot);
+            }
+        }
+    });
+}
+
+fn collect_assigned_block(p: &Program, b: &Block, out: &mut HashSet<LocalId>) {
+    for s in &b.stmts {
+        collect_assigned_stmt(p, s, out);
+    }
+}
+
+fn collect_assigned_stmt(p: &Program, s: &Stmt, out: &mut HashSet<LocalId>) {
+    let mut exprs = Vec::new();
+    stmt_exprs(s, &mut exprs);
+    for e in exprs {
+        collect_assigned_exprs(p, e, out);
+    }
+    // Local declarations with initializers also (re)define their slot.
+    if let Stmt::Local {
+        slot: Some(slot),
+        init: Some(_),
+        ..
+    } = s
+    {
+        out.insert(*slot);
+    }
+    match s {
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => {
+            collect_assigned_block(p, then_blk, out);
+            if let Some(e) = else_blk {
+                collect_assigned_block(p, e, out);
+            }
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => {
+            collect_assigned_block(p, body, out)
+        }
+        Stmt::For { init, body, .. } => {
+            if let Some(i) = init {
+                collect_assigned_stmt(p, i, out);
+            }
+            collect_assigned_block(p, body, out);
+        }
+        Stmt::Switch { cases, default, .. } => {
+            for c in cases {
+                collect_assigned_block(p, &c.body, out);
+            }
+            if let Some(d) = default {
+                collect_assigned_block(p, d, out);
+            }
+        }
+        Stmt::Block(b) => collect_assigned_block(p, b, out),
+        _ => {}
+    }
+}

@@ -1,0 +1,161 @@
+//! Textual, per-function listing of a VDG — the IR-dump counterpart of
+//! the Graphviz export in [`crate::dot`]. Lines look like
+//!
+//! ```text
+//! fn sum:
+//!   n12: o15:store, o16:int = entry<sum>
+//!   n14: o18:value = lookup* (o17, o15)
+//! ```
+
+use crate::graph::{Graph, NodeId, NodeKind, ValueKind, VFuncId};
+use std::fmt::Write as _;
+
+/// Renders the whole graph grouped by function.
+pub fn to_text(g: &Graph) -> String {
+    let owner = owner_map(g);
+    let mut out = String::new();
+    for f in g.func_ids() {
+        let _ = writeln!(out, "fn {}:", g.func(f).name);
+        for (id, _) in g.nodes() {
+            if owner[id.0 as usize] == f {
+                let _ = writeln!(out, "  {}", node_line(g, id));
+            }
+        }
+    }
+    out
+}
+
+/// Renders one node as `nID: outputs = op (inputs)`.
+pub fn node_line(g: &Graph, id: NodeId) -> String {
+    let n = g.node(id);
+    let outs: Vec<String> = n
+        .outputs
+        .iter()
+        .map(|&o| format!("o{}:{}", o.0, kind_str(g.output(o).kind)))
+        .collect();
+    let ins: Vec<String> = (0..n.inputs.len())
+        .map(|p| format!("o{}", g.input_src(id, p).0))
+        .collect();
+    let mut s = format!("n{}: ", id.0);
+    if !outs.is_empty() {
+        s.push_str(&outs.join(", "));
+        s.push_str(" = ");
+    }
+    s.push_str(&op_str(g, &n.kind));
+    if !ins.is_empty() {
+        s.push_str(" (");
+        s.push_str(&ins.join(", "));
+        s.push(')');
+    }
+    s
+}
+
+fn kind_str(k: ValueKind) -> &'static str {
+    match k {
+        ValueKind::Store => "store",
+        ValueKind::Ptr => "ptr",
+        ValueKind::Func => "fn",
+        ValueKind::Agg { has_ptr: true } => "agg+ptr",
+        ValueKind::Agg { has_ptr: false } => "agg",
+        ValueKind::Scalar => "scalar",
+    }
+}
+
+fn op_str(g: &Graph, kind: &NodeKind) -> String {
+    match kind {
+        NodeKind::Base(b) => format!("&{}", g.base(*b).display()),
+        NodeKind::Alloc(b) => format!("alloc {}", g.base(*b).display()),
+        NodeKind::FuncConst(b) => format!("fnconst {}", g.base(*b).display()),
+        NodeKind::InitStore => "initstore".into(),
+        NodeKind::ScalarConst => "const".into(),
+        NodeKind::NullConst => "null".into(),
+        NodeKind::Member(f) => format!("member .{}", g.field_name(*f)),
+        NodeKind::IndexElem => "index [*]".into(),
+        NodeKind::PassThrough => "ptr-arith".into(),
+        NodeKind::ExtractField(f) => format!("extract .{}", g.field_name(*f)),
+        NodeKind::ExtractElem => "extract [*]".into(),
+        NodeKind::Primop => "primop".into(),
+        NodeKind::Gamma => "gamma".into(),
+        NodeKind::Lookup { indirect } => {
+            if *indirect {
+                "lookup*".into()
+            } else {
+                "lookup".into()
+            }
+        }
+        NodeKind::Update { indirect } => {
+            if *indirect {
+                "update*".into()
+            } else {
+                "update".into()
+            }
+        }
+        NodeKind::Call => "call".into(),
+        NodeKind::Return { func } => format!("return<{}>", g.func(*func).name),
+        NodeKind::Entry { func } => format!("entry<{}>", g.func(*func).name),
+        NodeKind::CopyMem => "copymem".into(),
+    }
+}
+
+/// Node ownership by function, derived from the builder's contiguous
+/// per-function layout (entry node first).
+pub fn owner_map(g: &Graph) -> Vec<VFuncId> {
+    let mut entries: Vec<(u32, VFuncId)> = g
+        .func_ids()
+        .map(|f| (g.func(f).entry.0, f))
+        .collect();
+    entries.sort_unstable();
+    let mut owner = vec![g.root(); g.node_count()];
+    for (i, &(start, f)) in entries.iter().enumerate() {
+        let end = entries
+            .get(i + 1)
+            .map(|&(s, _)| s)
+            .unwrap_or(g.node_count() as u32);
+        for id in start..end {
+            owner[id as usize] = f;
+        }
+    }
+    owner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{lower, BuildOptions};
+
+    #[test]
+    fn listing_covers_every_node_and_function() {
+        let p = cfront::compile(
+            "int g;\n\
+             int *addr(void) { return &g; }\n\
+             int main(void) { return *(addr()); }",
+        )
+        .unwrap();
+        let graph = lower(&p, &BuildOptions::default()).unwrap();
+        let text = to_text(&graph);
+        assert!(text.contains("fn addr:"));
+        assert!(text.contains("fn main:"));
+        assert!(text.contains("fn <root>:"));
+        for (id, _) in graph.nodes() {
+            assert!(text.contains(&format!("n{}:", id.0)), "missing node {id}");
+        }
+        assert!(text.contains("lookup*"), "the indirect read shows");
+        assert!(text.contains("&g"), "the address constant shows");
+    }
+
+    #[test]
+    fn node_line_shapes() {
+        let p = cfront::compile("int main(void) { int a; int *p; p = &a; *p = 1; return a; }")
+            .unwrap();
+        let graph = lower(&p, &BuildOptions::default()).unwrap();
+        let update = graph
+            .nodes()
+            .find(|(_, n)| matches!(n.kind, NodeKind::Update { indirect: true }))
+            .map(|(id, _)| id)
+            .unwrap();
+        let line = node_line(&graph, update);
+        assert!(line.contains("update*"), "{line}");
+        assert!(line.contains(":store ="), "{line}");
+        assert!(line.matches(", o").count() >= 1, "three inputs: {line}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Graphviz DOT export of a VDG, for debugging lowering and the solvers.
+
+use crate::graph::{Graph, NodeKind};
+use std::fmt::Write as _;
+
+/// Renders the whole graph in DOT format.
+pub fn to_dot(g: &Graph) -> String {
+    let mut out = String::from("digraph vdg {\n  node [shape=box, fontname=\"monospace\"];\n");
+    for (id, n) in g.nodes() {
+        let label = node_label(g, &n.kind);
+        let _ = writeln!(out, "  n{} [label=\"n{}: {}\"];", id.0, id.0, label);
+    }
+    for (id, n) in g.nodes() {
+        for (port, &iid) in n.inputs.iter().enumerate() {
+            let src = g.input(iid).src;
+            let src_node = g.output(src).node;
+            let _ = writeln!(out, "  n{} -> n{} [label=\"{}\"];", src_node.0, id.0, port);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn node_label(g: &Graph, kind: &NodeKind) -> String {
+    match kind {
+        NodeKind::Base(b) => format!("base {}", g.base(*b).display()),
+        NodeKind::Alloc(b) => format!("alloc {}", g.base(*b).display()),
+        NodeKind::FuncConst(b) => {
+            let base = g.base(*b);
+            match &base.kind {
+                crate::graph::BaseKind::Func { func } => {
+                    format!("fn {}", g.func(*func).name)
+                }
+                _ => "fn ?".to_string(),
+            }
+        }
+        NodeKind::InitStore => "initstore".to_string(),
+        NodeKind::ScalarConst => "const".to_string(),
+        NodeKind::NullConst => "null".to_string(),
+        NodeKind::Member(f) => format!(".{}", g.field_name(*f)),
+        NodeKind::IndexElem => "[*]".to_string(),
+        NodeKind::PassThrough => "ptr-arith".to_string(),
+        NodeKind::ExtractField(f) => format!("extract .{}", g.field_name(*f)),
+        NodeKind::ExtractElem => "extract [*]".to_string(),
+        NodeKind::Primop => "primop".to_string(),
+        NodeKind::Gamma => "gamma".to_string(),
+        NodeKind::Lookup { indirect } => {
+            format!("lookup{}", if *indirect { " *" } else { "" })
+        }
+        NodeKind::Update { indirect } => {
+            format!("update{}", if *indirect { " *" } else { "" })
+        }
+        NodeKind::Call => "call".to_string(),
+        NodeKind::Return { func } => format!("return<{}>", g.func(*func).name),
+        NodeKind::Entry { func } => format!("entry<{}>", g.func(*func).name),
+        NodeKind::CopyMem => "copymem".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::{lower, BuildOptions};
+
+    #[test]
+    fn dot_renders_every_node() {
+        let prog = cfront::compile("int main(void) { int x; x = 1; return x; }").unwrap();
+        let g = lower(&prog, &BuildOptions::default()).unwrap();
+        let dot = super::to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        for (id, _) in g.nodes() {
+            assert!(dot.contains(&format!("n{}:", id.0)));
+        }
+    }
+}

@@ -1,0 +1,648 @@
+//! The Value Dependence Graph (VDG) data model.
+//!
+//! Computation is expressed by nodes that consume input values (outputs of
+//! other nodes) and produce output values \[WCES94\]. Memory accesses —
+//! direct and indirect alike — are uniform `lookup` and `update` operations
+//! over explicit store values; calls and returns connect function graphs.
+//! Non-addressed scalar locals never touch the store (the SSA-like
+//! transformation the paper credits in §5.1.1).
+
+use cfront::ast::ExprId;
+use cfront::Span;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Node index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Output index (program-wide, across all nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OutputId(pub u32);
+
+/// Input index (program-wide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InputId(pub u32);
+
+/// Function index within the graph. User functions come first, in
+/// `cfront::ast::FuncId` order; the synthetic root (global initialization
+/// plus the call to `main`) is last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VFuncId(pub u32);
+
+/// Base-location index (paper §2: one per variable, one per static heap
+/// allocation site, plus string literals and functions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BaseId(pub u32);
+
+/// Interned struct/union field name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldId(pub u32);
+
+/// The kind of value an output carries; drives the Figure 2 "alias-related
+/// outputs" statistic and the Figure 3 / Figure 6 per-type pair counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// A store (memory state) value.
+    Store,
+    /// A data pointer value.
+    Ptr,
+    /// A function value (function constants and loaded function pointers).
+    Func,
+    /// An aggregate value; `has_ptr` records whether it can transitively
+    /// contain pointers or function values.
+    Agg {
+        /// Whether the aggregate can transitively hold pointers.
+        has_ptr: bool,
+    },
+    /// A non-pointer scalar. Never carries points-to pairs.
+    Scalar,
+}
+
+impl ValueKind {
+    /// Whether outputs of this kind can carry pointer or function values
+    /// (the Figure 2 definition of an alias-related output).
+    pub fn is_alias_related(self) -> bool {
+        matches!(
+            self,
+            ValueKind::Store | ValueKind::Ptr | ValueKind::Func | ValueKind::Agg { has_ptr: true }
+        )
+    }
+}
+
+/// What a base-location names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaseKind {
+    /// A global variable.
+    Global {
+        /// The variable's name.
+        name: String,
+    },
+    /// A local variable or parameter. `weak` is set for locals of
+    /// recursive procedures whose address escapes (paper §3.1 footnote 4)
+    /// under the `Weak` scheme, and for the "older instances" base under
+    /// the `Cooper` scheme.
+    Local {
+        /// The owning function.
+        func: VFuncId,
+        /// The variable's name (unique per slot, not per name).
+        name: String,
+    },
+    /// A heap allocation site (static occurrence of `malloc` etc.).
+    Heap {
+        /// A human-readable site label (`func:builtin#n`).
+        site: String,
+    },
+    /// Storage of a string literal (global, read-only in spirit).
+    StrLit {
+        /// Sequence number of the literal within the program.
+        index: u32,
+    },
+    /// A function, as the referent of function values.
+    Func {
+        /// The named function.
+        func: VFuncId,
+    },
+}
+
+/// A base-location: its kind plus updateability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaseInfo {
+    /// What this base names.
+    pub kind: BaseKind,
+    /// Whether this base denotes at most one runtime location, making
+    /// paths rooted here candidates for strong updates.
+    pub single_instance: bool,
+    /// Under the Cooper scheme, the companion base denoting all *older*
+    /// stack instances of a recursive-addressed local; the primary base
+    /// then denotes the most recent instance.
+    pub cooper_older: Option<BaseId>,
+    /// For heap and string-literal bases: the AST expression of the
+    /// allocation/literal, used by the interpreter oracle to correlate
+    /// concrete and abstract storage.
+    pub site_expr: Option<ExprId>,
+}
+
+impl BaseInfo {
+    /// Display name for diagnostics and table output.
+    pub fn display(&self) -> String {
+        match &self.kind {
+            BaseKind::Global { name } => name.clone(),
+            BaseKind::Local { name, .. } => {
+                if self.cooper_older.is_some() {
+                    format!("{name}@recent")
+                } else {
+                    name.clone()
+                }
+            }
+            BaseKind::Heap { site } => format!("heap:{site}"),
+            BaseKind::StrLit { index } => format!("str#{index}"),
+            BaseKind::Func { .. } => "fn".to_string(),
+        }
+    }
+}
+
+/// Node operation kinds. See module docs; transfer functions live in the
+/// `alias` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Address constant `&base`; output `{(ε, base)}`.
+    Base(BaseId),
+    /// Heap allocation site; output `{(ε, heap-base)}`.
+    Alloc(BaseId),
+    /// Function constant; output `{(ε, fn-base)}`.
+    FuncConst(BaseId),
+    /// The empty store at program entry.
+    InitStore,
+    /// A pointer-free constant (integer literals, `sizeof`).
+    ScalarConst,
+    /// The null pointer: a pointer output with no pairs (paper Fig. 4
+    /// footnote: such reads reference zero locations).
+    NullConst,
+    /// Struct field address: `in ptr -> out ptr`, extending the referent
+    /// path with `.field`. Union member accesses are identities and never
+    /// produce this node.
+    Member(FieldId),
+    /// Array element address: extends the referent path with `[*]`.
+    IndexElem,
+    /// Pointer-preserving arithmetic (`p+i`, pointer casts): pairs of
+    /// input 0 pass through; further inputs are ignored.
+    PassThrough,
+    /// Extracts a field from an aggregate *value* (prefix-subtracts
+    /// `.field` from pair paths).
+    ExtractField(FieldId),
+    /// Extracts an element from an aggregate value (prefix-subtracts `[*]`).
+    ExtractElem,
+    /// Scalar primitive operation; consumes values, emits no pairs.
+    Primop,
+    /// Control-flow merge; the union of its inputs (predicates are ignored,
+    /// paper Fig. 1 `if` rule).
+    Gamma,
+    /// Store read: `inputs [loc, store] -> output value`. `indirect` marks
+    /// reads through a computed pointer (the Figure 4 population).
+    Lookup {
+        /// Read through a computed pointer rather than a named variable.
+        indirect: bool,
+    },
+    /// Store write: `inputs [loc, store, value] -> output store`.
+    Update {
+        /// Write through a computed pointer rather than a named variable.
+        indirect: bool,
+    },
+    /// Call: `inputs [func, store, actuals..] -> outputs [store, result?]`.
+    Call,
+    /// Return: `inputs [store, value?]`; no outputs. Terminates `func`.
+    Return {
+        /// The function this node terminates.
+        func: VFuncId,
+    },
+    /// Function entry: `outputs [store, params..]`.
+    Entry {
+        /// The function whose formals these outputs are.
+        func: VFuncId,
+    },
+    /// `memcpy`-style library model: `inputs [store, dst, src] -> store`.
+    /// Store pairs under `src`'s referents are re-rooted under `dst`'s.
+    CopyMem,
+}
+
+/// A node: kind, ports, and provenance.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The operation.
+    pub kind: NodeKind,
+    /// Input ports, in operand order.
+    pub inputs: Vec<InputId>,
+    /// Output ports.
+    pub outputs: Vec<OutputId>,
+    /// Source range of the originating construct.
+    pub span: Span,
+    /// The AST expression that generated this node, when meaningful; used
+    /// by the interpreter oracle to correlate concrete and abstract
+    /// dereferences.
+    pub site: Option<ExprId>,
+}
+
+/// Metadata of an output port.
+#[derive(Debug, Clone, Copy)]
+pub struct OutputInfo {
+    /// The producing node.
+    pub node: NodeId,
+    /// The kind of value carried.
+    pub kind: ValueKind,
+}
+
+/// Metadata of an input port.
+#[derive(Debug, Clone, Copy)]
+pub struct InputInfo {
+    /// The consuming node.
+    pub node: NodeId,
+    /// Position within the node's input list.
+    pub port: u32,
+    /// The output feeding this input.
+    pub src: OutputId,
+}
+
+/// Per-function information.
+#[derive(Debug, Clone)]
+pub struct FuncInfo {
+    /// Source-level name (`<root>` for the synthetic root).
+    pub name: String,
+    /// The function's [`NodeKind::Entry`] node.
+    pub entry: NodeId,
+    /// All of its [`NodeKind::Return`] nodes.
+    pub returns: Vec<NodeId>,
+    /// Whether the function's address is taken anywhere (candidates for
+    /// indirect calls).
+    pub address_taken: bool,
+}
+
+/// The whole-program Value Dependence Graph.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    outputs: Vec<OutputInfo>,
+    inputs: Vec<InputInfo>,
+    consumers: Vec<Vec<InputId>>,
+    bases: Vec<BaseInfo>,
+    fields: Vec<String>,
+    field_map: HashMap<String, FieldId>,
+    funcs: Vec<FuncInfo>,
+    /// `reach[f]` holds the functions transitively callable from `f`
+    /// under the conservative call graph (direct calls plus, for indirect
+    /// calls, every address-taken function).
+    reach: Vec<Vec<bool>>,
+    /// Base of each global variable, by `GlobalId` index.
+    global_bases: Vec<BaseId>,
+    /// Base of each store-resident local: `(func, slot)` -> base.
+    local_bases: HashMap<(u32, u32), BaseId>,
+}
+
+impl Graph {
+    /// Creates an empty graph (used by the builder).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ----- construction (used by `crate::build`) ---------------------------
+
+    /// Adds a node with the given output kinds; inputs are attached
+    /// afterwards with [`Graph::add_input`].
+    pub fn add_node(
+        &mut self,
+        kind: NodeKind,
+        out_kinds: &[ValueKind],
+        span: Span,
+        site: Option<ExprId>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let mut outs = Vec::with_capacity(out_kinds.len());
+        for &k in out_kinds {
+            let oid = OutputId(self.outputs.len() as u32);
+            self.outputs.push(OutputInfo { node: id, kind: k });
+            self.consumers.push(Vec::new());
+            outs.push(oid);
+        }
+        self.nodes.push(Node {
+            kind,
+            inputs: Vec::new(),
+            outputs: outs,
+            span,
+            site,
+        });
+        id
+    }
+
+    /// Wires `src` into the next input port of `node`.
+    pub fn add_input(&mut self, node: NodeId, src: OutputId) -> InputId {
+        let iid = InputId(self.inputs.len() as u32);
+        let port = self.nodes[node.0 as usize].inputs.len() as u32;
+        self.inputs.push(InputInfo {
+            node,
+            port,
+            src,
+        });
+        self.nodes[node.0 as usize].inputs.push(iid);
+        self.consumers[src.0 as usize].push(iid);
+        iid
+    }
+
+    /// Registers a base-location.
+    pub fn add_base(&mut self, info: BaseInfo) -> BaseId {
+        let id = BaseId(self.bases.len() as u32);
+        self.bases.push(info);
+        id
+    }
+
+    /// Interns a field name.
+    pub fn intern_field(&mut self, name: &str) -> FieldId {
+        if let Some(&id) = self.field_map.get(name) {
+            return id;
+        }
+        let id = FieldId(self.fields.len() as u32);
+        self.fields.push(name.to_string());
+        self.field_map.insert(name.to_string(), id);
+        id
+    }
+
+    /// Registers a function record; the builder fills entry/returns.
+    pub fn add_func(&mut self, info: FuncInfo) -> VFuncId {
+        let id = VFuncId(self.funcs.len() as u32);
+        self.funcs.push(info);
+        id
+    }
+
+    /// Mutable access for the builder.
+    pub fn func_mut(&mut self, f: VFuncId) -> &mut FuncInfo {
+        &mut self.funcs[f.0 as usize]
+    }
+
+    /// Installs the conservative reachability matrix (builder).
+    pub fn set_reach(&mut self, reach: Vec<Vec<bool>>) {
+        self.reach = reach;
+    }
+
+    /// Installs the variable base maps (builder).
+    pub fn set_var_bases(
+        &mut self,
+        global_bases: Vec<BaseId>,
+        local_bases: HashMap<(u32, u32), BaseId>,
+    ) {
+        self.global_bases = global_bases;
+        self.local_bases = local_bases;
+    }
+
+    /// The base-location of a global variable.
+    pub fn global_base(&self, g: u32) -> BaseId {
+        self.global_bases[g as usize]
+    }
+
+    /// The base-location of a store-resident local, if any.
+    pub fn local_base(&self, func: VFuncId, slot: u32) -> Option<BaseId> {
+        self.local_bases.get(&(func.0, slot)).copied()
+    }
+
+    // ----- accessors --------------------------------------------------------
+
+    /// The node table.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes (Figure 2, "VDG nodes").
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterates all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Output metadata.
+    pub fn output(&self, id: OutputId) -> OutputInfo {
+        self.outputs[id.0 as usize]
+    }
+
+    /// Number of outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Iterates all outputs.
+    pub fn output_ids(&self) -> impl Iterator<Item = OutputId> {
+        (0..self.outputs.len() as u32).map(OutputId)
+    }
+
+    /// Input metadata.
+    pub fn input(&self, id: InputId) -> InputInfo {
+        self.inputs[id.0 as usize]
+    }
+
+    /// The inputs consuming `out`.
+    pub fn consumers(&self, out: OutputId) -> &[InputId] {
+        &self.consumers[out.0 as usize]
+    }
+
+    /// The output feeding input port `port` of `node`.
+    pub fn input_src(&self, node: NodeId, port: usize) -> OutputId {
+        let iid = self.nodes[node.0 as usize].inputs[port];
+        self.inputs[iid.0 as usize].src
+    }
+
+    /// Whether `node` has an input at `port` (variadic nodes).
+    pub fn has_input(&self, node: NodeId, port: usize) -> bool {
+        self.nodes[node.0 as usize].inputs.len() > port
+    }
+
+    /// Base-location metadata.
+    pub fn base(&self, id: BaseId) -> &BaseInfo {
+        &self.bases[id.0 as usize]
+    }
+
+    /// Number of base-locations.
+    pub fn base_count(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Iterates base ids.
+    pub fn base_ids(&self) -> impl Iterator<Item = BaseId> {
+        (0..self.bases.len() as u32).map(BaseId)
+    }
+
+    /// Field name of an interned field.
+    pub fn field_name(&self, id: FieldId) -> &str {
+        &self.fields[id.0 as usize]
+    }
+
+    /// Looks up an interned field by name (None if no member access ever
+    /// touched it).
+    pub fn field_id(&self, name: &str) -> Option<FieldId> {
+        self.field_map.get(name).copied()
+    }
+
+    /// Function metadata.
+    pub fn func(&self, id: VFuncId) -> &FuncInfo {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Number of functions (including the synthetic root).
+    pub fn func_count(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Iterates function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = VFuncId> {
+        (0..self.funcs.len() as u32).map(VFuncId)
+    }
+
+    /// The synthetic root function (always last).
+    pub fn root(&self) -> VFuncId {
+        VFuncId(self.funcs.len() as u32 - 1)
+    }
+
+    /// Whether `from` can transitively call `to` (conservative).
+    pub fn can_reach(&self, from: VFuncId, to: VFuncId) -> bool {
+        self.reach
+            .get(from.0 as usize)
+            .and_then(|r| r.get(to.0 as usize).copied())
+            .unwrap_or(true)
+    }
+
+    /// Whether `f` sits on a call-graph cycle (conservatively).
+    pub fn is_recursive(&self, f: VFuncId) -> bool {
+        self.can_reach(f, f)
+    }
+
+    // ----- derived statistics ----------------------------------------------
+
+    /// Count of alias-related outputs (Figure 2).
+    pub fn alias_related_output_count(&self) -> usize {
+        self.outputs
+            .iter()
+            .filter(|o| o.kind.is_alias_related())
+            .count()
+    }
+
+    /// All indirect memory operations: `(node, is_write)` (Figure 4
+    /// population).
+    pub fn indirect_mem_ops(&self) -> Vec<(NodeId, bool)> {
+        self.nodes()
+            .filter_map(|(id, n)| match n.kind {
+                NodeKind::Lookup { indirect: true } => Some((id, false)),
+                NodeKind::Update { indirect: true } => Some((id, true)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All memory operations, direct and indirect.
+    pub fn all_mem_ops(&self) -> Vec<(NodeId, bool)> {
+        self.nodes()
+            .filter_map(|(id, n)| match n.kind {
+                NodeKind::Lookup { .. } => Some((id, false)),
+                NodeKind::Update { .. } => Some((id, true)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Basic structural validation; called by the builder in debug builds
+    /// and by tests.
+    pub fn validate(&self) -> Result<(), String> {
+        for (id, n) in self.nodes() {
+            let arity: Option<usize> = match n.kind {
+                NodeKind::Base(_)
+                | NodeKind::Alloc(_)
+                | NodeKind::FuncConst(_)
+                | NodeKind::InitStore
+                | NodeKind::ScalarConst
+                | NodeKind::NullConst
+                | NodeKind::Entry { .. } => Some(0),
+                NodeKind::Member(_)
+                | NodeKind::IndexElem
+                | NodeKind::ExtractField(_)
+                | NodeKind::ExtractElem => Some(1),
+                NodeKind::Lookup { .. } => Some(2),
+                NodeKind::Update { .. } => Some(3),
+                NodeKind::CopyMem => Some(3),
+                NodeKind::PassThrough | NodeKind::Primop | NodeKind::Gamma => None,
+                NodeKind::Call => None,
+                NodeKind::Return { .. } => None,
+            };
+            if let Some(a) = arity {
+                if n.inputs.len() != a {
+                    return Err(format!(
+                        "node {id:?} ({:?}) expects {a} inputs, has {}",
+                        n.kind,
+                        n.inputs.len()
+                    ));
+                }
+            }
+            if matches!(n.kind, NodeKind::Gamma) && n.inputs.is_empty() {
+                return Err(format!("gamma {id:?} has no inputs"));
+            }
+            if matches!(n.kind, NodeKind::Return { .. }) && !n.outputs.is_empty() {
+                return Err(format!("return {id:?} has outputs"));
+            }
+            for &iid in &n.inputs {
+                if self.inputs[iid.0 as usize].node != id {
+                    return Err(format!("input {iid:?} does not point back to {id:?}"));
+                }
+            }
+        }
+        for f in self.func_ids() {
+            let fi = self.func(f);
+            if !matches!(self.node(fi.entry).kind, NodeKind::Entry { .. }) {
+                return Err(format!("function {} entry is not an Entry node", fi.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for OutputId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wiring_updates_consumers() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::ScalarConst, &[ValueKind::Scalar], Span::dummy(), None);
+        let b = g.add_node(NodeKind::Primop, &[ValueKind::Scalar], Span::dummy(), None);
+        let out = g.node(a).outputs[0];
+        let iid = g.add_input(b, out);
+        assert_eq!(g.consumers(out), &[iid]);
+        assert_eq!(g.input(iid).node, b);
+        assert_eq!(g.input(iid).port, 0);
+        assert_eq!(g.input_src(b, 0), out);
+    }
+
+    #[test]
+    fn alias_related_kinds() {
+        assert!(ValueKind::Store.is_alias_related());
+        assert!(ValueKind::Ptr.is_alias_related());
+        assert!(ValueKind::Func.is_alias_related());
+        assert!(ValueKind::Agg { has_ptr: true }.is_alias_related());
+        assert!(!ValueKind::Agg { has_ptr: false }.is_alias_related());
+        assert!(!ValueKind::Scalar.is_alias_related());
+    }
+
+    #[test]
+    fn field_interning() {
+        let mut g = Graph::new();
+        let f1 = g.intern_field("next");
+        let f2 = g.intern_field("next");
+        let f3 = g.intern_field("prev");
+        assert_eq!(f1, f2);
+        assert_ne!(f1, f3);
+        assert_eq!(g.field_name(f1), "next");
+    }
+
+    #[test]
+    fn validate_catches_bad_arity() {
+        let mut g = Graph::new();
+        g.add_node(
+            NodeKind::Lookup { indirect: false },
+            &[ValueKind::Scalar],
+            Span::dummy(),
+            None,
+        );
+        assert!(g.validate().is_err());
+    }
+}

@@ -1,0 +1,412 @@
+//! # vdg — Value Dependence Graph IR
+//!
+//! The intermediate representation of the Ruf (PLDI 1995) reproduction.
+//! A VDG \[WCES94\] expresses computation as nodes consuming and producing
+//! values; memory state is an explicit *store* value threaded through
+//! `lookup`/`update` nodes, and non-addressed scalar locals never touch
+//! the store. The alias analyses in the `alias` crate run directly over
+//! this graph.
+//!
+//! ```
+//! use vdg::build::{lower, BuildOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = cfront::compile("int g; int main(void) { int *p; p = &g; return *p; }")?;
+//! let graph = lower(&program, &BuildOptions::default())?;
+//! assert_eq!(graph.indirect_mem_ops().len(), 1); // the `*p` read
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod display;
+pub mod dot;
+pub mod graph;
+pub mod stats;
+
+pub use build::{lower, BuildOptions, RecLocalScheme};
+pub use graph::{
+    BaseId, BaseInfo, BaseKind, FieldId, Graph, InputId, Node, NodeId, NodeKind, OutputId,
+    ValueKind, VFuncId,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    fn build(src: &str) -> Graph {
+        let p = cfront::compile(src).expect("compiles");
+        lower(&p, &BuildOptions::default()).expect("lowers")
+    }
+
+    #[test]
+    fn direct_and_indirect_ops_distinguished() {
+        let g = build(
+            "int g; int a[4];\n\
+             int main(void) { int *p; p = &g; *p = 1; g = 2; a[0] = 3; return p[0]; }",
+        );
+        let indirect = g.indirect_mem_ops();
+        // `*p = 1` (write) and `p[0]` (read).
+        assert_eq!(indirect.len(), 2);
+        let all = g.all_mem_ops();
+        assert!(all.len() > indirect.len());
+    }
+
+    #[test]
+    fn register_locals_produce_no_memory_traffic() {
+        let g = build("int main(void) { int a; int b; a = 1; b = a + 2; return b; }");
+        assert!(g.all_mem_ops().is_empty());
+    }
+
+    #[test]
+    fn addressed_locals_are_store_resident() {
+        let g = build("int main(void) { int a; int *p; p = &a; a = 1; return *p; }");
+        // `a = 1` is a direct update; `*p` is an indirect lookup.
+        let ops = g.all_mem_ops();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(g.indirect_mem_ops().len(), 1);
+    }
+
+    #[test]
+    fn loops_create_cycles() {
+        let g = build(
+            "int main(void) { int i; int s; s = 0; \
+             for (i = 0; i < 10; i++) { s += i; } return s; }",
+        );
+        // There must be at least one gamma with an input sourced from a
+        // node with a higher id (the back edge).
+        let mut has_back_edge = false;
+        for (id, n) in g.nodes() {
+            if matches!(n.kind, NodeKind::Gamma) {
+                for &iid in &n.inputs {
+                    let src_node = g.output(g.input(iid).src).node;
+                    if src_node.0 > id.0 {
+                        has_back_edge = true;
+                    }
+                }
+            }
+        }
+        assert!(has_back_edge);
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let g = build(
+            "int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }\n\
+             int main(void) { return fact(5); }",
+        );
+        let fact = VFuncId(0);
+        let main = VFuncId(1);
+        assert!(g.is_recursive(fact));
+        assert!(!g.is_recursive(main));
+        assert!(g.can_reach(main, fact));
+        assert!(!g.can_reach(fact, main));
+    }
+
+    #[test]
+    fn address_taken_functions_flagged() {
+        let g = build(
+            "int f(int x) { return x; }\n\
+             int h(int x) { return x + 1; }\n\
+             int main(void) { int (*fp)(int); fp = f; return fp(1) + h(2); }",
+        );
+        assert!(g.func(VFuncId(0)).address_taken);
+        assert!(!g.func(VFuncId(1)).address_taken);
+    }
+
+    #[test]
+    fn recursive_addressed_local_is_weak_by_default() {
+        let g = build(
+            "int walk(int n) {\n\
+               int slot; int *p;\n\
+               p = &slot; *p = n;\n\
+               if (n > 0) return walk(n - 1);\n\
+               return slot;\n\
+             }\n\
+             int main(void) { return walk(3); }",
+        );
+        let weak_local = g
+            .base_ids()
+            .map(|b| g.base(b))
+            .find(|b| matches!(&b.kind, BaseKind::Local { name, .. } if name == "slot"))
+            .expect("slot base exists");
+        assert!(!weak_local.single_instance);
+    }
+
+    #[test]
+    fn cooper_scheme_splits_recursive_locals() {
+        let p = cfront::compile(
+            "int walk(int n) { int slot; int *p; p = &slot; *p = n; \
+             if (n > 0) return walk(n - 1); return slot; }\n\
+             int main(void) { return walk(3); }",
+        )
+        .unwrap();
+        let g = lower(
+            &p,
+            &BuildOptions {
+                rec_local_scheme: RecLocalScheme::Cooper,
+            },
+        )
+        .unwrap();
+        let recent = g
+            .base_ids()
+            .map(|b| g.base(b))
+            .find(|b| b.cooper_older.is_some())
+            .expect("cooper-split base");
+        assert!(recent.single_instance);
+        let older = g.base(recent.cooper_older.unwrap());
+        assert!(!older.single_instance);
+    }
+
+    #[test]
+    fn non_recursive_addressed_locals_stay_strong() {
+        let g = build("int main(void) { int a; int *p; p = &a; return *p; }");
+        let a = g
+            .base_ids()
+            .map(|b| g.base(b))
+            .find(|b| matches!(&b.kind, BaseKind::Local { name, .. } if name == "a"))
+            .unwrap();
+        assert!(a.single_instance);
+    }
+
+    #[test]
+    fn heap_sites_one_base_per_static_call() {
+        let g = build(
+            "int *mk(void) { return (int*)malloc(4); }\n\
+             int main(void) { int *a; int *b; a = mk(); b = mk(); \
+             a = (int*)malloc(8); return *a + *b; }",
+        );
+        let heaps = g
+            .base_ids()
+            .filter(|b| matches!(g.base(*b).kind, BaseKind::Heap { .. }))
+            .count();
+        assert_eq!(heaps, 2); // one in mk, one in main
+    }
+
+    #[test]
+    fn union_member_access_is_identity() {
+        let g = build(
+            "union u { int *p; int v; };\n\
+             int main(void) { union u x; int a; x.p = &a; return x.v; }",
+        );
+        // No Member nodes should exist for union accesses.
+        let members = g
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Member(_)))
+            .count();
+        assert_eq!(members, 0);
+    }
+
+    #[test]
+    fn struct_member_access_creates_member_nodes() {
+        let g = build(
+            "struct s { int *p; int v; };\n\
+             int main(void) { struct s x; int a; x.p = &a; return x.v; }",
+        );
+        let members = g
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Member(_)))
+            .count();
+        assert_eq!(members, 2);
+    }
+
+    #[test]
+    fn rejects_main_with_params() {
+        let p = cfront::compile("int main(int argc) { return argc; }").unwrap();
+        let err = lower(&p, &BuildOptions::default()).unwrap_err();
+        assert!(err.message.contains("main"));
+    }
+
+    #[test]
+    fn rejects_builtin_as_value() {
+        let p = cfront::compile(
+            "int main(void) { void *(*fp)(int); fp = malloc; return 0; }",
+        );
+        // Sema types `malloc` loosely; lowering rejects the value use.
+        if let Ok(p) = p {
+            assert!(lower(&p, &BuildOptions::default()).is_err());
+        }
+    }
+
+    #[test]
+    fn graph_validates() {
+        let g = build(
+            "struct node { int v; struct node *next; };\n\
+             struct node *rev(struct node *l) {\n\
+               struct node *r; struct node *t; r = NULL;\n\
+               while (l != NULL) { t = l->next; l->next = r; r = l; l = t; }\n\
+               return r;\n\
+             }\n\
+             int main(void) { return rev(NULL) == NULL; }",
+        );
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn switch_lowering_merges_states() {
+        let g = build(
+            "int x; int y; int z;\n\
+             int main(void) { int c; int *r; c = 2; r = NULL; \
+             switch (c) { case 1: r = &x; break; case 2: case 3: r = &y; break; \
+             default: r = &z; break; } return *r; }",
+        );
+        assert_eq!(g.validate(), Ok(()));
+        // r must be merged by a gamma over the case-group values plus the
+        // default (the two stacked `case 2: case 3:` labels share a body).
+        let max_gamma = g
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Gamma))
+            .map(|(_, n)| n.inputs.len())
+            .max()
+            .unwrap_or(0);
+        assert!(max_gamma >= 3, "gamma arity {max_gamma}");
+    }
+
+    #[test]
+    fn do_while_lowers_with_back_edge() {
+        let g = build(
+            "int a; int b;\n\
+             int main(void) { int *p; int n; p = &a; n = 3;\n\
+               do { p = &b; n--; } while (n > 0);\n\
+               return *p; }",
+        );
+        assert_eq!(g.validate(), Ok(()));
+        let mut has_back_edge = false;
+        for (id, n) in g.nodes() {
+            if matches!(n.kind, NodeKind::Gamma) {
+                for &iid in &n.inputs {
+                    if g.output(g.input(iid).src).node.0 > id.0 {
+                        has_back_edge = true;
+                    }
+                }
+            }
+        }
+        assert!(has_back_edge);
+    }
+
+    #[test]
+    fn break_and_continue_merge_states() {
+        let g = build(
+            "int a; int b; int c;\n\
+             int main(void) { int *p; int i; p = &a;\n\
+               for (i = 0; i < 10; i++) {\n\
+                 if (i == 3) { p = &b; break; }\n\
+                 if (i == 1) { continue; }\n\
+                 p = &c;\n\
+               }\n\
+               return *p; }",
+        );
+        assert_eq!(g.validate(), Ok(()));
+        // The final read must be reachable from a gamma merging the break
+        // path; just assert the graph built and the deref exists.
+        assert_eq!(g.indirect_mem_ops().len(), 1);
+    }
+
+    #[test]
+    fn infinite_loop_with_break_has_no_cond_exit() {
+        let g = build(
+            "int main(void) { int n; n = 0;              for (;;) { n++; if (n > 3) { break; } } return n; }",
+        );
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn ternary_on_pointers_creates_gamma() {
+        let g = build(
+            "int a; int b;\n\
+             int main(void) { int c; int *p; c = getchar();\n\
+               p = c ? &a : &b; return *p; }",
+        );
+        let gammas = g
+            .nodes()
+            .filter(|(_, n)| {
+                matches!(n.kind, NodeKind::Gamma)
+                    && matches!(g.output(n.outputs[0]).kind, ValueKind::Ptr)
+            })
+            .count();
+        assert!(gammas >= 1);
+    }
+
+    #[test]
+    fn memcpy_lowers_to_copymem() {
+        let g = build(
+            "struct s { int *p; };\n\
+             int main(void) { struct s a; struct s b; int x; a.p = &x;\n\
+               memcpy(&b, &a, sizeof(struct s)); return *(b.p); }",
+        );
+        let copies = g
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::CopyMem))
+            .count();
+        assert_eq!(copies, 1);
+    }
+
+    #[test]
+    fn realloc_gets_fresh_site_plus_copy() {
+        let g = build(
+            "int main(void) { int *p; p = (int*)malloc(8);\n\
+               p = (int*)realloc(p, 16); p[1] = 5; return p[1]; }",
+        );
+        let allocs = g
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Alloc(_)))
+            .count();
+        assert_eq!(allocs, 2);
+        let copies = g
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::CopyMem))
+            .count();
+        assert_eq!(copies, 1);
+    }
+
+    #[test]
+    fn init_lists_lower_elementwise() {
+        let g = build(
+            "int a; int b;\n\
+             int *table[2] = {&a, &b};\n\
+             int main(void) { return *(table[0]) + *(table[1]); }",
+        );
+        assert_eq!(g.validate(), Ok(()));
+        // Two element updates in the root initializer.
+        let updates = g
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Update { indirect: false }))
+            .count();
+        assert!(updates >= 2, "updates = {updates}");
+    }
+
+    #[test]
+    fn string_literals_get_bases() {
+        let g = build(
+            "char *greet(void) { return \"hi\"; }\n\
+             int main(void) { char *s; s = greet(); return s[0]; }",
+        );
+        let strs = g
+            .base_ids()
+            .filter(|&b| matches!(g.base(b).kind, BaseKind::StrLit { .. }))
+            .count();
+        assert_eq!(strs, 1);
+    }
+
+    #[test]
+    fn aggregate_copy_is_lookup_then_update() {
+        let g = build(
+            "struct s { int *p; int v; };\n\
+             int main(void) { struct s a; struct s b; int x; \
+             a.p = &x; b = a; return *(b.p); }",
+        );
+        assert_eq!(g.validate(), Ok(()));
+        // The struct copy reads all of `a` (direct lookup of agg kind).
+        let agg_lookup = g.nodes().any(|(_, n)| {
+            matches!(n.kind, NodeKind::Lookup { indirect: false })
+                && matches!(
+                    g.output(n.outputs[0]).kind,
+                    ValueKind::Agg { has_ptr: true }
+                )
+        });
+        assert!(agg_lookup);
+    }
+}

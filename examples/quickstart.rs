@@ -1,0 +1,63 @@
+//! Quickstart: run the context-insensitive points-to analysis on a small
+//! C program and print what each indirect memory operation may touch.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use alias::Analysis;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r#"
+        struct node { int v; struct node *next; };
+
+        struct node *cons(int v, struct node *tail) {
+            struct node *n;
+            n = (struct node*)malloc(sizeof(struct node));
+            n->v = v;
+            n->next = tail;
+            return n;
+        }
+
+        int sum(struct node *l) {
+            int s;
+            s = 0;
+            while (l != NULL) {
+                s += l->v;
+                l = l->next;
+            }
+            return s;
+        }
+
+        int main(void) {
+            struct node *list;
+            list = cons(1, cons(2, cons(3, NULL)));
+            return sum(list);
+        }
+    "#;
+
+    let analysis = Analysis::of_source(source)?;
+    let graph = &analysis.graph;
+    let ci = &analysis.ci;
+
+    println!("VDG: {} nodes, {} outputs", graph.node_count(), graph.output_count());
+    println!(
+        "analysis: {} flow-ins, {} flow-outs, {} total points-to pairs",
+        ci.flow_ins,
+        ci.flow_outs,
+        ci.total_pairs()
+    );
+    println!();
+    println!("indirect memory operations and the locations they may reference:");
+    for (node, is_write) in graph.indirect_mem_ops() {
+        let refs = ci.loc_referents(graph, node);
+        let names: Vec<String> = refs.iter().map(|&p| ci.paths.display(p, graph)).collect();
+        println!(
+            "  {} at {:?}: {{{}}}",
+            if is_write { "write" } else { "read " },
+            graph.node(node).span,
+            names.join(", ")
+        );
+    }
+    Ok(())
+}

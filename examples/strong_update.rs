@@ -1,0 +1,66 @@
+//! Demonstrates strong updates (paper §2/§3.1): a definite write through
+//! a pointer to a single-instance location *kills* the location's old
+//! binding, while writes through weakly-updateable paths (array elements,
+//! heap cells) only add.
+//!
+//! ```sh
+//! cargo run --example strong_update
+//! ```
+
+use alias::{analyze_ci, Analysis, CiConfig};
+
+const SOURCE: &str = r#"
+    int a; int b;
+    int *strong_p;      /* single-instance global: strongly updateable  */
+    int *weak_arr[4];   /* array contents: never strongly updateable    */
+
+    int main(void) {
+        int **q;
+        strong_p = &a;
+        q = &strong_p;
+        *q = &b;          /* definite overwrite: kills strong_p -> a    */
+
+        weak_arr[0] = &a;
+        weak_arr[1] = &b; /* weak: weak_arr[*] accumulates both         */
+
+        return *strong_p + *(weak_arr[0]);
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let analysis = Analysis::of_source(SOURCE)?;
+    let graph = &analysis.graph;
+
+    let show = |title: &str, ci: &alias::CiResult| {
+        println!("{title}");
+        for (node, is_write) in graph.indirect_mem_ops() {
+            if is_write {
+                continue;
+            }
+            let names: Vec<String> = ci
+                .loc_referents(graph, node)
+                .iter()
+                .map(|&p| ci.paths.display(p, graph))
+                .collect();
+            println!("  read at {:?} may reference {{{}}}", graph.node(node).span, names.join(", "));
+        }
+        println!();
+    };
+
+    show("with strong updates (paper default):", &analysis.ci);
+
+    let weak = analyze_ci(
+        graph,
+        &CiConfig {
+            strong_updates: false,
+            ..CiConfig::default()
+        },
+    );
+    show("ablation — strong updates disabled:", &weak);
+
+    println!(
+        "The `*strong_p` read sees only `b` under strong updates but both\n\
+         `a` and `b` without them; the array read sees both either way."
+    );
+    Ok(())
+}

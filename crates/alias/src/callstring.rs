@@ -27,8 +27,9 @@
 //! Such unsatisfiably-qualified pairs survive stripping inside the
 //! procedure even though they are filtered at every return.
 
+use crate::fxhash::{HashMap, HashSet};
 use crate::path::{AccessOp, Pair, PathId, PathTable};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use vdg::graph::{Graph, InputId, NodeId, NodeKind, OutputId, VFuncId};
 
 /// A length-1 call string: the immediate call site, or the root.
@@ -129,13 +130,13 @@ pub fn analyze_callstring_from(
         g: graph,
         cfg: config.clone(),
         paths,
-        p: vec![HashMap::new(); graph.output_count()],
+        p: vec![HashMap::default(); graph.output_count()],
         wl: VecDeque::new(),
         owner: crate::modref::node_owner_map(graph),
-        active: HashMap::new(),
-        call_ctxs: HashMap::new(),
-        callees: HashMap::new(),
-        callers: HashMap::new(),
+        active: HashMap::default(),
+        call_ctxs: HashMap::default(),
+        callees: HashMap::default(),
+        callers: HashMap::default(),
         flow_ins: 0,
         flow_outs: 0,
     };
@@ -205,11 +206,7 @@ impl<'g> K1<'g> {
 
     fn flow_out(&mut self, out: OutputId, ctx: Ctx, pair: Pair) {
         self.flow_outs += 1;
-        if self.p[out.0 as usize]
-            .entry(ctx)
-            .or_default()
-            .insert(pair)
-        {
+        if self.p[out.0 as usize].entry(ctx).or_default().insert(pair) {
             for &input in self.g.consumers(out) {
                 self.wl.push_back((input, ctx, pair));
             }
@@ -292,10 +289,9 @@ impl<'g> K1<'g> {
                     em.push((outs[0], ctx, Pair::new(p, pair.referent)));
                 }
             }
-            NodeKind::PassThrough
-                if port == 0 => {
-                    em.push((outs[0], ctx, pair));
-                }
+            NodeKind::PassThrough if port == 0 => {
+                em.push((outs[0], ctx, pair));
+            }
             NodeKind::Gamma => em.push((outs[0], ctx, pair)),
             NodeKind::Primop => {}
             NodeKind::Lookup { .. } => match port {
@@ -335,8 +331,7 @@ impl<'g> K1<'g> {
                 1 => {
                     let locs = self.pairs_at(node, 0, ctx);
                     let passes = locs.iter().any(|lp| {
-                        !(self.cfg.strong_updates
-                            && self.paths.strong_dom(lp.referent, pair.path))
+                        !(self.cfg.strong_updates && self.paths.strong_dom(lp.referent, pair.path))
                     });
                     if passes {
                         em.push((outs[0], ctx, pair));
@@ -432,12 +427,7 @@ impl<'g> K1<'g> {
         em
     }
 
-    fn register_callee(
-        &mut self,
-        call: NodeId,
-        f: VFuncId,
-        em: &mut Vec<(OutputId, Ctx, Pair)>,
-    ) {
+    fn register_callee(&mut self, call: NodeId, f: VFuncId, em: &mut Vec<(OutputId, Ctx, Pair)>) {
         let list = self.callees.entry(call).or_default();
         if list.contains(&f) {
             return;
@@ -452,9 +442,7 @@ impl<'g> K1<'g> {
                 let src = self.g.input_src(call, port);
                 self.p[src.0 as usize]
                     .iter()
-                    .flat_map(move |(ctx, pairs)| {
-                        pairs.iter().map(move |&p| (port, *ctx, p))
-                    })
+                    .flat_map(move |(ctx, pairs)| pairs.iter().map(move |&p| (port, *ctx, p)))
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -549,7 +537,10 @@ mod tests {
         );
         let ops = g.indirect_mem_ops();
         let (rx, _) = ops[0];
-        assert_eq!(names(&ci.paths, &g, &ci.loc_referents(&g, rx)), vec!["a", "b"]);
+        assert_eq!(
+            names(&ci.paths, &g, &ci.loc_referents(&g, rx)),
+            vec!["a", "b"]
+        );
         assert_eq!(names(&k1.paths, &g, &k1.loc_referents(&g, rx)), vec!["a"]);
     }
 
@@ -565,8 +556,8 @@ mod tests {
         let p = cfront::compile(src).unwrap();
         let g = lower(&p, &BuildOptions::default()).unwrap();
         let ci = analyze_ci(&g, &CiConfig::default());
-        let k1 = analyze_callstring_from(&g, ci.paths.clone(), &CallStringConfig::default())
-            .unwrap();
+        let k1 =
+            analyze_callstring_from(&g, ci.paths.clone(), &CallStringConfig::default()).unwrap();
         let cs = analyze_cs(&g, &ci, &CsConfig::default()).unwrap();
         let (rx, _) = g.indirect_mem_ops()[0];
         assert_eq!(
@@ -612,10 +603,17 @@ mod tests {
         let p = cfront::compile(src).unwrap();
         let g = lower(&p, &BuildOptions::default()).unwrap();
         let ci = analyze_ci(&g, &CiConfig::default());
-        let k1 = analyze_callstring_from(&g, ci.paths.clone(), &CallStringConfig::default())
-            .unwrap();
-        let cs = analyze_cs(&g, &ci, &CsConfig { ci_pruning: false, ..CsConfig::default() })
-            .unwrap();
+        let k1 =
+            analyze_callstring_from(&g, ci.paths.clone(), &CallStringConfig::default()).unwrap();
+        let cs = analyze_cs(
+            &g,
+            &ci,
+            &CsConfig {
+                ci_pruning: false,
+                ..CsConfig::default()
+            },
+        )
+        .unwrap();
         for (node, _) in g.indirect_mem_ops() {
             let loc = g.input_src(node, 0);
             let k1_set: HashSet<Pair> = k1.pairs(loc).iter().copied().collect();
@@ -633,16 +631,9 @@ mod tests {
              return walk(n - 1, p); }\n\
              int main(void) { int *q; q = walk(5, &g); return *q; }",
         );
-        let (read, _) = *g
-            .indirect_mem_ops()
-            .iter()
-            .find(|&&(_, w)| !w)
-            .unwrap();
+        let (read, _) = *g.indirect_mem_ops().iter().find(|&&(_, w)| !w).unwrap();
         assert_eq!(names(&k1.paths, &g, &k1.loc_referents(&g, read)), vec!["g"]);
-        assert_eq!(
-            names(&ci.paths, &g, &ci.loc_referents(&g, read)),
-            vec!["g"]
-        );
+        assert_eq!(names(&ci.paths, &g, &ci.loc_referents(&g, read)), vec!["g"]);
         assert!(k1.contexts >= 2);
     }
 

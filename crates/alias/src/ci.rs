@@ -9,8 +9,9 @@
 //! further location pairs arrive) falls out of the arrival-driven
 //! transfer functions.
 
+use crate::fxhash::{HashMap, HashSet};
 use crate::path::{AccessOp, Pair, PathId, PathTable};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use vdg::graph::{Graph, InputId, NodeId, NodeKind, OutputId, VFuncId};
 
 /// Worklist discipline; the fixpoint is scheduling-independent (tested).
@@ -89,11 +90,7 @@ impl CiResult {
     /// (the Figure 4 "locations accessed" metric).
     pub fn loc_referents(&self, graph: &Graph, node: NodeId) -> Vec<PathId> {
         let loc_out = graph.input_src(node, 0);
-        let mut refs: Vec<PathId> = self
-            .pairs(loc_out)
-            .iter()
-            .map(|p| p.referent)
-            .collect();
+        let mut refs: Vec<PathId> = self.pairs(loc_out).iter().map(|p| p.referent).collect();
         refs.sort_unstable();
         refs.dedup();
         refs
@@ -126,7 +123,7 @@ struct Solver<'g> {
 /// Computes the owning function of every heap allocation site.
 pub(crate) fn alloc_owner_map(g: &Graph) -> HashMap<vdg::graph::BaseId, VFuncId> {
     let owner = crate::modref::node_owner_map(g);
-    let mut map = HashMap::new();
+    let mut map = HashMap::default();
     for (id, n) in g.nodes() {
         if let NodeKind::Alloc(b) = n.kind {
             map.insert(b, owner[id.0 as usize]);
@@ -140,16 +137,16 @@ impl<'g> Solver<'g> {
         let alloc_owner = if cfg.heap_naming == HeapNaming::CallString1 {
             alloc_owner_map(g)
         } else {
-            HashMap::new()
+            HashMap::default()
         };
         Solver {
             g,
             cfg,
             paths: PathTable::for_graph(g),
-            p: vec![HashSet::new(); g.output_count()],
+            p: vec![HashSet::default(); g.output_count()],
             wl: VecDeque::new(),
-            callees: HashMap::new(),
-            callers: HashMap::new(),
+            callees: HashMap::default(),
+            callers: HashMap::default(),
             alloc_owner,
             flow_ins: 0,
             flow_outs: 0,
@@ -167,10 +164,7 @@ impl<'g> Solver<'g> {
                    p: PathId|
          -> PathId {
             match paths.base_of(p) {
-                Some(b)
-                    if !paths.is_synthetic(b)
-                        && alloc_owner.get(&b) == Some(&f) =>
-                {
+                Some(b) if !paths.is_synthetic(b) && alloc_owner.get(&b) == Some(&f) => {
                     let clone = paths.heap_clone(b, call.0);
                     paths.rebase(p, clone)
                 }
@@ -367,8 +361,7 @@ impl<'g> Solver<'g> {
                     // delay of [CWZ90].)
                     let locs = self.pairs_at(node, 0);
                     let passes = locs.iter().any(|lp| {
-                        !(self.cfg.strong_updates
-                            && self.paths.strong_dom(lp.referent, pair.path))
+                        !(self.cfg.strong_updates && self.paths.strong_dom(lp.referent, pair.path))
                     });
                     if passes {
                         em.push((outs[0], pair));
@@ -459,12 +452,7 @@ impl<'g> Solver<'g> {
         em
     }
 
-    fn register_callee(
-        &mut self,
-        call: NodeId,
-        f: VFuncId,
-        em: &mut Vec<(OutputId, Pair)>,
-    ) {
+    fn register_callee(&mut self, call: NodeId, f: VFuncId, em: &mut Vec<(OutputId, Pair)>) {
         let list = self.callees.entry(call).or_default();
         if list.contains(&f) {
             return;
@@ -564,9 +552,7 @@ mod tests {
 
     #[test]
     fn direct_pointer_resolves() {
-        let refs = indirect_ref_names(
-            "int g; int main(void) { int *p; p = &g; return *p; }",
-        );
+        let refs = indirect_ref_names("int g; int main(void) { int *p; p = &g; return *p; }");
         assert_eq!(refs, vec![vec!["g".to_string()]]);
     }
 
@@ -607,9 +593,7 @@ mod tests {
 
     #[test]
     fn null_only_pointer_has_no_referents() {
-        let refs = indirect_ref_names(
-            "int main(void) { int *p; p = NULL; return *p; }",
-        );
+        let refs = indirect_ref_names("int main(void) { int *p; p = NULL; return *p; }");
         assert_eq!(refs, vec![Vec::<String>::new()]);
     }
 
@@ -773,15 +757,10 @@ mod tests {
 
     #[test]
     fn scalar_outputs_carry_no_pairs() {
-        let (g, r) = analyze(
-            "int g; int main(void) { int *p; p = &g; return *p + 3; }",
-        );
+        let (g, r) = analyze("int g; int main(void) { int *p; p = &g; return *p + 3; }");
         for o in g.output_ids() {
             if matches!(g.output(o).kind, vdg::graph::ValueKind::Scalar) {
-                assert!(
-                    r.pairs(o).is_empty(),
-                    "scalar output {o} has pairs"
-                );
+                assert!(r.pairs(o).is_empty(), "scalar output {o} has pairs");
             }
         }
     }

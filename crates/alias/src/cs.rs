@@ -18,8 +18,9 @@
 //!    through without new assumptions.
 
 use crate::ci::CiResult;
+use crate::fxhash::{HashMap, HashSet};
 use crate::path::{AccessOp, Pair, PathId, PathTable};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use vdg::graph::{Graph, InputId, NodeId, NodeKind, OutputId, VFuncId};
 
@@ -147,12 +148,7 @@ impl CsResult {
 
     /// Renders one qualified pair for diagnostics:
     /// `(p, r) if {f0: (a, b), ...} | {...}`.
-    pub fn display_qualified(
-        &self,
-        graph: &Graph,
-        pair: Pair,
-        sets: &[Vec<Assumption>],
-    ) -> String {
+    pub fn display_qualified(&self, graph: &Graph, pair: Pair, sets: &[Vec<Assumption>]) -> String {
         let pp = |p: Pair| {
             format!(
                 "({} -> {})",
@@ -214,10 +210,10 @@ impl Assums {
     fn new() -> Self {
         let mut a = Assums {
             infos: Vec::new(),
-            ids: HashMap::new(),
+            ids: HashMap::default(),
             sets: Vec::new(),
-            set_ids: HashMap::new(),
-            union_memo: HashMap::new(),
+            set_ids: HashMap::default(),
+            union_memo: HashMap::default(),
         };
         a.intern_set(Box::new([]));
         a
@@ -333,7 +329,7 @@ struct CsSolver<'g> {
     g: &'g Graph,
     cfg: CsConfig,
     paths: PathTable,
-    alloc_owner: std::collections::HashMap<vdg::graph::BaseId, VFuncId>,
+    alloc_owner: HashMap<vdg::graph::BaseId, VFuncId>,
     assums: Assums,
     /// Per output: pair -> antichain of assumption sets.
     p: Vec<HashMap<Pair, Vec<SetId>>>,
@@ -354,14 +350,14 @@ struct CsSolver<'g> {
 
 impl<'g> CsSolver<'g> {
     fn new(g: &'g Graph, ci: &CiResult, cfg: CsConfig) -> Self {
-        let mut formal_pos = HashMap::new();
+        let mut formal_pos = HashMap::default();
         for f in g.func_ids() {
             let entry = g.func(f).entry;
             for (i, &o) in g.node(entry).outputs.iter().enumerate() {
                 formal_pos.insert(o, i);
             }
         }
-        let mut memop_ci = HashMap::new();
+        let mut memop_ci = HashMap::default();
         if cfg.ci_pruning {
             for (node, _) in g.all_mem_ops() {
                 let refs = ci.loc_referents(g, node);
@@ -377,7 +373,7 @@ impl<'g> CsSolver<'g> {
         let alloc_owner = if cfg.heap_naming == crate::ci::HeapNaming::CallString1 {
             crate::ci::alloc_owner_map(g)
         } else {
-            std::collections::HashMap::new()
+            HashMap::default()
         };
         CsSolver {
             g,
@@ -387,10 +383,10 @@ impl<'g> CsSolver<'g> {
             // the two analyses (CS may intern additional paths).
             paths: ci.paths.clone(),
             assums: Assums::new(),
-            p: vec![HashMap::new(); g.output_count()],
+            p: vec![HashMap::default(); g.output_count()],
             wl: VecDeque::new(),
-            callees: HashMap::new(),
-            callers: HashMap::new(),
+            callees: HashMap::default(),
+            callers: HashMap::default(),
             formal_pos,
             memop_ci,
             flow_ins: 0,
@@ -517,14 +513,11 @@ impl<'g> CsSolver<'g> {
             return pair;
         }
         let fix = |paths: &mut PathTable,
-                   alloc_owner: &std::collections::HashMap<vdg::graph::BaseId, VFuncId>,
+                   alloc_owner: &HashMap<vdg::graph::BaseId, VFuncId>,
                    p: PathId|
          -> PathId {
             match paths.base_of(p) {
-                Some(b)
-                    if !paths.is_synthetic(b)
-                        && alloc_owner.get(&b) == Some(&f) =>
-                {
+                Some(b) if !paths.is_synthetic(b) && alloc_owner.get(&b) == Some(&f) => {
                     let clone = paths.heap_clone(b, call.0);
                     paths.rebase(p, clone)
                 }
@@ -609,11 +602,7 @@ impl<'g> CsSolver<'g> {
             NodeKind::Gamma => em.push((outs[0], pair, set)),
             NodeKind::Primop => {}
             NodeKind::Lookup { .. } => {
-                let single = self
-                    .memop_ci
-                    .get(&node)
-                    .map(|m| m.single)
-                    .unwrap_or(false);
+                let single = self.memop_ci.get(&node).map(|m| m.single).unwrap_or(false);
                 match port {
                     0 => {
                         for (sp, s_sets) in self.qpairs_at(node, 1) {
@@ -656,10 +645,9 @@ impl<'g> CsSolver<'g> {
                 // bound proves no modified location can overwrite it.
                 let pruned_pass = |paths: &PathTable, ps: PathId| -> bool {
                     match &mci {
-                        Some(m) if !m.loc_refs.is_empty() => !m
-                            .loc_refs
-                            .iter()
-                            .any(|&r| paths.strong_dom(r, ps)),
+                        Some(m) if !m.loc_refs.is_empty() => {
+                            !m.loc_refs.iter().any(|&r| paths.strong_dom(r, ps))
+                        }
                         _ => false,
                     }
                 };
@@ -682,8 +670,8 @@ impl<'g> CsSolver<'g> {
                             {
                                 continue;
                             }
-                            let pruned = self.cfg.strong_updates
-                                && pruned_pass(&self.paths, sp.path);
+                            let pruned =
+                                self.cfg.strong_updates && pruned_pass(&self.paths, sp.path);
                             for ss in s_sets {
                                 let u = if pruned || !self.cfg.strong_updates {
                                     ss
@@ -703,9 +691,7 @@ impl<'g> CsSolver<'g> {
                         // paper's footnote 8 warns about.
                         let loc_src = self.g.input_src(node, 0);
                         let has_loc = !self.p[loc_src.0 as usize].is_empty();
-                        if self.cfg.strong_updates
-                            && has_loc
-                            && pruned_pass(&self.paths, pair.path)
+                        if self.cfg.strong_updates && has_loc && pruned_pass(&self.paths, pair.path)
                         {
                             em.push((outs[0], pair, set));
                         } else {
@@ -723,7 +709,11 @@ impl<'g> CsSolver<'g> {
                                     break;
                                 }
                                 for ls in l_sets {
-                                    let u = if single { set } else { self.assums.union(ls, set) };
+                                    let u = if single {
+                                        set
+                                    } else {
+                                        self.assums.union(ls, set)
+                                    };
                                     em.push((outs[0], pair, u));
                                 }
                             }
@@ -733,7 +723,11 @@ impl<'g> CsSolver<'g> {
                         for (lp, l_sets) in self.qpairs_at(node, 0) {
                             let path = self.paths.append(lp.referent, pair.path);
                             for ls in l_sets {
-                                let u = if single { set } else { self.assums.union(ls, set) };
+                                let u = if single {
+                                    set
+                                } else {
+                                    self.assums.union(ls, set)
+                                };
                                 em.push((outs[0], Pair::new(path, pair.referent), u));
                             }
                         }
@@ -781,11 +775,7 @@ impl<'g> CsSolver<'g> {
                                             for &sts in st_sets {
                                                 let u1 = self.assums.union(ds, ss);
                                                 let u = self.assums.union(u1, sts);
-                                                em.push((
-                                                    outs[0],
-                                                    Pair::new(path, sp.referent),
-                                                    u,
-                                                ));
+                                                em.push((outs[0], Pair::new(path, sp.referent), u));
                                             }
                                         }
                                     }
@@ -828,12 +818,7 @@ impl<'g> CsSolver<'g> {
         em
     }
 
-    fn register_callee(
-        &mut self,
-        call: NodeId,
-        f: VFuncId,
-        em: &mut Vec<(OutputId, Pair, SetId)>,
-    ) {
+    fn register_callee(&mut self, call: NodeId, f: VFuncId, em: &mut Vec<(OutputId, Pair, SetId)>) {
         let list = self.callees.entry(call).or_default();
         if list.contains(&f) {
             return;
@@ -1000,9 +985,7 @@ mod tests {
 
     #[test]
     fn cs_equals_ci_on_straightline_code() {
-        let (g, ci, cs) = analyze(
-            "int g; int main(void) { int *p; p = &g; return *p; }",
-        );
+        let (g, ci, cs) = analyze("int g; int main(void) { int *p; p = &g; return *p; }");
         assert!(cs_subset_of_ci(&g, &ci, &cs));
         assert_eq!(ci.total_pairs(), cs.total_pairs());
     }
@@ -1193,10 +1176,7 @@ mod tests {
             .find(|&(_n, w)| !w)
             .map(|(n, _)| n)
             .unwrap();
-        assert_eq!(
-            names(&cs.paths, &g, &cs.loc_referents(&g, read)),
-            vec!["b"]
-        );
+        assert_eq!(names(&cs.paths, &g, &cs.loc_referents(&g, read)), vec!["b"]);
     }
 
     #[test]

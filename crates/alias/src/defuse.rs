@@ -17,9 +17,10 @@
 //! are a client-level measure of analysis precision; the headline
 //! experiment shows up here as identical edge sets under CI and CS.
 
+use crate::fxhash::{HashMap, HashSet};
 use crate::path::{PathId, PathTable};
 use crate::stats::PointsToSolution;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 use vdg::graph::{Graph, NodeId, NodeKind, OutputId, ValueKind};
 
 /// Def/use edges: for each lookup node, the update nodes it may observe.
@@ -70,7 +71,15 @@ pub fn def_use(
         };
         let mut defs = BTreeSet::new();
         for r in referents {
-            walk_defs(graph, sol, paths, callees, graph.input_src(node, 1), r, &mut defs);
+            walk_defs(
+                graph,
+                sol,
+                paths,
+                callees,
+                graph.input_src(node, 1),
+                r,
+                &mut defs,
+            );
         }
         out.uses.insert(node, defs.into_iter().collect());
     }
@@ -88,7 +97,7 @@ fn walk_defs(
     referent: PathId,
     defs: &mut BTreeSet<NodeId>,
 ) {
-    let mut visited: HashSet<OutputId> = HashSet::new();
+    let mut visited: HashSet<OutputId> = HashSet::default();
     let mut stack = vec![store_out];
     while let Some(o) = stack.pop() {
         if !visited.insert(o) {
@@ -131,8 +140,7 @@ fn walk_defs(
                 }
                 // Strong kill: a definite overwrite of the referent ends
                 // the walk on this path.
-                let killed = loc_refs.len() == 1
-                    && paths.strong_dom(loc_refs[0], referent);
+                let killed = loc_refs.len() == 1 && paths.strong_dom(loc_refs[0], referent);
                 if !killed {
                     stack.push(graph.input_src(node, 1));
                 }
@@ -209,18 +217,15 @@ mod tests {
 
     #[test]
     fn direct_def_reaches_use() {
-        let (g, _, du) = pipeline(
-            "int g; int main(void) { int *p; p = &g; g = 5; return *p; }",
-        );
+        let (g, _, du) = pipeline("int g; int main(void) { int *p; p = &g; g = 5; return *p; }");
         let read = first_indirect_read(&g);
         assert_eq!(du.defs_of(read).len(), 1);
     }
 
     #[test]
     fn strong_update_kills_earlier_def() {
-        let (g, _, du) = pipeline(
-            "int g; int main(void) { int *p; p = &g; g = 1; g = 2; return *p; }",
-        );
+        let (g, _, du) =
+            pipeline("int g; int main(void) { int *p; p = &g; g = 1; g = 2; return *p; }");
         let read = first_indirect_read(&g);
         // Only the second `g = ...` reaches the read.
         assert_eq!(du.defs_of(read).len(), 1);
@@ -283,10 +288,7 @@ mod tests {
             .all_mem_ops()
             .into_iter()
             .find(|&(n, w)| {
-                !w && matches!(
-                    g.output(g.node(n).outputs[0]).kind,
-                    ValueKind::Agg { .. }
-                )
+                !w && matches!(g.output(g.node(n).outputs[0]).kind, ValueKind::Agg { .. })
             })
             .map(|(n, _)| n)
             .expect("aggregate read");

@@ -1,0 +1,100 @@
+//! Deterministically seeded hash collections for the solvers.
+//!
+//! The std `HashMap` randomizes its seed per instance, so iteration
+//! order — and therefore everything downstream of it: worklist
+//! scheduling, `flow_ins`/`flow_outs` counters, path-table interning
+//! order — varies from run to run even though the fixpoint itself is
+//! order-independent. The engine's per-stage metrics are only
+//! comparable across runs (and across thread counts) if those counters
+//! are reproducible, so every solver-internal map uses this fixed
+//! multiply-rotate hasher (the FxHash scheme from rustc) instead.
+//!
+//! The keys hashed here are small ids (`NodeId`, `PathId`, `Pair`),
+//! which is exactly the workload FxHash is good at; DoS resistance is
+//! irrelevant for analyzing trusted benchmark programs.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with a fixed, deterministic hasher.
+pub type HashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with a fixed, deterministic hasher.
+pub type HashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc multiply-rotate hasher: fast on word-sized keys and
+/// stable across runs, platforms, and thread counts.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_order_is_reproducible() {
+        let build = || {
+            let mut m: HashMap<u32, u32> = HashMap::default();
+            for i in 0..1000u32 {
+                m.insert(i.wrapping_mul(2654435761), i);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn distinct_keys_hash_distinctly() {
+        let mut seen = HashSet::default();
+        for i in 0..10_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+}

@@ -37,8 +37,10 @@ pub mod callstring;
 pub mod ci;
 pub mod cs;
 pub mod defuse;
+pub mod fxhash;
 pub mod modref;
 pub mod path;
+pub mod solver;
 pub mod stats;
 pub mod steensgaard;
 pub mod weihl;
@@ -46,6 +48,7 @@ pub mod weihl;
 pub use ci::{analyze_ci, CiConfig, CiResult, WorklistOrder};
 pub use cs::{analyze_cs, cs_subset_of_ci, CsConfig, CsResult, StepLimitExceeded};
 pub use path::{AccessOp, Pair, PathId, PathTable};
+pub use solver::{Solution, SolutionBox, Solver};
 
 use std::fmt;
 use vdg::graph::Graph;
@@ -106,29 +109,26 @@ pub struct Analysis {
 }
 
 impl Analysis {
+    /// Starts a configurable pipeline over `src`; call
+    /// [`AnalysisBuilder::run`] to execute it.
+    pub fn builder(src: &str) -> AnalysisBuilder<'_> {
+        AnalysisBuilder {
+            src,
+            build: vdg::BuildOptions::default(),
+            ci: CiConfig::default(),
+        }
+    }
+
     /// Compiles, lowers, and runs the CI analysis with default options.
+    ///
+    /// Thin legacy wrapper over [`Analysis::builder`]; prefer the
+    /// builder when any option differs from the default.
     ///
     /// # Errors
     ///
     /// Returns frontend or lowering diagnostics.
     pub fn of_source(src: &str) -> Result<Analysis, AnalysisError> {
-        Self::of_source_with(src, &vdg::BuildOptions::default(), &CiConfig::default())
-    }
-
-    /// Same, with explicit lowering and solver options.
-    ///
-    /// # Errors
-    ///
-    /// Returns frontend or lowering diagnostics.
-    pub fn of_source_with(
-        src: &str,
-        build: &vdg::BuildOptions,
-        ci_cfg: &CiConfig,
-    ) -> Result<Analysis, AnalysisError> {
-        let program = cfront::compile(src)?;
-        let graph = vdg::lower(&program, build)?;
-        let ci = analyze_ci(&graph, ci_cfg);
-        Ok(Analysis { program, graph, ci })
+        Self::builder(src).run()
     }
 
     /// Runs the context-sensitive analysis on top of this CI result.
@@ -141,16 +141,63 @@ impl Analysis {
     }
 }
 
+/// Options for the source → [`Analysis`] pipeline.
+///
+/// ```
+/// use alias::{Analysis, CiConfig, WorklistOrder};
+///
+/// # fn main() -> Result<(), alias::AnalysisError> {
+/// let a = Analysis::builder("int g; int main(void) { int *p; p = &g; return *p; }")
+///     .ci_config(CiConfig {
+///         order: WorklistOrder::Lifo,
+///         ..CiConfig::default()
+///     })
+///     .run()?;
+/// assert!(a.ci.total_pairs() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalysisBuilder<'a> {
+    src: &'a str,
+    build: vdg::BuildOptions,
+    ci: CiConfig,
+}
+
+impl AnalysisBuilder<'_> {
+    /// Sets the VDG lowering options.
+    pub fn build_options(mut self, build: vdg::BuildOptions) -> Self {
+        self.build = build;
+        self
+    }
+
+    /// Sets the context-insensitive solver options.
+    pub fn ci_config(mut self, ci: CiConfig) -> Self {
+        self.ci = ci;
+        self
+    }
+
+    /// Compiles, lowers, and runs the CI analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend or lowering diagnostics.
+    pub fn run(self) -> Result<Analysis, AnalysisError> {
+        let program = cfront::compile(self.src)?;
+        let graph = vdg::lower(&program, &self.build)?;
+        let ci = analyze_ci(&graph, &self.ci);
+        Ok(Analysis { program, graph, ci })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn analysis_pipeline_end_to_end() {
-        let a = Analysis::of_source(
-            "int g; int main(void) { int *p; p = &g; return *p; }",
-        )
-        .expect("pipeline");
+        let a = Analysis::of_source("int g; int main(void) { int *p; p = &g; return *p; }")
+            .expect("pipeline");
         let cs = a.run_cs(&CsConfig::default()).expect("cs");
         assert!(cs_subset_of_ci(&a.graph, &a.ci, &cs));
         assert!(stats::compare_at_indirect_refs(&a.graph, &a.ci, &cs).is_empty());

@@ -6,9 +6,10 @@
 //! memory reads may reference and its memory writes may modify, both
 //! directly and transitively through callees discovered by the solver.
 
+use crate::fxhash::HashMap;
 use crate::path::PathId;
 use crate::stats::PointsToSolution;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use vdg::graph::{Graph, NodeId, VFuncId};
 
 /// Locations read/written by one function.
@@ -48,7 +49,7 @@ pub fn mod_ref(
     // builder, with the root last; compute intervals from entry ids.
     let owner = node_owner_map(graph);
 
-    let mut direct: HashMap<VFuncId, ModRef> = HashMap::new();
+    let mut direct: HashMap<VFuncId, ModRef> = HashMap::default();
     for f in graph.func_ids() {
         direct.insert(f, ModRef::default());
     }
@@ -66,10 +67,13 @@ pub fn mod_ref(
     }
 
     // Transitive closure over the discovered call graph.
-    let mut call_edges: HashMap<VFuncId, BTreeSet<VFuncId>> = HashMap::new();
+    let mut call_edges: HashMap<VFuncId, BTreeSet<VFuncId>> = HashMap::default();
     for (call, fs) in callees {
         let from = owner[call.0 as usize];
-        call_edges.entry(from).or_default().extend(fs.iter().copied());
+        call_edges
+            .entry(from)
+            .or_default()
+            .extend(fs.iter().copied());
     }
     let mut transitive: HashMap<VFuncId, ModRef> = direct.clone();
     // Simple fixpoint; call graphs are small.
@@ -120,11 +124,7 @@ mod tests {
         (g, ci, s)
     }
 
-    fn loc_names(
-        g: &Graph,
-        ci: &crate::ci::CiResult,
-        set: &BTreeSet<PathId>,
-    ) -> Vec<String> {
+    fn loc_names(g: &Graph, ci: &crate::ci::CiResult, set: &BTreeSet<PathId>) -> Vec<String> {
         let mut v: Vec<String> = set.iter().map(|&p| ci.paths.display(p, g)).collect();
         v.sort();
         v

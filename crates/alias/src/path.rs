@@ -8,7 +8,7 @@
 //! member accesses are identities (handled at VDG construction), which is
 //! how static aliasing inside unions is modeled.
 
-use std::collections::HashMap;
+use crate::fxhash::HashMap;
 use vdg::graph::{BaseId, BaseKind, FieldId, Graph, VFuncId};
 
 /// An interned access path.
@@ -93,14 +93,14 @@ impl PathTable {
                 depth: 0,
                 has_index: false,
             }],
-            children: HashMap::new(),
+            children: HashMap::default(),
             base_roots: Vec::new(),
             base_single: Vec::new(),
             base_func: Vec::new(),
             base_older: Vec::new(),
             n_real: 0,
             synth_origin: Vec::new(),
-            synth_map: HashMap::new(),
+            synth_map: HashMap::default(),
         };
         for b in graph.base_ids() {
             let info = graph.base(b);
@@ -241,7 +241,9 @@ impl PathTable {
         let mut cur = p;
         while let Some(op) = self.nodes[cur.0 as usize].op {
             ops.push(op);
-            cur = self.nodes[cur.0 as usize].parent.expect("op implies parent");
+            cur = self.nodes[cur.0 as usize]
+                .parent
+                .expect("op implies parent");
         }
         ops.reverse();
         ops
@@ -328,8 +330,7 @@ impl PathTable {
 
     /// The Cooper "older instances" companion base of `p`'s base, if any.
     pub fn cooper_older_of(&self, p: PathId) -> Option<BaseId> {
-        self.base_of(p)
-            .and_then(|b| self.base_older[b.0 as usize])
+        self.base_of(p).and_then(|b| self.base_older[b.0 as usize])
     }
 
     /// Rebases `p` onto a different base-location, keeping its operators.

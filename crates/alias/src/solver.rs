@@ -1,0 +1,406 @@
+//! A uniform driver-facing API over the five analyses.
+//!
+//! Historically each analysis had its own free-function entry point with
+//! its own shape (`analyze_ci`, `analyze_cs`, `analyze_weihl_from`,
+//! `analyze_steensgaard`, `analyze_callstring_from`), which forced every
+//! harness — the CLI `spectrum` command, the figure binaries, the
+//! parallel engine — to hard-code all five call sites. The [`Solver`]
+//! trait unifies them:
+//!
+//! ```text
+//!                    ┌───────────────┐
+//!  Graph ──────────▶ │  dyn Solver   │ ──▶ SolutionBox (dyn Solution)
+//!  Option<&CiResult> │ ci/cs/weihl/  │       ├─ pairs(), flow counts
+//!       (shared      │ steensgaard/  │       ├─ loc_referent_bases()
+//!        vocabulary) │ k=1 callstring│       └─ as_points_to() / as_ci() / as_cs()
+//!                    └───────────────┘
+//! ```
+//!
+//! Passing the CI result is optional but meaningful twice over: the CS
+//! solver *requires* CI facts for its §4.2 pruning (it computes its own
+//! when given `None`), and the pair-based baselines seed their
+//! [`PathTable`] from the CI one so that [`Pair`] ids remain comparable
+//! across solutions of the same graph.
+//!
+//! The concrete result types are still reachable — [`Solution::as_ci`]
+//! and friends downcast without `Any` machinery — so existing
+//! [`crate::stats::PointsToSolution`] consumers keep working on the
+//! boxed solutions of every pair-based solver.
+
+use crate::callstring::{analyze_callstring_from, CallStringConfig, CallStringResult};
+use crate::ci::{analyze_ci, CiConfig, CiResult};
+use crate::cs::{analyze_cs, CsConfig, CsResult};
+use crate::path::{PathId, PathTable};
+use crate::stats::PointsToSolution;
+use crate::steensgaard::{analyze_steensgaard, SteensResult};
+use crate::weihl::{analyze_weihl_from, WeihlResult};
+use crate::AnalysisError;
+use std::cell::RefCell;
+use vdg::graph::{BaseId, Graph, NodeId};
+
+/// A solved analysis, boxed behind the uniform [`Solution`] view.
+pub type SolutionBox = Box<dyn Solution>;
+
+/// One of the five analyses, behind a uniform entry point.
+pub trait Solver: Send + Sync {
+    /// Stable machine-readable name (`"ci"`, `"cs"`, `"weihl"`,
+    /// `"steensgaard"`, `"k1"`).
+    fn name(&self) -> &str;
+
+    /// Runs the analysis over `graph`.
+    ///
+    /// `ci` is an optional previously computed context-insensitive
+    /// solution *for the same graph*: the CS solver uses it for the
+    /// §4.2 pruning optimizations (and computes its own if absent), and
+    /// the pair-based baselines adopt its path table so pair ids stay
+    /// comparable across solvers. Passing a CI result from a different
+    /// graph is a logic error.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::StepLimit`] if the solver exhausts its step
+    /// budget; the always-terminating solvers never fail.
+    fn solve(&self, graph: &Graph, ci: Option<&CiResult>) -> Result<SolutionBox, AnalysisError>;
+}
+
+/// Uniform read-side view of any solver's result.
+///
+/// Everything a generic consumer (metrics, spectrum tables, the
+/// parallel engine) needs, implementable even by the unification-based
+/// solver that has no per-program-point pair sets.
+pub trait Solution: Send {
+    /// The [`Solver::name`] that produced this solution.
+    fn analysis(&self) -> &'static str;
+
+    /// Total points-to pairs, for solvers with a pair representation.
+    /// `None` for Steensgaard, whose solution is an ECR partition.
+    fn pairs(&self) -> Option<usize>;
+
+    /// Transfer-function applications (§4.2 `flow-in`s), if counted.
+    fn flow_ins(&self) -> Option<u64>;
+
+    /// Meet operations (§4.2 `flow-out`s), if counted.
+    fn flow_outs(&self) -> Option<u64>;
+
+    /// Distinct base-locations the location input of memory-op `node`
+    /// may reference — the coarsest granularity every solver supports,
+    /// hence the common precision currency of the spectrum table.
+    fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId>;
+
+    /// Pair-level view, when the representation has one.
+    fn as_points_to(&self) -> Option<&dyn PointsToSolution> {
+        None
+    }
+
+    /// Downcast to the concrete CI result.
+    fn as_ci(&self) -> Option<&CiResult> {
+        None
+    }
+
+    /// Downcast to the concrete CS result.
+    fn as_cs(&self) -> Option<&CsResult> {
+        None
+    }
+}
+
+/// Collapses path-granular referents to distinct bases.
+fn bases_of(paths: &PathTable, refs: &[PathId]) -> Vec<BaseId> {
+    let mut b: Vec<BaseId> = refs.iter().filter_map(|&p| paths.base_of(p)).collect();
+    b.sort_unstable();
+    b.dedup();
+    b
+}
+
+/// The context-insensitive analysis (§3) as a [`Solver`].
+#[derive(Debug, Clone, Default)]
+pub struct CiSolver {
+    /// Solver options.
+    pub config: CiConfig,
+}
+
+impl Solver for CiSolver {
+    fn name(&self) -> &str {
+        "ci"
+    }
+
+    fn solve(&self, graph: &Graph, _ci: Option<&CiResult>) -> Result<SolutionBox, AnalysisError> {
+        Ok(Box::new(analyze_ci(graph, &self.config)))
+    }
+}
+
+impl Solution for CiResult {
+    fn analysis(&self) -> &'static str {
+        "ci"
+    }
+    fn pairs(&self) -> Option<usize> {
+        Some(self.total_pairs())
+    }
+    fn flow_ins(&self) -> Option<u64> {
+        Some(self.flow_ins)
+    }
+    fn flow_outs(&self) -> Option<u64> {
+        Some(self.flow_outs)
+    }
+    fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
+        bases_of(&self.paths, &self.loc_referents(graph, node))
+    }
+    fn as_points_to(&self) -> Option<&dyn PointsToSolution> {
+        Some(self)
+    }
+    fn as_ci(&self) -> Option<&CiResult> {
+        Some(self)
+    }
+}
+
+/// The assumption-set context-sensitive analysis (§4) as a [`Solver`].
+#[derive(Debug, Clone, Default)]
+pub struct CsSolver {
+    /// Solver options.
+    pub config: CsConfig,
+}
+
+impl Solver for CsSolver {
+    fn name(&self) -> &str {
+        "cs"
+    }
+
+    fn solve(&self, graph: &Graph, ci: Option<&CiResult>) -> Result<SolutionBox, AnalysisError> {
+        let run = |ci: &CiResult| -> Result<SolutionBox, AnalysisError> {
+            let cs = analyze_cs(graph, ci, &self.config)?;
+            Ok(Box::new(cs) as SolutionBox)
+        };
+        match ci {
+            Some(ci) => run(ci),
+            // No shared CI: compute one with matching knobs, since
+            // pruning requires heap naming and strong updates to agree.
+            None => run(&analyze_ci(
+                graph,
+                &CiConfig {
+                    strong_updates: self.config.strong_updates,
+                    heap_naming: self.config.heap_naming,
+                    ..CiConfig::default()
+                },
+            )),
+        }
+    }
+}
+
+impl Solution for CsResult {
+    fn analysis(&self) -> &'static str {
+        "cs"
+    }
+    fn pairs(&self) -> Option<usize> {
+        Some(self.total_pairs())
+    }
+    fn flow_ins(&self) -> Option<u64> {
+        Some(self.flow_ins)
+    }
+    fn flow_outs(&self) -> Option<u64> {
+        Some(self.flow_outs)
+    }
+    fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
+        bases_of(&self.paths, &self.loc_referents(graph, node))
+    }
+    fn as_points_to(&self) -> Option<&dyn PointsToSolution> {
+        Some(self)
+    }
+    fn as_cs(&self) -> Option<&CsResult> {
+        Some(self)
+    }
+}
+
+/// Weihl's program-wide flow-insensitive baseline as a [`Solver`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeihlSolver;
+
+impl Solver for WeihlSolver {
+    fn name(&self) -> &str {
+        "weihl"
+    }
+
+    fn solve(&self, graph: &Graph, ci: Option<&CiResult>) -> Result<SolutionBox, AnalysisError> {
+        let paths = match ci {
+            Some(ci) => ci.paths.clone(),
+            None => PathTable::for_graph(graph),
+        };
+        Ok(Box::new(analyze_weihl_from(graph, paths)))
+    }
+}
+
+impl Solution for WeihlResult {
+    fn analysis(&self) -> &'static str {
+        "weihl"
+    }
+    fn pairs(&self) -> Option<usize> {
+        Some(self.total_pairs())
+    }
+    fn flow_ins(&self) -> Option<u64> {
+        Some(self.flow_ins)
+    }
+    fn flow_outs(&self) -> Option<u64> {
+        Some(self.flow_outs)
+    }
+    fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
+        bases_of(&self.paths, &self.loc_referents(graph, node))
+    }
+}
+
+/// Steensgaard's unification baseline as a [`Solver`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SteensgaardSolver;
+
+impl Solver for SteensgaardSolver {
+    fn name(&self) -> &str {
+        "steensgaard"
+    }
+
+    fn solve(&self, graph: &Graph, _ci: Option<&CiResult>) -> Result<SolutionBox, AnalysisError> {
+        Ok(Box::new(SteensSolution {
+            inner: RefCell::new(analyze_steensgaard(graph)),
+        }))
+    }
+}
+
+/// [`SteensResult`] behind the uniform view. Union-find queries compress
+/// paths, so the interior is mutable; the `RefCell` keeps the shared
+/// `&self` query API of the other solutions.
+pub struct SteensSolution {
+    inner: RefCell<SteensResult>,
+}
+
+impl SteensSolution {
+    /// The wrapped union-find result, cloned out for callers that need
+    /// the concrete query API.
+    pub fn to_steens(&self) -> SteensResult {
+        self.inner.borrow().clone()
+    }
+}
+
+impl Solution for SteensSolution {
+    fn analysis(&self) -> &'static str {
+        "steensgaard"
+    }
+    fn pairs(&self) -> Option<usize> {
+        None
+    }
+    fn flow_ins(&self) -> Option<u64> {
+        None
+    }
+    fn flow_outs(&self) -> Option<u64> {
+        None
+    }
+    fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
+        let mut bases = self.inner.borrow_mut().loc_bases(graph, node);
+        bases.sort_unstable();
+        bases.dedup();
+        bases
+    }
+}
+
+/// The k=1 call-string analysis as a [`Solver`].
+#[derive(Debug, Clone, Default)]
+pub struct CallStringSolver {
+    /// Solver options.
+    pub config: CallStringConfig,
+}
+
+impl Solver for CallStringSolver {
+    fn name(&self) -> &str {
+        "k1"
+    }
+
+    fn solve(&self, graph: &Graph, ci: Option<&CiResult>) -> Result<SolutionBox, AnalysisError> {
+        let paths = match ci {
+            Some(ci) => ci.paths.clone(),
+            None => PathTable::for_graph(graph),
+        };
+        let k1 = analyze_callstring_from(graph, paths, &self.config)?;
+        Ok(Box::new(k1))
+    }
+}
+
+impl Solution for CallStringResult {
+    fn analysis(&self) -> &'static str {
+        "k1"
+    }
+    fn pairs(&self) -> Option<usize> {
+        Some(self.total_pairs())
+    }
+    fn flow_ins(&self) -> Option<u64> {
+        Some(self.flow_ins)
+    }
+    fn flow_outs(&self) -> Option<u64> {
+        Some(self.flow_outs)
+    }
+    fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
+        bases_of(&self.paths, &self.loc_referents(graph, node))
+    }
+    fn as_points_to(&self) -> Option<&dyn PointsToSolution> {
+        Some(self)
+    }
+}
+
+/// All five solvers with default options, in spectrum order — coarsest
+/// (Weihl) to finest (assumption-set CS).
+pub fn all_solvers() -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(WeihlSolver),
+        Box::new(SteensgaardSolver),
+        Box::new(CiSolver::default()),
+        Box::new(CallStringSolver::default()),
+        Box::new(CsSolver::default()),
+    ]
+}
+
+/// Looks up a solver (default options) by its [`Solver::name`].
+pub fn solver_by_name(name: &str) -> Option<Box<dyn Solver>> {
+    all_solvers().into_iter().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(src: &str) -> Graph {
+        let p = cfront::compile(src).unwrap();
+        vdg::lower(&p, &vdg::BuildOptions::default()).unwrap()
+    }
+
+    const SRC: &str = "int g; int h; int *gp;
+        int pick(int c, int *a, int *b) { if (c) { gp = a; } else { gp = b; } return *gp; }
+        int main(void) { int x; x = pick(1, &g, &h); return x; }";
+
+    #[test]
+    fn registry_has_five_distinct_solvers() {
+        let names: Vec<String> = all_solvers().iter().map(|s| s.name().to_string()).collect();
+        assert_eq!(names, ["weihl", "steensgaard", "ci", "k1", "cs"]);
+        assert!(solver_by_name("cs").is_some());
+        assert!(solver_by_name("andersen").is_none());
+    }
+
+    #[test]
+    fn every_solver_produces_a_queryable_solution() {
+        let graph = graph_of(SRC);
+        let ci = analyze_ci(&graph, &CiConfig::default());
+        for s in all_solvers() {
+            let sol = s.solve(&graph, Some(&ci)).unwrap();
+            assert_eq!(sol.analysis(), s.name());
+            for (node, _) in graph.indirect_mem_ops() {
+                assert!(
+                    !sol.loc_referent_bases(&graph, node).is_empty(),
+                    "{}: no referents",
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cs_without_shared_ci_computes_its_own() {
+        let graph = graph_of(SRC);
+        let ci = analyze_ci(&graph, &CiConfig::default());
+        let with = CsSolver::default().solve(&graph, Some(&ci)).unwrap();
+        let without = CsSolver::default().solve(&graph, None).unwrap();
+        assert_eq!(with.pairs(), without.pairs());
+    }
+}

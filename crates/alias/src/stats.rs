@@ -8,8 +8,8 @@
 
 use crate::ci::CiResult;
 use crate::cs::CsResult;
+use crate::fxhash::HashSet;
 use crate::path::{Pair, PathId, PathTable};
-use std::collections::HashSet;
 use vdg::graph::{BaseKind, Graph, NodeId, OutputId, ValueKind};
 
 /// Abstraction over the two solvers' results, letting the table code run
@@ -102,11 +102,7 @@ pub struct IndirectRefRow {
 /// Per-op indirect-reference counts for one solution.
 fn loc_count(sol: &dyn PointsToSolution, graph: &Graph, node: NodeId) -> usize {
     let loc_out = graph.input_src(node, 0);
-    let mut refs: Vec<PathId> = sol
-        .pairs_at(loc_out)
-        .iter()
-        .map(|p| p.referent)
-        .collect();
+    let mut refs: Vec<PathId> = sol.pairs_at(loc_out).iter().map(|p| p.referent).collect();
     refs.sort_unstable();
     refs.dedup();
     refs.len()

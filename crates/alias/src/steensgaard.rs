@@ -16,7 +16,7 @@
 //! representative (ECR), and every value move unifies the pointees of
 //! its endpoints.
 
-use std::collections::HashMap;
+use crate::fxhash::HashMap;
 use vdg::graph::{BaseId, Graph, NodeId, NodeKind, OutputId, ValueKind};
 
 /// An equivalence-class representative id.
@@ -158,7 +158,7 @@ impl SteensResult {
 pub fn analyze_steensgaard(graph: &Graph) -> SteensResult {
     let mut ecrs = Ecrs::new();
     let base_ecr: Vec<u32> = graph.base_ids().map(|_| ecrs.fresh()).collect();
-    let mut out_ecr: HashMap<u32, u32> = HashMap::new();
+    let mut out_ecr: HashMap<u32, u32> = HashMap::default();
     let ecr_of = |ecrs: &mut Ecrs, out_ecr: &mut HashMap<u32, u32>, o: OutputId| -> u32 {
         *out_ecr.entry(o.0).or_insert_with(|| ecrs.fresh())
     };
@@ -259,8 +259,7 @@ pub fn analyze_steensgaard(graph: &Graph) -> SteensResult {
                         let res = ecr_of(&mut ecrs, &mut out_ecr, n.outputs[1]);
                         for &ret in &graph.func(f).returns {
                             if graph.has_input(ret, 1) {
-                                let v =
-                                    ecr_of(&mut ecrs, &mut out_ecr, graph.input_src(ret, 1));
+                                let v = ecr_of(&mut ecrs, &mut out_ecr, graph.input_src(ret, 1));
                                 let (pv, pr) = (ecrs.pts_of(v), ecrs.pts_of(res));
                                 ecrs.unify(pv, pr);
                             }
@@ -281,11 +280,7 @@ pub fn analyze_steensgaard(graph: &Graph) -> SteensResult {
 
 /// Collapses a CI referent set to its base-locations, for comparison
 /// with the field-insensitive unification result.
-pub fn ci_referent_bases(
-    ci: &crate::ci::CiResult,
-    graph: &Graph,
-    node: NodeId,
-) -> Vec<BaseId> {
+pub fn ci_referent_bases(ci: &crate::ci::CiResult, graph: &Graph, node: NodeId) -> Vec<BaseId> {
     let mut bases: Vec<BaseId> = ci
         .loc_referents(graph, node)
         .iter()

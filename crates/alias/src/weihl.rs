@@ -13,8 +13,9 @@
 //! paper's "how much of the precision is program-point-specificity?"
 //! question.
 
+use crate::fxhash::{HashMap, HashSet};
 use crate::path::{AccessOp, Pair, PathId, PathTable};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use vdg::graph::{Graph, InputId, NodeId, NodeKind, OutputId, VFuncId};
 
 /// Result of the program-wide analysis.
@@ -79,12 +80,12 @@ pub fn analyze_weihl_from(graph: &Graph, paths: PathTable) -> WeihlResult {
     let mut s = Weihl {
         g: graph,
         paths,
-        values: vec![HashSet::new(); graph.output_count()],
-        store: HashSet::new(),
+        values: vec![HashSet::default(); graph.output_count()],
+        store: HashSet::default(),
         wl: VecDeque::new(),
         store_consumers: Vec::new(),
-        callees: HashMap::new(),
-        callers: HashMap::new(),
+        callees: HashMap::default(),
+        callers: HashMap::default(),
         flow_ins: 0,
         flow_outs: 0,
     };
@@ -116,10 +117,7 @@ struct Weihl<'g> {
 impl<'g> Weihl<'g> {
     fn collect_store_consumers(&mut self) {
         for (id, n) in self.g.nodes() {
-            if matches!(
-                n.kind,
-                NodeKind::Lookup { .. } | NodeKind::CopyMem
-            ) {
+            if matches!(n.kind, NodeKind::Lookup { .. } | NodeKind::CopyMem) {
                 self.store_consumers.push(id);
             }
         }
@@ -133,7 +131,10 @@ impl<'g> Weihl<'g> {
                 _ => continue,
             };
             let root = self.paths.base_root(base);
-            seeds.push((self.g.node(id).outputs[0], Pair::new(PathTable::EMPTY, root)));
+            seeds.push((
+                self.g.node(id).outputs[0],
+                Pair::new(PathTable::EMPTY, root),
+            ));
         }
         for (o, p) in seeds {
             self.emit_value(o, p);
@@ -209,24 +210,22 @@ impl<'g> Weihl<'g> {
                     em.push((outs[0], Pair::new(p, pair.referent)));
                 }
             }
-            NodeKind::PassThrough
-                if port == 0 => {
-                    em.push((outs[0], pair));
-                }
+            NodeKind::PassThrough if port == 0 => {
+                em.push((outs[0], pair));
+            }
             NodeKind::Gamma => em.push((outs[0], pair)),
-            NodeKind::Lookup { .. }
-                if port == 0 => {
-                    // New location: read the global store.
-                    let store: Vec<Pair> = self.store.iter().copied().collect();
-                    for sp in store {
-                        if self.paths.dom(pair.referent, sp.path) {
-                            let off = self.paths.subtract(sp.path, pair.referent);
-                            let p = self.paths.append(pair.path, off);
-                            em.push((outs[0], Pair::new(p, sp.referent)));
-                        }
+            NodeKind::Lookup { .. } if port == 0 => {
+                // New location: read the global store.
+                let store: Vec<Pair> = self.store.iter().copied().collect();
+                for sp in store {
+                    if self.paths.dom(pair.referent, sp.path) {
+                        let off = self.paths.subtract(sp.path, pair.referent);
+                        let p = self.paths.append(pair.path, off);
+                        em.push((outs[0], Pair::new(p, sp.referent)));
                     }
                 }
-                // Store arrivals are handled by `transfer_store`.
+            }
+            // Store arrivals are handled by `transfer_store`.
             NodeKind::Update { .. } => match port {
                 0 => {
                     for vp in self.values_at(node, 2) {
@@ -242,23 +241,22 @@ impl<'g> Weihl<'g> {
                 }
                 _ => {}
             },
-            NodeKind::CopyMem
-                if (port == 1 || port == 2) => {
-                    let dsts = self.values_at(node, 1);
-                    let srcs = self.values_at(node, 2);
-                    let store: Vec<Pair> = self.store.iter().copied().collect();
-                    for sp in store {
-                        for s in &srcs {
-                            if self.paths.dom(s.referent, sp.path) {
-                                let off = self.paths.subtract(sp.path, s.referent);
-                                for d in &dsts {
-                                    let path = self.paths.append(d.referent, off);
-                                    st.push(Pair::new(path, sp.referent));
-                                }
+            NodeKind::CopyMem if (port == 1 || port == 2) => {
+                let dsts = self.values_at(node, 1);
+                let srcs = self.values_at(node, 2);
+                let store: Vec<Pair> = self.store.iter().copied().collect();
+                for sp in store {
+                    for s in &srcs {
+                        if self.paths.dom(s.referent, sp.path) {
+                            let off = self.paths.subtract(sp.path, s.referent);
+                            for d in &dsts {
+                                let path = self.paths.append(d.referent, off);
+                                st.push(Pair::new(path, sp.referent));
                             }
                         }
                     }
                 }
+            }
             NodeKind::Call => {
                 if port == 0 {
                     if let Some(f) = self.paths.func_of(pair.referent) {
@@ -271,16 +269,15 @@ impl<'g> Weihl<'g> {
                     }
                 }
             }
-            NodeKind::Return { func }
-                if port == 1 => {
-                    let callers = self.callers.get(&func).cloned().unwrap_or_default();
-                    for call in callers {
-                        let outs = self.g.node(call).outputs.clone();
-                        if outs.len() > 1 {
-                            em.push((outs[1], pair));
-                        }
+            NodeKind::Return { func } if port == 1 => {
+                let callers = self.callers.get(&func).cloned().unwrap_or_default();
+                for call in callers {
+                    let outs = self.g.node(call).outputs.clone();
+                    if outs.len() > 1 {
+                        em.push((outs[1], pair));
                     }
                 }
+            }
             _ => {}
         }
         for (o, p) in em {
@@ -331,12 +328,7 @@ impl<'g> Weihl<'g> {
         }
     }
 
-    fn register_callee(
-        &mut self,
-        call: NodeId,
-        f: VFuncId,
-        em: &mut Vec<(OutputId, Pair)>,
-    ) {
+    fn register_callee(&mut self, call: NodeId, f: VFuncId, em: &mut Vec<(OutputId, Pair)>) {
         let list = self.callees.entry(call).or_default();
         if list.contains(&f) {
             return;

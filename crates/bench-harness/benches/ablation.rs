@@ -1,105 +1,67 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //! strong updates (CI), subsumption, and CI pruning (CS, §4.2).
+//!
+//! Runs under the dependency-free harness in
+//! `bench_harness::microbench`; pass a substring to filter.
 
 use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-
-/// Fast profile: small sample counts and no HTML/plot generation, so the
-/// whole suite completes in minutes; raise the sample size on the command
-/// line (`cargo bench -- --sample-size 100`) for rigorous runs.
-fn fast() -> Criterion {
-    Criterion::default()
-        .without_plots()
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(900))
-        .sample_size(10)
-        .noise_threshold(0.05)
-}
+use bench_harness::microbench::Runner;
 use vdg::build::{lower, BuildOptions};
 
 const PROGRAMS: [&str; 4] = ["part", "loader", "anagram", "bc"];
 
-fn bench_strong_updates(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_strong_updates");
-    for name in PROGRAMS {
-        let b = suite::by_name(name).unwrap();
-        let prog = cfront::compile(b.source).unwrap();
-        let graph = lower(&prog, &BuildOptions::default()).unwrap();
-        g.bench_with_input(BenchmarkId::new("on", name), &graph, |bench, graph| {
-            bench.iter(|| analyze_ci(graph, &CiConfig::default()));
-        });
-        g.bench_with_input(BenchmarkId::new("off", name), &graph, |bench, graph| {
-            bench.iter(|| {
-                analyze_ci(
-                    graph,
-                    &CiConfig {
-                        strong_updates: false,
-                        ..CiConfig::default()
-                    },
-                )
-            });
-        });
-    }
-    g.finish();
-}
+fn main() {
+    let mut r = Runner::from_args();
 
-fn bench_cs_optimizations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_cs");
     for name in PROGRAMS {
         let b = suite::by_name(name).unwrap();
         let prog = cfront::compile(b.source).unwrap();
         let graph = lower(&prog, &BuildOptions::default()).unwrap();
+
+        r.bench(&format!("strong_updates_on/{name}"), || {
+            analyze_ci(&graph, &CiConfig::default())
+        });
+        r.bench(&format!("strong_updates_off/{name}"), || {
+            analyze_ci(
+                &graph,
+                &CiConfig {
+                    strong_updates: false,
+                    ..CiConfig::default()
+                },
+            )
+        });
+
         let ci = analyze_ci(&graph, &CiConfig::default());
-        let input = (&graph, &ci);
-        g.bench_with_input(BenchmarkId::new("optimized", name), &input, |bench, (g, ci)| {
-            bench.iter(|| analyze_cs(g, ci, &CsConfig::default()).expect("budget"));
+        r.bench(&format!("cs_optimized/{name}"), || {
+            analyze_cs(&graph, &ci, &CsConfig::default()).expect("budget")
         });
-        g.bench_with_input(
-            BenchmarkId::new("no_subsumption", name),
-            &input,
-            |bench, (g, ci)| {
-                bench.iter(|| {
-                    // May overflow the step budget on the larger inputs —
-                    // exactly the behavior the paper reports for the
-                    // unoptimized algorithm; the error is part of the
-                    // measured work.
-                    let _ = analyze_cs(
-                        g,
-                        ci,
-                        &CsConfig {
-                            subsumption: false,
-                            max_steps: 3_000_000,
-                            ..CsConfig::default()
-                        },
-                    );
-                });
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("no_ci_pruning", name),
-            &input,
-            |bench, (g, ci)| {
-                bench.iter(|| {
-                    let _ = analyze_cs(
-                        g,
-                        ci,
-                        &CsConfig {
-                            ci_pruning: false,
-                            max_steps: 3_000_000,
-                            ..CsConfig::default()
-                        },
-                    );
-                });
-            },
-        );
+        r.bench(&format!("cs_no_subsumption/{name}"), || {
+            // May overflow the step budget on the larger inputs —
+            // exactly the behavior the paper reports for the
+            // unoptimized algorithm; the error is part of the
+            // measured work.
+            let _ = analyze_cs(
+                &graph,
+                &ci,
+                &CsConfig {
+                    subsumption: false,
+                    max_steps: 3_000_000,
+                    ..CsConfig::default()
+                },
+            );
+        });
+        r.bench(&format!("cs_no_ci_pruning/{name}"), || {
+            let _ = analyze_cs(
+                &graph,
+                &ci,
+                &CsConfig {
+                    ci_pruning: false,
+                    max_steps: 3_000_000,
+                    ..CsConfig::default()
+                },
+            );
+        });
     }
-    g.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = fast();
-    targets = bench_strong_updates, bench_cs_optimizations
+    r.finish();
 }
-criterion_main!(benches);

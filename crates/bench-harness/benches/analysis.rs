@@ -1,79 +1,53 @@
-//! Criterion benches: CI vs CS solver time per benchmark program
-//! (the §3.2 / §4.2 timing comparison), plus frontend and lowering cost.
+//! Solver micro-benches: CI vs CS time per benchmark program (the
+//! §3.2 / §4.2 timing comparison), plus frontend and lowering cost.
+//!
+//! Runs under the dependency-free harness in
+//! `bench_harness::microbench`; pass a substring to filter, e.g.
+//! `cargo bench -p bench-harness --bench analysis -- ci/`.
 
 use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-
-/// Fast profile: small sample counts and no HTML/plot generation, so the
-/// whole suite completes in minutes; raise the sample size on the command
-/// line (`cargo bench -- --sample-size 100`) for rigorous runs.
-fn fast() -> Criterion {
-    Criterion::default()
-        .without_plots()
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(900))
-        .sample_size(10)
-        .noise_threshold(0.05)
-}
+use bench_harness::microbench::Runner;
 use vdg::build::{lower, BuildOptions};
 
-fn bench_ci(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ci");
-    for b in suite::benchmarks() {
-        let prog = cfront::compile(b.source).unwrap();
-        let graph = lower(&prog, &BuildOptions::default()).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(b.name), &graph, |bench, graph| {
-            bench.iter(|| analyze_ci(graph, &CiConfig::default()));
+fn main() {
+    let mut r = Runner::from_args();
+
+    let prepared: Vec<_> = suite::benchmarks()
+        .iter()
+        .map(|b| {
+            let prog = cfront::compile(b.source).unwrap();
+            let graph = lower(&prog, &BuildOptions::default()).unwrap();
+            let ci = analyze_ci(&graph, &CiConfig::default());
+            (b.name, graph, ci)
+        })
+        .collect();
+
+    for (name, graph, _) in &prepared {
+        r.bench(&format!("ci/{name}"), || {
+            analyze_ci(graph, &CiConfig::default())
         });
     }
-    g.finish();
-}
-
-fn bench_cs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cs");
-    for b in suite::benchmarks() {
-        let prog = cfront::compile(b.source).unwrap();
-        let graph = lower(&prog, &BuildOptions::default()).unwrap();
-        let ci = analyze_ci(&graph, &CiConfig::default());
-        g.bench_with_input(
-            BenchmarkId::from_parameter(b.name),
-            &(&graph, &ci),
-            |bench, (graph, ci)| {
-                bench.iter(|| analyze_cs(graph, ci, &CsConfig::default()).expect("budget"));
-            },
-        );
+    for (name, graph, ci) in &prepared {
+        r.bench(&format!("cs/{name}"), || {
+            analyze_cs(graph, ci, &CsConfig::default()).expect("budget")
+        });
     }
-    g.finish();
-}
-
-fn bench_frontend(c: &mut Criterion) {
-    let mut g = c.benchmark_group("frontend");
     for name in ["bc", "assembler", "compiler"] {
         let b = suite::by_name(name).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(name), &b.source, |bench, src| {
-            bench.iter(|| cfront::compile(src).unwrap());
+        r.bench(&format!("frontend/{name}"), || {
+            cfront::compile(b.source).unwrap()
         });
     }
-    g.finish();
-}
-
-fn bench_lowering(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lowering");
     for name in ["bc", "assembler", "simulator"] {
         let b = suite::by_name(name).unwrap();
         let prog = cfront::compile(b.source).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(name), &prog, |bench, prog| {
-            bench.iter(|| lower(prog, &BuildOptions::default()).unwrap());
+        r.bench(&format!("lowering/{name}"), || {
+            lower(&prog, &BuildOptions::default()).unwrap()
         });
     }
-    g.finish();
-}
 
-/// CI scaling over generated programs of growing size (the paper's §3.2
-/// observation that the CI analysis scales comfortably).
-fn bench_ci_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ci_scaling");
+    // CI scaling over generated programs of growing size (the paper's
+    // §3.2 observation that the CI analysis scales comfortably).
     for funcs in [2usize, 4, 8, 16] {
         let cfg = suite::generator::GenConfig {
             funcs,
@@ -83,41 +57,38 @@ fn bench_ci_scaling(c: &mut Criterion) {
         let src = suite::generator::generate(7, &cfg);
         let prog = cfront::compile(&src).unwrap();
         let graph = lower(&prog, &BuildOptions::default()).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(funcs), &graph, |bench, graph| {
-            bench.iter(|| analyze_ci(graph, &CiConfig::default()));
+        r.bench(&format!("ci_scaling/{funcs}_funcs"), || {
+            analyze_ci(&graph, &CiConfig::default())
         });
     }
-    g.finish();
-}
 
-/// The related-analysis baselines, timed on a mid-size benchmark.
-fn bench_baselines(c: &mut Criterion) {
-    let b = suite::by_name("loader").unwrap();
-    let prog = cfront::compile(b.source).unwrap();
-    let graph = lower(&prog, &BuildOptions::default()).unwrap();
-    let mut g = c.benchmark_group("baselines_loader");
-    g.bench_function("weihl", |bench| {
-        bench.iter(|| alias::weihl::analyze_weihl(&graph));
-    });
-    g.bench_function("steensgaard", |bench| {
-        bench.iter(|| alias::steensgaard::analyze_steensgaard(&graph));
-    });
-    g.bench_function("k1_callstring", |bench| {
-        bench.iter(|| {
+    // The related-analysis baselines, timed on a mid-size benchmark.
+    {
+        let b = suite::by_name("loader").unwrap();
+        let prog = cfront::compile(b.source).unwrap();
+        let graph = lower(&prog, &BuildOptions::default()).unwrap();
+        r.bench("baselines_loader/weihl", || {
+            alias::weihl::analyze_weihl(&graph)
+        });
+        r.bench("baselines_loader/steensgaard", || {
+            alias::steensgaard::analyze_steensgaard(&graph)
+        });
+        r.bench("baselines_loader/k1_callstring", || {
             alias::callstring::analyze_callstring(
                 &graph,
                 &alias::callstring::CallStringConfig::default(),
             )
             .unwrap()
         });
-    });
-    g.finish();
-}
+    }
 
-criterion_group! {
-    name = benches;
-    config = fast();
-    targets = bench_ci, bench_cs, bench_frontend, bench_lowering,
-        bench_ci_scaling, bench_baselines
+    // The engine itself: parallel vs serial full-suite CI+CS run.
+    r.bench("engine/suite_serial", || {
+        bench_harness::prepare_all_threads(1)
+    });
+    r.bench("engine/suite_parallel", || {
+        bench_harness::prepare_all_threads(0)
+    });
+
+    r.finish();
 }
-criterion_main!(benches);

@@ -41,7 +41,7 @@ fn main() {
             Ok(cs) => format!("{}", cs.flow_ins),
             Err(_) => "OVERFLOW".to_string(),
         };
-        let (r_strong, _) = indirect_ref_rows(&d.graph, &d.ci);
+        let (r_strong, _) = indirect_ref_rows(&d.graph, d.ci.as_ref());
         let (r_weak, _) = indirect_ref_rows(&d.graph, &weak);
         rows.push(vec![
             d.name.to_string(),
@@ -61,9 +61,17 @@ fn main() {
     println!(
         "{}",
         bench_harness::render_table(
-            &["name", "CI pairs", "no strong-upd", "growth",
-              "read avg", "read avg (weak)",
-              "CS flow-ins", "no subsumption", "no CI-pruning"],
+            &[
+                "name",
+                "CI pairs",
+                "no strong-upd",
+                "growth",
+                "read avg",
+                "read avg (weak)",
+                "CS flow-ins",
+                "no subsumption",
+                "no CI-pruning"
+            ],
             &rows
         )
     );

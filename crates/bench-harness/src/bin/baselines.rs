@@ -12,80 +12,36 @@
 //! For each benchmark, reports the average number of *base-locations*
 //! referenced per indirect memory operation under each analysis (the
 //! field-insensitive unification baseline can only be compared at base
-//! granularity), plus analysis time.
+//! granularity), plus analysis time. All five solvers run through the
+//! uniform `alias::Solver` trait, fanned out by the parallel engine.
 
-use alias::callstring::{analyze_callstring, CallStringConfig};
-use alias::steensgaard::{analyze_steensgaard, ci_referent_bases};
-use alias::weihl::analyze_weihl;
-use std::time::Instant;
-
-/// Average distinct referent bases per indirect op.
-fn avg_bases(counts: &[usize]) -> f64 {
-    if counts.is_empty() {
+/// Average distinct referent bases per indirect op under one solution.
+fn avg_bases(sol: &dyn alias::Solution, graph: &vdg::Graph) -> f64 {
+    let ops = graph.indirect_mem_ops();
+    if ops.is_empty() {
         return 0.0;
     }
-    counts.iter().sum::<usize>() as f64 / counts.len() as f64
-}
-
-fn base_count_of_paths(
-    paths: &alias::PathTable,
-    refs: &[alias::PathId],
-) -> usize {
-    let mut bases: Vec<_> = refs.iter().filter_map(|&p| paths.base_of(p)).collect();
-    bases.sort_unstable();
-    bases.dedup();
-    bases.len()
+    let total: usize = ops
+        .iter()
+        .map(|&(node, _)| sol.loc_referent_bases(graph, node).len())
+        .sum();
+    total as f64 / ops.len() as f64
 }
 
 fn main() {
+    const ORDER: [&str; 5] = ["weihl", "steensgaard", "ci", "k1", "cs"];
+    let run = bench_harness::suite_spectrum(0);
     let mut rows = Vec::new();
-    for d in bench_harness::prepare_all() {
-        let t0 = Instant::now();
-        let weihl = analyze_weihl(&d.graph);
-        let weihl_t = t0.elapsed();
-        let t1 = Instant::now();
-        let mut steens = analyze_steensgaard(&d.graph);
-        let steens_t = t1.elapsed();
-        let t2 = Instant::now();
-        let k1 = analyze_callstring(&d.graph, &CallStringConfig::default())
-            .expect("k=1 within budget");
-        let k1_t = t2.elapsed();
-
-        let ops = d.graph.indirect_mem_ops();
-        let mut w_counts = Vec::new();
-        let mut s_counts = Vec::new();
-        let mut ci_counts = Vec::new();
-        let mut k1_counts = Vec::new();
-        let mut cs_counts = Vec::new();
-        for &(node, _) in &ops {
-            w_counts.push(base_count_of_paths(
-                &weihl.paths,
-                &weihl.loc_referents(&d.graph, node),
-            ));
-            s_counts.push(steens.loc_bases(&d.graph, node).len());
-            ci_counts.push(ci_referent_bases(&d.ci, &d.graph, node).len());
-            k1_counts.push(base_count_of_paths(
-                &k1.paths,
-                &k1.loc_referents(&d.graph, node),
-            ));
-            cs_counts.push(base_count_of_paths(
-                &d.cs.paths,
-                &d.cs.loc_referents(&d.graph, node),
-            ));
+    for b in &run.benches {
+        let mut row = vec![b.name.clone()];
+        for a in ORDER {
+            let sol = b.solution(a).expect("solver within budget");
+            row.push(format!("{:.2}", avg_bases(sol, &b.graph)));
         }
-        rows.push(vec![
-            d.name.to_string(),
-            format!("{:.2}", avg_bases(&w_counts)),
-            format!("{:.2}", avg_bases(&s_counts)),
-            format!("{:.2}", avg_bases(&ci_counts)),
-            format!("{:.2}", avg_bases(&k1_counts)),
-            format!("{:.2}", avg_bases(&cs_counts)),
-            format!("{:.0?}", weihl_t),
-            format!("{:.0?}", steens_t),
-            format!("{:.0?}", d.ci_time),
-            format!("{:.0?}", k1_t),
-            format!("{:.0?}", d.cs_time),
-        ]);
+        for a in ORDER {
+            row.push(format!("{:.0?}", b.wall(a).expect("solver ran")));
+        }
+        rows.push(row);
     }
     println!(
         "Precision spectrum: average base-locations per indirect memory op\n\
@@ -95,8 +51,19 @@ fn main() {
     println!(
         "{}",
         bench_harness::render_table(
-            &["name", "Weihl", "Steens", "CI", "k=1", "CS(assum)",
-              "t(Weihl)", "t(Steens)", "t(CI)", "t(k=1)", "t(CS)"],
+            &[
+                "name",
+                "Weihl",
+                "Steens",
+                "CI",
+                "k=1",
+                "CS(assum)",
+                "t(Weihl)",
+                "t(Steens)",
+                "t(CI)",
+                "t(k=1)",
+                "t(CS)"
+            ],
             &rows
         )
     );

@@ -23,9 +23,20 @@ fn main() {
     println!(
         "{}",
         bench_harness::render_table(
-            &["name", "CI flow-ins", "CS flow-ins", "ratio",
-              "CI flow-outs", "CS flow-outs", "ratio",
-              "CI time", "CS time", "ratio", "assum sets", "max set"],
+            &[
+                "name",
+                "CI flow-ins",
+                "CS flow-ins",
+                "ratio",
+                "CI flow-outs",
+                "CS flow-outs",
+                "ratio",
+                "CI time",
+                "CS time",
+                "ratio",
+                "assum sets",
+                "max set"
+            ],
             &rows
         )
     );

@@ -9,7 +9,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut any_diff = 0usize;
     for d in bench_harness::prepare_all() {
-        let du_ci = def_use(&d.graph, &d.ci, &d.ci.callees);
+        let du_ci = def_use(&d.graph, d.ci.as_ref(), &d.ci.callees);
         let du_cs = def_use(&d.graph, &d.cs, &d.ci.callees);
         let uses = du_ci.uses.len();
         let mut diff = 0usize;
@@ -24,10 +24,7 @@ fn main() {
             uses.to_string(),
             du_ci.edge_count().to_string(),
             du_cs.edge_count().to_string(),
-            format!(
-                "{:.2}",
-                du_ci.edge_count() as f64 / uses.max(1) as f64
-            ),
+            format!("{:.2}", du_ci.edge_count() as f64 / uses.max(1) as f64),
             diff.to_string(),
         ]);
     }
@@ -35,7 +32,14 @@ fn main() {
     println!(
         "{}",
         bench_harness::render_table(
-            &["name", "uses", "edges (CI)", "edges (CS)", "defs/use", "uses differing"],
+            &[
+                "name",
+                "uses",
+                "edges (CI)",
+                "edges (CS)",
+                "defs/use",
+                "uses differing"
+            ],
             &rows
         )
     );

@@ -12,7 +12,7 @@ fn main() {
     let mut total_callers = 0usize;
     let mut single_caller = 0usize;
     for d in bench_harness::prepare_all() {
-        let s = size_stats(&d.graph, d.source);
+        let s = size_stats(&d.graph, &d.source);
         tl += s.lines;
         tn += s.nodes;
         ta += s.alias_related_outputs;
@@ -73,8 +73,15 @@ fn main() {
     println!(
         "{}",
         bench_harness::render_table(
-            &["name", "source lines", "VDG nodes", "alias-related outputs",
-              "procs", "avg callers", "1-caller"],
+            &[
+                "name",
+                "source lines",
+                "VDG nodes",
+                "alias-related outputs",
+                "procs",
+                "avg callers",
+                "1-caller"
+            ],
             &rows
         )
     );

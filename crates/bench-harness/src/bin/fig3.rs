@@ -7,7 +7,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut tot = alias::stats::PairTypeCounts::default();
     for d in bench_harness::prepare_all() {
-        let c = pair_type_counts(&d.graph, &d.ci);
+        let c = pair_type_counts(&d.graph, d.ci.as_ref());
         tot.pointer += c.pointer;
         tot.function += c.function;
         tot.aggregate += c.aggregate;

@@ -7,7 +7,7 @@ fn main() {
     let mut agg = [alias::stats::IndirectRefRow::default(); 2];
     let mut sums = [0usize; 2];
     for d in bench_harness::prepare_all() {
-        let (r, w) = indirect_ref_rows(&d.graph, &d.ci);
+        let (r, w) = indirect_ref_rows(&d.graph, d.ci.as_ref());
         for (kind, row) in [("read", r), ("write", w)] {
             let i = usize::from(kind == "write");
             agg[i].total += row.total;

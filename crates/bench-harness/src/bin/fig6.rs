@@ -35,8 +35,16 @@ fn main() {
     println!(
         "{}",
         bench_harness::render_table(
-            &["name", "pointer", "function", "aggregate", "store",
-              "total", "total (insens.)", "% spurious"],
+            &[
+                "name",
+                "pointer",
+                "function",
+                "aggregate",
+                "store",
+                "total",
+                "total (insens.)",
+                "% spurious"
+            ],
             &rows
         )
     );

@@ -55,11 +55,17 @@ fn main() {
     println!("Figure 7: path/referent type distribution\n");
     show(
         "All points-to pairs (context-insensitive)",
-        &TypeMatrix { cells: all_cells, total: all_total },
+        &TypeMatrix {
+            cells: all_cells,
+            total: all_total,
+        },
     );
     show(
         "Spurious points-to pairs only",
-        &TypeMatrix { cells: spur_cells, total: spur_total },
+        &TypeMatrix {
+            cells: spur_cells,
+            total: spur_total,
+        },
     );
     println!(
         "(paper: spurious pairs skew towards local paths — incorrectly\n\

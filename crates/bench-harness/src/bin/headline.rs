@@ -14,7 +14,12 @@ fn main() {
             d.name.to_string(),
             ops.to_string(),
             mismatches.len().to_string(),
-            if mismatches.is_empty() { "identical" } else { "DIFFERS" }.to_string(),
+            if mismatches.is_empty() {
+                "identical"
+            } else {
+                "DIFFERS"
+            }
+            .to_string(),
         ]);
         for m in mismatches {
             println!(
@@ -28,10 +33,7 @@ fn main() {
     println!("Headline (§4.3): CS vs CI at indirect memory references\n");
     println!(
         "{}",
-        bench_harness::render_table(
-            &["name", "indirect refs", "mismatches", "verdict"],
-            &rows
-        )
+        bench_harness::render_table(&["name", "indirect refs", "mismatches", "verdict"], &rows)
     );
     if any == 0 {
         println!(

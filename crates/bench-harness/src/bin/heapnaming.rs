@@ -71,14 +71,18 @@ fn main() {
         });
         rows.push(cells);
     }
-    println!(
-        "Heap naming: one base per site vs per (site, immediate caller)\n"
-    );
+    println!("Heap naming: one base per site vs per (site, immediate caller)\n");
     println!(
         "{}",
         bench_harness::render_table(
-            &["name", "CI pairs (site)", "spur% (site)",
-              "CI pairs (k=1)", "spur% (k=1)", "spur grows?"],
+            &[
+                "name",
+                "CI pairs (site)",
+                "spur% (site)",
+                "CI pairs (k=1)",
+                "spur% (k=1)",
+                "spur grows?"
+            ],
             &rows
         )
     );

@@ -1,0 +1,71 @@
+//! One parallel engine invocation over the whole paper evaluation:
+//! every benchmark × every solver, with per-stage metrics.
+//!
+//! ```text
+//! cargo run -p bench-harness --bin report            # metrics table
+//! cargo run -p bench-harness --bin report -- --json  # EngineReport JSON
+//! cargo run -p bench-harness --bin report -- --threads 4
+//! ```
+//!
+//! The JSON schema is documented in DESIGN.md §"The engine".
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0usize);
+
+    let run = bench_harness::suite_spectrum(threads);
+    if json {
+        print!("{}", run.report.to_json());
+        return;
+    }
+
+    let ms = |d: std::time::Duration| format!("{:.2}ms", d.as_secs_f64() * 1e3);
+    let mut rows = Vec::new();
+    for b in &run.report.benchmarks {
+        let mut row = vec![
+            b.name.clone(),
+            b.nodes.to_string(),
+            b.indirect_refs.to_string(),
+            ms(b.frontend),
+            ms(b.lowering),
+        ];
+        for s in &b.solvers {
+            row.push(match &s.error {
+                Some(_) => "OVERFLOW".to_string(),
+                None => ms(s.wall),
+            });
+        }
+        rows.push(row);
+    }
+    let solver_names: Vec<String> = run
+        .report
+        .benchmarks
+        .first()
+        .map(|b| {
+            b.solvers
+                .iter()
+                .map(|s| format!("t({})", s.analysis))
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut headers: Vec<&str> = vec!["name", "nodes", "refs", "frontend", "lowering"];
+    headers.extend(solver_names.iter().map(String::as_str));
+    println!(
+        "Engine report: {} benchmarks x {} solvers on {} thread(s), {:.2?} total\n",
+        run.report.benchmarks.len(),
+        run.benches.first().map(|b| b.solutions.len()).unwrap_or(0),
+        run.report.threads,
+        run.report.total_wall,
+    );
+    println!("{}", bench_harness::render_table(&headers, &rows));
+    for a in ["weihl", "steensgaard", "ci", "k1", "cs"] {
+        println!("total {a:<12} {:>10.2?}", run.report.solver_wall(a));
+    }
+    println!("\n(re-run with --json for the machine-readable report)");
+}

@@ -12,35 +12,75 @@
 //! | `headline` | §4.3 — CS vs CI at indirect memory references         |
 //! | `cost`     | §4.2 — flow-in/flow-out counts and timing ratios      |
 //! | `ablation` | strong updates / subsumption / CI-pruning ablations   |
+//! | `report`   | one engine run: all five solvers, per-stage metrics   |
 //!
-//! Criterion benches (`cargo bench -p bench-harness`) time the solvers
-//! themselves.
+//! Every binary drives the parallel [`engine`] instead of a hand-rolled
+//! serial loop: benchmarks are compiled and lowered once, the solvers
+//! fan out across cores, and the tables are rendered from the shared
+//! results. Micro-benches (`cargo bench -p bench-harness`) time the
+//! solvers themselves; see [`microbench`].
 
 #![warn(missing_docs)]
 
-use alias::{analyze_ci, analyze_cs, CiConfig, CiResult, CsConfig, CsResult};
-use std::time::{Duration, Instant};
-use vdg::build::{lower, BuildOptions};
+pub mod microbench;
+
+use alias::solver::{CiSolver, CsSolver};
+use alias::{CiResult, CsResult};
+use engine::{Engine, EngineRun, Job};
+use std::sync::Arc;
+use std::time::Duration;
 use vdg::Graph;
 
 /// Everything computed for one benchmark program.
+///
+/// `program`, `graph`, and `ci` are the engine's shared immutable
+/// structures — clones of an `Arc`, not of the data.
 pub struct BenchData {
     /// Benchmark name (Figure 2 order).
-    pub name: &'static str,
+    pub name: String,
     /// mini-C source text.
-    pub source: &'static str,
+    pub source: String,
     /// The checked program.
-    pub program: cfront::Program,
+    pub program: Arc<cfront::Program>,
     /// Its VDG.
-    pub graph: Graph,
+    pub graph: Arc<Graph>,
     /// Context-insensitive solution.
-    pub ci: CiResult,
+    pub ci: Arc<CiResult>,
     /// Wall-clock time of the CI run.
     pub ci_time: Duration,
     /// Context-sensitive solution (default optimizations).
     pub cs: CsResult,
     /// Wall-clock time of the CS run.
     pub cs_time: Duration,
+}
+
+impl BenchData {
+    fn from_output(out: engine::BenchOutput) -> BenchData {
+        let cs = out
+            .cs()
+            .unwrap_or_else(|| panic!("{}: CS within budget", out.name))
+            .clone();
+        let cs_time = out.wall("cs").expect("cs solver ran");
+        BenchData {
+            cs,
+            cs_time,
+            ci_time: out.ci_wall,
+            name: out.name,
+            source: out.source,
+            program: out.program,
+            graph: out.graph,
+            ci: out.ci,
+        }
+    }
+}
+
+/// An engine over the two paper solvers (CI + CS), which is all the
+/// figure binaries consume.
+fn paper_engine() -> Engine {
+    Engine::new().solvers(vec![
+        Box::new(CiSolver::default()),
+        Box::new(CsSolver::default()),
+    ])
 }
 
 /// Compiles, lowers, and runs both analyses on one benchmark.
@@ -50,29 +90,44 @@ pub struct BenchData {
 /// Panics if the benchmark fails any pipeline stage (the test suite
 /// guarantees it does not).
 pub fn prepare(b: &suite::Benchmark) -> BenchData {
-    let program = cfront::compile(b.source).expect("benchmark compiles");
-    let graph = lower(&program, &BuildOptions::default()).expect("benchmark lowers");
-    let t0 = Instant::now();
-    let ci = analyze_ci(&graph, &CiConfig::default());
-    let ci_time = t0.elapsed();
-    let t1 = Instant::now();
-    let cs = analyze_cs(&graph, &ci, &CsConfig::default()).expect("CS within budget");
-    let cs_time = t1.elapsed();
-    BenchData {
-        name: b.name,
-        source: b.source,
-        program,
-        graph,
-        ci,
-        ci_time,
-        cs,
-        cs_time,
-    }
+    let jobs = vec![Job {
+        name: b.name.to_string(),
+        source: b.source.to_string(),
+    }];
+    let run = paper_engine().run(&jobs).expect("benchmark analyzes");
+    run.benches
+        .into_iter()
+        .map(BenchData::from_output)
+        .next()
+        .expect("one job in, one result out")
 }
 
-/// Prepares every suite benchmark.
+/// Prepares every suite benchmark with one parallel engine invocation.
 pub fn prepare_all() -> Vec<BenchData> {
-    suite::benchmarks().iter().map(prepare).collect()
+    prepare_all_threads(0)
+}
+
+/// Like [`prepare_all`], with an explicit worker-thread count
+/// (`0` = auto, `1` = serial baseline).
+pub fn prepare_all_threads(threads: usize) -> Vec<BenchData> {
+    paper_engine()
+        .threads(threads)
+        .run_suite()
+        .expect("suite analyzes")
+        .benches
+        .into_iter()
+        .map(BenchData::from_output)
+        .collect()
+}
+
+/// One full-spectrum engine run over the whole suite: all five solvers,
+/// per-stage metrics. The `report` binary renders this; tests diff its
+/// fingerprint against a serial run.
+pub fn suite_spectrum(threads: usize) -> EngineRun {
+    Engine::new()
+        .threads(threads)
+        .run_suite()
+        .expect("suite analyzes")
 }
 
 /// Renders an aligned text table.

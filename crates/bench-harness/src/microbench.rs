@@ -1,0 +1,119 @@
+//! A small self-contained timing harness for `cargo bench`.
+//!
+//! The workspace builds without network access, so the benches use this
+//! instead of an external harness. Each bench target is a plain
+//! `harness = false` binary that constructs a [`Runner`] and registers
+//! closures; the runner warms each one up, then times batches until it
+//! has enough samples, and prints min/median/mean wall times.
+//!
+//! ```text
+//! cargo bench -p bench-harness                 # everything
+//! cargo bench -p bench-harness --bench analysis -- ci/   # filtered
+//! ```
+//!
+//! A positional argument acts as a substring filter on bench names,
+//! mirroring the usual harness convention.
+
+use std::time::{Duration, Instant};
+
+/// Target wall time spent measuring each bench (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(900);
+/// Warm-up time per bench.
+const WARMUP: Duration = Duration::from_millis(200);
+/// Samples to aim for within the budget.
+const TARGET_SAMPLES: usize = 12;
+
+/// Collects and runs named benches, honoring a CLI substring filter.
+pub struct Runner {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::from_args()
+    }
+}
+
+impl Runner {
+    /// A runner filtered by the first non-flag CLI argument, if any
+    /// (flags like `--bench` that cargo forwards are ignored).
+    pub fn from_args() -> Runner {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Runner { filter, ran: 0 }
+    }
+
+    /// Times `f` and prints one result line, unless filtered out.
+    /// The closure's return value is black-boxed so the work is not
+    /// optimized away.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran += 1;
+        let warm_until = Instant::now() + WARMUP;
+        let mut iters_per_sample = 1usize;
+        loop {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            let once = t.elapsed();
+            if Instant::now() >= warm_until {
+                // Batch fast closures so per-sample time is measurable.
+                let per_sample = MEASURE_BUDGET / (TARGET_SAMPLES as u32);
+                if once > Duration::ZERO {
+                    iters_per_sample = (per_sample.as_nanos() / once.as_nanos().max(1))
+                        .clamp(1, 1_000_000) as usize;
+                }
+                break;
+            }
+        }
+        let mut samples = Vec::with_capacity(TARGET_SAMPLES);
+        let stop = Instant::now() + MEASURE_BUDGET;
+        while samples.len() < TARGET_SAMPLES.max(2) || Instant::now() < stop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed() / (iters_per_sample as u32));
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / (samples.len() as u32);
+        println!(
+            "{name:<40} min {min:>10.2?}   median {median:>10.2?}   mean {mean:>10.2?}   ({} samples x {iters_per_sample} iters)",
+            samples.len()
+        );
+    }
+
+    /// Prints a trailer; call once after registering every bench.
+    pub fn finish(self) {
+        if self.ran == 0 {
+            println!(
+                "no benches matched filter {:?}",
+                self.filter.as_deref().unwrap_or("")
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let mut r = Runner {
+            filter: Some("match".into()),
+            ran: 0,
+        };
+        r.bench("matching_name", || 1 + 1);
+        r.bench("other", || 2 + 2);
+        assert_eq!(r.ran, 1);
+    }
+}

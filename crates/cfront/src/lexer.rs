@@ -205,10 +205,7 @@ impl<'a> Lexer<'a> {
                     self.push(k, start);
                 }
                 other => {
-                    return Err(self.err(
-                        start,
-                        format!("unexpected character `{}`", other as char),
-                    ))
+                    return Err(self.err(start, format!("unexpected character `{}`", other as char)))
                 }
             }
         }
@@ -287,7 +284,13 @@ impl<'a> Lexer<'a> {
             self.pos += 1;
         }
         // Floating-point literal: digits '.' digits (decimal only).
-        if radix == 10 && self.peek() == b'.' && self.src.get(self.pos + 1).is_some_and(|b| b.is_ascii_digit()) {
+        if radix == 10
+            && self.peek() == b'.'
+            && self
+                .src
+                .get(self.pos + 1)
+                .is_some_and(|b| b.is_ascii_digit())
+        {
             self.pos += 1;
             while self.peek().is_ascii_digit() {
                 self.pos += 1;
@@ -396,9 +399,7 @@ impl<'a> Lexer<'a> {
             b'\\' => b'\\',
             b'\'' => b'\'',
             b'"' => b'"',
-            other => {
-                return Err(self.err(start, format!("unknown escape `\\{}`", other as char)))
-            }
+            other => return Err(self.err(start, format!("unknown escape `\\{}`", other as char))),
         })
     }
 
@@ -496,12 +497,7 @@ mod tests {
     fn lexes_char_and_string_escapes() {
         assert_eq!(
             kinds(r#"'a' '\n' "hi\tthere""#),
-            vec![
-                IntLit(97),
-                IntLit(10),
-                StrLit("hi\tthere".into()),
-                Eof
-            ]
+            vec![IntLit(97), IntLit(10), StrLit("hi\tthere".into()), Eof]
         );
     }
 

@@ -185,16 +185,18 @@ impl Parser {
                         loop {
                             let d = self.declarator()?;
                             let (fname, fty) = self.apply_declarator(d, base)?;
-                            let (fname, fspan) = fname.ok_or_else(|| {
-                                self.err("struct field requires a name")
-                            })?;
+                            let (fname, fspan) =
+                                fname.ok_or_else(|| self.err("struct field requires a name"))?;
                             if self.types.is_func(fty) {
                                 return Err(Diagnostic::new(
                                     fspan,
                                     "struct field cannot have function type",
                                 ));
                             }
-                            fields.push(Field { name: fname, ty: fty });
+                            fields.push(Field {
+                                name: fname,
+                                ty: fty,
+                            });
                             if !self.eat(&Comma) {
                                 break;
                             }
@@ -226,10 +228,7 @@ impl Parser {
             KwInt | KwChar | KwUnsigned | KwLong | KwShort => {
                 let mut has_char = false;
                 let mut any = false;
-                while matches!(
-                    self.peek(),
-                    KwInt | KwChar | KwUnsigned | KwLong | KwShort
-                ) {
+                while matches!(self.peek(), KwInt | KwChar | KwUnsigned | KwLong | KwShort) {
                     has_char |= matches!(self.peek(), KwChar);
                     any = true;
                     self.bump();
@@ -384,8 +383,7 @@ impl Parser {
             let base = self.declspec()?;
             let d = self.declarator()?;
             let (name, ty) = self.apply_declarator(d, base)?;
-            let (name, _) =
-                name.ok_or_else(|| self.err("typedef requires a name"))?;
+            let (name, _) = name.ok_or_else(|| self.err("typedef requires a name"))?;
             self.typedefs.insert(name, ty);
             self.expect(TokenKind::Semi)?;
             return Ok(());
@@ -445,7 +443,12 @@ impl Parser {
             } else {
                 None
             };
-            self.globals.push(GlobalDecl { name, ty, init, span });
+            self.globals.push(GlobalDecl {
+                name,
+                ty,
+                init,
+                span,
+            });
             if self.eat(&TokenKind::Comma) {
                 // Re-parse: same base type, new declarator. The base type of
                 // the previous declarator is not directly recoverable from
@@ -545,8 +548,8 @@ impl Parser {
                 let span = self.span();
                 let d = self.declarator()?;
                 let (name, ty) = self.apply_declarator(d, base)?;
-                let (name, span) = name
-                    .ok_or_else(|| Diagnostic::new(span, "declaration requires a name"))?;
+                let (name, span) =
+                    name.ok_or_else(|| Diagnostic::new(span, "declaration requires a name"))?;
                 let init = if self.eat(&TokenKind::Eq) {
                     Some(self.initializer()?)
                 } else {
@@ -750,10 +753,7 @@ impl Parser {
                     break;
                 }
             }
-            if !terminated
-                && !stmts.is_empty()
-                && !matches!(self.peek(), RBrace)
-            {
+            if !terminated && !stmts.is_empty() && !matches!(self.peek(), RBrace) {
                 return Err(self.err(
                     "switch fallthrough between non-empty cases is not supported; \
                      end the case with `break` or `return`",
@@ -922,11 +922,7 @@ impl Parser {
         let then_e = self.expr()?;
         self.expect(TokenKind::Colon)?;
         let else_e = self.cond_expr()?;
-        let span = self
-            .exprs
-            .get(cond)
-            .span
-            .to(self.exprs.get(else_e).span);
+        let span = self.exprs.get(cond).span.to(self.exprs.get(else_e).span);
         Ok(self.alloc(
             ExprKind::Cond {
                 cond,
@@ -1039,7 +1035,13 @@ impl Parser {
                 self.bump();
                 let arg = self.unary_expr()?;
                 let span = span.to(self.exprs.get(arg).span);
-                Ok(self.alloc(ExprKind::Unary { op: UnOp::Addr, arg }, span))
+                Ok(self.alloc(
+                    ExprKind::Unary {
+                        op: UnOp::Addr,
+                        arg,
+                    },
+                    span,
+                ))
             }
             KwSizeof => {
                 self.bump();
@@ -1317,7 +1319,8 @@ mod tests {
 
     #[test]
     fn rejects_switch_fallthrough() {
-        let d = parse_err("int f(int c) { switch (c) { case 1: c = 2; case 2: break; } return c; }");
+        let d =
+            parse_err("int f(int c) { switch (c) { case 1: c = 2; case 2: break; } return c; }");
         assert!(d.message.contains("fallthrough"), "{}", d.message);
     }
 

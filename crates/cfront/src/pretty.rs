@@ -52,10 +52,8 @@ pub fn declare(types: &TypeTable, ty: TypeId, name: &str) -> String {
             join_base(&format!("{kw} {}", rec.name), name)
         }
         TypeKind::Ptr(inner) => {
-            let needs_parens = matches!(
-                types.kind(*inner),
-                TypeKind::Array(..) | TypeKind::Func(_)
-            );
+            let needs_parens =
+                matches!(types.kind(*inner), TypeKind::Array(..) | TypeKind::Func(_));
             let new_name = if needs_parens {
                 format!("(*{name})")
             } else {

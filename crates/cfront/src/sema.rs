@@ -270,9 +270,10 @@ impl<'a> Checker<'a> {
                 match (*value, self.types.kind(ret).clone()) {
                     (None, TypeKind::Void) => {}
                     (None, _) => self.error(*span, "non-void function must return a value"),
-                    (Some(v), TypeKind::Void) => {
-                        self.error(self.exprs.get(v).span, "void function cannot return a value")
-                    }
+                    (Some(v), TypeKind::Void) => self.error(
+                        self.exprs.get(v).span,
+                        "void function cannot return a value",
+                    ),
                     (Some(v), _) => {
                         if let Some(vt) = self.check_expr(v) {
                             self.require_assignable(ret, vt, v);
@@ -310,13 +311,8 @@ impl<'a> Checker<'a> {
                     }
                 }
                 TypeKind::Record(r) => {
-                    let fields: Vec<TypeId> = self
-                        .types
-                        .record(r)
-                        .fields
-                        .iter()
-                        .map(|f| f.ty)
-                        .collect();
+                    let fields: Vec<TypeId> =
+                        self.types.record(r).fields.iter().map(|f| f.ty).collect();
                     if items.len() > fields.len() {
                         self.error(span, "too many struct initializer elements");
                     }
@@ -330,10 +326,9 @@ impl<'a> Checker<'a> {
             return;
         }
         // `char buf[] = "text"` and `char buf[N] = "text"`.
-        if let (ExprKind::StrLit(_), TypeKind::Array(elem, _)) = (
-            &self.exprs.get(init).kind,
-            self.types.kind(target).clone(),
-        ) {
+        if let (ExprKind::StrLit(_), TypeKind::Array(elem, _)) =
+            (&self.exprs.get(init).kind, self.types.kind(target).clone())
+        {
             if matches!(self.types.kind(elem), TypeKind::Char) {
                 self.exprs.get_mut(init).ty = Some(target);
                 return;
@@ -378,7 +373,9 @@ impl<'a> Checker<'a> {
                 target,
                 Some(IdentTarget::Func(_)) | Some(IdentTarget::Builtin(_))
             ),
-            ExprKind::Unary { op: UnOp::Deref, .. } => true,
+            ExprKind::Unary {
+                op: UnOp::Deref, ..
+            } => true,
             ExprKind::Member { base, arrow, .. } => *arrow || self.is_lvalue(*base),
             ExprKind::Index { .. } => true,
             ExprKind::StrLit(_) => true,
@@ -397,11 +394,10 @@ impl<'a> Checker<'a> {
                 self.vars[slot.0 as usize].addr_taken = true;
             }
             ExprKind::Ident { .. } => {}
-            ExprKind::Member { base, arrow, .. }
-                if !arrow => {
-                    self.mark_addr_taken(base);
-                }
-                // `p->f` addresses the pointee, not a named variable.
+            ExprKind::Member { base, arrow, .. } if !arrow => {
+                self.mark_addr_taken(base);
+            }
+            // `p->f` addresses the pointee, not a named variable.
             ExprKind::Index { base, .. } => {
                 // Only array lvalues root into a variable; pointer indexing
                 // addresses the pointee.
@@ -601,10 +597,7 @@ impl<'a> Checker<'a> {
             }
             ExprKind::Call { callee, args } => self.check_call(e, callee, args, span),
             ExprKind::Member {
-                base,
-                field,
-                arrow,
-                ..
+                base, field, arrow, ..
             } => {
                 let bt = self.check_expr(base)?;
                 let rec_ty = if arrow {
@@ -877,9 +870,7 @@ mod tests {
 
     #[test]
     fn shadowing_resolves_innermost() {
-        let p = check_ok(
-            "int f(int x) { { int x; x = 1; } return x; }",
-        );
+        let p = check_ok("int f(int x) { { int x; x = 1; } return x; }");
         assert_eq!(p.funcs[0].vars.len(), 2);
     }
 
@@ -926,14 +917,14 @@ mod tests {
 
     #[test]
     fn void_star_interconverts() {
-        check_ok(
-            "void f(void) { int *p; void *v; p = malloc(4); v = p; p = v; free(v); }",
-        );
+        check_ok("void f(void) { int *p; void *v; p = malloc(4); v = p; p = v; free(v); }");
     }
 
     #[test]
     fn null_assigns_to_pointers() {
-        check_ok("void f(void) { char *c; int *i; c = NULL; i = (int*)0; if (c == NULL) i = NULL; }");
+        check_ok(
+            "void f(void) { char *c; int *i; c = NULL; i = (int*)0; if (c == NULL) i = NULL; }",
+        );
     }
 
     #[test]

@@ -140,7 +140,13 @@ impl Diagnostic {
     /// Renders the diagnostic with line/column info against `file`.
     pub fn render(&self, file: &SourceFile) -> String {
         let lc = file.line_col(self.span.start);
-        format!("{}:{}:{}: error: {}", file.name(), lc.line, lc.col, self.message)
+        format!(
+            "{}:{}:{}: error: {}",
+            file.name(),
+            lc.line,
+            lc.col,
+            self.message
+        )
     }
 }
 

@@ -291,9 +291,17 @@ impl TypeTable {
             TypeKind::Record(r) => {
                 let r = self.record(*r);
                 if r.is_union {
-                    r.fields.iter().map(|f| self.size_of(f.ty)).max().unwrap_or(1)
+                    r.fields
+                        .iter()
+                        .map(|f| self.size_of(f.ty))
+                        .max()
+                        .unwrap_or(1)
                 } else {
-                    r.fields.iter().map(|f| self.size_of(f.ty)).sum::<u64>().max(1)
+                    r.fields
+                        .iter()
+                        .map(|f| self.size_of(f.ty))
+                        .sum::<u64>()
+                        .max(1)
                 }
             }
         }
@@ -309,11 +317,7 @@ impl TypeTable {
             return true;
         }
         match (self.kind(dst), self.kind(src)) {
-            (TypeKind::Int | TypeKind::Char | TypeKind::Float, _)
-                if self.is_arith(src) =>
-            {
-                true
-            }
+            (TypeKind::Int | TypeKind::Char | TypeKind::Float, _) if self.is_arith(src) => true,
             (TypeKind::Ptr(a), TypeKind::Ptr(b)) => {
                 matches!(self.kind(*a), TypeKind::Void)
                     || matches!(self.kind(*b), TypeKind::Void)
@@ -394,8 +398,14 @@ mod tests {
         t.define_record(
             r,
             vec![
-                Field { name: "v".into(), ty: int },
-                Field { name: "next".into(), ty: self_ptr },
+                Field {
+                    name: "v".into(),
+                    ty: int,
+                },
+                Field {
+                    name: "next".into(),
+                    ty: self_ptr,
+                },
             ],
         );
         assert!(t.contains_pointer(rec_ty));
@@ -449,8 +459,14 @@ mod tests {
         t.define_record(
             r,
             vec![
-                Field { name: "a".into(), ty: int },
-                Field { name: "b".into(), ty: int },
+                Field {
+                    name: "a".into(),
+                    ty: int,
+                },
+                Field {
+                    name: "b".into(),
+                    ty: int,
+                },
             ],
         );
         let rt = t.intern(TypeKind::Record(r));

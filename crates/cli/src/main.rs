@@ -7,23 +7,28 @@
 //! ruf95 dot <file.c | bench:NAME>       VDG in Graphviz DOT on stdout
 //! ruf95 ir <file.c | bench:NAME>        VDG as a per-function listing
 //! ruf95 run <file.c | bench:NAME>       interpret and check soundness
-//! ruf95 spectrum <file.c | bench:NAME>  Weihl/Steensgaard/CI/k=1/CS table
+//! ruf95 spectrum <file.c | bench:NAME> [--json]
+//!                                       Weihl/Steensgaard/CI/k=1/CS table
+//!                                       (engine-driven; --json dumps the
+//!                                       metrics report and referent sets)
 //! ruf95 list                            list bundled benchmarks
 //! ```
 //!
 //! `bench:NAME` loads a program from the bundled suite instead of disk.
+//!
+//! Every pipeline failure — frontend, lowering, or a solver's step
+//! budget — funnels through [`alias::AnalysisError`] and is rendered
+//! uniformly here at the boundary.
 
-use alias::callstring::{analyze_callstring_from, CallStringConfig};
 use alias::modref::mod_ref;
-use alias::steensgaard::analyze_steensgaard;
 use alias::stats::compare_at_indirect_refs;
-use alias::weihl::analyze_weihl_from;
-use alias::{analyze_cs, Analysis, CsConfig};
+use alias::{Analysis, AnalysisError, CsConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ruf95 <refs|compare|modref|dot|ir|run|spectrum> <file.c | bench:NAME>\n\
+        "usage: ruf95 <refs|compare|modref|dot|ir|run> <file.c | bench:NAME>\n\
+         \u{20}      ruf95 spectrum <file.c | bench:NAME> [--json]\n\
          \u{20}      ruf95 list"
     );
     ExitCode::from(2)
@@ -65,7 +70,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run_command(cmd, &name, &source) {
+    match run_command(cmd, &name, &source, &args[2..]) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -74,20 +79,24 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_command(cmd: &str, name: &str, source: &str) -> Result<(), String> {
-    let render_err = |e: alias::AnalysisError| -> String {
+fn run_command(cmd: &str, name: &str, source: &str, opts: &[String]) -> Result<(), String> {
+    // The single error boundary: every pipeline failure, including a CS
+    // or k=1 step-budget overflow, arrives here as an `AnalysisError`.
+    let render_err = |e: AnalysisError| -> String {
         match &e {
-            alias::AnalysisError::Frontend(f) => {
-                f.render(&cfront::SourceFile::new(name, source))
-            }
+            AnalysisError::Frontend(f) => f.render(&cfront::SourceFile::new(name, source)),
             other => other.to_string(),
         }
     };
-    let a = Analysis::of_source(source).map_err(render_err)?;
+    if cmd == "spectrum" {
+        let json = opts.iter().any(|o| o == "--json");
+        return cmd_spectrum(name, source, json).map_err(render_err);
+    }
+    let a = Analysis::builder(source).run().map_err(render_err)?;
     let file = cfront::SourceFile::new(name, source);
     match cmd {
         "refs" => cmd_refs(&a, &file),
-        "compare" => cmd_compare(&a, &file),
+        "compare" => cmd_compare(&a, &file).map_err(render_err),
         "modref" => cmd_modref(&a),
         "dot" => {
             print!("{}", vdg::dot::to_dot(&a.graph));
@@ -98,14 +107,13 @@ fn run_command(cmd: &str, name: &str, source: &str) -> Result<(), String> {
             Ok(())
         }
         "run" => cmd_run(&a, name),
-        "spectrum" => cmd_spectrum(&a, &file),
         _ => Err(format!("unknown command `{cmd}`")),
     }
 }
 
 /// Renders a node's source position as `line:col`.
-fn site_line(a: &Analysis, file: &cfront::SourceFile, node: vdg::NodeId) -> String {
-    let span = a.graph.node(node).span;
+fn site_line(graph: &vdg::Graph, file: &cfront::SourceFile, node: vdg::NodeId) -> String {
+    let span = graph.node(node).span;
     let lc = file.line_col(span.start);
     format!("{}:{}", lc.line, lc.col)
 }
@@ -118,26 +126,25 @@ fn cmd_refs(a: &Analysis, file: &cfront::SourceFile) -> Result<(), String> {
         a.ci.total_pairs()
     );
     for (node, is_write) in a.graph.indirect_mem_ops() {
-        let names: Vec<String> = a
-            .ci
-            .loc_referents(&a.graph, node)
-            .iter()
-            .map(|&p| a.ci.paths.display(p, &a.graph))
-            .collect();
+        let names: Vec<String> =
+            a.ci.loc_referents(&a.graph, node)
+                .iter()
+                .map(|&p| a.ci.paths.display(p, &a.graph))
+                .collect();
         println!(
             "{} at {}: {{{}}}",
             if is_write { "write" } else { "read " },
-            site_line(a, file, node),
+            site_line(&a.graph, file, node),
             names.join(", ")
         );
     }
     Ok(())
 }
 
-fn cmd_compare(a: &Analysis, file: &cfront::SourceFile) -> Result<(), String> {
+fn cmd_compare(a: &Analysis, file: &cfront::SourceFile) -> Result<(), AnalysisError> {
     let cs = a
         .run_cs(&CsConfig::default())
-        .map_err(|e| e.to_string())?;
+        .map_err(AnalysisError::from)?;
     let mismatches = compare_at_indirect_refs(&a.graph, &a.ci, &cs);
     println!(
         "CI pairs: {}   CS pairs: {}   indirect refs: {}   mismatches: {}",
@@ -150,7 +157,7 @@ fn cmd_compare(a: &Analysis, file: &cfront::SourceFile) -> Result<(), String> {
         println!(
             "  {} at {}: CI {{{}}} vs CS {{{}}}",
             if m.is_write { "write" } else { "read" },
-            site_line(a, file, m.node),
+            site_line(&a.graph, file, m.node),
             m.ci_referents.join(", "),
             m.cs_referents.join(", ")
         );
@@ -207,35 +214,75 @@ fn cmd_run(a: &Analysis, name: &str) -> Result<(), String> {
     }
 }
 
-fn cmd_spectrum(a: &Analysis, file: &cfront::SourceFile) -> Result<(), String> {
-    let w = analyze_weihl_from(&a.graph, a.ci.paths.clone());
-    let mut st = analyze_steensgaard(&a.graph);
-    let k1 = analyze_callstring_from(&a.graph, a.ci.paths.clone(), &CallStringConfig::default())
-        .map_err(|e| e.to_string())?;
-    let cs = analyze_cs(&a.graph, &a.ci, &CsConfig::default()).map_err(|e| e.to_string())?;
+/// The five-analysis spectrum, driven by one engine invocation over the
+/// program: every solver runs through the uniform `alias::Solver` trait
+/// and the table reads back through the `Solution` view.
+fn cmd_spectrum(name: &str, source: &str, json: bool) -> Result<(), AnalysisError> {
+    const ORDER: [&str; 5] = ["weihl", "steensgaard", "ci", "k1", "cs"];
+    let jobs = vec![engine::Job {
+        name: name.to_string(),
+        source: source.to_string(),
+    }];
+    let run = engine::Engine::new().run(&jobs)?;
+    let b = &run.benches[0];
+    let file = cfront::SourceFile::new(name, source);
+    let base_count = |analysis: &str, node: vdg::NodeId| -> Option<usize> {
+        b.solution(analysis)
+            .map(|s| s.loc_referent_bases(&b.graph, node).len())
+    };
+
+    if json {
+        // {"report": <EngineReport>, "refs": [{site, kind, bases:{...}}]}
+        let mut refs = Vec::new();
+        for (node, is_write) in b.graph.indirect_mem_ops() {
+            let bases: Vec<String> = ORDER
+                .iter()
+                .map(|a| {
+                    format!(
+                        "\"{a}\": {}",
+                        base_count(a, node)
+                            .map(|n| n.to_string())
+                            .unwrap_or_else(|| "null".into())
+                    )
+                })
+                .collect();
+            refs.push(format!(
+                "    {{\"site\": \"{}\", \"kind\": \"{}\", \"bases\": {{{}}}}}",
+                site_line(&b.graph, &file, node),
+                if is_write { "write" } else { "read" },
+                bases.join(", ")
+            ));
+        }
+        println!(
+            "{{\n  \"report\": {},\n  \"refs\": [\n{}\n  ]\n}}",
+            run.report.to_json().trim_end(),
+            refs.join(",\n")
+        );
+        return Ok(());
+    }
+
     println!(
         "{:<32} {:>6} {:>7} {:>5} {:>5} {:>5}",
         "indirect ref", "Weihl", "Steens", "CI", "k=1", "CS"
     );
-    for (node, is_write) in a.graph.indirect_mem_ops() {
-        let bases = |refs: Vec<alias::PathId>, paths: &alias::PathTable| -> usize {
-            let mut b: Vec<_> = refs.iter().filter_map(|&p| paths.base_of(p)).collect();
-            b.sort_unstable();
-            b.dedup();
-            b.len()
+    for (node, is_write) in b.graph.indirect_mem_ops() {
+        let cell = |analysis: &str| -> String {
+            base_count(analysis, node)
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into())
         };
         println!(
             "{:<32} {:>6} {:>7} {:>5} {:>5} {:>5}",
             format!(
                 "{} {}",
                 if is_write { "write" } else { "read" },
-                site_line(a, file, node)
+                site_line(&b.graph, &file, node)
             ),
-            bases(w.loc_referents(&a.graph, node), &w.paths),
-            st.loc_bases(&a.graph, node).len(),
-            bases(a.ci.loc_referents(&a.graph, node), &a.ci.paths),
-            bases(k1.loc_referents(&a.graph, node), &k1.paths),
-            bases(cs.loc_referents(&a.graph, node), &cs.paths),
+            cell("weihl"),
+            cell("steensgaard"),
+            cell("ci"),
+            cell("k1"),
+            cell("cs"),
         );
     }
     Ok(())

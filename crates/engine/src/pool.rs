@@ -1,0 +1,105 @@
+//! A dependency-free work-stealing job pool.
+//!
+//! The engine's unit of work is one (benchmark × analysis) job; jobs are
+//! independent and wildly uneven (a CS run can cost 1000× a Steensgaard
+//! run on the same program), so static partitioning would leave cores
+//! idle. Workers instead *claim* the next unstarted index from a shared
+//! atomic counter — the indexed-job equivalent of work stealing: a
+//! worker that finishes early immediately takes work that would
+//! otherwise have queued behind a slow job on another thread.
+//!
+//! Results are returned in job order regardless of completion order or
+//! thread count, which is what makes the engine's output deterministic
+//! (timings aside) and lets the determinism test diff a parallel run
+//! against a single-threaded one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(0..n)` across `threads` workers and returns the results in
+/// index order.
+///
+/// `threads == 1` (or `n <= 1`) degrades to a plain sequential loop on
+/// the calling thread — no pool, no locks — so a single-threaded run is
+/// a faithful serial baseline.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after all workers stop claiming jobs.
+pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    done.lock().unwrap().extend(local);
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+    let mut v = done.into_inner().unwrap();
+    v.sort_by_key(|&(i, _)| i);
+    v.into_iter().map(|(_, t)| t).collect()
+}
+
+/// The number of worker threads a `threads = 0` ("auto") engine uses.
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order_at_any_width() {
+        let expect: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let got = run_indexed(97, threads, |i| {
+                // Uneven job costs exercise the dynamic scheduling.
+                if i % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                i * i
+            });
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_and_oversubscription_are_fine() {
+        let got: Vec<usize> = run_indexed(0, 8, |i| i);
+        assert!(got.is_empty());
+        let got = run_indexed(1, 64, |i| i + 1);
+        assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    fn auto_threads_is_positive() {
+        assert!(auto_threads() >= 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Structured per-stage metrics for an engine run, serializable to JSON.
+//!
+//! The JSON schema (documented in `DESIGN.md` §"The engine") is stable
+//! and hand-rolled — the workspace is dependency-free by design, and the
+//! report is flat enough that a serializer library would be the only
+//! reason to stop being so. All durations are reported twice: as
+//! `*_ns` integer nanoseconds (exact) and implicitly via the
+//! benchmark's stage order. A *fingerprint* is the same document with
+//! every timing and the thread count zeroed, so two runs can be compared
+//! for semantic equality regardless of scheduling.
+
+use std::time::Duration;
+
+/// Metrics for one solver on one benchmark.
+#[derive(Debug, Clone)]
+pub struct SolverMetrics {
+    /// [`alias::Solver::name`] of the producing solver.
+    pub analysis: String,
+    /// Wall-clock time of the solve call.
+    pub wall: Duration,
+    /// Total points-to pairs (`None` for the unification solver) — the
+    /// solution-size / peak-pair metric.
+    pub pairs: Option<usize>,
+    /// Transfer-function applications (worklist iterations).
+    pub flow_ins: Option<u64>,
+    /// Meet operations.
+    pub flow_outs: Option<u64>,
+    /// Failure (e.g. a step-budget overflow), if the solve failed.
+    pub error: Option<String>,
+}
+
+/// Per-benchmark stage timings, sizes, and solver metrics.
+#[derive(Debug, Clone)]
+pub struct BenchmarkReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Non-blank source lines.
+    pub lines: usize,
+    /// VDG nodes after lowering.
+    pub nodes: usize,
+    /// VDG outputs.
+    pub outputs: usize,
+    /// Indirect memory operations (the §4.3 comparison sites).
+    pub indirect_refs: usize,
+    /// Lex + parse + sema wall time.
+    pub frontend: Duration,
+    /// VDG lowering wall time.
+    pub lowering: Duration,
+    /// One entry per solver, in the engine's solver order.
+    pub solvers: Vec<SolverMetrics>,
+}
+
+/// The full result of an engine run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Worker threads the run actually used.
+    pub threads: usize,
+    /// End-to-end wall time of the run, all stages included.
+    pub total_wall: Duration,
+    /// One entry per benchmark, in job order.
+    pub benchmarks: Vec<BenchmarkReport>,
+}
+
+impl EngineReport {
+    /// Serializes the report to a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        self.render(true)
+    }
+
+    /// The timing-free canonical form: identical across runs whenever
+    /// the analysis *results* are identical, whatever the parallelism.
+    pub fn fingerprint(&self) -> String {
+        self.render(false)
+    }
+
+    /// Sum of one solver's wall time across all benchmarks.
+    pub fn solver_wall(&self, analysis: &str) -> Duration {
+        self.benchmarks
+            .iter()
+            .flat_map(|b| &b.solvers)
+            .filter(|s| s.analysis == analysis)
+            .map(|s| s.wall)
+            .sum()
+    }
+
+    fn render(&self, timings: bool) -> String {
+        let ns = |d: Duration| if timings { d.as_nanos() } else { 0 };
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"threads\": {},\n  \"total_wall_ns\": {},\n  \"benchmarks\": [\n",
+            if timings { self.threads } else { 0 },
+            ns(self.total_wall)
+        ));
+        for (i, b) in self.benchmarks.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"lines\": {}, \"nodes\": {}, \"outputs\": {}, \
+                 \"indirect_refs\": {}, \"frontend_ns\": {}, \"lowering_ns\": {}, \
+                 \"solvers\": [\n",
+                json_str(&b.name),
+                b.lines,
+                b.nodes,
+                b.outputs,
+                b.indirect_refs,
+                ns(b.frontend),
+                ns(b.lowering)
+            ));
+            for (j, s) in b.solvers.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"analysis\": {}, \"wall_ns\": {}, \"pairs\": {}, \
+                     \"flow_ins\": {}, \"flow_outs\": {}, \"error\": {}}}{}\n",
+                    json_str(&s.analysis),
+                    ns(s.wall),
+                    json_opt(s.pairs.map(|v| v.to_string())),
+                    json_opt(s.flow_ins.map(|v| v.to_string())),
+                    json_opt(s.flow_outs.map(|v| v.to_string())),
+                    json_opt_str(s.error.as_deref()),
+                    if j + 1 < b.solvers.len() { "," } else { "" }
+                ));
+            }
+            out.push_str(&format!(
+                "    ]}}{}\n",
+                if i + 1 < self.benchmarks.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with the escapes the report can actually contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt(v: Option<String>) -> String {
+    v.unwrap_or_else(|| "null".into())
+}
+
+fn json_opt_str(v: Option<&str>) -> String {
+    v.map(json_str).unwrap_or_else(|| "null".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EngineReport {
+        EngineReport {
+            threads: 4,
+            total_wall: Duration::from_millis(12),
+            benchmarks: vec![BenchmarkReport {
+                name: "span".into(),
+                lines: 100,
+                nodes: 500,
+                outputs: 700,
+                indirect_refs: 9,
+                frontend: Duration::from_micros(80),
+                lowering: Duration::from_micros(200),
+                solvers: vec![
+                    SolverMetrics {
+                        analysis: "ci".into(),
+                        wall: Duration::from_micros(300),
+                        pairs: Some(1234),
+                        flow_ins: Some(5000),
+                        flow_outs: Some(800),
+                        error: None,
+                    },
+                    SolverMetrics {
+                        analysis: "steensgaard".into(),
+                        wall: Duration::from_micros(40),
+                        pairs: None,
+                        flow_ins: None,
+                        flow_outs: None,
+                        error: None,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_has_all_fields_and_nulls() {
+        let j = sample().to_json();
+        for needle in [
+            "\"threads\": 4",
+            "\"name\": \"span\"",
+            "\"pairs\": 1234",
+            "\"flow_ins\": null",
+            "\"error\": null",
+            "\"indirect_refs\": 9",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in\n{j}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_zeroes_every_timing() {
+        let mut a = sample();
+        let mut b = sample();
+        a.threads = 1;
+        a.total_wall = Duration::from_secs(9);
+        a.benchmarks[0].frontend = Duration::from_secs(1);
+        a.benchmarks[0].solvers[0].wall = Duration::from_secs(2);
+        b.threads = 16;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -1,0 +1,27 @@
+//! A parallel engine run must produce the same report as a forced
+//! single-threaded run — byte-identical modulo wall-clock timings and
+//! the recorded thread count, which `EngineReport::fingerprint()`
+//! zeroes out.
+
+use engine::{Engine, Job};
+
+#[test]
+fn parallel_suite_report_matches_single_threaded() {
+    let serial = Engine::new().threads(1).run_suite().expect("serial run");
+    let parallel = Engine::new().threads(4).run_suite().expect("parallel run");
+    assert_eq!(serial.report.threads, 1);
+    assert_eq!(parallel.report.threads, 4);
+    assert_eq!(
+        serial.report.fingerprint(),
+        parallel.report.fingerprint(),
+        "parallel schedule changed the analysis products"
+    );
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    let jobs = Job::named(&["span", "part"]);
+    let a = Engine::new().threads(3).run(&jobs).expect("first run");
+    let b = Engine::new().threads(2).run(&jobs).expect("second run");
+    assert_eq!(a.report.fingerprint(), b.report.fingerprint());
+}

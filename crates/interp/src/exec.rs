@@ -247,7 +247,9 @@ impl<'p> Exec<'p> {
 
     fn write_at(&mut self, e: ExprId, loc: &Loc, v: Value) -> R<()> {
         self.record_write(e, loc);
-        self.mem.write(loc, v, &self.prog.types).map_err(Stop::Error)
+        self.mem
+            .write(loc, v, &self.prog.types)
+            .map_err(Stop::Error)
     }
 
     // ----- statements ---------------------------------------------------------
@@ -399,13 +401,8 @@ impl<'p> Exec<'p> {
                     Ok(())
                 }
                 TypeKind::Record(r) => {
-                    let fields: Vec<_> = self
-                        .types()
-                        .record(r)
-                        .fields
-                        .iter()
-                        .map(|f| f.ty)
-                        .collect();
+                    let fields: Vec<_> =
+                        self.types().record(r).fields.iter().map(|f| f.ty).collect();
                     for (i, (item, fty)) in items.into_iter().zip(fields).enumerate() {
                         let fl = loc.push(CStep::Field {
                             rec: r,
@@ -507,7 +504,9 @@ impl<'p> Exec<'p> {
                 target,
                 Some(IdentTarget::Func(_)) | Some(IdentTarget::Builtin(_))
             ),
-            ExprKind::Unary { op: UnOp::Deref, .. } => true,
+            ExprKind::Unary {
+                op: UnOp::Deref, ..
+            } => true,
             ExprKind::Member { base, arrow, .. } => *arrow || self.is_lvalue(*base),
             ExprKind::Index { .. } => true,
             ExprKind::StrLit(_) => true,
@@ -535,9 +534,7 @@ impl<'p> Exec<'p> {
             }
             ExprKind::Ident { target, .. } => match target.expect("resolved") {
                 IdentTarget::Func(f) => Ok(Value::Func(f.0)),
-                IdentTarget::Builtin(_) => {
-                    Err(Stop::Error("builtin used as a value".into()))
-                }
+                IdentTarget::Builtin(_) => Err(Stop::Error("builtin used as a value".into())),
                 _ => self.read_lvalue_rvalue(e),
             },
             ExprKind::Unary { op, arg } => match op {
@@ -614,10 +611,9 @@ impl<'p> Exec<'p> {
                     let rec = record.expect("resolved");
                     let idx = field_index.expect("resolved");
                     match v {
-                        Value::Record(r, fields) if r == rec => Ok(fields
-                            .get(idx)
-                            .cloned()
-                            .unwrap_or(Value::Uninit)),
+                        Value::Record(r, fields) if r == rec => {
+                            Ok(fields.get(idx).cloned().unwrap_or(Value::Uninit))
+                        }
                         Value::Union(_, inner) => Ok(*inner),
                         other => Err(Stop::Error(format!(
                             "member access on non-struct value {other:?}"
@@ -919,9 +915,7 @@ impl<'p> Exec<'p> {
                 's' => match arg {
                     Value::Ptr(l) => out.push_str(&self.c_string(l)?),
                     Value::Null => out.push_str("(null)"),
-                    other => {
-                        return Err(Stop::Error(format!("%s with non-pointer {other:?}")))
-                    }
+                    other => return Err(Stop::Error(format!("%s with non-pointer {other:?}"))),
                 },
                 'p' => out.push_str("0xptr"),
                 other => return Err(Stop::Error(format!("unsupported format %{other}"))),
@@ -945,7 +939,10 @@ impl<'p> Exec<'p> {
                 let o = self.mem.alloc(Value::Uninit, Origin::Heap(e));
                 if let Value::Ptr(src) = &argv[0] {
                     let root = Loc::of(src.obj);
-                    let v = self.mem.read(&root, &self.prog.types).map_err(Stop::Error)?;
+                    let v = self
+                        .mem
+                        .read(&root, &self.prog.types)
+                        .map_err(Stop::Error)?;
                     self.mem
                         .write(&Loc::of(o), v, &self.prog.types)
                         .map_err(Stop::Error)?;
@@ -1087,7 +1084,9 @@ impl<'p> Exec<'p> {
                 let t = s.trim();
                 let end = t
                     .char_indices()
-                    .take_while(|(i, c)| c.is_ascii_digit() || (*i == 0 && (*c == '-' || *c == '+')))
+                    .take_while(|(i, c)| {
+                        c.is_ascii_digit() || (*i == 0 && (*c == '-' || *c == '+'))
+                    })
                     .map(|(i, c)| i + c.len_utf8())
                     .last()
                     .unwrap_or(0);

@@ -228,15 +228,14 @@ mod tests {
 
     #[test]
     fn trace_records_abstract_locations() {
-        let p = cfront::compile(
-            "int g; int main(void) { int *p; p = &g; *p = 5; return g; }",
-        )
-        .unwrap();
+        let p =
+            cfront::compile("int g; int main(void) { int *p; p = &g; *p = 5; return g; }").unwrap();
         let out = run(&p, &Config::default()).unwrap();
         // Some write must target the abstraction of g.
-        let hit = out.trace.writes.values().flatten().any(|a| {
-            matches!(a.origin, crate::memory::Origin::Global(0)) && a.steps.is_empty()
-        });
+        let hit =
+            out.trace.writes.values().flatten().any(|a| {
+                matches!(a.origin, crate::memory::Origin::Global(0)) && a.steps.is_empty()
+            });
         assert!(hit);
     }
 
@@ -254,10 +253,8 @@ mod tests {
                 &self.0
             }
         }
-        let p = cfront::compile(
-            "int g; int main(void) { int *p; p = &g; *p = 5; return g; }",
-        )
-        .unwrap();
+        let p =
+            cfront::compile("int g; int main(void) { int *p; p = &g; *p = 5; return g; }").unwrap();
         let g = lower(&p, &BuildOptions::default()).unwrap();
         let out = run(&p, &Config::default()).unwrap();
         let sol = EmptySol(alias::PathTable::for_graph(&g));
@@ -389,10 +386,8 @@ mod tests {
 
     #[test]
     fn negative_index_is_error() {
-        let p = cfront::compile(
-            "int a[4]; int main(void) { int i; i = -1; return a[i]; }",
-        )
-        .unwrap();
+        let p =
+            cfront::compile("int a[4]; int main(void) { int i; i = -1; return a[i]; }").unwrap();
         assert!(matches!(
             run(&p, &Config::default()),
             Err(RunError::Dynamic(_))

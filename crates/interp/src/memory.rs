@@ -204,8 +204,7 @@ impl Memory {
         if let Some(&o) = self.str_objs.get(&e) {
             return o;
         }
-        let mut elems: Vec<Value> =
-            text.bytes().map(|b| Value::Int(b as i64)).collect();
+        let mut elems: Vec<Value> = text.bytes().map(|b| Value::Int(b as i64)).collect();
         elems.push(Value::Int(0));
         let o = self.alloc(Value::Array(elems), Origin::Str(e));
         self.str_objs.insert(e, o);
@@ -253,7 +252,11 @@ impl Memory {
         }
     }
 
-    fn navigate<'v>(slot: &'v mut Value, step: CStep, types: &TypeTable) -> Result<&'v mut Value, String> {
+    fn navigate<'v>(
+        slot: &'v mut Value,
+        step: CStep,
+        types: &TypeTable,
+    ) -> Result<&'v mut Value, String> {
         // Materialize lazily allocated (heap) storage on first touch.
         // A scalar in the slot means a union member (or untyped heap
         // cell) is being re-shaped by access through another member:
@@ -272,10 +275,8 @@ impl Memory {
                     if r.is_union {
                         *slot = Value::Union(rec, Box::new(Value::Uninit));
                     } else {
-                        *slot = Value::Record(
-                            rec,
-                            r.fields.iter().map(|_| Value::Uninit).collect(),
-                        );
+                        *slot =
+                            Value::Record(rec, r.fields.iter().map(|_| Value::Uninit).collect());
                     }
                 }
                 match slot {
@@ -365,8 +366,14 @@ mod tests {
         t.define_record(
             r,
             vec![
-                cfront::types::Field { name: "a".into(), ty: int },
-                cfront::types::Field { name: "b".into(), ty: int },
+                cfront::types::Field {
+                    name: "a".into(),
+                    ty: int,
+                },
+                cfront::types::Field {
+                    name: "b".into(),
+                    ty: int,
+                },
             ],
         );
         (t, r)
@@ -425,7 +432,10 @@ mod tests {
             .push(CStep::Field { rec: r, idx: 0 });
         let a = m.abstract_loc(&loc, &t);
         assert_eq!(a.origin, Origin::Local { func: 1, slot: 2 });
-        assert_eq!(a.steps, vec![AbsStep::Elem, AbsStep::Field { rec: r, idx: 0 }]);
+        assert_eq!(
+            a.steps,
+            vec![AbsStep::Elem, AbsStep::Field { rec: r, idx: 0 }]
+        );
     }
 
     #[test]
@@ -435,7 +445,10 @@ mod tests {
         let u = t.declare_record("u", true);
         t.define_record(
             u,
-            vec![cfront::types::Field { name: "v".into(), ty: int }],
+            vec![cfront::types::Field {
+                name: "v".into(),
+                ty: int,
+            }],
         );
         let mut m = Memory::new();
         let g = m.alloc(Value::Union(u, Box::new(Value::Uninit)), Origin::Global(3));
@@ -452,8 +465,14 @@ mod tests {
         t.define_record(
             u,
             vec![
-                cfront::types::Field { name: "p".into(), ty: ip },
-                cfront::types::Field { name: "v".into(), ty: int },
+                cfront::types::Field {
+                    name: "p".into(),
+                    ty: ip,
+                },
+                cfront::types::Field {
+                    name: "v".into(),
+                    ty: int,
+                },
             ],
         );
         let mut m = Memory::new();

@@ -84,10 +84,8 @@ pub fn check_solution(
                 None => false,
             };
             if !covered {
-                let mut predicted: Vec<String> = referents
-                    .iter()
-                    .map(|&p| paths.display(p, graph))
-                    .collect();
+                let mut predicted: Vec<String> =
+                    referents.iter().map(|&p| paths.display(p, graph)).collect();
                 predicted.sort();
                 violations.push(Violation {
                     node,
@@ -145,8 +143,7 @@ fn render_abs(prog: &Program, abs: &AbsLoc) -> String {
         Origin::Global(g) => prog.globals[g as usize].name.clone(),
         Origin::Local { func, slot } => format!(
             "{}::{}",
-            prog.funcs[func as usize].name,
-            prog.funcs[func as usize].vars[slot as usize].name
+            prog.funcs[func as usize].name, prog.funcs[func as usize].vars[slot as usize].name
         ),
         Origin::Heap(e) => format!("heap@expr{}", e.0),
         Origin::Str(e) => format!("str@expr{}", e.0),

@@ -5,8 +5,7 @@
 //! soundness oracle can run them. Used by the property tests: CS ⊆ CI,
 //! scheduling independence, printer fixpoint, and runtime soundness.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use std::fmt::Write as _;
 
 /// Size knobs for generated programs.
@@ -33,7 +32,7 @@ impl Default for GenConfig {
 /// Generates a self-contained mini-C program from a seed.
 pub fn generate(seed: u64, cfg: &GenConfig) -> String {
     let mut g = Gen {
-        rng: StdRng::seed_from_u64(seed),
+        rng: Rng::seed_from_u64(seed),
         cfg: cfg.clone(),
         out: String::new(),
     };
@@ -42,7 +41,7 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> String {
 }
 
 struct Gen {
-    rng: StdRng,
+    rng: Rng,
     cfg: GenConfig,
     out: String,
 }
@@ -86,10 +85,7 @@ impl Gen {
     }
 
     fn function(&mut self, idx: usize) {
-        let _ = writeln!(
-            self.out,
-            "int *fn{idx}(int *a, int **b, struct node *s) {{"
-        );
+        let _ = writeln!(self.out, "int *fn{idx}(int *a, int **b, struct node *s) {{");
         self.out.push_str(
             "    int l0; int l1;\n\
              \u{20}   int t0; int t1; int t2; int t3;\n\
@@ -101,7 +97,13 @@ impl Gen {
         );
         let scope = Scope {
             calls_left: std::cell::Cell::new(2),
-            ints: vec!["l0".into(), "l1".into(), "g0".into(), "g1".into(), "g2".into()],
+            ints: vec![
+                "l0".into(),
+                "l1".into(),
+                "g0".into(),
+                "g1".into(),
+                "g2".into(),
+            ],
             ptrs: vec!["q0".into(), "q1".into(), "gp".into()],
             pptrs: vec!["qq".into(), "b".into()],
             nodes: vec!["s".into()],
@@ -285,9 +287,8 @@ mod tests {
     fn generated_programs_compile() {
         for seed in 0..20 {
             let src = generate(seed, &GenConfig::default());
-            cfront::compile(&src).unwrap_or_else(|e| {
-                panic!("seed {seed} failed to compile:\n{src}\n{e}")
-            });
+            cfront::compile(&src)
+                .unwrap_or_else(|e| panic!("seed {seed} failed to compile:\n{src}\n{e}"));
         }
     }
 }

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod rng;
 
 /// One benchmark program.
 #[derive(Debug, Clone, Copy)]

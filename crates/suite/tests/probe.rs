@@ -32,7 +32,10 @@ fn probe_all() {
                     by_kind.pointer, by_kind.function, by_kind.aggregate, by_kind.store,
                 );
                 for m in mismatches.iter().take(3) {
-                    println!("   MISMATCH {:?} ci={:?} cs={:?}", m.node, m.ci_referents, m.cs_referents);
+                    println!(
+                        "   MISMATCH {:?} ci={:?} cs={:?}",
+                        m.node, m.ci_referents, m.cs_referents
+                    );
                 }
             }
             Err(e) => println!("{:<10} CS OVERFLOW: {e}", b.name),

@@ -9,8 +9,8 @@
 
 use crate::graph::*;
 use cfront::ast::{
-    BinOp, Block, Builtin, Expr, ExprId, ExprKind, FuncDecl, IdentTarget, LocalId,
-    Program, Stmt, UnOp,
+    BinOp, Block, Builtin, Expr, ExprId, ExprKind, FuncDecl, IdentTarget, LocalId, Program, Stmt,
+    UnOp,
 };
 use cfront::source::{Diagnostic, Span};
 use cfront::types::{TypeId, TypeKind, TypeTable};
@@ -338,7 +338,13 @@ impl<'p> Builder<'p> {
         if let Some(s) = self.null_const {
             return s;
         }
-        let s = self.node1(NodeKind::NullConst, ValueKind::Ptr, Span::dummy(), None, &[]);
+        let s = self.node1(
+            NodeKind::NullConst,
+            ValueKind::Ptr,
+            Span::dummy(),
+            None,
+            &[],
+        );
         self.null_const = Some(s);
         s
     }
@@ -388,10 +394,7 @@ impl<'p> Builder<'p> {
         };
         // Env merge over the union of keys; a slot missing from some state
         // is an uninitialized path and contributes an undef (empty) value.
-        let mut keys: Vec<LocalId> = states
-            .iter()
-            .flat_map(|s| s.env.keys().copied())
-            .collect();
+        let mut keys: Vec<LocalId> = states.iter().flat_map(|s| s.env.keys().copied()).collect();
         keys.sort_unstable();
         keys.dedup();
         let mut env = HashMap::new();
@@ -426,11 +429,7 @@ impl<'p> Builder<'p> {
         self.loops.clear();
 
         let out_kinds: Vec<ValueKind> = std::iter::once(ValueKind::Store)
-            .chain(
-                f.params()
-                    .iter()
-                    .map(|p| value_kind(self.types(), p.ty)),
-            )
+            .chain(f.params().iter().map(|p| value_kind(self.types(), p.ty)))
             .collect();
         let entry = self
             .g
@@ -466,12 +465,9 @@ impl<'p> Builder<'p> {
         // Implicit return on fall-through.
         if self.state.is_some() {
             let store = self.store();
-            let ret = self.g.add_node(
-                NodeKind::Return { func: fid },
-                &[],
-                f.span,
-                None,
-            );
+            let ret = self
+                .g
+                .add_node(NodeKind::Return { func: fid }, &[], f.span, None);
             self.g.add_input(ret, store);
             if !matches!(self.types().kind(f.ret), TypeKind::Void) {
                 let undef = self.scalar();
@@ -488,11 +484,20 @@ impl<'p> Builder<'p> {
         self.cur_func = root;
         self.scalar_const = None;
         self.null_const = None;
-        let entry = self
-            .g
-            .add_node(NodeKind::Entry { func: root }, &[ValueKind::Store], Span::dummy(), None);
+        let entry = self.g.add_node(
+            NodeKind::Entry { func: root },
+            &[ValueKind::Store],
+            Span::dummy(),
+            None,
+        );
         self.g.func_mut(root).entry = entry;
-        let init = self.node1(NodeKind::InitStore, ValueKind::Store, Span::dummy(), None, &[]);
+        let init = self.node1(
+            NodeKind::InitStore,
+            ValueKind::Store,
+            Span::dummy(),
+            None,
+            &[],
+        );
         self.state = Some(State {
             env: HashMap::new(),
             store: init,
@@ -563,7 +568,11 @@ impl<'p> Builder<'p> {
                 self.eval(*e)?;
             }
             Stmt::Local {
-                ty, init, slot, span, ..
+                ty,
+                init,
+                slot,
+                span,
+                ..
             } => {
                 let slot = slot.expect("sema assigns slots");
                 let f = &self.prog.funcs[self.cur_func.0 as usize];
@@ -597,8 +606,7 @@ impl<'p> Builder<'p> {
                     self.lower_block(eb)?;
                 }
                 let else_state = self.state.take();
-                let states: Vec<State> =
-                    [then_state, else_state].into_iter().flatten().collect();
+                let states: Vec<State> = [then_state, else_state].into_iter().flatten().collect();
                 self.state = self.merge_states(states, span_of_stmt(s));
             }
             Stmt::While { cond, body } => {
@@ -660,7 +668,9 @@ impl<'p> Builder<'p> {
                 };
                 let store = self.store();
                 let fid = self.cur_func;
-                let ret = self.g.add_node(NodeKind::Return { func: fid }, &[], *span, None);
+                let ret = self
+                    .g
+                    .add_node(NodeKind::Return { func: fid }, &[], *span, None);
                 self.g.add_input(ret, store);
                 if let Some(v) = v {
                     self.g.add_input(ret, v);
@@ -719,7 +729,9 @@ impl<'p> Builder<'p> {
         collect_assigned_block(self.prog, body, &mut assigned);
 
         // Header gammas: input 0 = entry value, input 1 patched later.
-        let store_gamma = self.g.add_node(NodeKind::Gamma, &[ValueKind::Store], span, None);
+        let store_gamma = self
+            .g
+            .add_node(NodeKind::Gamma, &[ValueKind::Store], span, None);
         self.g.add_input(store_gamma, entry.store);
         let store_h = self.g.node(store_gamma).outputs[0];
         let mut env_h = entry.env.clone();
@@ -787,11 +799,7 @@ impl<'p> Builder<'p> {
         let back = body_end.unwrap_or_else(|| header.clone());
         self.g.add_input(store_gamma, back.store);
         for (slot, gm) in &var_gammas {
-            let v = back
-                .env
-                .get(slot)
-                .copied()
-                .unwrap_or(header.env[slot]);
+            let v = back.env.get(slot).copied().unwrap_or(header.env[slot]);
             self.g.add_input(*gm, v);
         }
 
@@ -832,11 +840,8 @@ impl<'p> Builder<'p> {
                 TypeKind::Record(r) => {
                     let rec = self.types().record(r);
                     let is_union = rec.is_union;
-                    let fields: Vec<(String, TypeId)> = rec
-                        .fields
-                        .iter()
-                        .map(|f| (f.name.clone(), f.ty))
-                        .collect();
+                    let fields: Vec<(String, TypeId)> =
+                        rec.fields.iter().map(|f| (f.name.clone(), f.ty)).collect();
                     for (item, (fname, fty)) in items.into_iter().zip(fields) {
                         let fa = if is_union {
                             addr
@@ -852,9 +857,7 @@ impl<'p> Builder<'p> {
             return Ok(());
         }
         // `char buf[...] = "text"`: character contents carry no pointers.
-        if matches!(self.expr(init).kind, ExprKind::StrLit(_))
-            && self.types().is_array(ty)
-        {
+        if matches!(self.expr(init).kind, ExprKind::StrLit(_)) && self.types().is_array(ty) {
             return Ok(());
         }
         let v = self.eval(init)?;
@@ -1053,7 +1056,9 @@ impl<'p> Builder<'p> {
             ExprKind::Null => Ok(self.null()),
             ExprKind::StrLit(_) => {
                 let lv = self.eval_lvalue(e)?;
-                let LV::Mem { addr, .. } = lv else { unreachable!() };
+                let LV::Mem { addr, .. } = lv else {
+                    unreachable!()
+                };
                 Ok(self.node1(NodeKind::IndexElem, ValueKind::Ptr, span, None, &[addr]))
             }
             ExprKind::Ident { target, .. } => match target.expect("sema resolved") {
@@ -1126,30 +1131,16 @@ impl<'p> Builder<'p> {
                 let lhs_ptrish = matches!(lk, ValueKind::Ptr | ValueKind::Agg { .. });
                 let rhs_ptrish = matches!(rk, ValueKind::Ptr | ValueKind::Agg { .. });
                 match op {
-                    BinOp::Add | BinOp::Sub
-                        if matches!(result_kind, ValueKind::Ptr) =>
-                    {
+                    BinOp::Add | BinOp::Sub if matches!(result_kind, ValueKind::Ptr) => {
                         // Pointer arithmetic: pairs of the pointer side pass.
                         let (p, i) = if lhs_ptrish && !rhs_ptrish {
                             (lv, rv)
                         } else {
                             (rv, lv)
                         };
-                        Ok(self.node1(
-                            NodeKind::PassThrough,
-                            ValueKind::Ptr,
-                            span,
-                            None,
-                            &[p, i],
-                        ))
+                        Ok(self.node1(NodeKind::PassThrough, ValueKind::Ptr, span, None, &[p, i]))
                     }
-                    _ => Ok(self.node1(
-                        NodeKind::Primop,
-                        ValueKind::Scalar,
-                        span,
-                        None,
-                        &[lv, rv],
-                    )),
+                    _ => Ok(self.node1(NodeKind::Primop, ValueKind::Scalar, span, None, &[lv, rv])),
                 }
             }
             ExprKind::Assign { op, lhs, rhs } => {
@@ -1168,7 +1159,13 @@ impl<'p> Builder<'p> {
                         let newv = if matches!(lhs_kind, ValueKind::Ptr)
                             && matches!(op, BinOp::Add | BinOp::Sub)
                         {
-                            self.node1(NodeKind::PassThrough, ValueKind::Ptr, span, None, &[old, rv])
+                            self.node1(
+                                NodeKind::PassThrough,
+                                ValueKind::Ptr,
+                                span,
+                                None,
+                                &[old, rv],
+                            )
                         } else {
                             self.node1(NodeKind::Primop, ValueKind::Scalar, span, None, &[old, rv])
                         };
@@ -1183,7 +1180,13 @@ impl<'p> Builder<'p> {
                 let old = self.read_lv(lv, kind, span, arg);
                 let one = self.scalar();
                 let newv = if matches!(kind, ValueKind::Ptr) {
-                    self.node1(NodeKind::PassThrough, ValueKind::Ptr, span, None, &[old, one])
+                    self.node1(
+                        NodeKind::PassThrough,
+                        ValueKind::Ptr,
+                        span,
+                        None,
+                        &[old, one],
+                    )
                 } else {
                     self.node1(NodeKind::Primop, ValueKind::Scalar, span, None, &[old, one])
                 };
@@ -1205,7 +1208,9 @@ impl<'p> Builder<'p> {
                     let kind = self.kind_of(e);
                     if self.types().is_array(self.ty_of(e)) {
                         let lv = self.eval_lvalue(e)?;
-                        let LV::Mem { addr, .. } = lv else { unreachable!() };
+                        let LV::Mem { addr, .. } = lv else {
+                            unreachable!()
+                        };
                         return Ok(self.node1(
                             NodeKind::IndexElem,
                             ValueKind::Ptr,
@@ -1231,8 +1236,16 @@ impl<'p> Builder<'p> {
                 let kind = self.kind_of(e);
                 if self.types().is_array(self.ty_of(e)) {
                     let lv = self.eval_lvalue(e)?;
-                    let LV::Mem { addr, .. } = lv else { unreachable!() };
-                    return Ok(self.node1(NodeKind::IndexElem, ValueKind::Ptr, span, None, &[addr]));
+                    let LV::Mem { addr, .. } = lv else {
+                        unreachable!()
+                    };
+                    return Ok(self.node1(
+                        NodeKind::IndexElem,
+                        ValueKind::Ptr,
+                        span,
+                        None,
+                        &[addr],
+                    ));
                 }
                 let lv = self.eval_lvalue(e)?;
                 Ok(self.read_lv(lv, kind, span, e))
@@ -1240,7 +1253,13 @@ impl<'p> Builder<'p> {
             ExprKind::Cast { ty, arg } => {
                 let v = self.eval(arg)?;
                 if self.types().is_ptr(ty) {
-                    Ok(self.node1(NodeKind::PassThrough, value_kind(self.types(), ty), span, None, &[v]))
+                    Ok(self.node1(
+                        NodeKind::PassThrough,
+                        value_kind(self.types(), ty),
+                        span,
+                        None,
+                        &[v],
+                    ))
                 } else {
                     Ok(self.scalar())
                 }
@@ -1450,7 +1469,9 @@ fn is_lvalue_expr(p: &Program, e: ExprId) -> bool {
             target,
             Some(IdentTarget::Func(_)) | Some(IdentTarget::Builtin(_))
         ),
-        ExprKind::Unary { op: UnOp::Deref, .. } => true,
+        ExprKind::Unary {
+            op: UnOp::Deref, ..
+        } => true,
         ExprKind::Member { base, arrow, .. } => *arrow || is_lvalue_expr(p, *base),
         ExprKind::Index { .. } => true,
         ExprKind::StrLit(_) => true,

@@ -7,7 +7,7 @@
 //!   n14: o18:value = lookup* (o17, o15)
 //! ```
 
-use crate::graph::{Graph, NodeId, NodeKind, ValueKind, VFuncId};
+use crate::graph::{Graph, NodeId, NodeKind, VFuncId, ValueKind};
 use std::fmt::Write as _;
 
 /// Renders the whole graph grouped by function.
@@ -100,10 +100,7 @@ fn op_str(g: &Graph, kind: &NodeKind) -> String {
 /// Node ownership by function, derived from the builder's contiguous
 /// per-function layout (entry node first).
 pub fn owner_map(g: &Graph) -> Vec<VFuncId> {
-    let mut entries: Vec<(u32, VFuncId)> = g
-        .func_ids()
-        .map(|f| (g.func(f).entry.0, f))
-        .collect();
+    let mut entries: Vec<(u32, VFuncId)> = g.func_ids().map(|f| (g.func(f).entry.0, f)).collect();
     entries.sort_unstable();
     let mut owner = vec![g.root(); g.node_count()];
     for (i, &(start, f)) in entries.iter().enumerate() {
@@ -145,8 +142,8 @@ mod tests {
 
     #[test]
     fn node_line_shapes() {
-        let p = cfront::compile("int main(void) { int a; int *p; p = &a; *p = 1; return a; }")
-            .unwrap();
+        let p =
+            cfront::compile("int main(void) { int a; int *p; p = &a; *p = 1; return a; }").unwrap();
         let graph = lower(&p, &BuildOptions::default()).unwrap();
         let update = graph
             .nodes()

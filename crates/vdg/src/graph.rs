@@ -317,11 +317,7 @@ impl Graph {
     pub fn add_input(&mut self, node: NodeId, src: OutputId) -> InputId {
         let iid = InputId(self.inputs.len() as u32);
         let port = self.nodes[node.0 as usize].inputs.len() as u32;
-        self.inputs.push(InputInfo {
-            node,
-            port,
-            src,
-        });
+        self.inputs.push(InputInfo { node, port, src });
         self.nodes[node.0 as usize].inputs.push(iid);
         self.consumers[src.0 as usize].push(iid);
         iid
@@ -603,7 +599,12 @@ mod tests {
     #[test]
     fn wiring_updates_consumers() {
         let mut g = Graph::new();
-        let a = g.add_node(NodeKind::ScalarConst, &[ValueKind::Scalar], Span::dummy(), None);
+        let a = g.add_node(
+            NodeKind::ScalarConst,
+            &[ValueKind::Scalar],
+            Span::dummy(),
+            None,
+        );
         let b = g.add_node(NodeKind::Primop, &[ValueKind::Scalar], Span::dummy(), None);
         let out = g.node(a).outputs[0];
         let iid = g.add_input(b, out);

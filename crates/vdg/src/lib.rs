@@ -28,8 +28,8 @@ pub mod stats;
 
 pub use build::{lower, BuildOptions, RecLocalScheme};
 pub use graph::{
-    BaseId, BaseInfo, BaseKind, FieldId, Graph, InputId, Node, NodeId, NodeKind, OutputId,
-    ValueKind, VFuncId,
+    BaseId, BaseInfo, BaseKind, FieldId, Graph, InputId, Node, NodeId, NodeKind, OutputId, VFuncId,
+    ValueKind,
 };
 
 #[cfg(test)]
@@ -222,9 +222,7 @@ mod tests {
 
     #[test]
     fn rejects_builtin_as_value() {
-        let p = cfront::compile(
-            "int main(void) { void *(*fp)(int); fp = malloc; return 0; }",
-        );
+        let p = cfront::compile("int main(void) { void *(*fp)(int); fp = malloc; return 0; }");
         // Sema types `malloc` loosely; lowering rejects the value use.
         if let Ok(p) = p {
             assert!(lower(&p, &BuildOptions::default()).is_err());

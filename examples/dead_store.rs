@@ -51,12 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let span = a.graph.node(node).span;
         let lc = file.line_col(span.start);
-        let targets: Vec<String> = a
-            .ci
-            .loc_referents(&a.graph, node)
-            .iter()
-            .map(|&p| a.ci.paths.display(p, &a.graph))
-            .collect();
+        let targets: Vec<String> =
+            a.ci.loc_referents(&a.graph, node)
+                .iter()
+                .map(|&p| a.ci.paths.display(p, &a.graph))
+                .collect();
         let status = if live.contains(&node) {
             "live"
         } else {

@@ -9,7 +9,9 @@ use alias::modref::mod_ref;
 use alias::Analysis;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "part".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "part".to_string());
     let bench = suite::by_name(&name)
         .ok_or_else(|| format!("unknown benchmark `{name}`; try `part` or `loader`"))?;
 
@@ -36,7 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{{{}}}", v.join(", "))
             }
         };
-        println!("  {:<16} ref {:<40} mod {}", info.name, fmt(&mr.refs), fmt(&mr.mods));
+        println!(
+            "  {:<16} ref {:<40} mod {}",
+            info.name,
+            fmt(&mr.refs),
+            fmt(&mr.mods)
+        );
     }
     Ok(())
 }

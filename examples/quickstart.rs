@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = &analysis.graph;
     let ci = &analysis.ci;
 
-    println!("VDG: {} nodes, {} outputs", graph.node_count(), graph.output_count());
+    println!(
+        "VDG: {} nodes, {} outputs",
+        graph.node_count(),
+        graph.output_count()
+    );
     println!(
         "analysis: {} flow-ins, {} flow-outs, {} total points-to pairs",
         ci.flow_ins,

@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .iter()
                 .map(|&p| ci.paths.display(p, graph))
                 .collect();
-            println!("  read at {:?} may reference {{{}}}", graph.node(node).span, names.join(", "));
+            println!(
+                "  read at {:?} may reference {{{}}}",
+                graph.node(node).span,
+                names.join(", ")
+            );
         }
         println!();
     };

@@ -1,32 +1,36 @@
 //! One-screen report over the whole benchmark suite: sizes, analysis
 //! results, and the headline verdict — a compact version of what the
-//! `bench-harness` figure binaries print individually.
+//! `bench-harness` figure binaries print individually, produced by a
+//! single parallel engine invocation instead of a serial loop.
 //!
 //! ```sh
-//! cargo run --release --example suite_report
+//! cargo run --release -p engine --example suite_report
 //! ```
 
-use alias::stats::{compare_at_indirect_refs, indirect_ref_rows, spurious_row};
-use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
-use vdg::build::{lower, BuildOptions};
+use alias::solver::{CiSolver, CsSolver};
+use alias::stats::{compare_at_indirect_refs, spurious_row};
+use engine::Engine;
 use vdg::stats::size_stats;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = Engine::new()
+        .solvers(vec![
+            Box::new(CiSolver::default()),
+            Box::new(CsSolver::default()),
+        ])
+        .run_suite()?;
     println!(
         "{:<10} {:>6} {:>6} {:>9} {:>9} {:>7} {:>6} {:>9}",
         "name", "lines", "nodes", "CI pairs", "CS pairs", "spur%", "refs", "verdict"
     );
     let mut total_refs = 0usize;
     let mut total_mismatches = 0usize;
-    for b in suite::benchmarks() {
-        let prog = cfront::compile(b.source)?;
-        let graph = lower(&prog, &BuildOptions::default())?;
-        let sizes = size_stats(&graph, b.source);
-        let ci = analyze_ci(&graph, &CiConfig::default());
-        let cs = analyze_cs(&graph, &ci, &CsConfig::default())?;
-        let row = spurious_row(&graph, &ci, &cs);
-        let mismatches = compare_at_indirect_refs(&graph, &ci, &cs);
-        let refs = graph.indirect_mem_ops().len();
+    for b in &run.benches {
+        let cs = b.cs().expect("CS within budget");
+        let sizes = size_stats(&b.graph, &b.source);
+        let row = spurious_row(&b.graph, &b.ci, cs);
+        let mismatches = compare_at_indirect_refs(&b.graph, &b.ci, cs);
+        let refs = b.graph.indirect_mem_ops().len();
         total_refs += refs;
         total_mismatches += mismatches.len();
         println!(
@@ -38,10 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             row.cs.total(),
             row.percent_spurious,
             refs,
-            if mismatches.is_empty() { "tie" } else { "DIFFERS" },
+            if mismatches.is_empty() {
+                "tie"
+            } else {
+                "DIFFERS"
+            },
         );
-        let (r, w) = indirect_ref_rows(&graph, &ci);
-        let _ = (r, w);
     }
     println!(
         "\n{total_refs} indirect memory references across the suite, \
@@ -50,5 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if total_mismatches == 0 {
         println!("The paper's §4.3 headline reproduces.");
     }
+    println!(
+        "(analyzed on {} thread(s) in {:.2?})",
+        run.report.threads, run.report.total_wall
+    );
     Ok(())
 }

@@ -56,12 +56,8 @@ fn k1_within_ci_and_headline_holds_for_k1_too() {
     // k1-at-derefs ⊆ CI-at-derefs, k=1 must also equal CI there.
     for b in suite::benchmarks() {
         let (_, graph, ci) = build(b.source);
-        let k1 = analyze_callstring_from(
-            &graph,
-            ci.paths.clone(),
-            &CallStringConfig::default(),
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let k1 = analyze_callstring_from(&graph, ci.paths.clone(), &CallStringConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         for o in graph.output_ids() {
             let ci_set: HashSet<Pair> = ci.pairs(o).iter().copied().collect();
             for p in k1.pairs(o) {

@@ -4,15 +4,11 @@
 //! memory references, even though it strips a few percent of the total
 //! points-to pairs — all of them on store-valued outputs.
 
-use alias::stats::{
-    compare_at_indirect_refs, indirect_ref_rows, spurious_by_kind, spurious_row,
-};
+use alias::stats::{compare_at_indirect_refs, indirect_ref_rows, spurious_by_kind, spurious_row};
 use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
 use vdg::build::{lower, BuildOptions};
 
-fn pipeline(
-    src: &str,
-) -> (vdg::Graph, alias::CiResult, alias::CsResult) {
+fn pipeline(src: &str) -> (vdg::Graph, alias::CiResult, alias::CsResult) {
     let prog = cfront::compile(src).expect("compiles");
     let graph = lower(&prog, &BuildOptions::default()).expect("lowers");
     let ci = analyze_ci(&graph, &CiConfig::default());
@@ -102,7 +98,11 @@ fn most_indirect_references_touch_one_location() {
         singles += r.n1 + w.n1;
         // The paper's per-program maxima run up to 60 (assembler reads
         // through string-table cursors); keep a generous sanity bound.
-        assert!(r.max <= 64 && w.max <= 64, "{}: runaway location count", b.name);
+        assert!(
+            r.max <= 64 && w.max <= 64,
+            "{}: runaway location count",
+            b.name
+        );
         // Our assembler reconstruction's read average runs a little above
         // the paper's 2.34 because its smaller op population gives the
         // string-cursor tail more weight.

@@ -8,8 +8,8 @@ use vdg::stats::size_stats;
 #[test]
 fn all_benchmarks_flow_through_the_pipeline() {
     for b in suite::benchmarks() {
-        let prog = cfront::compile(b.source)
-            .unwrap_or_else(|e| panic!("{}: frontend: {e}", b.name));
+        let prog =
+            cfront::compile(b.source).unwrap_or_else(|e| panic!("{}: frontend: {e}", b.name));
         let graph = lower(&prog, &BuildOptions::default())
             .unwrap_or_else(|e| panic!("{}: lowering: {e}", b.name));
         graph

@@ -1,0 +1,100 @@
+//! The `Solver` trait objects must agree with the free-function entry
+//! points they wrap: same referent bases at every indirect memory
+//! reference, same pair counts where the notion exists.
+
+use alias::solver::{solver_by_name, Solution};
+use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
+use vdg::build::{lower, BuildOptions};
+use vdg::NodeId;
+
+const PROGRAMS: [&str; 2] = ["span", "part"];
+
+fn graph_of(name: &str) -> vdg::Graph {
+    let b = suite::by_name(name).expect("suite program");
+    let prog = cfront::compile(b.source).unwrap();
+    lower(&prog, &BuildOptions::default()).unwrap()
+}
+
+fn sorted_bases(s: &dyn Solution, graph: &vdg::Graph, node: NodeId) -> Vec<vdg::BaseId> {
+    let mut v = s.loc_referent_bases(graph, node);
+    v.sort();
+    v
+}
+
+/// Runs `name` through the trait and checks it against `free` at every
+/// indirect memory reference of both programs.
+fn check_against(name: &str, free: impl Fn(&vdg::Graph, &alias::CiResult) -> Box<dyn Solution>) {
+    let solver = solver_by_name(name).unwrap_or_else(|| panic!("no solver `{name}`"));
+    for prog in PROGRAMS {
+        let graph = graph_of(prog);
+        let ci = analyze_ci(&graph, &CiConfig::default());
+        let via_trait = solver.solve(&graph, Some(&ci)).unwrap();
+        let via_free = free(&graph, &ci);
+        assert_eq!(via_trait.analysis(), name);
+        assert_eq!(
+            via_trait.pairs(),
+            via_free.pairs(),
+            "{prog}/{name}: pair counts disagree"
+        );
+        for (node, _) in graph.indirect_mem_ops() {
+            assert_eq!(
+                sorted_bases(via_trait.as_ref(), &graph, node),
+                sorted_bases(via_free.as_ref(), &graph, node),
+                "{prog}/{name}: referent bases disagree at {node:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ci_solver_matches_analyze_ci() {
+    check_against("ci", |g, _| Box::new(analyze_ci(g, &CiConfig::default())));
+}
+
+#[test]
+fn cs_solver_matches_analyze_cs() {
+    check_against("cs", |g, ci| {
+        Box::new(analyze_cs(g, ci, &CsConfig::default()).expect("budget"))
+    });
+}
+
+#[test]
+fn weihl_solver_matches_analyze_weihl() {
+    check_against("weihl", |g, ci| {
+        Box::new(alias::weihl::analyze_weihl_from(g, ci.paths.clone()))
+    });
+}
+
+#[test]
+fn callstring_solver_matches_analyze_callstring() {
+    check_against("k1", |g, ci| {
+        Box::new(
+            alias::callstring::analyze_callstring_from(
+                g,
+                ci.paths.clone(),
+                &alias::callstring::CallStringConfig::default(),
+            )
+            .expect("budget"),
+        )
+    });
+}
+
+/// Steensgaard's free entry point answers queries through `&mut self`
+/// (union-find path compression), so it is compared directly rather
+/// than through the `Solution` view.
+#[test]
+fn steensgaard_solver_matches_analyze_steensgaard() {
+    let solver = solver_by_name("steensgaard").unwrap();
+    for prog in PROGRAMS {
+        let graph = graph_of(prog);
+        let via_trait = solver.solve(&graph, None).unwrap();
+        let mut via_free = alias::steensgaard::analyze_steensgaard(&graph);
+        for (node, _) in graph.indirect_mem_ops() {
+            let mut t = via_trait.loc_referent_bases(&graph, node);
+            t.sort();
+            let mut f = via_free.loc_bases(&graph, node);
+            f.sort();
+            assert_eq!(t, f, "{prog}/steensgaard: bases disagree at {node:?}");
+        }
+    }
+}

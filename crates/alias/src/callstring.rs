@@ -28,6 +28,7 @@
 //! procedure even though they are filtered at every return.
 
 use crate::fxhash::{HashMap, HashSet};
+use crate::pairset::{PairId, PairInterner, PairSet, Propagation};
 use crate::path::{AccessOp, Pair, PathId, PathTable};
 use std::collections::VecDeque;
 use vdg::graph::{Graph, InputId, NodeId, NodeKind, OutputId, VFuncId};
@@ -44,6 +45,37 @@ impl Ctx {
     }
 }
 
+/// Per-output `context -> pairs` map. An output sees only the k=1
+/// contexts of its owner's call sites — a handful — so a linear-scan
+/// vector beats a hash map on the `flow_out` fast path.
+#[derive(Debug, Clone, Default)]
+struct CtxSlots(Vec<(Ctx, PairSet)>);
+
+impl CtxSlots {
+    fn get(&self, ctx: Ctx) -> Option<&PairSet> {
+        self.0.iter().find(|(c, _)| *c == ctx).map(|(_, s)| s)
+    }
+
+    fn get_mut(&mut self, ctx: Ctx) -> Option<&mut PairSet> {
+        self.0.iter_mut().find(|(c, _)| *c == ctx).map(|(_, s)| s)
+    }
+
+    /// Find-or-insert the set for `ctx`.
+    fn slot(&mut self, ctx: Ctx) -> &mut PairSet {
+        match self.0.iter().position(|(c, _)| *c == ctx) {
+            Some(i) => &mut self.0[i].1,
+            None => {
+                self.0.push((ctx, PairSet::default()));
+                &mut self.0.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    fn iter(&self) -> std::slice::Iter<'_, (Ctx, PairSet)> {
+        self.0.iter()
+    }
+}
+
 /// Configuration (the step budget mirrors the CS solver's).
 #[derive(Debug, Clone)]
 pub struct CallStringConfig {
@@ -51,6 +83,8 @@ pub struct CallStringConfig {
     pub strong_updates: bool,
     /// Abort after this many transfer applications.
     pub max_steps: u64,
+    /// Propagation discipline (results are discipline-independent).
+    pub propagation: Propagation,
 }
 
 impl Default for CallStringConfig {
@@ -58,6 +92,7 @@ impl Default for CallStringConfig {
         CallStringConfig {
             strong_updates: true,
             max_steps: 200_000_000,
+            propagation: Propagation::Delta,
         }
     }
 }
@@ -70,8 +105,13 @@ pub struct CallStringResult {
     stripped: Vec<Vec<Pair>>,
     /// Transfer-function applications.
     pub flow_ins: u64,
-    /// Meet operations.
+    /// Successful meets; redundant emission attempts are counted in
+    /// [`CallStringResult::dedup_hits`].
     pub flow_outs: u64,
+    /// Emission attempts deduplicated by the committed sets.
+    pub dedup_hits: u64,
+    /// Batched delta deliveries (`None` under [`Propagation::Naive`]).
+    pub delta_batches: Option<u64>,
     /// Number of (function, context) pairs analyzed.
     pub contexts: usize,
 }
@@ -130,8 +170,15 @@ pub fn analyze_callstring_from(
         g: graph,
         cfg: config.clone(),
         paths,
-        p: vec![HashMap::default(); graph.output_count()],
-        wl: VecDeque::new(),
+        interner: PairInterner::new(),
+        p: vec![CtxSlots::default(); graph.output_count()],
+        naive_wl: VecDeque::new(),
+        out_wl: VecDeque::new(),
+        queued: HashSet::default(),
+        em: Vec::new(),
+        scratch_a: Vec::new(),
+        scratch_b: Vec::new(),
+        scratch_c: Vec::new(),
         owner: crate::modref::node_owner_map(graph),
         active: HashMap::default(),
         call_ctxs: HashMap::default(),
@@ -139,6 +186,8 @@ pub fn analyze_callstring_from(
         callers: HashMap::default(),
         flow_ins: 0,
         flow_outs: 0,
+        dedup_hits: 0,
+        delta_batches: 0,
     };
     s.activate(graph.root(), Ctx::ROOT);
     s.run()?;
@@ -149,9 +198,20 @@ struct K1<'g> {
     g: &'g Graph,
     cfg: CallStringConfig,
     paths: PathTable,
+    interner: PairInterner,
     /// Per output: context -> pairs.
-    p: Vec<HashMap<Ctx, HashSet<Pair>>>,
-    wl: VecDeque<(InputId, Ctx, Pair)>,
+    p: Vec<CtxSlots>,
+    /// Naive-mode worklist: single-pair deliveries.
+    naive_wl: VecDeque<(InputId, Ctx, PairId)>,
+    /// Delta-mode worklist: (output, context) slots with a delta.
+    out_wl: VecDeque<(u32, Ctx)>,
+    queued: HashSet<(u32, Ctx)>,
+    /// Reusable emission buffer (one delivery at a time).
+    em: Vec<(OutputId, Ctx, Pair)>,
+    /// Reusable cross-product buffers for the memory-op transfers.
+    scratch_a: Vec<Pair>,
+    scratch_b: Vec<Pair>,
+    scratch_c: Vec<Pair>,
     owner: Vec<VFuncId>,
     /// Contexts under which each function has been activated.
     active: HashMap<VFuncId, HashSet<Ctx>>,
@@ -161,6 +221,8 @@ struct K1<'g> {
     callers: HashMap<VFuncId, Vec<NodeId>>,
     flow_ins: u64,
     flow_outs: u64,
+    dedup_hits: u64,
+    delta_batches: u64,
 }
 
 impl<'g> K1<'g> {
@@ -205,38 +267,104 @@ impl<'g> K1<'g> {
     }
 
     fn flow_out(&mut self, out: OutputId, ctx: Ctx, pair: Pair) {
-        self.flow_outs += 1;
-        if self.p[out.0 as usize].entry(ctx).or_default().insert(pair) {
-            for &input in self.g.consumers(out) {
-                self.wl.push_back((input, ctx, pair));
+        let g = self.g;
+        let id = self.interner.intern(pair);
+        let o = out.0 as usize;
+        let slot = self.p[o].slot(ctx);
+        if slot.insert(id) {
+            self.flow_outs += 1;
+            match self.cfg.propagation {
+                Propagation::Naive => {
+                    slot.take_delta();
+                    for &input in g.consumers(out) {
+                        self.naive_wl.push_back((input, ctx, id));
+                    }
+                }
+                Propagation::Delta => {
+                    if !g.consumers(out).is_empty() && self.queued.insert((out.0, ctx)) {
+                        self.out_wl.push_back((out.0, ctx));
+                    }
+                }
             }
+        } else {
+            self.dedup_hits += 1;
         }
     }
 
     fn run(&mut self) -> Result<(), crate::cs::StepLimitExceeded> {
-        while let Some((input, ctx, pair)) = self.wl.pop_front() {
+        match self.cfg.propagation {
+            Propagation::Naive => self.run_naive(),
+            Propagation::Delta => self.run_delta(),
+        }
+    }
+
+    fn run_naive(&mut self) -> Result<(), crate::cs::StepLimitExceeded> {
+        while let Some((input, ctx, id)) = self.naive_wl.pop_front() {
             self.flow_ins += 1;
             if self.flow_ins > self.cfg.max_steps {
                 return Err(crate::cs::StepLimitExceeded {
                     steps: self.cfg.max_steps,
                 });
             }
+            let pair = self.interner.resolve(id);
             let info = self.g.input(input);
-            let emits = self.transfer(info.node, info.port as usize, ctx, pair);
-            for (out, ctx, pair) in emits {
-                self.flow_out(out, ctx, pair);
+            self.deliver(info.node, info.port as usize, ctx, pair);
+        }
+        Ok(())
+    }
+
+    fn run_delta(&mut self) -> Result<(), crate::cs::StepLimitExceeded> {
+        while let Some((o, ctx)) = self.out_wl.pop_front() {
+            self.queued.remove(&(o, ctx));
+            let batch = self.p[o as usize]
+                .get_mut(ctx)
+                .expect("queued slot has a set")
+                .take_delta();
+            let g = self.g;
+            for &input in g.consumers(OutputId(o)) {
+                self.delta_batches += 1;
+                let info = g.input(input);
+                for &raw in &batch {
+                    self.flow_ins += 1;
+                    if self.flow_ins > self.cfg.max_steps {
+                        return Err(crate::cs::StepLimitExceeded {
+                            steps: self.cfg.max_steps,
+                        });
+                    }
+                    let pair = self.interner.resolve(PairId(raw));
+                    self.deliver(info.node, info.port as usize, ctx, pair);
+                }
+            }
+            if let Some(set) = self.p[o as usize].get_mut(ctx) {
+                set.recycle(batch);
             }
         }
         Ok(())
     }
 
+    /// Applies the transfer function for one delivered pair and flows
+    /// the emissions out, reusing the solver's emission buffer.
+    fn deliver(&mut self, node: NodeId, port: usize, ctx: Ctx, pair: Pair) {
+        let mut em = std::mem::take(&mut self.em);
+        self.transfer(node, port, ctx, pair, &mut em);
+        for &(out, c, p) in &em {
+            self.flow_out(out, c, p);
+        }
+        em.clear();
+        self.em = em;
+    }
+
     fn finish(self) -> CallStringResult {
         let contexts = self.active.values().map(|c| c.len()).sum();
+        let it = &self.interner;
         let stripped = self
             .p
-            .into_iter()
+            .iter()
             .map(|m| {
-                let mut v: Vec<Pair> = m.into_values().flatten().collect();
+                let mut v: Vec<Pair> = m
+                    .iter()
+                    .flat_map(|(_, s)| s.iter().map(|id| it.resolve(id)))
+                    .collect();
                 v.sort_unstable();
                 v.dedup();
                 v
@@ -247,16 +375,23 @@ impl<'g> K1<'g> {
             stripped,
             flow_ins: self.flow_ins,
             flow_outs: self.flow_outs,
+            dedup_hits: self.dedup_hits,
+            delta_batches: match self.cfg.propagation {
+                Propagation::Naive => None,
+                Propagation::Delta => Some(self.delta_batches),
+            },
             contexts,
         }
     }
 
-    fn pairs_at(&self, node: NodeId, port: usize, ctx: Ctx) -> Vec<Pair> {
+    /// Collects the committed pairs at `(node, port)` under `ctx` into
+    /// `buf` (cleared first).
+    fn collect_pairs(&self, node: NodeId, port: usize, ctx: Ctx, buf: &mut Vec<Pair>) {
+        buf.clear();
         let src = self.g.input_src(node, port);
-        self.p[src.0 as usize]
-            .get(&ctx)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
+        if let Some(s) = self.p[src.0 as usize].get(ctx) {
+            buf.extend(s.iter().map(|id| self.interner.resolve(id)));
+        }
     }
 
     fn transfer(
@@ -265,14 +400,17 @@ impl<'g> K1<'g> {
         port: usize,
         ctx: Ctx,
         pair: Pair,
-    ) -> Vec<(OutputId, Ctx, Pair)> {
-        let n = self.g.node(node);
-        let kind = n.kind.clone();
-        let outs = n.outputs.clone();
-        let mut em: Vec<(OutputId, Ctx, Pair)> = Vec::new();
-        match kind {
+        em: &mut Vec<(OutputId, Ctx, Pair)>,
+    ) {
+        let g = self.g;
+        let n = g.node(node);
+        let outs = &n.outputs;
+        let mut sa = std::mem::take(&mut self.scratch_a);
+        let mut sb = std::mem::take(&mut self.scratch_b);
+        let mut sc = std::mem::take(&mut self.scratch_c);
+        match &n.kind {
             NodeKind::Member(f) => {
-                let r = self.paths.child(pair.referent, AccessOp::Field(f));
+                let r = self.paths.child(pair.referent, AccessOp::Field(*f));
                 em.push((outs[0], ctx, Pair::new(pair.path, r)));
             }
             NodeKind::IndexElem => {
@@ -280,7 +418,7 @@ impl<'g> K1<'g> {
                 em.push((outs[0], ctx, Pair::new(pair.path, r)));
             }
             NodeKind::ExtractField(f) => {
-                if let Some(p) = self.paths.strip_first(pair.path, AccessOp::Field(f)) {
+                if let Some(p) = self.paths.strip_first(pair.path, AccessOp::Field(*f)) {
                     em.push((outs[0], ctx, Pair::new(p, pair.referent)));
                 }
             }
@@ -296,7 +434,8 @@ impl<'g> K1<'g> {
             NodeKind::Primop => {}
             NodeKind::Lookup { .. } => match port {
                 0 => {
-                    for sp in self.pairs_at(node, 1, ctx) {
+                    self.collect_pairs(node, 1, ctx, &mut sa);
+                    for &sp in &sa {
                         if self.paths.dom(pair.referent, sp.path) {
                             let off = self.paths.subtract(sp.path, pair.referent);
                             let p = self.paths.append(pair.path, off);
@@ -305,7 +444,8 @@ impl<'g> K1<'g> {
                     }
                 }
                 _ => {
-                    for lp in self.pairs_at(node, 0, ctx) {
+                    self.collect_pairs(node, 0, ctx, &mut sa);
+                    for &lp in &sa {
                         if self.paths.dom(lp.referent, pair.path) {
                             let off = self.paths.subtract(pair.path, lp.referent);
                             let p = self.paths.append(lp.path, off);
@@ -316,11 +456,13 @@ impl<'g> K1<'g> {
             },
             NodeKind::Update { .. } => match port {
                 0 => {
-                    for vp in self.pairs_at(node, 2, ctx) {
+                    self.collect_pairs(node, 2, ctx, &mut sa);
+                    for &vp in &sa {
                         let path = self.paths.append(pair.referent, vp.path);
                         em.push((outs[0], ctx, Pair::new(path, vp.referent)));
                     }
-                    for sp in self.pairs_at(node, 1, ctx) {
+                    self.collect_pairs(node, 1, ctx, &mut sa);
+                    for &sp in &sa {
                         if !(self.cfg.strong_updates
                             && self.paths.strong_dom(pair.referent, sp.path))
                         {
@@ -329,8 +471,8 @@ impl<'g> K1<'g> {
                     }
                 }
                 1 => {
-                    let locs = self.pairs_at(node, 0, ctx);
-                    let passes = locs.iter().any(|lp| {
+                    self.collect_pairs(node, 0, ctx, &mut sa);
+                    let passes = sa.iter().any(|lp| {
                         !(self.cfg.strong_updates && self.paths.strong_dom(lp.referent, pair.path))
                     });
                     if passes {
@@ -338,7 +480,8 @@ impl<'g> K1<'g> {
                     }
                 }
                 _ => {
-                    for lp in self.pairs_at(node, 0, ctx) {
+                    self.collect_pairs(node, 0, ctx, &mut sa);
+                    for &lp in &sa {
                         let path = self.paths.append(lp.referent, pair.path);
                         em.push((outs[0], ctx, Pair::new(path, pair.referent)));
                     }
@@ -347,11 +490,12 @@ impl<'g> K1<'g> {
             NodeKind::CopyMem => match port {
                 0 => {
                     em.push((outs[0], ctx, pair));
-                    let dsts = self.pairs_at(node, 1, ctx);
-                    for srcp in self.pairs_at(node, 2, ctx) {
+                    self.collect_pairs(node, 1, ctx, &mut sb);
+                    self.collect_pairs(node, 2, ctx, &mut sa);
+                    for &srcp in &sa {
                         if self.paths.dom(srcp.referent, pair.path) {
                             let off = self.paths.subtract(pair.path, srcp.referent);
-                            for dp in &dsts {
+                            for dp in &sb {
                                 let path = self.paths.append(dp.referent, off);
                                 em.push((outs[0], ctx, Pair::new(path, pair.referent)));
                             }
@@ -359,14 +503,14 @@ impl<'g> K1<'g> {
                     }
                 }
                 _ => {
-                    let stores = self.pairs_at(node, 0, ctx);
-                    let dsts = self.pairs_at(node, 1, ctx);
-                    let srcs = self.pairs_at(node, 2, ctx);
-                    for srcp in &srcs {
-                        for sp in &stores {
+                    self.collect_pairs(node, 0, ctx, &mut sa);
+                    self.collect_pairs(node, 1, ctx, &mut sb);
+                    self.collect_pairs(node, 2, ctx, &mut sc);
+                    for &srcp in &sc {
+                        for &sp in &sa {
                             if self.paths.dom(srcp.referent, sp.path) {
                                 let off = self.paths.subtract(sp.path, srcp.referent);
-                                for dp in &dsts {
+                                for dp in &sb {
                                     let path = self.paths.append(dp.referent, off);
                                     em.push((outs[0], ctx, Pair::new(path, sp.referent)));
                                 }
@@ -378,19 +522,20 @@ impl<'g> K1<'g> {
             NodeKind::Call => {
                 if port == 0 {
                     if let Some(f) = self.paths.func_of(pair.referent) {
-                        self.register_callee(node, f, &mut em);
+                        self.register_callee(node, f, em);
                     }
                 } else {
                     // Remember the caller context, then forward under the
                     // k=1 context of this call site.
                     self.call_ctxs.entry(node).or_default().insert(ctx);
-                    let callees = self.callees.get(&node).cloned().unwrap_or_default();
-                    for f in callees {
-                        self.forward_to_formal(node, port, pair, f, &mut em);
+                    let n_callees = self.callees.get(&node).map_or(0, |v| v.len());
+                    for i in 0..n_callees {
+                        let f = self.callees[&node][i];
+                        self.forward_to_formal(node, port, pair, f, em);
                         // Returns already computed under this call's
                         // context flow back out under the newly seen
                         // caller context.
-                        self.pull_returns(node, f, ctx, &mut em);
+                        self.pull_returns(node, f, ctx, em);
                     }
                 }
             }
@@ -398,33 +543,32 @@ impl<'g> K1<'g> {
                 // A pair at a return under context (call c) flows only to
                 // call c, under every caller context seen there.
                 let Ctx(raw) = ctx;
-                if raw == 0 {
-                    return em; // the root never returns anywhere
-                }
-                let call = NodeId(raw - 1);
-                if !self
-                    .callers
-                    .get(&func)
-                    .map(|cs| cs.contains(&call))
-                    .unwrap_or(false)
-                {
-                    return em;
-                }
-                let caller_ctxs: Vec<Ctx> = self
-                    .call_ctxs
-                    .get(&call)
-                    .map(|s| s.iter().copied().collect())
-                    .unwrap_or_default();
-                let outs = self.g.node(call).outputs.clone();
-                if port < outs.len() {
-                    for cctx in caller_ctxs {
-                        em.push((outs[port], cctx, pair));
+                // The root never returns anywhere; a pair under a call
+                // context flows only if that call really targets `func`.
+                if raw != 0 {
+                    let call = NodeId(raw - 1);
+                    let targets = self
+                        .callers
+                        .get(func)
+                        .map(|cs| cs.contains(&call))
+                        .unwrap_or(false);
+                    if targets {
+                        if let Some(caller_ctxs) = self.call_ctxs.get(&call) {
+                            let outs = &g.node(call).outputs;
+                            if port < outs.len() {
+                                for &cctx in caller_ctxs {
+                                    em.push((outs[port], cctx, pair));
+                                }
+                            }
+                        }
                     }
                 }
             }
             _ => {}
         }
-        em
+        self.scratch_a = sa;
+        self.scratch_b = sb;
+        self.scratch_c = sc;
     }
 
     fn register_callee(&mut self, call: NodeId, f: VFuncId, em: &mut Vec<(OutputId, Ctx, Pair)>) {
@@ -437,12 +581,15 @@ impl<'g> K1<'g> {
         self.activate(f, Ctx::of_call(call));
         // Push existing actual pairs (in every caller context seen so far).
         let n_inputs = self.g.node(call).inputs.len();
+        let it = &self.interner;
         let src_ctxs: Vec<(usize, Ctx, Pair)> = (1..n_inputs)
             .flat_map(|port| {
                 let src = self.g.input_src(call, port);
                 self.p[src.0 as usize]
                     .iter()
-                    .flat_map(move |(ctx, pairs)| pairs.iter().map(move |&p| (port, *ctx, p)))
+                    .flat_map(move |(ctx, pairs)| {
+                        pairs.iter().map(move |id| (port, *ctx, it.resolve(id)))
+                    })
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -490,14 +637,20 @@ impl<'g> K1<'g> {
         em: &mut Vec<(OutputId, Ctx, Pair)>,
     ) {
         let callee_ctx = Ctx::of_call(call);
-        let outs = self.g.node(call).outputs.clone();
-        let returns = self.g.func(f).returns.clone();
-        for ret in returns {
-            let n_ports = self.g.node(ret).inputs.len().min(outs.len());
+        let g = self.g;
+        let outs = &g.node(call).outputs;
+        let returns = &g.func(f).returns;
+        for &ret in returns {
+            let n_ports = g.node(ret).inputs.len().min(outs.len());
             #[allow(clippy::needless_range_loop)] // indexes two parallel structures
             for port in 0..n_ports {
-                for pair in self.pairs_at(ret, port, callee_ctx) {
-                    em.push((outs[port], caller_ctx, pair));
+                let src = g.input_src(ret, port);
+                if let Some(set) = self.p[src.0 as usize].get(callee_ctx) {
+                    let it = &self.interner;
+                    em.extend(
+                        set.iter()
+                            .map(|id| (outs[port], caller_ctx, it.resolve(id))),
+                    );
                 }
             }
         }

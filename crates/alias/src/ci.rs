@@ -1,15 +1,28 @@
 //! The context-insensitive points-to analysis (paper §3, Figure 1).
 //!
-//! A worklist of `(input, pair)` deliveries grows per-output points-to
-//! sets monotonically; calls and returns are treated like jumps (all
-//! information at actuals flows to all callees, all returns flow to all
-//! callers). Strong updates block store pairs whose paths are definitely
-//! overwritten; the pseudocode's dual-worklist effect (delaying store
-//! pairs until a location pair arrives, re-examining blocked pairs when
-//! further location pairs arrive) falls out of the arrival-driven
-//! transfer functions.
+//! Points-to facts are hash-consed into dense [`PairId`]s and stored in
+//! compact [`PairSet`]s (sorted small-vec spilling to a bitset). Under
+//! the default [`Propagation::Delta`] discipline the worklist carries
+//! *outputs with pending deltas*: each step takes an output's batch of
+//! newly committed pairs and pushes the whole batch through every
+//! consumer's transfer function, so a pair is delivered to each consumer
+//! exactly once and the per-delivery queue traffic of the naive scheme
+//! disappears. [`Propagation::Naive`] retains the seed discipline (one
+//! `(input, pair)` delivery per step) for the equivalence tests; both
+//! schedules reach the same least fixpoint, and because
+//! [`PathTable::canonicalize`] renumbers the interned paths at finish,
+//! the two modes return *numerically identical* results.
+//!
+//! Calls and returns are treated like jumps (all information at actuals
+//! flows to all callees, all returns flow to all callers). Strong
+//! updates block store pairs whose paths are definitely overwritten; the
+//! pseudocode's dual-worklist effect (delaying store pairs until a
+//! location pair arrives, re-examining blocked pairs when further
+//! location pairs arrive) falls out of the arrival-driven transfer
+//! functions.
 
 use crate::fxhash::{HashMap, HashSet};
+use crate::pairset::{PairId, PairInterner, PairSet, Propagation};
 use crate::path::{AccessOp, Pair, PathId, PathTable};
 use std::collections::VecDeque;
 use vdg::graph::{Graph, InputId, NodeId, NodeKind, OutputId, VFuncId};
@@ -49,6 +62,8 @@ pub struct CiConfig {
     pub order: WorklistOrder,
     /// How heap allocation sites are named.
     pub heap_naming: HeapNaming,
+    /// Propagation discipline (results are discipline-independent).
+    pub propagation: Propagation,
 }
 
 impl Default for CiConfig {
@@ -57,21 +72,37 @@ impl Default for CiConfig {
             strong_updates: true,
             order: WorklistOrder::Fifo,
             heap_naming: HeapNaming::Site,
+            propagation: Propagation::Delta,
         }
     }
 }
 
 /// Result of the context-insensitive analysis.
+///
+/// The path table is in canonical (structural) order — see
+/// [`PathTable::canonicalize`] — so any two schedules of the solver
+/// produce byte-identical results.
 #[derive(Debug, Clone)]
 pub struct CiResult {
     /// The interned path universe (shared vocabulary with the CS solver).
     pub paths: PathTable,
     pairs: Vec<Vec<Pair>>,
-    /// Transfer-function applications (`flow-in`s; §4.2 cost metric).
+    /// Pair deliveries consumed (`flow-in`s; §4.2 cost metric). One per
+    /// `(consumer, pair)` regardless of batching, so the value is
+    /// identical under either propagation discipline.
     pub flow_ins: u64,
-    /// Meet operations (`flow-out`s; §4.2 cost metric).
+    /// Successful meets (`flow-out`s; §4.2 cost metric): emissions that
+    /// grew an output's set. Redundant emission attempts are counted
+    /// separately in [`CiResult::dedup_hits`].
     pub flow_outs: u64,
-    /// Discovered call graph: call node -> callees.
+    /// Emission attempts deduplicated by the committed sets (the
+    /// representation's dedup hit count; scheduling-dependent).
+    pub dedup_hits: u64,
+    /// Batched delta deliveries consumed (`None` under
+    /// [`Propagation::Naive`]). `flow_ins − delta_batches` is the
+    /// number of worklist deliveries the batching saved.
+    pub delta_batches: Option<u64>,
+    /// Discovered call graph: call node -> callees (sorted).
     pub callees: HashMap<NodeId, Vec<VFuncId>>,
 }
 
@@ -109,8 +140,14 @@ struct Solver<'g> {
     g: &'g Graph,
     cfg: CiConfig,
     paths: PathTable,
-    p: Vec<HashSet<Pair>>,
-    wl: VecDeque<(InputId, Pair)>,
+    interner: PairInterner,
+    /// Committed pairs (with pending deltas) per output.
+    sets: Vec<PairSet>,
+    /// Naive-mode worklist: single `(input, pair)` deliveries.
+    naive_wl: VecDeque<(InputId, PairId)>,
+    /// Delta-mode worklist: outputs with a pending delta.
+    out_wl: VecDeque<u32>,
+    queued: Vec<bool>,
     callees: HashMap<NodeId, Vec<VFuncId>>,
     callers: HashMap<VFuncId, Vec<NodeId>>,
     /// Owner function of each heap base's allocation site (only filled
@@ -118,6 +155,13 @@ struct Solver<'g> {
     alloc_owner: HashMap<vdg::graph::BaseId, VFuncId>,
     flow_ins: u64,
     flow_outs: u64,
+    dedup_hits: u64,
+    delta_batches: u64,
+    /// Reusable emission and side-input buffers (no per-delivery
+    /// allocation in the hot loop).
+    em: Vec<(OutputId, Pair)>,
+    scratch_a: Vec<Pair>,
+    scratch_b: Vec<Pair>,
 }
 
 /// Computes the owning function of every heap allocation site.
@@ -132,6 +176,120 @@ pub(crate) fn alloc_owner_map(g: &Graph) -> HashMap<vdg::graph::BaseId, VFuncId>
     map
 }
 
+/// Under k=1 heap naming, a heap pair leaving its allocator function
+/// `f` through `call` gets its heap bases cloned per call site.
+fn rename_heap(
+    heap_naming: HeapNaming,
+    alloc_owner: &HashMap<vdg::graph::BaseId, VFuncId>,
+    paths: &mut PathTable,
+    pair: Pair,
+    f: VFuncId,
+    call: NodeId,
+) -> Pair {
+    if heap_naming != HeapNaming::CallString1 {
+        return pair;
+    }
+    let mut fix = |p: PathId| -> PathId {
+        match paths.base_of(p) {
+            Some(b) if !paths.is_synthetic(b) && alloc_owner.get(&b) == Some(&f) => {
+                let clone = paths.heap_clone(b, call.0);
+                paths.rebase(p, clone)
+            }
+            _ => p,
+        }
+    };
+    Pair::new(fix(pair.path), fix(pair.referent))
+}
+
+/// Cooper-scheme variants of a pair crossing a call/return boundary
+/// into/out of `boundary_func`: any base with an `older` companion
+/// whose owner may be re-entered through the boundary also denotes
+/// older instances on the far side.
+fn cooper_variants(
+    g: &Graph,
+    paths: &mut PathTable,
+    pair: Pair,
+    boundary_func: VFuncId,
+) -> Vec<Pair> {
+    let mut out = vec![pair];
+    for side in 0..2 {
+        let n = out.len();
+        for i in 0..n {
+            let p = out[i];
+            let path = if side == 0 { p.path } else { p.referent };
+            let Some(older) = paths.cooper_older_of(path) else {
+                continue;
+            };
+            let Some(base) = paths.base_of(path) else {
+                continue;
+            };
+            let owner = match &g.base(base).kind {
+                vdg::graph::BaseKind::Local { func, .. } => *func,
+                _ => continue,
+            };
+            if !g.can_reach(boundary_func, owner) {
+                continue;
+            }
+            let rebased = paths.rebase(path, older);
+            let variant = if side == 0 {
+                Pair::new(rebased, p.referent)
+            } else {
+                Pair::new(p.path, rebased)
+            };
+            out.push(variant);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Call input `port` (1 = store, 2+i = actual i) feeds entry output
+/// `port - 1` of the callee.
+fn forward_to_formal(
+    g: &Graph,
+    paths: &mut PathTable,
+    port: usize,
+    pair: Pair,
+    f: VFuncId,
+    em: &mut Vec<(OutputId, Pair)>,
+) {
+    let entry = g.func(f).entry;
+    let formals = &g.node(entry).outputs;
+    let idx = port - 1;
+    if idx >= formals.len() {
+        return; // arity mismatch through a function pointer
+    }
+    let formal = formals[idx];
+    for v in cooper_variants(g, paths, pair, f) {
+        em.push((formal, v));
+    }
+}
+
+/// Return input `port` (0 = store, 1 = value) feeds call output `port`.
+#[allow(clippy::too_many_arguments)]
+fn forward_to_caller(
+    g: &Graph,
+    heap_naming: HeapNaming,
+    alloc_owner: &HashMap<vdg::graph::BaseId, VFuncId>,
+    paths: &mut PathTable,
+    call: NodeId,
+    port: usize,
+    pair: Pair,
+    f: VFuncId,
+    em: &mut Vec<(OutputId, Pair)>,
+) {
+    let outs = &g.node(call).outputs;
+    if port >= outs.len() {
+        return; // e.g. value returned to a void-typed call site
+    }
+    let out = outs[port];
+    let pair = rename_heap(heap_naming, alloc_owner, paths, pair, f, call);
+    for v in cooper_variants(g, paths, pair, f) {
+        em.push((out, v));
+    }
+}
+
 impl<'g> Solver<'g> {
     fn new(g: &'g Graph, cfg: CiConfig) -> Self {
         let alloc_owner = if cfg.heap_naming == HeapNaming::CallString1 {
@@ -143,38 +301,22 @@ impl<'g> Solver<'g> {
             g,
             cfg,
             paths: PathTable::for_graph(g),
-            p: vec![HashSet::default(); g.output_count()],
-            wl: VecDeque::new(),
+            interner: PairInterner::new(),
+            sets: vec![PairSet::new(); g.output_count()],
+            naive_wl: VecDeque::new(),
+            out_wl: VecDeque::new(),
+            queued: vec![false; g.output_count()],
             callees: HashMap::default(),
             callers: HashMap::default(),
             alloc_owner,
             flow_ins: 0,
             flow_outs: 0,
+            dedup_hits: 0,
+            delta_batches: 0,
+            em: Vec::new(),
+            scratch_a: Vec::new(),
+            scratch_b: Vec::new(),
         }
-    }
-
-    /// Under k=1 heap naming, a heap pair leaving its allocator function
-    /// `f` through `call` gets its heap bases cloned per call site.
-    fn rename_heap(&mut self, pair: Pair, f: VFuncId, call: NodeId) -> Pair {
-        if self.cfg.heap_naming != HeapNaming::CallString1 {
-            return pair;
-        }
-        let fix = |paths: &mut PathTable,
-                   alloc_owner: &HashMap<vdg::graph::BaseId, VFuncId>,
-                   p: PathId|
-         -> PathId {
-            match paths.base_of(p) {
-                Some(b) if !paths.is_synthetic(b) && alloc_owner.get(&b) == Some(&f) => {
-                    let clone = paths.heap_clone(b, call.0);
-                    paths.rebase(p, clone)
-                }
-                _ => p,
-            }
-        };
-        Pair::new(
-            fix(&mut self.paths, &self.alloc_owner, pair.path),
-            fix(&mut self.paths, &self.alloc_owner, pair.referent),
-        )
     }
 
     /// Seeds address/function/allocation constants with `(ε, base)` —
@@ -196,249 +338,339 @@ impl<'g> Solver<'g> {
     }
 
     fn run(&mut self) {
-        loop {
-            let item = match self.cfg.order {
-                WorklistOrder::Fifo => self.wl.pop_front(),
-                WorklistOrder::Lifo => self.wl.pop_back(),
-            };
-            let Some((input, pair)) = item else { break };
-            self.flow_ins += 1;
-            let info = self.g.input(input);
-            let emits = self.transfer(info.node, info.port as usize, pair);
-            for (out, pair) in emits {
-                self.flow_out(out, pair);
-            }
+        match self.cfg.propagation {
+            Propagation::Naive => self.run_naive(),
+            Propagation::Delta => self.run_delta(),
         }
     }
 
+    fn run_naive(&mut self) {
+        loop {
+            let item = match self.cfg.order {
+                WorklistOrder::Fifo => self.naive_wl.pop_front(),
+                WorklistOrder::Lifo => self.naive_wl.pop_back(),
+            };
+            let Some((input, id)) = item else { break };
+            self.flow_ins += 1;
+            let pair = self.interner.resolve(id);
+            let info = self.g.input(input);
+            self.deliver(info.node, info.port as usize, pair);
+        }
+    }
+
+    fn run_delta(&mut self) {
+        loop {
+            let item = match self.cfg.order {
+                WorklistOrder::Fifo => self.out_wl.pop_front(),
+                WorklistOrder::Lifo => self.out_wl.pop_back(),
+            };
+            let Some(o) = item else { break };
+            self.queued[o as usize] = false;
+            let batch = self.sets[o as usize].take_delta();
+            let g = self.g;
+            for &input in g.consumers(OutputId(o)) {
+                self.delta_batches += 1;
+                self.flow_ins += batch.len() as u64;
+                let info = g.input(input);
+                for &id in &batch {
+                    let pair = self.interner.resolve(PairId(id));
+                    self.deliver(info.node, info.port as usize, pair);
+                }
+            }
+            self.sets[o as usize].recycle(batch);
+        }
+    }
+
+    /// Applies the transfer function for one delivered pair and flows
+    /// the emissions out.
+    fn deliver(&mut self, node: NodeId, port: usize, pair: Pair) {
+        let mut em = std::mem::take(&mut self.em);
+        self.transfer(node, port, pair, &mut em);
+        for &(out, p) in &em {
+            self.flow_out(out, p);
+        }
+        em.clear();
+        self.em = em;
+    }
+
     fn finish(self) -> CiResult {
-        let pairs = self
-            .p
-            .into_iter()
-            .map(|s| {
-                let mut v: Vec<Pair> = s.into_iter().collect();
-                v.sort_unstable();
-                v
-            })
+        let Solver {
+            paths,
+            interner,
+            sets,
+            mut callees,
+            cfg,
+            flow_ins,
+            flow_outs,
+            dedup_hits,
+            delta_batches,
+            ..
+        } = self;
+        let mut resolved: Vec<Vec<Pair>> = sets
+            .iter()
+            .map(|s| s.iter().map(|id| interner.resolve(id)).collect())
             .collect();
+        let mut used: HashSet<PathId> = HashSet::default();
+        for v in &resolved {
+            for p in v {
+                used.insert(p.path);
+                used.insert(p.referent);
+            }
+        }
+        let (canon, remap) = paths.canonicalize(&used);
+        for v in &mut resolved {
+            for p in v.iter_mut() {
+                *p = Pair::new(
+                    PathId(remap[p.path.0 as usize]),
+                    PathId(remap[p.referent.0 as usize]),
+                );
+            }
+            v.sort_unstable();
+        }
+        for fs in callees.values_mut() {
+            fs.sort_unstable_by_key(|f| f.0);
+        }
         CiResult {
-            paths: self.paths,
-            pairs,
-            flow_ins: self.flow_ins,
-            flow_outs: self.flow_outs,
-            callees: self.callees,
+            paths: canon,
+            pairs: resolved,
+            flow_ins,
+            flow_outs,
+            dedup_hits,
+            delta_batches: match cfg.propagation {
+                Propagation::Naive => None,
+                Propagation::Delta => Some(delta_batches),
+            },
+            callees,
         }
     }
 
     fn flow_out(&mut self, out: OutputId, pair: Pair) {
-        self.flow_outs += 1;
-        if self.p[out.0 as usize].insert(pair) {
-            for &input in self.g.consumers(out) {
-                self.wl.push_back((input, pair));
-            }
-        }
-    }
-
-    fn pairs_at(&self, node: NodeId, port: usize) -> Vec<Pair> {
-        let src = self.g.input_src(node, port);
-        self.p[src.0 as usize].iter().copied().collect()
-    }
-
-    /// Cooper-scheme variants of a pair crossing a call/return boundary
-    /// into/out of `boundary_func`: any base with an `older` companion
-    /// whose owner may be re-entered through the boundary also denotes
-    /// older instances on the far side.
-    fn cooper_variants(&mut self, pair: Pair, boundary_func: VFuncId) -> Vec<Pair> {
-        let mut out = vec![pair];
-        for side in 0..2 {
-            let n = out.len();
-            for i in 0..n {
-                let p = out[i];
-                let path = if side == 0 { p.path } else { p.referent };
-                let Some(older) = self.paths.cooper_older_of(path) else {
-                    continue;
-                };
-                let Some(base) = self.paths.base_of(path) else {
-                    continue;
-                };
-                let owner = match &self.g.base(base).kind {
-                    vdg::graph::BaseKind::Local { func, .. } => *func,
-                    _ => continue,
-                };
-                if !self.g.can_reach(boundary_func, owner) {
-                    continue;
+        let id = self.interner.intern(pair);
+        let o = out.0 as usize;
+        if self.sets[o].insert(id) {
+            self.flow_outs += 1;
+            match self.cfg.propagation {
+                Propagation::Naive => {
+                    // Deliveries ride on the worklist directly; the
+                    // per-set delta is unused.
+                    self.sets[o].take_delta();
+                    for &input in self.g.consumers(out) {
+                        self.naive_wl.push_back((input, id));
+                    }
                 }
-                let rebased = self.paths.rebase(path, older);
-                let variant = if side == 0 {
-                    Pair::new(rebased, p.referent)
-                } else {
-                    Pair::new(p.path, rebased)
-                };
-                out.push(variant);
+                Propagation::Delta => {
+                    if !self.queued[o] && !self.g.consumers(out).is_empty() {
+                        self.queued[o] = true;
+                        self.out_wl.push_back(out.0);
+                    }
+                }
             }
+        } else {
+            self.dedup_hits += 1;
         }
-        out.sort_unstable();
-        out.dedup();
-        out
+    }
+
+    /// Collects the committed pairs at `(node, port)` that satisfy
+    /// `keep` into `buf` (cleared first).
+    fn collect_pairs(
+        &self,
+        node: NodeId,
+        port: usize,
+        buf: &mut Vec<Pair>,
+        keep: impl Fn(&PathTable, Pair) -> bool,
+    ) {
+        buf.clear();
+        let src = self.g.input_src(node, port);
+        buf.extend(
+            self.sets[src.0 as usize]
+                .iter()
+                .map(|id| self.interner.resolve(id))
+                .filter(|&p| keep(&self.paths, p)),
+        );
     }
 
     /// The transfer function: a new `pair` arrived on `port` of `node`;
-    /// returns the pairs to emit on outputs.
-    fn transfer(&mut self, node: NodeId, port: usize, pair: Pair) -> Vec<(OutputId, Pair)> {
-        let n = self.g.node(node);
-        let kind = n.kind.clone();
-        let outs = n.outputs.clone();
-        let mut em: Vec<(OutputId, Pair)> = Vec::new();
-        match kind {
+    /// pushes the pairs to emit into `em`. Borrows node metadata from
+    /// the graph — no per-delivery allocation.
+    fn transfer(&mut self, node: NodeId, port: usize, pair: Pair, em: &mut Vec<(OutputId, Pair)>) {
+        let g = self.g;
+        let n = g.node(node);
+        let mut sa = std::mem::take(&mut self.scratch_a);
+        let mut sb = std::mem::take(&mut self.scratch_b);
+        match &n.kind {
             NodeKind::Member(f) => {
-                let r = self.paths.child(pair.referent, AccessOp::Field(f));
-                em.push((outs[0], Pair::new(pair.path, r)));
+                let r = self.paths.child(pair.referent, AccessOp::Field(*f));
+                em.push((n.outputs[0], Pair::new(pair.path, r)));
             }
             NodeKind::IndexElem => {
                 let r = self.paths.child(pair.referent, AccessOp::Index);
-                em.push((outs[0], Pair::new(pair.path, r)));
+                em.push((n.outputs[0], Pair::new(pair.path, r)));
             }
             NodeKind::ExtractField(f) => {
-                if let Some(p) = self.paths.strip_first(pair.path, AccessOp::Field(f)) {
-                    em.push((outs[0], Pair::new(p, pair.referent)));
+                if let Some(p) = self.paths.strip_first(pair.path, AccessOp::Field(*f)) {
+                    em.push((n.outputs[0], Pair::new(p, pair.referent)));
                 }
             }
             NodeKind::ExtractElem => {
                 if let Some(p) = self.paths.strip_first(pair.path, AccessOp::Index) {
-                    em.push((outs[0], Pair::new(p, pair.referent)));
+                    em.push((n.outputs[0], Pair::new(p, pair.referent)));
                 }
             }
             NodeKind::PassThrough => {
                 if port == 0 {
-                    em.push((outs[0], pair));
+                    em.push((n.outputs[0], pair));
                 }
             }
             NodeKind::Gamma => {
-                em.push((outs[0], pair));
+                em.push((n.outputs[0], pair));
             }
             NodeKind::Primop => {}
-            NodeKind::Lookup { .. } => match port {
-                0 => {
-                    // New location: read every store pair it may observe.
-                    for sp in self.pairs_at(node, 1) {
-                        if self.paths.dom(pair.referent, sp.path) {
+            NodeKind::Lookup { .. } => {
+                let out = n.outputs[0];
+                match port {
+                    0 => {
+                        // New location: read every store pair it may observe.
+                        self.collect_pairs(node, 1, &mut sa, |t, sp| t.dom(pair.referent, sp.path));
+                        for &sp in &sa {
                             let off = self.paths.subtract(sp.path, pair.referent);
                             let p = self.paths.append(pair.path, off);
-                            em.push((outs[0], Pair::new(p, sp.referent)));
+                            em.push((out, Pair::new(p, sp.referent)));
                         }
                     }
-                }
-                _ => {
-                    // New store pair: dereference through every location.
-                    for lp in self.pairs_at(node, 0) {
-                        if self.paths.dom(lp.referent, pair.path) {
+                    _ => {
+                        // New store pair: dereference through every location.
+                        self.collect_pairs(node, 0, &mut sa, |t, lp| t.dom(lp.referent, pair.path));
+                        for &lp in &sa {
                             let off = self.paths.subtract(pair.path, lp.referent);
                             let p = self.paths.append(lp.path, off);
-                            em.push((outs[0], Pair::new(p, pair.referent)));
+                            em.push((out, Pair::new(p, pair.referent)));
                         }
                     }
                 }
-            },
-            NodeKind::Update { .. } => match port {
-                0 => {
-                    // New location pair.
-                    for vp in self.pairs_at(node, 2) {
-                        let path = self.paths.append(pair.referent, vp.path);
-                        em.push((outs[0], Pair::new(path, vp.referent)));
+            }
+            NodeKind::Update { .. } => {
+                let out = n.outputs[0];
+                let strong = self.cfg.strong_updates;
+                match port {
+                    0 => {
+                        // New location pair.
+                        self.collect_pairs(node, 2, &mut sa, |_, _| true);
+                        for &vp in &sa {
+                            let path = self.paths.append(pair.referent, vp.path);
+                            em.push((out, Pair::new(path, vp.referent)));
+                        }
+                        let src = g.input_src(node, 1);
+                        for id in self.sets[src.0 as usize].iter() {
+                            let sp = self.interner.resolve(id);
+                            if !(strong && self.paths.strong_dom(pair.referent, sp.path)) {
+                                em.push((out, sp));
+                            }
+                        }
                     }
-                    for sp in self.pairs_at(node, 1) {
-                        if !(self.cfg.strong_updates
-                            && self.paths.strong_dom(pair.referent, sp.path))
-                        {
-                            em.push((outs[0], sp));
+                    1 => {
+                        // New store pair: propagated if at least one location
+                        // does not strongly update it. (No location pairs yet
+                        // means the pair stays blocked — the dual-worklist
+                        // delay of [CWZ90].)
+                        let src = g.input_src(node, 0);
+                        let passes = self.sets[src.0 as usize]
+                            .iter()
+                            .map(|id| self.interner.resolve(id))
+                            .any(|lp| !(strong && self.paths.strong_dom(lp.referent, pair.path)));
+                        if passes {
+                            em.push((out, pair));
+                        }
+                    }
+                    _ => {
+                        // New value pair: a store pair per location.
+                        self.collect_pairs(node, 0, &mut sa, |_, _| true);
+                        for &lp in &sa {
+                            let path = self.paths.append(lp.referent, pair.path);
+                            em.push((out, Pair::new(path, pair.referent)));
                         }
                     }
                 }
-                1 => {
-                    // New store pair: propagated if at least one location
-                    // does not strongly update it. (No location pairs yet
-                    // means the pair stays blocked — the dual-worklist
-                    // delay of [CWZ90].)
-                    let locs = self.pairs_at(node, 0);
-                    let passes = locs.iter().any(|lp| {
-                        !(self.cfg.strong_updates && self.paths.strong_dom(lp.referent, pair.path))
-                    });
-                    if passes {
-                        em.push((outs[0], pair));
-                    }
-                }
-                _ => {
-                    // New value pair: a store pair per location.
-                    for lp in self.pairs_at(node, 0) {
-                        let path = self.paths.append(lp.referent, pair.path);
-                        em.push((outs[0], Pair::new(path, pair.referent)));
-                    }
-                }
-            },
-            NodeKind::CopyMem => match port {
-                0 => {
-                    // Store pairs pass through (the copy only adds), and
-                    // pairs under src re-root under dst.
-                    em.push((outs[0], pair));
-                    let dsts = self.pairs_at(node, 1);
-                    for srcp in self.pairs_at(node, 2) {
-                        if self.paths.dom(srcp.referent, pair.path) {
+            }
+            NodeKind::CopyMem => {
+                let out = n.outputs[0];
+                match port {
+                    0 => {
+                        // Store pairs pass through (the copy only adds), and
+                        // pairs under src re-root under dst.
+                        em.push((out, pair));
+                        self.collect_pairs(node, 1, &mut sb, |_, _| true);
+                        self.collect_pairs(node, 2, &mut sa, |t, srcp| {
+                            t.dom(srcp.referent, pair.path)
+                        });
+                        for &srcp in &sa {
                             let off = self.paths.subtract(pair.path, srcp.referent);
-                            for dp in &dsts {
+                            for dp in &sb {
                                 let path = self.paths.append(dp.referent, off);
-                                em.push((outs[0], Pair::new(path, pair.referent)));
+                                em.push((out, Pair::new(path, pair.referent)));
+                            }
+                        }
+                    }
+                    1 => {
+                        // New dst pointer.
+                        self.collect_pairs(node, 0, &mut sa, |_, _| true);
+                        self.collect_pairs(node, 2, &mut sb, |_, _| true);
+                        for &srcp in &sb {
+                            for &sp in &sa {
+                                if self.paths.dom(srcp.referent, sp.path) {
+                                    let off = self.paths.subtract(sp.path, srcp.referent);
+                                    let path = self.paths.append(pair.referent, off);
+                                    em.push((out, Pair::new(path, sp.referent)));
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        // New src pointer.
+                        self.collect_pairs(node, 0, &mut sa, |_, _| true);
+                        self.collect_pairs(node, 1, &mut sb, |_, _| true);
+                        for &dp in &sb {
+                            for &sp in &sa {
+                                if self.paths.dom(pair.referent, sp.path) {
+                                    let off = self.paths.subtract(sp.path, pair.referent);
+                                    let path = self.paths.append(dp.referent, off);
+                                    em.push((out, Pair::new(path, sp.referent)));
+                                }
                             }
                         }
                     }
                 }
-                1 => {
-                    // New dst pointer.
-                    let stores = self.pairs_at(node, 0);
-                    for srcp in self.pairs_at(node, 2) {
-                        for sp in &stores {
-                            if self.paths.dom(srcp.referent, sp.path) {
-                                let off = self.paths.subtract(sp.path, srcp.referent);
-                                let path = self.paths.append(pair.referent, off);
-                                em.push((outs[0], Pair::new(path, sp.referent)));
-                            }
-                        }
-                    }
-                }
-                _ => {
-                    // New src pointer.
-                    let stores = self.pairs_at(node, 0);
-                    for dp in self.pairs_at(node, 1) {
-                        for sp in &stores {
-                            if self.paths.dom(pair.referent, sp.path) {
-                                let off = self.paths.subtract(sp.path, pair.referent);
-                                let path = self.paths.append(dp.referent, off);
-                                em.push((outs[0], Pair::new(path, sp.referent)));
-                            }
-                        }
-                    }
-                }
-            },
+            }
             NodeKind::Call => {
                 if port == 0 {
                     // A new function value: extend the call graph and
                     // repropagate existing information (paper Fig. 1,
                     // "performs appropriate repropagation").
                     if let Some(f) = self.paths.func_of(pair.referent) {
-                        self.register_callee(node, f, &mut em);
+                        self.register_callee(node, f, em);
                     }
-                } else {
+                } else if let Some(callees) = self.callees.get(&node) {
                     // Actual (or store) pair: forward to the matching
                     // formal of every callee.
-                    let callees = self.callees.get(&node).cloned().unwrap_or_default();
-                    for f in callees {
-                        self.forward_to_formal(node, port, pair, f, &mut em);
+                    for &f in callees {
+                        forward_to_formal(g, &mut self.paths, port, pair, f, em);
                     }
                 }
             }
             NodeKind::Return { func } => {
-                let callers = self.callers.get(&func).cloned().unwrap_or_default();
-                for call in callers {
-                    self.forward_to_caller(call, port, pair, func, &mut em);
+                if let Some(callers) = self.callers.get(func) {
+                    for &call in callers {
+                        forward_to_caller(
+                            g,
+                            self.cfg.heap_naming,
+                            &self.alloc_owner,
+                            &mut self.paths,
+                            call,
+                            port,
+                            pair,
+                            *func,
+                            em,
+                        );
+                    }
                 }
             }
             NodeKind::Base(_)
@@ -449,7 +681,8 @@ impl<'g> Solver<'g> {
             | NodeKind::NullConst
             | NodeKind::Entry { .. } => {}
         }
-        em
+        self.scratch_a = sa;
+        self.scratch_b = sb;
     }
 
     fn register_callee(&mut self, call: NodeId, f: VFuncId, em: &mut Vec<(OutputId, Pair)>) {
@@ -459,64 +692,36 @@ impl<'g> Solver<'g> {
         }
         list.push(f);
         self.callers.entry(f).or_default().push(call);
+        let g = self.g;
+        let mut buf: Vec<Pair> = Vec::new();
         // Push existing actual pairs to the new callee's formals.
-        let n_inputs = self.g.node(call).inputs.len();
+        let n_inputs = g.node(call).inputs.len();
         for port in 1..n_inputs {
-            for pair in self.pairs_at(call, port) {
-                self.forward_to_formal(call, port, pair, f, em);
+            self.collect_pairs(call, port, &mut buf, |_, _| true);
+            for &p in &buf {
+                forward_to_formal(g, &mut self.paths, port, p, f, em);
             }
         }
         // Pull existing return pairs to this call's results.
-        let returns = self.g.func(f).returns.clone();
-        for ret in returns {
-            let n_ret_inputs = self.g.node(ret).inputs.len();
+        for ri in 0..g.func(f).returns.len() {
+            let ret = g.func(f).returns[ri];
+            let n_ret_inputs = g.node(ret).inputs.len();
             for port in 0..n_ret_inputs {
-                for pair in self.pairs_at(ret, port) {
-                    self.forward_to_caller(call, port, pair, f, em);
+                self.collect_pairs(ret, port, &mut buf, |_, _| true);
+                for &p in &buf {
+                    forward_to_caller(
+                        g,
+                        self.cfg.heap_naming,
+                        &self.alloc_owner,
+                        &mut self.paths,
+                        call,
+                        port,
+                        p,
+                        f,
+                        em,
+                    );
                 }
             }
-        }
-    }
-
-    /// Call input `port` (1 = store, 2+i = actual i) feeds entry output
-    /// `port - 1` of the callee.
-    fn forward_to_formal(
-        &mut self,
-        _call: NodeId,
-        port: usize,
-        pair: Pair,
-        f: VFuncId,
-        em: &mut Vec<(OutputId, Pair)>,
-    ) {
-        let entry = self.g.func(f).entry;
-        let formals = &self.g.node(entry).outputs;
-        let idx = port - 1;
-        if idx >= formals.len() {
-            return; // arity mismatch through a function pointer
-        }
-        let formal = formals[idx];
-        for v in self.cooper_variants(pair, f) {
-            em.push((formal, v));
-        }
-    }
-
-    /// Return input `port` (0 = store, 1 = value) feeds call output `port`.
-    fn forward_to_caller(
-        &mut self,
-        call: NodeId,
-        port: usize,
-        pair: Pair,
-        f: VFuncId,
-        em: &mut Vec<(OutputId, Pair)>,
-    ) {
-        let outs = &self.g.node(call).outputs;
-        if port >= outs.len() {
-            return; // e.g. value returned to a void-typed call site
-        }
-        let out = outs[port];
-        let pair = self.rename_heap(pair, f, call);
-        for v in self.cooper_variants(pair, f) {
-            em.push((out, v));
         }
     }
 }
@@ -783,25 +988,53 @@ mod tests {
                 ..CiConfig::default()
             },
         );
-        // PathIds are interned in solver-visit order, so two runs must be
-        // compared by rendered path content, not raw ids.
-        let render = |r: &CiResult, o: vdg::graph::OutputId| -> Vec<(String, String)> {
-            let mut v: Vec<(String, String)> = r
-                .pairs(o)
-                .iter()
-                .map(|pr| {
-                    (
-                        r.paths.display(pr.path, &g),
-                        r.paths.display(pr.referent, &g),
-                    )
-                })
-                .collect();
-            v.sort();
-            v
-        };
+        // Canonicalization at finish renumbers PathIds structurally, so
+        // two schedules agree *numerically*, not just up to rendering.
         for o in g.output_ids() {
-            assert_eq!(render(&fifo, o), render(&lifo, o), "output {o} differs");
+            assert_eq!(fifo.pairs(o), lifo.pairs(o), "output {o} differs");
         }
+        assert_eq!(fifo.flow_ins, lifo.flow_ins);
+        assert_eq!(fifo.flow_outs, lifo.flow_outs);
+    }
+
+    #[test]
+    fn naive_and_delta_agree() {
+        // The seed single-delivery discipline and difference propagation
+        // reach the same fixpoint with identical scheduling-independent
+        // counters — and, thanks to canonical path numbering, identical
+        // raw results.
+        let src = "struct node { int v; struct node *next; };\n\
+             struct node *cons(int v, struct node *t) {\n\
+               struct node *n; n = (struct node*)malloc(sizeof(struct node));\n\
+               n->v = v; n->next = t; return n; }\n\
+             int *pick(int *a, int *b, int c) { if (c) return a; return b; }\n\
+             int g0; int g1;\n\
+             int main(void) { struct node *l; int *p; l = cons(1, cons(2, NULL));\n\
+               p = pick(&g0, &g1, getchar());\n\
+               while (l != NULL) { l = l->next; } return *p; }";
+        let p = cfront::compile(src).unwrap();
+        let g = lower(&p, &BuildOptions::default()).unwrap();
+        let naive = analyze_ci(
+            &g,
+            &CiConfig {
+                propagation: Propagation::Naive,
+                ..CiConfig::default()
+            },
+        );
+        let delta = analyze_ci(&g, &CiConfig::default());
+        for o in g.output_ids() {
+            assert_eq!(naive.pairs(o), delta.pairs(o), "output {o} differs");
+        }
+        assert_eq!(naive.flow_ins, delta.flow_ins);
+        assert_eq!(naive.flow_outs, delta.flow_outs);
+        assert_eq!(naive.callees, delta.callees);
+        assert_eq!(naive.delta_batches, None);
+        let batches = delta.delta_batches.expect("delta mode reports batches");
+        assert!(
+            batches <= delta.flow_ins,
+            "batches cannot exceed deliveries"
+        );
+        assert!(batches > 0);
     }
 
     #[test]
@@ -818,11 +1051,22 @@ mod tests {
                 ..CiConfig::default()
             },
         );
-        // Strong ⊆ weak on every output.
+        // Strong ⊆ weak on every output. (Both tables are canonical over
+        // different universes, so compare rendered pairs.)
+        let render = |r: &CiResult, pr: &Pair| {
+            (
+                r.paths.display(pr.path, &g),
+                r.paths.display(pr.referent, &g),
+            )
+        };
         for o in g.output_ids() {
-            let ws: std::collections::HashSet<_> = weak.pairs(o).iter().collect();
+            let ws: crate::fxhash::HashSet<(String, String)> =
+                weak.pairs(o).iter().map(|pr| render(&weak, pr)).collect();
             for pr in strong.pairs(o) {
-                assert!(ws.contains(pr), "strong found pair weak missed");
+                assert!(
+                    ws.contains(&render(&strong, pr)),
+                    "strong found pair weak missed"
+                );
             }
         }
         // And the read is strictly more precise with strong updates.
@@ -923,11 +1167,11 @@ mod tests {
         assert_eq!(k1_refs[0].len(), 1);
         assert!(k1_refs[0][0].contains("@call"), "{:?}", k1_refs[0]);
         // Collapsing the clones recovers a subset of the site solution.
-        // (Compare by rendered content: the two runs intern PathIds in
-        // different orders.)
+        // (Compare by rendered content: the two runs canonicalize over
+        // different path universes.)
         let mut k1_paths = k1.paths.clone();
         for o in g.output_ids() {
-            let site_set: std::collections::HashSet<(String, String)> = site
+            let site_set: crate::fxhash::HashSet<(String, String)> = site
                 .pairs(o)
                 .iter()
                 .map(|p| {
@@ -960,6 +1204,9 @@ mod tests {
     fn op_counters_advance() {
         let (_, r) = analyze("int g; int main(void) { int *p; p = &g; return *p; }");
         assert!(r.flow_ins > 0);
-        assert!(r.flow_outs >= r.flow_ins / 4);
+        assert!(r.flow_outs > 0);
+        // flow_outs now counts only successful meets; attempts that were
+        // deduplicated are reported separately.
+        assert_eq!(r.flow_outs, r.total_pairs() as u64);
     }
 }

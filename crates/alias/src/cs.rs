@@ -101,8 +101,18 @@ pub struct CsResult {
     qualified: Vec<Vec<(Pair, Vec<Vec<Assumption>>)>>,
     /// Transfer-function applications (`flow-in`s).
     pub flow_ins: u64,
-    /// Meet operations (`flow-out`s).
+    /// Retained meets (`flow-out`s): emissions that survived the
+    /// subsumption check and grew an output's antichain. Discarded
+    /// attempts are counted in [`CsResult::dedup_hits`].
     pub flow_outs: u64,
+    /// Emission attempts discarded as duplicates or by subsumption.
+    pub dedup_hits: u64,
+    /// Assumption-set union operations performed — one per assumption in
+    /// every Cartesian-product step of `propagate-return`, plus the
+    /// chaining unions at lookups, updates, and copies. This is the §4.2
+    /// meet work that emission counts no longer proxy once difference
+    /// propagation prunes re-derived combinations.
+    pub meet_steps: u64,
     /// Number of distinct assumption sets ever interned.
     pub distinct_assumption_sets: usize,
     /// Size of the largest assumption set encountered.
@@ -202,6 +212,9 @@ struct Assums {
     sets: Vec<Box<[u32]>>,
     set_ids: HashMap<Box<[u32]>, u32>,
     union_memo: HashMap<(u32, u32), u32>,
+    /// Union operations requested (the CS meet count; memoized re-unions
+    /// included, since the algorithm still performs the meet logically).
+    unions: u64,
 }
 
 impl Assums {
@@ -214,6 +227,7 @@ impl Assums {
             sets: Vec::new(),
             set_ids: HashMap::default(),
             union_memo: HashMap::default(),
+            unions: 0,
         };
         a.intern_set(Box::new([]));
         a
@@ -256,6 +270,7 @@ impl Assums {
     }
 
     fn union(&mut self, a: SetId, b: SetId) -> SetId {
+        self.unions += 1;
         if a == b || b == Self::EMPTY {
             return a;
         }
@@ -265,6 +280,16 @@ impl Assums {
         let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
         if let Some(&u) = self.union_memo.get(&key) {
             return SetId(u);
+        }
+        // Subset fast paths: the merged set would re-intern to the
+        // superset's id anyway, so skip the merge and memoize directly.
+        if self.subset(a, b) {
+            self.union_memo.insert(key, b.0);
+            return b;
+        }
+        if self.subset(b, a) {
+            self.union_memo.insert(key, a.0);
+            return a;
         }
         let (xa, xb) = (self.elems(a), self.elems(b));
         let mut out = Vec::with_capacity(xa.len() + xb.len());
@@ -341,6 +366,7 @@ struct CsSolver<'g> {
     memop_ci: HashMap<NodeId, MemOpCi>,
     flow_ins: u64,
     flow_outs: u64,
+    dedup_hits: u64,
     /// Work performed inside transfer functions (Cartesian-product
     /// combinations in `propagate_return`); counted against the step
     /// budget so a single pathological return cannot hang the solver.
@@ -391,6 +417,7 @@ impl<'g> CsSolver<'g> {
             memop_ci,
             flow_ins: 0,
             flow_outs: 0,
+            dedup_hits: 0,
             work: 0,
             max_set: 0,
         }
@@ -469,26 +496,30 @@ impl<'g> CsSolver<'g> {
             qualified,
             flow_ins: self.flow_ins,
             flow_outs: self.flow_outs,
+            dedup_hits: self.dedup_hits,
+            meet_steps: self.assums.unions,
             distinct_assumption_sets: self.assums.sets.len(),
             max_assumption_set: self.max_set,
         }
     }
 
     fn flow_out(&mut self, out: OutputId, pair: Pair, set: SetId) {
-        self.flow_outs += 1;
         self.max_set = self.max_set.max(self.assums.len(set));
         let chain = self.p[out.0 as usize].entry(pair).or_default();
         if self.cfg.subsumption {
             // Discard if some held set is ⊆ the new one.
             if chain.iter().any(|&s| self.assums.subset(s, set)) {
+                self.dedup_hits += 1;
                 return;
             }
             // Drop held supersets to keep the antichain minimal.
             chain.retain(|&s| !self.assums.subset(set, s));
         } else if chain.contains(&set) {
+            self.dedup_hits += 1;
             return;
         }
         chain.push(set);
+        self.flow_outs += 1;
         for &input in self.g.consumers(out) {
             self.wl.push_back((input, pair, set));
         }
@@ -571,13 +602,13 @@ impl<'g> CsSolver<'g> {
         pair: Pair,
         set: SetId,
     ) -> Vec<(OutputId, Pair, SetId)> {
-        let n = self.g.node(node);
-        let kind = n.kind.clone();
-        let outs = n.outputs.clone();
+        let g = self.g;
+        let n = g.node(node);
+        let outs = &n.outputs;
         let mut em: Vec<(OutputId, Pair, SetId)> = Vec::new();
-        match kind {
+        match &n.kind {
             NodeKind::Member(f) => {
-                let r = self.paths.child(pair.referent, AccessOp::Field(f));
+                let r = self.paths.child(pair.referent, AccessOp::Field(*f));
                 em.push((outs[0], Pair::new(pair.path, r), set));
             }
             NodeKind::IndexElem => {
@@ -585,7 +616,7 @@ impl<'g> CsSolver<'g> {
                 em.push((outs[0], Pair::new(pair.path, r), set));
             }
             NodeKind::ExtractField(f) => {
-                if let Some(p) = self.paths.strip_first(pair.path, AccessOp::Field(f)) {
+                if let Some(p) = self.paths.strip_first(pair.path, AccessOp::Field(*f)) {
                     em.push((outs[0], Pair::new(p, pair.referent), set));
                 }
             }
@@ -639,12 +670,12 @@ impl<'g> CsSolver<'g> {
                 }
             }
             NodeKind::Update { .. } => {
-                let mci = self.memop_ci.get(&node).cloned();
-                let single = mci.as_ref().map(|m| m.single).unwrap_or(false);
+                let mci = self.memop_ci.get(&node);
+                let single = mci.map(|m| m.single).unwrap_or(false);
                 // A store pair passes without new assumptions when the CI
                 // bound proves no modified location can overwrite it.
                 let pruned_pass = |paths: &PathTable, ps: PathId| -> bool {
-                    match &mci {
+                    match mci {
                         Some(m) if !m.loc_refs.is_empty() => {
                             !m.loc_refs.iter().any(|&r| paths.strong_dom(r, ps))
                         }
@@ -792,19 +823,24 @@ impl<'g> CsSolver<'g> {
                         self.register_callee(node, f, &mut em);
                     }
                 } else {
-                    let callees = self.callees.get(&node).cloned().unwrap_or_default();
-                    for f in callees {
+                    let n_callees = self.callees.get(&node).map_or(0, |v| v.len());
+                    for i in 0..n_callees {
+                        let f = self.callees[&node][i];
                         self.forward_to_formal(node, port, pair, f, &mut em);
                         // New actual information may satisfy assumptions on
-                        // pairs already waiting at the callee's returns.
-                        self.repropagate_returns(node, f, &mut em);
+                        // pairs already waiting at the callee's returns —
+                        // but only assumptions on this pair at this
+                        // formal, and only through product combinations
+                        // that use the newly committed set.
+                        self.repropagate_new_actual(node, port, pair, set, f, &mut em);
                     }
                 }
             }
             NodeKind::Return { func } => {
-                let callers = self.callers.get(&func).cloned().unwrap_or_default();
-                for call in callers {
-                    self.propagate_return(call, port, pair, set, func, &mut em);
+                let n_callers = self.callers.get(func).map_or(0, |v| v.len());
+                for i in 0..n_callers {
+                    let call = self.callers[func][i];
+                    self.propagate_return(call, port, pair, set, *func, &mut em);
                 }
             }
             NodeKind::Base(_)
@@ -845,7 +881,7 @@ impl<'g> CsSolver<'g> {
         em: &mut Vec<(OutputId, Pair, SetId)>,
     ) {
         let entry = self.g.func(f).entry;
-        let formals = self.g.node(entry).outputs.clone();
+        let formals = &self.g.node(entry).outputs;
         let idx = port - 1;
         if idx >= formals.len() {
             return;
@@ -864,13 +900,66 @@ impl<'g> CsSolver<'g> {
         f: VFuncId,
         em: &mut Vec<(OutputId, Pair, SetId)>,
     ) {
-        let returns = self.g.func(f).returns.clone();
-        for ret in returns {
-            let n_ports = self.g.node(ret).inputs.len();
+        let g = self.g;
+        let returns = &g.func(f).returns;
+        for &ret in returns {
+            let n_ports = g.node(ret).inputs.len();
             for port in 0..n_ports {
                 for (pair, sets) in self.qpairs_at(ret, port) {
                     for set in sets {
                         self.propagate_return(call, port, pair, set, f, em);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Difference-propagation form of [`repropagate_returns`]: a new
+    /// actual `(apair, aset)` delivered on `aport` can only change the
+    /// resolution of assumptions `(formal-of-aport, apair)`, and the only
+    /// combinations not already emitted by earlier deliveries are those
+    /// that use `aset` in such a slot. Return pairs whose assumption sets
+    /// don't mention the assumption are skipped without touching the
+    /// product at all.
+    fn repropagate_new_actual(
+        &mut self,
+        call: NodeId,
+        aport: usize,
+        apair: Pair,
+        aset: SetId,
+        f: VFuncId,
+        em: &mut Vec<(OutputId, Pair, SetId)>,
+    ) {
+        let g = self.g;
+        let entry = g.func(f).entry;
+        let formals = &g.node(entry).outputs;
+        let idx = aport - 1;
+        if idx >= formals.len() {
+            return;
+        }
+        let formal = formals[idx];
+        // If the assumption was never interned, no waiting pair can
+        // mention it.
+        let Some(&aid) = self.assums.ids.get(&(formal, apair)) else {
+            return;
+        };
+        let returns = &g.func(f).returns;
+        for &ret in returns {
+            let n_ports = g.node(ret).inputs.len();
+            for port in 0..n_ports {
+                for (pair, sets) in self.qpairs_at(ret, port) {
+                    for set in sets {
+                        if self.assums.elems(set).contains(&aid) {
+                            self.propagate_return_from(
+                                call,
+                                port,
+                                pair,
+                                set,
+                                f,
+                                Some((aid, aset)),
+                                em,
+                            );
+                        }
                     }
                 }
             }
@@ -890,17 +979,40 @@ impl<'g> CsSolver<'g> {
         f: VFuncId,
         em: &mut Vec<(OutputId, Pair, SetId)>,
     ) {
-        let outs = self.g.node(call).outputs.clone();
+        self.propagate_return_from(call, ret_port, pair, set, f, None, em);
+    }
+
+    /// The general form of [`propagate_return`]. With `new_at =
+    /// Some((a, s))`, only the slice of the Cartesian product that uses
+    /// the newly committed set `s` to satisfy assumption `a` is emitted
+    /// — the difference-propagation path taken when a fresh actual
+    /// arrives at the call (see [`repropagate_new_actual`]).
+    ///
+    /// [`repropagate_new_actual`]: CsSolver::repropagate_new_actual
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's propagate-return signature
+    fn propagate_return_from(
+        &mut self,
+        call: NodeId,
+        ret_port: usize,
+        pair: Pair,
+        set: SetId,
+        f: VFuncId,
+        new_at: Option<(u32, SetId)>,
+        em: &mut Vec<(OutputId, Pair, SetId)>,
+    ) {
+        let g = self.g;
+        let outs = &g.node(call).outputs;
         if ret_port >= outs.len() {
             return;
         }
         let out = outs[ret_port];
         let pair = self.rename_heap(pair, f, call);
-        let elems: Vec<u32> = self.assums.elems(set).to_vec();
+        let elems = self.assums.elems(set);
         // Collect, per assumption, the assumption sets under which the
         // assumed pair holds at the corresponding actual of this call.
         let mut options: Vec<Vec<SetId>> = Vec::with_capacity(elems.len());
-        for a in elems {
+        let mut matching: Vec<usize> = Vec::new();
+        for (i, &a) in elems.iter().enumerate() {
             let (formal, fpair) = self.assums.info(a);
             let Some(&idx) = self.formal_pos.get(&formal) else {
                 return;
@@ -913,32 +1025,71 @@ impl<'g> CsSolver<'g> {
             let Some(sets) = self.sets_of(src, fpair) else {
                 return; // assumption not satisfied (yet) at this site
             };
+            if matches!(new_at, Some((aid, _)) if aid == a) {
+                matching.push(i);
+            }
             options.push(sets);
         }
-        // Cartesian product. Each combination counts against the step
-        // budget; once the budget is exhausted the run loop errors out.
         let variants = self.cooper_variants(pair, f);
+        match new_at {
+            None => {
+                self.emit_product(out, &variants, &options, None, em);
+            }
+            Some((_, aset)) => {
+                // Emit every combination that uses `aset` in at least one
+                // matching slot; combinations over the older sets were
+                // already emitted by earlier deliveries.
+                for &slot in &matching {
+                    if !self.emit_product(out, &variants, &options, Some((slot, aset)), em) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walks the Cartesian product of `options` (with `fixed` pinning one
+    /// slot to a single set), unioning each combination and emitting it
+    /// for every cooper variant. Returns `false` once the step budget is
+    /// exhausted; each combination counts against it, and the run loop
+    /// errors out on exhaustion.
+    fn emit_product(
+        &mut self,
+        out: OutputId,
+        variants: &[Pair],
+        options: &[Vec<SetId>],
+        fixed: Option<(usize, SetId)>,
+        em: &mut Vec<(OutputId, Pair, SetId)>,
+    ) -> bool {
         let mut combo = vec![0usize; options.len()];
         loop {
             self.work += 1;
             if self.flow_ins + self.work > self.cfg.max_steps {
-                return;
+                return false;
             }
             let mut u = Assums::EMPTY;
             for (oi, &ci_) in combo.iter().enumerate() {
-                u = self.assums.union(u, options[oi][ci_]);
+                let s = match fixed {
+                    Some((slot, fs)) if slot == oi => fs,
+                    _ => options[oi][ci_],
+                };
+                u = self.assums.union(u, s);
             }
-            for v in &variants {
+            for v in variants {
                 em.push((out, *v, u));
             }
-            // Advance the odometer.
+            // Advance the odometer (the pinned slot has length 1).
             let mut k = 0;
             loop {
                 if k == options.len() {
-                    return;
+                    return true;
                 }
+                let len = match fixed {
+                    Some((slot, _)) if slot == k => 1,
+                    _ => options[k].len(),
+                };
                 combo[k] += 1;
-                if combo[k] < options[k].len() {
+                if combo[k] < len {
                     break;
                 }
                 combo[k] = 0;

@@ -39,6 +39,7 @@ pub mod cs;
 pub mod defuse;
 pub mod fxhash;
 pub mod modref;
+pub mod pairset;
 pub mod path;
 pub mod solver;
 pub mod stats;
@@ -47,6 +48,7 @@ pub mod weihl;
 
 pub use ci::{analyze_ci, CiConfig, CiResult, WorklistOrder};
 pub use cs::{analyze_cs, cs_subset_of_ci, CsConfig, CsResult, StepLimitExceeded};
+pub use pairset::{PairId, PairInterner, PairSet, Propagation};
 pub use path::{AccessOp, Pair, PathId, PathTable};
 pub use solver::{Solution, SolutionBox, Solver};
 

@@ -343,6 +343,137 @@ impl PathTable {
         cur
     }
 
+    /// Rebuilds the table in *canonical* order: every real base root is
+    /// kept, plus exactly the paths in `used` (with their prefixes) and
+    /// the synthetic bases they mention, renumbered by structural
+    /// content — synthetic bases by `(origin, call site)`, paths by
+    /// `(base, operator sequence)`. Two solver runs that reach the same
+    /// final pair sets through different schedules intern paths in
+    /// different orders; canonicalizing at finish makes their results
+    /// *numerically* identical, not merely identical up to rendering.
+    ///
+    /// Returns the new table and an old-id → new-id map (`u32::MAX`
+    /// for dropped paths). [`PathTable::EMPTY`] always maps to itself.
+    pub fn canonicalize(&self, used: &crate::fxhash::HashSet<PathId>) -> (PathTable, Vec<u32>) {
+        let n = self.nodes.len();
+        let mut keep = vec![false; n];
+        keep[0] = true;
+        for &r in &self.base_roots[..self.n_real] {
+            keep[r.0 as usize] = true;
+        }
+        for &p in used {
+            let mut cur = p;
+            loop {
+                let i = cur.0 as usize;
+                if keep[i] {
+                    break;
+                }
+                keep[i] = true;
+                match self.nodes[i].parent {
+                    Some(par) => cur = par,
+                    None => break,
+                }
+            }
+        }
+
+        // Synthetic bases survive only if one of their paths did; they
+        // renumber densely in (origin, call-site) order.
+        let mut kept_synth: Vec<(BaseId, u32, BaseId)> = Vec::new();
+        for (i, &(orig, via)) in self.synth_origin.iter().enumerate() {
+            let old_b = BaseId((self.n_real + i) as u32);
+            let root = self.base_roots[old_b.0 as usize];
+            if keep[root.0 as usize] {
+                kept_synth.push((orig, via, old_b));
+            }
+        }
+        kept_synth.sort_unstable_by_key(|&(o, v, _)| (o.0, v));
+        let mut synth_remap: HashMap<BaseId, BaseId> = HashMap::default();
+        for (rank, &(_, _, old_b)) in kept_synth.iter().enumerate() {
+            synth_remap.insert(old_b, BaseId((self.n_real + rank) as u32));
+        }
+        let map_base = |b: BaseId| -> BaseId {
+            if (b.0 as usize) < self.n_real {
+                b
+            } else {
+                synth_remap[&b]
+            }
+        };
+
+        // Sort kept paths by structural key; prefixes sort before their
+        // extensions, so parents always precede children.
+        type Key = (u8, u32, Vec<(u8, u32)>);
+        let key_of = |i: usize| -> Key {
+            let node = &self.nodes[i];
+            let (has_base, base) = match node.base {
+                None => (0u8, 0u32),
+                Some(b) => (1, map_base(b).0),
+            };
+            let ops: Vec<(u8, u32)> = self
+                .ops_of(PathId(i as u32))
+                .into_iter()
+                .map(|op| match op {
+                    AccessOp::Field(f) => (0u8, f.0),
+                    AccessOp::Index => (1, 0),
+                })
+                .collect();
+            (has_base, base, ops)
+        };
+        let mut order: Vec<(Key, u32)> = (0..n)
+            .filter(|&i| keep[i])
+            .map(|i| (key_of(i), i as u32))
+            .collect();
+        order.sort_unstable();
+
+        let mut remap = vec![u32::MAX; n];
+        for (new, (_, old)) in order.iter().enumerate() {
+            remap[*old as usize] = new as u32;
+        }
+        debug_assert_eq!(remap[0], 0, "the empty path is minimal");
+
+        let total_bases = self.n_real + kept_synth.len();
+        let mut t = PathTable {
+            nodes: Vec::with_capacity(order.len()),
+            children: HashMap::default(),
+            base_roots: vec![PathId(0); total_bases],
+            base_single: self.base_single[..self.n_real].to_vec(),
+            base_func: self.base_func[..self.n_real].to_vec(),
+            base_older: self.base_older[..self.n_real].to_vec(),
+            n_real: self.n_real,
+            synth_origin: Vec::with_capacity(kept_synth.len()),
+            synth_map: HashMap::default(),
+        };
+        for &(orig, via, old_b) in &kept_synth {
+            let new_b = map_base(old_b);
+            t.base_single.push(self.base_single[old_b.0 as usize]);
+            t.base_func.push(self.base_func[old_b.0 as usize]);
+            t.base_older.push(self.base_older[old_b.0 as usize]);
+            t.synth_origin.push((orig, via));
+            t.synth_map.insert((orig, via), new_b);
+        }
+        for (new, (_, old)) in order.iter().enumerate() {
+            let on = &self.nodes[*old as usize];
+            let parent = on.parent.map(|p| PathId(remap[p.0 as usize]));
+            let base = on.base.map(map_base);
+            t.nodes.push(PathNode {
+                parent,
+                op: on.op,
+                base,
+                depth: on.depth,
+                has_index: on.has_index,
+            });
+            let id = PathId(new as u32);
+            if let (Some(par), Some(op)) = (parent, on.op) {
+                t.children.insert((par, op), id);
+            }
+            if on.parent.is_none() {
+                if let Some(b) = base {
+                    t.base_roots[b.0 as usize] = id;
+                }
+            }
+        }
+        (t, remap)
+    }
+
     /// Renders a path for diagnostics/tables.
     pub fn display(&self, p: PathId, graph: &Graph) -> String {
         let mut s = match self.base_of(p) {
@@ -502,6 +633,75 @@ mod tests {
         let collapsed = t.collapse_synthetic(f);
         assert_eq!(t.base_of(collapsed), Some(h));
         assert_eq!(t.ops_of(collapsed), t.ops_of(f));
+    }
+
+    #[test]
+    fn canonicalize_is_schedule_independent() {
+        // Intern the same structural paths in two different orders;
+        // canonical tables must agree numerically.
+        let build = |flip: bool| {
+            let (mut t, bs) = table_with_bases(2, &[true, false]);
+            let f0 = AccessOp::Field(FieldId(0));
+            let f1 = AccessOp::Field(FieldId(1));
+            let mk = |t: &mut PathTable, b: BaseId, ops: &[AccessOp]| {
+                let mut cur = t.base_root(b);
+                for &op in ops {
+                    cur = t.child(cur, op);
+                }
+                cur
+            };
+            let mut wanted = Vec::new();
+            let specs: Vec<(BaseId, Vec<AccessOp>)> = vec![
+                (bs[0], vec![f0]),
+                (bs[1], vec![f1, AccessOp::Index]),
+                (bs[0], vec![f0, f1]),
+                (bs[1], vec![]),
+            ];
+            let order: Vec<usize> = if flip {
+                (0..specs.len()).rev().collect()
+            } else {
+                (0..specs.len()).collect()
+            };
+            for i in order {
+                let (b, ops) = &specs[i];
+                wanted.push(mk(&mut t, *b, ops));
+            }
+            // A clone qualified by a call site, plus an unused path that
+            // pruning must drop.
+            let c = t.heap_clone(bs[1], 7);
+            wanted.push(mk(&mut t, c, &[f0]));
+            let _garbage = mk(&mut t, bs[0], &[AccessOp::Index, AccessOp::Index]);
+            let used: crate::fxhash::HashSet<PathId> = wanted.iter().copied().collect();
+            let (ct, remap) = t.canonicalize(&used);
+            let mapped: Vec<PathId> = wanted.iter().map(|p| PathId(remap[p.0 as usize])).collect();
+            (ct, mapped)
+        };
+        let (ta, ma) = build(false);
+        let (tb, mb) = build(true);
+        assert_eq!(ta.len(), tb.len());
+        // The same structural path gets the same canonical id.
+        let mut sa = ma.clone();
+        let mut sb = mb.clone();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_eq!(sa, sb);
+        for (&a, &b) in ma
+            .iter()
+            .zip(&mb[..4].iter().rev().copied().collect::<Vec<_>>())
+        {
+            // First four specs were interned in reversed order in `b`.
+            assert_eq!(ta.ops_of(a), tb.ops_of(b));
+        }
+        // Structure survives: depth, bases, dom relations, synthetics.
+        for &p in &ma {
+            assert!(ta.depth(p) <= 2);
+        }
+        let synth = ma[4];
+        let b = ta.base_of(synth).expect("based");
+        assert!(ta.is_synthetic(b));
+        // Garbage was pruned: ε + three roots (two real, one synthetic)
+        // + the six used extensions; the two unused index paths are gone.
+        assert_eq!(ta.len(), 9);
     }
 
     #[test]

@@ -30,10 +30,11 @@
 use crate::callstring::{analyze_callstring_from, CallStringConfig, CallStringResult};
 use crate::ci::{analyze_ci, CiConfig, CiResult};
 use crate::cs::{analyze_cs, CsConfig, CsResult};
+use crate::pairset::Propagation;
 use crate::path::{PathId, PathTable};
 use crate::stats::PointsToSolution;
 use crate::steensgaard::{analyze_steensgaard, SteensResult};
-use crate::weihl::{analyze_weihl_from, WeihlResult};
+use crate::weihl::{analyze_weihl_with, WeihlResult};
 use crate::AnalysisError;
 use std::cell::RefCell;
 use vdg::graph::{BaseId, Graph, NodeId};
@@ -81,6 +82,28 @@ pub trait Solution: Send {
 
     /// Meet operations (§4.2 `flow-out`s), if counted.
     fn flow_outs(&self) -> Option<u64>;
+
+    /// Emission attempts deduplicated by the committed sets (a
+    /// representation statistic; scheduling-dependent). `None` when the
+    /// solver does not track it.
+    fn dedup_hits(&self) -> Option<u64> {
+        None
+    }
+
+    /// Batched delta deliveries consumed under difference propagation.
+    /// `None` for naive propagation or solvers without a delta mode.
+    fn delta_batches(&self) -> Option<u64> {
+        None
+    }
+
+    /// Worklist deliveries saved by batching: `flow_ins − delta_batches`,
+    /// when both are known.
+    fn deliveries_saved(&self) -> Option<u64> {
+        match (self.flow_ins(), self.delta_batches()) {
+            (Some(fi), Some(db)) => Some(fi.saturating_sub(db)),
+            _ => None,
+        }
+    }
 
     /// Distinct base-locations the location input of memory-op `node`
     /// may reference — the coarsest granularity every solver supports,
@@ -141,6 +164,12 @@ impl Solution for CiResult {
     fn flow_outs(&self) -> Option<u64> {
         Some(self.flow_outs)
     }
+    fn dedup_hits(&self) -> Option<u64> {
+        Some(self.dedup_hits)
+    }
+    fn delta_batches(&self) -> Option<u64> {
+        self.delta_batches
+    }
     fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
         bases_of(&self.paths, &self.loc_referents(graph, node))
     }
@@ -198,6 +227,9 @@ impl Solution for CsResult {
     fn flow_outs(&self) -> Option<u64> {
         Some(self.flow_outs)
     }
+    fn dedup_hits(&self) -> Option<u64> {
+        Some(self.dedup_hits)
+    }
     fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
         bases_of(&self.paths, &self.loc_referents(graph, node))
     }
@@ -211,7 +243,10 @@ impl Solution for CsResult {
 
 /// Weihl's program-wide flow-insensitive baseline as a [`Solver`].
 #[derive(Debug, Clone, Copy, Default)]
-pub struct WeihlSolver;
+pub struct WeihlSolver {
+    /// Worklist discipline (delta by default).
+    pub propagation: Propagation,
+}
 
 impl Solver for WeihlSolver {
     fn name(&self) -> &str {
@@ -223,7 +258,7 @@ impl Solver for WeihlSolver {
             Some(ci) => ci.paths.clone(),
             None => PathTable::for_graph(graph),
         };
-        Ok(Box::new(analyze_weihl_from(graph, paths)))
+        Ok(Box::new(analyze_weihl_with(graph, paths, self.propagation)))
     }
 }
 
@@ -239,6 +274,12 @@ impl Solution for WeihlResult {
     }
     fn flow_outs(&self) -> Option<u64> {
         Some(self.flow_outs)
+    }
+    fn dedup_hits(&self) -> Option<u64> {
+        Some(self.dedup_hits)
+    }
+    fn delta_batches(&self) -> Option<u64> {
+        self.delta_batches
     }
     fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
         bases_of(&self.paths, &self.loc_referents(graph, node))
@@ -332,6 +373,12 @@ impl Solution for CallStringResult {
     fn flow_outs(&self) -> Option<u64> {
         Some(self.flow_outs)
     }
+    fn dedup_hits(&self) -> Option<u64> {
+        Some(self.dedup_hits)
+    }
+    fn delta_batches(&self) -> Option<u64> {
+        self.delta_batches
+    }
     fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
         bases_of(&self.paths, &self.loc_referents(graph, node))
     }
@@ -344,10 +391,35 @@ impl Solution for CallStringResult {
 /// (Weihl) to finest (assumption-set CS).
 pub fn all_solvers() -> Vec<Box<dyn Solver>> {
     vec![
-        Box::new(WeihlSolver),
+        Box::new(WeihlSolver::default()),
         Box::new(SteensgaardSolver),
         Box::new(CiSolver::default()),
         Box::new(CallStringSolver::default()),
+        Box::new(CsSolver::default()),
+    ]
+}
+
+/// All five solvers with difference propagation disabled wherever a
+/// solver has that knob (CI, Weihl, k=1). Steensgaard and the
+/// assumption-set CS analysis have no naive/delta distinction.
+pub fn all_solvers_naive() -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(WeihlSolver {
+            propagation: Propagation::Naive,
+        }),
+        Box::new(SteensgaardSolver),
+        Box::new(CiSolver {
+            config: CiConfig {
+                propagation: Propagation::Naive,
+                ..CiConfig::default()
+            },
+        }),
+        Box::new(CallStringSolver {
+            config: CallStringConfig {
+                propagation: Propagation::Naive,
+                ..CallStringConfig::default()
+            },
+        }),
         Box::new(CsSolver::default()),
     ]
 }

@@ -39,6 +39,57 @@ impl PointsToSolution for CsResult {
     }
 }
 
+/// §4.2-style cost counters of one solver run, extended with the
+/// difference-propagation statistics of the interned-pair-set
+/// representation (see DESIGN.md).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostCounters {
+    /// Pair deliveries consumed (one per `(consumer, pair)`).
+    pub flow_ins: u64,
+    /// Successful meets: emissions that grew a set.
+    pub flow_outs: u64,
+    /// Emission attempts deduplicated by the committed sets.
+    pub dedup_hits: u64,
+    /// Batched delta deliveries; `None` under naive propagation.
+    pub delta_batches: Option<u64>,
+}
+
+impl CostCounters {
+    /// Extracts the counters from a boxed solution; `None` when the
+    /// solver counts nothing (Steensgaard).
+    pub fn of(sol: &dyn crate::solver::Solution) -> Option<CostCounters> {
+        Some(CostCounters {
+            flow_ins: sol.flow_ins()?,
+            flow_outs: sol.flow_outs()?,
+            dedup_hits: sol.dedup_hits().unwrap_or(0),
+            delta_batches: sol.delta_batches(),
+        })
+    }
+
+    /// Total emission attempts — the quantity the paper calls the meet
+    /// count (`flow_outs + dedup_hits`).
+    pub fn meet_attempts(&self) -> u64 {
+        self.flow_outs + self.dedup_hits
+    }
+
+    /// Fraction of emission attempts the committed sets rejected.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        let attempts = self.meet_attempts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / attempts as f64
+        }
+    }
+
+    /// Worklist deliveries the delta batching saved: `flow_ins −
+    /// delta_batches`. `None` under naive propagation.
+    pub fn deliveries_saved(&self) -> Option<u64> {
+        self.delta_batches
+            .map(|db| self.flow_ins.saturating_sub(db))
+    }
+}
+
 /// Pair counts by output type (the columns of Figures 3 and 6).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PairTypeCounts {

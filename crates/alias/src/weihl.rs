@@ -14,6 +14,7 @@
 //! question.
 
 use crate::fxhash::{HashMap, HashSet};
+use crate::pairset::{PairId, PairInterner, PairSet, Propagation};
 use crate::path::{AccessOp, Pair, PathId, PathTable};
 use std::collections::VecDeque;
 use vdg::graph::{Graph, InputId, NodeId, NodeKind, OutputId, VFuncId};
@@ -31,8 +32,13 @@ pub struct WeihlResult {
     store_outputs: std::collections::HashSet<u32>,
     /// Transfer-function applications.
     pub flow_ins: u64,
-    /// Meet operations.
+    /// Successful meets (emissions that grew a set); redundant attempts
+    /// are counted in [`WeihlResult::dedup_hits`].
     pub flow_outs: u64,
+    /// Emission attempts deduplicated by the committed sets.
+    pub dedup_hits: u64,
+    /// Batched delta deliveries (`None` under [`Propagation::Naive`]).
+    pub delta_batches: Option<u64>,
 }
 
 impl WeihlResult {
@@ -73,21 +79,30 @@ pub fn analyze_weihl(graph: &Graph) -> WeihlResult {
     analyze_weihl_from(graph, PathTable::for_graph(graph))
 }
 
-/// Like [`analyze_weihl`], but starting from an existing path table so
-/// that the resulting [`Pair`]s are id-comparable with another solver's
-/// (e.g. pass a clone of [`crate::ci::CiResult::paths`]).
-pub fn analyze_weihl_from(graph: &Graph, paths: PathTable) -> WeihlResult {
+/// Like [`analyze_weihl_from`], with an explicit propagation discipline.
+pub fn analyze_weihl_with(
+    graph: &Graph,
+    paths: PathTable,
+    propagation: Propagation,
+) -> WeihlResult {
     let mut s = Weihl {
         g: graph,
         paths,
-        values: vec![HashSet::default(); graph.output_count()],
-        store: HashSet::default(),
-        wl: VecDeque::new(),
+        propagation,
+        interner: PairInterner::new(),
+        values: vec![PairSet::new(); graph.output_count()],
+        store: PairSet::new(),
+        naive_wl: VecDeque::new(),
+        out_wl: VecDeque::new(),
+        queued: vec![false; graph.output_count()],
+        store_queued: false,
         store_consumers: Vec::new(),
         callees: HashMap::default(),
         callers: HashMap::default(),
         flow_ins: 0,
         flow_outs: 0,
+        dedup_hits: 0,
+        delta_batches: 0,
     };
     s.collect_store_consumers();
     s.seed();
@@ -95,23 +110,42 @@ pub fn analyze_weihl_from(graph: &Graph, paths: PathTable) -> WeihlResult {
     s.finish()
 }
 
-enum Item {
-    Value(InputId, Pair),
-    Store(Pair),
+/// Like [`analyze_weihl`], but starting from an existing path table so
+/// that the resulting [`Pair`]s are id-comparable with another solver's
+/// (e.g. pass a clone of [`crate::ci::CiResult::paths`]).
+pub fn analyze_weihl_from(graph: &Graph, paths: PathTable) -> WeihlResult {
+    analyze_weihl_with(graph, paths, Propagation::default())
 }
+
+enum Item {
+    Value(InputId, PairId),
+    Store(PairId),
+}
+
+/// Delta-worklist sentinel for "the global store has a pending delta".
+const STORE_SLOT: u32 = u32::MAX;
 
 struct Weihl<'g> {
     g: &'g Graph,
     paths: PathTable,
-    values: Vec<HashSet<Pair>>,
-    store: HashSet<Pair>,
-    wl: VecDeque<Item>,
+    propagation: Propagation,
+    interner: PairInterner,
+    values: Vec<PairSet>,
+    store: PairSet,
+    /// Naive-mode worklist: single-pair deliveries.
+    naive_wl: VecDeque<Item>,
+    /// Delta-mode worklist: outputs (or [`STORE_SLOT`]) with a delta.
+    out_wl: VecDeque<u32>,
+    queued: Vec<bool>,
+    store_queued: bool,
     /// Nodes that react to new global-store pairs (lookups and copymem).
     store_consumers: Vec<NodeId>,
     callees: HashMap<NodeId, Vec<VFuncId>>,
     callers: HashMap<VFuncId, Vec<NodeId>>,
     flow_ins: u64,
     flow_outs: u64,
+    dedup_hits: u64,
+    delta_batches: u64,
 }
 
 impl<'g> Weihl<'g> {
@@ -142,58 +176,144 @@ impl<'g> Weihl<'g> {
     }
 
     fn emit_value(&mut self, out: OutputId, pair: Pair) {
-        self.flow_outs += 1;
         // Store-typed outputs all denote the global store.
         if matches!(self.g.output(out).kind, vdg::graph::ValueKind::Store) {
             self.emit_store(pair);
             return;
         }
-        if self.values[out.0 as usize].insert(pair) {
-            for &i in self.g.consumers(out) {
-                self.wl.push_back(Item::Value(i, pair));
+        let id = self.interner.intern(pair);
+        let o = out.0 as usize;
+        if self.values[o].insert(id) {
+            self.flow_outs += 1;
+            match self.propagation {
+                Propagation::Naive => {
+                    self.values[o].take_delta();
+                    for &i in self.g.consumers(out) {
+                        self.naive_wl.push_back(Item::Value(i, id));
+                    }
+                }
+                Propagation::Delta => {
+                    if !self.queued[o] && !self.g.consumers(out).is_empty() {
+                        self.queued[o] = true;
+                        self.out_wl.push_back(out.0);
+                    }
+                }
             }
+        } else {
+            self.dedup_hits += 1;
         }
     }
 
     fn emit_store(&mut self, pair: Pair) {
-        self.flow_outs += 1;
-        if self.store.insert(pair) {
-            self.wl.push_back(Item::Store(pair));
+        let id = self.interner.intern(pair);
+        if self.store.insert(id) {
+            self.flow_outs += 1;
+            match self.propagation {
+                Propagation::Naive => {
+                    self.store.take_delta();
+                    self.naive_wl.push_back(Item::Store(id));
+                }
+                Propagation::Delta => {
+                    if !self.store_queued {
+                        self.store_queued = true;
+                        self.out_wl.push_back(STORE_SLOT);
+                    }
+                }
+            }
+        } else {
+            self.dedup_hits += 1;
         }
     }
 
     fn run(&mut self) {
-        while let Some(item) = self.wl.pop_front() {
+        match self.propagation {
+            Propagation::Naive => self.run_naive(),
+            Propagation::Delta => self.run_delta(),
+        }
+    }
+
+    fn run_naive(&mut self) {
+        while let Some(item) = self.naive_wl.pop_front() {
             self.flow_ins += 1;
             match item {
-                Item::Value(input, pair) => {
+                Item::Value(input, id) => {
+                    let pair = self.interner.resolve(id);
                     let info = self.g.input(input);
                     self.transfer_value(info.node, info.port as usize, pair);
                 }
-                Item::Store(pair) => {
+                Item::Store(id) => {
+                    let pair = self.interner.resolve(id);
                     // Every lookup/copymem in the program may observe it.
-                    let consumers = self.store_consumers.clone();
-                    for node in consumers {
-                        self.transfer_store(node, pair);
+                    for i in 0..self.store_consumers.len() {
+                        self.flow_ins += 1;
+                        self.transfer_store(self.store_consumers[i], pair);
                     }
                 }
             }
         }
     }
 
+    fn run_delta(&mut self) {
+        while let Some(slot) = self.out_wl.pop_front() {
+            if slot == STORE_SLOT {
+                self.store_queued = false;
+                let batch = self.store.take_delta();
+                // One flow-in per pair pop, as in the naive discipline...
+                self.flow_ins += batch.len() as u64;
+                for i in 0..self.store_consumers.len() {
+                    // ...plus one per (pair, store consumer) re-examination.
+                    self.delta_batches += 1;
+                    for &id in &batch {
+                        self.flow_ins += 1;
+                        let pair = self.interner.resolve(PairId(id));
+                        self.transfer_store(self.store_consumers[i], pair);
+                    }
+                }
+                self.store.recycle(batch);
+            } else {
+                let o = slot as usize;
+                self.queued[o] = false;
+                let batch = self.values[o].take_delta();
+                let g = self.g;
+                for &input in g.consumers(OutputId(slot)) {
+                    self.delta_batches += 1;
+                    let info = g.input(input);
+                    let (node, port) = (info.node, info.port as usize);
+                    for &id in &batch {
+                        self.flow_ins += 1;
+                        let pair = self.interner.resolve(PairId(id));
+                        self.transfer_value(node, port, pair);
+                    }
+                }
+                self.values[o].recycle(batch);
+            }
+        }
+    }
+
     fn values_at(&self, node: NodeId, port: usize) -> Vec<Pair> {
         let src = self.g.input_src(node, port);
-        self.values[src.0 as usize].iter().copied().collect()
+        self.values[src.0 as usize]
+            .iter()
+            .map(|id| self.interner.resolve(id))
+            .collect()
+    }
+
+    fn store_snapshot(&self) -> Vec<Pair> {
+        self.store
+            .iter()
+            .map(|id| self.interner.resolve(id))
+            .collect()
     }
 
     fn transfer_value(&mut self, node: NodeId, port: usize, pair: Pair) {
-        let kind = self.g.node(node).kind.clone();
-        let outs = self.g.node(node).outputs.clone();
+        let g = self.g;
+        let n = g.node(node);
+        let outs = &n.outputs;
         let mut em: Vec<(OutputId, Pair)> = Vec::new();
         let mut st: Vec<Pair> = Vec::new();
-        match kind {
+        match &n.kind {
             NodeKind::Member(f) => {
-                let r = self.paths.child(pair.referent, AccessOp::Field(f));
+                let r = self.paths.child(pair.referent, AccessOp::Field(*f));
                 em.push((outs[0], Pair::new(pair.path, r)));
             }
             NodeKind::IndexElem => {
@@ -201,7 +321,7 @@ impl<'g> Weihl<'g> {
                 em.push((outs[0], Pair::new(pair.path, r)));
             }
             NodeKind::ExtractField(f) => {
-                if let Some(p) = self.paths.strip_first(pair.path, AccessOp::Field(f)) {
+                if let Some(p) = self.paths.strip_first(pair.path, AccessOp::Field(*f)) {
                     em.push((outs[0], Pair::new(p, pair.referent)));
                 }
             }
@@ -216,7 +336,7 @@ impl<'g> Weihl<'g> {
             NodeKind::Gamma => em.push((outs[0], pair)),
             NodeKind::Lookup { .. } if port == 0 => {
                 // New location: read the global store.
-                let store: Vec<Pair> = self.store.iter().copied().collect();
+                let store = self.store_snapshot();
                 for sp in store {
                     if self.paths.dom(pair.referent, sp.path) {
                         let off = self.paths.subtract(sp.path, pair.referent);
@@ -244,7 +364,7 @@ impl<'g> Weihl<'g> {
             NodeKind::CopyMem if (port == 1 || port == 2) => {
                 let dsts = self.values_at(node, 1);
                 let srcs = self.values_at(node, 2);
-                let store: Vec<Pair> = self.store.iter().copied().collect();
+                let store = self.store_snapshot();
                 for sp in store {
                     for s in &srcs {
                         if self.paths.dom(s.referent, sp.path) {
@@ -263,18 +383,20 @@ impl<'g> Weihl<'g> {
                         self.register_callee(node, f, &mut em);
                     }
                 } else if port >= 2 {
-                    let callees = self.callees.get(&node).cloned().unwrap_or_default();
-                    for f in callees {
-                        self.forward_to_formal(node, port, pair, f, &mut em);
+                    if let Some(callees) = self.callees.get(&node) {
+                        for &f in callees {
+                            forward_to_formal(g, port, pair, f, &mut em);
+                        }
                     }
                 }
             }
             NodeKind::Return { func } if port == 1 => {
-                let callers = self.callers.get(&func).cloned().unwrap_or_default();
-                for call in callers {
-                    let outs = self.g.node(call).outputs.clone();
-                    if outs.len() > 1 {
-                        em.push((outs[1], pair));
+                if let Some(callers) = self.callers.get(func) {
+                    for &call in callers {
+                        let outs = &g.node(call).outputs;
+                        if outs.len() > 1 {
+                            em.push((outs[1], pair));
+                        }
                     }
                 }
             }
@@ -289,14 +411,13 @@ impl<'g> Weihl<'g> {
     }
 
     /// A new pair entered the global store: rerun the store side of every
-    /// lookup/copymem.
+    /// lookup/copymem. (The caller counts the flow-in.)
     fn transfer_store(&mut self, node: NodeId, pair: Pair) {
-        self.flow_ins += 1;
-        let kind = self.g.node(node).kind.clone();
-        let outs = self.g.node(node).outputs.clone();
+        let n = self.g.node(node);
+        let outs = &n.outputs;
         let mut em: Vec<(OutputId, Pair)> = Vec::new();
         let mut st: Vec<Pair> = Vec::new();
-        match kind {
+        match &n.kind {
             NodeKind::Lookup { .. } => {
                 for lp in self.values_at(node, 0) {
                     if self.paths.dom(lp.referent, pair.path) {
@@ -335,38 +456,22 @@ impl<'g> Weihl<'g> {
         }
         list.push(f);
         self.callers.entry(f).or_default().push(call);
-        let n_inputs = self.g.node(call).inputs.len();
+        let g = self.g;
+        let n_inputs = g.node(call).inputs.len();
         for port in 2..n_inputs {
             for pair in self.values_at(call, port) {
-                self.forward_to_formal(call, port, pair, f, em);
+                forward_to_formal(g, port, pair, f, em);
             }
         }
-        let returns = self.g.func(f).returns.clone();
-        for ret in returns {
-            if self.g.has_input(ret, 1) {
+        for &ret in &g.func(f).returns {
+            if g.has_input(ret, 1) {
                 for pair in self.values_at(ret, 1) {
-                    let outs = self.g.node(call).outputs.clone();
+                    let outs = &g.node(call).outputs;
                     if outs.len() > 1 {
                         em.push((outs[1], pair));
                     }
                 }
             }
-        }
-    }
-
-    fn forward_to_formal(
-        &mut self,
-        _call: NodeId,
-        port: usize,
-        pair: Pair,
-        f: VFuncId,
-        em: &mut Vec<(OutputId, Pair)>,
-    ) {
-        let entry = self.g.func(f).entry;
-        let formals = &self.g.node(entry).outputs;
-        let idx = port - 1;
-        if idx < formals.len() {
-            em.push((formals[idx], pair));
         }
     }
 
@@ -377,16 +482,17 @@ impl<'g> Weihl<'g> {
             .filter(|o| matches!(self.g.output(*o).kind, vdg::graph::ValueKind::Store))
             .map(|o| o.0)
             .collect();
+        let it = &self.interner;
         let values = self
             .values
-            .into_iter()
+            .iter()
             .map(|s| {
-                let mut v: Vec<Pair> = s.into_iter().collect();
+                let mut v: Vec<Pair> = s.iter().map(|id| it.resolve(id)).collect();
                 v.sort_unstable();
                 v
             })
             .collect();
-        let mut store: Vec<Pair> = self.store.into_iter().collect();
+        let mut store: Vec<Pair> = self.store.iter().map(|id| it.resolve(id)).collect();
         store.sort_unstable();
         WeihlResult {
             paths: self.paths,
@@ -395,7 +501,29 @@ impl<'g> Weihl<'g> {
             store_outputs,
             flow_ins: self.flow_ins,
             flow_outs: self.flow_outs,
+            dedup_hits: self.dedup_hits,
+            delta_batches: match self.propagation {
+                Propagation::Naive => None,
+                Propagation::Delta => Some(self.delta_batches),
+            },
         }
+    }
+}
+
+/// Pairs arriving at a call's actual-argument port flow to the matching
+/// formal of callee `f`.
+fn forward_to_formal(
+    g: &Graph,
+    port: usize,
+    pair: Pair,
+    f: VFuncId,
+    em: &mut Vec<(OutputId, Pair)>,
+) {
+    let entry = g.func(f).entry;
+    let formals = &g.node(entry).outputs;
+    let idx = port - 1;
+    if idx < formals.len() {
+        em.push((formals[idx], pair));
     }
 }
 

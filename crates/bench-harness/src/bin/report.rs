@@ -2,24 +2,62 @@
 //! every benchmark × every solver, with per-stage metrics.
 //!
 //! ```text
-//! cargo run -p bench-harness --bin report            # metrics table
-//! cargo run -p bench-harness --bin report -- --json  # EngineReport JSON
+//! cargo run -p bench-harness --bin report                  # metrics table
+//! cargo run -p bench-harness --bin report -- --json        # EngineReport JSON
 //! cargo run -p bench-harness --bin report -- --threads 4
+//! cargo run -p bench-harness --bin report -- --scaling     # synthetic sweep
+//! cargo run -p bench-harness --bin report -- --naive       # PR 1 worklists
+//! cargo run -p bench-harness --bin report -- --fingerprint # hashable report
 //! ```
+//!
+//! `--scaling` swaps the paper suite for the synthetic chain/diamond
+//! sweep (`suite::scaling`); `--naive` disables difference propagation
+//! in every solver that has the knob, reproducing the PR 1 worklist
+//! discipline; `--fingerprint` prints the schedule-independent report
+//! rendering (timings and delta-batch counters nulled), which must be
+//! byte-identical across `--threads` values and worklist disciplines.
 //!
 //! The JSON schema is documented in DESIGN.md §"The engine".
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let scaling = args.iter().any(|a| a == "--scaling");
+    let naive = args.iter().any(|a| a == "--naive");
+    let fingerprint = args.iter().any(|a| a == "--fingerprint");
     let threads = args
         .iter()
         .position(|a| a == "--threads")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(0usize);
+    if let Some(dir) = args
+        .iter()
+        .position(|a| a == "--emit")
+        .and_then(|i| args.get(i + 1))
+    {
+        // Dump the scaling sweep's sources (for inspection, or for
+        // benchmarking them under another checkout).
+        std::fs::create_dir_all(dir).expect("create emit dir");
+        for j in bench_harness::scaling_jobs() {
+            let path = std::path::Path::new(dir).join(format!("{}.c", j.name));
+            std::fs::write(&path, &j.source).expect("write program");
+            println!("wrote {}", path.display());
+        }
+        return;
+    }
 
-    let run = bench_harness::suite_spectrum(threads);
+    let run = if scaling {
+        bench_harness::scaling_spectrum(threads, naive)
+    } else if naive {
+        bench_harness::suite_spectrum_naive(threads)
+    } else {
+        bench_harness::suite_spectrum(threads)
+    };
+    if fingerprint {
+        print!("{}", run.report.fingerprint());
+        return;
+    }
     if json {
         print!("{}", run.report.to_json());
         return;

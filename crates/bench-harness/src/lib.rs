@@ -130,6 +130,51 @@ pub fn suite_spectrum(threads: usize) -> EngineRun {
         .expect("suite analyzes")
 }
 
+/// Like [`suite_spectrum`], but with difference propagation disabled in
+/// every solver that has the knob (the PR 1 worklist discipline). Used
+/// to measure what delta propagation buys.
+pub fn suite_spectrum_naive(threads: usize) -> EngineRun {
+    // The listed "ci" solver reuses the shared prepare-stage run, so
+    // the discipline has to be set on the engine, not just the list.
+    Engine::new()
+        .solvers(alias::solver::all_solvers_naive())
+        .ci_config(naive_ci())
+        .threads(threads)
+        .run(&Job::suite())
+        .expect("suite analyzes")
+}
+
+fn naive_ci() -> alias::CiConfig {
+    alias::CiConfig {
+        propagation: alias::pairset::Propagation::Naive,
+        ..alias::CiConfig::default()
+    }
+}
+
+/// The standard synthetic scaling sweep as engine jobs
+/// (see [`suite::scaling`]).
+pub fn scaling_jobs() -> Vec<Job> {
+    suite::scaling::standard_suite(1)
+        .into_iter()
+        .map(|p| Job {
+            name: p.name,
+            source: p.source,
+        })
+        .collect()
+}
+
+/// A full-spectrum engine run over the synthetic scaling sweep.
+/// `naive` swaps in the PR 1 worklist discipline.
+pub fn scaling_spectrum(threads: usize, naive: bool) -> EngineRun {
+    let mut e = Engine::new().threads(threads);
+    if naive {
+        e = e
+            .solvers(alias::solver::all_solvers_naive())
+            .ci_config(naive_ci());
+    }
+    e.run(&scaling_jobs()).expect("scaling programs analyze")
+}
+
 /// Renders an aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

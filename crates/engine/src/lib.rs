@@ -382,6 +382,9 @@ impl BenchOutput {
                     pairs: s.solution.as_ref().and_then(|x| x.pairs()),
                     flow_ins: s.solution.as_ref().and_then(|x| x.flow_ins()),
                     flow_outs: s.solution.as_ref().and_then(|x| x.flow_outs()),
+                    dedup_hits: s.solution.as_ref().and_then(|x| x.dedup_hits()),
+                    delta_batches: s.solution.as_ref().and_then(|x| x.delta_batches()),
+                    deliveries_saved: s.solution.as_ref().and_then(|x| x.deliveries_saved()),
                     error: s.error.clone(),
                 })
                 .collect(),

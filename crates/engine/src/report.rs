@@ -6,8 +6,11 @@
 //! reason to stop being so. All durations are reported twice: as
 //! `*_ns` integer nanoseconds (exact) and implicitly via the
 //! benchmark's stage order. A *fingerprint* is the same document with
-//! every timing and the thread count zeroed, so two runs can be compared
-//! for semantic equality regardless of scheduling.
+//! every timing and the thread count zeroed — and the delta-batch
+//! counters (`dedup_hits`, `delta_batches`, `deliveries_saved`, which
+//! measure the propagation *schedule*, not the solution) nulled — so two
+//! runs can be compared for semantic equality regardless of scheduling,
+//! thread count, or propagation discipline.
 
 use std::time::Duration;
 
@@ -25,6 +28,15 @@ pub struct SolverMetrics {
     pub flow_ins: Option<u64>,
     /// Meet operations.
     pub flow_outs: Option<u64>,
+    /// Emission attempts deduplicated by the committed sets
+    /// (scheduling-dependent; nulled in the fingerprint).
+    pub dedup_hits: Option<u64>,
+    /// Batched delta deliveries consumed under difference propagation
+    /// (`None` under naive propagation; nulled in the fingerprint).
+    pub delta_batches: Option<u64>,
+    /// Worklist deliveries saved by delta batching:
+    /// `flow_ins − delta_batches` (nulled in the fingerprint).
+    pub deliveries_saved: Option<u64>,
     /// Failure (e.g. a step-budget overflow), if the solve failed.
     pub error: Option<String>,
 }
@@ -106,14 +118,23 @@ impl EngineReport {
                 ns(b.lowering)
             ));
             for (j, s) in b.solvers.iter().enumerate() {
+                // The delta-batch counters describe the propagation
+                // schedule, not the fixpoint, so the fingerprint nulls
+                // them alongside the timings.
+                let sched = |v: Option<u64>| if timings { v } else { None };
                 out.push_str(&format!(
                     "      {{\"analysis\": {}, \"wall_ns\": {}, \"pairs\": {}, \
-                     \"flow_ins\": {}, \"flow_outs\": {}, \"error\": {}}}{}\n",
+                     \"flow_ins\": {}, \"flow_outs\": {}, \"dedup_hits\": {}, \
+                     \"delta_batches\": {}, \"deliveries_saved\": {}, \
+                     \"error\": {}}}{}\n",
                     json_str(&s.analysis),
                     ns(s.wall),
                     json_opt(s.pairs.map(|v| v.to_string())),
                     json_opt(s.flow_ins.map(|v| v.to_string())),
                     json_opt(s.flow_outs.map(|v| v.to_string())),
+                    json_opt(sched(s.dedup_hits).map(|v| v.to_string())),
+                    json_opt(sched(s.delta_batches).map(|v| v.to_string())),
+                    json_opt(sched(s.deliveries_saved).map(|v| v.to_string())),
                     json_opt_str(s.error.as_deref()),
                     if j + 1 < b.solvers.len() { "," } else { "" }
                 ));
@@ -182,6 +203,9 @@ mod tests {
                         pairs: Some(1234),
                         flow_ins: Some(5000),
                         flow_outs: Some(800),
+                        dedup_hits: Some(42),
+                        delta_batches: Some(700),
+                        deliveries_saved: Some(4300),
                         error: None,
                     },
                     SolverMetrics {
@@ -190,6 +214,9 @@ mod tests {
                         pairs: None,
                         flow_ins: None,
                         flow_outs: None,
+                        dedup_hits: None,
+                        delta_batches: None,
+                        deliveries_saved: None,
                         error: None,
                     },
                 ],
@@ -207,9 +234,27 @@ mod tests {
             "\"flow_ins\": null",
             "\"error\": null",
             "\"indirect_refs\": 9",
+            "\"dedup_hits\": 42",
+            "\"delta_batches\": 700",
+            "\"deliveries_saved\": 4300",
         ] {
             assert!(j.contains(needle), "missing {needle} in\n{j}");
         }
+    }
+
+    #[test]
+    fn fingerprint_nulls_delta_batch_counters() {
+        let mut a = sample();
+        let mut b = sample();
+        // Different propagation schedules: different dedup/batch stats...
+        a.benchmarks[0].solvers[0].dedup_hits = Some(1);
+        a.benchmarks[0].solvers[0].delta_batches = None;
+        a.benchmarks[0].solvers[0].deliveries_saved = None;
+        b.benchmarks[0].solvers[0].dedup_hits = Some(9000);
+        // ...same fingerprint, as long as the fixpoint metrics agree.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(!a.fingerprint().contains("\"dedup_hits\": 1"));
+        assert_ne!(a.to_json(), b.to_json());
     }
 
     #[test]

@@ -25,3 +25,28 @@ fn repeated_runs_are_reproducible() {
     let b = Engine::new().threads(2).run(&jobs).expect("second run");
     assert_eq!(a.report.fingerprint(), b.report.fingerprint());
 }
+
+#[test]
+fn naive_discipline_matches_delta_fingerprint() {
+    // The fingerprint nulls the schedule-describing counters
+    // (`dedup_hits`, `delta_batches`, `deliveries_saved`), so the
+    // PR 1-style naive worklists and the delta-batched worklists must
+    // render identically: same solutions, same deliveries, same unique
+    // insertions.
+    let jobs = Job::named(&["span", "part", "compress"]);
+    let delta = Engine::new().threads(2).run(&jobs).expect("delta run");
+    let naive = Engine::new()
+        .solvers(alias::solver::all_solvers_naive())
+        .ci_config(alias::CiConfig {
+            propagation: alias::pairset::Propagation::Naive,
+            ..alias::CiConfig::default()
+        })
+        .threads(2)
+        .run(&jobs)
+        .expect("naive run");
+    assert_eq!(
+        delta.report.fingerprint(),
+        naive.report.fingerprint(),
+        "propagation discipline changed the analysis products"
+    );
+}

@@ -15,6 +15,7 @@
 
 pub mod generator;
 pub mod rng;
+pub mod scaling;
 
 /// One benchmark program.
 #[derive(Debug, Clone, Copy)]

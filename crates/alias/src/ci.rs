@@ -52,6 +52,22 @@ pub enum HeapNaming {
     CallString1,
 }
 
+/// Deliberate fault injection, exercised by the differential fuzzer's
+/// planted-bug self-test (`engine::fuzz`). Every real configuration uses
+/// [`Fault::None`]; the other variants exist so the fuzzing pipeline can
+/// prove it *detects and minimizes* a genuine soundness bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fault {
+    /// No injected fault (the only sound configuration).
+    #[default]
+    None,
+    /// Weakened strong-update guard: a store through a *may*-alias
+    /// location set kills the previous bindings of **every** referent,
+    /// as if each were a must-referent. Unsound as soon as the location
+    /// set has two or more entries.
+    OverStrongUpdates,
+}
+
 /// Configuration of the CI solver.
 #[derive(Debug, Clone)]
 pub struct CiConfig {
@@ -64,6 +80,9 @@ pub struct CiConfig {
     pub heap_naming: HeapNaming,
     /// Propagation discipline (results are discipline-independent).
     pub propagation: Propagation,
+    /// Fault injection for the fuzzer's planted-bug test; keep
+    /// [`Fault::None`] everywhere else.
+    pub fault: Fault,
 }
 
 impl Default for CiConfig {
@@ -73,6 +92,7 @@ impl Default for CiConfig {
             order: WorklistOrder::Fifo,
             heap_naming: HeapNaming::Site,
             propagation: Propagation::Delta,
+            fault: Fault::None,
         }
     }
 }
@@ -551,6 +571,11 @@ impl<'g> Solver<'g> {
             NodeKind::Update { .. } => {
                 let out = n.outputs[0];
                 let strong = self.cfg.strong_updates;
+                // The planted-bug injection: under `Fault::OverStrongUpdates`
+                // every may-referent of the location input acts as a killer,
+                // so a two-referent store erases the old binding of *both*
+                // targets instead of keeping each (weak-update) copy.
+                let fault = strong && self.cfg.fault == Fault::OverStrongUpdates;
                 match port {
                     0 => {
                         // New location pair.
@@ -559,10 +584,23 @@ impl<'g> Solver<'g> {
                             let path = self.paths.append(pair.referent, vp.path);
                             em.push((out, Pair::new(path, vp.referent)));
                         }
+                        let killers: Vec<PathId> = if fault {
+                            let loc_src = g.input_src(node, 0);
+                            let mut k: Vec<PathId> = self.sets[loc_src.0 as usize]
+                                .iter()
+                                .map(|id| self.interner.resolve(id).referent)
+                                .collect();
+                            k.push(pair.referent);
+                            k
+                        } else {
+                            vec![pair.referent]
+                        };
                         let src = g.input_src(node, 1);
                         for id in self.sets[src.0 as usize].iter() {
                             let sp = self.interner.resolve(id);
-                            if !(strong && self.paths.strong_dom(pair.referent, sp.path)) {
+                            let killed = strong
+                                && killers.iter().any(|&r| self.paths.strong_dom(r, sp.path));
+                            if !killed {
                                 em.push((out, sp));
                             }
                         }
@@ -573,10 +611,21 @@ impl<'g> Solver<'g> {
                         // means the pair stays blocked — the dual-worklist
                         // delay of [CWZ90].)
                         let src = g.input_src(node, 0);
-                        let passes = self.sets[src.0 as usize]
-                            .iter()
-                            .map(|id| self.interner.resolve(id))
-                            .any(|lp| !(strong && self.paths.strong_dom(lp.referent, pair.path)));
+                        let mut any_lp = false;
+                        let mut any_kill = false;
+                        let mut all_kill = true;
+                        for id in self.sets[src.0 as usize].iter() {
+                            let lp = self.interner.resolve(id);
+                            any_lp = true;
+                            let k = strong && self.paths.strong_dom(lp.referent, pair.path);
+                            any_kill |= k;
+                            all_kill &= k;
+                        }
+                        let passes = if fault {
+                            any_lp && !any_kill
+                        } else {
+                            any_lp && !all_kill
+                        };
                         if passes {
                             em.push((out, pair));
                         }

@@ -46,11 +46,11 @@ pub mod stats;
 pub mod steensgaard;
 pub mod weihl;
 
-pub use ci::{analyze_ci, CiConfig, CiResult, WorklistOrder};
+pub use ci::{analyze_ci, CiConfig, CiResult, Fault, HeapNaming, WorklistOrder};
 pub use cs::{analyze_cs, cs_subset_of_ci, CsConfig, CsResult, StepLimitExceeded};
 pub use pairset::{PairId, PairInterner, PairSet, Propagation};
 pub use path::{AccessOp, Pair, PathId, PathTable};
-pub use solver::{Solution, SolutionBox, Solver};
+pub use solver::{Solution, SolutionBox, Solver, SolverKind, SolverSpec};
 
 use std::fmt;
 use vdg::graph::Graph;
@@ -64,6 +64,34 @@ pub enum AnalysisError {
     Lowering(cfront::Diagnostic),
     /// The CS analysis exceeded its step budget.
     StepLimit(StepLimitExceeded),
+    /// An underlying error annotated with *where* it happened — which
+    /// solver, on which benchmark or fuzz seed — so engine and fuzz
+    /// reports print actionable one-liners instead of a bare cause.
+    Context {
+        /// [`solver::Solver::name`] of the failing solver.
+        solver: String,
+        /// The benchmark name or fuzz-seed label being analyzed.
+        job: String,
+        /// The underlying failure.
+        source: Box<AnalysisError>,
+    },
+}
+
+impl AnalysisError {
+    /// Wraps the error with the solver and benchmark/seed it came from.
+    /// Layering a second context replaces the first instead of nesting.
+    #[must_use]
+    pub fn in_context(self, solver: &str, job: &str) -> AnalysisError {
+        let source = match self {
+            AnalysisError::Context { source, .. } => source,
+            other => Box::new(other),
+        };
+        AnalysisError::Context {
+            solver: solver.to_string(),
+            job: job.to_string(),
+            source,
+        }
+    }
 }
 
 impl fmt::Display for AnalysisError {
@@ -72,11 +100,23 @@ impl fmt::Display for AnalysisError {
             AnalysisError::Frontend(e) => write!(f, "frontend: {e}"),
             AnalysisError::Lowering(e) => write!(f, "lowering: {e}"),
             AnalysisError::StepLimit(e) => write!(f, "{e}"),
+            AnalysisError::Context {
+                solver,
+                job,
+                source,
+            } => write!(f, "{solver} on {job}: {source}"),
         }
     }
 }
 
-impl std::error::Error for AnalysisError {}
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Context { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<cfront::FrontendError> for AnalysisError {
     fn from(e: cfront::FrontendError) -> Self {

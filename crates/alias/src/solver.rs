@@ -28,7 +28,7 @@
 //! boxed solutions of every pair-based solver.
 
 use crate::callstring::{analyze_callstring_from, CallStringConfig, CallStringResult};
-use crate::ci::{analyze_ci, CiConfig, CiResult};
+use crate::ci::{analyze_ci, CiConfig, CiResult, Fault, HeapNaming, WorklistOrder};
 use crate::cs::{analyze_cs, CsConfig, CsResult};
 use crate::pairset::Propagation;
 use crate::path::{PathId, PathTable};
@@ -110,17 +110,61 @@ pub trait Solution: Send {
     /// hence the common precision currency of the spectrum table.
     fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId>;
 
+    /// Path-granular referents of the location input of memory-op
+    /// `node`, for solvers with a per-program-point pair
+    /// representation. `None` for the unification baseline, whose
+    /// solution has no per-point sets; callers (the interpreter oracle,
+    /// the fuzz lattice checker) fall back to
+    /// [`Solution::loc_referent_bases`].
+    fn referents_at(&self, _graph: &Graph, _node: NodeId) -> Option<Vec<PathId>> {
+        None
+    }
+
+    /// The interned path universe the referents are expressed in, when
+    /// the representation has one. Paired with
+    /// [`Solution::referents_at`]; both are `Some` or both `None`.
+    fn path_universe(&self) -> Option<&PathTable> {
+        None
+    }
+
+    /// Whether this (coarser) solution covers `finer` at every indirect
+    /// memory reference: at each node of `graph.indirect_mem_ops()`,
+    /// `finer`'s referent bases must be a subset of ours. This is the
+    /// precision-lattice check (CS ⊆ k=1 ⊆ CI ⊆ Weihl) at the base
+    /// granularity every solver supports. Returns `None` when the two
+    /// solutions cannot be compared (reserved for future
+    /// representations; the five built-in solvers always compare).
+    fn covers(&self, graph: &Graph, finer: &dyn Solution) -> Option<bool> {
+        for (node, _) in graph.indirect_mem_ops() {
+            let coarse = self.loc_referent_bases(graph, node);
+            let fine = finer.loc_referent_bases(graph, node);
+            // Both sides are sorted and deduplicated by contract.
+            if !fine.iter().all(|b| coarse.binary_search(b).is_ok()) {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+
     /// Pair-level view, when the representation has one.
     fn as_points_to(&self) -> Option<&dyn PointsToSolution> {
         None
     }
 
     /// Downcast to the concrete CI result.
+    ///
+    /// Legacy escape hatch kept for the paper-table consumers; new code
+    /// should query through [`Solution::referents_at`] and
+    /// [`Solution::covers`] instead of downcasting.
     fn as_ci(&self) -> Option<&CiResult> {
         None
     }
 
     /// Downcast to the concrete CS result.
+    ///
+    /// Legacy escape hatch kept for the paper-table consumers; new code
+    /// should query through [`Solution::referents_at`] and
+    /// [`Solution::covers`] instead of downcasting.
     fn as_cs(&self) -> Option<&CsResult> {
         None
     }
@@ -172,6 +216,12 @@ impl Solution for CiResult {
     }
     fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
         bases_of(&self.paths, &self.loc_referents(graph, node))
+    }
+    fn referents_at(&self, graph: &Graph, node: NodeId) -> Option<Vec<PathId>> {
+        Some(self.loc_referents(graph, node))
+    }
+    fn path_universe(&self) -> Option<&PathTable> {
+        Some(&self.paths)
     }
     fn as_points_to(&self) -> Option<&dyn PointsToSolution> {
         Some(self)
@@ -233,6 +283,12 @@ impl Solution for CsResult {
     fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
         bases_of(&self.paths, &self.loc_referents(graph, node))
     }
+    fn referents_at(&self, graph: &Graph, node: NodeId) -> Option<Vec<PathId>> {
+        Some(self.loc_referents(graph, node))
+    }
+    fn path_universe(&self) -> Option<&PathTable> {
+        Some(&self.paths)
+    }
     fn as_points_to(&self) -> Option<&dyn PointsToSolution> {
         Some(self)
     }
@@ -283,6 +339,12 @@ impl Solution for WeihlResult {
     }
     fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
         bases_of(&self.paths, &self.loc_referents(graph, node))
+    }
+    fn referents_at(&self, graph: &Graph, node: NodeId) -> Option<Vec<PathId>> {
+        Some(self.loc_referents(graph, node))
+    }
+    fn path_universe(&self) -> Option<&PathTable> {
+        Some(&self.paths)
     }
 }
 
@@ -382,51 +444,372 @@ impl Solution for CallStringResult {
     fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
         bases_of(&self.paths, &self.loc_referents(graph, node))
     }
+    fn referents_at(&self, graph: &Graph, node: NodeId) -> Option<Vec<PathId>> {
+        Some(self.loc_referents(graph, node))
+    }
+    fn path_universe(&self) -> Option<&PathTable> {
+        Some(&self.paths)
+    }
     fn as_points_to(&self) -> Option<&dyn PointsToSolution> {
         Some(self)
+    }
+}
+
+/// Which of the five analyses a [`SolverSpec`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// Weihl's program-wide flow-insensitive baseline.
+    Weihl,
+    /// Steensgaard's unification baseline.
+    Steensgaard,
+    /// The context-insensitive analysis (§3).
+    Ci,
+    /// The k=1 call-string analysis.
+    CallString1,
+    /// The assumption-set context-sensitive analysis (§4).
+    Cs,
+}
+
+impl SolverKind {
+    /// Stable machine-readable name, matching [`Solver::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Weihl => "weihl",
+            SolverKind::Steensgaard => "steensgaard",
+            SolverKind::Ci => "ci",
+            SolverKind::CallString1 => "k1",
+            SolverKind::Cs => "cs",
+        }
+    }
+}
+
+/// One builder-style description of any solver configuration.
+///
+/// Collapses the per-solver config scatter (`CiConfig`, `CsConfig`,
+/// `CallStringConfig`, the `Propagation` knob, step budgets) into a
+/// single value that every harness — the engine, the CLI `spectrum`,
+/// the figure bins, the fuzzer — constructs solvers from, so no caller
+/// hard-codes five call sites again. Knobs a given analysis does not
+/// have are simply ignored by [`SolverSpec::build`]:
+///
+/// ```
+/// use alias::SolverSpec;
+/// let spec = SolverSpec::cs().subsumption(false).max_steps(1_000_000);
+/// let solver = spec.build(); // Box<dyn Solver>
+/// assert_eq!(solver.name(), "cs");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolverSpec {
+    kind: SolverKind,
+    strong_updates: bool,
+    order: WorklistOrder,
+    heap_naming: HeapNaming,
+    propagation: Propagation,
+    subsumption: bool,
+    ci_pruning: bool,
+    max_steps: u64,
+    fault: Fault,
+}
+
+impl SolverSpec {
+    /// A spec for `kind` with the paper-default knobs.
+    pub fn new(kind: SolverKind) -> SolverSpec {
+        let cs = CsConfig::default();
+        SolverSpec {
+            kind,
+            strong_updates: true,
+            order: WorklistOrder::default(),
+            heap_naming: HeapNaming::default(),
+            propagation: Propagation::default(),
+            subsumption: cs.subsumption,
+            ci_pruning: cs.ci_pruning,
+            max_steps: cs.max_steps,
+            fault: Fault::None,
+        }
+    }
+
+    /// The context-insensitive analysis (§3), default knobs.
+    pub fn ci() -> SolverSpec {
+        SolverSpec::new(SolverKind::Ci)
+    }
+
+    /// The assumption-set CS analysis (§4), default knobs.
+    pub fn cs() -> SolverSpec {
+        SolverSpec::new(SolverKind::Cs)
+    }
+
+    /// Weihl's flow-insensitive baseline, default knobs.
+    pub fn weihl() -> SolverSpec {
+        SolverSpec::new(SolverKind::Weihl)
+    }
+
+    /// Steensgaard's unification baseline (no knobs).
+    pub fn steensgaard() -> SolverSpec {
+        SolverSpec::new(SolverKind::Steensgaard)
+    }
+
+    /// The k=1 call-string analysis, default knobs.
+    pub fn k1() -> SolverSpec {
+        SolverSpec::new(SolverKind::CallString1)
+    }
+
+    /// Looks up a default spec by [`Solver::name`].
+    pub fn by_name(name: &str) -> Option<SolverSpec> {
+        let kind = match name {
+            "weihl" => SolverKind::Weihl,
+            "steensgaard" => SolverKind::Steensgaard,
+            "ci" => SolverKind::Ci,
+            "k1" => SolverKind::CallString1,
+            "cs" => SolverKind::Cs,
+            _ => return None,
+        };
+        Some(SolverSpec::new(kind))
+    }
+
+    /// All five analyses with default knobs, in spectrum order —
+    /// coarsest (Weihl) to finest (assumption-set CS).
+    pub fn all() -> Vec<SolverSpec> {
+        [
+            SolverKind::Weihl,
+            SolverKind::Steensgaard,
+            SolverKind::Ci,
+            SolverKind::CallString1,
+            SolverKind::Cs,
+        ]
+        .into_iter()
+        .map(SolverSpec::new)
+        .collect()
+    }
+
+    /// All five analyses with difference propagation disabled wherever
+    /// a solver has that knob (CI, Weihl, k=1). Steensgaard and the
+    /// assumption-set CS analysis have no naive/delta distinction.
+    pub fn all_naive() -> Vec<SolverSpec> {
+        SolverSpec::all()
+            .into_iter()
+            .map(|s| s.propagation(Propagation::Naive))
+            .collect()
+    }
+
+    /// Which analysis this spec describes.
+    pub fn kind(&self) -> SolverKind {
+        self.kind
+    }
+
+    /// The spec's [`Solver::name`].
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Perform strong updates (CI, CS, k=1).
+    pub fn strong_updates(mut self, on: bool) -> SolverSpec {
+        self.strong_updates = on;
+        self
+    }
+
+    /// Worklist discipline (CI; results are order-independent).
+    pub fn order(mut self, order: WorklistOrder) -> SolverSpec {
+        self.order = order;
+        self
+    }
+
+    /// Heap allocation-site naming (CI, CS).
+    pub fn heap_naming(mut self, naming: HeapNaming) -> SolverSpec {
+        self.heap_naming = naming;
+        self
+    }
+
+    /// Propagation discipline (CI, Weihl, k=1; results are
+    /// discipline-independent).
+    pub fn propagation(mut self, propagation: Propagation) -> SolverSpec {
+        self.propagation = propagation;
+        self
+    }
+
+    /// Assumption-set subsumption (CS, §4.2).
+    pub fn subsumption(mut self, on: bool) -> SolverSpec {
+        self.subsumption = on;
+        self
+    }
+
+    /// CI-backed assumption pruning (CS, §4.2).
+    pub fn ci_pruning(mut self, on: bool) -> SolverSpec {
+        self.ci_pruning = on;
+        self
+    }
+
+    /// Step budget for the potentially exponential solvers (CS, k=1).
+    pub fn max_steps(mut self, steps: u64) -> SolverSpec {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Fault injection (CI only), for the fuzzer's planted-bug
+    /// self-test. Keep [`Fault::None`] everywhere else.
+    pub fn fault(mut self, fault: Fault) -> SolverSpec {
+        self.fault = fault;
+        self
+    }
+
+    /// The spec's knobs projected onto a [`CiConfig`].
+    pub fn ci_config(&self) -> CiConfig {
+        CiConfig {
+            strong_updates: self.strong_updates,
+            order: self.order,
+            heap_naming: self.heap_naming,
+            propagation: self.propagation,
+            fault: self.fault,
+        }
+    }
+
+    /// The spec's knobs projected onto a [`CsConfig`].
+    pub fn cs_config(&self) -> CsConfig {
+        CsConfig {
+            heap_naming: self.heap_naming,
+            subsumption: self.subsumption,
+            ci_pruning: self.ci_pruning,
+            strong_updates: self.strong_updates,
+            max_steps: self.max_steps,
+        }
+    }
+
+    /// The spec's knobs projected onto a [`CallStringConfig`].
+    pub fn callstring_config(&self) -> CallStringConfig {
+        CallStringConfig {
+            strong_updates: self.strong_updates,
+            max_steps: self.max_steps,
+            propagation: self.propagation,
+        }
+    }
+
+    /// Constructs the described solver. Knobs the analysis does not
+    /// have are ignored.
+    pub fn build(&self) -> Box<dyn Solver> {
+        match self.kind {
+            SolverKind::Weihl => Box::new(WeihlSolver {
+                propagation: self.propagation,
+            }),
+            SolverKind::Steensgaard => Box::new(SteensgaardSolver),
+            SolverKind::Ci => Box::new(CiSolver {
+                config: self.ci_config(),
+            }),
+            SolverKind::CallString1 => Box::new(CallStringSolver {
+                config: self.callstring_config(),
+            }),
+            SolverKind::Cs => Box::new(CsSolver {
+                config: self.cs_config(),
+            }),
+        }
+    }
+
+    /// Runs the described solver, like `self.build().solve(..)` but
+    /// without the intermediate box.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::StepLimit`] when a budgeted solver (CS, k=1)
+    /// exhausts [`SolverSpec::max_steps`].
+    pub fn solve(
+        &self,
+        graph: &Graph,
+        ci: Option<&CiResult>,
+    ) -> Result<SolutionBox, AnalysisError> {
+        self.build().solve(graph, ci)
+    }
+
+    /// Runs the CI analysis with this spec's knobs, returning the
+    /// concrete result — the typed entry point harnesses use to compute
+    /// the shared vocabulary they then pass to [`SolverSpec::solve`].
+    pub fn solve_ci(&self, graph: &Graph) -> CiResult {
+        analyze_ci(graph, &self.ci_config())
+    }
+
+    /// Runs the CS analysis with this spec's knobs, returning the
+    /// concrete result. Computes a knob-matched CI solution when `ci`
+    /// is `None` (pruning requires heap naming and strong updates to
+    /// agree).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::StepLimit`] past [`SolverSpec::max_steps`].
+    pub fn solve_cs(
+        &self,
+        graph: &Graph,
+        ci: Option<&CiResult>,
+    ) -> Result<CsResult, AnalysisError> {
+        let cfg = self.cs_config();
+        match ci {
+            Some(ci) => Ok(analyze_cs(graph, ci, &cfg)?),
+            None => {
+                let ci = SolverSpec::ci()
+                    .strong_updates(self.strong_updates)
+                    .heap_naming(self.heap_naming)
+                    .solve_ci(graph);
+                Ok(analyze_cs(graph, &ci, &cfg)?)
+            }
+        }
+    }
+
+    /// Runs Weihl's baseline with this spec's knobs, returning the
+    /// concrete result. Adopts `ci`'s path table when given, so pair
+    /// ids stay comparable across solutions of the same graph.
+    pub fn solve_weihl(&self, graph: &Graph, ci: Option<&CiResult>) -> WeihlResult {
+        let paths = match ci {
+            Some(ci) => ci.paths.clone(),
+            None => PathTable::for_graph(graph),
+        };
+        analyze_weihl_with(graph, paths, self.propagation)
+    }
+
+    /// Runs the k=1 call-string analysis with this spec's knobs,
+    /// returning the concrete result. Adopts `ci`'s path table when
+    /// given.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::StepLimit`] past [`SolverSpec::max_steps`].
+    pub fn solve_k1(
+        &self,
+        graph: &Graph,
+        ci: Option<&CiResult>,
+    ) -> Result<CallStringResult, AnalysisError> {
+        let paths = match ci {
+            Some(ci) => ci.paths.clone(),
+            None => PathTable::for_graph(graph),
+        };
+        Ok(analyze_callstring_from(
+            graph,
+            paths,
+            &self.callstring_config(),
+        )?)
+    }
+
+    /// Runs Steensgaard's unification baseline (it has no knobs),
+    /// returning the concrete union-find result.
+    pub fn solve_steensgaard(&self, graph: &Graph) -> SteensResult {
+        analyze_steensgaard(graph)
     }
 }
 
 /// All five solvers with default options, in spectrum order — coarsest
 /// (Weihl) to finest (assumption-set CS).
 pub fn all_solvers() -> Vec<Box<dyn Solver>> {
-    vec![
-        Box::new(WeihlSolver::default()),
-        Box::new(SteensgaardSolver),
-        Box::new(CiSolver::default()),
-        Box::new(CallStringSolver::default()),
-        Box::new(CsSolver::default()),
-    ]
+    SolverSpec::all().iter().map(SolverSpec::build).collect()
 }
 
 /// All five solvers with difference propagation disabled wherever a
 /// solver has that knob (CI, Weihl, k=1). Steensgaard and the
 /// assumption-set CS analysis have no naive/delta distinction.
 pub fn all_solvers_naive() -> Vec<Box<dyn Solver>> {
-    vec![
-        Box::new(WeihlSolver {
-            propagation: Propagation::Naive,
-        }),
-        Box::new(SteensgaardSolver),
-        Box::new(CiSolver {
-            config: CiConfig {
-                propagation: Propagation::Naive,
-                ..CiConfig::default()
-            },
-        }),
-        Box::new(CallStringSolver {
-            config: CallStringConfig {
-                propagation: Propagation::Naive,
-                ..CallStringConfig::default()
-            },
-        }),
-        Box::new(CsSolver::default()),
-    ]
+    SolverSpec::all_naive()
+        .iter()
+        .map(SolverSpec::build)
+        .collect()
 }
 
 /// Looks up a solver (default options) by its [`Solver::name`].
 pub fn solver_by_name(name: &str) -> Option<Box<dyn Solver>> {
-    all_solvers().into_iter().find(|s| s.name() == name)
+    SolverSpec::by_name(name).map(|s| s.build())
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! Runs under the dependency-free harness in
 //! `bench_harness::microbench`; pass a substring to filter.
 
-use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
+use alias::SolverSpec;
 use bench_harness::microbench::Runner;
 use vdg::build::{lower, BuildOptions};
 
@@ -19,47 +19,33 @@ fn main() {
         let graph = lower(&prog, &BuildOptions::default()).unwrap();
 
         r.bench(&format!("strong_updates_on/{name}"), || {
-            analyze_ci(&graph, &CiConfig::default())
+            SolverSpec::ci().solve_ci(&graph)
         });
         r.bench(&format!("strong_updates_off/{name}"), || {
-            analyze_ci(
-                &graph,
-                &CiConfig {
-                    strong_updates: false,
-                    ..CiConfig::default()
-                },
-            )
+            SolverSpec::ci().strong_updates(false).solve_ci(&graph)
         });
 
-        let ci = analyze_ci(&graph, &CiConfig::default());
+        let ci = SolverSpec::ci().solve_ci(&graph);
         r.bench(&format!("cs_optimized/{name}"), || {
-            analyze_cs(&graph, &ci, &CsConfig::default()).expect("budget")
+            SolverSpec::cs()
+                .solve_cs(&graph, Some(&ci))
+                .expect("budget")
         });
         r.bench(&format!("cs_no_subsumption/{name}"), || {
             // May overflow the step budget on the larger inputs —
             // exactly the behavior the paper reports for the
             // unoptimized algorithm; the error is part of the
             // measured work.
-            let _ = analyze_cs(
-                &graph,
-                &ci,
-                &CsConfig {
-                    subsumption: false,
-                    max_steps: 3_000_000,
-                    ..CsConfig::default()
-                },
-            );
+            let _ = SolverSpec::cs()
+                .subsumption(false)
+                .max_steps(3_000_000)
+                .solve_cs(&graph, Some(&ci));
         });
         r.bench(&format!("cs_no_ci_pruning/{name}"), || {
-            let _ = analyze_cs(
-                &graph,
-                &ci,
-                &CsConfig {
-                    ci_pruning: false,
-                    max_steps: 3_000_000,
-                    ..CsConfig::default()
-                },
-            );
+            let _ = SolverSpec::cs()
+                .ci_pruning(false)
+                .max_steps(3_000_000)
+                .solve_cs(&graph, Some(&ci));
         });
     }
 

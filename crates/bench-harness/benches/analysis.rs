@@ -5,7 +5,7 @@
 //! `bench_harness::microbench`; pass a substring to filter, e.g.
 //! `cargo bench -p bench-harness --bench analysis -- ci/`.
 
-use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
+use alias::SolverSpec;
 use bench_harness::microbench::Runner;
 use vdg::build::{lower, BuildOptions};
 
@@ -17,19 +17,17 @@ fn main() {
         .map(|b| {
             let prog = cfront::compile(b.source).unwrap();
             let graph = lower(&prog, &BuildOptions::default()).unwrap();
-            let ci = analyze_ci(&graph, &CiConfig::default());
+            let ci = SolverSpec::ci().solve_ci(&graph);
             (b.name, graph, ci)
         })
         .collect();
 
     for (name, graph, _) in &prepared {
-        r.bench(&format!("ci/{name}"), || {
-            analyze_ci(graph, &CiConfig::default())
-        });
+        r.bench(&format!("ci/{name}"), || SolverSpec::ci().solve_ci(graph));
     }
     for (name, graph, ci) in &prepared {
         r.bench(&format!("cs/{name}"), || {
-            analyze_cs(graph, ci, &CsConfig::default()).expect("budget")
+            SolverSpec::cs().solve_cs(graph, Some(ci)).expect("budget")
         });
     }
     for name in ["bc", "assembler", "compiler"] {
@@ -53,12 +51,13 @@ fn main() {
             funcs,
             stmts_per_func: 12,
             max_depth: 2,
+            ..suite::generator::GenConfig::default()
         };
         let src = suite::generator::generate(7, &cfg);
         let prog = cfront::compile(&src).unwrap();
         let graph = lower(&prog, &BuildOptions::default()).unwrap();
         r.bench(&format!("ci_scaling/{funcs}_funcs"), || {
-            analyze_ci(&graph, &CiConfig::default())
+            SolverSpec::ci().solve_ci(&graph)
         });
     }
 
@@ -68,17 +67,13 @@ fn main() {
         let prog = cfront::compile(b.source).unwrap();
         let graph = lower(&prog, &BuildOptions::default()).unwrap();
         r.bench("baselines_loader/weihl", || {
-            alias::weihl::analyze_weihl(&graph)
+            SolverSpec::weihl().solve_weihl(&graph, None)
         });
         r.bench("baselines_loader/steensgaard", || {
-            alias::steensgaard::analyze_steensgaard(&graph)
+            SolverSpec::steensgaard().solve_steensgaard(&graph)
         });
         r.bench("baselines_loader/k1_callstring", || {
-            alias::callstring::analyze_callstring(
-                &graph,
-                &alias::callstring::CallStringConfig::default(),
-            )
-            .unwrap()
+            SolverSpec::k1().solve_k1(&graph, None).unwrap()
         });
     }
 

@@ -2,42 +2,26 @@
 //! subsumption, and CI pruning.
 
 use alias::stats::indirect_ref_rows;
-use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
+use alias::SolverSpec;
 
 fn main() {
     println!("Ablation study\n");
     let mut rows = Vec::new();
     for d in bench_harness::prepare_all() {
         // Strong updates off: CI pair growth.
-        let weak = analyze_ci(
-            &d.graph,
-            &CiConfig {
-                strong_updates: false,
-                ..CiConfig::default()
-            },
-        );
+        let weak = SolverSpec::ci().strong_updates(false).solve_ci(&d.graph);
         // CS without subsumption (bounded budget).
         let budget = 30_000_000;
-        let no_subsume = analyze_cs(
-            &d.graph,
-            &d.ci,
-            &CsConfig {
-                subsumption: false,
-                max_steps: budget,
-                ..CsConfig::default()
-            },
-        );
+        let no_subsume = SolverSpec::cs()
+            .subsumption(false)
+            .max_steps(budget)
+            .solve_cs(&d.graph, Some(&d.ci));
         // CS without CI pruning.
-        let no_prune = analyze_cs(
-            &d.graph,
-            &d.ci,
-            &CsConfig {
-                ci_pruning: false,
-                max_steps: budget,
-                ..CsConfig::default()
-            },
-        );
-        let fmt_cs = |r: &Result<alias::CsResult, alias::StepLimitExceeded>| match r {
+        let no_prune = SolverSpec::cs()
+            .ci_pruning(false)
+            .max_steps(budget)
+            .solve_cs(&d.graph, Some(&d.ci));
+        let fmt_cs = |r: &Result<alias::CsResult, alias::AnalysisError>| match r {
             Ok(cs) => format!("{}", cs.flow_ins),
             Err(_) => "OVERFLOW".to_string(),
         };

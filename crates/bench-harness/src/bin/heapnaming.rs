@@ -12,9 +12,8 @@
 //! This binary measures both effects: pair counts and the Figure 6
 //! spurious percentage under site naming vs k=1 call-string naming.
 
-use alias::ci::HeapNaming;
 use alias::stats::spurious_row;
-use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
+use alias::{HeapNaming, SolverSpec};
 use vdg::build::{lower, BuildOptions};
 
 fn main() {
@@ -26,27 +25,16 @@ fn main() {
         let mut cells = vec![b.name.to_string()];
         let mut spurs = Vec::new();
         for naming in [HeapNaming::Site, HeapNaming::CallString1] {
-            let ci = analyze_ci(
-                &graph,
-                &CiConfig {
-                    heap_naming: naming,
-                    ..CiConfig::default()
-                },
-            );
+            let ci = SolverSpec::ci().heap_naming(naming).solve_ci(&graph);
             cells.push(ci.total_pairs().to_string());
             // Finer heap naming makes the (still exponential)
             // context-sensitive analysis dramatically more expensive —
             // exactly the scalability cliff the paper warns about — so
             // give it a firm budget and report overflows.
-            let cs = analyze_cs(
-                &graph,
-                &ci,
-                &CsConfig {
-                    heap_naming: naming,
-                    max_steps: 5_000_000,
-                    ..CsConfig::default()
-                },
-            );
+            let cs = SolverSpec::cs()
+                .heap_naming(naming)
+                .max_steps(5_000_000)
+                .solve_cs(&graph, Some(&ci));
             match cs {
                 Ok(cs) => {
                     let row = spurious_row(&graph, &ci, &cs);

@@ -8,6 +8,7 @@
 //! cargo run -p bench-harness --bin report -- --scaling     # synthetic sweep
 //! cargo run -p bench-harness --bin report -- --naive       # PR 1 worklists
 //! cargo run -p bench-harness --bin report -- --fingerprint # hashable report
+//! cargo run -p bench-harness --bin report -- --fuzz --seeds 500 --budget-ms 200
 //! ```
 //!
 //! `--scaling` swaps the paper suite for the synthetic chain/diamond
@@ -17,7 +18,15 @@
 //! rendering (timings and delta-batch counters nulled), which must be
 //! byte-identical across `--threads` values and worklist disciplines.
 //!
-//! The JSON schema is documented in DESIGN.md §"The engine".
+//! `--fuzz` runs a differential fuzzing campaign (`engine::fuzz`)
+//! instead of the benchmark report: `--seeds` / `--start-seed` pick
+//! the seed range, `--budget-ms` the per-solver wall-clock budget,
+//! and the process exits nonzero when any violation survives. With
+//! `--json` the full `FuzzReport` (including minimized repros) is
+//! printed — CI uploads that file when the smoke campaign fails.
+//!
+//! The JSON schema is documented in DESIGN.md §"The engine" and
+//! §"Differential fuzzing".
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,12 +34,47 @@ fn main() {
     let scaling = args.iter().any(|a| a == "--scaling");
     let naive = args.iter().any(|a| a == "--naive");
     let fingerprint = args.iter().any(|a| a == "--fingerprint");
-    let threads = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0usize);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let numeric =
+        |name: &str, default: u64| value(name).and_then(|v| v.parse().ok()).unwrap_or(default);
+    let threads = numeric("--threads", 0) as usize;
+
+    if args.iter().any(|a| a == "--fuzz") {
+        let cfg = engine::FuzzConfig {
+            seeds: numeric("--seeds", 100),
+            start_seed: numeric("--start-seed", 0),
+            budget_ms: numeric("--budget-ms", 200),
+            threads,
+            ..engine::FuzzConfig::default()
+        };
+        let report = engine::fuzz::fuzz(&cfg);
+        if json {
+            print!("{}", report.to_json());
+        } else {
+            println!("{}", report.summary());
+            for v in &report.violations {
+                println!(
+                    "\n[{} / {} @ seed {}] {}",
+                    v.kind, v.solver, v.seed, v.detail
+                );
+                if let Some(min) = &v.minimized {
+                    println!("minimized counterexample:\n{min}");
+                }
+            }
+        }
+        if !report.violations.is_empty() {
+            eprintln!(
+                "{} differential violation(s) found",
+                report.violations.len()
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
     if let Some(dir) = args
         .iter()
         .position(|a| a == "--emit")

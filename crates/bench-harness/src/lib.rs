@@ -24,8 +24,7 @@
 
 pub mod microbench;
 
-use alias::solver::{CiSolver, CsSolver};
-use alias::{CiResult, CsResult};
+use alias::{CiResult, CsResult, SolverSpec};
 use engine::{Engine, EngineRun, Job};
 use std::sync::Arc;
 use std::time::Duration;
@@ -77,10 +76,7 @@ impl BenchData {
 /// An engine over the two paper solvers (CI + CS), which is all the
 /// figure binaries consume.
 fn paper_engine() -> Engine {
-    Engine::new().solvers(vec![
-        Box::new(CiSolver::default()),
-        Box::new(CsSolver::default()),
-    ])
+    Engine::new().specs(&[SolverSpec::ci(), SolverSpec::cs()])
 }
 
 /// Compiles, lowers, and runs both analyses on one benchmark.
@@ -137,18 +133,15 @@ pub fn suite_spectrum_naive(threads: usize) -> EngineRun {
     // The listed "ci" solver reuses the shared prepare-stage run, so
     // the discipline has to be set on the engine, not just the list.
     Engine::new()
-        .solvers(alias::solver::all_solvers_naive())
-        .ci_config(naive_ci())
+        .specs(&SolverSpec::all_naive())
+        .ci_spec(naive_ci())
         .threads(threads)
         .run(&Job::suite())
         .expect("suite analyzes")
 }
 
-fn naive_ci() -> alias::CiConfig {
-    alias::CiConfig {
-        propagation: alias::pairset::Propagation::Naive,
-        ..alias::CiConfig::default()
-    }
+fn naive_ci() -> SolverSpec {
+    SolverSpec::ci().propagation(alias::Propagation::Naive)
 }
 
 /// The standard synthetic scaling sweep as engine jobs
@@ -168,9 +161,7 @@ pub fn scaling_jobs() -> Vec<Job> {
 pub fn scaling_spectrum(threads: usize, naive: bool) -> EngineRun {
     let mut e = Engine::new().threads(threads);
     if naive {
-        e = e
-            .solvers(alias::solver::all_solvers_naive())
-            .ci_config(naive_ci());
+        e = e.specs(&SolverSpec::all_naive()).ci_spec(naive_ci());
     }
     e.run(&scaling_jobs()).expect("scaling programs analyze")
 }

@@ -1,20 +1,9 @@
 //! `ruf95` — command-line driver for the alias-analysis reproduction.
 //!
-//! ```text
-//! ruf95 refs <file.c | bench:NAME>      points-to sets at indirect refs (CI)
-//! ruf95 compare <file.c | bench:NAME>   CI vs CS at every indirect ref
-//! ruf95 modref <file.c | bench:NAME>    per-function mod/ref summary
-//! ruf95 dot <file.c | bench:NAME>       VDG in Graphviz DOT on stdout
-//! ruf95 ir <file.c | bench:NAME>        VDG as a per-function listing
-//! ruf95 run <file.c | bench:NAME>       interpret and check soundness
-//! ruf95 spectrum <file.c | bench:NAME> [--json]
-//!                                       Weihl/Steensgaard/CI/k=1/CS table
-//!                                       (engine-driven; --json dumps the
-//!                                       metrics report and referent sets)
-//! ruf95 list                            list bundled benchmarks
-//! ```
-//!
-//! `bench:NAME` loads a program from the bundled suite instead of disk.
+//! Run `ruf95 help` for the command list, or `ruf95 <command> --help`
+//! for one command's flags. Commands that analyse a program accept
+//! either a path to a `.c` file or `bench:NAME` to load a program from
+//! the bundled suite.
 //!
 //! Every pipeline failure — frontend, lowering, or a solver's step
 //! budget — funnels through [`alias::AnalysisError`] and is rendered
@@ -25,13 +14,233 @@ use alias::stats::compare_at_indirect_refs;
 use alias::{Analysis, AnalysisError, CsConfig};
 use std::process::ExitCode;
 
+/// One entry in the subcommand table. `value_flags` lists the flags
+/// that consume the following argument; everything else starting with
+/// `--` is a boolean switch.
+struct Command {
+    name: &'static str,
+    /// Argument synopsis after the command name, for usage lines.
+    synopsis: &'static str,
+    about: &'static str,
+    /// Per-flag help lines, one `--flag  description` per entry.
+    flag_help: &'static [&'static str],
+    value_flags: &'static [&'static str],
+    needs_source: bool,
+    run: fn(&Ctx) -> Result<(), String>,
+}
+
+const SOURCE_ARG: &str = "<file.c | bench:NAME>";
+
+const COMMANDS: &[Command] = &[
+    Command {
+        name: "refs",
+        synopsis: SOURCE_ARG,
+        about: "points-to sets at indirect refs (CI)",
+        flag_help: &[],
+        value_flags: &[],
+        needs_source: true,
+        run: |cx| cmd_refs(&cx.analysis()?, &cx.file()),
+    },
+    Command {
+        name: "compare",
+        synopsis: SOURCE_ARG,
+        about: "CI vs CS at every indirect ref",
+        flag_help: &[],
+        value_flags: &[],
+        needs_source: true,
+        run: |cx| {
+            let a = cx.analysis()?;
+            cmd_compare(&a, &cx.file()).map_err(|e| cx.render_err(e))
+        },
+    },
+    Command {
+        name: "modref",
+        synopsis: SOURCE_ARG,
+        about: "per-function mod/ref summary",
+        flag_help: &[],
+        value_flags: &[],
+        needs_source: true,
+        run: |cx| cmd_modref(&cx.analysis()?),
+    },
+    Command {
+        name: "dot",
+        synopsis: SOURCE_ARG,
+        about: "VDG in Graphviz DOT on stdout",
+        flag_help: &[],
+        value_flags: &[],
+        needs_source: true,
+        run: |cx| {
+            print!("{}", vdg::dot::to_dot(&cx.analysis()?.graph));
+            Ok(())
+        },
+    },
+    Command {
+        name: "ir",
+        synopsis: SOURCE_ARG,
+        about: "VDG as a per-function listing",
+        flag_help: &[],
+        value_flags: &[],
+        needs_source: true,
+        run: |cx| {
+            print!("{}", vdg::display::to_text(&cx.analysis()?.graph));
+            Ok(())
+        },
+    },
+    Command {
+        name: "run",
+        synopsis: SOURCE_ARG,
+        about: "interpret and check soundness",
+        flag_help: &[],
+        value_flags: &[],
+        needs_source: true,
+        run: |cx| cmd_run(&cx.analysis()?, &cx.name),
+    },
+    Command {
+        name: "spectrum",
+        synopsis: "<file.c | bench:NAME> [--json]",
+        about: "Weihl/Steensgaard/CI/k=1/CS table (engine-driven)",
+        flag_help: &["--json  dump the metrics report and referent sets as JSON"],
+        value_flags: &[],
+        needs_source: true,
+        run: |cx| {
+            cmd_spectrum(&cx.name, &cx.source, cx.flags.has("json")).map_err(|e| cx.render_err(e))
+        },
+    },
+    Command {
+        name: "fuzz",
+        synopsis:
+            "[--seeds N] [--start-seed N] [--budget-ms N] [--threads N] [--no-shrink] [--json]",
+        about: "differential fuzzing campaign over all five solvers",
+        flag_help: &[
+            "--seeds N       number of seeds to run (default 100)",
+            "--start-seed N  first seed of the range (default 0)",
+            "--budget-ms N   per-solver wall-clock budget in ms (default 200)",
+            "--threads N     worker threads, 0 = all cores (default 0)",
+            "--no-shrink     skip counterexample minimisation",
+            "--json          print the full FuzzReport as JSON",
+        ],
+        value_flags: &["seeds", "start-seed", "budget-ms", "threads"],
+        needs_source: false,
+        run: cmd_fuzz,
+    },
+    Command {
+        name: "list",
+        synopsis: "",
+        about: "list bundled benchmarks",
+        flag_help: &[],
+        value_flags: &[],
+        needs_source: false,
+        run: |_| {
+            for b in suite::benchmarks() {
+                println!(
+                    "{:<10} {:>5} lines  exit {}",
+                    b.name,
+                    b.source.lines().count(),
+                    b.expected_exit
+                );
+            }
+            Ok(())
+        },
+    },
+];
+
+/// Flags shared by every command, split from the positionals once the
+/// command's `value_flags` are known.
+struct Flags {
+    positional: Vec<String>,
+    switches: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String], value_flags: &[&str]) -> Result<Flags, String> {
+        let mut flags = Flags {
+            positional: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                flags.positional.push(arg.clone());
+                continue;
+            };
+            if let Some((key, value)) = name.split_once('=') {
+                flags
+                    .switches
+                    .push((key.to_string(), Some(value.to_string())));
+            } else if value_flags.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} expects a value"))?;
+                flags.switches.push((name.to_string(), Some(value.clone())));
+            } else {
+                flags.switches.push((name.to_string(), None));
+            }
+        }
+        Ok(flags)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|(k, _)| k == name)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.switches.iter().find(|(k, _)| k == name) {
+            Some((_, Some(v))) => v
+                .parse()
+                .map_err(|_| format!("--{name}: invalid value `{v}`")),
+            Some((_, None)) => Err(format!("--{name} expects a value")),
+            None => Ok(default),
+        }
+    }
+}
+
+/// Everything a command handler needs: the loaded source (empty for
+/// sourceless commands like `fuzz` and `list`) plus the parsed flags.
+struct Ctx {
+    name: String,
+    source: String,
+    flags: Flags,
+}
+
+impl Ctx {
+    fn analysis(&self) -> Result<Analysis, String> {
+        Analysis::builder(&self.source)
+            .run()
+            .map_err(|e| self.render_err(e))
+    }
+
+    fn file(&self) -> cfront::SourceFile {
+        cfront::SourceFile::new(&self.name, &self.source)
+    }
+
+    /// The single error boundary: every pipeline failure, including a
+    /// CS or k=1 step-budget overflow, is rendered here.
+    fn render_err(&self, e: AnalysisError) -> String {
+        match &e {
+            AnalysisError::Frontend(f) => f.render(&self.file()),
+            other => other.to_string(),
+        }
+    }
+}
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: ruf95 <refs|compare|modref|dot|ir|run> <file.c | bench:NAME>\n\
-         \u{20}      ruf95 spectrum <file.c | bench:NAME> [--json]\n\
-         \u{20}      ruf95 list"
-    );
+    eprintln!("usage: ruf95 <command> [args]\n\ncommands:");
+    for c in COMMANDS {
+        eprintln!("  {:<10} {}", c.name, c.about);
+    }
+    eprintln!("\nrun `ruf95 <command> --help` for a command's flags");
     ExitCode::from(2)
+}
+
+fn command_help(c: &Command) {
+    let sep = if c.synopsis.is_empty() { "" } else { " " };
+    println!("usage: ruf95 {}{sep}{}\n\n{}", c.name, c.synopsis, c.about);
+    if !c.flag_help.is_empty() {
+        println!("\nflags:");
+        for line in c.flag_help {
+            println!("  {line}");
+        }
+    }
 }
 
 fn load_source(spec: &str) -> Result<(String, String), String> {
@@ -49,65 +258,52 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         return usage();
     };
-    if cmd == "list" {
-        for b in suite::benchmarks() {
-            println!(
-                "{:<10} {:>5} lines  exit {}",
-                b.name,
-                b.source.lines().count(),
-                b.expected_exit
-            );
-        }
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        usage();
         return ExitCode::SUCCESS;
     }
-    let Some(spec) = args.get(1) else {
+    let Some(command) = COMMANDS.iter().find(|c| c.name == cmd) else {
+        eprintln!("error: unknown command `{cmd}`\n");
         return usage();
     };
-    let (name, source) = match load_source(spec) {
-        Ok(v) => v,
+    let rest = &args[1..];
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        command_help(command);
+        return ExitCode::SUCCESS;
+    }
+    let flags = match Flags::parse(rest, command.value_flags) {
+        Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
-    match run_command(cmd, &name, &source, &args[2..]) {
+    let (name, source) = if command.needs_source {
+        let Some(spec) = flags.positional.first() else {
+            eprintln!("usage: ruf95 {} {}", command.name, command.synopsis);
+            return ExitCode::from(2);
+        };
+        match load_source(spec) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        (String::new(), String::new())
+    };
+    let cx = Ctx {
+        name,
+        source,
+        flags,
+    };
+    match (command.run)(&cx) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
-    }
-}
-
-fn run_command(cmd: &str, name: &str, source: &str, opts: &[String]) -> Result<(), String> {
-    // The single error boundary: every pipeline failure, including a CS
-    // or k=1 step-budget overflow, arrives here as an `AnalysisError`.
-    let render_err = |e: AnalysisError| -> String {
-        match &e {
-            AnalysisError::Frontend(f) => f.render(&cfront::SourceFile::new(name, source)),
-            other => other.to_string(),
-        }
-    };
-    if cmd == "spectrum" {
-        let json = opts.iter().any(|o| o == "--json");
-        return cmd_spectrum(name, source, json).map_err(render_err);
-    }
-    let a = Analysis::builder(source).run().map_err(render_err)?;
-    let file = cfront::SourceFile::new(name, source);
-    match cmd {
-        "refs" => cmd_refs(&a, &file),
-        "compare" => cmd_compare(&a, &file).map_err(render_err),
-        "modref" => cmd_modref(&a),
-        "dot" => {
-            print!("{}", vdg::dot::to_dot(&a.graph));
-            Ok(())
-        }
-        "ir" => {
-            print!("{}", vdg::display::to_text(&a.graph));
-            Ok(())
-        }
-        "run" => cmd_run(&a, name),
-        _ => Err(format!("unknown command `{cmd}`")),
     }
 }
 
@@ -286,4 +482,42 @@ fn cmd_spectrum(name: &str, source: &str, json: bool) -> Result<(), AnalysisErro
         );
     }
     Ok(())
+}
+
+/// Differential fuzzing campaign: generates seeded mini-C programs,
+/// runs all five solvers on each, and cross-checks soundness against
+/// the interpreter, the precision lattice, and naive-vs-delta
+/// fixpoints. Exits nonzero if any violation survives.
+fn cmd_fuzz(cx: &Ctx) -> Result<(), String> {
+    let cfg = engine::FuzzConfig {
+        seeds: cx.flags.get_parsed("seeds", 100)?,
+        start_seed: cx.flags.get_parsed("start-seed", 0)?,
+        budget_ms: cx.flags.get_parsed("budget-ms", 200)?,
+        threads: cx.flags.get_parsed("threads", 0)?,
+        shrink: !cx.flags.has("no-shrink"),
+        ..engine::FuzzConfig::default()
+    };
+    let report = engine::fuzz::fuzz(&cfg);
+    if cx.flags.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.summary());
+        for v in &report.violations {
+            println!(
+                "\n[{} / {} @ seed {}] {}",
+                v.kind, v.solver, v.seed, v.detail
+            );
+            if let Some(min) = &v.minimized {
+                println!("minimized counterexample:\n{min}");
+            }
+        }
+    }
+    if report.violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} differential violation(s) found",
+            report.violations.len()
+        ))
+    }
 }

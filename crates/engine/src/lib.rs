@@ -36,14 +36,17 @@
 
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod pool;
 pub mod report;
+pub mod shrink;
 
+pub use fuzz::{FuzzConfig, FuzzReport, FuzzViolation};
 pub use report::{BenchmarkReport, EngineReport, SolverMetrics};
 
-use alias::ci::{analyze_ci, CiConfig, CiResult};
+use alias::ci::CiResult;
 use alias::cs::CsResult;
-use alias::solver::{all_solvers, Solution, SolutionBox, Solver};
+use alias::solver::{Solution, SolutionBox, Solver, SolverSpec};
 use alias::AnalysisError;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -96,7 +99,7 @@ pub struct Engine {
     threads: usize,
     solvers: Vec<Arc<dyn Solver>>,
     build: BuildOptions,
-    ci: CiConfig,
+    ci: SolverSpec,
 }
 
 impl Default for Engine {
@@ -111,9 +114,12 @@ impl Engine {
     pub fn new() -> Self {
         Engine {
             threads: 0,
-            solvers: all_solvers().into_iter().map(Arc::from).collect(),
+            solvers: SolverSpec::all()
+                .iter()
+                .map(|s| Arc::from(s.build()))
+                .collect(),
             build: BuildOptions::default(),
-            ci: CiConfig::default(),
+            ci: SolverSpec::ci(),
         }
     }
 
@@ -133,16 +139,23 @@ impl Engine {
         self
     }
 
+    /// Replaces the solver list with solvers built from `specs` — the
+    /// preferred configuration surface (see [`SolverSpec`]).
+    pub fn specs(mut self, specs: &[SolverSpec]) -> Self {
+        self.solvers = specs.iter().map(|s| Arc::from(s.build())).collect();
+        self
+    }
+
     /// Sets the VDG lowering options.
     pub fn build_options(mut self, build: BuildOptions) -> Self {
         self.build = build;
         self
     }
 
-    /// Sets the options of the shared prepare-stage CI run. Must agree
+    /// Sets the spec of the shared prepare-stage CI run. Must agree
     /// with a configured CS solver's heap naming and strong updates (the
     /// defaults do).
-    pub fn ci_config(mut self, ci: CiConfig) -> Self {
+    pub fn ci_spec(mut self, ci: SolverSpec) -> Self {
         self.ci = ci;
         self
     }
@@ -215,7 +228,9 @@ impl Engine {
                         analysis: s.name().to_string(),
                         wall,
                         solution: None,
-                        error: Some(e.to_string()),
+                        // Attach solver + benchmark so the report's
+                        // one-liner is actionable on its own.
+                        error: Some(e.in_context(s.name(), &b.name).to_string()),
                     },
                 };
                 (bi, si, solved)
@@ -280,7 +295,7 @@ impl Engine {
         let graph = lower(&program, &self.build)?;
         let lowering = t1.elapsed();
         let t2 = Instant::now();
-        let ci = analyze_ci(&graph, &self.ci);
+        let ci = self.ci.solve_ci(&graph);
         let ci_wall = t2.elapsed();
         Ok(Prepared {
             name: job.name.clone(),
@@ -443,20 +458,20 @@ mod tests {
 
     #[test]
     fn solver_budget_overflow_is_recorded_not_fatal() {
-        use alias::callstring::CallStringConfig;
-        use alias::solver::CallStringSolver;
         let run = Engine::new()
-            .solvers(vec![Box::new(CallStringSolver {
-                config: CallStringConfig {
-                    max_steps: 1,
-                    ..CallStringConfig::default()
-                },
-            })])
+            .specs(&[SolverSpec::k1().max_steps(1)])
             .run(&Job::named(&["span"]))
             .unwrap();
         let s = &run.benches[0].solutions[0];
         assert!(s.solution.is_none());
         assert!(s.error.is_some(), "overflow should be recorded");
-        assert!(run.report.benchmarks[0].solvers[0].error.is_some());
+        let msg = run.report.benchmarks[0].solvers[0]
+            .error
+            .clone()
+            .expect("recorded");
+        assert!(
+            msg.contains("k1") && msg.contains("span"),
+            "error should carry solver + benchmark context: {msg}"
+        );
     }
 }

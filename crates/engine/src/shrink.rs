@@ -1,0 +1,554 @@
+//! Greedy delta-debugging minimizer for fuzz counterexamples.
+//!
+//! Given a failing program and a predicate that re-checks the failure,
+//! repeatedly removes program pieces — whole functions, function
+//! parameters (with their arguments at every direct call site), global
+//! declarations, individual statements (recursing into nested blocks),
+//! control-flow wrappers (an `if` or loop collapses to its body),
+//! assignment targets (`x = e` becomes `e`), and finally raw source
+//! lines — keeping each removal only when the shrunk program still
+//! compiles *and* still fails. The passes loop to
+//! a fixpoint, so a removal that unlocks further removals (a function
+//! whose last caller just disappeared, a global whose last use was in a
+//! dropped statement) is picked up on the next round.
+//!
+//! The structural passes parse with [`cfront::parser`] alone (no
+//! semantic analysis), mutate the AST, and re-render through
+//! [`cfront::pretty`] — the same round-trip the fuzzer's generated
+//! cases already satisfy — so every intermediate candidate is a
+//! standalone `.c` repro. The final line pass catches what the AST
+//! passes cannot express (dropping a record field, a declarator).
+
+use cfront::ast::{Block, ExprId, ExprKind, Program, Stmt};
+
+/// Upper bound on predicate evaluations per [`shrink`] call: delta
+/// debugging is worst-case quadratic in program size, and the predicate
+/// re-runs solvers and the interpreter.
+const MAX_CANDIDATES: usize = 2_000;
+
+/// Minimizes `source` while `still_fails` keeps holding.
+///
+/// `still_fails` receives a candidate source text that is already known
+/// to compile; it should re-run whatever check originally failed and
+/// report whether the candidate still exhibits the failure. The
+/// returned program is the smallest accepted candidate (at worst,
+/// `source` itself).
+pub fn shrink(source: &str, still_fails: &dyn Fn(&str) -> bool) -> String {
+    let mut best = source.to_string();
+    let mut budget = MAX_CANDIDATES;
+    loop {
+        let before = budget;
+        let mut progressed = false;
+        progressed |= drop_funcs(&mut best, still_fails, &mut budget);
+        progressed |= drop_params(&mut best, still_fails, &mut budget);
+        progressed |= drop_globals(&mut best, still_fails, &mut budget);
+        progressed |= drop_stmts(&mut best, still_fails, &mut budget);
+        progressed |= unwrap_blocks(&mut best, still_fails, &mut budget);
+        progressed |= strip_assigns(&mut best, still_fails, &mut budget);
+        progressed |= drop_lines(&mut best, still_fails, &mut budget);
+        if !progressed || budget == 0 || budget == before {
+            break;
+        }
+    }
+    best
+}
+
+/// Parses without semantic analysis, as the pretty-printer round-trip
+/// tests do; shrink candidates need not be semantically valid until
+/// they are re-checked.
+fn parse(src: &str) -> Option<Program> {
+    cfront::parser::parse(cfront::lexer::lex(src).ok()?).ok()
+}
+
+/// Renders a candidate and accepts it into `best` when it compiles and
+/// still fails. Every call costs one unit of `budget`.
+fn accept(
+    candidate: &Program,
+    best: &mut String,
+    still_fails: &dyn Fn(&str) -> bool,
+    budget: &mut usize,
+) -> bool {
+    if *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+    let text = cfront::pretty::print_program(candidate);
+    if cfront::compile(&text).is_ok() && still_fails(&text) {
+        *best = text;
+        true
+    } else {
+        false
+    }
+}
+
+/// One pass of whole-function removal (never `main`), restarting after
+/// every success so indices stay valid.
+fn drop_funcs(best: &mut String, still_fails: &dyn Fn(&str) -> bool, budget: &mut usize) -> bool {
+    let mut progressed = false;
+    'retry: loop {
+        let Some(prog) = parse(best) else {
+            return progressed;
+        };
+        for i in 0..prog.funcs.len() {
+            if prog.funcs[i].name == "main" {
+                continue;
+            }
+            let mut c = prog.clone();
+            c.funcs.remove(i);
+            if accept(&c, best, still_fails, budget) {
+                progressed = true;
+                continue 'retry;
+            }
+            if *budget == 0 {
+                return progressed;
+            }
+        }
+        return progressed;
+    }
+}
+
+/// One pass of parameter removal: drops a function's parameter together
+/// with the matching argument at every direct call site (calls through
+/// function pointers keep their arity and are caught by the compile
+/// check, which rejects the then-mismatched assignment of the function
+/// to the pointer). Removing an argument often strands the last use of
+/// a local or global, which the later passes then collect.
+fn drop_params(best: &mut String, still_fails: &dyn Fn(&str) -> bool, budget: &mut usize) -> bool {
+    let mut progressed = false;
+    'retry: loop {
+        let Some(prog) = parse(best) else {
+            return progressed;
+        };
+        for fi in 0..prog.funcs.len() {
+            if prog.funcs[fi].name == "main" {
+                continue;
+            }
+            for pi in 0..prog.funcs[fi].n_params {
+                let mut c = prog.clone();
+                if !remove_param(&mut c, fi, pi) {
+                    continue;
+                }
+                if accept(&c, best, still_fails, budget) {
+                    progressed = true;
+                    continue 'retry;
+                }
+                if *budget == 0 {
+                    return progressed;
+                }
+            }
+        }
+        return progressed;
+    }
+}
+
+/// Removes parameter `pi` of function `fi` and argument `pi` of every
+/// direct call to it. Returns `false` (program untouched) when some
+/// direct call has too few arguments to edit.
+fn remove_param(prog: &mut Program, fi: usize, pi: usize) -> bool {
+    let fname = prog.funcs[fi].name.clone();
+    let mut calls = Vec::new();
+    for i in 0..prog.exprs.len() {
+        let id = ExprId(i as u32);
+        if let ExprKind::Call { callee, args } = &prog.exprs.get(id).kind {
+            if let ExprKind::Ident { name, .. } = &prog.exprs.get(*callee).kind {
+                if *name == fname {
+                    if args.len() <= pi {
+                        return false;
+                    }
+                    calls.push(id);
+                }
+            }
+        }
+    }
+    for id in calls {
+        if let ExprKind::Call { args, .. } = &mut prog.exprs.get_mut(id).kind {
+            args.remove(pi);
+        }
+    }
+    prog.funcs[fi].vars.remove(pi);
+    prog.funcs[fi].n_params -= 1;
+    true
+}
+
+/// One pass of global-declaration removal.
+fn drop_globals(best: &mut String, still_fails: &dyn Fn(&str) -> bool, budget: &mut usize) -> bool {
+    let mut progressed = false;
+    'retry: loop {
+        let Some(prog) = parse(best) else {
+            return progressed;
+        };
+        for i in 0..prog.globals.len() {
+            let mut c = prog.clone();
+            c.globals.remove(i);
+            if accept(&c, best, still_fails, budget) {
+                progressed = true;
+                continue 'retry;
+            }
+            if *budget == 0 {
+                return progressed;
+            }
+        }
+        return progressed;
+    }
+}
+
+/// One pass of single-statement removal over every function body, in
+/// depth-first source order.
+fn drop_stmts(best: &mut String, still_fails: &dyn Fn(&str) -> bool, budget: &mut usize) -> bool {
+    let mut progressed = false;
+    'retry: loop {
+        let Some(prog) = parse(best) else {
+            return progressed;
+        };
+        for fi in 0..prog.funcs.len() {
+            let total = match &prog.funcs[fi].body {
+                Some(b) => count_stmts(b),
+                None => 0,
+            };
+            for k in 0..total {
+                let mut c = prog.clone();
+                let body = c.funcs[fi].body.as_mut().expect("counted body");
+                let mut n = k;
+                if !remove_nth(body, &mut n) {
+                    continue;
+                }
+                if accept(&c, best, still_fails, budget) {
+                    progressed = true;
+                    continue 'retry;
+                }
+                if *budget == 0 {
+                    return progressed;
+                }
+            }
+        }
+        return progressed;
+    }
+}
+
+/// Counts statements in depth-first source order, nested blocks
+/// included.
+fn count_stmts(block: &Block) -> usize {
+    let mut n = 0;
+    for s in &block.stmts {
+        n += 1;
+        match s {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                n += count_stmts(then_blk);
+                if let Some(e) = else_blk {
+                    n += count_stmts(e);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+                n += count_stmts(body);
+            }
+            Stmt::Switch { cases, default, .. } => {
+                for c in cases {
+                    n += count_stmts(&c.body);
+                }
+                if let Some(d) = default {
+                    n += count_stmts(d);
+                }
+            }
+            Stmt::Block(b) => n += count_stmts(b),
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Removes the `n`-th statement in the [`count_stmts`] order. On return
+/// `true` the statement (with any nested children) is gone.
+fn remove_nth(block: &mut Block, n: &mut usize) -> bool {
+    let mut i = 0;
+    while i < block.stmts.len() {
+        if *n == 0 {
+            block.stmts.remove(i);
+            return true;
+        }
+        *n -= 1;
+        let hit = match &mut block.stmts[i] {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                remove_nth(then_blk, n)
+                    || match else_blk {
+                        Some(e) => remove_nth(e, n),
+                        None => false,
+                    }
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+                remove_nth(body, n)
+            }
+            Stmt::Switch { cases, default, .. } => {
+                let mut hit = false;
+                for c in cases.iter_mut() {
+                    if remove_nth(&mut c.body, n) {
+                        hit = true;
+                        break;
+                    }
+                }
+                if !hit {
+                    if let Some(d) = default {
+                        hit = remove_nth(d, n);
+                    }
+                }
+                hit
+            }
+            Stmt::Block(b) => remove_nth(b, n),
+            _ => false,
+        };
+        if hit {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// One pass replacing control-flow wrappers with their bodies: `if`,
+/// `while`, `do`/`while`, `for`, and bare blocks are flattened into the
+/// enclosing statement list (an `if` contributes both branches). Where
+/// statement removal cannot make progress — the guarded body is what
+/// keeps the failure alive — unwrapping still sheds the wrapper's lines
+/// and guard expression.
+fn unwrap_blocks(
+    best: &mut String,
+    still_fails: &dyn Fn(&str) -> bool,
+    budget: &mut usize,
+) -> bool {
+    let mut progressed = false;
+    'retry: loop {
+        let Some(prog) = parse(best) else {
+            return progressed;
+        };
+        for fi in 0..prog.funcs.len() {
+            let total = match &prog.funcs[fi].body {
+                Some(b) => count_stmts(b),
+                None => 0,
+            };
+            for k in 0..total {
+                let mut c = prog.clone();
+                let body = c.funcs[fi].body.as_mut().expect("counted body");
+                let mut n = k;
+                if !matches!(unwrap_nth(body, &mut n), UnwrapHit::Replaced) {
+                    continue;
+                }
+                if accept(&c, best, still_fails, budget) {
+                    progressed = true;
+                    continue 'retry;
+                }
+                if *budget == 0 {
+                    return progressed;
+                }
+            }
+        }
+        return progressed;
+    }
+}
+
+/// Outcome of [`unwrap_nth`] at one statement position.
+enum UnwrapHit {
+    /// The wrapper was replaced by its body.
+    Replaced,
+    /// The position named a non-wrapper statement; nothing changed.
+    NotWrapper,
+    /// The position lies beyond this block.
+    Miss,
+}
+
+/// Splices the body of the `n`-th statement (in [`count_stmts`] order)
+/// into its place when that statement is a control-flow wrapper.
+fn unwrap_nth(block: &mut Block, n: &mut usize) -> UnwrapHit {
+    let mut i = 0;
+    while i < block.stmts.len() {
+        if *n == 0 {
+            let inner: Vec<Stmt> = match &mut block.stmts[i] {
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => {
+                    let mut v = std::mem::take(&mut then_blk.stmts);
+                    if let Some(e) = else_blk {
+                        v.append(&mut e.stmts);
+                    }
+                    v
+                }
+                Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+                    std::mem::take(&mut body.stmts)
+                }
+                Stmt::Block(b) => std::mem::take(&mut b.stmts),
+                _ => return UnwrapHit::NotWrapper,
+            };
+            block.stmts.splice(i..=i, inner);
+            return UnwrapHit::Replaced;
+        }
+        *n -= 1;
+        let hit = match &mut block.stmts[i] {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => match unwrap_nth(then_blk, n) {
+                UnwrapHit::Miss => match else_blk {
+                    Some(e) => unwrap_nth(e, n),
+                    None => UnwrapHit::Miss,
+                },
+                other => other,
+            },
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+                unwrap_nth(body, n)
+            }
+            Stmt::Switch { cases, default, .. } => {
+                let mut hit = UnwrapHit::Miss;
+                for c in cases.iter_mut() {
+                    match unwrap_nth(&mut c.body, n) {
+                        UnwrapHit::Miss => {}
+                        other => {
+                            hit = other;
+                            break;
+                        }
+                    }
+                }
+                if matches!(hit, UnwrapHit::Miss) {
+                    if let Some(d) = default {
+                        hit = unwrap_nth(d, n);
+                    }
+                }
+                hit
+            }
+            Stmt::Block(b) => unwrap_nth(b, n),
+            _ => UnwrapHit::Miss,
+        };
+        match hit {
+            UnwrapHit::Miss => {}
+            other => return other,
+        }
+        i += 1;
+    }
+    UnwrapHit::Miss
+}
+
+/// One pass turning assignments into bare expression statements:
+/// `x = call(...)` becomes `call(...)`. The side effect that sustains
+/// the failure survives while the written variable loses a use, letting
+/// the statement and line passes collect its declaration afterwards.
+fn strip_assigns(
+    best: &mut String,
+    still_fails: &dyn Fn(&str) -> bool,
+    budget: &mut usize,
+) -> bool {
+    let mut progressed = false;
+    'retry: loop {
+        let Some(prog) = parse(best) else {
+            return progressed;
+        };
+        for fi in 0..prog.funcs.len() {
+            let total = match &prog.funcs[fi].body {
+                Some(b) => count_stmts(b),
+                None => 0,
+            };
+            for k in 0..total {
+                let mut c = prog.clone();
+                let (funcs, exprs) = (&mut c.funcs, &c.exprs);
+                let body = funcs[fi].body.as_mut().expect("counted body");
+                let mut n = k;
+                if !matches!(strip_assign_nth(body, &mut n, exprs), UnwrapHit::Replaced) {
+                    continue;
+                }
+                if accept(&c, best, still_fails, budget) {
+                    progressed = true;
+                    continue 'retry;
+                }
+                if *budget == 0 {
+                    return progressed;
+                }
+            }
+        }
+        return progressed;
+    }
+}
+
+/// Replaces the `n`-th statement (in [`count_stmts`] order) with its
+/// assignment's right-hand side when it is `Stmt::Expr(lhs = rhs)`.
+fn strip_assign_nth(block: &mut Block, n: &mut usize, exprs: &cfront::ast::ExprArena) -> UnwrapHit {
+    let mut i = 0;
+    while i < block.stmts.len() {
+        if *n == 0 {
+            if let Stmt::Expr(id) = block.stmts[i] {
+                if let ExprKind::Assign { rhs, .. } = &exprs.get(id).kind {
+                    block.stmts[i] = Stmt::Expr(*rhs);
+                    return UnwrapHit::Replaced;
+                }
+            }
+            return UnwrapHit::NotWrapper;
+        }
+        *n -= 1;
+        let hit = match &mut block.stmts[i] {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => match strip_assign_nth(then_blk, n, exprs) {
+                UnwrapHit::Miss => match else_blk {
+                    Some(e) => strip_assign_nth(e, n, exprs),
+                    None => UnwrapHit::Miss,
+                },
+                other => other,
+            },
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+                strip_assign_nth(body, n, exprs)
+            }
+            Stmt::Switch { cases, default, .. } => {
+                let mut hit = UnwrapHit::Miss;
+                for c in cases.iter_mut() {
+                    match strip_assign_nth(&mut c.body, n, exprs) {
+                        UnwrapHit::Miss => {}
+                        other => {
+                            hit = other;
+                            break;
+                        }
+                    }
+                }
+                if matches!(hit, UnwrapHit::Miss) {
+                    if let Some(d) = default {
+                        hit = strip_assign_nth(d, n, exprs);
+                    }
+                }
+                hit
+            }
+            Stmt::Block(b) => strip_assign_nth(b, n, exprs),
+            _ => UnwrapHit::Miss,
+        };
+        match hit {
+            UnwrapHit::Miss => {}
+            other => return other,
+        }
+        i += 1;
+    }
+    UnwrapHit::Miss
+}
+
+/// Final textual pass: drop one raw line at a time. Reaches what the
+/// AST passes cannot (record fields, lone declarators, stray braces
+/// that the printer always re-emits).
+fn drop_lines(best: &mut String, still_fails: &dyn Fn(&str) -> bool, budget: &mut usize) -> bool {
+    let mut progressed = false;
+    'retry: loop {
+        let lines: Vec<String> = best.lines().map(str::to_string).collect();
+        if lines.len() <= 1 {
+            return progressed;
+        }
+        for i in 0..lines.len() {
+            if *budget == 0 {
+                return progressed;
+            }
+            *budget -= 1;
+            let mut cand: Vec<&str> = lines.iter().map(String::as_str).collect();
+            cand.remove(i);
+            let text = cand.join("\n");
+            if cfront::compile(&text).is_ok() && still_fails(&text) {
+                *best = text;
+                progressed = true;
+                continue 'retry;
+            }
+        }
+        return progressed;
+    }
+}

@@ -36,11 +36,8 @@ fn naive_discipline_matches_delta_fingerprint() {
     let jobs = Job::named(&["span", "part", "compress"]);
     let delta = Engine::new().threads(2).run(&jobs).expect("delta run");
     let naive = Engine::new()
-        .solvers(alias::solver::all_solvers_naive())
-        .ci_config(alias::CiConfig {
-            propagation: alias::pairset::Propagation::Naive,
-            ..alias::CiConfig::default()
-        })
+        .specs(&alias::SolverSpec::all_naive())
+        .ci_spec(alias::SolverSpec::ci().propagation(alias::Propagation::Naive))
         .threads(2)
         .run(&jobs)
         .expect("naive run");

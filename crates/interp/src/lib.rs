@@ -27,12 +27,12 @@ pub mod memory;
 pub mod oracle;
 
 pub use exec::{run, Config, Outcome, RunError, Trace};
-pub use oracle::{check_solution, Violation};
+pub use oracle::{check_solution, check_solution_dyn, Violation};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
+    use alias::SolverSpec;
     use vdg::build::{lower, BuildOptions};
 
     fn exec(src: &str) -> Outcome {
@@ -57,8 +57,8 @@ mod tests {
     fn exec_checked(src: &str) -> Outcome {
         let p = cfront::compile(src).expect("compiles");
         let g = lower(&p, &BuildOptions::default()).expect("lowers");
-        let ci = analyze_ci(&g, &CiConfig::default());
-        let cs = analyze_cs(&g, &ci, &CsConfig::default()).expect("cs budget");
+        let ci = SolverSpec::ci().solve_ci(&g);
+        let cs = SolverSpec::cs().solve_cs(&g, Some(&ci)).expect("cs budget");
         let out = run(&p, &Config::default()).expect("runs");
         let v_ci = check_solution(&p, &g, &ci, &out.trace);
         assert!(v_ci.is_empty(), "CI violations: {v_ci:#?}");

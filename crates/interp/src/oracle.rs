@@ -10,6 +10,7 @@
 use crate::exec::Trace;
 use crate::memory::{AbsLoc, AbsStep, Origin};
 use alias::path::{AccessOp, PathId, PathTable};
+use alias::solver::Solution;
 use alias::stats::PointsToSolution;
 use cfront::ast::{ExprId, Program};
 use std::collections::{HashMap, HashSet};
@@ -97,6 +98,118 @@ pub fn check_solution(
         }
     }
     violations
+}
+
+/// Checks any [`alias::Solution`] against an execution trace, through
+/// the uniform trait query surface instead of concrete result types.
+///
+/// Pair-based solutions (CI, CS, Weihl, k=1) expose their path table
+/// and per-point referents ([`alias::Solution::path_universe`],
+/// [`alias::Solution::referents_at`]) and are checked at path
+/// granularity, exactly like [`check_solution`]. Solutions without
+/// per-point pair sets (Steensgaard) are checked at base granularity:
+/// the base-location of every runtime access must appear among
+/// [`alias::Solution::loc_referent_bases`].
+pub fn check_solution_dyn(
+    prog: &Program,
+    graph: &Graph,
+    sol: &dyn Solution,
+    trace: &Trace,
+) -> Vec<Violation> {
+    let mut site_bases: HashMap<ExprId, BaseId> = HashMap::new();
+    for b in graph.base_ids() {
+        if let Some(e) = graph.base(b).site_expr {
+            site_bases.insert(e, b);
+        }
+    }
+    // Path-granular table when the solution has one; a fresh per-graph
+    // table otherwise, used only to render bases in violation reports.
+    let mut paths = match sol.path_universe() {
+        Some(t) => t.clone(),
+        None => PathTable::for_graph(graph),
+    };
+    let mut violations = Vec::new();
+    for (node, is_write) in graph.all_mem_ops() {
+        let Some(site) = graph.node(node).site else {
+            continue;
+        };
+        let recorded = if is_write {
+            trace.writes.get(&site)
+        } else {
+            trace.reads.get(&site)
+        };
+        let Some(recorded) = recorded else { continue };
+        match sol.referents_at(graph, node) {
+            Some(refs) => {
+                let referents: HashSet<PathId> = refs
+                    .into_iter()
+                    .map(|r| paths.collapse_synthetic(r))
+                    .collect();
+                for abs in recorded {
+                    let covered = match abs_to_path(&mut paths, graph, prog, abs, &site_bases) {
+                        Some(pid) => {
+                            referents.contains(&pid)
+                                || match paths.cooper_older_of(pid) {
+                                    Some(older) => {
+                                        let rebased = paths.rebase(pid, older);
+                                        referents.contains(&rebased)
+                                    }
+                                    None => false,
+                                }
+                        }
+                        None => false,
+                    };
+                    if !covered {
+                        let mut predicted: Vec<String> =
+                            referents.iter().map(|&p| paths.display(p, graph)).collect();
+                        predicted.sort();
+                        violations.push(Violation {
+                            node,
+                            is_write,
+                            runtime: render_abs(prog, abs),
+                            predicted,
+                        });
+                    }
+                }
+            }
+            None => {
+                // Base-granular fallback: sorted and deduplicated by the
+                // `loc_referent_bases` contract.
+                let bases = sol.loc_referent_bases(graph, node);
+                for abs in recorded {
+                    let covered = abs_base(graph, abs, &site_bases)
+                        .map(|b| bases.binary_search(&b).is_ok())
+                        .unwrap_or(false);
+                    if !covered {
+                        let predicted: Vec<String> = bases
+                            .iter()
+                            .map(|&b| {
+                                let root = paths.base_root(b);
+                                paths.display(root, graph)
+                            })
+                            .collect();
+                        violations.push(Violation {
+                            node,
+                            is_write,
+                            runtime: render_abs(prog, abs),
+                            predicted,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Maps an abstract runtime location to its base-location only,
+/// ignoring field/element structure.
+fn abs_base(graph: &Graph, abs: &AbsLoc, site_bases: &HashMap<ExprId, BaseId>) -> Option<BaseId> {
+    match abs.origin {
+        Origin::Global(g) => Some(graph.global_base(g)),
+        Origin::Local { func, slot } => graph.local_base(VFuncId(func), slot),
+        Origin::Heap(e) | Origin::Str(e) => site_bases.get(&e).copied(),
+    }
 }
 
 /// Maps an abstract runtime location into the solution's path table.

@@ -17,6 +17,15 @@ pub struct GenConfig {
     pub stmts_per_func: usize,
     /// Maximum nesting of `if`/`while` blocks.
     pub max_depth: usize,
+    /// Allow calls to *any* generated function, including the caller
+    /// itself — recursion and call-graph cycles. Every call is guarded
+    /// by the callee-depth parameter `d`, so execution still
+    /// terminates. When off, the call graph is a DAG (calls target
+    /// strictly earlier functions only).
+    pub recursion: bool,
+    /// Emit a global function pointer `gfp`, statements that retarget
+    /// it, and guarded indirect calls through it.
+    pub indirect_calls: bool,
 }
 
 impl Default for GenConfig {
@@ -25,6 +34,8 @@ impl Default for GenConfig {
             funcs: 4,
             stmts_per_func: 8,
             max_depth: 3,
+            recursion: true,
+            indirect_calls: true,
         }
     }
 }
@@ -70,14 +81,24 @@ impl Gen {
         &v[i]
     }
 
+    /// Whether the program carries the global function pointer.
+    fn has_gfp(&self) -> bool {
+        self.cfg.indirect_calls && self.cfg.funcs > 0
+    }
+
     fn program(&mut self) {
         self.out.push_str(
             "struct node { int v; int *p; struct node *next; };\n\
              int g0; int g1; int g2;\n\
              int *gp;\n\
              int garr[4];\n\
-             struct node gnode;\n\n",
+             struct node gnode;\n",
         );
+        if self.has_gfp() {
+            self.out
+                .push_str("int *(*gfp)(int, int *, int **, struct node *);\n");
+        }
+        self.out.push('\n');
         for i in 0..self.cfg.funcs {
             self.function(i);
         }
@@ -85,7 +106,10 @@ impl Gen {
     }
 
     fn function(&mut self, idx: usize) {
-        let _ = writeln!(self.out, "int *fn{idx}(int *a, int **b, struct node *s) {{");
+        let _ = writeln!(
+            self.out,
+            "int *fn{idx}(int d, int *a, int **b, struct node *s) {{"
+        );
         self.out.push_str(
             "    int l0; int l1;\n\
              \u{20}   int t0; int t1; int t2; int t3;\n\
@@ -134,7 +158,7 @@ impl Gen {
     }
 
     fn stmt(&mut self, sc: &Scope, level: usize, depth: usize) {
-        let choice = self.rng.gen_range(0..14);
+        let choice = self.rng.gen_range(0..17);
         self.indent(level);
         match choice {
             0 => {
@@ -216,17 +240,61 @@ impl Gen {
                 self.indent(level);
                 self.out.push_str("}\n");
             }
-            12 if sc.func_idx > 0 && sc.calls_left.get() > 0 && depth == self.cfg.max_depth => {
-                // Call a previously defined function: the call graph is a
-                // DAG and calls sit outside loops with a small per-body
-                // budget, so execution always terminates quickly.
+            12 if self.cfg.funcs > 0
+                && (self.cfg.recursion || sc.func_idx > 0)
+                && sc.calls_left.get() > 0
+                && depth == self.cfg.max_depth =>
+            {
+                // Direct call. With recursion enabled any function is a
+                // legal target (including the caller itself); the
+                // callee-depth guard `d > 0` bounds every call chain, so
+                // execution still terminates. Without recursion the call
+                // graph is a DAG over earlier functions. Either way
+                // calls sit outside loops with a small per-body budget.
                 sc.calls_left.set(sc.calls_left.get() - 1);
-                let target = self.rng.gen_range(0..sc.func_idx);
+                let target = if self.cfg.recursion {
+                    self.rng.gen_range(0..self.cfg.funcs)
+                } else {
+                    self.rng.gen_range(0..sc.func_idx)
+                };
                 let p = self.pick(&sc.ptrs).to_string();
                 let a = self.pick(&sc.ints).to_string();
                 let pp = self.pick(&sc.pptrs).to_string();
                 let s = self.pick(&sc.nodes).to_string();
-                let _ = writeln!(self.out, "{p} = fn{target}(&{a}, {pp}, {s});");
+                let _ = writeln!(
+                    self.out,
+                    "if (d > 0) {{ {p} = fn{target}(d - 1, &{a}, {pp}, {s}); }}"
+                );
+            }
+            13 if self.cfg.indirect_calls
+                && self.cfg.funcs > 0
+                && sc.calls_left.get() > 0
+                && depth == self.cfg.max_depth =>
+            {
+                // Indirect call through the global function pointer,
+                // doubly guarded: the depth bound keeps it terminating,
+                // the null check keeps it safe before `main` (or a
+                // retargeting statement) has aimed `gfp` anywhere.
+                sc.calls_left.set(sc.calls_left.get() - 1);
+                let p = self.pick(&sc.ptrs).to_string();
+                let a = self.pick(&sc.ints).to_string();
+                let pp = self.pick(&sc.pptrs).to_string();
+                let s = self.pick(&sc.nodes).to_string();
+                let _ = writeln!(
+                    self.out,
+                    "if (d > 0) {{ if (gfp != NULL) {{ {p} = gfp(d - 1, &{a}, {pp}, {s}); }} }}"
+                );
+            }
+            14 if self.cfg.indirect_calls && self.cfg.funcs > 0 => {
+                let target = self.rng.gen_range(0..self.cfg.funcs);
+                let _ = writeln!(self.out, "gfp = fn{target};");
+            }
+            15 => {
+                // Bounded list step: the node chain built in `main`
+                // (n1 -> n2 -> NULL) is acyclic, and `next` is never
+                // reassigned, so guarded traversal terminates.
+                let s = self.pick(&sc.nodes).to_string();
+                let _ = writeln!(self.out, "if ({s}->next != NULL) {{ {s} = {s}->next; }}");
             }
             _ => {
                 let x = self.pick(&sc.ints).to_string();
@@ -251,6 +319,10 @@ impl Gen {
              \u{20}   n1.v = 1; n1.p = &m0; n1.next = &n2;\n\
              \u{20}   n2.v = 2; n2.p = &g1; n2.next = NULL;\n",
         );
+        if self.has_gfp() {
+            let target = self.rng.gen_range(0..self.cfg.funcs);
+            let _ = writeln!(self.out, "    gfp = fn{target};");
+        }
         let calls = if self.cfg.funcs == 0 {
             0
         } else {
@@ -258,9 +330,13 @@ impl Gen {
         };
         for _ in 0..calls {
             let target = self.rng.gen_range(0..self.cfg.funcs);
+            let depth = self.rng.gen_range(2..=3);
             let arg = if self.rng.gen_bool(0.5) { "&m0" } else { "&m1" };
             let node = if self.rng.gen_bool(0.5) { "&n1" } else { "&n2" };
-            let _ = writeln!(self.out, "    mp = fn{target}({arg}, mpp, {node});");
+            let _ = writeln!(
+                self.out,
+                "    mp = fn{target}({depth}, {arg}, mpp, {node});"
+            );
         }
         self.out.push_str(
             "    total = *mp + m0 + m1 + g0 + g1 + n1.v + n2.v;\n\

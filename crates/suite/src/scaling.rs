@@ -160,6 +160,6 @@ mod tests {
     fn run_ci(src: &str) -> usize {
         let prog = cfront::compile(src).unwrap();
         let g = vdg::lower(&prog, &vdg::BuildOptions::default()).unwrap();
-        alias::analyze_ci(&g, &alias::CiConfig::default()).total_pairs()
+        alias::SolverSpec::ci().solve_ci(&g).total_pairs()
     }
 }

@@ -5,7 +5,7 @@
 //! cargo test -p suite --release --test probe -- --ignored --nocapture
 //! ```
 
-use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
+use alias::SolverSpec;
 use vdg::build::{lower, BuildOptions};
 
 #[test]
@@ -15,10 +15,10 @@ fn probe_all() {
         let prog = cfront::compile(b.source).unwrap();
         let graph = lower(&prog, &BuildOptions::default()).unwrap();
         let t0 = std::time::Instant::now();
-        let ci = analyze_ci(&graph, &CiConfig::default());
+        let ci = SolverSpec::ci().solve_ci(&graph);
         let ci_t = t0.elapsed();
         let t1 = std::time::Instant::now();
-        let cs = analyze_cs(&graph, &ci, &CsConfig::default());
+        let cs = SolverSpec::cs().solve_cs(&graph, Some(&ci));
         let cs_t = t1.elapsed();
         match cs {
             Ok(cs) => {

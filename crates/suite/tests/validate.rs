@@ -3,7 +3,7 @@
 //! soundness oracle under the CI analysis. (The heavier CS checks live
 //! in the repository-level integration tests.)
 
-use alias::{analyze_ci, CiConfig};
+use alias::SolverSpec;
 use interp::{check_solution, run, Config};
 use vdg::build::{lower, BuildOptions};
 
@@ -30,7 +30,7 @@ fn validate(name: &str) {
         "{name}: exit {} != expected {}\nstdout:\n{}",
         out.exit, b.expected_exit, out.stdout
     );
-    let ci = analyze_ci(&graph, &CiConfig::default());
+    let ci = SolverSpec::ci().solve_ci(&graph);
     let violations = check_solution(&prog, &graph, &ci, &out.trace);
     assert!(
         violations.is_empty(),

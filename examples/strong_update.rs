@@ -7,7 +7,7 @@
 //! cargo run --example strong_update
 //! ```
 
-use alias::{analyze_ci, Analysis, CiConfig};
+use alias::{Analysis, SolverSpec};
 
 const SOURCE: &str = r#"
     int a; int b;
@@ -53,13 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     show("with strong updates (paper default):", &analysis.ci);
 
-    let weak = analyze_ci(
-        graph,
-        &CiConfig {
-            strong_updates: false,
-            ..CiConfig::default()
-        },
-    );
+    let weak = SolverSpec::ci().strong_updates(false).solve_ci(graph);
     show("ablation — strong updates disabled:", &weak);
 
     println!(

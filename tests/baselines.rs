@@ -1,23 +1,29 @@
 //! The precision spectrum over the whole benchmark suite:
 //!
 //! ```text
-//! Weihl (program-wide)      ⊒ CI ⊒ k=1 call-strings ⊒ assumption-set CS
+//! Weihl (program-wide)      ⊒ CI ⊒ k=1 call-strings
 //! Steensgaard (unification) ⊒ CI        (at base-location granularity)
 //! ```
 //!
 //! plus runtime soundness of every baseline against the interpreter.
+//! (k=1 and assumption-set CS are pointwise incomparable — see
+//! DESIGN.md §"Differential fuzzing" — so neither appears below the
+//! other here; both
+//! refine CI, which `engine::fuzz` checks on generated programs.)
+//!
+//! Every solver is constructed through [`alias::SolverSpec`]; the
+//! free `analyze_*` entry points stay internal to `crates/alias`.
 
-use alias::callstring::{analyze_callstring, analyze_callstring_from, CallStringConfig};
-use alias::steensgaard::{analyze_steensgaard, ci_referent_bases, ci_within_steensgaard};
-use alias::weihl::{analyze_weihl, analyze_weihl_from, ci_subset_of_weihl};
-use alias::{analyze_ci, CiConfig, Pair};
+use alias::steensgaard::{ci_referent_bases, ci_within_steensgaard};
+use alias::weihl::ci_subset_of_weihl;
+use alias::{HeapNaming, Pair, SolverSpec};
 use std::collections::HashSet;
 use vdg::build::{lower, BuildOptions};
 
 fn build(src: &str) -> (cfront::Program, vdg::Graph, alias::CiResult) {
     let prog = cfront::compile(src).unwrap();
     let graph = lower(&prog, &BuildOptions::default()).unwrap();
-    let ci = analyze_ci(&graph, &CiConfig::default());
+    let ci = SolverSpec::ci().solve_ci(&graph);
     (prog, graph, ci)
 }
 
@@ -25,7 +31,7 @@ fn build(src: &str) -> (cfront::Program, vdg::Graph, alias::CiResult) {
 fn ci_within_weihl_on_suite() {
     for b in suite::benchmarks() {
         let (_, graph, ci) = build(b.source);
-        let w = analyze_weihl_from(&graph, ci.paths.clone());
+        let w = SolverSpec::weihl().solve_weihl(&graph, Some(&ci));
         assert!(
             ci_subset_of_weihl(&graph, &ci, &w),
             "{}: CI escaped the program-wide solution",
@@ -40,7 +46,7 @@ fn ci_within_weihl_on_suite() {
 fn ci_within_steensgaard_on_suite() {
     for b in suite::benchmarks() {
         let (_, graph, ci) = build(b.source);
-        let mut st = analyze_steensgaard(&graph);
+        let mut st = SolverSpec::steensgaard().solve_steensgaard(&graph);
         assert!(
             ci_within_steensgaard(&graph, &ci, &mut st),
             "{}: CI escaped the unification solution",
@@ -56,7 +62,8 @@ fn k1_within_ci_and_headline_holds_for_k1_too() {
     // k1-at-derefs ⊆ CI-at-derefs, k=1 must also equal CI there.
     for b in suite::benchmarks() {
         let (_, graph, ci) = build(b.source);
-        let k1 = analyze_callstring_from(&graph, ci.paths.clone(), &CallStringConfig::default())
+        let k1 = SolverSpec::k1()
+            .solve_k1(&graph, Some(&ci))
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         for o in graph.output_ids() {
             let ci_set: HashSet<Pair> = ci.pairs(o).iter().copied().collect();
@@ -82,7 +89,7 @@ fn steensgaard_is_coarser_or_equal_at_every_op() {
     let mut strictly_coarser = false;
     for b in suite::benchmarks() {
         let (_, graph, ci) = build(b.source);
-        let mut st = analyze_steensgaard(&graph);
+        let mut st = SolverSpec::steensgaard().solve_steensgaard(&graph);
         for (node, _) in graph.all_mem_ops() {
             let fine = ci_referent_bases(&ci, &graph, node);
             let coarse = st.loc_bases(&graph, node);
@@ -109,10 +116,10 @@ fn baselines_are_runtime_sound() {
             },
         )
         .unwrap();
-        let w = analyze_weihl(&graph);
+        let w = SolverSpec::weihl().solve_weihl(&graph, None);
         let v = interp::check_solution(&prog, &graph, &w, &out.trace);
         assert!(v.is_empty(), "{}: Weihl unsound: {v:#?}", b.name);
-        let k1 = analyze_callstring(&graph, &CallStringConfig::default()).unwrap();
+        let k1 = SolverSpec::k1().solve_k1(&graph, None).unwrap();
         let v = interp::check_solution(&prog, &graph, &k1, &out.trace);
         assert!(v.is_empty(), "{}: k=1 unsound: {v:#?}", b.name);
     }
@@ -135,7 +142,7 @@ fn steensgaard_is_runtime_sound_at_base_granularity() {
         // CI is runtime-sound (tests/soundness.rs); if CI bases are
         // within Steensgaard's bases at every op (checked above), then
         // Steensgaard is sound by inclusion. Assert the chain explicitly.
-        let mut st = analyze_steensgaard(&graph);
+        let mut st = SolverSpec::steensgaard().solve_steensgaard(&graph);
         assert!(ci_within_steensgaard(&graph, &ci, &mut st), "{}", b.name);
         let v = interp::check_solution(&prog, &graph, &ci, &out.trace);
         assert!(v.is_empty(), "{}", b.name);
@@ -147,19 +154,14 @@ fn k1_heap_naming_is_a_refinement() {
     // Collapsing the per-caller heap clones recovers (a subset of) the
     // site-named CI solution on every benchmark, and the §5.1.1 effect
     // shows somewhere: at least one program's pair pool grows.
-    use alias::ci::HeapNaming;
     let mut grew = false;
     for b in suite::benchmarks() {
         let prog = cfront::compile(b.source).unwrap();
         let graph = lower(&prog, &BuildOptions::default()).unwrap();
-        let site = analyze_ci(&graph, &CiConfig::default());
-        let k1 = analyze_ci(
-            &graph,
-            &CiConfig {
-                heap_naming: HeapNaming::CallString1,
-                ..CiConfig::default()
-            },
-        );
+        let site = SolverSpec::ci().solve_ci(&graph);
+        let k1 = SolverSpec::ci()
+            .heap_naming(HeapNaming::CallString1)
+            .solve_ci(&graph);
         if k1.total_pairs() > site.total_pairs() {
             grew = true;
         }
@@ -199,7 +201,6 @@ fn k1_heap_naming_is_a_refinement() {
 
 #[test]
 fn k1_heap_naming_is_runtime_sound() {
-    use alias::ci::HeapNaming;
     for b in suite::benchmarks() {
         let prog = cfront::compile(b.source).unwrap();
         let graph = lower(&prog, &BuildOptions::default()).unwrap();
@@ -211,13 +212,9 @@ fn k1_heap_naming_is_runtime_sound() {
             },
         )
         .unwrap();
-        let k1 = analyze_ci(
-            &graph,
-            &CiConfig {
-                heap_naming: HeapNaming::CallString1,
-                ..CiConfig::default()
-            },
-        );
+        let k1 = SolverSpec::ci()
+            .heap_naming(HeapNaming::CallString1)
+            .solve_ci(&graph);
         let v = interp::check_solution(&prog, &graph, &k1, &out.trace);
         assert!(v.is_empty(), "{}: k=1 heap naming unsound: {v:#?}", b.name);
     }

@@ -1,0 +1,23 @@
+struct node {
+    int *p;
+    struct node *next;
+};
+int *fn1(struct node *s) {
+    int *q0;
+    if (((s)->next != NULL)) {
+        s = (s)->next;
+    }
+    (s)->p = q0;
+}
+int *fn3(struct node *s) {
+    *((s)->p);
+}
+int main(void) {
+    int m0;
+    struct node n1;
+    struct node n2;
+    (n1).p = &(m0);
+    (n1).next = &(n2);
+    fn1(&(n1));
+    fn3(&(n1));
+}

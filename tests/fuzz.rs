@@ -1,0 +1,143 @@
+//! Integration tests for the differential fuzzing subsystem: the
+//! generator's printer round-trip, a clean multi-threaded campaign, the
+//! planted-bug minimization bound, and the committed regression
+//! fixture a past minimization produced.
+
+use alias::{Fault, SolverSpec};
+use engine::fuzz::fuzz;
+use engine::FuzzConfig;
+use suite::generator::{generate, GenConfig};
+use vdg::build::{lower, BuildOptions};
+
+/// Generated programs — with and without the recursion / indirect-call
+/// features the fuzzer leans on — survive the pretty-printer
+/// round-trip and compile from their printed form. This is the property
+/// the shrinker depends on: every intermediate candidate it renders is
+/// a standalone repro.
+#[test]
+fn generated_programs_round_trip_and_recompile() {
+    let configs = [
+        GenConfig::default(),
+        GenConfig {
+            recursion: false,
+            indirect_calls: false,
+            ..GenConfig::default()
+        },
+        GenConfig {
+            funcs: 6,
+            stmts_per_func: 14,
+            ..GenConfig::default()
+        },
+    ];
+    for seed in 0..24u64 {
+        for cfg in &configs {
+            let src = generate(seed, cfg);
+            let p1 = cfront::parser::parse(cfront::lexer::lex(&src).unwrap()).unwrap();
+            let once = cfront::pretty::print_program(&p1);
+            let p2 = cfront::parser::parse(cfront::lexer::lex(&once).unwrap()).unwrap();
+            let twice = cfront::pretty::print_program(&p2);
+            assert_eq!(once, twice, "seed {seed}: printer not a parse fixpoint");
+            cfront::compile(&once)
+                .unwrap_or_else(|e| panic!("seed {seed}: printed form rejected: {e}"));
+        }
+    }
+}
+
+/// A multi-threaded campaign over healthy solvers reports no
+/// violations: all five analyses are sound against the interpreter,
+/// ordered on the checked lattice edges, and delta/naive-convergent on
+/// every generated program.
+#[test]
+fn campaign_over_healthy_solvers_is_clean() {
+    let cfg = FuzzConfig {
+        seeds: 32,
+        threads: 0,
+        ..FuzzConfig::default()
+    };
+    let r = fuzz(&cfg);
+    assert_eq!(r.seeds, 32);
+    assert!(
+        r.violations.is_empty(),
+        "differential violations on healthy solvers: {:#?}",
+        r.violations
+            .iter()
+            .map(|v| (v.seed, &v.kind, &v.solver, &v.detail))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// The planted over-strong-update fault is caught as a soundness
+/// violation and the delta-debugger shrinks the generated ~100-line
+/// program to a repro of at most 25 lines.
+#[test]
+fn planted_fault_is_minimized_to_a_small_repro() {
+    let cfg = FuzzConfig {
+        seeds: 1,
+        start_seed: 192,
+        threads: 1,
+        shrink: true,
+        fault: Fault::OverStrongUpdates,
+        ..FuzzConfig::default()
+    };
+    let r = fuzz(&cfg);
+    let v = r
+        .violations
+        .iter()
+        .find(|v| v.kind == "soundness")
+        .expect("planted fault should surface as a soundness violation");
+    let m = v
+        .minimized
+        .as_ref()
+        .expect("soundness violations get shrink slots first");
+    assert!(
+        m.lines().count() <= 25,
+        "minimizer stalled at {} lines:\n{m}",
+        m.lines().count()
+    );
+    // The minimized repro must stand alone: compile, run, and still
+    // expose the faulted CI to the oracle.
+    let prog = cfront::compile(m).expect("minimized repro compiles");
+    let graph = lower(&prog, &BuildOptions::default()).expect("lowers");
+    let out = interp::run(&prog, &interp::Config::default()).expect("runs");
+    let bad = SolverSpec::ci()
+        .fault(Fault::OverStrongUpdates)
+        .solve_ci(&graph);
+    assert!(
+        !interp::check_solution(&prog, &graph, &bad, &out.trace).is_empty(),
+        "minimized repro no longer exposes the planted fault"
+    );
+}
+
+/// The committed fixture — a past run's auto-minimized counterexample —
+/// keeps regressing the over-strong-update fault: the healthy CI solver
+/// is sound on it, the faulted one is not. The shape is minimal: a
+/// list-step (`s = s->next`) makes the store's location set
+/// multi-referent, the faulted transfer kills every referent's
+/// bindings, and a later read observes the wrongly-killed one.
+#[test]
+fn committed_fixture_regresses_the_fault() {
+    let src = include_str!("fixtures/weakened_strong_update.c");
+    assert!(
+        src.lines().count() <= 25,
+        "fixture grew past the minimization bound"
+    );
+    let prog = cfront::compile(src).expect("fixture compiles");
+    let graph = lower(&prog, &BuildOptions::default()).expect("fixture lowers");
+    let out = interp::run(&prog, &interp::Config::default()).expect("fixture runs");
+
+    let good = SolverSpec::ci().solve_ci(&graph);
+    let v = interp::check_solution(&prog, &graph, &good, &out.trace);
+    assert!(
+        v.is_empty(),
+        "healthy CI must be sound on the fixture: {v:#?}"
+    );
+
+    let bad = SolverSpec::ci()
+        .fault(Fault::OverStrongUpdates)
+        .solve_ci(&graph);
+    let v = interp::check_solution(&prog, &graph, &bad, &out.trace);
+    assert!(
+        !v.is_empty(),
+        "the over-strong-update fault must be observable on the fixture"
+    );
+}

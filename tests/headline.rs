@@ -5,14 +5,16 @@
 //! points-to pairs — all of them on store-valued outputs.
 
 use alias::stats::{compare_at_indirect_refs, indirect_ref_rows, spurious_by_kind, spurious_row};
-use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
+use alias::SolverSpec;
 use vdg::build::{lower, BuildOptions};
 
 fn pipeline(src: &str) -> (vdg::Graph, alias::CiResult, alias::CsResult) {
     let prog = cfront::compile(src).expect("compiles");
     let graph = lower(&prog, &BuildOptions::default()).expect("lowers");
-    let ci = analyze_ci(&graph, &CiConfig::default());
-    let cs = analyze_cs(&graph, &ci, &CsConfig::default()).expect("budget");
+    let ci = SolverSpec::ci().solve_ci(&graph);
+    let cs = SolverSpec::cs()
+        .solve_cs(&graph, Some(&ci))
+        .expect("budget");
     (graph, ci, cs)
 }
 
@@ -92,7 +94,7 @@ fn most_indirect_references_touch_one_location() {
     for b in suite::benchmarks() {
         let prog = cfront::compile(b.source).unwrap();
         let graph = lower(&prog, &BuildOptions::default()).unwrap();
-        let ci = analyze_ci(&graph, &CiConfig::default());
+        let ci = SolverSpec::ci().solve_ci(&graph);
         let (r, w) = indirect_ref_rows(&graph, &ci);
         total += r.total + w.total;
         singles += r.n1 + w.n1;

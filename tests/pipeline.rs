@@ -1,7 +1,7 @@
 //! End-to-end pipeline integration: every suite benchmark must flow
 //! through frontend → VDG → CI → CS with structurally sane results.
 
-use alias::{analyze_ci, analyze_cs, cs_subset_of_ci, CiConfig, CsConfig};
+use alias::{cs_subset_of_ci, SolverSpec};
 use vdg::build::{lower, BuildOptions};
 use vdg::stats::size_stats;
 
@@ -25,9 +25,10 @@ fn all_benchmarks_flow_through_the_pipeline() {
         );
         assert!(sizes.alias_related_outputs > 0, "{}", b.name);
 
-        let ci = analyze_ci(&graph, &CiConfig::default());
+        let ci = SolverSpec::ci().solve_ci(&graph);
         assert!(ci.total_pairs() > 0, "{}: no points-to pairs", b.name);
-        let cs = analyze_cs(&graph, &ci, &CsConfig::default())
+        let cs = SolverSpec::cs()
+            .solve_cs(&graph, Some(&ci))
             .unwrap_or_else(|e| panic!("{}: CS blew the budget: {e}", b.name));
         assert!(
             cs_subset_of_ci(&graph, &ci, &cs),
@@ -60,7 +61,7 @@ fn discovered_call_graph_reaches_every_function() {
     for b in suite::benchmarks() {
         let prog = cfront::compile(b.source).unwrap();
         let graph = lower(&prog, &BuildOptions::default()).unwrap();
-        let ci = analyze_ci(&graph, &CiConfig::default());
+        let ci = SolverSpec::ci().solve_ci(&graph);
         let mut called: std::collections::HashSet<u32> = std::collections::HashSet::new();
         for fs in ci.callees.values() {
             called.extend(fs.iter().map(|f| f.0));
@@ -90,7 +91,7 @@ fn cooper_scheme_pipeline_also_works() {
             },
         )
         .unwrap();
-        let ci = analyze_ci(&graph, &CiConfig::default());
+        let ci = SolverSpec::ci().solve_ci(&graph);
         assert!(ci.total_pairs() > 0, "{}", b.name);
     }
 }

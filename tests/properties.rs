@@ -5,7 +5,7 @@
 //! "shrinking" story is simply: the failing seed is printed and the
 //! whole program is reproducible from it).
 
-use alias::{analyze_ci, analyze_cs, cs_subset_of_ci, CiConfig, CsConfig, WorklistOrder};
+use alias::{cs_subset_of_ci, SolverSpec, WorklistOrder};
 use suite::generator::{generate, GenConfig};
 use vdg::build::{lower, BuildOptions};
 
@@ -28,8 +28,10 @@ fn build(seed: u64) -> (cfront::Program, vdg::Graph) {
 fn cs_subset_of_ci_on_random_programs() {
     for seed in 0..CASES {
         let (_, graph) = build(seed);
-        let ci = analyze_ci(&graph, &CiConfig::default());
-        let cs = analyze_cs(&graph, &ci, &CsConfig::default()).expect("budget");
+        let ci = SolverSpec::ci().solve_ci(&graph);
+        let cs = SolverSpec::cs()
+            .solve_cs(&graph, Some(&ci))
+            .expect("budget");
         assert!(cs_subset_of_ci(&graph, &ci, &cs), "seed {seed}");
     }
 }
@@ -39,14 +41,8 @@ fn cs_subset_of_ci_on_random_programs() {
 fn fixpoint_is_scheduling_independent() {
     for seed in 0..CASES {
         let (_, graph) = build(seed);
-        let fifo = analyze_ci(&graph, &CiConfig::default());
-        let lifo = analyze_ci(
-            &graph,
-            &CiConfig {
-                order: WorklistOrder::Lifo,
-                ..CiConfig::default()
-            },
-        );
+        let fifo = SolverSpec::ci().solve_ci(&graph);
+        let lifo = SolverSpec::ci().order(WorklistOrder::Lifo).solve_ci(&graph);
         // Compare by rendered content: path ids are interned in visit order.
         for o in graph.output_ids() {
             let render = |r: &alias::CiResult| {
@@ -73,14 +69,8 @@ fn fixpoint_is_scheduling_independent() {
 fn strong_updates_only_filter() {
     for seed in 0..CASES {
         let (_, graph) = build(seed);
-        let strong = analyze_ci(&graph, &CiConfig::default());
-        let weak = analyze_ci(
-            &graph,
-            &CiConfig {
-                strong_updates: false,
-                ..CiConfig::default()
-            },
-        );
+        let strong = SolverSpec::ci().solve_ci(&graph);
+        let weak = SolverSpec::ci().strong_updates(false).solve_ci(&graph);
         for o in graph.output_ids() {
             let w: std::collections::HashSet<_> = weak.pairs(o).iter().collect();
             for p in strong.pairs(o) {
@@ -98,17 +88,14 @@ fn strong_updates_only_filter() {
 fn subsumption_preserves_results() {
     for seed in 0..SLOW_CASES {
         let (_, graph) = build(seed);
-        let ci = analyze_ci(&graph, &CiConfig::default());
-        let optimized = analyze_cs(&graph, &ci, &CsConfig::default()).expect("budget");
-        let no_subsume = analyze_cs(
-            &graph,
-            &ci,
-            &CsConfig {
-                subsumption: false,
-                max_steps: 30_000_000,
-                ..CsConfig::default()
-            },
-        );
+        let ci = SolverSpec::ci().solve_ci(&graph);
+        let optimized = SolverSpec::cs()
+            .solve_cs(&graph, Some(&ci))
+            .expect("budget");
+        let no_subsume = SolverSpec::cs()
+            .subsumption(false)
+            .max_steps(30_000_000)
+            .solve_cs(&graph, Some(&ci));
         // Without subsumption the algorithm may legitimately blow its
         // budget; when it finishes, the answers must agree.
         if let Ok(no_subsume) = no_subsume {
@@ -127,17 +114,14 @@ fn subsumption_preserves_results() {
 fn ci_pruning_is_sandwiched() {
     for seed in 0..SLOW_CASES {
         let (_, graph) = build(seed);
-        let ci = analyze_ci(&graph, &CiConfig::default());
-        let pruned = analyze_cs(&graph, &ci, &CsConfig::default()).expect("budget");
-        let maximal = analyze_cs(
-            &graph,
-            &ci,
-            &CsConfig {
-                ci_pruning: false,
-                max_steps: 30_000_000,
-                ..CsConfig::default()
-            },
-        );
+        let ci = SolverSpec::ci().solve_ci(&graph);
+        let pruned = SolverSpec::cs()
+            .solve_cs(&graph, Some(&ci))
+            .expect("budget");
+        let maximal = SolverSpec::cs()
+            .ci_pruning(false)
+            .max_steps(30_000_000)
+            .solve_cs(&graph, Some(&ci));
         assert!(cs_subset_of_ci(&graph, &ci, &pruned), "seed {seed}");
         if let Ok(maximal) = maximal {
             for o in graph.output_ids() {
@@ -160,10 +144,12 @@ fn runtime_soundness() {
         let (prog, graph) = build(seed);
         let out = interp::run(&prog, &interp::Config::default())
             .unwrap_or_else(|e| panic!("seed {seed}: generated program crashed: {e}"));
-        let ci = analyze_ci(&graph, &CiConfig::default());
+        let ci = SolverSpec::ci().solve_ci(&graph);
         let v = interp::check_solution(&prog, &graph, &ci, &out.trace);
         assert!(v.is_empty(), "seed {seed}: CI violations: {v:#?}");
-        let cs = analyze_cs(&graph, &ci, &CsConfig::default()).expect("budget");
+        let cs = SolverSpec::cs()
+            .solve_cs(&graph, Some(&ci))
+            .expect("budget");
         let v = interp::check_solution(&prog, &graph, &cs, &out.trace);
         assert!(v.is_empty(), "seed {seed}: CS violations: {v:#?}");
     }
@@ -175,23 +161,20 @@ fn runtime_soundness() {
 fn baseline_spectrum_on_random_programs() {
     for seed in 0..CASES {
         let (_, graph) = build(seed);
-        let ci = analyze_ci(&graph, &CiConfig::default());
-        let w = alias::weihl::analyze_weihl_from(&graph, ci.paths.clone());
+        let ci = SolverSpec::ci().solve_ci(&graph);
+        let w = SolverSpec::weihl().solve_weihl(&graph, Some(&ci));
         assert!(
             alias::weihl::ci_subset_of_weihl(&graph, &ci, &w),
             "seed {seed}"
         );
-        let mut st = alias::steensgaard::analyze_steensgaard(&graph);
+        let mut st = SolverSpec::steensgaard().solve_steensgaard(&graph);
         assert!(
             alias::steensgaard::ci_within_steensgaard(&graph, &ci, &mut st),
             "seed {seed}"
         );
-        let k1 = alias::callstring::analyze_callstring_from(
-            &graph,
-            ci.paths.clone(),
-            &alias::callstring::CallStringConfig::default(),
-        )
-        .expect("budget");
+        let k1 = SolverSpec::k1()
+            .solve_k1(&graph, Some(&ci))
+            .expect("budget");
         for o in graph.output_ids() {
             let ci_set: std::collections::HashSet<_> = ci.pairs(o).iter().collect();
             for p in k1.pairs(o) {
@@ -208,14 +191,10 @@ fn baselines_runtime_sound_on_random_programs() {
         let (prog, graph) = build(seed);
         let out = interp::run(&prog, &interp::Config::default())
             .unwrap_or_else(|e| panic!("seed {seed}: crashed: {e}"));
-        let w = alias::weihl::analyze_weihl(&graph);
+        let w = SolverSpec::weihl().solve_weihl(&graph, None);
         let v = interp::check_solution(&prog, &graph, &w, &out.trace);
         assert!(v.is_empty(), "seed {seed}: Weihl violations: {v:#?}");
-        let k1 = alias::callstring::analyze_callstring(
-            &graph,
-            &alias::callstring::CallStringConfig::default(),
-        )
-        .expect("budget");
+        let k1 = SolverSpec::k1().solve_k1(&graph, None).expect("budget");
         let v = interp::check_solution(&prog, &graph, &k1, &out.trace);
         assert!(v.is_empty(), "seed {seed}: k=1 violations: {v:#?}");
     }
@@ -242,12 +221,15 @@ fn big_programs_stay_within_budget() {
             funcs: 8,
             stmts_per_func: 16,
             max_depth: 3,
+            ..GenConfig::default()
         };
         let src = generate(seed, &cfg);
         let prog = cfront::compile(&src).expect("compiles");
         let graph = lower(&prog, &BuildOptions::default()).expect("lowers");
-        let ci = analyze_ci(&graph, &CiConfig::default());
-        let cs = analyze_cs(&graph, &ci, &CsConfig::default()).expect("budget");
+        let ci = SolverSpec::ci().solve_ci(&graph);
+        let cs = SolverSpec::cs()
+            .solve_cs(&graph, Some(&ci))
+            .expect("budget");
         assert!(cs_subset_of_ci(&graph, &ci, &cs), "seed {seed}");
     }
 }

@@ -1,9 +1,11 @@
-//! The `Solver` trait objects must agree with the free-function entry
-//! points they wrap: same referent bases at every indirect memory
-//! reference, same pair counts where the notion exists.
+//! The `Solver` trait objects built by [`SolverSpec::build`] must agree
+//! with the typed `solve_*` helpers on the same spec: same referent
+//! bases at every indirect memory reference, same pair counts where the
+//! notion exists. This pins the two faces of the spec API — the dynamic
+//! engine path and the typed harness path — to one another.
 
-use alias::solver::{solver_by_name, Solution};
-use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
+use alias::solver::Solution;
+use alias::SolverSpec;
 use vdg::build::{lower, BuildOptions};
 use vdg::NodeId;
 
@@ -21,80 +23,103 @@ fn sorted_bases(s: &dyn Solution, graph: &vdg::Graph, node: NodeId) -> Vec<vdg::
     v
 }
 
-/// Runs `name` through the trait and checks it against `free` at every
-/// indirect memory reference of both programs.
-fn check_against(name: &str, free: impl Fn(&vdg::Graph, &alias::CiResult) -> Box<dyn Solution>) {
-    let solver = solver_by_name(name).unwrap_or_else(|| panic!("no solver `{name}`"));
+/// Runs `spec` through the trait object and checks it against the typed
+/// helper's result at every indirect memory reference of both programs.
+fn check_spec(
+    spec: &SolverSpec,
+    typed: impl Fn(&SolverSpec, &vdg::Graph, &alias::CiResult) -> Box<dyn Solution>,
+) {
+    let solver = spec.build();
     for prog in PROGRAMS {
         let graph = graph_of(prog);
-        let ci = analyze_ci(&graph, &CiConfig::default());
+        let ci = SolverSpec::ci().solve_ci(&graph);
         let via_trait = solver.solve(&graph, Some(&ci)).unwrap();
-        let via_free = free(&graph, &ci);
-        assert_eq!(via_trait.analysis(), name);
+        let via_typed = typed(spec, &graph, &ci);
+        assert_eq!(via_trait.analysis(), spec.name());
         assert_eq!(
             via_trait.pairs(),
-            via_free.pairs(),
-            "{prog}/{name}: pair counts disagree"
+            via_typed.pairs(),
+            "{prog}/{}: pair counts disagree",
+            spec.name()
         );
         for (node, _) in graph.indirect_mem_ops() {
             assert_eq!(
                 sorted_bases(via_trait.as_ref(), &graph, node),
-                sorted_bases(via_free.as_ref(), &graph, node),
-                "{prog}/{name}: referent bases disagree at {node:?}"
+                sorted_bases(via_typed.as_ref(), &graph, node),
+                "{prog}/{}: referent bases disagree at {node:?}",
+                spec.name()
             );
         }
     }
 }
 
 #[test]
-fn ci_solver_matches_analyze_ci() {
-    check_against("ci", |g, _| Box::new(analyze_ci(g, &CiConfig::default())));
+fn ci_build_matches_solve_ci() {
+    check_spec(&SolverSpec::ci(), |s, g, _| Box::new(s.solve_ci(g)));
 }
 
 #[test]
-fn cs_solver_matches_analyze_cs() {
-    check_against("cs", |g, ci| {
-        Box::new(analyze_cs(g, ci, &CsConfig::default()).expect("budget"))
+fn cs_build_matches_solve_cs() {
+    check_spec(&SolverSpec::cs(), |s, g, ci| {
+        Box::new(s.solve_cs(g, Some(ci)).expect("budget"))
     });
 }
 
 #[test]
-fn weihl_solver_matches_analyze_weihl() {
-    check_against("weihl", |g, ci| {
-        Box::new(alias::weihl::analyze_weihl_from(g, ci.paths.clone()))
+fn weihl_build_matches_solve_weihl() {
+    check_spec(&SolverSpec::weihl(), |s, g, ci| {
+        Box::new(s.solve_weihl(g, Some(ci)))
     });
 }
 
 #[test]
-fn callstring_solver_matches_analyze_callstring() {
-    check_against("k1", |g, ci| {
-        Box::new(
-            alias::callstring::analyze_callstring_from(
-                g,
-                ci.paths.clone(),
-                &alias::callstring::CallStringConfig::default(),
-            )
-            .expect("budget"),
-        )
+fn k1_build_matches_solve_k1() {
+    check_spec(&SolverSpec::k1(), |s, g, ci| {
+        Box::new(s.solve_k1(g, Some(ci)).expect("budget"))
     });
 }
 
-/// Steensgaard's free entry point answers queries through `&mut self`
+/// Steensgaard's typed result answers queries through `&mut self`
 /// (union-find path compression), so it is compared directly rather
 /// than through the `Solution` view.
 #[test]
-fn steensgaard_solver_matches_analyze_steensgaard() {
-    let solver = solver_by_name("steensgaard").unwrap();
+fn steensgaard_build_matches_solve_steensgaard() {
+    let spec = SolverSpec::steensgaard();
+    let solver = spec.build();
     for prog in PROGRAMS {
         let graph = graph_of(prog);
         let via_trait = solver.solve(&graph, None).unwrap();
-        let mut via_free = alias::steensgaard::analyze_steensgaard(&graph);
+        let mut via_typed = spec.solve_steensgaard(&graph);
         for (node, _) in graph.indirect_mem_ops() {
             let mut t = via_trait.loc_referent_bases(&graph, node);
             t.sort();
-            let mut f = via_free.loc_bases(&graph, node);
+            let mut f = via_typed.loc_bases(&graph, node);
             f.sort();
             assert_eq!(t, f, "{prog}/steensgaard: bases disagree at {node:?}");
         }
     }
+}
+
+#[test]
+fn by_name_round_trips_and_spectrum_order_is_stable() {
+    let names: Vec<&str> = SolverSpec::all().iter().map(|s| s.name()).collect();
+    assert_eq!(names, ["weihl", "steensgaard", "ci", "k1", "cs"]);
+    for n in names {
+        let spec = SolverSpec::by_name(n).unwrap_or_else(|| panic!("no solver `{n}`"));
+        assert_eq!(spec.name(), n);
+    }
+    assert!(SolverSpec::by_name("andersen").is_none());
+}
+
+#[test]
+fn typed_and_dynamic_paths_share_one_configuration_space() {
+    // A knob set on the spec flows through both `build()` and the typed
+    // helper: turning strong updates off must change both the same way.
+    let graph = graph_of("span");
+    let weak_spec = SolverSpec::ci().strong_updates(false);
+    let weak_typed = weak_spec.solve_ci(&graph);
+    let weak_dyn = weak_spec.build().solve(&graph, None).unwrap();
+    assert_eq!(weak_dyn.pairs(), Some(weak_typed.total_pairs()));
+    let strong = SolverSpec::ci().solve_ci(&graph);
+    assert!(weak_typed.total_pairs() >= strong.total_pairs());
 }

@@ -4,7 +4,7 @@
 //! schemes. (The paper argues soundness informally; here it is checked
 //! against real executions.)
 
-use alias::{analyze_ci, analyze_cs, CiConfig, CsConfig};
+use alias::SolverSpec;
 use interp::{check_solution, run, Config};
 use vdg::build::{lower, BuildOptions};
 use vdg::RecLocalScheme;
@@ -29,11 +29,11 @@ fn check_benchmark(name: &str, scheme: RecLocalScheme) {
     .unwrap_or_else(|e| panic!("{name}: {e}"));
     assert_eq!(out.exit, b.expected_exit, "{name}: wrong exit status");
 
-    let ci = analyze_ci(&graph, &CiConfig::default());
+    let ci = SolverSpec::ci().solve_ci(&graph);
     let v = check_solution(&prog, &graph, &ci, &out.trace);
     assert!(v.is_empty(), "{name}: CI unsound ({scheme:?}): {v:#?}");
 
-    let cs = analyze_cs(&graph, &ci, &CsConfig::default()).unwrap();
+    let cs = SolverSpec::cs().solve_cs(&graph, Some(&ci)).unwrap();
     let v = check_solution(&prog, &graph, &cs, &out.trace);
     assert!(v.is_empty(), "{name}: CS unsound ({scheme:?}): {v:#?}");
 }
@@ -66,13 +66,7 @@ fn weak_update_ablation_is_sound_too() {
             },
         )
         .unwrap();
-        let ci = analyze_ci(
-            &graph,
-            &CiConfig {
-                strong_updates: false,
-                ..CiConfig::default()
-            },
-        );
+        let ci = SolverSpec::ci().strong_updates(false).solve_ci(&graph);
         let v = check_solution(&prog, &graph, &ci, &out.trace);
         assert!(v.is_empty(), "{}: weak-update CI unsound: {v:#?}", b.name);
     }
@@ -105,10 +99,10 @@ fn recursive_downward_escape_is_sound_under_both_schemes() {
             },
         )
         .unwrap();
-        let ci = analyze_ci(&graph, &CiConfig::default());
+        let ci = SolverSpec::ci().solve_ci(&graph);
         let v = check_solution(&prog, &graph, &ci, &out.trace);
         assert!(v.is_empty(), "{scheme:?}: {v:#?}");
-        let cs = analyze_cs(&graph, &ci, &CsConfig::default()).unwrap();
+        let cs = SolverSpec::cs().solve_cs(&graph, Some(&ci)).unwrap();
         let v = check_solution(&prog, &graph, &cs, &out.trace);
         assert!(v.is_empty(), "{scheme:?} CS: {v:#?}");
     }

@@ -168,6 +168,82 @@ pub trait Solution: Send {
     fn as_cs(&self) -> Option<&CsResult> {
         None
     }
+
+    /// A deep copy of the boxed solution. The incremental engine uses
+    /// this to replay a cached solution without consuming the cache
+    /// entry.
+    fn clone_box(&self) -> SolutionBox;
+}
+
+/// Canonical rendered dump of a solution, for equivalence checks and
+/// golden snapshots.
+///
+/// Everything is rendered to strings against `graph` and sorted, so the
+/// dump is independent of solver schedule, path-id numbering, and of
+/// *how* the solution was obtained (fresh, seeded resume, or cache
+/// replay) — but changes whenever any answer the solution gives
+/// changes. Flow counters are deliberately excluded: they describe the
+/// work done, not the solution. For the CI solver the dump additionally
+/// includes every per-output pair set and the discovered call graph.
+pub fn solution_dump(sol: &dyn Solution, graph: &Graph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "analysis: {}", sol.analysis());
+    if let Some(n) = sol.pairs() {
+        let _ = writeln!(out, "pairs: {n}");
+    }
+    for (node, _) in graph.indirect_mem_ops() {
+        let mut names: Vec<String> = match (sol.referents_at(graph, node), sol.path_universe()) {
+            (Some(refs), Some(paths)) => refs.iter().map(|&p| paths.display(p, graph)).collect(),
+            _ => sol
+                .loc_referent_bases(graph, node)
+                .iter()
+                .map(|&b| crate::fingerprint::stable_base_key(graph, b))
+                .collect(),
+        };
+        names.sort();
+        names.dedup();
+        let _ = writeln!(out, "op {}: [{}]", node.0, names.join(", "));
+    }
+    if let Some(ci) = sol.as_ci() {
+        for o in graph.output_ids() {
+            let prs = ci.pairs(o);
+            if prs.is_empty() {
+                continue;
+            }
+            let mut rendered: Vec<String> = prs
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{} -> {}",
+                        ci.paths.display(p.path, graph),
+                        ci.paths.display(p.referent, graph)
+                    )
+                })
+                .collect();
+            rendered.sort();
+            let _ = writeln!(out, "out {}: [{}]", o.0, rendered.join(", "));
+        }
+        let mut calls: Vec<String> = ci
+            .callees
+            .iter()
+            .map(|(n, fs)| {
+                let names: Vec<&str> = fs.iter().map(|&f| graph.func(f).name.as_str()).collect();
+                format!("call {}: [{}]", n.0, names.join(", "))
+            })
+            .collect();
+        calls.sort();
+        for c in calls {
+            let _ = writeln!(out, "{c}");
+        }
+    }
+    out
+}
+
+/// FNV-1a digest of [`solution_dump`] — the byte-identity currency of
+/// the edit-replay equivalence harness.
+pub fn solution_fingerprint(sol: &dyn Solution, graph: &Graph) -> u64 {
+    crate::fingerprint::fnv64(solution_dump(sol, graph).as_bytes())
 }
 
 /// Collapses path-granular referents to distinct bases.
@@ -228,6 +304,9 @@ impl Solution for CiResult {
     }
     fn as_ci(&self) -> Option<&CiResult> {
         Some(self)
+    }
+    fn clone_box(&self) -> SolutionBox {
+        Box::new(self.clone())
     }
 }
 
@@ -295,6 +374,9 @@ impl Solution for CsResult {
     fn as_cs(&self) -> Option<&CsResult> {
         Some(self)
     }
+    fn clone_box(&self) -> SolutionBox {
+        Box::new(self.clone())
+    }
 }
 
 /// Weihl's program-wide flow-insensitive baseline as a [`Solver`].
@@ -345,6 +427,9 @@ impl Solution for WeihlResult {
     }
     fn path_universe(&self) -> Option<&PathTable> {
         Some(&self.paths)
+    }
+    fn clone_box(&self) -> SolutionBox {
+        Box::new(self.clone())
     }
 }
 
@@ -397,6 +482,11 @@ impl Solution for SteensSolution {
         bases.sort_unstable();
         bases.dedup();
         bases
+    }
+    fn clone_box(&self) -> SolutionBox {
+        Box::new(SteensSolution {
+            inner: RefCell::new(self.inner.borrow().clone()),
+        })
     }
 }
 
@@ -452,6 +542,9 @@ impl Solution for CallStringResult {
     }
     fn as_points_to(&self) -> Option<&dyn PointsToSolution> {
         Some(self)
+    }
+    fn clone_box(&self) -> SolutionBox {
+        Box::new(self.clone())
     }
 }
 
@@ -599,6 +692,12 @@ impl SolverSpec {
     /// The spec's [`Solver::name`].
     pub fn name(&self) -> &'static str {
         self.kind.name()
+    }
+
+    /// A stable textual key over every knob, for cache maps keyed by
+    /// solver configuration. Two specs share a key iff they are equal.
+    pub fn key(&self) -> String {
+        format!("{self:?}")
     }
 
     /// Perform strong updates (CI, CS, k=1).

@@ -9,6 +9,7 @@
 //! cargo run -p bench-harness --bin report -- --naive       # PR 1 worklists
 //! cargo run -p bench-harness --bin report -- --fingerprint # hashable report
 //! cargo run -p bench-harness --bin report -- --fuzz --seeds 500 --budget-ms 200
+//! cargo run -p bench-harness --bin report -- --incremental --chains 100
 //! ```
 //!
 //! `--scaling` swaps the paper suite for the synthetic chain/diamond
@@ -24,6 +25,18 @@
 //! and the process exits nonzero when any violation survives. With
 //! `--json` the full `FuzzReport` (including minimized repros) is
 //! printed — CI uploads that file when the smoke campaign fails.
+//!
+//! `--incremental` benchmarks `Engine::analyze_incremental`: `--trials`
+//! (default 9) timed single-statement edits over the scaling sweep,
+//! incremental vs from-scratch, each trial fingerprint-checked; and
+//! `--chains N` edit chains over the paper suite, every step
+//! cross-checked against a from-scratch run. Writes the campaign to
+//! `--out` (default `BENCH_pr4.json`) and exits nonzero on any
+//! incremental/fresh mismatch:
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin report -- --incremental --chains 100
+//! ```
 //!
 //! The JSON schema is documented in DESIGN.md §"The engine" and
 //! §"Differential fuzzing".
@@ -43,6 +56,42 @@ fn main() {
         |name: &str, default: u64| value(name).and_then(|v| v.parse().ok()).unwrap_or(default);
     let threads = numeric("--threads", 0) as usize;
 
+    if args.iter().any(|a| a == "--incremental") {
+        let trials = numeric("--trials", 9) as usize;
+        let chains = numeric("--chains", 0) as usize;
+        let seed = numeric("--seed", 1995);
+        let out = value("--out")
+            .cloned()
+            .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+        let trial_runs = bench_harness::incremental_scaling_trials(threads, trials, seed);
+        let (chain_steps, chain_mismatches) = if chains > 0 {
+            bench_harness::incremental_chain_check(threads, chains, seed)
+        } else {
+            (0, 0)
+        };
+        let report = bench_harness::IncrementalReport {
+            threads,
+            trials: trial_runs,
+            chains,
+            chain_steps,
+            chain_mismatches,
+        };
+        std::fs::write(&out, report.to_json()).expect("write incremental report");
+        if json {
+            print!("{}", report.to_json());
+        } else {
+            print!("{}", report.summary());
+            println!("wrote {out}");
+        }
+        if report.mismatches() > 0 {
+            eprintln!(
+                "{} incremental/fresh fingerprint mismatch(es)",
+                report.mismatches()
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--fuzz") {
         let cfg = engine::FuzzConfig {
             seeds: numeric("--seeds", 100),

@@ -24,10 +24,11 @@
 
 pub mod microbench;
 
+use alias::solver::solution_fingerprint;
 use alias::{CiResult, CsResult, SolverSpec};
 use engine::{Engine, EngineRun, Job};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vdg::Graph;
 
 /// Everything computed for one benchmark program.
@@ -164,6 +165,260 @@ pub fn scaling_spectrum(threads: usize, naive: bool) -> EngineRun {
         e = e.specs(&SolverSpec::all_naive()).ci_spec(naive_ci());
     }
     e.run(&scaling_jobs()).expect("scaling programs analyze")
+}
+
+/// One timed trial of the `--incremental` bench: a single-statement
+/// edit on one scaling program, incremental re-analysis vs a
+/// from-scratch solve of the edited sweep.
+pub struct IncrementalTrial {
+    /// Name of the edited scaling program.
+    pub bench: String,
+    /// Human-readable edit description.
+    pub edit: String,
+    /// Wall time of the from-scratch run over the edited sweep.
+    pub fresh: Duration,
+    /// Wall time of `Engine::analyze_incremental` over the same sweep.
+    pub incremental: Duration,
+    /// The CI solver's `SolveMode` string on the edited benchmark.
+    pub mode: String,
+    /// Whether every solution fingerprint matched the from-scratch run.
+    pub matches: bool,
+}
+
+/// The `--incremental` campaign: timed single-edit trials over the
+/// synthetic scaling sweep plus an optional edit-chain equivalence
+/// sweep over the paper suite. Serialized to `BENCH_pr4.json`.
+pub struct IncrementalReport {
+    /// Requested worker-thread count (`0` = auto).
+    pub threads: usize,
+    /// The timed trials, in execution order.
+    pub trials: Vec<IncrementalTrial>,
+    /// Edit chains cross-checked (0 when `--chains` was not given).
+    pub chains: usize,
+    /// Total chain steps verified.
+    pub chain_steps: usize,
+    /// Chain steps whose solutions diverged from a from-scratch run.
+    pub chain_mismatches: usize,
+}
+
+impl IncrementalReport {
+    /// Median of the per-trial `fresh / incremental` wall-time ratios.
+    pub fn median_speedup(&self) -> f64 {
+        median(
+            self.trials
+                .iter()
+                .map(|t| t.fresh.as_secs_f64() / t.incremental.as_secs_f64().max(1e-9)),
+        )
+    }
+
+    /// Total fingerprint mismatches across trials and chain steps.
+    pub fn mismatches(&self) -> usize {
+        self.trials.iter().filter(|t| !t.matches).count() + self.chain_mismatches
+    }
+
+    /// Serializes the campaign to a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"threads\": {},\n  \"solver\": \"ci\",\n  \"median_speedup\": {:.2},\n  \
+             \"median_fresh_ns\": {},\n  \"median_incremental_ns\": {},\n  \"trials\": [\n",
+            self.threads,
+            self.median_speedup(),
+            median(self.trials.iter().map(|t| t.fresh.as_nanos() as f64)) as u128,
+            median(self.trials.iter().map(|t| t.incremental.as_nanos() as f64)) as u128,
+        ));
+        for (i, t) in self.trials.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"bench\": \"{}\", \"edit\": \"{}\", \"fresh_ns\": {}, \
+                 \"incremental_ns\": {}, \"speedup\": {:.2}, \"mode\": \"{}\", \
+                 \"matches_fresh\": {}}}{}\n",
+                t.bench,
+                t.edit.replace('\\', "\\\\").replace('"', "\\\""),
+                t.fresh.as_nanos(),
+                t.incremental.as_nanos(),
+                t.fresh.as_secs_f64() / t.incremental.as_secs_f64().max(1e-9),
+                t.mode.replace('\\', "\\\\").replace('"', "\\\""),
+                t.matches,
+                if i + 1 < self.trials.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        if self.chains > 0 {
+            out.push_str(&format!(
+                "  \"chains\": {{\"count\": {}, \"steps\": {}, \"mismatches\": {}}}\n",
+                self.chains, self.chain_steps, self.chain_mismatches
+            ));
+        } else {
+            out.push_str("  \"chains\": null\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable campaign summary.
+    pub fn summary(&self) -> String {
+        let ms = |d: Duration| format!("{:.2}ms", d.as_secs_f64() * 1e3);
+        let mut out = format!(
+            "Incremental re-analysis bench: {} single-statement edits over the scaling sweep\n\
+             \x20 median from-scratch     {}\n\
+             \x20 median incremental      {}\n\
+             \x20 median speedup          {:.1}x\n\
+             \x20 fingerprint mismatches  {}\n",
+            self.trials.len(),
+            ms(Duration::from_nanos(
+                median(self.trials.iter().map(|t| t.fresh.as_nanos() as f64)) as u64
+            )),
+            ms(Duration::from_nanos(median(
+                self.trials.iter().map(|t| t.incremental.as_nanos() as f64)
+            ) as u64)),
+            self.median_speedup(),
+            self.mismatches(),
+        );
+        if self.chains > 0 {
+            out.push_str(&format!(
+                "  edit chains             {} ({} steps, {} mismatches)\n",
+                self.chains, self.chain_steps, self.chain_mismatches
+            ));
+        }
+        out
+    }
+}
+
+fn median(values: impl Iterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}
+
+/// A CI-only engine: the seeded-resume path is the solver with a
+/// genuinely incremental algorithm, so the timing campaign isolates it.
+fn ci_engine(threads: usize) -> Engine {
+    Engine::new().threads(threads).specs(&[SolverSpec::ci()])
+}
+
+/// True when every solver's canonical solution fingerprint agrees
+/// between an incremental run and a from-scratch one.
+fn runs_equivalent(inc: &EngineRun, fresh: &EngineRun) -> bool {
+    inc.benches.iter().zip(&fresh.benches).all(|(ib, fb)| {
+        fb.solutions.iter().all(
+            |fs| match (fs.solution.as_deref(), ib.solution(&fs.analysis)) {
+                (Some(f), Some(i)) => {
+                    solution_fingerprint(i, &ib.graph) == solution_fingerprint(f, &fb.graph)
+                }
+                (None, None) => true,
+                _ => false,
+            },
+        )
+    })
+}
+
+/// Runs `trials` timed trials: analyze the scaling sweep once, then per
+/// trial apply one seeded single-statement edit (insert/delete/mutate —
+/// the signature-changing edit kinds are skipped) to one program and
+/// time `analyze_incremental_with` — against a cache primed from the
+/// baseline, the once-per-chain priming cost excluded — versus a
+/// from-scratch run of the edited sweep. Every trial's solutions are
+/// fingerprint-checked.
+pub fn incremental_scaling_trials(
+    threads: usize,
+    trials: usize,
+    seed: u64,
+) -> Vec<IncrementalTrial> {
+    use suite::edit::{apply_random_edit, EditKind};
+    let e = ci_engine(threads);
+    let jobs = scaling_jobs();
+    let prev = e.run(&jobs).expect("scaling baseline analyzes");
+    let mut out = Vec::with_capacity(trials);
+    let mut s = seed;
+    for _ in 0..trials.max(1) * 64 {
+        if out.len() >= trials {
+            break;
+        }
+        let bi = out.len() % jobs.len();
+        s = s.wrapping_add(1);
+        let Some(step) = apply_random_edit(&jobs[bi].source, s) else {
+            continue;
+        };
+        if !matches!(
+            step.edit.kind,
+            EditKind::InsertStmt | EditKind::DeleteStmt | EditKind::MutateExpr
+        ) {
+            continue;
+        }
+        let mut edited = jobs.clone();
+        edited[bi].source = step.source.clone();
+        // Prime the persistent cache outside the timer: absorbing a
+        // previous run is the one-time cost of entering incremental
+        // mode, paid once per edit chain, not once per edit.
+        let mut cache = e.cache();
+        cache.absorb(&prev);
+        let t0 = Instant::now();
+        let inc = e
+            .analyze_incremental_with(&mut cache, &edited)
+            .expect("incremental re-analysis succeeds");
+        let incremental = t0.elapsed();
+        let t1 = Instant::now();
+        let fresh = e.run(&edited).expect("edited sweep analyzes");
+        let fresh_wall = t1.elapsed();
+        let matches = runs_equivalent(&inc, &fresh);
+        let mode = inc.report.benchmarks[bi]
+            .solvers
+            .first()
+            .and_then(|m| m.mode.clone())
+            .unwrap_or_default();
+        out.push(IncrementalTrial {
+            bench: jobs[bi].name.clone(),
+            edit: format!("{} [{}]", step.edit.description, step.edit.kind.name()),
+            fresh: fresh_wall,
+            incremental,
+            mode,
+            matches,
+        });
+    }
+    assert!(
+        out.len() >= trials.min(1),
+        "the edit generator produced no single-statement edit"
+    );
+    out
+}
+
+/// Runs `chains` seeded edit chains over the paper suite (round-robin),
+/// each threaded through one persistent `SummaryCache`; every step's
+/// solutions are fingerprint-checked against a from-scratch run.
+/// Returns `(steps verified, mismatches)`.
+pub fn incremental_chain_check(threads: usize, chains: usize, seed: u64) -> (usize, usize) {
+    let e = ci_engine(threads);
+    let benches = suite::benchmarks();
+    let (mut steps, mut mismatches) = (0usize, 0usize);
+    for c in 0..chains {
+        let b = &benches[c % benches.len()];
+        let mut cache = e.cache();
+        let base = vec![Job {
+            name: b.name.to_string(),
+            source: b.source.to_string(),
+        }];
+        e.analyze_incremental_with(&mut cache, &base)
+            .expect("baseline analyzes");
+        for step in suite::edit::edit_chain(b.source, seed.wrapping_add(c as u64), 3) {
+            let jobs = vec![Job {
+                name: b.name.to_string(),
+                source: step.source.clone(),
+            }];
+            let inc = e
+                .analyze_incremental_with(&mut cache, &jobs)
+                .expect("incremental re-analysis succeeds");
+            let fresh = e.run(&jobs).expect("edited program analyzes");
+            steps += 1;
+            if !runs_equivalent(&inc, &fresh) {
+                mismatches += 1;
+            }
+        }
+    }
+    (steps, mismatches)
 }
 
 /// Renders an aligned text table.

@@ -124,6 +124,20 @@ const COMMANDS: &[Command] = &[
         run: cmd_fuzz,
     },
     Command {
+        name: "incremental",
+        synopsis: "<file.c | bench:NAME> [--edits N] [--seed N] [--next FILE] [--json]",
+        about: "re-analyze after edits, reusing memoized summaries",
+        flag_help: &[
+            "--edits N    length of the seeded edit chain (default 3)",
+            "--seed N     seed for the edit generator (default 1995)",
+            "--next FILE  re-analyze FILE's contents instead of generating edits",
+            "--json       print a JSON array of steps (edit, cross-check, report)",
+        ],
+        value_flags: &["edits", "seed", "next"],
+        needs_source: true,
+        run: cmd_incremental,
+    },
+    Command {
         name: "list",
         synopsis: "",
         about: "list bundled benchmarks",
@@ -181,6 +195,13 @@ impl Flags {
 
     fn has(&self, name: &str) -> bool {
         self.switches.iter().any(|(k, _)| k == name)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.switches
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_deref())
     }
 
     fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
@@ -518,6 +539,124 @@ fn cmd_fuzz(cx: &Ctx) -> Result<(), String> {
         Err(format!(
             "{} differential violation(s) found",
             report.violations.len()
+        ))
+    }
+}
+
+/// Minimal JSON string literal for the `incremental --json` envelope
+/// (edit descriptions contain no control characters).
+fn jstr(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// True when every solver's canonical solution fingerprint agrees
+/// between an incremental bench output and a from-scratch one.
+fn benches_equivalent(inc: &engine::BenchOutput, fresh: &engine::BenchOutput) -> bool {
+    use alias::solver::solution_fingerprint;
+    fresh.solutions.iter().all(
+        |fs| match (fs.solution.as_deref(), inc.solution(&fs.analysis)) {
+            (Some(f), Some(i)) => {
+                solution_fingerprint(i, &inc.graph) == solution_fingerprint(f, &fresh.graph)
+            }
+            (None, None) => true,
+            _ => false,
+        },
+    )
+}
+
+/// Incremental re-analysis walkthrough: analyze the base program with
+/// the full solver stack, then push each edited version through one
+/// persistent `engine::SummaryCache`, printing which tier answered
+/// every solver (verbatim replay, seeded dirty-cone resume, or a
+/// from-scratch solve with the structural reason) and cross-checking
+/// every step's solutions against a from-scratch run. Exits nonzero if
+/// any step diverges — incremental reuse must be invisible.
+fn cmd_incremental(cx: &Ctx) -> Result<(), String> {
+    let edits: usize = cx.flags.get_parsed("edits", 3)?;
+    let seed: u64 = cx.flags.get_parsed("seed", 1995)?;
+    let json = cx.flags.has("json");
+    let steps: Vec<(String, String)> = match cx.flags.get("next") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            vec![(format!("replace with {path}"), text)]
+        }
+        None => suite::edit::edit_chain(&cx.source, seed, edits)
+            .into_iter()
+            .map(|s| {
+                (
+                    format!("{} [{}]", s.edit.description, s.edit.kind.name()),
+                    s.source,
+                )
+            })
+            .collect(),
+    };
+    if steps.is_empty() {
+        return Err("no applicable edit found (try another --seed)".into());
+    }
+    let e = engine::Engine::new();
+    let mut cache = e.cache();
+    let base = vec![engine::Job {
+        name: cx.name.clone(),
+        source: cx.source.clone(),
+    }];
+    e.analyze_incremental_with(&mut cache, &base)
+        .map_err(|err| cx.render_err(err))?;
+    if !json {
+        println!("base: {} analyzed, summary cache primed", cx.name);
+    }
+    let mut rows = Vec::new();
+    let mut mismatches = 0usize;
+    for (i, (desc, source)) in steps.iter().enumerate() {
+        let jobs = vec![engine::Job {
+            name: cx.name.clone(),
+            source: source.clone(),
+        }];
+        let inc = e
+            .analyze_incremental_with(&mut cache, &jobs)
+            .map_err(|err| cx.render_err(err))?;
+        let fresh = e.run(&jobs).map_err(|err| cx.render_err(err))?;
+        let matches = benches_equivalent(&inc.benches[0], &fresh.benches[0]);
+        if !matches {
+            mismatches += 1;
+        }
+        if json {
+            rows.push(format!(
+                "  {{\"edit\": {}, \"matches_fresh\": {}, \"report\": {}}}",
+                jstr(desc),
+                matches,
+                inc.report.to_json().trim_end()
+            ));
+            continue;
+        }
+        println!("\nstep {}/{}: {}", i + 1, steps.len(), desc);
+        for s in &inc.report.benchmarks[0].solvers {
+            println!("  {:<12} {}", s.analysis, s.mode.as_deref().unwrap_or("-"));
+        }
+        if let Some(st) = &inc.report.incremental {
+            println!(
+                "  summaries reused {}/{} functions; {} solution(s) replayed verbatim",
+                st.funcs_reused,
+                st.funcs_reused + st.funcs_dirty,
+                st.solutions_replayed
+            );
+        }
+        println!(
+            "  from-scratch cross-check: {}",
+            if matches {
+                "identical solutions"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+    if json {
+        println!("[\n{}\n]", rows.join(",\n"));
+    }
+    if mismatches == 0 {
+        Ok(())
+    } else {
+        Err(format!(
+            "{mismatches} step(s) diverged from from-scratch analysis"
         ))
     }
 }

@@ -16,6 +16,10 @@
 //! 3. **Naive/Delta equality** — difference propagation is a pure
 //!    optimization; re-solving CI, Weihl, and k=1 with naive
 //!    propagation must reach the identical fixpoint.
+//! 4. **Incremental equivalence** — after one random edit
+//!    ([`suite::edit`]), re-analysis through
+//!    [`crate::Engine::analyze_incremental`] must reach the identical
+//!    CI solution as a from-scratch solve of the edited program.
 //!
 //! Solvers run under step budgets and a wall-clock budget with graceful
 //! degradation: a `StepLimit` or an interpreter abort is *recorded*
@@ -84,7 +88,8 @@ pub struct FuzzViolation {
     /// The generator seed that produced the program.
     pub seed: u64,
     /// Which property failed: `"soundness"`, `"lattice"`,
-    /// `"divergence"`, `"roundtrip"`, or `"pipeline"`.
+    /// `"divergence"`, `"incremental"`, `"roundtrip"`, or
+    /// `"pipeline"`.
     pub kind: String,
     /// The solver (or solver pair) implicated.
     pub solver: String,
@@ -246,8 +251,9 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         let rank = |k: &str| match k {
             "soundness" => 0u8,
             "divergence" => 1,
-            "lattice" => 2,
-            _ => 3,
+            "incremental" => 2,
+            "lattice" => 3,
+            _ => 4,
         };
         let mut order: Vec<usize> = (0..violations.len()).collect();
         order.sort_by_key(|&i| (rank(&violations[i].kind), violations[i].seed, i));
@@ -428,6 +434,52 @@ fn check_source(src: &str, cfg: &FuzzConfig, seed: u64) -> Findings {
                 }
             }
             Err(e) => f.degraded.push(e.in_context(name, &job).to_string()),
+        }
+    }
+
+    // Property 4 — incremental re-analysis is invisible: after one
+    // random edit, `Engine::analyze_incremental` (memoized summaries,
+    // dirty-cone seeding) must reach the same CI solution as a
+    // from-scratch solve of the edited program.
+    if let Some(step) = suite::edit::apply_random_edit(src, seed) {
+        let spec = ci_spec.clone();
+        let eng = crate::Engine::new()
+            .threads(1)
+            .specs(std::slice::from_ref(&spec))
+            .ci_spec(spec);
+        let jobs = |s: &str| {
+            vec![crate::Job {
+                name: job.clone(),
+                source: s.to_string(),
+            }]
+        };
+        // The edit generator validates that edited programs still
+        // compile, so a failure of either run was already reported
+        // above.
+        if let (Ok(prev), Ok(scratch)) = (eng.run(&jobs(src)), eng.run(&jobs(&step.source))) {
+            match eng.analyze_incremental(&prev, &jobs(&step.source)) {
+                Ok(inc) => {
+                    let a = inc.benches[0].solution("ci");
+                    let b = scratch.benches[0].solution("ci");
+                    if let (Some(a), Some(b)) = (a, b) {
+                        let da = alias::solver::solution_dump(a, &inc.benches[0].graph);
+                        let db = alias::solver::solution_dump(b, &scratch.benches[0].graph);
+                        if da != db {
+                            f.violations.push(Finding {
+                                kind: "incremental",
+                                solver: "ci".to_string(),
+                                detail: format!(
+                                    "incremental ci diverges from scratch after edit `{}` ({job})",
+                                    step.edit.description
+                                ),
+                            });
+                        }
+                    }
+                }
+                Err(e) => f
+                    .degraded
+                    .push(e.in_context("incremental", &job).to_string()),
+            }
         }
     }
 

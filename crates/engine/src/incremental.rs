@@ -1,0 +1,798 @@
+//! Incremental re-analysis with memoized per-function summaries.
+//!
+//! An incremental run answers "the same jobs, after an edit" without
+//! repeating work that the edit provably did not invalidate. Three
+//! reuse tiers, cheapest first:
+//!
+//! 1. **Source replay** — the job's source text hashes identically to
+//!    the cached run: every artifact (program, graph, CI solution, all
+//!    solver solutions) replays verbatim. Nothing is recompiled.
+//! 2. **Graph replay** — the source changed but the lowered VDG's
+//!    content fingerprint is unchanged (comment, whitespace, or
+//!    literal-only edits: `ScalarConst` carries no payload). Equal
+//!    graph fingerprints mean the graphs are isomorphic id-for-id, so
+//!    every cached solution is still exact and replays verbatim.
+//! 3. **Seeded resume** — the graph changed. Functions are
+//!    re-fingerprinted; fingerprint-matched functions contribute their
+//!    memoized committed pair-sets and call-edge facts as seeds, the
+//!    dirty cone (changed functions plus everything their facts can
+//!    reach) is re-solved from a delta worklist, and the subset-seeding
+//!    theorem (`alias::ci::analyze_ci_resume`) guarantees the result is
+//!    numerically identical to a from-scratch solve.
+//!
+//! Only the flagship CI solver supports tier 3. The other solvers fall
+//! back to a fresh solve on changed benchmarks, each for a structural
+//! reason recorded in its [`SolveMode`]: Weihl's single global store
+//! collapses any dirty cone to the whole program; Steensgaard's
+//! unification merges are not revocable, so stale merges cannot be
+//! evicted; k=1's context slots are keyed to the edited call nodes; and
+//! the assumption-set CS analysis is whole-program by construction
+//! (its per-function assumption sets are conditioned on caller
+//! contexts the edit may have changed). All five still benefit from
+//! tiers 1–2, which in a corpus-style run cover every benchmark the
+//! edit did not touch.
+//!
+//! Reuse is sound only when the same [`Engine`] configuration produced
+//! the cached run; the cache records the CI spec key and resets itself
+//! when it changes.
+
+use crate::report::IncrementalStats;
+use crate::{pool, BenchOutput, Engine, EngineReport, EngineRun, Job, Solved};
+use alias::ci::{analyze_ci_resume, CiResult};
+use alias::fingerprint::{extract_summaries, fnv64, plan_ci_resume, FuncSummary, GraphIndex};
+use alias::solver::SolutionBox;
+use alias::{AnalysisError, Fault, HeapNaming};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vdg::build::lower;
+use vdg::graph::{Graph, VFuncId};
+
+/// How an incremental run obtained one solver's solution.
+#[derive(Debug, Clone)]
+pub enum SolveMode {
+    /// Replayed verbatim from the cache (source or graph fingerprint
+    /// match).
+    Replayed,
+    /// CI re-solved from a seeded dirty cone.
+    Seeded {
+        /// Functions whose fingerprints (or fact translation) changed.
+        dirty: usize,
+        /// Functions whose memoized summaries were reused as seeds.
+        clean: usize,
+        /// Value outputs inside the dirty cone (re-solved).
+        cone_outputs: usize,
+        /// Total value outputs in the graph.
+        total_outputs: usize,
+    },
+    /// Solved from scratch, with the logged reason.
+    Fresh {
+        /// Why cached facts could not be used.
+        reason: String,
+    },
+}
+
+impl SolveMode {
+    /// Compact report rendering: `"replayed"`,
+    /// `"seeded(dirty=1/9, cone=120/840)"`, or `"fresh(<reason>)"`.
+    pub fn render(&self) -> String {
+        match self {
+            SolveMode::Replayed => "replayed".into(),
+            SolveMode::Seeded {
+                dirty,
+                clean,
+                cone_outputs,
+                total_outputs,
+            } => format!(
+                "seeded(dirty={dirty}/{}, cone={cone_outputs}/{total_outputs})",
+                dirty + clean
+            ),
+            SolveMode::Fresh { reason } => format!("fresh({reason})"),
+        }
+    }
+}
+
+/// One benchmark's memoized artifacts from a previous run.
+struct ProgramEntry {
+    source_hash: u64,
+    graph_fp: u64,
+    program: Arc<cfront::Program>,
+    graph: Arc<Graph>,
+    ci: Arc<CiResult>,
+    /// Memoized facts by function name. Matching stays
+    /// content-addressed — a summary seeds a next-graph function only
+    /// when its recorded fingerprint (which hashes the name and full
+    /// VDG shape) matches — but the planner also needs the *unmatched*
+    /// summaries, to invalidate the callees of edited and deleted
+    /// functions.
+    summaries: Arc<alias::fxhash::HashMap<String, FuncSummary>>,
+    /// Cached solver solutions by analysis name. `SolutionBox` is
+    /// `Send` but not `Sync`, so these live and replay on the driver
+    /// thread only.
+    solutions: HashMap<String, SolutionBox>,
+}
+
+/// Persistent in-memory cache of per-function summaries and solutions,
+/// keyed by benchmark name. Feed it successive runs with
+/// [`Engine::analyze_incremental_with`] to analyze an edit chain.
+pub struct SummaryCache {
+    ci_spec_key: String,
+    entries: HashMap<String, ProgramEntry>,
+}
+
+impl SummaryCache {
+    /// Number of benchmarks with cached artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no benchmark.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Memoizes every benchmark of `run`: summaries are extracted from
+    /// the shared CI solution, solutions are cloned for replay.
+    pub fn absorb(&mut self, run: &EngineRun) {
+        for b in &run.benches {
+            let index = Arc::new(GraphIndex::build(&b.graph));
+            self.absorb_bench(b, index);
+        }
+    }
+
+    fn absorb_bench(&mut self, b: &BenchOutput, index: Arc<GraphIndex>) {
+        let mut summaries = alias::fxhash::HashMap::default();
+        if index.unsafe_reason.is_none() {
+            for (fi, s) in extract_summaries(&b.graph, &index, &b.ci)
+                .into_iter()
+                .enumerate()
+            {
+                if let Some(s) = s {
+                    let name = b.graph.func(VFuncId(fi as u32)).name.clone();
+                    summaries.insert(name, s);
+                }
+            }
+        }
+        let solutions = b
+            .solutions
+            .iter()
+            .filter_map(|s| {
+                s.solution
+                    .as_ref()
+                    .map(|sol| (s.analysis.clone(), sol.clone_box()))
+            })
+            .collect();
+        self.entries.insert(
+            b.name.clone(),
+            ProgramEntry {
+                source_hash: fnv64(b.source.as_bytes()),
+                graph_fp: index.graph_fp,
+                program: Arc::clone(&b.program),
+                graph: Arc::clone(&b.graph),
+                ci: Arc::clone(&b.ci),
+                summaries: Arc::new(summaries),
+                solutions,
+            },
+        );
+    }
+}
+
+/// The `Sync` subset of a cache entry that pool workers may read.
+/// Solutions stay behind on the driver thread.
+#[derive(Clone)]
+struct PrevMeta {
+    source_hash: u64,
+    graph_fp: u64,
+    summaries: Arc<alias::fxhash::HashMap<String, FuncSummary>>,
+}
+
+/// Stage-1 product of one benchmark in an incremental run.
+enum IncPrep {
+    /// Source text unchanged: reuse the whole cache entry.
+    ReplaySource {
+        /// Time spent hashing the source to discover the match.
+        frontend: Duration,
+    },
+    /// Recompiled, but the VDG fingerprint is unchanged: reuse every
+    /// cached solution against the fresh artifacts.
+    ReplayGraph {
+        program: Arc<cfront::Program>,
+        graph: Arc<Graph>,
+        frontend: Duration,
+        lowering: Duration,
+    },
+    /// The graph changed: CI was re-solved (seeded or fresh) and every
+    /// other solver needs a stage-2 fresh solve.
+    Solve {
+        program: Arc<cfront::Program>,
+        graph: Arc<Graph>,
+        index: Arc<GraphIndex>,
+        ci: Arc<CiResult>,
+        ci_wall: Duration,
+        ci_mode: SolveMode,
+        frontend: Duration,
+        lowering: Duration,
+        funcs_reused: usize,
+        funcs_dirty: usize,
+    },
+}
+
+impl Engine {
+    /// An empty summary cache bound to this engine's CI spec.
+    pub fn cache(&self) -> SummaryCache {
+        SummaryCache {
+            ci_spec_key: self.ci.key(),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Re-analyzes `jobs` given the previous run `prev`, reusing every
+    /// artifact the edits did not invalidate. One-shot form of
+    /// [`Engine::analyze_incremental_with`] (which threads a
+    /// [`SummaryCache`] through an edit chain).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first frontend/lowering error, if any.
+    pub fn analyze_incremental(
+        &self,
+        prev: &EngineRun,
+        jobs: &[Job],
+    ) -> Result<EngineRun, AnalysisError> {
+        let mut cache = self.cache();
+        cache.absorb(prev);
+        self.analyze_incremental_with(&mut cache, jobs)
+    }
+
+    /// Re-analyzes `jobs` against (and then into) `cache`. On return
+    /// the cache reflects this run, so successive calls analyze an edit
+    /// chain with each step paying only for its own dirty cone.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first frontend/lowering error, if any.
+    pub fn analyze_incremental_with(
+        &self,
+        cache: &mut SummaryCache,
+        jobs: &[Job],
+    ) -> Result<EngineRun, AnalysisError> {
+        let t_run = Instant::now();
+        let threads = if self.threads == 0 {
+            pool::auto_threads()
+        } else {
+            self.threads
+        };
+        if cache.ci_spec_key != self.ci.key() {
+            // Cached facts were computed under different knobs; none
+            // are sound to reuse.
+            cache.entries.clear();
+            cache.ci_spec_key = self.ci.key();
+        }
+
+        let metas: Vec<Option<PrevMeta>> = jobs
+            .iter()
+            .map(|j| {
+                cache.entries.get(&j.name).map(|e| PrevMeta {
+                    source_hash: e.source_hash,
+                    graph_fp: e.graph_fp,
+                    summaries: Arc::clone(&e.summaries),
+                })
+            })
+            .collect();
+
+        // Stage 1 — prepare: hash, compile, fingerprint, and (for
+        // changed graphs) re-solve CI seeded from the clean functions'
+        // summaries. Parallel over benchmarks.
+        let prepared: Vec<Result<IncPrep, AnalysisError>> =
+            pool::run_indexed(jobs.len(), threads, |i| {
+                self.prepare_incremental(&jobs[i], metas[i].as_ref())
+            });
+        let mut preps = Vec::with_capacity(jobs.len());
+        for p in prepared {
+            preps.push(p?);
+        }
+
+        // Stage 2 — solve: fresh (benchmark × non-CI solver) jobs for
+        // the changed benchmarks only.
+        let solve_jobs: Vec<(usize, usize)> = preps
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, IncPrep::Solve { .. }))
+            .flat_map(|(bi, _)| {
+                self.solvers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.name() != "ci")
+                    .map(move |(si, _)| (bi, si))
+            })
+            .collect();
+        let solved: Vec<(usize, usize, Solved)> =
+            pool::run_indexed(solve_jobs.len(), threads, |k| {
+                let (bi, si) = solve_jobs[k];
+                let (graph, ci) = match &preps[bi] {
+                    IncPrep::Solve { graph, ci, .. } => (graph, ci),
+                    _ => unreachable!("solve job on replayed benchmark"),
+                };
+                let s = &self.solvers[si];
+                let t = Instant::now();
+                let outcome = s.solve(graph, Some(ci));
+                let wall = t.elapsed();
+                let had_cache = metas[bi].is_some();
+                let solved = match outcome {
+                    Ok(solution) => Solved {
+                        analysis: s.name().to_string(),
+                        wall,
+                        solution: Some(solution),
+                        mode: Some(fresh_mode(s.name(), had_cache)),
+                        error: None,
+                    },
+                    Err(e) => Solved {
+                        analysis: s.name().to_string(),
+                        wall,
+                        solution: None,
+                        mode: Some(fresh_mode(s.name(), had_cache)),
+                        error: Some(e.in_context(s.name(), &jobs[bi].name).to_string()),
+                    },
+                };
+                (bi, si, solved)
+            });
+        let mut slots: Vec<Vec<Option<Solved>>> = preps
+            .iter()
+            .map(|_| self.solvers.iter().map(|_| None).collect())
+            .collect();
+        for (bi, si, s) in solved {
+            slots[bi][si] = Some(s);
+        }
+
+        // Stage 3 — assemble (driver thread: cached solutions are not
+        // `Sync`), then fold the finished run back into the cache.
+        let mut stats = IncrementalStats::default();
+        let mut outputs = Vec::with_capacity(jobs.len());
+        let mut indexes = Vec::with_capacity(jobs.len());
+        for ((job, prep), row) in jobs.iter().zip(preps).zip(slots) {
+            let (out, index) = self.assemble_bench(cache, job, prep, row, &mut stats)?;
+            outputs.push(out);
+            indexes.push(index);
+        }
+        for (out, index) in outputs.iter().zip(indexes) {
+            if let Some(index) = index {
+                cache.absorb_bench(out, index);
+            }
+        }
+
+        let report = EngineReport {
+            threads,
+            total_wall: t_run.elapsed(),
+            benchmarks: outputs.iter().map(BenchOutput::report).collect(),
+            incremental: Some(stats),
+        };
+        Ok(EngineRun {
+            report,
+            benches: outputs,
+        })
+    }
+
+    fn prepare_incremental(
+        &self,
+        job: &Job,
+        meta: Option<&PrevMeta>,
+    ) -> Result<IncPrep, AnalysisError> {
+        let t0 = Instant::now();
+        if let Some(m) = meta {
+            if fnv64(job.source.as_bytes()) == m.source_hash {
+                return Ok(IncPrep::ReplaySource {
+                    frontend: t0.elapsed(),
+                });
+            }
+        }
+        let program = cfront::compile(&job.source)?;
+        let frontend = t0.elapsed();
+        let t1 = Instant::now();
+        let graph = lower(&program, &self.build)?;
+        let index = Arc::new(GraphIndex::build(&graph));
+        let lowering = t1.elapsed();
+        let program = Arc::new(program);
+        let graph = Arc::new(graph);
+
+        if let Some(m) = meta {
+            if index.unsafe_reason.is_none() && index.graph_fp == m.graph_fp {
+                return Ok(IncPrep::ReplayGraph {
+                    program,
+                    graph,
+                    frontend,
+                    lowering,
+                });
+            }
+        }
+
+        // The graph changed (or was never cached): re-solve CI, seeded
+        // from fingerprint-matched functions when that is sound.
+        let cfg = self.ci.ci_config();
+        let fresh = |reason: &str| -> (Option<_>, SolveMode) {
+            (
+                None,
+                SolveMode::Fresh {
+                    reason: reason.to_string(),
+                },
+            )
+        };
+        let (plan, ci_mode) = match &meta {
+            None => fresh("no cached run for this benchmark"),
+            Some(_) if cfg.heap_naming != HeapNaming::Site => {
+                fresh("call-string heap naming defeats stable summaries")
+            }
+            Some(_) if cfg.fault != Fault::None => fresh("fault injection active"),
+            Some(_) if index.unsafe_reason.is_some() => {
+                let reason = index.unsafe_reason.as_deref().unwrap_or_default();
+                fresh(&format!("unstable naming: {reason}"))
+            }
+            Some(m) => {
+                let any_clean = graph.func_ids().any(|f| {
+                    m.summaries
+                        .get(&graph.func(f).name)
+                        .is_some_and(|s| s.fingerprint == index.func_fps[f.0 as usize])
+                });
+                if !any_clean {
+                    fresh("every function changed")
+                } else {
+                    match plan_ci_resume(&graph, &index, &m.summaries) {
+                        Some(plan) => {
+                            let mode = SolveMode::Seeded {
+                                dirty: plan.dirty.len(),
+                                clean: graph.func_count() - plan.dirty.len(),
+                                cone_outputs: plan.cone_outputs,
+                                total_outputs: graph.output_count(),
+                            };
+                            (Some(plan), mode)
+                        }
+                        None => fresh("resume plan rejected"),
+                    }
+                }
+            }
+        };
+        let (funcs_reused, funcs_dirty) = match &ci_mode {
+            SolveMode::Seeded { dirty, clean, .. } => (*clean, *dirty),
+            _ => (0, graph.func_count()),
+        };
+        let t2 = Instant::now();
+        let ci = match plan {
+            Some(plan) => analyze_ci_resume(&graph, &cfg, plan),
+            None => self.ci.solve_ci(&graph),
+        };
+        let ci_wall = t2.elapsed();
+        Ok(IncPrep::Solve {
+            program,
+            graph,
+            index,
+            ci: Arc::new(ci),
+            ci_wall,
+            ci_mode,
+            frontend,
+            lowering,
+            funcs_reused,
+            funcs_dirty,
+        })
+    }
+
+    /// Builds one benchmark's output, replaying cached solutions where
+    /// the prepare stage proved that sound. Returns the graph index for
+    /// changed benchmarks so the caller can fold the fresh run back
+    /// into the cache (`None` = cache entry already current).
+    fn assemble_bench(
+        &self,
+        cache: &mut SummaryCache,
+        job: &Job,
+        prep: IncPrep,
+        row: Vec<Option<Solved>>,
+        stats: &mut IncrementalStats,
+    ) -> Result<(BenchOutput, Option<Arc<GraphIndex>>), AnalysisError> {
+        match prep {
+            IncPrep::ReplaySource { frontend } => {
+                stats.benches_replayed += 1;
+                let e = cache.entries.get(&job.name).expect("matched in stage 1");
+                let mut out = BenchOutput {
+                    name: job.name.clone(),
+                    source: job.source.clone(),
+                    program: Arc::clone(&e.program),
+                    graph: Arc::clone(&e.graph),
+                    ci: Arc::clone(&e.ci),
+                    ci_wall: Duration::ZERO,
+                    frontend,
+                    lowering: Duration::ZERO,
+                    solutions: Vec::new(),
+                };
+                self.replay_solutions(cache, &mut out, stats);
+                Ok((out, None))
+            }
+            IncPrep::ReplayGraph {
+                program,
+                graph,
+                frontend,
+                lowering,
+            } => {
+                stats.benches_replayed += 1;
+                let e = cache.entries.get(&job.name).expect("matched in stage 1");
+                let mut out = BenchOutput {
+                    name: job.name.clone(),
+                    source: job.source.clone(),
+                    program,
+                    graph,
+                    ci: Arc::clone(&e.ci),
+                    ci_wall: Duration::ZERO,
+                    frontend,
+                    lowering,
+                    solutions: Vec::new(),
+                };
+                self.replay_solutions(cache, &mut out, stats);
+                // Re-key the entry to the new source text so the next
+                // step of an edit chain replays at tier 1. Equal graph
+                // fingerprints mean id-for-id isomorphism, so the cached
+                // summaries, CI result, and solutions all remain exact —
+                // no re-extraction or re-cloning needed.
+                let e = cache
+                    .entries
+                    .get_mut(&job.name)
+                    .expect("matched in stage 1");
+                e.source_hash = fnv64(job.source.as_bytes());
+                e.program = Arc::clone(&out.program);
+                e.graph = Arc::clone(&out.graph);
+                Ok((out, None))
+            }
+            IncPrep::Solve {
+                program,
+                graph,
+                index,
+                ci,
+                ci_wall,
+                ci_mode,
+                frontend,
+                lowering,
+                funcs_reused,
+                funcs_dirty,
+            } => {
+                match ci_mode {
+                    SolveMode::Seeded { .. } => stats.benches_seeded += 1,
+                    _ => stats.benches_fresh += 1,
+                }
+                stats.funcs_reused += funcs_reused;
+                stats.funcs_dirty += funcs_dirty;
+                let mut out = BenchOutput {
+                    name: job.name.clone(),
+                    source: job.source.clone(),
+                    program,
+                    graph,
+                    ci,
+                    ci_wall,
+                    frontend,
+                    lowering,
+                    solutions: Vec::new(),
+                };
+                for (si, slot) in row.into_iter().enumerate() {
+                    if let Some(s) = slot {
+                        out.solutions.push(s);
+                    } else if self.solvers[si].name() == "ci" {
+                        out.solutions.push(Solved {
+                            analysis: "ci".to_string(),
+                            wall: out.ci_wall,
+                            solution: Some(Box::new(out.ci.as_ref().clone())),
+                            mode: Some(ci_mode.clone()),
+                            error: None,
+                        });
+                    }
+                }
+                Ok((out, Some(index)))
+            }
+        }
+    }
+
+    /// Fills `out.solutions` for a replayed benchmark: cached solutions
+    /// clone verbatim; a solver missing from the cache (newly
+    /// configured, or failed last time) re-solves on the spot.
+    fn replay_solutions(
+        &self,
+        cache: &SummaryCache,
+        out: &mut BenchOutput,
+        stats: &mut IncrementalStats,
+    ) {
+        let e = cache.entries.get(&out.name).expect("replay needs an entry");
+        for s in &self.solvers {
+            let t = Instant::now();
+            if let Some(sol) = e.solutions.get(s.name()) {
+                stats.solutions_replayed += 1;
+                out.solutions.push(Solved {
+                    analysis: s.name().to_string(),
+                    wall: t.elapsed(),
+                    solution: Some(sol.clone_box()),
+                    mode: Some(SolveMode::Replayed),
+                    error: None,
+                });
+                continue;
+            }
+            let outcome = s.solve(&out.graph, Some(&out.ci));
+            let wall = t.elapsed();
+            let mode = Some(SolveMode::Fresh {
+                reason: "not in cache".into(),
+            });
+            out.solutions.push(match outcome {
+                Ok(solution) => Solved {
+                    analysis: s.name().to_string(),
+                    wall,
+                    solution: Some(solution),
+                    mode,
+                    error: None,
+                },
+                Err(err) => Solved {
+                    analysis: s.name().to_string(),
+                    wall,
+                    solution: None,
+                    mode,
+                    error: Some(err.in_context(s.name(), &out.name).to_string()),
+                },
+            });
+        }
+    }
+}
+
+/// Why each non-CI solver re-solves from scratch on a changed
+/// benchmark. These are structural properties of the algorithms, not
+/// implementation gaps; `DESIGN.md` §8 gives the argument for each.
+fn fresh_mode(solver: &str, had_cache: bool) -> SolveMode {
+    let reason = if !had_cache {
+        "no cached run for this benchmark"
+    } else {
+        match solver {
+            "weihl" => "global store collapses any dirty cone",
+            "steensgaard" => "unification merges are not revocable",
+            "k1" => "context slots are keyed to edited call nodes",
+            "cs" => "assumption sets are whole-program",
+            _ => "no incremental strategy",
+        }
+    };
+    SolveMode::Fresh {
+        reason: reason.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alias::solver::solution_fingerprint;
+
+    const A: &str = "int g1; int g2; int *gp;\n\
+         int *id(int *p) { return p; }\n\
+         void setg(int x) { if (x) { gp = &g1; } }\n\
+         int main(void) { int l; int *q; q = id(&l); setg(1); *q = 3; *gp = 4; return 0; }";
+    const B: &str = "int g1; int g2; int *gp;\n\
+         int *id(int *p) { return p; }\n\
+         void setg(int x) { if (x) { gp = &g2; } }\n\
+         int main(void) { int l; int *q; q = id(&l); setg(1); *q = 3; *gp = 4; return 0; }";
+
+    fn job(name: &str, src: &str) -> Job {
+        Job {
+            name: name.into(),
+            source: src.into(),
+        }
+    }
+
+    /// Every solver solution of `inc` must fingerprint identically to a
+    /// from-scratch run of the same jobs.
+    fn assert_matches_fresh(e: &Engine, inc: &EngineRun, jobs: &[Job]) {
+        let fresh = e.run(jobs).expect("fresh run");
+        for (bi, fb) in fresh.benches.iter().enumerate() {
+            let ib = &inc.benches[bi];
+            for fs in &fb.solutions {
+                let f = fs.solution.as_deref().expect("fresh solution");
+                let i = ib.solution(&fs.analysis).expect("incremental solution");
+                assert_eq!(
+                    solution_fingerprint(f, &fb.graph),
+                    solution_fingerprint(i, &ib.graph),
+                    "{} diverged on {}",
+                    fs.analysis,
+                    fb.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_jobs_replay_everything() {
+        let e = Engine::new().threads(1);
+        let jobs = vec![job("t", A)];
+        let prev = e.run(&jobs).unwrap();
+        let inc = e.analyze_incremental(&prev, &jobs).unwrap();
+        let stats = inc.report.incremental.as_ref().expect("stats");
+        assert_eq!(stats.benches_replayed, 1);
+        assert_eq!(stats.solutions_replayed, 5);
+        for s in &inc.benches[0].solutions {
+            assert!(
+                matches!(s.mode, Some(SolveMode::Replayed)),
+                "{}",
+                s.analysis
+            );
+        }
+        assert_matches_fresh(&e, &inc, &jobs);
+    }
+
+    #[test]
+    fn edited_function_seeds_ci_and_matches_fresh() {
+        let e = Engine::new().threads(2);
+        let prev = e.run(&[job("t", A)]).unwrap();
+        let jobs = vec![job("t", B)];
+        let inc = e.analyze_incremental(&prev, &jobs).unwrap();
+        let stats = inc.report.incremental.as_ref().expect("stats");
+        assert_eq!(stats.benches_seeded, 1);
+        assert_eq!(stats.funcs_dirty, 1, "only setg changed");
+        assert!(stats.funcs_reused >= 2);
+        let ci_mode = inc.benches[0]
+            .solutions
+            .iter()
+            .find(|s| s.analysis == "ci")
+            .and_then(|s| s.mode.clone())
+            .expect("ci mode");
+        assert!(
+            matches!(ci_mode, SolveMode::Seeded { dirty: 1, .. }),
+            "{}",
+            ci_mode.render()
+        );
+        // Non-CI solvers re-solve fresh, each with its structural reason.
+        for s in &inc.benches[0].solutions {
+            if s.analysis != "ci" {
+                assert!(
+                    matches!(s.mode, Some(SolveMode::Fresh { .. })),
+                    "{}",
+                    s.analysis
+                );
+            }
+        }
+        assert_matches_fresh(&e, &inc, &jobs);
+    }
+
+    #[test]
+    fn cold_cache_solves_fresh_and_chains() {
+        let e = Engine::new().threads(1);
+        let mut cache = e.cache();
+        let r1 = e
+            .analyze_incremental_with(&mut cache, &[job("t", A)])
+            .unwrap();
+        assert_eq!(r1.report.incremental.as_ref().unwrap().benches_fresh, 1);
+        // Second step of the chain: the cache now holds step 1.
+        let jobs = vec![job("t", B)];
+        let r2 = e.analyze_incremental_with(&mut cache, &jobs).unwrap();
+        assert_eq!(r2.report.incremental.as_ref().unwrap().benches_seeded, 1);
+        assert_matches_fresh(&e, &r2, &jobs);
+        // Third step: no edit — replays step 2's seeded result.
+        let r3 = e.analyze_incremental_with(&mut cache, &jobs).unwrap();
+        assert_eq!(r3.report.incremental.as_ref().unwrap().benches_replayed, 1);
+        assert_matches_fresh(&e, &r3, &jobs);
+    }
+
+    #[test]
+    fn untouched_sibling_benchmark_replays() {
+        let e = Engine::new().threads(2);
+        let prev = e.run(&[job("edited", A), job("same", A)]).unwrap();
+        let jobs = vec![job("edited", B), job("same", A)];
+        let inc = e.analyze_incremental(&prev, &jobs).unwrap();
+        let stats = inc.report.incremental.as_ref().unwrap();
+        assert_eq!(stats.benches_replayed, 1);
+        assert_eq!(stats.benches_seeded, 1);
+        assert_matches_fresh(&e, &inc, &jobs);
+    }
+
+    #[test]
+    fn spec_change_resets_the_cache() {
+        let e1 = Engine::new().threads(1);
+        let mut cache = e1.cache();
+        e1.analyze_incremental_with(&mut cache, &[job("t", A)])
+            .unwrap();
+        assert_eq!(cache.len(), 1);
+        let e2 = Engine::new()
+            .threads(1)
+            .ci_spec(alias::SolverSpec::ci().strong_updates(false));
+        let jobs = vec![job("t", A)];
+        let r = e2.analyze_incremental_with(&mut cache, &jobs).unwrap();
+        // Identical source, but the cached facts were for other knobs:
+        // everything must re-solve fresh, not replay.
+        assert_eq!(r.report.incremental.as_ref().unwrap().benches_fresh, 1);
+        assert_matches_fresh(&e2, &r, &jobs);
+    }
+}

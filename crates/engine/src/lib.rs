@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod fuzz;
+pub mod incremental;
 pub mod pool;
 pub mod report;
 pub mod shrink;
 
 pub use fuzz::{FuzzConfig, FuzzReport, FuzzViolation};
-pub use report::{BenchmarkReport, EngineReport, SolverMetrics};
+pub use incremental::{SolveMode, SummaryCache};
+pub use report::{BenchmarkReport, EngineReport, IncrementalStats, SolverMetrics};
 
 use alias::ci::CiResult;
 use alias::cs::CsResult;
@@ -222,12 +224,14 @@ impl Engine {
                         analysis: s.name().to_string(),
                         wall,
                         solution: Some(solution),
+                        mode: None,
                         error: None,
                     },
                     Err(e) => Solved {
                         analysis: s.name().to_string(),
                         wall,
                         solution: None,
+                        mode: None,
                         // Attach solver + benchmark so the report's
                         // one-liner is actionable on its own.
                         error: Some(e.in_context(s.name(), &b.name).to_string()),
@@ -270,6 +274,7 @@ impl Engine {
                         analysis: "ci".to_string(),
                         wall: b.ci_wall,
                         solution: Some(Box::new(b.ci.as_ref().clone())),
+                        mode: None,
                         error: None,
                     });
                 }
@@ -280,6 +285,7 @@ impl Engine {
             threads,
             total_wall: t_run.elapsed(),
             benchmarks: outputs.iter().map(BenchOutput::report).collect(),
+            incremental: None,
         };
         Ok(EngineRun {
             report,
@@ -330,6 +336,9 @@ pub struct Solved {
     pub wall: Duration,
     /// The solution, unless the solver failed.
     pub solution: Option<SolutionBox>,
+    /// How an incremental run obtained the solution; `None` for plain
+    /// runs.
+    pub mode: Option<incremental::SolveMode>,
     /// The failure, if it did.
     pub error: Option<String>,
 }
@@ -400,6 +409,7 @@ impl BenchOutput {
                     dedup_hits: s.solution.as_ref().and_then(|x| x.dedup_hits()),
                     delta_batches: s.solution.as_ref().and_then(|x| x.delta_batches()),
                     deliveries_saved: s.solution.as_ref().and_then(|x| x.deliveries_saved()),
+                    mode: s.mode.as_ref().map(|m| m.render()),
                     error: s.error.clone(),
                 })
                 .collect(),

@@ -37,8 +37,30 @@ pub struct SolverMetrics {
     /// Worklist deliveries saved by delta batching:
     /// `flow_ins − delta_batches` (nulled in the fingerprint).
     pub deliveries_saved: Option<u64>,
+    /// How an incremental run obtained this solution (`"replayed"`,
+    /// `"seeded(..)"`, `"fresh(..)"`); `None` for plain runs. Describes
+    /// the work done, not the solution, so the fingerprint nulls it.
+    pub mode: Option<String>,
     /// Failure (e.g. a step-budget overflow), if the solve failed.
     pub error: Option<String>,
+}
+
+/// Cache-effectiveness counters of one incremental run.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalStats {
+    /// Benchmarks answered entirely from cache (source or graph
+    /// fingerprint match).
+    pub benches_replayed: usize,
+    /// Benchmarks re-solved from a seeded dirty cone.
+    pub benches_seeded: usize,
+    /// Benchmarks solved from scratch.
+    pub benches_fresh: usize,
+    /// Function summaries reused across all benchmarks.
+    pub funcs_reused: usize,
+    /// Functions re-fingerprinted as dirty across all benchmarks.
+    pub funcs_dirty: usize,
+    /// Individual solver solutions replayed from cache.
+    pub solutions_replayed: usize,
 }
 
 /// Per-benchmark stage timings, sizes, and solver metrics.
@@ -71,6 +93,10 @@ pub struct EngineReport {
     pub total_wall: Duration,
     /// One entry per benchmark, in job order.
     pub benchmarks: Vec<BenchmarkReport>,
+    /// Cache-effectiveness counters, for incremental runs only. Like
+    /// the timings, these describe the work done rather than the
+    /// solution, so the fingerprint nulls them.
+    pub incremental: Option<IncrementalStats>,
 }
 
 impl EngineReport {
@@ -99,10 +125,24 @@ impl EngineReport {
         let ns = |d: Duration| if timings { d.as_nanos() } else { 0 };
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
+        let inc = match (&self.incremental, timings) {
+            (Some(s), true) => format!(
+                "{{\"benches_replayed\": {}, \"benches_seeded\": {}, \"benches_fresh\": {}, \
+                 \"funcs_reused\": {}, \"funcs_dirty\": {}, \"solutions_replayed\": {}}}",
+                s.benches_replayed,
+                s.benches_seeded,
+                s.benches_fresh,
+                s.funcs_reused,
+                s.funcs_dirty,
+                s.solutions_replayed
+            ),
+            _ => "null".into(),
+        };
         out.push_str(&format!(
-            "  \"threads\": {},\n  \"total_wall_ns\": {},\n  \"benchmarks\": [\n",
+            "  \"threads\": {},\n  \"total_wall_ns\": {},\n  \"incremental\": {},\n  \"benchmarks\": [\n",
             if timings { self.threads } else { 0 },
-            ns(self.total_wall)
+            ns(self.total_wall),
+            inc
         ));
         for (i, b) in self.benchmarks.iter().enumerate() {
             out.push_str(&format!(
@@ -126,7 +166,7 @@ impl EngineReport {
                     "      {{\"analysis\": {}, \"wall_ns\": {}, \"pairs\": {}, \
                      \"flow_ins\": {}, \"flow_outs\": {}, \"dedup_hits\": {}, \
                      \"delta_batches\": {}, \"deliveries_saved\": {}, \
-                     \"error\": {}}}{}\n",
+                     \"mode\": {}, \"error\": {}}}{}\n",
                     json_str(&s.analysis),
                     ns(s.wall),
                     json_opt(s.pairs.map(|v| v.to_string())),
@@ -135,6 +175,7 @@ impl EngineReport {
                     json_opt(sched(s.dedup_hits).map(|v| v.to_string())),
                     json_opt(sched(s.delta_batches).map(|v| v.to_string())),
                     json_opt(sched(s.deliveries_saved).map(|v| v.to_string())),
+                    json_opt_str(if timings { s.mode.as_deref() } else { None }),
                     json_opt_str(s.error.as_deref()),
                     if j + 1 < b.solvers.len() { "," } else { "" }
                 ));
@@ -206,6 +247,7 @@ mod tests {
                         dedup_hits: Some(42),
                         delta_batches: Some(700),
                         deliveries_saved: Some(4300),
+                        mode: Some("seeded(dirty=1/5)".into()),
                         error: None,
                     },
                     SolverMetrics {
@@ -217,10 +259,17 @@ mod tests {
                         dedup_hits: None,
                         delta_batches: None,
                         deliveries_saved: None,
+                        mode: None,
                         error: None,
                     },
                 ],
             }],
+            incremental: Some(IncrementalStats {
+                benches_seeded: 1,
+                funcs_reused: 4,
+                funcs_dirty: 1,
+                ..IncrementalStats::default()
+            }),
         }
     }
 
@@ -237,6 +286,8 @@ mod tests {
             "\"dedup_hits\": 42",
             "\"delta_batches\": 700",
             "\"deliveries_saved\": 4300",
+            "\"mode\": \"seeded(dirty=1/5)\"",
+            "\"funcs_reused\": 4",
         ] {
             assert!(j.contains(needle), "missing {needle} in\n{j}");
         }
@@ -254,6 +305,10 @@ mod tests {
         // ...same fingerprint, as long as the fixpoint metrics agree.
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert!(!a.fingerprint().contains("\"dedup_hits\": 1"));
+        // Work-description fields are nulled too: an incremental run and
+        // a plain run that computed the same fixpoint must agree.
+        assert!(a.fingerprint().contains("\"mode\": null"));
+        assert!(a.fingerprint().contains("\"incremental\": null"));
         assert_ne!(a.to_json(), b.to_json());
     }
 

@@ -552,3 +552,124 @@ fn drop_lines(best: &mut String, still_fails: &dyn Fn(&str) -> bool, budget: &mu
         return progressed;
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compiles(src: &str) -> bool {
+        cfront::compile(src).is_ok()
+    }
+
+    /// Each pass must (a) fire on a program built to trigger it and
+    /// (b) hand back a candidate that still compiles and still
+    /// satisfies the failure predicate — `accept` enforces (b), so the
+    /// assertions here would catch a pass that bypasses it.
+
+    #[test]
+    fn drop_funcs_removes_an_uncalled_function() {
+        let mut best =
+            "int g;\nvoid junk(void) { g = 9; }\nint main(void) { g = 1; return g; }".to_string();
+        let pred = |s: &str| s.contains("g = 1");
+        let mut budget = 100;
+        assert!(drop_funcs(&mut best, &pred, &mut budget));
+        assert!(!best.contains("junk"));
+        assert!(compiles(&best) && pred(&best));
+    }
+
+    #[test]
+    fn drop_params_removes_a_dead_parameter_and_its_arguments() {
+        let mut best = "int g;\nvoid f(int keep, int dead) { g = keep; }\n\
+             int main(void) { f(1, 2); return 0; }"
+            .to_string();
+        let pred = |s: &str| s.contains("f(");
+        let mut budget = 100;
+        assert!(drop_params(&mut best, &pred, &mut budget));
+        assert!(!best.contains("dead"));
+        let f = parse(&best)
+            .unwrap()
+            .funcs
+            .into_iter()
+            .find(|f| f.name == "f")
+            .unwrap();
+        assert_eq!(
+            f.n_params, 1,
+            "argument lists must shrink with the parameter"
+        );
+        assert!(compiles(&best) && pred(&best));
+    }
+
+    #[test]
+    fn drop_globals_removes_an_unreferenced_global() {
+        let mut best =
+            "int used;\nint lonely;\nint main(void) { used = 1; return used; }".to_string();
+        let pred = |s: &str| s.contains("used = 1");
+        let mut budget = 100;
+        assert!(drop_globals(&mut best, &pred, &mut budget));
+        assert!(!best.contains("lonely"));
+        assert!(compiles(&best) && pred(&best));
+    }
+
+    #[test]
+    fn drop_stmts_removes_a_statement_the_predicate_ignores() {
+        let mut best = "int g1; int g2;\nint main(void) { g1 = 1; g2 = 2; return 0; }".to_string();
+        let pred = |s: &str| s.contains("g1 = 1");
+        let mut budget = 100;
+        assert!(drop_stmts(&mut best, &pred, &mut budget));
+        assert!(!best.contains("g2 = 2"));
+        assert!(compiles(&best) && pred(&best));
+    }
+
+    #[test]
+    fn unwrap_blocks_splices_a_guarded_body_into_place() {
+        let mut best = "int g1;\nint main(void) { if (1) { g1 = 1; } return g1; }".to_string();
+        let pred = |s: &str| s.contains("g1 = 1");
+        let mut budget = 100;
+        assert!(unwrap_blocks(&mut best, &pred, &mut budget));
+        assert!(!best.contains("if"), "wrapper must be gone: {best}");
+        assert!(compiles(&best) && pred(&best));
+    }
+
+    #[test]
+    fn strip_assigns_keeps_the_call_but_drops_the_target() {
+        let mut best = "int g; int *p;\nint *id(int *q) { return q; }\n\
+             int main(void) { p = id(&g); return 0; }"
+            .to_string();
+        // The pretty-printer parenthesizes unary operands (`id(&(g))`),
+        // so the marker must survive the round-trip.
+        let pred = |s: &str| s.contains("id(&");
+        let mut budget = 100;
+        assert!(strip_assigns(&mut best, &pred, &mut budget));
+        assert!(
+            !best.contains("p = id"),
+            "assignment target must be gone: {best}"
+        );
+        assert!(compiles(&best) && pred(&best));
+    }
+
+    #[test]
+    fn drop_lines_reaches_what_the_ast_passes_cannot() {
+        // A lone textual line whose removal keeps the program compiling.
+        let mut best =
+            "int keep;\nint lonely;\nint main(void) { keep = 1; return keep; }".to_string();
+        let pred = |s: &str| s.contains("keep = 1");
+        let mut budget = 100;
+        assert!(drop_lines(&mut best, &pred, &mut budget));
+        assert!(!best.contains("lonely"));
+        assert!(compiles(&best) && pred(&best));
+    }
+
+    #[test]
+    fn shrink_composes_the_passes_to_a_fixpoint() {
+        let src = "int g; int noise;\n\
+             void junk(void) { noise = 3; }\n\
+             int *id(int *q) { return q; }\n\
+             int main(void) { int *p; if (1) { p = id(&g); } junk(); return 0; }";
+        // The \"failure\" is the id(&g) call surviving the round-trip.
+        let pred = |s: &str| cfront::compile(s).is_ok() && s.contains("id(&");
+        let out = shrink(src, &pred);
+        assert!(pred(&out));
+        assert!(!out.contains("junk") && !out.contains("noise"));
+        assert!(out.len() < src.len());
+    }
+}

@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod edit;
 pub mod generator;
 pub mod rng;
 pub mod scaling;

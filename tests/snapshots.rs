@@ -1,0 +1,106 @@
+//! Golden-snapshot regression tests for the five solvers.
+//!
+//! One snapshot file per paper benchmark, holding the canonical
+//! solution dump (`alias::solver::solution_dump`: sorted, rendered,
+//! schedule- and numbering-independent) of every solver. Any change to
+//! a solver's *results* — not its scheduling — shows up as a readable
+//! diff against `tests/snapshots/<bench>.txt`.
+//!
+//! After an intentional precision change, refresh with:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test -p engine --test snapshots
+//! ```
+
+use alias::solver::solution_dump;
+use engine::{Engine, Job};
+use std::path::PathBuf;
+
+fn snapshot_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/snapshots")
+}
+
+fn render(bench: &engine::BenchOutput) -> String {
+    let mut out = String::new();
+    for s in &bench.solutions {
+        out.push_str(&format!("==== {} ====\n", s.analysis));
+        match s.solution.as_deref() {
+            Some(sol) => out.push_str(&solution_dump(sol, &bench.graph)),
+            None => out.push_str(&format!(
+                "error: {}\n",
+                s.error.as_deref().unwrap_or("unknown")
+            )),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn suite_solutions_match_golden_snapshots() {
+    let update = std::env::var_os("UPDATE_SNAPSHOTS").is_some();
+    let dir = snapshot_dir();
+    let run = Engine::new().run(&Job::suite()).expect("suite run");
+    assert_eq!(run.benches.len(), 13);
+    let mut stale: Vec<String> = Vec::new();
+    for b in &run.benches {
+        let got = render(b);
+        let path = dir.join(format!("{}.txt", b.name));
+        if update {
+            std::fs::create_dir_all(&dir).expect("snapshot dir");
+            std::fs::write(&path, &got).expect("write snapshot");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|_| panic!("missing snapshot {path:?}; run with UPDATE_SNAPSHOTS=1"));
+        if got != want {
+            // Report the first diverging line per benchmark, not a
+            // multi-thousand-line assert diff.
+            let g: Vec<&str> = got.lines().collect();
+            let w: Vec<&str> = want.lines().collect();
+            let k = g
+                .iter()
+                .zip(&w)
+                .position(|(a, b)| a != b)
+                .unwrap_or(g.len().min(w.len()));
+            stale.push(format!(
+                "{}: line {} differs\n  got:  {}\n  want: {}",
+                b.name,
+                k + 1,
+                g.get(k).unwrap_or(&"<eof>"),
+                w.get(k).unwrap_or(&"<eof>")
+            ));
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "stale snapshots (UPDATE_SNAPSHOTS=1 to refresh after an intentional change):\n{}",
+        stale.join("\n")
+    );
+}
+
+#[test]
+fn snapshots_cover_every_benchmark_and_solver() {
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        // The update pass may still be writing files in parallel.
+        return;
+    }
+    let dir = snapshot_dir();
+    for b in suite::benchmarks() {
+        let path = dir.join(format!("{}.txt", b.name));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|_| panic!("missing snapshot {path:?}; run with UPDATE_SNAPSHOTS=1"));
+        for solver in ["weihl", "steensgaard", "ci", "k1", "cs"] {
+            assert!(
+                text.contains(&format!("==== {solver} ====")),
+                "{}: snapshot lacks {solver} section",
+                b.name
+            );
+        }
+        assert!(
+            !text.contains("error:"),
+            "{}: snapshot recorded a solver failure",
+            b.name
+        );
+    }
+}

@@ -189,7 +189,15 @@ pub fn analyze_callstring_from(
         dedup_hits: 0,
         delta_batches: 0,
     };
+    // Analyze every procedure, not only those reachable from `<root>`:
+    // an uncalled procedure is analyzed under the root context (with ⊥
+    // formals), matching the other four solvers' whole-graph behavior.
+    // For called procedures this adds nothing — root-context facts are a
+    // subset of any call-context's facts, and stripping unions them.
     s.activate(graph.root(), Ctx::ROOT);
+    for f in graph.func_ids() {
+        s.activate(f, Ctx::ROOT);
+    }
     s.run()?;
     Ok(s.finish())
 }
@@ -431,6 +439,12 @@ impl<'g> K1<'g> {
                 em.push((outs[0], ctx, pair));
             }
             NodeKind::Gamma => em.push((outs[0], ctx, pair)),
+            // Store identity; pointer-input pairs (the checker-facing
+            // kill-set) are not propagated.
+            NodeKind::Free if port == 1 => {
+                em.push((outs[0], ctx, pair));
+            }
+            NodeKind::Free => {}
             NodeKind::Primop => {}
             NodeKind::Lookup { .. } => match port {
                 0 => {

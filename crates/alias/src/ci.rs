@@ -693,6 +693,14 @@ impl<'g> Solver<'g> {
             NodeKind::Gamma => {
                 em.push((n.outputs[0], pair));
             }
+            NodeKind::Free => {
+                // Deallocation is a store identity: store pairs pass
+                // through; the pointer input's pairs (the kill-set the
+                // checkers read) produce nothing downstream.
+                if port == 1 {
+                    em.push((n.outputs[0], pair));
+                }
+            }
             NodeKind::Primop => {}
             NodeKind::Lookup { .. } => {
                 let out = n.outputs[0];

@@ -631,6 +631,13 @@ impl<'g> CsSolver<'g> {
                 }
             }
             NodeKind::Gamma => em.push((outs[0], pair, set)),
+            NodeKind::Free => {
+                // Store identity; pointer-input pairs (the checker-facing
+                // kill-set) are not propagated.
+                if port == 1 {
+                    em.push((outs[0], pair, set));
+                }
+            }
             NodeKind::Primop => {}
             NodeKind::Lookup { .. } => {
                 let single = self.memop_ci.get(&node).map(|m| m.single).unwrap_or(false);

@@ -19,9 +19,10 @@
 
 use crate::fxhash::{HashMap, HashSet};
 use crate::path::{PathId, PathTable};
+use crate::solver::Solution;
 use crate::stats::PointsToSolution;
 use std::collections::BTreeSet;
-use vdg::graph::{Graph, NodeId, NodeKind, OutputId, ValueKind};
+use vdg::graph::{BaseId, Graph, NodeId, NodeKind, OutputId, ValueKind};
 
 /// Def/use edges: for each lookup node, the update nodes it may observe.
 #[derive(Debug, Clone, Default)]
@@ -84,6 +85,123 @@ pub fn def_use(
         out.uses.insert(node, defs.into_iter().collect());
     }
     out
+}
+
+/// Computes def/use edges at the *base* granularity any [`Solution`]
+/// supports — including the unification baseline, which has no
+/// per-program-point pair sets and so cannot drive [`def_use`].
+///
+/// Two deliberate differences from the path-granular walk keep this
+/// variant sound and uniform across all five solvers:
+///
+/// - overlap is whole-base (a write anywhere in a base may define a
+///   read anywhere in it), and
+/// - no strong kills: walks never terminate early at an update, since
+///   base-level "definitely overwrites" is not a sound kill for
+///   interior paths.
+///
+/// With the kill rule gone, edge sets are monotone in the points-to
+/// sets: a coarser solution (larger base sets at every op, in the
+/// [`Solution::covers`] sense) can only add def/use edges — the
+/// property the cross-solver monotonicity tests check.
+pub fn def_use_bases(
+    graph: &Graph,
+    sol: &dyn Solution,
+    callees: &HashMap<NodeId, Vec<vdg::graph::VFuncId>>,
+) -> DefUse {
+    let mut out = DefUse::default();
+    for (node, is_write) in graph.all_mem_ops() {
+        if is_write {
+            continue;
+        }
+        let referents = sol.loc_referent_bases(graph, node);
+        let mut defs = BTreeSet::new();
+        if !referents.is_empty() {
+            walk_defs_bases(
+                graph,
+                sol,
+                callees,
+                graph.input_src(node, 1),
+                &referents,
+                &mut defs,
+            );
+        }
+        out.uses.insert(node, defs.into_iter().collect());
+    }
+    out
+}
+
+/// Whether two sorted base sets intersect.
+fn bases_intersect(a: &[BaseId], b: &[BaseId]) -> bool {
+    a.iter().any(|x| b.binary_search(x).is_ok())
+}
+
+/// Backward walk over the store dataflow from `store_out`, collecting
+/// stores whose written bases intersect `referents`. No strong kills.
+fn walk_defs_bases(
+    graph: &Graph,
+    sol: &dyn Solution,
+    callees: &HashMap<NodeId, Vec<vdg::graph::VFuncId>>,
+    store_out: OutputId,
+    referents: &[BaseId],
+    defs: &mut BTreeSet<NodeId>,
+) {
+    let mut visited: HashSet<OutputId> = HashSet::default();
+    let mut stack = vec![store_out];
+    while let Some(o) = stack.pop() {
+        if !visited.insert(o) {
+            continue;
+        }
+        debug_assert!(matches!(graph.output(o).kind, ValueKind::Store));
+        let node = graph.output(o).node;
+        match &graph.node(node).kind {
+            NodeKind::Update { .. } => {
+                if bases_intersect(referents, &sol.loc_referent_bases(graph, node)) {
+                    defs.insert(node);
+                }
+                stack.push(graph.input_src(node, 1));
+            }
+            NodeKind::Gamma => {
+                for port in 0..graph.node(node).inputs.len() {
+                    stack.push(graph.input_src(node, port));
+                }
+            }
+            NodeKind::CopyMem => {
+                let dsts = sol.output_referent_bases(graph, graph.input_src(node, 1));
+                if bases_intersect(referents, &dsts) {
+                    defs.insert(node);
+                }
+                stack.push(graph.input_src(node, 0));
+            }
+            NodeKind::Call => {
+                if let Some(fs) = callees.get(&node) {
+                    for f in fs {
+                        for &ret in &graph.func(*f).returns {
+                            stack.push(graph.input_src(ret, 0));
+                        }
+                    }
+                }
+            }
+            NodeKind::Entry { func } => {
+                for (call, fs) in callees {
+                    if fs.contains(func) && graph.has_input(*call, 1) {
+                        stack.push(graph.input_src(*call, 1));
+                    }
+                }
+            }
+            NodeKind::Free => {
+                // Deallocation defines nothing; keep walking the store.
+                stack.push(graph.input_src(node, 1));
+            }
+            NodeKind::InitStore => {}
+            other => {
+                debug_assert!(
+                    false,
+                    "unexpected store producer {other:?} during def/use walk"
+                );
+            }
+        }
+    }
 }
 
 /// Backward walk over the store dataflow from `store_out`, collecting
@@ -180,6 +298,10 @@ fn walk_defs(
                         stack.push(graph.input_src(*call, 1));
                     }
                 }
+            }
+            NodeKind::Free => {
+                // Deallocation defines nothing; keep walking the store.
+                stack.push(graph.input_src(node, 1));
             }
             NodeKind::InitStore => {}
             other => {

@@ -364,6 +364,7 @@ impl GraphIndex {
                 h.write_str(&g.func(*func).name);
             }
             NodeKind::CopyMem => h.write_u32(18),
+            NodeKind::Free => h.write_u32(19),
         }
     }
 

@@ -8,9 +8,10 @@
 
 use crate::fxhash::HashMap;
 use crate::path::PathId;
+use crate::solver::Solution;
 use crate::stats::PointsToSolution;
 use std::collections::BTreeSet;
-use vdg::graph::{Graph, NodeId, VFuncId};
+use vdg::graph::{BaseId, Graph, NodeId, VFuncId};
 
 /// Locations read/written by one function.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -108,6 +109,87 @@ pub fn mod_ref(
 /// builder's contiguous per-function node layout).
 pub fn node_owner_map(graph: &Graph) -> Vec<VFuncId> {
     vdg::display::owner_map(graph)
+}
+
+/// Base-granular mod/ref sets for one function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModRefBases {
+    /// Bases possibly referenced by reads.
+    pub refs: BTreeSet<BaseId>,
+    /// Bases possibly modified by writes.
+    pub mods: BTreeSet<BaseId>,
+}
+
+/// Base-granular mod/ref summaries for every function.
+#[derive(Debug, Clone, Default)]
+pub struct ModRefBasesSummary {
+    /// Direct effects (this function's own memory operations).
+    pub direct: HashMap<VFuncId, ModRefBases>,
+    /// Transitive effects through the discovered call graph.
+    pub transitive: HashMap<VFuncId, ModRefBases>,
+}
+
+/// Computes mod/ref summaries at the *base* granularity any
+/// [`Solution`] supports — including the unification baseline, which
+/// cannot drive the path-granular [`mod_ref`]. Because base sets grow
+/// monotonically with analysis coarseness ([`Solution::covers`]), so do
+/// these summaries: CS ⊆ CI ⊆ Weihl per function, the cross-solver
+/// property the monotonicity tests check.
+pub fn mod_ref_bases(
+    graph: &Graph,
+    sol: &dyn Solution,
+    callees: &HashMap<NodeId, Vec<VFuncId>>,
+) -> ModRefBasesSummary {
+    let owner = node_owner_map(graph);
+    let mut direct: HashMap<VFuncId, ModRefBases> = HashMap::default();
+    for f in graph.func_ids() {
+        direct.insert(f, ModRefBases::default());
+    }
+    for (node, is_write) in graph.all_mem_ops() {
+        let f = owner[node.0 as usize];
+        let entry = direct.entry(f).or_default();
+        for b in sol.loc_referent_bases(graph, node) {
+            if is_write {
+                entry.mods.insert(b);
+            } else {
+                entry.refs.insert(b);
+            }
+        }
+    }
+
+    let mut call_edges: HashMap<VFuncId, BTreeSet<VFuncId>> = HashMap::default();
+    for (call, fs) in callees {
+        let from = owner[call.0 as usize];
+        call_edges
+            .entry(from)
+            .or_default()
+            .extend(fs.iter().copied());
+    }
+    let mut transitive: HashMap<VFuncId, ModRefBases> = direct.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for f in graph.func_ids() {
+            let Some(callees) = call_edges.get(&f) else {
+                continue;
+            };
+            let mut add = ModRefBases::default();
+            for c in callees {
+                if let Some(m) = transitive.get(c) {
+                    add.refs.extend(m.refs.iter().copied());
+                    add.mods.extend(m.mods.iter().copied());
+                }
+            }
+            let entry = transitive.entry(f).or_default();
+            let before = (entry.refs.len(), entry.mods.len());
+            entry.refs.extend(add.refs);
+            entry.mods.extend(add.mods);
+            if (entry.refs.len(), entry.mods.len()) != before {
+                changed = true;
+            }
+        }
+    }
+    ModRefBasesSummary { direct, transitive }
 }
 
 #[cfg(test)]

@@ -110,6 +110,14 @@ pub trait Solution: Send {
     /// hence the common precision currency of the spectrum table.
     fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId>;
 
+    /// Distinct base-locations the pointer value carried on `out` may
+    /// reference, sorted and deduplicated. The output-level counterpart
+    /// of [`Solution::loc_referent_bases`], needed by clients (the
+    /// memory-safety checkers) that inspect values which are not the
+    /// location input of a memory op — a `free`'s pointer argument, a
+    /// `return`'s operand, an update's stored value.
+    fn output_referent_bases(&self, graph: &Graph, out: vdg::graph::OutputId) -> Vec<BaseId>;
+
     /// Path-granular referents of the location input of memory-op
     /// `node`, for solvers with a per-program-point pair
     /// representation. `None` for the unification baseline, whose
@@ -293,6 +301,10 @@ impl Solution for CiResult {
     fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
         bases_of(&self.paths, &self.loc_referents(graph, node))
     }
+    fn output_referent_bases(&self, _graph: &Graph, out: vdg::graph::OutputId) -> Vec<BaseId> {
+        let refs: Vec<PathId> = self.pairs(out).iter().map(|p| p.referent).collect();
+        bases_of(&self.paths, &refs)
+    }
     fn referents_at(&self, graph: &Graph, node: NodeId) -> Option<Vec<PathId>> {
         Some(self.loc_referents(graph, node))
     }
@@ -362,6 +374,10 @@ impl Solution for CsResult {
     fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
         bases_of(&self.paths, &self.loc_referents(graph, node))
     }
+    fn output_referent_bases(&self, _graph: &Graph, out: vdg::graph::OutputId) -> Vec<BaseId> {
+        let refs: Vec<PathId> = self.pairs_at(out).iter().map(|p| p.referent).collect();
+        bases_of(&self.paths, &refs)
+    }
     fn referents_at(&self, graph: &Graph, node: NodeId) -> Option<Vec<PathId>> {
         Some(self.loc_referents(graph, node))
     }
@@ -421,6 +437,10 @@ impl Solution for WeihlResult {
     }
     fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
         bases_of(&self.paths, &self.loc_referents(graph, node))
+    }
+    fn output_referent_bases(&self, _graph: &Graph, out: vdg::graph::OutputId) -> Vec<BaseId> {
+        let refs: Vec<PathId> = self.value_pairs(out).iter().map(|p| p.referent).collect();
+        bases_of(&self.paths, &refs)
     }
     fn referents_at(&self, graph: &Graph, node: NodeId) -> Option<Vec<PathId>> {
         Some(self.loc_referents(graph, node))
@@ -483,6 +503,12 @@ impl Solution for SteensSolution {
         bases.dedup();
         bases
     }
+    fn output_referent_bases(&self, graph: &Graph, out: vdg::graph::OutputId) -> Vec<BaseId> {
+        let mut bases = self.inner.borrow_mut().points_to_bases(out, graph);
+        bases.sort_unstable();
+        bases.dedup();
+        bases
+    }
     fn clone_box(&self) -> SolutionBox {
         Box::new(SteensSolution {
             inner: RefCell::new(self.inner.borrow().clone()),
@@ -533,6 +559,10 @@ impl Solution for CallStringResult {
     }
     fn loc_referent_bases(&self, graph: &Graph, node: NodeId) -> Vec<BaseId> {
         bases_of(&self.paths, &self.loc_referents(graph, node))
+    }
+    fn output_referent_bases(&self, _graph: &Graph, out: vdg::graph::OutputId) -> Vec<BaseId> {
+        let refs: Vec<PathId> = self.pairs(out).iter().map(|p| p.referent).collect();
+        bases_of(&self.paths, &refs)
     }
     fn referents_at(&self, graph: &Graph, node: NodeId) -> Option<Vec<PathId>> {
         Some(self.loc_referents(graph, node))

@@ -90,6 +90,7 @@ pub fn prepare(b: &suite::Benchmark) -> BenchData {
     let jobs = vec![Job {
         name: b.name.to_string(),
         source: b.source.to_string(),
+        input: b.input.to_vec(),
     }];
     let run = paper_engine().run(&jobs).expect("benchmark analyzes");
     run.benches
@@ -150,10 +151,7 @@ fn naive_ci() -> SolverSpec {
 pub fn scaling_jobs() -> Vec<Job> {
     suite::scaling::standard_suite(1)
         .into_iter()
-        .map(|p| Job {
-            name: p.name,
-            source: p.source,
-        })
+        .map(|p| Job::new(p.name, p.source))
         .collect()
 }
 
@@ -400,6 +398,7 @@ pub fn incremental_chain_check(threads: usize, chains: usize, seed: u64) -> (usi
         let base = vec![Job {
             name: b.name.to_string(),
             source: b.source.to_string(),
+            input: b.input.to_vec(),
         }];
         e.analyze_incremental_with(&mut cache, &base)
             .expect("baseline analyzes");
@@ -407,6 +406,7 @@ pub fn incremental_chain_check(threads: usize, chains: usize, seed: u64) -> (usi
             let jobs = vec![Job {
                 name: b.name.to_string(),
                 source: step.source.clone(),
+                input: b.input.to_vec(),
             }];
             let inc = e
                 .analyze_incremental_with(&mut cache, &jobs)

@@ -117,6 +117,38 @@ impl SourceFile {
     pub fn snippet(&self, span: Span) -> &str {
         &self.text[span.start as usize..span.end as usize]
     }
+
+    /// Renders the source line containing `span` with a caret underline
+    /// beneath the spanned characters, `rustc`-style:
+    ///
+    /// ```text
+    ///     return *p;
+    ///            ^^
+    /// ```
+    ///
+    /// Multi-line spans are underlined only on their first line. Used by
+    /// the checker diagnostics and the fuzzer's counterexample reports.
+    pub fn caret(&self, span: Span) -> String {
+        let lc = self.line_col(span.start);
+        let line_start = self.line_starts[(lc.line - 1) as usize] as usize;
+        let line = self.text[line_start..]
+            .split('\n')
+            .next()
+            .unwrap_or("")
+            .trim_end_matches('\r');
+        let col = (lc.col - 1) as usize;
+        // Tabs keep their width in the underline so the carets align.
+        let pad: String = line
+            .chars()
+            .take(col)
+            .map(|c| if c == '\t' { '\t' } else { ' ' })
+            .collect();
+        let span_on_line = (span.end as usize)
+            .min(line_start + line.len())
+            .saturating_sub(span.start as usize)
+            .max(1);
+        format!("{line}\n{pad}{}", "^".repeat(span_on_line))
+    }
 }
 
 /// A diagnostic produced by the lexer, parser, or semantic analysis.
@@ -237,6 +269,25 @@ mod tests {
     fn snippet_extracts_text() {
         let f = SourceFile::new("t.c", "hello world");
         assert_eq!(f.snippet(Span::new(6, 11)), "world");
+    }
+
+    #[test]
+    fn caret_underlines_span() {
+        let f = SourceFile::new("t.c", "int x;\nreturn *p;\n");
+        // `*p` on line 2.
+        assert_eq!(f.caret(Span::new(14, 16)), "return *p;\n       ^^");
+    }
+
+    #[test]
+    fn caret_clamps_multiline_spans_to_first_line() {
+        let f = SourceFile::new("t.c", "ab\ncd\n");
+        assert_eq!(f.caret(Span::new(1, 5)), "ab\n ^");
+    }
+
+    #[test]
+    fn caret_on_zero_width_span_shows_one_mark() {
+        let f = SourceFile::new("t.c", "abc\n");
+        assert_eq!(f.caret(Span::new(1, 1)), "abc\n ^");
     }
 
     #[test]

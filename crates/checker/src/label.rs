@@ -1,0 +1,147 @@
+//! Oracle labeling: grading static diagnostics against the
+//! interpreter's runtime ground truth.
+//!
+//! [`interp::run_traced`] executes the program under the poisoned-free
+//! semantics, classifying the first memory-safety fault and tracing
+//! every access, free, local escape, runtime def/use observation, and
+//! uninitialized read — all keyed by the same AST [`ExprId`]s the
+//! checkers anchor diagnostics to. Each diagnostic is then:
+//!
+//! - **true positive** — runtime evidence confirms the defect (the
+//!   matching fault fired at the site; the local pointer escaped; the
+//!   read observed an undefined location; the store was never read);
+//! - **false positive** — the site executed and the defect did not
+//!   materialize;
+//! - **unreachable** — the site never executed, so the run neither
+//!   confirms nor refutes it (the paper's "cannot tell" row).
+//!
+//! The reverse direction matters too: a classified runtime fault with
+//! no diagnostic at its site ([`refuted_fault`]) is a checker+solver
+//! *soundness* failure, and CI fails on any occurrence.
+
+use crate::{CheckKind, Diagnostic};
+use cfront::ast::ExprId;
+use interp::exec::{FaultKind, RunRecord, Trace};
+
+/// The oracle's verdict on one diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// Runtime evidence confirms the defect.
+    TruePositive,
+    /// The site executed and the defect did not materialize.
+    FalsePositive,
+    /// The site never executed under the oracle run.
+    Unreachable,
+}
+
+impl Label {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Label::TruePositive => "true-positive",
+            Label::FalsePositive => "false-positive",
+            Label::Unreachable => "unreachable",
+        }
+    }
+}
+
+/// A diagnostic plus its oracle verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledDiagnostic {
+    /// The static finding.
+    pub diag: Diagnostic,
+    /// The oracle's verdict.
+    pub label: Label,
+}
+
+/// Whether the run faulted with `kind` at `site`.
+fn faulted(rec: &RunRecord, site: ExprId, kinds: &[FaultKind]) -> bool {
+    rec.fault
+        .as_ref()
+        .is_some_and(|f| f.site == site && kinds.contains(&f.kind))
+}
+
+/// Whether `site` shows up as executed in the evidence relevant to
+/// `kind`.
+fn executed(kind: CheckKind, site: ExprId, t: &Trace) -> bool {
+    let accessed = t.reads.contains_key(&site) || t.writes.contains_key(&site);
+    match kind {
+        CheckKind::UseAfterFree | CheckKind::NullDeref => accessed,
+        CheckKind::DoubleFree => t.frees.contains_key(&site),
+        CheckKind::DanglingLocal => {
+            accessed || t.returns.contains(&site) || t.local_escapes.contains(&site)
+        }
+        CheckKind::UninitRead => t.reads.contains_key(&site),
+        CheckKind::DeadStore => t.writes.contains_key(&site),
+    }
+}
+
+/// Grades `diags` against one oracle run.
+pub fn label_diagnostics(diags: Vec<Diagnostic>, rec: &RunRecord) -> Vec<LabeledDiagnostic> {
+    diags
+        .into_iter()
+        .map(|diag| {
+            let t = &rec.trace;
+            let site = diag.site;
+            let confirmed = match diag.kind {
+                CheckKind::UseAfterFree => faulted(rec, site, &[FaultKind::UseAfterFree]),
+                CheckKind::DoubleFree => faulted(rec, site, &[FaultKind::DoubleFree]),
+                // An empty referent set predicts "null or uninit", so
+                // either fault kind confirms it.
+                CheckKind::NullDeref => {
+                    faulted(rec, site, &[FaultKind::NullDeref, FaultKind::UninitDeref])
+                }
+                CheckKind::DanglingLocal => t.local_escapes.contains(&site),
+                CheckKind::UninitRead => t.uninit_reads.contains(&site),
+                CheckKind::DeadStore => {
+                    t.writes.contains_key(&site) && !t.observed_writes.contains(&site)
+                }
+            };
+            let label = if confirmed {
+                Label::TruePositive
+            } else if executed(diag.kind, site, t) {
+                Label::FalsePositive
+            } else {
+                Label::Unreachable
+            };
+            LabeledDiagnostic { diag, label }
+        })
+        .collect()
+}
+
+/// The diagnostic kinds that would have predicted a given runtime
+/// fault.
+fn kinds_matching(fault: FaultKind) -> &'static [CheckKind] {
+    match fault {
+        FaultKind::UseAfterFree => &[CheckKind::UseAfterFree],
+        FaultKind::DoubleFree => &[CheckKind::DoubleFree],
+        // A null or uninit dereference may be predicted either by the
+        // empty-referent checker or by the no-reaching-store checker.
+        FaultKind::NullDeref | FaultKind::UninitDeref => {
+            &[CheckKind::NullDeref, CheckKind::UninitRead]
+        }
+        // `free` of a non-heap pointer has no static checker (yet).
+        FaultKind::InvalidFree => &[],
+    }
+}
+
+/// If the oracle run faulted and *no* diagnostic predicted a defect of
+/// a matching kind at the faulting site, returns that fault — a
+/// soundness refutation of the checker+solver pair. `None` when the run
+/// was clean, the fault kind has no static counterpart, or some
+/// diagnostic covered it.
+pub fn refuted_fault(diags: &[Diagnostic], rec: &RunRecord) -> Option<interp::FaultInfo> {
+    let fault = rec.fault.as_ref()?;
+    let kinds = kinds_matching(fault.kind);
+    if kinds.is_empty() {
+        return None;
+    }
+    let covered = diags
+        .iter()
+        .any(|d| d.site == fault.site && kinds.contains(&d.kind));
+    if covered {
+        None
+    } else {
+        Some(fault.clone())
+    }
+}

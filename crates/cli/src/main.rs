@@ -107,6 +107,19 @@ const COMMANDS: &[Command] = &[
         },
     },
     Command {
+        name: "check",
+        synopsis: "[<file.c | bench:NAME>] [--suite] [--analysis NAME] [--json]",
+        about: "memory-safety checkers with oracle-labeled precision table",
+        flag_help: &[
+            "--suite          check every bundled benchmark instead of one source",
+            "--analysis NAME  solver whose diagnostics are rendered (default ci)",
+            "--json           print the metrics report and diagnostics as JSON",
+        ],
+        value_flags: &["analysis"],
+        needs_source: false,
+        run: cmd_check,
+    },
+    Command {
         name: "fuzz",
         synopsis:
             "[--seeds N] [--start-seed N] [--budget-ms N] [--threads N] [--no-shrink] [--json]",
@@ -262,6 +275,17 @@ fn command_help(c: &Command) {
             println!("  {line}");
         }
     }
+}
+
+/// Builds an engine job, attaching the bundled interpreter input when
+/// the name resolves to a suite benchmark (the checker oracle replays
+/// the benchmark's real stdin).
+fn job_for(name: &str, source: &str) -> engine::Job {
+    let mut job = engine::Job::new(name, source);
+    if let Some(b) = suite::by_name(name) {
+        job.input = b.input.to_vec();
+    }
+    job
 }
 
 fn load_source(spec: &str) -> Result<(String, String), String> {
@@ -436,10 +460,7 @@ fn cmd_run(a: &Analysis, name: &str) -> Result<(), String> {
 /// and the table reads back through the `Solution` view.
 fn cmd_spectrum(name: &str, source: &str, json: bool) -> Result<(), AnalysisError> {
     const ORDER: [&str; 5] = ["weihl", "steensgaard", "ci", "k1", "cs"];
-    let jobs = vec![engine::Job {
-        name: name.to_string(),
-        source: source.to_string(),
-    }];
+    let jobs = vec![job_for(name, source)];
     let run = engine::Engine::new().run(&jobs)?;
     let b = &run.benches[0];
     let file = cfront::SourceFile::new(name, source);
@@ -501,6 +522,94 @@ fn cmd_spectrum(name: &str, source: &str, json: bool) -> Result<(), AnalysisErro
             cell("k1"),
             cell("cs"),
         );
+    }
+    Ok(())
+}
+
+/// Memory-safety checkers under all five solvers with oracle labels:
+/// runs the engine once, reuses every solver's solution for the six
+/// checkers, labels each diagnostic against one interpreter run per
+/// benchmark, and prints the paper-style precision table plus rendered
+/// caret diagnostics for one solver. Exits nonzero if any solver+checker
+/// pair missed an oracle-trapped runtime fault (a refuted diagnostic) or
+/// the false-positive counts break spectrum monotonicity.
+fn cmd_check(cx: &Ctx) -> Result<(), String> {
+    let jobs = if cx.flags.has("suite") {
+        engine::Job::suite()
+    } else if let Some(spec) = cx.flags.positional.first() {
+        let (name, source) = load_source(spec)?;
+        vec![job_for(&name, &source)]
+    } else {
+        return Err(format!("expected {SOURCE_ARG} or --suite"));
+    };
+    let analysis = cx.flags.get("analysis").unwrap_or("ci").to_string();
+    let mut run = engine::Engine::new().run(&jobs).map_err(|e| match &e {
+        AnalysisError::Frontend(f) => {
+            // Attribute the diagnostic to whichever job fails to
+            // compile (single-source runs have exactly one).
+            let file = jobs
+                .iter()
+                .find(|j| cfront::compile(&j.source).is_err())
+                .map(|j| cfront::SourceFile::new(&j.name, &j.source));
+            match file {
+                Some(file) => f.render(&file),
+                None => e.to_string(),
+            }
+        }
+        other => other.to_string(),
+    })?;
+    let checks = run.run_checks();
+    if cx.flags.has("json") {
+        let diags: Vec<String> = run
+            .benches
+            .iter()
+            .zip(&checks)
+            .map(|(b, bc)| {
+                format!(
+                    "    {}: {}",
+                    jstr(&b.name),
+                    engine::check::diagnostics_json(b, bc, &analysis)
+                )
+            })
+            .collect();
+        println!(
+            "{{\n  \"report\": {},\n  \"diagnostics\": {{\n{}\n  }}\n}}",
+            run.report.to_json().trim_end(),
+            diags.join(",\n")
+        );
+    } else {
+        for (b, bc) in run.benches.iter().zip(&checks) {
+            println!("== {} ==", b.name);
+            print!("{}", checker::render_table(&bc.rows));
+            let rendered = engine::check::render_diagnostics(b, bc, &analysis);
+            if rendered.is_empty() {
+                println!("[{analysis}] no diagnostics");
+            } else {
+                print!("{rendered}");
+            }
+            println!();
+        }
+        let (total, tp, fp, unreach) = engine::check::totals_for(&checks, &analysis);
+        println!(
+            "[{analysis}] {total} diagnostic(s): {tp} true positive(s), \
+             {fp} false positive(s), {unreach} unreachable"
+        );
+    }
+    let refuted: Vec<&str> = run
+        .benches
+        .iter()
+        .zip(&checks)
+        .filter(|(_, bc)| bc.any_refuted())
+        .map(|(b, _)| b.name.as_str())
+        .collect();
+    if !refuted.is_empty() {
+        return Err(format!(
+            "oracle-refuted diagnostics (missed true positives) in: {}",
+            refuted.join(", ")
+        ));
+    }
+    if let Some(v) = engine::check::fp_monotone_violation(&checks) {
+        return Err(format!("false-positive monotonicity violated: {v}"));
     }
     Ok(())
 }
@@ -595,10 +704,7 @@ fn cmd_incremental(cx: &Ctx) -> Result<(), String> {
     }
     let e = engine::Engine::new();
     let mut cache = e.cache();
-    let base = vec![engine::Job {
-        name: cx.name.clone(),
-        source: cx.source.clone(),
-    }];
+    let base = vec![job_for(&cx.name, &cx.source)];
     e.analyze_incremental_with(&mut cache, &base)
         .map_err(|err| cx.render_err(err))?;
     if !json {
@@ -607,10 +713,7 @@ fn cmd_incremental(cx: &Ctx) -> Result<(), String> {
     let mut rows = Vec::new();
     let mut mismatches = 0usize;
     for (i, (desc, source)) in steps.iter().enumerate() {
-        let jobs = vec![engine::Job {
-            name: cx.name.clone(),
-            source: source.clone(),
-        }];
+        let jobs = vec![job_for(&cx.name, source)];
         let inc = e
             .analyze_incremental_with(&mut cache, &jobs)
             .map_err(|err| cx.render_err(err))?;

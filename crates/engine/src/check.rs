@@ -1,0 +1,316 @@
+//! Check mode: running the `checker` crate's six memory-safety checkers
+//! over a finished engine run and attaching the oracle-labeled counts to
+//! the report.
+//!
+//! Every solver solution a run produced is re-used as-is — checking is a
+//! pure post-pass over [`crate::BenchOutput`], so the per-benchmark
+//! `Program`/`Graph`/CI artifacts and all five solutions are shared with
+//! the analysis stage. One oracle run per benchmark labels every
+//! solver's diagnostics (the run is solver-independent ground truth).
+//!
+//! For incremental runs, [`CheckCache`] keys cached diagnostic rows by
+//! the exact source text: a benchmark the edit did not touch replays its
+//! rows verbatim, and only the dirty benchmarks re-run the checkers and
+//! the oracle. Graph-level replay is *not* enough to reuse diagnostics —
+//! a whitespace-only edit moves spans — so the cache is keyed strictly
+//! by source hash.
+
+use crate::report::CheckMetrics;
+use crate::{BenchOutput, EngineRun};
+use checker::harness::oracle_run;
+use checker::{label_diagnostics, refuted_fault, CheckKind, LabeledDiagnostic};
+use std::collections::HashMap;
+
+/// One benchmark's oracle-labeled diagnostics, one row per solver.
+#[derive(Clone)]
+pub struct BenchChecks {
+    /// Benchmark name.
+    pub name: String,
+    /// Per-solver rows, in the run's solver order.
+    pub rows: Vec<checker::PrecisionRow>,
+}
+
+impl BenchChecks {
+    /// Whether any solver's row carries an oracle-refuted fault.
+    pub fn any_refuted(&self) -> bool {
+        self.rows.iter().any(|r| r.refuted.is_some())
+    }
+}
+
+/// Source-keyed cache of check rows for incremental runs.
+#[derive(Default)]
+pub struct CheckCache {
+    entries: HashMap<String, (u64, Vec<checker::PrecisionRow>)>,
+    /// Benchmarks answered from cache by the last
+    /// [`EngineRun::run_checks_cached`] call.
+    pub replayed: usize,
+}
+
+fn check_bench(b: &BenchOutput) -> Vec<checker::PrecisionRow> {
+    let rec = oracle_run(&b.program, &b.input);
+    b.solutions
+        .iter()
+        .map(|s| {
+            let (labeled, refuted): (Vec<LabeledDiagnostic>, _) = match s.solution.as_deref() {
+                Some(sol) => {
+                    let diags = checker::run_checks(&b.graph, sol, &b.ci.callees);
+                    let refuted = refuted_fault(&diags, &rec);
+                    (label_diagnostics(diags, &rec), refuted)
+                }
+                // A failed solve (step-budget overflow) has no solution
+                // to check; the row stays empty rather than refuted.
+                None => (Vec::new(), None),
+            };
+            let counts = checker::CheckCounts::from_labeled(&labeled);
+            checker::PrecisionRow {
+                solver: s.analysis.clone(),
+                labeled,
+                refuted,
+                counts,
+            }
+        })
+        .collect()
+}
+
+fn metrics_of(row: &checker::PrecisionRow) -> CheckMetrics {
+    CheckMetrics {
+        diags: row.counts.by_kind,
+        true_positives: row.counts.true_positives,
+        false_positives: row.counts.false_positives,
+        unreachable: row.counts.unreachable,
+        refuted: row.refuted.is_some(),
+    }
+}
+
+impl EngineRun {
+    /// Runs every checker under every solved solution of every
+    /// benchmark, labels the diagnostics against one oracle run per
+    /// benchmark, attaches [`CheckMetrics`] rows to the report, and
+    /// returns the labeled diagnostics for rendering.
+    pub fn run_checks(&mut self) -> Vec<BenchChecks> {
+        let mut cache = CheckCache::default();
+        self.run_checks_cached(&mut cache)
+    }
+
+    /// Like [`EngineRun::run_checks`], but replays cached rows for
+    /// benchmarks whose source text is unchanged since `cache` last saw
+    /// them — the check-mode analogue of incremental solution replay.
+    pub fn run_checks_cached(&mut self, cache: &mut CheckCache) -> Vec<BenchChecks> {
+        cache.replayed = 0;
+        let mut out = Vec::with_capacity(self.benches.len());
+        for (bi, b) in self.benches.iter().enumerate() {
+            let hash = alias::fingerprint::fnv64(b.source.as_bytes());
+            let rows = match cache.entries.get(&b.name) {
+                Some((h, rows)) if *h == hash => {
+                    cache.replayed += 1;
+                    rows.clone()
+                }
+                _ => {
+                    let rows = check_bench(b);
+                    cache.entries.insert(b.name.clone(), (hash, rows.clone()));
+                    rows
+                }
+            };
+            for row in &rows {
+                if let Some(m) = self.report.benchmarks[bi]
+                    .solvers
+                    .iter_mut()
+                    .find(|s| s.analysis == row.solver)
+                {
+                    m.checks = Some(metrics_of(row));
+                }
+            }
+            out.push(BenchChecks {
+                name: b.name.clone(),
+                rows,
+            });
+        }
+        out
+    }
+}
+
+/// Renders one benchmark's diagnostics (under `analysis`) with source
+/// carets and oracle labels, as `ruf95 check` prints them.
+pub fn render_diagnostics(b: &BenchOutput, checks: &BenchChecks, analysis: &str) -> String {
+    let file = cfront::SourceFile::new(&b.name, &b.source);
+    let mut out = String::new();
+    let Some(row) = checks.rows.iter().find(|r| r.solver == analysis) else {
+        return out;
+    };
+    for l in &row.labeled {
+        out.push_str(&l.diag.render(&file));
+        out.push_str(&format!("\n  oracle: {}\n", l.label.name()));
+    }
+    if let Some(f) = &row.refuted {
+        out.push_str(&format!(
+            "!! refuted: runtime fault {:?} at an unflagged site ({})\n",
+            f.kind, f.message
+        ));
+    }
+    out
+}
+
+/// JSON rendering of labeled diagnostics for `ruf95 check --json`:
+/// an array of objects, one per diagnostic of the chosen solver.
+pub fn diagnostics_json(b: &BenchOutput, checks: &BenchChecks, analysis: &str) -> String {
+    let file = cfront::SourceFile::new(&b.name, &b.source);
+    let jstr = |s: &str| {
+        format!(
+            "\"{}\"",
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        )
+    };
+    let Some(row) = checks.rows.iter().find(|r| r.solver == analysis) else {
+        return "[]".to_string();
+    };
+    let items: Vec<String> = row
+        .labeled
+        .iter()
+        .map(|l| {
+            let lc = file.line_col(l.diag.span.start);
+            format!(
+                "{{\"kind\": {}, \"severity\": {}, \"analysis\": {}, \"line\": {}, \
+                 \"col\": {}, \"message\": {}, \"label\": {}, \"witness\": [{}]}}",
+                jstr(l.diag.kind.name()),
+                jstr(l.diag.severity.label()),
+                jstr(&l.diag.analysis),
+                lc.line,
+                lc.col,
+                jstr(&l.diag.message),
+                jstr(l.label.name()),
+                l.diag
+                    .witness
+                    .iter()
+                    .map(|w| jstr(w))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Re-checks the false-positive monotonicity claim on finished rows:
+/// along the spectrum suffix CS → CI → Weihl, a coarser solver may only
+/// add false positives for the base-set-monotone checkers. Returns the
+/// first violated pair, if any. Used by tests and the CI smoke step.
+pub fn fp_monotone_violation(checks: &[BenchChecks]) -> Option<String> {
+    // Coarse-to-fine chains provable from base-set inclusion. k=1 and
+    // assumption-set CS are pointwise incomparable with each other but
+    // both refine CI.
+    const CHAINS: [(&str, &str); 4] = [
+        ("weihl", "ci"),
+        ("steensgaard", "ci"),
+        ("ci", "cs"),
+        ("ci", "k1"),
+    ];
+    for bc in checks {
+        for (coarse, fine) in CHAINS {
+            let (Some(c), Some(f)) = (
+                bc.rows.iter().find(|r| r.solver == coarse),
+                bc.rows.iter().find(|r| r.solver == fine),
+            ) else {
+                continue;
+            };
+            if c.counts.false_positives < f.counts.false_positives {
+                return Some(format!(
+                    "{}: {} has {} false positives but coarser {} has {}",
+                    bc.name, fine, f.counts.false_positives, coarse, c.counts.false_positives
+                ));
+            }
+            // Site-level inclusion for the monotone checkers: every
+            // diagnostic the fine solver emits, the coarse one emits.
+            let monotone = [
+                CheckKind::UseAfterFree,
+                CheckKind::DoubleFree,
+                CheckKind::DanglingLocal,
+            ];
+            let sites = |row: &checker::PrecisionRow| -> Vec<(u32, CheckKind)> {
+                row.labeled
+                    .iter()
+                    .filter(|l| monotone.contains(&l.diag.kind))
+                    .map(|l| (l.diag.span.start, l.diag.kind))
+                    .collect()
+            };
+            let cs = sites(c);
+            for s in sites(f) {
+                if !cs.contains(&s) {
+                    return Some(format!(
+                        "{}: {fine} flags {s:?} but coarser {coarse} does not",
+                        bc.name
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Total oracle-labeled counts across one solver's rows, for summary
+/// lines: `(diagnostics, true positives, false positives, unreachable)`.
+pub fn totals_for(checks: &[BenchChecks], analysis: &str) -> (usize, usize, usize, usize) {
+    let mut t = (0, 0, 0, 0);
+    for bc in checks {
+        if let Some(r) = bc.rows.iter().find(|r| r.solver == analysis) {
+            t.0 += r.counts.total();
+            t.1 += r.counts.true_positives;
+            t.2 += r.counts.false_positives;
+            t.3 += r.counts.unreachable;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, Job};
+    use checker::Label;
+
+    #[test]
+    fn check_rows_attach_to_report_and_replay_from_cache() {
+        let e = Engine::new().threads(2);
+        let mut run = e.run(&Job::named(&["span"])).unwrap();
+        let mut cache = CheckCache::default();
+        let checks = run.run_checks_cached(&mut cache);
+        assert_eq!(checks.len(), 1);
+        assert_eq!(checks[0].rows.len(), 5);
+        assert_eq!(cache.replayed, 0);
+        assert!(
+            !checks[0].any_refuted(),
+            "span must have no oracle-refuted diagnostics"
+        );
+        for s in &run.report.benchmarks[0].solvers {
+            let m = s.checks.as_ref().expect("checks attached");
+            assert!(!m.refuted);
+        }
+        assert!(run.report.to_json().contains("\"checks\": {\"diags\""));
+
+        // Unchanged source: the second pass answers from cache.
+        let mut run2 = e.run(&Job::named(&["span"])).unwrap();
+        let again = run2.run_checks_cached(&mut cache);
+        assert_eq!(cache.replayed, 1);
+        assert_eq!(again[0].rows[0].counts, checks[0].rows[0].counts);
+    }
+
+    #[test]
+    fn labels_partition_diagnostics() {
+        let mut run = Engine::new()
+            .threads(1)
+            .run(&Job::named(&["anagram"]))
+            .unwrap();
+        for bc in run.run_checks() {
+            for row in &bc.rows {
+                let by_label = |l: Label| row.labeled.iter().filter(|d| d.label == l).count();
+                assert_eq!(
+                    row.counts.total(),
+                    by_label(Label::TruePositive)
+                        + by_label(Label::FalsePositive)
+                        + by_label(Label::Unreachable)
+                );
+            }
+        }
+    }
+}

@@ -28,9 +28,15 @@
 //! delta-debugger in [`crate::shrink`] before landing in the
 //! [`FuzzReport`], so every finding ships as a standalone `.c` repro.
 //!
+//! 5. **Planted checker defects** — with [`FuzzConfig::planted`] set, a
+//!    self-contained memory-safety bug (dangling load, double free, or
+//!    dead store) is appended to every generated program, and every
+//!    solver's `checker::run_checks` sweep must flag its kind.
+//!
 //! The additional [`FuzzConfig::fault`] knob deliberately injects a
 //! known bug into the CI solver; the planted-bug self-test uses it to
 //! prove the whole detect-and-minimize loop actually fires.
+//! [`PlantedFault`] is the checker-level mirror of that knob.
 
 use crate::pool;
 use crate::shrink::shrink;
@@ -64,6 +70,82 @@ pub struct FuzzConfig {
     /// Deliberate fault injected into the CI solver (planted-bug
     /// self-test); [`Fault::None`] for real campaigns.
     pub fault: Fault,
+    /// Program-level memory-safety defect planted into every generated
+    /// program; the campaign then requires each solver's checker run to
+    /// flag it ([`PlantedFault::None`] for plain campaigns).
+    pub planted: PlantedFault,
+}
+
+/// A program-level memory-safety defect the fuzzer plants into generated
+/// programs. The checker-layer mirror of [`Fault::OverStrongUpdates`]:
+/// where that variant proves the differential loop detects a *solver*
+/// bug, a planted defect proves `checker::run_checks` flags a *program*
+/// bug under every solver — a solver that misses it is reported as a
+/// `"checker"` violation.
+///
+/// Plants are self-contained functions appended to the generated source
+/// (nothing need call them: the checkers sweep every VDG node), so the
+/// program's own behavior — and every other differential property — is
+/// unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlantedFault {
+    /// No planted defect.
+    #[default]
+    None,
+    /// A load through a pointer into a dead frame (a function returning
+    /// `&local`). Expected flag: `dangling-local`.
+    DanglingLoad,
+    /// Two `free`s of one heap object through aliased pointers.
+    /// Expected flag: `double-free`.
+    DoubleFree,
+    /// A store through a pointer that nothing ever reads. Expected
+    /// flag: `dead-store`.
+    DeadStore,
+}
+
+impl PlantedFault {
+    /// The plantable defects (everything but `None`).
+    pub fn all() -> [PlantedFault; 3] {
+        [
+            PlantedFault::DanglingLoad,
+            PlantedFault::DoubleFree,
+            PlantedFault::DeadStore,
+        ]
+    }
+
+    /// The diagnostic kind every solver must emit for this plant.
+    pub fn expected_kind(self) -> Option<checker::CheckKind> {
+        match self {
+            PlantedFault::None => None,
+            PlantedFault::DanglingLoad => Some(checker::CheckKind::DanglingLocal),
+            PlantedFault::DoubleFree => Some(checker::CheckKind::DoubleFree),
+            PlantedFault::DeadStore => Some(checker::CheckKind::DeadStore),
+        }
+    }
+
+    /// The defective function appended to a generated program.
+    pub fn snippet(self) -> &'static str {
+        match self {
+            PlantedFault::None => "",
+            PlantedFault::DanglingLoad => {
+                "int *planted_dangling(void) {\n    int planted_x;\n    planted_x = 1;\n    return &planted_x;\n}\n"
+            }
+            PlantedFault::DoubleFree => {
+                "void planted_double_free(void) {\n    int *planted_p;\n    int *planted_q;\n    planted_p = (int *) malloc(sizeof(int));\n    planted_q = planted_p;\n    free(planted_p);\n    free(planted_q);\n}\n"
+            }
+            PlantedFault::DeadStore => {
+                "void planted_dead_store(void) {\n    int planted_x;\n    int *planted_p;\n    planted_p = &planted_x;\n    *planted_p = 42;\n}\n"
+            }
+        }
+    }
+
+    /// Appends the defective function to `src` (identity for `None`).
+    pub fn plant(self, src: &str) -> String {
+        match self {
+            PlantedFault::None => src.to_string(),
+            _ => format!("{src}\n{}", self.snippet()),
+        }
+    }
 }
 
 impl Default for FuzzConfig {
@@ -78,6 +160,7 @@ impl Default for FuzzConfig {
             interp_steps: 1_000_000,
             shrink: true,
             fault: Fault::None,
+            planted: PlantedFault::None,
         }
     }
 }
@@ -88,7 +171,7 @@ pub struct FuzzViolation {
     /// The generator seed that produced the program.
     pub seed: u64,
     /// Which property failed: `"soundness"`, `"lattice"`,
-    /// `"divergence"`, `"incremental"`, `"roundtrip"`, or
+    /// `"divergence"`, `"incremental"`, `"checker"`, `"roundtrip"`, or
     /// `"pipeline"`.
     pub kind: String,
     /// The solver (or solver pair) implicated.
@@ -212,7 +295,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
     let outcomes: Vec<(u64, Findings, String)> =
         pool::run_indexed(cfg.seeds as usize, threads, |i| {
             let seed = cfg.start_seed + i as u64;
-            let src = generate(seed, &cfg.gen);
+            let src = cfg.planted.plant(&generate(seed, &cfg.gen));
             (seed, check_source(&src, cfg, seed), src)
         });
 
@@ -405,6 +488,26 @@ fn check_source(src: &str, cfg: &FuzzConfig, seed: u64) -> Findings {
         }
     }
 
+    // Property 5 — planted checker defects: the source carries a known
+    // memory-safety bug, and every solver's checker sweep must flag its
+    // kind. A miss is a checker+solver precision/soundness finding.
+    if let Some(kind) = cfg.planted.expected_kind() {
+        for (name, sol) in &solved {
+            let diags = checker::run_checks(&graph, &**sol, &ci.callees);
+            if !diags.iter().any(|d| d.kind == kind) {
+                f.violations.push(Finding {
+                    kind: "checker",
+                    solver: name.to_string(),
+                    detail: format!(
+                        "planted {:?} not flagged as {} ({job})",
+                        cfg.planted,
+                        kind.name()
+                    ),
+                });
+            }
+        }
+    }
+
     // Property 3 — naive propagation reaches the identical fixpoint.
     let ci_naive = ci_spec
         .clone()
@@ -447,12 +550,7 @@ fn check_source(src: &str, cfg: &FuzzConfig, seed: u64) -> Findings {
             .threads(1)
             .specs(std::slice::from_ref(&spec))
             .ci_spec(spec);
-        let jobs = |s: &str| {
-            vec![crate::Job {
-                name: job.clone(),
-                source: s.to_string(),
-            }]
-        };
+        let jobs = |s: &str| vec![crate::Job::new(job.clone(), s)];
         // The edit generator validates that edited programs still
         // compile, so a failure of either run was already reported
         // above.
@@ -604,6 +702,50 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"seeds\": 8"));
         assert!(json.contains("\"violations\": []"));
+    }
+
+    #[test]
+    fn planted_defects_are_flagged_by_every_solver() {
+        for planted in PlantedFault::all() {
+            let cfg = FuzzConfig {
+                seeds: 3,
+                threads: 1,
+                shrink: false,
+                planted,
+                ..FuzzConfig::default()
+            };
+            let r = fuzz(&cfg);
+            assert!(
+                r.violations.iter().all(|v| v.kind != "checker"),
+                "{planted:?} should be flagged by every solver; got {:?}",
+                r.violations
+                    .iter()
+                    .map(|v| format!("{} {} {}", v.kind, v.solver, v.detail))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn missing_plant_is_detected() {
+        // A clean program claimed to carry a planted double free: the
+        // checker property must report the miss for every solver, which
+        // proves the detection loop actually fires.
+        let cfg = FuzzConfig {
+            planted: PlantedFault::DoubleFree,
+            ..FuzzConfig::default()
+        };
+        let src = "int main(void) { return 0; }";
+        let found = check_source(src, &cfg, 0);
+        assert_eq!(
+            found
+                .violations
+                .iter()
+                .filter(|v| v.kind == "checker")
+                .count(),
+            5,
+            "all five solvers should be reported as missing the plant"
+        );
     }
 
     #[test]

@@ -493,6 +493,7 @@ impl Engine {
                 let mut out = BenchOutput {
                     name: job.name.clone(),
                     source: job.source.clone(),
+                    input: job.input.clone(),
                     program: Arc::clone(&e.program),
                     graph: Arc::clone(&e.graph),
                     ci: Arc::clone(&e.ci),
@@ -515,6 +516,7 @@ impl Engine {
                 let mut out = BenchOutput {
                     name: job.name.clone(),
                     source: job.source.clone(),
+                    input: job.input.clone(),
                     program,
                     graph,
                     ci: Arc::clone(&e.ci),
@@ -559,6 +561,7 @@ impl Engine {
                 let mut out = BenchOutput {
                     name: job.name.clone(),
                     source: job.source.clone(),
+                    input: job.input.clone(),
                     program,
                     graph,
                     ci,
@@ -668,10 +671,7 @@ mod tests {
          int main(void) { int l; int *q; q = id(&l); setg(1); *q = 3; *gp = 4; return 0; }";
 
     fn job(name: &str, src: &str) -> Job {
-        Job {
-            name: name.into(),
-            source: src.into(),
-        }
+        Job::new(name, src)
     }
 
     /// Every solver solution of `inc` must fingerprint identically to a

@@ -36,15 +36,17 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod fuzz;
 pub mod incremental;
 pub mod pool;
 pub mod report;
 pub mod shrink;
 
-pub use fuzz::{FuzzConfig, FuzzReport, FuzzViolation};
+pub use check::{BenchChecks, CheckCache};
+pub use fuzz::{FuzzConfig, FuzzReport, FuzzViolation, PlantedFault};
 pub use incremental::{SolveMode, SummaryCache};
-pub use report::{BenchmarkReport, EngineReport, IncrementalStats, SolverMetrics};
+pub use report::{BenchmarkReport, CheckMetrics, EngineReport, IncrementalStats, SolverMetrics};
 
 use alias::ci::CiResult;
 use alias::cs::CsResult;
@@ -62,9 +64,22 @@ pub struct Job {
     pub name: String,
     /// mini-C source text.
     pub source: String,
+    /// Bytes served to `getchar()` when the oracle interpreter runs the
+    /// program (checker labeling); empty for programs that read no
+    /// input.
+    pub input: Vec<u8>,
 }
 
 impl Job {
+    /// A job with no interpreter input.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Job {
+        Job {
+            name: name.into(),
+            source: source.into(),
+            input: Vec::new(),
+        }
+    }
+
     /// The full bundled benchmark suite, in Figure 2 order.
     pub fn suite() -> Vec<Job> {
         suite::benchmarks()
@@ -72,6 +87,7 @@ impl Job {
             .map(|b| Job {
                 name: b.name.to_string(),
                 source: b.source.to_string(),
+                input: b.input.to_vec(),
             })
             .collect()
     }
@@ -89,6 +105,7 @@ impl Job {
                 Job {
                     name: b.name.to_string(),
                     source: b.source.to_string(),
+                    input: b.input.to_vec(),
                 }
             })
             .collect()
@@ -246,6 +263,7 @@ impl Engine {
             .map(|p| BenchOutput {
                 name: p.name,
                 source: p.source,
+                input: p.input,
                 program: p.program,
                 graph: p.graph,
                 ci: p.ci,
@@ -306,6 +324,7 @@ impl Engine {
         Ok(Prepared {
             name: job.name.clone(),
             source: job.source.clone(),
+            input: job.input.clone(),
             program: Arc::new(program),
             graph: Arc::new(graph),
             ci: Arc::new(ci),
@@ -320,6 +339,7 @@ impl Engine {
 struct Prepared {
     name: String,
     source: String,
+    input: Vec<u8>,
     program: Arc<cfront::Program>,
     graph: Arc<Graph>,
     ci: Arc<CiResult>,
@@ -349,6 +369,8 @@ pub struct BenchOutput {
     pub name: String,
     /// Source text.
     pub source: String,
+    /// Interpreter input for oracle runs (checker labeling).
+    pub input: Vec<u8>,
     /// The checked program (shared with all solver jobs).
     pub program: Arc<cfront::Program>,
     /// The lowered VDG (shared with all solver jobs).
@@ -411,6 +433,7 @@ impl BenchOutput {
                     deliveries_saved: s.solution.as_ref().and_then(|x| x.deliveries_saved()),
                     mode: s.mode.as_ref().map(|m| m.render()),
                     error: s.error.clone(),
+                    checks: None,
                 })
                 .collect(),
         }
@@ -456,10 +479,7 @@ mod tests {
 
     #[test]
     fn frontend_errors_abort_the_run() {
-        let jobs = vec![Job {
-            name: "bad".into(),
-            source: "int main(void) { return x; }".into(),
-        }];
+        let jobs = vec![Job::new("bad", "int main(void) { return x; }")];
         assert!(matches!(
             Engine::new().run(&jobs),
             Err(AnalysisError::Frontend(_))

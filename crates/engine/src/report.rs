@@ -43,6 +43,48 @@ pub struct SolverMetrics {
     pub mode: Option<String>,
     /// Failure (e.g. a step-budget overflow), if the solve failed.
     pub error: Option<String>,
+    /// Checker diagnostics under this solution, attached by
+    /// [`crate::EngineRun::run_checks`]; `None` when the run skipped
+    /// checking. Solution-derived and deterministic, so the fingerprint
+    /// keeps it.
+    pub checks: Option<CheckMetrics>,
+}
+
+/// Oracle-labeled checker counts for one solver on one benchmark (the
+/// `--check` rows of a report).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckMetrics {
+    /// Diagnostics per checker, in `checker::CheckKind::all()` order:
+    /// use-after-free, double-free, dangling-local, uninit-read,
+    /// null-deref, dead-store.
+    pub diags: [usize; 6],
+    /// Oracle-confirmed diagnostics.
+    pub true_positives: usize,
+    /// Diagnostics whose site executed without the defect.
+    pub false_positives: usize,
+    /// Diagnostics at sites the oracle run never reached.
+    pub unreachable: usize,
+    /// A runtime fault no diagnostic predicted — a checker+solver
+    /// soundness failure. Must stay `false`.
+    pub refuted: bool,
+}
+
+impl CheckMetrics {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"diags\": [{}], \"true_positives\": {}, \"false_positives\": {}, \
+             \"unreachable\": {}, \"refuted\": {}}}",
+            self.diags
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.true_positives,
+            self.false_positives,
+            self.unreachable,
+            self.refuted
+        )
+    }
 }
 
 /// Cache-effectiveness counters of one incremental run.
@@ -166,7 +208,7 @@ impl EngineReport {
                     "      {{\"analysis\": {}, \"wall_ns\": {}, \"pairs\": {}, \
                      \"flow_ins\": {}, \"flow_outs\": {}, \"dedup_hits\": {}, \
                      \"delta_batches\": {}, \"deliveries_saved\": {}, \
-                     \"mode\": {}, \"error\": {}}}{}\n",
+                     \"mode\": {}, \"error\": {}, \"checks\": {}}}{}\n",
                     json_str(&s.analysis),
                     ns(s.wall),
                     json_opt(s.pairs.map(|v| v.to_string())),
@@ -177,6 +219,7 @@ impl EngineReport {
                     json_opt(sched(s.deliveries_saved).map(|v| v.to_string())),
                     json_opt_str(if timings { s.mode.as_deref() } else { None }),
                     json_opt_str(s.error.as_deref()),
+                    json_opt(s.checks.as_ref().map(CheckMetrics::to_json)),
                     if j + 1 < b.solvers.len() { "," } else { "" }
                 ));
             }
@@ -249,6 +292,13 @@ mod tests {
                         deliveries_saved: Some(4300),
                         mode: Some("seeded(dirty=1/5)".into()),
                         error: None,
+                        checks: Some(CheckMetrics {
+                            diags: [1, 0, 2, 0, 0, 3],
+                            true_positives: 4,
+                            false_positives: 1,
+                            unreachable: 1,
+                            refuted: false,
+                        }),
                     },
                     SolverMetrics {
                         analysis: "steensgaard".into(),
@@ -261,6 +311,7 @@ mod tests {
                         deliveries_saved: None,
                         mode: None,
                         error: None,
+                        checks: None,
                     },
                 ],
             }],
@@ -288,6 +339,9 @@ mod tests {
             "\"deliveries_saved\": 4300",
             "\"mode\": \"seeded(dirty=1/5)\"",
             "\"funcs_reused\": 4",
+            "\"checks\": {\"diags\": [1, 0, 2, 0, 0, 3], \"true_positives\": 4, \
+             \"false_positives\": 1, \"unreachable\": 1, \"refuted\": false}",
+            "\"checks\": null",
         ] {
             assert!(j.contains(needle), "missing {needle} in\n{j}");
         }

@@ -52,6 +52,34 @@ impl fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// The class of memory-safety fault an abnormal run tripped on. The
+/// checker harness matches these against static diagnostics to label
+/// them true or false positives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// An access through a pointer into a deallocated heap object.
+    UseAfterFree,
+    /// `free` of an already-freed heap object.
+    DoubleFree,
+    /// `free` of something that is not a live heap allocation.
+    InvalidFree,
+    /// Dereference of a null pointer.
+    NullDeref,
+    /// Dereference of an uninitialized pointer.
+    UninitDeref,
+}
+
+/// A classified runtime fault with the expression that tripped it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultInfo {
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// The AST expression performing the faulting access or `free`.
+    pub site: ExprId,
+    /// Human-readable description (mirrors the [`RunError::Dynamic`] text).
+    pub message: String,
+}
+
 /// Memory accesses observed at runtime, abstracted and keyed by the AST
 /// expression that performed them.
 #[derive(Debug, Clone, Default)]
@@ -60,6 +88,25 @@ pub struct Trace {
     pub reads: HashMap<ExprId, HashSet<AbsLoc>>,
     /// Abstract locations written, per writing expression.
     pub writes: HashMap<ExprId, HashSet<AbsLoc>>,
+    /// Abstract locations deallocated, per `free(...)` call expression.
+    /// Recorded before the double-free check, so the key set is exactly
+    /// the executed free sites.
+    pub frees: HashMap<ExprId, HashSet<AbsLoc>>,
+    /// Expressions observed making a pointer to a current-frame local
+    /// escape: `return` value expressions whose value points into the
+    /// returning frame, and writes that store such a pointer outside
+    /// the frame.
+    pub local_escapes: HashSet<ExprId>,
+    /// Write sites whose stored value was later read (order-aware
+    /// runtime def/use evidence; the dead-store labeler's ground truth).
+    pub observed_writes: HashSet<ExprId>,
+    /// Read sites that observed a location no traced write had defined
+    /// yet — runtime evidence for the uninitialized-read checker.
+    pub uninit_reads: HashSet<ExprId>,
+    /// Value expressions of executed `return` statements, whether or not
+    /// the value escaped (reachability evidence for return-site
+    /// diagnostics).
+    pub returns: HashSet<ExprId>,
 }
 
 /// Result of a complete run.
@@ -91,6 +138,45 @@ pub fn run(prog: &Program, cfg: &Config) -> Result<Outcome, RunError> {
         }),
         Err(Stop::Error(m)) => Err(RunError::Dynamic(m)),
         Err(Stop::StepLimit) => Err(RunError::StepLimit),
+    }
+}
+
+/// Result of a run that keeps the trace (and any classified fault) even
+/// when the program stops on a dynamic error — what the checker harness
+/// needs to label diagnostics against the runtime ground truth.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// `main`'s return value, if the program terminated normally.
+    pub exit: Option<i64>,
+    /// Captured `printf`/`puts`/`putchar` output.
+    pub stdout: String,
+    /// Evaluation steps consumed.
+    pub steps: u64,
+    /// How the run stopped abnormally, if it did.
+    pub error: Option<RunError>,
+    /// The first classified memory-safety fault, if any.
+    pub fault: Option<FaultInfo>,
+    /// The memory-access trace up to the stop point.
+    pub trace: Trace,
+}
+
+/// Runs `main()` like [`run`] but never discards the trace: a faulting
+/// program yields everything it touched before the fault plus the fault
+/// classification itself.
+pub fn run_traced(prog: &Program, cfg: &Config) -> RunRecord {
+    let mut x = Exec::new(prog, cfg.clone());
+    let (exit, error) = match x.run_program() {
+        Ok(exit) | Err(Stop::Exit(exit)) => (Some(exit), None),
+        Err(Stop::Error(m)) => (None, Some(RunError::Dynamic(m))),
+        Err(Stop::StepLimit) => (None, Some(RunError::StepLimit)),
+    };
+    RunRecord {
+        exit,
+        stdout: std::mem::take(&mut x.out),
+        steps: x.steps,
+        error,
+        fault: x.fault.take(),
+        trace: std::mem::take(&mut x.trace),
     }
 }
 
@@ -130,6 +216,10 @@ struct Exec<'p> {
     steps: u64,
     input_pos: usize,
     rng: u64,
+    fault: Option<FaultInfo>,
+    /// Last traced write site per abstract location, for runtime
+    /// def/use ([`Trace::observed_writes`] / [`Trace::uninit_reads`]).
+    last_writer: HashMap<AbsLoc, ExprId>,
 }
 
 impl<'p> Exec<'p> {
@@ -145,7 +235,22 @@ impl<'p> Exec<'p> {
             steps: 0,
             input_pos: 0,
             rng: 0x2545F4914F6CDD1D,
+            fault: None,
+            last_writer: HashMap::new(),
         }
+    }
+
+    /// Records the first memory-safety fault and returns the matching
+    /// dynamic-error stop.
+    fn fault(&mut self, kind: FaultKind, site: ExprId, msg: &str) -> Stop {
+        if self.fault.is_none() {
+            self.fault = Some(FaultInfo {
+                kind,
+                site,
+                message: msg.to_string(),
+            });
+        }
+        Stop::Error(msg.to_string())
     }
 
     fn types(&self) -> &TypeTable {
@@ -232,24 +337,67 @@ impl<'p> Exec<'p> {
 
     fn record_read(&mut self, e: ExprId, loc: &Loc) {
         let a = self.mem.abstract_loc(loc, self.types());
+        match self.last_writer.get(&a) {
+            Some(&w) => {
+                self.trace.observed_writes.insert(w);
+            }
+            None => {
+                self.trace.uninit_reads.insert(e);
+            }
+        }
         self.trace.reads.entry(e).or_default().insert(a);
     }
 
     fn record_write(&mut self, e: ExprId, loc: &Loc) {
         let a = self.mem.abstract_loc(loc, self.types());
+        self.last_writer.insert(a.clone(), e);
         self.trace.writes.entry(e).or_default().insert(a);
     }
 
     fn read_at(&mut self, e: ExprId, loc: &Loc) -> R<Value> {
         self.record_read(e, loc);
-        self.mem.read(loc, &self.prog.types).map_err(Stop::Error)
+        match self.mem.read(loc, &self.prog.types) {
+            Ok(v) => Ok(v),
+            Err(m) => Err(self.classify_mem_error(e, m)),
+        }
     }
 
     fn write_at(&mut self, e: ExprId, loc: &Loc, v: Value) -> R<()> {
         self.record_write(e, loc);
-        self.mem
-            .write(loc, v, &self.prog.types)
-            .map_err(Stop::Error)
+        // A pointer to a current-frame local stored outside that frame is
+        // escape evidence for the dangling-local checker.
+        if !self.frame().locals.contains(&loc.obj) && self.points_into_frame(&v) {
+            self.trace.local_escapes.insert(e);
+        }
+        match self.mem.write(loc, v, &self.prog.types) {
+            Ok(()) => Ok(()),
+            Err(m) => Err(self.classify_mem_error(e, m)),
+        }
+    }
+
+    /// Promotes a memory-layer error message to a classified fault when
+    /// it names one of the checker-facing kinds.
+    fn classify_mem_error(&mut self, e: ExprId, m: String) -> Stop {
+        if m.contains("use after free") {
+            self.fault(FaultKind::UseAfterFree, e, &m)
+        } else {
+            Stop::Error(m)
+        }
+    }
+
+    /// Whether `v` (transitively) holds a pointer into the current frame's
+    /// locals.
+    fn points_into_frame(&self, v: &Value) -> bool {
+        match v {
+            Value::Ptr(l) => self
+                .frames
+                .last()
+                .is_some_and(|f| f.locals.contains(&l.obj)),
+            Value::Record(_, fields) => fields.iter().any(|f| self.points_into_frame(f)),
+            Value::Array(elems) => elems.iter().any(|e| self.points_into_frame(e)),
+            Value::Union(_, inner) => self.points_into_frame(inner),
+            _ => false,
+        }
     }
 
     // ----- statements ---------------------------------------------------------
@@ -378,7 +526,17 @@ impl<'p> Exec<'p> {
             }
             Stmt::Return { value, .. } => {
                 let v = match value {
-                    Some(v) => self.eval(*v)?,
+                    Some(v) => {
+                        let val = self.eval(*v)?;
+                        self.trace.returns.insert(*v);
+                        // Returning a pointer to one of this frame's
+                        // locals is escape evidence for the
+                        // dangling-local checker.
+                        if self.points_into_frame(&val) {
+                            self.trace.local_escapes.insert(*v);
+                        }
+                        val
+                    }
                     None => Value::Uninit,
                 };
                 Ok(Flow::Return(v))
@@ -433,11 +591,15 @@ impl<'p> Exec<'p> {
 
     // ----- lvalues ----------------------------------------------------------
 
-    fn as_ptr(&self, v: Value) -> R<Loc> {
+    fn as_ptr_at(&mut self, e: ExprId, v: Value) -> R<Loc> {
         match v {
             Value::Ptr(l) => Ok(l),
-            Value::Null => Err(Stop::Error("null pointer dereference".into())),
-            Value::Uninit => Err(Stop::Error("dereference of uninitialized pointer".into())),
+            Value::Null => Err(self.fault(FaultKind::NullDeref, e, "null pointer dereference")),
+            Value::Uninit => Err(self.fault(
+                FaultKind::UninitDeref,
+                e,
+                "dereference of uninitialized pointer",
+            )),
             other => Err(Stop::Error(format!("dereference of non-pointer {other:?}"))),
         }
     }
@@ -455,7 +617,7 @@ impl<'p> Exec<'p> {
                 arg,
             } => {
                 let v = self.eval(arg)?;
-                self.as_ptr(v)
+                self.as_ptr_at(e, v)
             }
             ExprKind::Member {
                 base,
@@ -468,7 +630,7 @@ impl<'p> Exec<'p> {
                 let idx = field_index.expect("resolved") as u32;
                 let base_loc = if arrow {
                     let v = self.eval(base)?;
-                    self.as_ptr(v)?
+                    self.as_ptr_at(e, v)?
                 } else {
                     self.eval_lvalue(base)?
                 };
@@ -485,7 +647,7 @@ impl<'p> Exec<'p> {
                     Ok(bl.push(CStep::Elem(i as u32)))
                 } else {
                     let v = self.eval(base)?;
-                    let l = self.as_ptr(v)?;
+                    let l = self.as_ptr_at(e, v)?;
                     l.add(i).map_err(Stop::Error)
                 }
             }
@@ -543,7 +705,7 @@ impl<'p> Exec<'p> {
                         return self.eval(arg);
                     }
                     let v = self.eval(arg)?;
-                    let loc = self.as_ptr(v)?;
+                    let loc = self.as_ptr_at(e, v)?;
                     if self.types().is_array(self.prog.exprs.ty(e)) {
                         return Ok(Value::Ptr(loc.push(CStep::Elem(0))));
                     }
@@ -959,7 +1121,32 @@ impl<'p> Exec<'p> {
                 self.write_c_string(dst.clone(), &s)?;
                 Ok(Value::Ptr(dst))
             }
-            Free => Ok(Value::Int(0)),
+            Free => match argv[0].clone() {
+                // `free(NULL)` is a no-op, as in C.
+                Value::Null => Ok(Value::Int(0)),
+                Value::Ptr(l) => {
+                    if !matches!(self.mem.origin(l.obj), Origin::Heap(_)) {
+                        return Err(self.fault(
+                            FaultKind::InvalidFree,
+                            e,
+                            "free of a non-heap pointer",
+                        ));
+                    }
+                    // Record the free site first so the trace keys are
+                    // exactly the executed frees, faulting or not.
+                    let a = self.mem.abstract_loc(&Loc::of(l.obj), self.types());
+                    self.trace.frees.entry(e).or_default().insert(a);
+                    if !self.mem.free(l.obj) {
+                        return Err(self.fault(
+                            FaultKind::DoubleFree,
+                            e,
+                            "double free of heap object",
+                        ));
+                    }
+                    Ok(Value::Int(0))
+                }
+                _ => Err(self.fault(FaultKind::InvalidFree, e, "free of a non-pointer")),
+            },
             Strcpy | Strncpy => {
                 let (Value::Ptr(d), Value::Ptr(s)) = (argv[0].clone(), argv[1].clone()) else {
                     return Err(Stop::Error("strcpy needs pointers".into()));

@@ -26,7 +26,9 @@ pub mod exec;
 pub mod memory;
 pub mod oracle;
 
-pub use exec::{run, Config, Outcome, RunError, Trace};
+pub use exec::{
+    run, run_traced, Config, FaultInfo, FaultKind, Outcome, RunError, RunRecord, Trace,
+};
 pub use oracle::{check_solution, check_solution_dyn, Violation};
 
 #[cfg(test)]
@@ -442,5 +444,130 @@ mod tests {
              b = (a > 3 ? 10 : 20); a = (b += 1, b * 2); return a; }",
         );
         assert_eq!(out.exit, 22);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use exec::FaultKind;
+
+    fn traced(src: &str) -> RunRecord {
+        let p = cfront::compile(src).expect("compiles");
+        run_traced(&p, &Config::default())
+    }
+
+    #[test]
+    fn free_then_exit_is_clean() {
+        let rec = traced(
+            "int main(void) { int *p; p = (int*)malloc(sizeof(int)); \
+             *p = 7; free(p); return 0; }",
+        );
+        assert_eq!(rec.exit, Some(0));
+        assert!(rec.fault.is_none());
+        assert_eq!(rec.trace.frees.len(), 1, "one executed free site");
+    }
+
+    #[test]
+    fn free_null_is_noop() {
+        let rec = traced("int main(void) { int *p; p = NULL; free(p); return 0; }");
+        assert_eq!(rec.exit, Some(0));
+        assert!(rec.fault.is_none());
+        assert!(rec.trace.frees.is_empty());
+    }
+
+    #[test]
+    fn use_after_free_faults() {
+        let rec = traced(
+            "int main(void) { int *p; p = (int*)malloc(sizeof(int)); \
+             *p = 7; free(p); return *p; }",
+        );
+        assert_eq!(rec.exit, None);
+        let f = rec.fault.expect("classified fault");
+        assert_eq!(f.kind, FaultKind::UseAfterFree);
+        // The trace survives the fault: the pre-fault write is present.
+        assert!(!rec.trace.writes.is_empty());
+    }
+
+    #[test]
+    fn write_after_free_faults() {
+        let rec = traced(
+            "int main(void) { int *p; p = (int*)malloc(sizeof(int)); \
+             free(p); *p = 7; return 0; }",
+        );
+        let f = rec.fault.expect("classified fault");
+        assert_eq!(f.kind, FaultKind::UseAfterFree);
+    }
+
+    #[test]
+    fn double_free_faults() {
+        let rec = traced(
+            "int main(void) { int *p; int *q; p = (int*)malloc(sizeof(int)); \
+             q = p; free(p); free(q); return 0; }",
+        );
+        let f = rec.fault.expect("classified fault");
+        assert_eq!(f.kind, FaultKind::DoubleFree);
+        // Both free sites executed and were recorded before the fault.
+        assert_eq!(rec.trace.frees.len(), 2);
+    }
+
+    #[test]
+    fn free_of_local_is_invalid() {
+        let rec = traced("int main(void) { int x; free(&x); return 0; }");
+        let f = rec.fault.expect("classified fault");
+        assert_eq!(f.kind, FaultKind::InvalidFree);
+    }
+
+    #[test]
+    fn null_deref_classified() {
+        let rec = traced("int main(void) { int *p; p = NULL; return *p; }");
+        let f = rec.fault.expect("classified fault");
+        assert_eq!(f.kind, FaultKind::NullDeref);
+    }
+
+    #[test]
+    fn uninit_deref_classified() {
+        let rec = traced("int main(void) { int *p; return *p; }");
+        let f = rec.fault.expect("classified fault");
+        assert_eq!(f.kind, FaultKind::UninitDeref);
+    }
+
+    #[test]
+    fn returned_local_pointer_recorded_as_escape() {
+        let rec = traced(
+            "int *leak(void) { int x; x = 1; return &x; }\n\
+             int main(void) { int *p; p = leak(); return 0; }",
+        );
+        assert_eq!(rec.exit, Some(0));
+        assert_eq!(rec.trace.local_escapes.len(), 1);
+    }
+
+    #[test]
+    fn stored_local_pointer_recorded_as_escape() {
+        let rec = traced(
+            "int *g;\n\
+             void stash(void) { int x; x = 1; g = &x; }\n\
+             int main(void) { stash(); return 0; }",
+        );
+        assert_eq!(rec.exit, Some(0));
+        assert_eq!(rec.trace.local_escapes.len(), 1);
+    }
+
+    #[test]
+    fn local_to_local_store_is_not_an_escape() {
+        let rec = traced("int main(void) { int x; int *p; x = 1; p = &x; return *p; }");
+        assert_eq!(rec.exit, Some(1));
+        assert!(rec.trace.local_escapes.is_empty());
+    }
+
+    #[test]
+    fn plain_run_still_reports_dynamic_error() {
+        let p = cfront::compile(
+            "int main(void) { int *p; p = (int*)malloc(sizeof(int)); \
+             free(p); return *p; }",
+        )
+        .unwrap();
+        let err = run(&p, &Config::default()).unwrap_err();
+        assert!(matches!(err, RunError::Dynamic(ref m) if m.contains("use after free")));
     }
 }

@@ -4,7 +4,7 @@
 
 use cfront::ast::ExprId;
 use cfront::types::{RecordId, TypeId, TypeKind, TypeTable};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Where an object came from; the abstraction of its identity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -184,6 +184,10 @@ pub struct Memory {
     objs: Vec<Object>,
     /// Memoized string-literal objects per expression.
     str_objs: HashMap<ExprId, u32>,
+    /// Objects deallocated by `free`; any later access is a dynamic
+    /// error (the poisoning that gives the checker harness its runtime
+    /// ground truth for use-after-free).
+    freed: HashSet<u32>,
 }
 
 impl Memory {
@@ -214,6 +218,18 @@ impl Memory {
     /// The origin of an object.
     pub fn origin(&self, obj: u32) -> Origin {
         self.objs[obj as usize].origin
+    }
+
+    /// Marks an object deallocated; later accesses through [`Memory::slot_mut`]
+    /// fail. Freeing twice is the caller's double-free error to report —
+    /// this returns whether the object was still live.
+    pub fn free(&mut self, obj: u32) -> bool {
+        self.freed.insert(obj)
+    }
+
+    /// Whether `obj` has been deallocated.
+    pub fn is_freed(&self, obj: u32) -> bool {
+        self.freed.contains(&obj)
     }
 
     /// Number of live objects.
@@ -308,6 +324,9 @@ impl Memory {
 
     /// Mutable access to the value slot at `loc`, materializing lazily.
     pub fn slot_mut(&mut self, loc: &Loc, types: &TypeTable) -> Result<&mut Value, String> {
+        if self.freed.contains(&loc.obj) {
+            return Err("use after free of heap object".to_string());
+        }
         let mut slot = &mut self
             .objs
             .get_mut(loc.obj as usize)

@@ -607,7 +607,7 @@ impl<'p> Builder<'p> {
                 }
                 let else_state = self.state.take();
                 let states: Vec<State> = [then_state, else_state].into_iter().flatten().collect();
-                self.state = self.merge_states(states, span_of_stmt(s));
+                self.state = self.merge_states(states, span_of_stmt(self.prog, s));
             }
             Stmt::While { cond, body } => {
                 self.lower_loop(Some(*cond), None, body, false)?;
@@ -668,9 +668,11 @@ impl<'p> Builder<'p> {
                 };
                 let store = self.store();
                 let fid = self.cur_func;
+                // The return's site is its value expression, letting the
+                // dangling-local checker match runtime escape evidence.
                 let ret = self
                     .g
-                    .add_node(NodeKind::Return { func: fid }, &[], *span, None);
+                    .add_node(NodeKind::Return { func: fid }, &[], *span, *value);
                 self.g.add_input(ret, store);
                 if let Some(v) = v {
                     self.g.add_input(ret, v);
@@ -714,7 +716,8 @@ impl<'p> Builder<'p> {
         let span = body
             .stmts
             .first()
-            .map(span_of_stmt)
+            .map(|s| span_of_stmt(self.prog, s))
+            .or_else(|| cond.map(|c| self.prog.exprs.get(c).span))
             .unwrap_or_else(Span::dummy);
         let entry = self.state.take().expect("reachable loop");
 
@@ -1428,9 +1431,25 @@ impl<'p> Builder<'p> {
             // Store identities returning a pointer into their first
             // argument (paper §5.1.2 footnote 10).
             Strcpy | Strncpy | Strcat | Strchr | Memset => Ok(argvs[0]),
+            Free => {
+                // The store passes through a `Free` node unchanged; the
+                // node exists so the memory-safety checkers can read the
+                // deallocated referents (the kill-set) at its pointer
+                // input.
+                let store = self.store();
+                let st = self.node1(
+                    NodeKind::Free,
+                    ValueKind::Store,
+                    span,
+                    Some(e),
+                    &[argvs[0], store],
+                );
+                self.state().store = st;
+                Ok(self.scalar())
+            }
             _ => {
-                // Pure scalars: strcmp, strlen, printf, getchar, free,
-                // exit, ... `exit` is treated as returning (a sound
+                // Pure scalars: strcmp, strlen, printf, getchar, exit,
+                // ... `exit` is treated as returning (a sound
                 // over-approximation; values flowing "past" it are dead at
                 // runtime and only add may-information).
                 Ok(self.scalar())
@@ -1453,12 +1472,28 @@ impl<'p> Builder<'p> {
 
 // ----- AST walking helpers ------------------------------------------------------
 
-fn span_of_stmt(s: &Stmt) -> Span {
+fn span_of_stmt(p: &Program, s: &Stmt) -> Span {
     match s {
+        Stmt::Expr(e) => p.exprs.get(*e).span,
         Stmt::Return { span, .. } | Stmt::Break(span) | Stmt::Continue(span) => *span,
         Stmt::Local { span, .. } => *span,
         Stmt::Switch { span, .. } => *span,
-        _ => Span::dummy(),
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } | Stmt::DoWhile { cond, .. } => {
+            p.exprs.get(*cond).span
+        }
+        Stmt::For {
+            init, cond, body, ..
+        } => init
+            .as_deref()
+            .map(|s| span_of_stmt(p, s))
+            .or_else(|| cond.map(|c| p.exprs.get(c).span))
+            .or_else(|| body.stmts.first().map(|s| span_of_stmt(p, s)))
+            .unwrap_or_else(Span::dummy),
+        Stmt::Block(b) => b
+            .stmts
+            .first()
+            .map(|s| span_of_stmt(p, s))
+            .unwrap_or_else(Span::dummy),
     }
 }
 

@@ -94,6 +94,7 @@ fn op_str(g: &Graph, kind: &NodeKind) -> String {
         NodeKind::Return { func } => format!("return<{}>", g.func(*func).name),
         NodeKind::Entry { func } => format!("entry<{}>", g.func(*func).name),
         NodeKind::CopyMem => "copymem".into(),
+        NodeKind::Free => "free".into(),
     }
 }
 

@@ -54,6 +54,7 @@ fn node_label(g: &Graph, kind: &NodeKind) -> String {
         NodeKind::Return { func } => format!("return<{}>", g.func(*func).name),
         NodeKind::Entry { func } => format!("entry<{}>", g.func(*func).name),
         NodeKind::CopyMem => "copymem".to_string(),
+        NodeKind::Free => "free".to_string(),
     }
 }
 

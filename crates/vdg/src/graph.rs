@@ -204,6 +204,12 @@ pub enum NodeKind {
     /// `memcpy`-style library model: `inputs [store, dst, src] -> store`.
     /// Store pairs under `src`'s referents are re-rooted under `dst`'s.
     CopyMem,
+    /// `free(p)`: `inputs [ptr, store] -> output store`. The store passes
+    /// through unchanged — deallocation does not change what locations
+    /// hold — but the node records the kill-set (the pointer input's
+    /// referents) the memory-safety checkers read, analogous to how
+    /// strong updates read `Update` location sets.
+    Free,
 }
 
 /// A node: kind, ports, and provenance.
@@ -543,6 +549,7 @@ impl Graph {
                 | NodeKind::ExtractField(_)
                 | NodeKind::ExtractElem => Some(1),
                 NodeKind::Lookup { .. } => Some(2),
+                NodeKind::Free => Some(2),
                 NodeKind::Update { .. } => Some(3),
                 NodeKind::CopyMem => Some(3),
                 NodeKind::PassThrough | NodeKind::Primop | NodeKind::Gamma => None,

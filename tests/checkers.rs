@@ -1,0 +1,183 @@
+//! Checker-level acceptance tests for the memory-safety subsystem:
+//!
+//! * the planted-fault fixtures under `tests/fixtures/` are flagged by
+//!   every one of the five solvers,
+//! * the 13 suite benchmarks produce zero oracle-refuted diagnostics
+//!   (no runtime fault the checkers missed) and their false-positive
+//!   counts are monotone along the precision spectrum,
+//! * golden diagnostic snapshots (13 benchmarks × 5 solvers) under
+//!   `tests/snapshots/checks/`, refreshed like the solver snapshots:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test -p engine --test checkers
+//! ```
+
+use engine::{Engine, Job};
+use std::path::PathBuf;
+
+fn repo_tests_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests")
+}
+
+fn fixture(name: &str) -> String {
+    let path = repo_tests_dir().join("fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"))
+}
+
+#[test]
+fn planted_fixtures_are_flagged_by_every_solver() {
+    use checker::CheckKind;
+    let cases = [
+        ("use_after_free.c", CheckKind::UseAfterFree),
+        ("double_free.c", CheckKind::DoubleFree),
+        ("dangling_load.c", CheckKind::DanglingLocal),
+        ("dead_store.c", CheckKind::DeadStore),
+    ];
+    for (file, kind) in cases {
+        let src = fixture(file);
+        let prog = cfront::compile(&src).unwrap_or_else(|e| panic!("{file}: {e:?}"));
+        let graph = vdg::build::lower(&prog, &vdg::build::BuildOptions::default())
+            .unwrap_or_else(|e| panic!("{file}: {e:?}"));
+        let ci = alias::SolverSpec::ci().solve_ci(&graph);
+        for spec in alias::SolverSpec::all() {
+            let sol = spec
+                .solve(&graph, Some(&ci))
+                .unwrap_or_else(|e| panic!("{file}: {} failed: {e}", spec.name()));
+            let diags = checker::run_checks(&graph, sol.as_ref(), &ci.callees);
+            assert!(
+                diags.iter().any(|d| d.kind == kind),
+                "{file}: solver {} does not flag the planted {:?}; got {:?}",
+                spec.name(),
+                kind,
+                diags.iter().map(|d| d.kind).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn dead_store_fixture_keeps_the_observed_store_unflagged() {
+    let src = fixture("dead_store.c");
+    let prog = cfront::compile(&src).expect("compiles");
+    let graph = vdg::build::lower(&prog, &vdg::build::BuildOptions::default()).expect("lowers");
+    let ci = alias::SolverSpec::ci().solve_ci(&graph);
+    let diags = checker::run_checks(&graph, &ci, &ci.callees);
+    let dead: Vec<_> = diags
+        .iter()
+        .filter(|d| d.kind == checker::CheckKind::DeadStore)
+        .collect();
+    assert_eq!(dead.len(), 1, "exactly the store of x is dead: {dead:?}");
+}
+
+#[test]
+fn suite_checks_have_no_refuted_diagnostics_and_monotone_fps() {
+    let mut run = Engine::new().run(&Job::suite()).expect("suite run");
+    let checks = run.run_checks();
+    assert_eq!(checks.len(), 13);
+    for bc in &checks {
+        for row in &bc.rows {
+            assert!(
+                row.refuted.is_none(),
+                "{}: solver {} missed an oracle-trapped fault: {:?}",
+                bc.name,
+                row.solver,
+                row.refuted
+            );
+        }
+    }
+    assert_eq!(engine::check::fp_monotone_violation(&checks), None);
+    // Check metrics landed in the report for every (bench, solver).
+    for b in &run.report.benchmarks {
+        for s in &b.solvers {
+            assert!(
+                s.checks.is_some(),
+                "{}/{}: no check row",
+                b.name,
+                s.analysis
+            );
+        }
+    }
+}
+
+fn render_checks(b: &engine::BenchOutput, bc: &engine::BenchChecks) -> String {
+    let file = cfront::SourceFile::new(&b.name, &b.source);
+    let mut out = String::new();
+    for row in &bc.rows {
+        out.push_str(&format!("==== {} ====\n", row.solver));
+        for l in &row.labeled {
+            let lc = file.line_col(l.diag.span.start);
+            out.push_str(&format!(
+                "{}:{} [{}] {} ({})\n",
+                lc.line,
+                lc.col,
+                l.diag.kind.name(),
+                l.diag.message,
+                l.label.name()
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn suite_diagnostics_match_golden_snapshots() {
+    let update = std::env::var_os("UPDATE_SNAPSHOTS").is_some();
+    let dir = repo_tests_dir().join("snapshots/checks");
+    let mut run = Engine::new().run(&Job::suite()).expect("suite run");
+    let checks = run.run_checks();
+    let mut stale: Vec<String> = Vec::new();
+    for (b, bc) in run.benches.iter().zip(&checks) {
+        let got = render_checks(b, bc);
+        let path = dir.join(format!("{}.txt", b.name));
+        if update {
+            std::fs::create_dir_all(&dir).expect("snapshot dir");
+            std::fs::write(&path, &got).expect("write snapshot");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|_| panic!("missing snapshot {path:?}; run with UPDATE_SNAPSHOTS=1"));
+        if got != want {
+            let g: Vec<&str> = got.lines().collect();
+            let w: Vec<&str> = want.lines().collect();
+            let k = g
+                .iter()
+                .zip(&w)
+                .position(|(a, b)| a != b)
+                .unwrap_or(g.len().min(w.len()));
+            stale.push(format!(
+                "{}: line {} differs\n  got:  {}\n  want: {}",
+                b.name,
+                k + 1,
+                g.get(k).unwrap_or(&"<eof>"),
+                w.get(k).unwrap_or(&"<eof>")
+            ));
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "stale check snapshots (UPDATE_SNAPSHOTS=1 to refresh after an intentional change):\n{}",
+        stale.join("\n")
+    );
+}
+
+#[test]
+fn check_snapshots_cover_every_benchmark_and_solver() {
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        // The update pass may still be writing files in parallel.
+        return;
+    }
+    let dir = repo_tests_dir().join("snapshots/checks");
+    for b in suite::benchmarks() {
+        let path = dir.join(format!("{}.txt", b.name));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|_| panic!("missing snapshot {path:?}; run with UPDATE_SNAPSHOTS=1"));
+        for solver in ["weihl", "steensgaard", "ci", "k1", "cs"] {
+            assert!(
+                text.contains(&format!("==== {solver} ====")),
+                "{}: check snapshot lacks {solver} section",
+                b.name
+            );
+        }
+    }
+}

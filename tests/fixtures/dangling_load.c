@@ -1,0 +1,13 @@
+/* Planted fault: a local's address escapes its frame through the
+ * return value. Every solver must flag the return as dangling. */
+int *make_dangling(void) {
+    int local;
+    local = 1;
+    return &local;
+}
+
+int main(void) {
+    int *p;
+    p = make_dangling();
+    return 0;
+}

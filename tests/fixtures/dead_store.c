@@ -1,0 +1,14 @@
+/* Planted fault: the store through p writes x, which no lookup ever
+ * reads — a dead store under every solver. The store through q is
+ * observed by the return and must stay unflagged. */
+int main(void) {
+    int x;
+    int y;
+    int *p;
+    int *q;
+    p = &x;
+    q = &y;
+    *p = 1;
+    *q = 2;
+    return *q;
+}

@@ -1,0 +1,12 @@
+/* Planted fault: the same block freed twice through an alias.
+ * Every solver sees {p, q} -> the same heap block, so the second
+ * free must be flagged as double-free. */
+int main(void) {
+    int *p;
+    int *q;
+    p = (int *) malloc(sizeof(int));
+    q = p;
+    free(p);
+    free(q);
+    return 0;
+}

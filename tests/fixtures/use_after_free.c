@@ -1,0 +1,10 @@
+/* Planted fault: read through a pointer after its block is freed.
+ * Minimal form of the fuzzer's planted-fault family; every solver
+ * must flag the final load as use-after-free. */
+int main(void) {
+    int *p;
+    p = (int *) malloc(sizeof(int));
+    *p = 1;
+    free(p);
+    return *p;
+}

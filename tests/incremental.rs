@@ -17,10 +17,7 @@ use engine::{Engine, EngineRun, Job};
 use suite::edit::{apply_random_edit, edit_chain};
 
 fn job(name: &str, source: &str) -> Job {
-    Job {
-        name: name.into(),
-        source: source.into(),
-    }
+    Job::new(name, source)
 }
 
 /// CI-only engine: the seeded-resume path is the only solver with a

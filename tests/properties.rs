@@ -234,6 +234,153 @@ fn big_programs_stay_within_budget() {
     }
 }
 
+/// Client-level monotonicity: the paper's two motivating clients
+/// (§3.2 mod/ref and def/use), computed at the base granularity every
+/// solver supports, nest along the precision spectrum — CS ⊆ CI ⊆
+/// Weihl/Steensgaard and k=1 ⊆ CI, per function and per use — over all
+/// 13 paper benchmarks. Plus direct unit tests for the base-granular
+/// variants on hand-written fixtures.
+mod client_monotonicity {
+    use alias::defuse::def_use_bases;
+    use alias::modref::{mod_ref_bases, ModRefBasesSummary};
+    use alias::SolverSpec;
+    use vdg::build::{lower, BuildOptions};
+
+    /// Solver chains where the left solution's base sets are contained
+    /// in the right's at every output.
+    const CHAINS: [(&str, &str); 4] = [
+        ("cs", "ci"),
+        ("k1", "ci"),
+        ("ci", "weihl"),
+        ("ci", "steensgaard"),
+    ];
+
+    fn pipeline(src: &str) -> (vdg::Graph, alias::CiResult) {
+        let prog = cfront::compile(src).expect("compiles");
+        let graph = lower(&prog, &BuildOptions::default()).expect("lowers");
+        let ci = SolverSpec::ci().solve_ci(&graph);
+        (graph, ci)
+    }
+
+    fn summaries(
+        graph: &vdg::Graph,
+        ci: &alias::CiResult,
+    ) -> Vec<(String, ModRefBasesSummary, alias::defuse::DefUse)> {
+        SolverSpec::all()
+            .iter()
+            .map(|spec| {
+                let sol = spec.solve(graph, Some(ci)).expect("budget");
+                (
+                    spec.name().to_string(),
+                    mod_ref_bases(graph, sol.as_ref(), &ci.callees),
+                    def_use_bases(graph, sol.as_ref(), &ci.callees),
+                )
+            })
+            .collect()
+    }
+
+    fn assert_nested(
+        bench: &str,
+        graph: &vdg::Graph,
+        all: &[(String, ModRefBasesSummary, alias::defuse::DefUse)],
+    ) {
+        let by_name = |n: &str| {
+            all.iter()
+                .find(|(name, _, _)| name == n)
+                .expect("solver ran")
+        };
+        for (fine, coarse) in CHAINS {
+            let (_, f_mr, f_du) = by_name(fine);
+            let (_, c_mr, c_du) = by_name(coarse);
+            for func in graph.func_ids() {
+                for (label, f_sum, c_sum) in [
+                    ("direct", &f_mr.direct[&func], &c_mr.direct[&func]),
+                    (
+                        "transitive",
+                        &f_mr.transitive[&func],
+                        &c_mr.transitive[&func],
+                    ),
+                ] {
+                    assert!(
+                        f_sum.refs.is_subset(&c_sum.refs) && f_sum.mods.is_subset(&c_sum.mods),
+                        "{bench}: {label} mod/ref of {} not nested {fine} ⊆ {coarse}",
+                        graph.func(func).name
+                    );
+                }
+            }
+            for (lookup, f_defs) in &f_du.uses {
+                let c_defs = c_du.defs_of(*lookup);
+                for d in f_defs {
+                    assert!(
+                        c_defs.contains(d),
+                        "{bench}: def/use edge {lookup:?} -> {d:?} in {fine} missing from {coarse}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modref_and_defuse_nest_across_solvers_on_the_suite() {
+        for b in suite::benchmarks() {
+            let (graph, ci) = pipeline(b.source);
+            let all = summaries(&graph, &ci);
+            assert_nested(b.name, &graph, &all);
+        }
+    }
+
+    #[test]
+    fn base_granular_modref_works_for_the_unification_baseline() {
+        // Steensgaard has no per-point pair sets, so only the base
+        // variant can summarize it; the indirect write through `p` must
+        // land in poke's mod set under every solver.
+        let (graph, ci) = pipeline(
+            "int x; int y;\n\
+             void poke(int *p) { *p = 7; }\n\
+             int main(void) { poke(&x); poke(&y); return x + y; }",
+        );
+        let poke = graph
+            .func_ids()
+            .find(|&f| graph.func(f).name == "poke")
+            .expect("poke exists");
+        for (name, mr, _) in summaries(&graph, &ci) {
+            assert!(
+                mr.direct[&poke].mods.len() >= 2,
+                "{name}: poke must modify both x and y"
+            );
+            assert!(
+                mr.direct[&poke].refs.is_empty(),
+                "{name}: poke reads nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn base_granular_defuse_has_no_strong_kills() {
+        // The path-granular walk kills the first `g = 1` at the strong
+        // update `g = 2`; the base-granular walk deliberately keeps it
+        // (whole-base kills are unsound for interior paths), so the read
+        // sees both defs. This asymmetry is what makes the base variant
+        // monotone across solvers.
+        let src = "int g; int main(void) { int *p; p = &g; g = 1; g = 2; return *p; }";
+        let (graph, ci) = pipeline(src);
+        let read = graph
+            .indirect_mem_ops()
+            .into_iter()
+            .find(|&(_, w)| !w)
+            .map(|(n, _)| n)
+            .expect("indirect read");
+        let path_du = alias::defuse::def_use(&graph, &ci, &ci.callees);
+        let base_du = def_use_bases(&graph, &ci, &ci.callees);
+        assert_eq!(path_du.defs_of(read).len(), 1, "strong kill applies");
+        assert_eq!(
+            base_du.defs_of(read).len(),
+            2,
+            "no kill at base granularity"
+        );
+    }
+}
+
 /// Access-path algebra properties, driven by op scripts drawn from the
 /// suite's deterministic PRNG instead of a strategy combinator.
 mod path_algebra {

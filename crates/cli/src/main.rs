@@ -14,10 +14,12 @@ use alias::stats::compare_at_indirect_refs;
 use alias::{Analysis, AnalysisError, CsConfig};
 use std::process::ExitCode;
 
+mod dispatch;
+
 /// One entry in the subcommand table. `value_flags` lists the flags
 /// that consume the following argument; everything else starting with
 /// `--` is a boolean switch.
-struct Command {
+pub(crate) struct Command {
     name: &'static str,
     /// Argument synopsis after the command name, for usage lines.
     synopsis: &'static str,
@@ -29,7 +31,7 @@ struct Command {
     run: fn(&Ctx) -> Result<(), String>,
 }
 
-const SOURCE_ARG: &str = "<file.c | bench:NAME>";
+pub(crate) const SOURCE_ARG: &str = "<file.c | bench:NAME>";
 
 const COMMANDS: &[Command] = &[
     Command {
@@ -107,6 +109,38 @@ const COMMANDS: &[Command] = &[
         },
     },
     Command {
+        name: "analyze",
+        synopsis: "[<file.c | bench:NAME>] [--suite] [--fresh] [--json] [--connect ADDR]",
+        about: "full solver stack via the typed request API; prints fingerprints",
+        flag_help: &[
+            "--suite         analyze every bundled benchmark instead of one source",
+            "--fresh         bypass every cache and solve from scratch",
+            "--project NAME  session name on the service (default cli)",
+            "--json          print the full typed response as JSON",
+            "--connect ADDR  send to a running `ruf95 serve` daemon",
+            "--store DIR     persistent summary store for in-process runs",
+        ],
+        value_flags: &["project", "connect", "store", "mem-budget", "threads"],
+        needs_source: false,
+        run: dispatch::cmd_analyze,
+    },
+    Command {
+        name: "query",
+        synopsis: "<file.c | bench:NAME> (--site N | --a N --b N) [--analysis NAME]",
+        about: "point alias queries against an analyzed benchmark",
+        flag_help: &[
+            "--site N         referent set at indirect ref N",
+            "--a N / --b N    may-alias verdict for indirect refs N and M",
+            "--analysis NAME  solver to query (default ci)",
+            "--project NAME   session name on the service (default cli)",
+            "--json           print the full typed response as JSON",
+            "--connect ADDR   send to a running `ruf95 serve` daemon",
+        ],
+        value_flags: &["site", "a", "b", "analysis", "project", "connect", "store"],
+        needs_source: true,
+        run: dispatch::cmd_query,
+    },
+    Command {
         name: "check",
         synopsis: "[<file.c | bench:NAME>] [--suite] [--analysis NAME] [--json]",
         about: "memory-safety checkers with oracle-labeled precision table",
@@ -114,10 +148,13 @@ const COMMANDS: &[Command] = &[
             "--suite          check every bundled benchmark instead of one source",
             "--analysis NAME  solver whose diagnostics are rendered (default ci)",
             "--json           print the metrics report and diagnostics as JSON",
+            "--project NAME   session name on the service (default cli)",
+            "--connect ADDR   send to a running `ruf95 serve` daemon",
+            "--store DIR      persistent summary store for in-process runs",
         ],
-        value_flags: &["analysis"],
+        value_flags: &["analysis", "project", "connect", "store"],
         needs_source: false,
-        run: cmd_check,
+        run: dispatch::cmd_check,
     },
     Command {
         name: "fuzz",
@@ -141,14 +178,56 @@ const COMMANDS: &[Command] = &[
         synopsis: "<file.c | bench:NAME> [--edits N] [--seed N] [--next FILE] [--json]",
         about: "re-analyze after edits, reusing memoized summaries",
         flag_help: &[
-            "--edits N    length of the seeded edit chain (default 3)",
-            "--seed N     seed for the edit generator (default 1995)",
-            "--next FILE  re-analyze FILE's contents instead of generating edits",
-            "--json       print a JSON array of steps (edit, cross-check, report)",
+            "--edits N       length of the seeded edit chain (default 3)",
+            "--seed N        seed for the edit generator (default 1995)",
+            "--next FILE     re-analyze FILE's contents instead of generating edits",
+            "--json          print a JSON array of steps (edit, cross-check, report)",
+            "--project NAME  session name on the service (default incremental)",
+            "--connect ADDR  push the edit chain through a running daemon's session",
+            "--store DIR     persistent summary store for in-process runs",
         ],
-        value_flags: &["edits", "seed", "next"],
+        value_flags: &["edits", "seed", "next", "project", "connect", "store"],
         needs_source: true,
-        run: cmd_incremental,
+        run: dispatch::cmd_incremental,
+    },
+    Command {
+        name: "serve",
+        synopsis: "[--addr HOST:PORT] [--store DIR] [--mem-budget BYTES] [--threads N]",
+        about: "persistent analysis daemon (JSON over TCP)",
+        flag_help: &[
+            "--addr HOST:PORT    listen address (default 127.0.0.1:7095)",
+            "--store DIR         persist summaries/fingerprints across restarts",
+            "--mem-budget BYTES  LRU-evict idle sessions over this estimate (0 = off)",
+            "--threads N         worker threads per request, 0 = all cores",
+        ],
+        value_flags: &["addr", "store", "mem-budget", "threads"],
+        needs_source: false,
+        run: dispatch::cmd_serve,
+    },
+    Command {
+        name: "client",
+        synopsis: "--connect HOST:PORT [REQUESTS.jsonl | -]",
+        about: "send newline-delimited JSON requests to a daemon",
+        flag_help: &[
+            "--connect ADDR  daemon address (required)",
+            "reads requests from the file argument, or stdin when absent/`-`",
+        ],
+        value_flags: &["connect"],
+        needs_source: false,
+        run: dispatch::cmd_client,
+    },
+    Command {
+        name: "serve-bench",
+        synopsis: "[--iters N] [--store DIR] [--out FILE]",
+        about: "measure cold/warm/restored latency and socket throughput",
+        flag_help: &[
+            "--iters N    socket query iterations (default 200)",
+            "--store DIR  store directory for the restart leg (default: temp)",
+            "--out FILE   output path (default BENCH_pr6.json)",
+        ],
+        value_flags: &["iters", "store", "out"],
+        needs_source: false,
+        run: dispatch::cmd_serve_bench,
     },
     Command {
         name: "list",
@@ -173,8 +252,8 @@ const COMMANDS: &[Command] = &[
 
 /// Flags shared by every command, split from the positionals once the
 /// command's `value_flags` are known.
-struct Flags {
-    positional: Vec<String>,
+pub(crate) struct Flags {
+    pub(crate) positional: Vec<String>,
     switches: Vec<(String, Option<String>)>,
 }
 
@@ -206,18 +285,22 @@ impl Flags {
         Ok(flags)
     }
 
-    fn has(&self, name: &str) -> bool {
+    pub(crate) fn has(&self, name: &str) -> bool {
         self.switches.iter().any(|(k, _)| k == name)
     }
 
-    fn get(&self, name: &str) -> Option<&str> {
+    pub(crate) fn get(&self, name: &str) -> Option<&str> {
         self.switches
             .iter()
             .find(|(k, _)| k == name)
             .and_then(|(_, v)| v.as_deref())
     }
 
-    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    pub(crate) fn get_parsed<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, String> {
         match self.switches.iter().find(|(k, _)| k == name) {
             Some((_, Some(v))) => v
                 .parse()
@@ -230,10 +313,10 @@ impl Flags {
 
 /// Everything a command handler needs: the loaded source (empty for
 /// sourceless commands like `fuzz` and `list`) plus the parsed flags.
-struct Ctx {
-    name: String,
-    source: String,
-    flags: Flags,
+pub(crate) struct Ctx {
+    pub(crate) name: String,
+    pub(crate) source: String,
+    pub(crate) flags: Flags,
 }
 
 impl Ctx {
@@ -288,7 +371,7 @@ fn job_for(name: &str, source: &str) -> engine::Job {
     job
 }
 
-fn load_source(spec: &str) -> Result<(String, String), String> {
+pub(crate) fn load_source(spec: &str) -> Result<(String, String), String> {
     if let Some(name) = spec.strip_prefix("bench:") {
         let b = suite::by_name(name)
             .ok_or_else(|| format!("unknown benchmark `{name}` (try `ruf95 list`)"))?;
@@ -526,94 +609,6 @@ fn cmd_spectrum(name: &str, source: &str, json: bool) -> Result<(), AnalysisErro
     Ok(())
 }
 
-/// Memory-safety checkers under all five solvers with oracle labels:
-/// runs the engine once, reuses every solver's solution for the six
-/// checkers, labels each diagnostic against one interpreter run per
-/// benchmark, and prints the paper-style precision table plus rendered
-/// caret diagnostics for one solver. Exits nonzero if any solver+checker
-/// pair missed an oracle-trapped runtime fault (a refuted diagnostic) or
-/// the false-positive counts break spectrum monotonicity.
-fn cmd_check(cx: &Ctx) -> Result<(), String> {
-    let jobs = if cx.flags.has("suite") {
-        engine::Job::suite()
-    } else if let Some(spec) = cx.flags.positional.first() {
-        let (name, source) = load_source(spec)?;
-        vec![job_for(&name, &source)]
-    } else {
-        return Err(format!("expected {SOURCE_ARG} or --suite"));
-    };
-    let analysis = cx.flags.get("analysis").unwrap_or("ci").to_string();
-    let mut run = engine::Engine::new().run(&jobs).map_err(|e| match &e {
-        AnalysisError::Frontend(f) => {
-            // Attribute the diagnostic to whichever job fails to
-            // compile (single-source runs have exactly one).
-            let file = jobs
-                .iter()
-                .find(|j| cfront::compile(&j.source).is_err())
-                .map(|j| cfront::SourceFile::new(&j.name, &j.source));
-            match file {
-                Some(file) => f.render(&file),
-                None => e.to_string(),
-            }
-        }
-        other => other.to_string(),
-    })?;
-    let checks = run.run_checks();
-    if cx.flags.has("json") {
-        let diags: Vec<String> = run
-            .benches
-            .iter()
-            .zip(&checks)
-            .map(|(b, bc)| {
-                format!(
-                    "    {}: {}",
-                    jstr(&b.name),
-                    engine::check::diagnostics_json(b, bc, &analysis)
-                )
-            })
-            .collect();
-        println!(
-            "{{\n  \"report\": {},\n  \"diagnostics\": {{\n{}\n  }}\n}}",
-            run.report.to_json().trim_end(),
-            diags.join(",\n")
-        );
-    } else {
-        for (b, bc) in run.benches.iter().zip(&checks) {
-            println!("== {} ==", b.name);
-            print!("{}", checker::render_table(&bc.rows));
-            let rendered = engine::check::render_diagnostics(b, bc, &analysis);
-            if rendered.is_empty() {
-                println!("[{analysis}] no diagnostics");
-            } else {
-                print!("{rendered}");
-            }
-            println!();
-        }
-        let (total, tp, fp, unreach) = engine::check::totals_for(&checks, &analysis);
-        println!(
-            "[{analysis}] {total} diagnostic(s): {tp} true positive(s), \
-             {fp} false positive(s), {unreach} unreachable"
-        );
-    }
-    let refuted: Vec<&str> = run
-        .benches
-        .iter()
-        .zip(&checks)
-        .filter(|(_, bc)| bc.any_refuted())
-        .map(|(b, _)| b.name.as_str())
-        .collect();
-    if !refuted.is_empty() {
-        return Err(format!(
-            "oracle-refuted diagnostics (missed true positives) in: {}",
-            refuted.join(", ")
-        ));
-    }
-    if let Some(v) = engine::check::fp_monotone_violation(&checks) {
-        return Err(format!("false-positive monotonicity violated: {v}"));
-    }
-    Ok(())
-}
-
 /// Differential fuzzing campaign: generates seeded mini-C programs,
 /// runs all five solvers on each, and cross-checks soundness against
 /// the interpreter, the precision lattice, and naive-vs-delta
@@ -654,112 +649,6 @@ fn cmd_fuzz(cx: &Ctx) -> Result<(), String> {
 
 /// Minimal JSON string literal for the `incremental --json` envelope
 /// (edit descriptions contain no control characters).
-fn jstr(s: &str) -> String {
+pub(crate) fn jstr(s: &str) -> String {
     format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
-}
-
-/// True when every solver's canonical solution fingerprint agrees
-/// between an incremental bench output and a from-scratch one.
-fn benches_equivalent(inc: &engine::BenchOutput, fresh: &engine::BenchOutput) -> bool {
-    use alias::solver::solution_fingerprint;
-    fresh.solutions.iter().all(
-        |fs| match (fs.solution.as_deref(), inc.solution(&fs.analysis)) {
-            (Some(f), Some(i)) => {
-                solution_fingerprint(i, &inc.graph) == solution_fingerprint(f, &fresh.graph)
-            }
-            (None, None) => true,
-            _ => false,
-        },
-    )
-}
-
-/// Incremental re-analysis walkthrough: analyze the base program with
-/// the full solver stack, then push each edited version through one
-/// persistent `engine::SummaryCache`, printing which tier answered
-/// every solver (verbatim replay, seeded dirty-cone resume, or a
-/// from-scratch solve with the structural reason) and cross-checking
-/// every step's solutions against a from-scratch run. Exits nonzero if
-/// any step diverges — incremental reuse must be invisible.
-fn cmd_incremental(cx: &Ctx) -> Result<(), String> {
-    let edits: usize = cx.flags.get_parsed("edits", 3)?;
-    let seed: u64 = cx.flags.get_parsed("seed", 1995)?;
-    let json = cx.flags.has("json");
-    let steps: Vec<(String, String)> = match cx.flags.get("next") {
-        Some(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            vec![(format!("replace with {path}"), text)]
-        }
-        None => suite::edit::edit_chain(&cx.source, seed, edits)
-            .into_iter()
-            .map(|s| {
-                (
-                    format!("{} [{}]", s.edit.description, s.edit.kind.name()),
-                    s.source,
-                )
-            })
-            .collect(),
-    };
-    if steps.is_empty() {
-        return Err("no applicable edit found (try another --seed)".into());
-    }
-    let e = engine::Engine::new();
-    let mut cache = e.cache();
-    let base = vec![job_for(&cx.name, &cx.source)];
-    e.analyze_incremental_with(&mut cache, &base)
-        .map_err(|err| cx.render_err(err))?;
-    if !json {
-        println!("base: {} analyzed, summary cache primed", cx.name);
-    }
-    let mut rows = Vec::new();
-    let mut mismatches = 0usize;
-    for (i, (desc, source)) in steps.iter().enumerate() {
-        let jobs = vec![job_for(&cx.name, source)];
-        let inc = e
-            .analyze_incremental_with(&mut cache, &jobs)
-            .map_err(|err| cx.render_err(err))?;
-        let fresh = e.run(&jobs).map_err(|err| cx.render_err(err))?;
-        let matches = benches_equivalent(&inc.benches[0], &fresh.benches[0]);
-        if !matches {
-            mismatches += 1;
-        }
-        if json {
-            rows.push(format!(
-                "  {{\"edit\": {}, \"matches_fresh\": {}, \"report\": {}}}",
-                jstr(desc),
-                matches,
-                inc.report.to_json().trim_end()
-            ));
-            continue;
-        }
-        println!("\nstep {}/{}: {}", i + 1, steps.len(), desc);
-        for s in &inc.report.benchmarks[0].solvers {
-            println!("  {:<12} {}", s.analysis, s.mode.as_deref().unwrap_or("-"));
-        }
-        if let Some(st) = &inc.report.incremental {
-            println!(
-                "  summaries reused {}/{} functions; {} solution(s) replayed verbatim",
-                st.funcs_reused,
-                st.funcs_reused + st.funcs_dirty,
-                st.solutions_replayed
-            );
-        }
-        println!(
-            "  from-scratch cross-check: {}",
-            if matches {
-                "identical solutions"
-            } else {
-                "MISMATCH"
-            }
-        );
-    }
-    if json {
-        println!("[\n{}\n]", rows.join(",\n"));
-    }
-    if mismatches == 0 {
-        Ok(())
-    } else {
-        Err(format!(
-            "{mismatches} step(s) diverged from from-scratch analysis"
-        ))
-    }
 }

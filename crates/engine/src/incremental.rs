@@ -92,13 +92,15 @@ impl SolveMode {
     }
 }
 
+/// What [`SummaryCache::summaries_of`] hands a persistent store: the
+/// source hash and graph fingerprint one benchmark's summaries were
+/// extracted under, plus the shared summary map itself.
+pub type StoredSummaries = (u64, u64, Arc<alias::fxhash::HashMap<String, FuncSummary>>);
+
 /// One benchmark's memoized artifacts from a previous run.
 struct ProgramEntry {
     source_hash: u64,
     graph_fp: u64,
-    program: Arc<cfront::Program>,
-    graph: Arc<Graph>,
-    ci: Arc<CiResult>,
     /// Memoized facts by function name. Matching stays
     /// content-addressed — a summary seeds a next-graph function only
     /// when its recorded fingerprint (which hashes the name and full
@@ -106,6 +108,21 @@ struct ProgramEntry {
     /// summaries, to invalidate the callees of edited and deleted
     /// functions.
     summaries: Arc<alias::fxhash::HashMap<String, FuncSummary>>,
+    /// In-memory artifacts, present for entries absorbed from a live
+    /// run. `None` for entries restored from a disk store, which carry
+    /// only the summaries: a restored entry cannot replay at tiers 1–2
+    /// (there are no cached solutions to hand back) but seeds the
+    /// tier-3 CI resume, which with an unchanged graph re-solves an
+    /// empty dirty cone instead of the whole program.
+    arts: Option<EntryArtifacts>,
+}
+
+/// The replay-grade artifacts of a [`ProgramEntry`]: everything tiers
+/// 1–2 hand back verbatim.
+struct EntryArtifacts {
+    program: Arc<cfront::Program>,
+    graph: Arc<Graph>,
+    ci: Arc<CiResult>,
     /// Cached solver solutions by analysis name. `SolutionBox` is
     /// `Send` but not `Sync`, so these live and replay on the driver
     /// thread only.
@@ -129,6 +146,93 @@ impl SummaryCache {
     /// Whether the cache holds no benchmark.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// The engine CI spec key this cache's facts were computed under.
+    /// Persistent stores record it so a restored cache is never seeded
+    /// into an engine with different solver knobs.
+    pub fn ci_spec_key(&self) -> &str {
+        &self.ci_spec_key
+    }
+
+    /// Benchmark names with cached artifacts, sorted.
+    pub fn bench_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Order-of-magnitude estimate of this cache's resident memory, in
+    /// bytes. Counts the dominant owners — VDG nodes/outputs, memoized
+    /// summary pairs, and cached solution pairs — at fixed per-item
+    /// costs; auxiliary structure (hash tables, Arc headers, strings)
+    /// rides in the constants. Used by the serving layer's LRU eviction
+    /// budget, where relative session weight matters and exact byte
+    /// counts do not.
+    pub fn approx_bytes(&self) -> usize {
+        self.entries
+            .values()
+            .map(|e| {
+                let summaries: usize = e
+                    .summaries
+                    .values()
+                    .map(|s| {
+                        48 * s.outputs.iter().map(Vec::len).sum::<usize>() + 32 * s.calls.len() + 64
+                    })
+                    .sum();
+                let arts = e
+                    .arts
+                    .as_ref()
+                    .map(|a| {
+                        64 * a.graph.node_count()
+                            + 32 * a.graph.output_count()
+                            + a.solutions
+                                .values()
+                                .map(|s| 32 * s.pairs().unwrap_or(a.graph.output_count()) + 256)
+                                .sum::<usize>()
+                    })
+                    .unwrap_or(0);
+                summaries + arts + 512
+            })
+            .sum()
+    }
+
+    /// Seeds the cache with per-function summaries restored from a
+    /// persistent store, keyed to the `source_hash`/`graph_fp` they
+    /// were extracted under. The entry carries no programs or
+    /// solutions, so the next analyze of the benchmark cannot replay
+    /// at tiers 1–2; instead it recompiles and — when the lowered
+    /// graph's fingerprint still matches function-for-function — seeds
+    /// the tier-3 CI resume from the restored summaries, re-solving an
+    /// empty dirty cone. The subset-seeding theorem makes the result
+    /// bit-identical to a from-scratch solve either way, so a corrupt
+    /// or stale store can cost time but never correctness.
+    pub fn seed_restored(
+        &mut self,
+        name: &str,
+        source_hash: u64,
+        graph_fp: u64,
+        summaries: alias::fxhash::HashMap<String, FuncSummary>,
+    ) {
+        self.entries.insert(
+            name.to_string(),
+            ProgramEntry {
+                source_hash,
+                graph_fp,
+                summaries: Arc::new(summaries),
+                arts: None,
+            },
+        );
+    }
+
+    /// The memoized summaries of one benchmark, with the source hash
+    /// and graph fingerprint they were extracted under — everything a
+    /// persistent store needs to rebuild the entry via
+    /// [`SummaryCache::seed_restored`].
+    pub fn summaries_of(&self, name: &str) -> Option<StoredSummaries> {
+        self.entries
+            .get(name)
+            .map(|e| (e.source_hash, e.graph_fp, Arc::clone(&e.summaries)))
     }
 
     /// Memoizes every benchmark of `run`: summaries are extracted from
@@ -167,11 +271,13 @@ impl SummaryCache {
             ProgramEntry {
                 source_hash: fnv64(b.source.as_bytes()),
                 graph_fp: index.graph_fp,
-                program: Arc::clone(&b.program),
-                graph: Arc::clone(&b.graph),
-                ci: Arc::clone(&b.ci),
                 summaries: Arc::new(summaries),
-                solutions,
+                arts: Some(EntryArtifacts {
+                    program: Arc::clone(&b.program),
+                    graph: Arc::clone(&b.graph),
+                    ci: Arc::clone(&b.ci),
+                    solutions,
+                }),
             },
         );
     }
@@ -184,6 +290,10 @@ struct PrevMeta {
     source_hash: u64,
     graph_fp: u64,
     summaries: Arc<alias::fxhash::HashMap<String, FuncSummary>>,
+    /// Whether the entry holds cached solutions to replay. Restored
+    /// (summaries-only) entries must skip tiers 1–2 and go straight to
+    /// the seeded resume, whatever the fingerprints say.
+    replayable: bool,
 }
 
 /// Stage-1 product of one benchmark in an incremental run.
@@ -276,6 +386,7 @@ impl Engine {
                     source_hash: e.source_hash,
                     graph_fp: e.graph_fp,
                     summaries: Arc::clone(&e.summaries),
+                    replayable: e.arts.is_some(),
                 })
             })
             .collect();
@@ -365,6 +476,7 @@ impl Engine {
             total_wall: t_run.elapsed(),
             benchmarks: outputs.iter().map(BenchOutput::report).collect(),
             incremental: Some(stats),
+            serve: None,
         };
         Ok(EngineRun {
             report,
@@ -379,7 +491,7 @@ impl Engine {
     ) -> Result<IncPrep, AnalysisError> {
         let t0 = Instant::now();
         if let Some(m) = meta {
-            if fnv64(job.source.as_bytes()) == m.source_hash {
+            if m.replayable && fnv64(job.source.as_bytes()) == m.source_hash {
                 return Ok(IncPrep::ReplaySource {
                     frontend: t0.elapsed(),
                 });
@@ -395,7 +507,7 @@ impl Engine {
         let graph = Arc::new(graph);
 
         if let Some(m) = meta {
-            if index.unsafe_reason.is_none() && index.graph_fp == m.graph_fp {
+            if m.replayable && index.unsafe_reason.is_none() && index.graph_fp == m.graph_fp {
                 return Ok(IncPrep::ReplayGraph {
                     program,
                     graph,
@@ -490,13 +602,14 @@ impl Engine {
             IncPrep::ReplaySource { frontend } => {
                 stats.benches_replayed += 1;
                 let e = cache.entries.get(&job.name).expect("matched in stage 1");
+                let a = e.arts.as_ref().expect("tier 1 requires artifacts");
                 let mut out = BenchOutput {
                     name: job.name.clone(),
                     source: job.source.clone(),
                     input: job.input.clone(),
-                    program: Arc::clone(&e.program),
-                    graph: Arc::clone(&e.graph),
-                    ci: Arc::clone(&e.ci),
+                    program: Arc::clone(&a.program),
+                    graph: Arc::clone(&a.graph),
+                    ci: Arc::clone(&a.ci),
                     ci_wall: Duration::ZERO,
                     frontend,
                     lowering: Duration::ZERO,
@@ -513,13 +626,14 @@ impl Engine {
             } => {
                 stats.benches_replayed += 1;
                 let e = cache.entries.get(&job.name).expect("matched in stage 1");
+                let a = e.arts.as_ref().expect("tier 2 requires artifacts");
                 let mut out = BenchOutput {
                     name: job.name.clone(),
                     source: job.source.clone(),
                     input: job.input.clone(),
                     program,
                     graph,
-                    ci: Arc::clone(&e.ci),
+                    ci: Arc::clone(&a.ci),
                     ci_wall: Duration::ZERO,
                     frontend,
                     lowering,
@@ -536,8 +650,9 @@ impl Engine {
                     .get_mut(&job.name)
                     .expect("matched in stage 1");
                 e.source_hash = fnv64(job.source.as_bytes());
-                e.program = Arc::clone(&out.program);
-                e.graph = Arc::clone(&out.graph);
+                let a = e.arts.as_mut().expect("tier 2 requires artifacts");
+                a.program = Arc::clone(&out.program);
+                a.graph = Arc::clone(&out.graph);
                 Ok((out, None))
             }
             IncPrep::Solve {
@@ -598,9 +713,10 @@ impl Engine {
         stats: &mut IncrementalStats,
     ) {
         let e = cache.entries.get(&out.name).expect("replay needs an entry");
+        let a = e.arts.as_ref().expect("replay requires artifacts");
         for s in &self.solvers {
             let t = Instant::now();
-            if let Some(sol) = e.solutions.get(s.name()) {
+            if let Some(sol) = a.solutions.get(s.name()) {
                 stats.solutions_replayed += 1;
                 out.solutions.push(Solved {
                     analysis: s.name().to_string(),

@@ -46,7 +46,9 @@ pub mod shrink;
 pub use check::{BenchChecks, CheckCache};
 pub use fuzz::{FuzzConfig, FuzzReport, FuzzViolation, PlantedFault};
 pub use incremental::{SolveMode, SummaryCache};
-pub use report::{BenchmarkReport, CheckMetrics, EngineReport, IncrementalStats, SolverMetrics};
+pub use report::{
+    BenchmarkReport, CheckMetrics, EngineReport, IncrementalStats, ServeStats, SolverMetrics,
+};
 
 use alias::ci::CiResult;
 use alias::cs::CsResult;
@@ -304,6 +306,7 @@ impl Engine {
             total_wall: t_run.elapsed(),
             benchmarks: outputs.iter().map(BenchOutput::report).collect(),
             incremental: None,
+            serve: None,
         };
         Ok(EngineRun {
             report,
@@ -410,7 +413,10 @@ impl BenchOutput {
         self.solution("cs").and_then(Solution::as_cs)
     }
 
-    fn report(&self) -> BenchmarkReport {
+    /// The per-benchmark metrics row this output contributes to an
+    /// [`EngineReport`]. Public so the serving layer can assemble
+    /// reports for restored sessions without re-running the engine.
+    pub fn report(&self) -> BenchmarkReport {
         BenchmarkReport {
             name: self.name.clone(),
             lines: self.source.lines().filter(|l| !l.trim().is_empty()).count(),

@@ -5,12 +5,15 @@
 //! report is flat enough that a serializer library would be the only
 //! reason to stop being so. All durations are reported twice: as
 //! `*_ns` integer nanoseconds (exact) and implicitly via the
-//! benchmark's stage order. A *fingerprint* is the same document with
-//! every timing and the thread count zeroed — and the delta-batch
-//! counters (`dedup_hits`, `delta_batches`, `deliveries_saved`, which
-//! measure the propagation *schedule*, not the solution) nulled — so two
-//! runs can be compared for semantic equality regardless of scheduling,
-//! thread count, or propagation discipline.
+//! benchmark's stage order. A *fingerprint* is the rendering of the
+//! [`EngineReport::canonical`] form of the report — the same document
+//! with every fingerprint-exempt field scrubbed — so two runs can be
+//! compared for semantic equality regardless of scheduling, thread
+//! count, propagation discipline, cache state, or serving transport.
+//! `canonical` is the **single authority** on which fields are exempt;
+//! any new work-description field (daemon latency, cache-hit counters,
+//! …) must be scrubbed there, and nowhere else, or it would silently
+//! perturb fingerprints.
 
 use std::time::Duration;
 
@@ -24,9 +27,12 @@ pub struct SolverMetrics {
     /// Total points-to pairs (`None` for the unification solver) — the
     /// solution-size / peak-pair metric.
     pub pairs: Option<usize>,
-    /// Transfer-function applications (worklist iterations).
+    /// Transfer-function applications (worklist iterations). A seeded
+    /// resume reaches the same fixpoint in fewer applications than a
+    /// from-scratch solve, so the fingerprint nulls it.
     pub flow_ins: Option<u64>,
-    /// Meet operations.
+    /// Meet operations (work-dependent like `flow_ins`; nulled in the
+    /// fingerprint).
     pub flow_outs: Option<u64>,
     /// Emission attempts deduplicated by the committed sets
     /// (scheduling-dependent; nulled in the fingerprint).
@@ -126,6 +132,23 @@ pub struct BenchmarkReport {
     pub solvers: Vec<SolverMetrics>,
 }
 
+/// Serving-side counters the `ruf95 serve` daemon attaches to reports
+/// it returns over the wire: how fast the request was handled and how
+/// much of it came from the session cache. Pure work description —
+/// [`EngineReport::canonical`] scrubs the whole block.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Wall time the service spent handling the request, microseconds.
+    pub latency_us: u64,
+    /// Benchmarks replayed verbatim from the session cache.
+    pub benches_replayed: usize,
+    /// Individual solver solutions replayed from cache.
+    pub solutions_replayed: usize,
+    /// Whether the request warm-started its session from the disk
+    /// store.
+    pub restored: bool,
+}
+
 /// The full result of an engine run.
 #[derive(Debug, Clone)]
 pub struct EngineReport {
@@ -139,18 +162,57 @@ pub struct EngineReport {
     /// the timings, these describe the work done rather than the
     /// solution, so the fingerprint nulls them.
     pub incremental: Option<IncrementalStats>,
+    /// Serving counters, attached only by the `ruf95 serve` daemon.
+    /// Work description like `incremental`; fingerprint-exempt.
+    pub serve: Option<ServeStats>,
 }
 
 impl EngineReport {
     /// Serializes the report to a self-contained JSON document.
     pub fn to_json(&self) -> String {
-        self.render(true)
+        self.render()
     }
 
     /// The timing-free canonical form: identical across runs whenever
     /// the analysis *results* are identical, whatever the parallelism.
     pub fn fingerprint(&self) -> String {
-        self.render(false)
+        self.canonical().render()
+    }
+
+    /// Scrubs every fingerprint-exempt field — the one place in the
+    /// workspace that decides what the fingerprint ignores. Exempt are
+    /// the fields that describe the *work done* rather than the
+    /// solution computed: timings and thread count, the fixpoint work
+    /// counters (`flow_ins`, `flow_outs`) and delta-batch scheduling
+    /// counters (`dedup_hits`, `delta_batches`, `deliveries_saved`) —
+    /// a seeded resume reaches the same fixpoint with less work — the
+    /// incremental `mode` strings and cache counters, and the daemon's
+    /// [`ServeStats`]. Everything else — sizes, pair counts, checker
+    /// diagnostics, errors — is solution-derived and must survive.
+    ///
+    /// Adding a field to the report? If it can differ between two runs
+    /// that computed identical solutions, scrub it here, or restart
+    /// replay and cross-run equivalence comparisons will break.
+    pub fn canonical(&self) -> EngineReport {
+        let mut r = self.clone();
+        r.threads = 0;
+        r.total_wall = Duration::ZERO;
+        r.incremental = None;
+        r.serve = None;
+        for b in &mut r.benchmarks {
+            b.frontend = Duration::ZERO;
+            b.lowering = Duration::ZERO;
+            for s in &mut b.solvers {
+                s.wall = Duration::ZERO;
+                s.flow_ins = None;
+                s.flow_outs = None;
+                s.dedup_hits = None;
+                s.delta_batches = None;
+                s.deliveries_saved = None;
+                s.mode = None;
+            }
+        }
+        r
     }
 
     /// Sum of one solver's wall time across all benchmarks.
@@ -163,12 +225,14 @@ impl EngineReport {
             .sum()
     }
 
-    fn render(&self, timings: bool) -> String {
-        let ns = |d: Duration| if timings { d.as_nanos() } else { 0 };
+    /// Renders exactly what the struct holds — no field is scrubbed
+    /// here. Exemption decisions all live in [`EngineReport::canonical`].
+    fn render(&self) -> String {
+        let ns = |d: Duration| d.as_nanos();
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
-        let inc = match (&self.incremental, timings) {
-            (Some(s), true) => format!(
+        let inc = match &self.incremental {
+            Some(s) => format!(
                 "{{\"benches_replayed\": {}, \"benches_seeded\": {}, \"benches_fresh\": {}, \
                  \"funcs_reused\": {}, \"funcs_dirty\": {}, \"solutions_replayed\": {}}}",
                 s.benches_replayed,
@@ -178,13 +242,23 @@ impl EngineReport {
                 s.funcs_dirty,
                 s.solutions_replayed
             ),
-            _ => "null".into(),
+            None => "null".into(),
+        };
+        let serve = match &self.serve {
+            Some(s) => format!(
+                "{{\"latency_us\": {}, \"benches_replayed\": {}, \
+                 \"solutions_replayed\": {}, \"restored\": {}}}",
+                s.latency_us, s.benches_replayed, s.solutions_replayed, s.restored
+            ),
+            None => "null".into(),
         };
         out.push_str(&format!(
-            "  \"threads\": {},\n  \"total_wall_ns\": {},\n  \"incremental\": {},\n  \"benchmarks\": [\n",
-            if timings { self.threads } else { 0 },
+            "  \"threads\": {},\n  \"total_wall_ns\": {},\n  \"incremental\": {},\n  \
+             \"serve\": {},\n  \"benchmarks\": [\n",
+            self.threads,
             ns(self.total_wall),
-            inc
+            inc,
+            serve
         ));
         for (i, b) in self.benchmarks.iter().enumerate() {
             out.push_str(&format!(
@@ -200,10 +274,6 @@ impl EngineReport {
                 ns(b.lowering)
             ));
             for (j, s) in b.solvers.iter().enumerate() {
-                // The delta-batch counters describe the propagation
-                // schedule, not the fixpoint, so the fingerprint nulls
-                // them alongside the timings.
-                let sched = |v: Option<u64>| if timings { v } else { None };
                 out.push_str(&format!(
                     "      {{\"analysis\": {}, \"wall_ns\": {}, \"pairs\": {}, \
                      \"flow_ins\": {}, \"flow_outs\": {}, \"dedup_hits\": {}, \
@@ -214,10 +284,10 @@ impl EngineReport {
                     json_opt(s.pairs.map(|v| v.to_string())),
                     json_opt(s.flow_ins.map(|v| v.to_string())),
                     json_opt(s.flow_outs.map(|v| v.to_string())),
-                    json_opt(sched(s.dedup_hits).map(|v| v.to_string())),
-                    json_opt(sched(s.delta_batches).map(|v| v.to_string())),
-                    json_opt(sched(s.deliveries_saved).map(|v| v.to_string())),
-                    json_opt_str(if timings { s.mode.as_deref() } else { None }),
+                    json_opt(s.dedup_hits.map(|v| v.to_string())),
+                    json_opt(s.delta_batches.map(|v| v.to_string())),
+                    json_opt(s.deliveries_saved.map(|v| v.to_string())),
+                    json_opt_str(s.mode.as_deref()),
                     json_opt_str(s.error.as_deref()),
                     json_opt(s.checks.as_ref().map(CheckMetrics::to_json)),
                     if j + 1 < b.solvers.len() { "," } else { "" }
@@ -321,6 +391,12 @@ mod tests {
                 funcs_dirty: 1,
                 ..IncrementalStats::default()
             }),
+            serve: Some(ServeStats {
+                latency_us: 740,
+                benches_replayed: 1,
+                solutions_replayed: 5,
+                restored: true,
+            }),
         }
     }
 
@@ -339,6 +415,8 @@ mod tests {
             "\"deliveries_saved\": 4300",
             "\"mode\": \"seeded(dirty=1/5)\"",
             "\"funcs_reused\": 4",
+            "\"serve\": {\"latency_us\": 740, \"benches_replayed\": 1, \
+             \"solutions_replayed\": 5, \"restored\": true}",
             "\"checks\": {\"diags\": [1, 0, 2, 0, 0, 3], \"true_positives\": 4, \
              \"false_positives\": 1, \"unreachable\": 1, \"refuted\": false}",
             "\"checks\": null",
@@ -351,12 +429,14 @@ mod tests {
     fn fingerprint_nulls_delta_batch_counters() {
         let mut a = sample();
         let mut b = sample();
-        // Different propagation schedules: different dedup/batch stats...
+        // Different propagation schedules: different dedup/batch stats,
+        // different transfer-application counts...
         a.benchmarks[0].solvers[0].dedup_hits = Some(1);
         a.benchmarks[0].solvers[0].delta_batches = None;
         a.benchmarks[0].solvers[0].deliveries_saved = None;
+        a.benchmarks[0].solvers[0].flow_ins = Some(7);
         b.benchmarks[0].solvers[0].dedup_hits = Some(9000);
-        // ...same fingerprint, as long as the fixpoint metrics agree.
+        // ...same fingerprint, as long as the solutions agree.
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert!(!a.fingerprint().contains("\"dedup_hits\": 1"));
         // Work-description fields are nulled too: an incremental run and
@@ -364,6 +444,34 @@ mod tests {
         assert!(a.fingerprint().contains("\"mode\": null"));
         assert!(a.fingerprint().contains("\"incremental\": null"));
         assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn fingerprint_scrubs_serve_stats() {
+        let mut a = sample();
+        let mut b = sample();
+        a.serve = Some(ServeStats {
+            latency_us: 3,
+            benches_replayed: 0,
+            solutions_replayed: 0,
+            restored: false,
+        });
+        b.serve = None;
+        // A warm daemon answer and a plain in-process run of the same
+        // solutions must fingerprint identically.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.fingerprint().contains("\"serve\": null"));
+        assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn canonical_is_idempotent_and_authoritative() {
+        let r = sample();
+        let c = r.canonical();
+        // Rendering the canonical form directly IS the fingerprint:
+        // no second scrubbing pass hides an exemption elsewhere.
+        assert_eq!(c.to_json(), r.fingerprint());
+        assert_eq!(c.canonical().to_json(), r.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! The `BENCH_pr6.json` generator: quantifies what the daemon buys.
+//!
+//! Three latency regimes for the full benchmark suite, plus socket
+//! query throughput:
+//!
+//! - **cold**: a fresh in-process `Engine::run` — parse, lower, solve
+//!   everything under every solver. The pre-daemon baseline.
+//! - **warm**: re-analyzing an unchanged suite against a primed
+//!   session — tier-1 source-hash replay, no solving.
+//! - **warm_restore**: the first analyze of a brand-new service whose
+//!   project was persisted to disk — recompile plus seeded tier-3 CI
+//!   resume with an empty dirty cone.
+//!
+//! The PR 6 acceptance criterion is `warm ≥ 3× faster than cold`.
+
+use crate::daemon;
+use crate::service::{Service, ServiceOptions};
+use proto::{JobSpec, QueryKind, Request, Response};
+use std::time::Instant;
+
+/// One timed regime.
+#[derive(Debug, Clone)]
+pub struct Regime {
+    pub name: &'static str,
+    pub micros: u64,
+}
+
+/// The full measurement set rendered into `BENCH_pr6.json`.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    pub benches: usize,
+    pub regimes: Vec<Regime>,
+    pub warm_speedup: f64,
+    pub query_requests: u64,
+    pub query_secs: f64,
+    pub query_rps: f64,
+}
+
+fn suite_jobs() -> Vec<JobSpec> {
+    suite::benchmarks()
+        .iter()
+        .map(|b| JobSpec {
+            name: b.name.to_string(),
+            source: b.source.to_string(),
+            input: b.input.to_vec(),
+        })
+        .collect()
+}
+
+fn expect_analyzed(resp: Response, what: &str) -> Result<(), String> {
+    match resp {
+        Response::Analyzed { .. } => Ok(()),
+        Response::Error { message } => Err(format!("{what}: {message}")),
+        other => Err(format!("{what}: unexpected response {other:?}")),
+    }
+}
+
+/// Runs the measurement and returns it. `store_dir` hosts the restart
+/// leg; `query_iters` bounds the socket throughput loop.
+///
+/// # Errors
+///
+/// Returns a description of the first failing request.
+pub fn run(store_dir: &std::path::Path, query_iters: u64) -> Result<ServeBench, String> {
+    let jobs = suite_jobs();
+    let opts = || ServiceOptions {
+        store_dir: Some(store_dir.to_path_buf()),
+        mem_budget: 0,
+        threads: 0,
+    };
+
+    // Cold: fresh in-process solve, no cache anywhere.
+    let mut svc = Service::new(opts()).map_err(|e| format!("store: {e}"))?;
+    let t = Instant::now();
+    expect_analyzed(
+        svc.handle(&Request::Analyze {
+            project: "bench".into(),
+            jobs: jobs.clone(),
+            fresh: true,
+            want_report: false,
+        }),
+        "cold analyze",
+    )?;
+    let cold = t.elapsed().as_micros() as u64;
+
+    // Prime the session (and the disk store), then measure warm replay.
+    expect_analyzed(
+        svc.handle(&Request::Analyze {
+            project: "bench".into(),
+            jobs: jobs.clone(),
+            fresh: false,
+            want_report: false,
+        }),
+        "priming analyze",
+    )?;
+    let t = Instant::now();
+    expect_analyzed(
+        svc.handle(&Request::Analyze {
+            project: "bench".into(),
+            jobs: jobs.clone(),
+            fresh: false,
+            want_report: false,
+        }),
+        "warm analyze",
+    )?;
+    let warm = t.elapsed().as_micros() as u64;
+    drop(svc);
+
+    // Warm restore: a new service process-equivalent, seeded from disk.
+    let mut svc = Service::new(opts()).map_err(|e| format!("store: {e}"))?;
+    let t = Instant::now();
+    expect_analyzed(
+        svc.handle(&Request::Analyze {
+            project: "bench".into(),
+            jobs: jobs.clone(),
+            fresh: false,
+            want_report: false,
+        }),
+        "restore analyze",
+    )?;
+    let warm_restore = t.elapsed().as_micros() as u64;
+
+    // Query throughput over a real socket, against the primed daemon.
+    let handle = daemon::spawn(svc, "127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let mut client = daemon::Client::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
+    let bench_name = jobs[0].name.clone();
+    let t = Instant::now();
+    for i in 0..query_iters {
+        let resp = client
+            .request(&Request::Query {
+                project: "bench".into(),
+                bench: bench_name.clone(),
+                analysis: "ci".into(),
+                query: QueryKind::ReferentsAt {
+                    site: (i % 2) as usize,
+                },
+            })
+            .map_err(|e| format!("query: {e}"))?;
+        if let Response::Error { message } = resp {
+            return Err(format!("query: {message}"));
+        }
+    }
+    let query_secs = t.elapsed().as_secs_f64();
+    let _ = client.request(&Request::Shutdown);
+    handle.join();
+
+    let warm_speedup = cold as f64 / (warm.max(1)) as f64;
+    Ok(ServeBench {
+        benches: jobs.len(),
+        regimes: vec![
+            Regime {
+                name: "cold_us",
+                micros: cold,
+            },
+            Regime {
+                name: "warm_us",
+                micros: warm,
+            },
+            Regime {
+                name: "warm_restore_us",
+                micros: warm_restore,
+            },
+        ],
+        warm_speedup,
+        query_requests: query_iters,
+        query_secs,
+        query_rps: if query_secs > 0.0 {
+            query_iters as f64 / query_secs
+        } else {
+            0.0
+        },
+    })
+}
+
+impl ServeBench {
+    /// Renders the `BENCH_pr6.json` document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"bench\": \"pr6_serve\",\n");
+        s.push_str(&format!("  \"suite_benches\": {},\n", self.benches));
+        for r in &self.regimes {
+            s.push_str(&format!("  \"{}\": {},\n", r.name, r.micros));
+        }
+        s.push_str(&format!(
+            "  \"warm_speedup_vs_cold\": {:.2},\n",
+            self.warm_speedup
+        ));
+        s.push_str(&format!(
+            "  \"query_requests\": {},\n  \"query_wall_s\": {:.4},\n  \"query_rps\": {:.1}\n",
+            self.query_requests, self.query_secs, self.query_rps
+        ));
+        s.push_str("}\n");
+        s
+    }
+}

@@ -1,0 +1,189 @@
+//! The socket transport: a newline-delimited-JSON TCP daemon around
+//! [`Service`], plus the client side.
+//!
+//! Framing is [`proto::write_frame`]/[`proto::read_frame`]: one JSON
+//! object per line, `"v": 1` version tag. One thread per connection;
+//! every request takes the service mutex, so the daemon's answers are
+//! exactly the answers of a serial in-process [`Service`].
+//!
+//! Shutdown: a [`proto::Request::Shutdown`] flips an atomic flag and
+//! the accept loop is unblocked by a self-connection, so the listener
+//! thread exits promptly instead of hanging in `accept`.
+
+use crate::service::Service;
+use proto::{read_frame, write_frame, Request, Response};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// A running daemon: join handle plus the bound address.
+pub struct DaemonHandle {
+    addr: std::net::SocketAddr,
+    join: thread::JoinHandle<()>,
+}
+
+impl DaemonHandle {
+    /// The address the daemon actually bound (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the accept loop to exit (after a shutdown request).
+    pub fn join(self) {
+        let _ = self.join.join();
+    }
+}
+
+/// Binds `bind_addr` and serves `service` on a background thread.
+/// Returns once the listener is bound, so callers can connect
+/// immediately.
+///
+/// # Errors
+///
+/// Returns the bind error, if any.
+pub fn spawn(service: Service, bind_addr: &str) -> io::Result<DaemonHandle> {
+    let listener = TcpListener::bind(bind_addr)?;
+    let addr = listener.local_addr()?;
+    let service = Arc::new(Mutex::new(service));
+    let stop = Arc::new(AtomicBool::new(false));
+    let join = thread::spawn(move || accept_loop(listener, service, stop));
+    Ok(DaemonHandle { addr, join })
+}
+
+/// Binds and serves on the calling thread until shutdown. This is the
+/// `ruf95 serve` entry point.
+///
+/// # Errors
+///
+/// Returns the bind error, if any.
+pub fn run(service: Service, bind_addr: &str) -> io::Result<()> {
+    let listener = TcpListener::bind(bind_addr)?;
+    eprintln!("ruf95 serve: listening on {}", listener.local_addr()?);
+    accept_loop(
+        listener,
+        Arc::new(Mutex::new(service)),
+        Arc::new(AtomicBool::new(false)),
+    );
+    Ok(())
+}
+
+fn accept_loop(listener: TcpListener, service: Arc<Mutex<Service>>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        // Connection threads are deliberately not joined: one blocked
+        // in `read` on an idle client must not stall shutdown. They
+        // hold only clones of the service Arc and die with their
+        // sockets (or the process).
+        thread::spawn(move || {
+            if let Some(addr) = serve_conn(stream, &service, &stop) {
+                // Shutdown was requested on this connection: poke the
+                // accept loop so it notices the flag instead of
+                // blocking on the next accept forever.
+                let _ = TcpStream::connect(addr);
+            }
+        });
+    }
+}
+
+/// Handles one client connection; returns the daemon's local address
+/// when this connection requested shutdown (so the caller can poke the
+/// accept loop), `None` otherwise.
+fn serve_conn(
+    stream: TcpStream,
+    service: &Mutex<Service>,
+    stop: &AtomicBool,
+) -> Option<std::net::SocketAddr> {
+    let local = stream.local_addr().ok();
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        // Malformed frames answer with an error and keep the
+        // connection — one bad request must not kill a client.
+        let decoded = match read_frame(&mut reader) {
+            Ok(Some(v)) => Request::from_value(&v).map_err(|e| format!("bad request: {e}")),
+            // Clean disconnect.
+            Ok(None) => return None,
+            Err(e) => Err(format!("bad request frame: {e}")),
+        };
+        let req = match decoded {
+            Ok(req) => req,
+            Err(message) => {
+                let resp = Response::Error { message };
+                if write_frame(&mut writer, &resp.to_value()).is_err() || writer.flush().is_err() {
+                    return None;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let resp = {
+            let mut svc = service.lock().unwrap_or_else(|p| p.into_inner());
+            svc.handle(&req)
+        };
+        if write_frame(&mut writer, &resp.to_value()).is_err() || writer.flush().is_err() {
+            return None;
+        }
+        if is_shutdown {
+            stop.store(true, Ordering::SeqCst);
+            return local;
+        }
+    }
+}
+
+/// A persistent client connection to a running daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (e.g. `"127.0.0.1:7095"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error, if any.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors; protocol-level failures arrive as
+    /// [`Response::Error`] values, not `Err`.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &req.to_value())?;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader)? {
+            Some(v) => Response::from_value(&v).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}"))
+            }),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection mid-request",
+            )),
+        }
+    }
+}
+
+/// One-shot convenience: connect, send, return the response.
+///
+/// # Errors
+///
+/// Returns connect/transport errors.
+pub fn request(addr: impl ToSocketAddrs, req: &Request) -> io::Result<Response> {
+    Client::connect(addr)?.request(req)
+}

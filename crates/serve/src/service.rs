@@ -1,0 +1,788 @@
+//! The transport-agnostic request dispatcher.
+//!
+//! [`Service::handle`] maps one [`proto::Request`] to one
+//! [`proto::Response`]. The CLI calls it directly for in-process
+//! dispatch; the TCP daemon calls it behind a mutex, one request at a
+//! time — which is also the concurrency argument: requests are strictly
+//! serialized, so N interleaved clients observe exactly the answers a
+//! serial caller would.
+//!
+//! Sessions: each named project owns a [`engine::SummaryCache`] (and a
+//! check cache, and the solved [`engine::BenchOutput`]s for demand
+//! queries), isolated from every other project. Under a configured
+//! memory budget the least-recently-used sessions are evicted; their
+//! disk-store state survives, so the next request warm-starts instead
+//! of cold-starting.
+//!
+//! Persistence is write-through: after every analyze/check the
+//! project's summaries, solution fingerprints, and check fingerprints
+//! go to the [`crate::store::Store`]. A restored session seeds the
+//! tier-3 CI resume from the stored summaries; the engine recompiles
+//! and re-verifies everything, so a corrupt or stale store can cost
+//! time, never correctness.
+
+use crate::store::{LoadOutcome, Store, StoredBench, StoredProject};
+use alias::fingerprint::{fnv64, stable_base_key, Fnv64, GraphIndex};
+use alias::solver::solution_fingerprint;
+use engine::check::{diagnostics_json, fp_monotone_violation, render_diagnostics, BenchChecks};
+use engine::{BenchOutput, CheckCache, EngineRun, Job, SummaryCache};
+use proto::json::Value;
+use proto::{
+    fp_hex, BenchCheckInfo, BenchFps, JobSpec, ProjectStats, QueryAnswer, QueryKind, Request,
+    Response, ServeInfo, SiteInfo, SolverCheck, SolverFp,
+};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Configuration for a [`Service`].
+#[derive(Default)]
+pub struct ServiceOptions {
+    /// Disk store directory; `None` disables persistence.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Session memory budget in bytes; 0 = unlimited.
+    pub mem_budget: usize,
+    /// Worker threads per engine run (0 = all cores).
+    pub threads: usize,
+}
+
+/// One project's in-memory session.
+struct Session {
+    cache: SummaryCache,
+    check_cache: CheckCache,
+    /// Last solved outputs by benchmark name, for demand queries.
+    benches: HashMap<String, BenchOutput>,
+    /// Persisted view of each benchmark, rebuilt on every analyze.
+    stored: HashMap<String, StoredBench>,
+    last_used: Instant,
+    /// Whether this session was seeded from the disk store.
+    restored: bool,
+    /// Whether `stored` has diverged from the disk store since the last
+    /// successful save. A pure-replay request leaves it clear, so warm
+    /// requests skip the store write entirely.
+    dirty: bool,
+    /// Memoized per-solver fingerprints and pair counts, keyed by
+    /// benchmark name and guarded by (source_fp, graph_fp). Solutions
+    /// are a deterministic function of the source, so a replayed bench
+    /// reuses its fingerprints instead of re-walking every solution —
+    /// the dominant cost of a warm analyze response.
+    fps_memo: HashMap<String, FpsMemo>,
+}
+
+/// Cached fingerprint work for one benchmark (see [`Session::fps_memo`]).
+struct FpsMemo {
+    source_fp: u64,
+    graph_fp: u64,
+    /// Per analysis: (name, solution fingerprint, pair count).
+    solvers: Vec<(String, Option<u64>, Option<u64>)>,
+}
+
+/// The persistent analysis service.
+pub struct Service {
+    engine: engine::Engine,
+    store: Option<Store>,
+    sessions: HashMap<String, Session>,
+    mem_budget: usize,
+    started: Instant,
+    request_counts: Vec<(String, u64)>,
+    evictions: u64,
+}
+
+fn err(message: impl Into<String>) -> Response {
+    Response::Error {
+        message: message.into(),
+    }
+}
+
+/// Project names double as store file names, so they are restricted to
+/// a conservative portable set.
+fn valid_project(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+impl Service {
+    /// Builds a service; opens (creating if needed) the disk store when
+    /// one is configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns the store-directory creation error, if any.
+    pub fn new(opts: ServiceOptions) -> std::io::Result<Service> {
+        let store = match opts.store_dir {
+            Some(dir) => Some(Store::open(dir)?),
+            None => None,
+        };
+        Ok(Service {
+            engine: engine::Engine::new().threads(opts.threads),
+            store,
+            sessions: HashMap::new(),
+            mem_budget: opts.mem_budget,
+            started: Instant::now(),
+            request_counts: Vec::new(),
+            evictions: 0,
+        })
+    }
+
+    /// Dispatches one request. Total: every failure becomes
+    /// [`Response::Error`], never a panic — the daemon stays up.
+    pub fn handle(&mut self, req: &Request) -> Response {
+        self.count(req.type_name());
+        match req {
+            Request::Analyze {
+                project,
+                jobs,
+                fresh,
+                want_report,
+            } => self.analyze(project, jobs, *fresh, *want_report),
+            Request::Check {
+                project,
+                jobs,
+                analysis,
+                want_report,
+            } => self.check(project, jobs, analysis, *want_report),
+            Request::Query {
+                project,
+                bench,
+                analysis,
+                query,
+            } => self.query(project, bench, analysis, query),
+            Request::Stats => self.stats(),
+            Request::Evict { project } => self.evict(project.as_deref()),
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+
+    fn count(&mut self, name: &str) {
+        match self.request_counts.iter_mut().find(|(k, _)| k == name) {
+            Some((_, n)) => *n += 1,
+            None => self.request_counts.push((name.to_string(), 1)),
+        }
+    }
+
+    /// Fetches or creates a project's session. A new session whose
+    /// project has compatible disk-store state is seeded with the
+    /// stored summaries, so its first analyze resumes instead of
+    /// re-solving.
+    // The error arm intentionally carries the full typed Response.
+    #[allow(clippy::result_large_err)]
+    fn ensure_session(&mut self, project: &str) -> Result<(), Response> {
+        if !valid_project(project) {
+            return Err(err(format!(
+                "invalid project name {project:?} (want [A-Za-z0-9._-]{{1,64}}, not dot-led)"
+            )));
+        }
+        if !self.sessions.contains_key(project) {
+            let mut session = Session {
+                cache: self.engine.cache(),
+                check_cache: CheckCache::default(),
+                benches: HashMap::new(),
+                stored: HashMap::new(),
+                last_used: Instant::now(),
+                restored: false,
+                dirty: false,
+                fps_memo: HashMap::new(),
+            };
+            if let Some(store) = &self.store {
+                if let LoadOutcome::Loaded(p) = store.load(project) {
+                    if p.ci_spec_key == session.cache.ci_spec_key() {
+                        for b in p.benches {
+                            session.cache.seed_restored(
+                                &b.name,
+                                b.source_fp,
+                                b.graph_fp,
+                                b.summaries.clone(),
+                            );
+                            session.stored.insert(b.name.clone(), b);
+                        }
+                        session.restored = true;
+                    }
+                    // A spec-key mismatch silently cold-starts: the
+                    // stored facts were computed under different solver
+                    // knobs and are not sound seeds.
+                }
+                // Rejected/Missing → cold start; the next save
+                // overwrites a bad file.
+            }
+            self.sessions.insert(project.to_string(), session);
+        }
+        let s = self.sessions.get_mut(project).expect("inserted above");
+        s.last_used = Instant::now();
+        Ok(())
+    }
+
+    fn analyze(
+        &mut self,
+        project: &str,
+        jobs: &[JobSpec],
+        fresh: bool,
+        want_report: bool,
+    ) -> Response {
+        let t0 = Instant::now();
+        if jobs.is_empty() {
+            return err("analyze: empty job list");
+        }
+        let engine_jobs: Vec<Job> = jobs
+            .iter()
+            .map(|j| {
+                let mut job = Job::new(&j.name, &j.source);
+                job.input = j.input.clone();
+                job
+            })
+            .collect();
+        if fresh {
+            // Cache-bypassing cross-check: solve from scratch without
+            // touching (or requiring) the session.
+            let run = match self.engine.run(&engine_jobs) {
+                Ok(r) => r,
+                Err(e) => return err(format!("analyze: {e}")),
+            };
+            let benches = run.benches.iter().map(|b| bench_fps(b, None)).collect();
+            return Response::Analyzed {
+                project: project.to_string(),
+                benches,
+                report_fp: fp_hex(fnv64(run.report.fingerprint().as_bytes())),
+                report: want_report
+                    .then(|| Value::parse(&run.report.to_json()).ok())
+                    .flatten(),
+                serve: ServeInfo {
+                    latency_us: t0.elapsed().as_micros() as u64,
+                    benches_fresh: run.benches.len() as u64,
+                    ..ServeInfo::default()
+                },
+            };
+        }
+        if let Err(e) = self.ensure_session(project) {
+            return e;
+        }
+        let session = self.sessions.get_mut(project).expect("ensured above");
+        let restored = session.restored;
+        let engine = &self.engine;
+        let mut run = match engine.analyze_incremental_with(&mut session.cache, &engine_jobs) {
+            Ok(r) => r,
+            Err(e) => return err(format!("analyze: {e}")),
+        };
+        let mut serve = serve_info(&run, restored);
+        serve.latency_us = t0.elapsed().as_micros() as u64;
+        run.report.serve = Some(engine::ServeStats {
+            latency_us: serve.latency_us,
+            benches_replayed: serve.benches_replayed as usize,
+            solutions_replayed: serve.solutions_replayed as usize,
+            restored,
+        });
+        // (source_fp, graph_fp) per bench, from the cache when it has
+        // the entry (it was just computed there).
+        let keys: Vec<(u64, u64)> = run
+            .benches
+            .iter()
+            .map(|b| match session.cache.summaries_of(&b.name) {
+                Some((s, g, _)) => (s, g),
+                None => (
+                    fnv64(b.source.as_bytes()),
+                    GraphIndex::build(&b.graph).graph_fp,
+                ),
+            })
+            .collect();
+        let benches: Vec<BenchFps> = run
+            .benches
+            .iter()
+            .zip(&keys)
+            .map(|(b, &(source_fp, graph_fp))| {
+                bench_fps_memo(b, source_fp, graph_fp, &mut session.fps_memo)
+            })
+            .collect();
+        // Refresh the persisted view of every benchmark this request
+        // touched, then write the project through to disk — but only if
+        // something actually changed. A pure tier-1 replay must not pay
+        // for cloning summary maps or rewriting the store file; that
+        // write-through cost would otherwise dominate warm latency.
+        for ((b, fps), &(source_fp, graph_fp)) in run.benches.iter().zip(&benches).zip(&keys) {
+            let solution_fps: Vec<(String, Option<u64>)> = fps
+                .solvers
+                .iter()
+                .map(|s| {
+                    (
+                        s.analysis.clone(),
+                        s.fp.as_deref().and_then(proto::parse_fp_hex),
+                    )
+                })
+                .collect();
+            let prev = session.stored.get(&b.name);
+            // Checks are keyed by source and input; an edit invalidates
+            // the stored check fingerprint.
+            let check_fp = prev.and_then(|old| {
+                old.check_fp
+                    .filter(|_| old.source == b.source && old.input == b.input)
+            });
+            // Summaries are content-addressed by per-function
+            // fingerprint: matching source and graph fingerprints imply
+            // matching summaries, so an entry that agrees on every
+            // cheap field needs no rebuild.
+            let unchanged = prev.is_some_and(|old| {
+                old.source_fp == source_fp
+                    && old.graph_fp == graph_fp
+                    && old.source == b.source
+                    && old.input == b.input
+                    && old.solution_fps == solution_fps
+                    && old.check_fp == check_fp
+            });
+            if unchanged {
+                continue;
+            }
+            let summaries = session
+                .cache
+                .summaries_of(&b.name)
+                .map(|(_, _, m)| (*m).clone())
+                .unwrap_or_default();
+            session.stored.insert(
+                b.name.clone(),
+                StoredBench {
+                    name: b.name.clone(),
+                    source: b.source.clone(),
+                    input: b.input.clone(),
+                    source_fp,
+                    graph_fp,
+                    solution_fps,
+                    summaries,
+                    check_fp,
+                },
+            );
+            session.dirty = true;
+        }
+        let report_fp = fp_hex(fnv64(run.report.fingerprint().as_bytes()));
+        let report = want_report
+            .then(|| Value::parse(&run.report.to_json()).ok())
+            .flatten();
+        for b in run.benches {
+            session.benches.insert(b.name.clone(), b);
+        }
+        self.persist(project);
+        self.enforce_budget(project);
+        Response::Analyzed {
+            project: project.to_string(),
+            benches,
+            report_fp,
+            report,
+            serve,
+        }
+    }
+
+    fn check(
+        &mut self,
+        project: &str,
+        jobs: &[JobSpec],
+        analysis: &str,
+        want_report: bool,
+    ) -> Response {
+        if jobs.is_empty() {
+            return err("check: empty job list");
+        }
+        let engine_jobs: Vec<Job> = jobs
+            .iter()
+            .map(|j| {
+                let mut job = Job::new(&j.name, &j.source);
+                job.input = j.input.clone();
+                job
+            })
+            .collect();
+        if let Err(e) = self.ensure_session(project) {
+            return e;
+        }
+        let session = self.sessions.get_mut(project).expect("ensured above");
+        let engine = &self.engine;
+        let mut run = match engine.analyze_incremental_with(&mut session.cache, &engine_jobs) {
+            Ok(r) => r,
+            Err(e) => return err(format!("check: {e}")),
+        };
+        let checks = run.run_checks_cached(&mut session.check_cache);
+        let benches: Vec<BenchCheckInfo> = run
+            .benches
+            .iter()
+            .zip(&checks)
+            .map(|(b, bc)| BenchCheckInfo {
+                name: b.name.clone(),
+                table: checker::render_table(&bc.rows),
+                rendered: render_diagnostics(b, bc, analysis),
+                diags: Value::parse(&diagnostics_json(b, bc, analysis))
+                    .unwrap_or(Value::Arr(Vec::new())),
+                solvers: bc
+                    .rows
+                    .iter()
+                    .map(|r| SolverCheck {
+                        analysis: r.solver.clone(),
+                        diags: r.counts.by_kind.iter().map(|&d| d as u64).collect(),
+                        true_positives: r.counts.true_positives as u64,
+                        false_positives: r.counts.false_positives as u64,
+                        unreachable: r.counts.unreachable as u64,
+                        refuted: r.refuted.is_some(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        // Per-bench diagnostics fingerprints feed both the response's
+        // combined check_fp and the persisted per-bench check_fp.
+        let mut combined = Fnv64::new();
+        for (b, bc) in run.benches.iter().zip(&checks) {
+            let bench_fp = check_fingerprint(b, bc);
+            combined.write_str(&b.name);
+            combined.write_u64(bench_fp);
+            if let Some(stored) = session.stored.get_mut(&b.name) {
+                if stored.check_fp != Some(bench_fp) {
+                    stored.check_fp = Some(bench_fp);
+                    session.dirty = true;
+                }
+            }
+        }
+        let refuted: Vec<String> = run
+            .benches
+            .iter()
+            .zip(&checks)
+            .filter(|(_, bc)| bc.any_refuted())
+            .map(|(b, _)| b.name.clone())
+            .collect();
+        let monotone_violation = fp_monotone_violation(&checks);
+        let report = want_report
+            .then(|| Value::parse(&run.report.to_json()).ok())
+            .flatten();
+        let check_fp = fp_hex(combined.finish());
+        for b in run.benches {
+            session.benches.insert(b.name.clone(), b);
+        }
+        self.persist(project);
+        self.enforce_budget(project);
+        Response::Checked {
+            project: project.to_string(),
+            benches,
+            check_fp,
+            monotone_violation,
+            refuted,
+            report,
+        }
+    }
+
+    fn query(&mut self, project: &str, bench: &str, analysis: &str, query: &QueryKind) -> Response {
+        // A restored session may know the bench only from disk: analyze
+        // it on demand from the stored source before answering.
+        let needs_analyze = match self.sessions.get(project) {
+            Some(s) => !s.benches.contains_key(bench),
+            None => true,
+        };
+        if needs_analyze {
+            if let Err(e) = self.ensure_session(project) {
+                return e;
+            }
+            let stored_job = self.sessions[project].stored.get(bench).map(|b| JobSpec {
+                name: b.name.clone(),
+                source: b.source.clone(),
+                input: b.input.clone(),
+            });
+            match stored_job {
+                Some(job) => {
+                    if let Response::Error { message } = self.analyze(project, &[job], false, false)
+                    {
+                        return err(format!("query: demand analyze failed: {message}"));
+                    }
+                }
+                None => {
+                    return err(format!(
+                        "query: benchmark {bench:?} has not been analyzed in project \
+                         {project:?} (send an analyze request first)"
+                    ))
+                }
+            }
+        }
+        if let Err(e) = self.ensure_session(project) {
+            return e;
+        }
+        let session = self.sessions.get_mut(project).expect("ensured above");
+        let b = session.benches.get(bench).expect("analyzed above");
+        let Some(sol) = b.solution(analysis) else {
+            return err(format!(
+                "query: no {analysis:?} solution for {bench:?} (failed solve or unknown analysis)"
+            ));
+        };
+        let sites = b.graph.indirect_mem_ops();
+        let file = cfront::SourceFile::new(&b.name, &b.source);
+        #[allow(clippy::result_large_err)]
+        let site_info = |i: usize| -> Result<SiteInfo, Response> {
+            let &(node, is_write) = sites.get(i).ok_or_else(|| {
+                err(format!(
+                    "query: site index {i} out of range ({} indirect refs in {bench:?})",
+                    sites.len()
+                ))
+            })?;
+            let lc = file.line_col(b.graph.node(node).span.start);
+            Ok(SiteInfo {
+                index: i,
+                line: lc.line,
+                col: lc.col,
+                kind: if is_write { "write" } else { "read" }.to_string(),
+            })
+        };
+        let answer = match *query {
+            QueryKind::MayAlias { a, b: bi } => {
+                let (sa, sb) = match (site_info(a), site_info(bi)) {
+                    (Ok(x), Ok(y)) => (x, y),
+                    (Err(e), _) | (_, Err(e)) => return e,
+                };
+                let bases_a = sol.loc_referent_bases(&b.graph, sites[a].0);
+                let bases_b = sol.loc_referent_bases(&b.graph, sites[bi].0);
+                // Both sides sorted+deduped by the Solution contract.
+                let witnesses: Vec<String> = bases_a
+                    .iter()
+                    .filter(|x| bases_b.binary_search(x).is_ok())
+                    .map(|&x| stable_base_key(&b.graph, x))
+                    .collect();
+                QueryAnswer::MayAlias {
+                    may_alias: !witnesses.is_empty(),
+                    witnesses,
+                    a: sa,
+                    b: sb,
+                }
+            }
+            QueryKind::ReferentsAt { site } => {
+                let info = match site_info(site) {
+                    Ok(x) => x,
+                    Err(e) => return e,
+                };
+                let node = sites[site].0;
+                // Path-granular when the solver has per-point sets,
+                // stable base keys for the unification baseline.
+                let mut referents: Vec<String> =
+                    match (sol.referents_at(&b.graph, node), sol.path_universe()) {
+                        (Some(paths), Some(table)) => {
+                            paths.iter().map(|&p| table.display(p, &b.graph)).collect()
+                        }
+                        _ => sol
+                            .loc_referent_bases(&b.graph, node)
+                            .iter()
+                            .map(|&x| stable_base_key(&b.graph, x))
+                            .collect(),
+                    };
+                referents.sort();
+                QueryAnswer::Referents {
+                    site: info,
+                    referents,
+                }
+            }
+        };
+        Response::QueryResult {
+            bench: bench.to_string(),
+            analysis: analysis.to_string(),
+            answer,
+        }
+    }
+
+    fn stats(&mut self) -> Response {
+        let mut projects: Vec<ProjectStats> = self
+            .sessions
+            .iter()
+            .map(|(name, s)| ProjectStats {
+                name: name.clone(),
+                benches: s.cache.len() as u64,
+                approx_bytes: s.cache.approx_bytes() as u64,
+                idle_ms: s.last_used.elapsed().as_millis() as u64,
+            })
+            .collect();
+        projects.sort_by(|a, b| a.name.cmp(&b.name));
+        Response::Stats {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            requests: self.request_counts.clone(),
+            evictions: self.evictions,
+            mem_budget: self.mem_budget as u64,
+            projects,
+        }
+    }
+
+    fn evict(&mut self, project: Option<&str>) -> Response {
+        match project {
+            Some(p) => {
+                if self.sessions.remove(p).is_none() {
+                    return err(format!("evict: no in-memory session for project {p:?}"));
+                }
+            }
+            None => self.sessions.clear(),
+        }
+        Response::Ok
+    }
+
+    /// Writes one project's state through to the disk store. A no-op
+    /// when the session is clean: a replayed request changes nothing,
+    /// so the file on disk is already current.
+    fn persist(&mut self, project: &str) {
+        let Some(store) = &self.store else { return };
+        let Some(session) = self.sessions.get(project) else {
+            return;
+        };
+        if !session.dirty {
+            return;
+        }
+        let mut benches: Vec<StoredBench> = session.stored.values().cloned().collect();
+        benches.sort_by(|a, b| a.name.cmp(&b.name));
+        let state = StoredProject {
+            ci_spec_key: session.cache.ci_spec_key().to_string(),
+            benches,
+        };
+        // A failed save degrades to colder restarts, not wrong answers;
+        // surface it on stderr and keep serving (the session stays
+        // dirty, so the next request retries the write).
+        match store.save(project, &state) {
+            Ok(()) => {
+                if let Some(s) = self.sessions.get_mut(project) {
+                    s.dirty = false;
+                }
+            }
+            Err(e) => eprintln!("ruf95 serve: store write failed for {project:?}: {e}"),
+        }
+    }
+
+    /// Evicts least-recently-used sessions (never `current`) until the
+    /// estimated session memory fits the budget. Evicted sessions keep
+    /// their disk-store files, so they warm-start on return.
+    fn enforce_budget(&mut self, current: &str) {
+        if self.mem_budget == 0 {
+            return;
+        }
+        loop {
+            let total: usize = self.sessions.values().map(|s| s.cache.approx_bytes()).sum();
+            if total <= self.mem_budget {
+                return;
+            }
+            let victim = self
+                .sessions
+                .iter()
+                .filter(|(name, _)| name.as_str() != current)
+                .max_by_key(|(_, s)| s.last_used.elapsed())
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    self.sessions.remove(&name);
+                    self.evictions += 1;
+                }
+                // Only the active session remains; it may exceed the
+                // budget on its own, and evicting it would thrash.
+                None => return,
+            }
+        }
+    }
+}
+
+/// Per-benchmark fingerprints for an analyze response. `graph_fp` comes
+/// from the session cache when available (it was just computed there);
+/// fresh cross-check runs rebuild the index.
+fn bench_fps(b: &BenchOutput, cached_graph_fp: Option<u64>) -> BenchFps {
+    let graph_fp = cached_graph_fp.unwrap_or_else(|| GraphIndex::build(&b.graph).graph_fp);
+    BenchFps {
+        name: b.name.clone(),
+        source_fp: fp_hex(fnv64(b.source.as_bytes())),
+        graph_fp: fp_hex(graph_fp),
+        solvers: b
+            .solutions
+            .iter()
+            .map(|s| SolverFp {
+                analysis: s.analysis.clone(),
+                fp: s
+                    .solution
+                    .as_deref()
+                    .map(|sol| fp_hex(solution_fingerprint(sol, &b.graph))),
+                mode: s.mode.as_ref().map(|m| m.render()),
+                pairs: s
+                    .solution
+                    .as_deref()
+                    .and_then(|sol| sol.pairs())
+                    .map(|p| p as u64),
+            })
+            .collect(),
+    }
+}
+
+/// Like [`bench_fps`], but reuses the session's memoized solution
+/// fingerprints and pair counts when (source_fp, graph_fp) match — a
+/// replayed solution is byte-identical to the one fingerprinted before,
+/// so re-walking it per request would only re-derive the same numbers.
+/// Solver modes are always taken fresh from this run (they describe how
+/// this particular request was satisfied).
+fn bench_fps_memo(
+    b: &BenchOutput,
+    source_fp: u64,
+    graph_fp: u64,
+    memo: &mut HashMap<String, FpsMemo>,
+) -> BenchFps {
+    let hit = memo
+        .get(&b.name)
+        .is_some_and(|m| m.source_fp == source_fp && m.graph_fp == graph_fp);
+    if !hit {
+        memo.insert(
+            b.name.clone(),
+            FpsMemo {
+                source_fp,
+                graph_fp,
+                solvers: b
+                    .solutions
+                    .iter()
+                    .map(|s| {
+                        (
+                            s.analysis.clone(),
+                            s.solution
+                                .as_deref()
+                                .map(|sol| solution_fingerprint(sol, &b.graph)),
+                            s.solution
+                                .as_deref()
+                                .and_then(|sol| sol.pairs())
+                                .map(|p| p as u64),
+                        )
+                    })
+                    .collect(),
+            },
+        );
+    }
+    let m = &memo[&b.name];
+    BenchFps {
+        name: b.name.clone(),
+        source_fp: fp_hex(source_fp),
+        graph_fp: fp_hex(graph_fp),
+        solvers: b
+            .solutions
+            .iter()
+            .map(|s| {
+                let cached = m.solvers.iter().find(|(a, _, _)| *a == s.analysis);
+                SolverFp {
+                    analysis: s.analysis.clone(),
+                    fp: cached.and_then(|(_, fp, _)| *fp).map(fp_hex),
+                    mode: s.mode.as_ref().map(|m| m.render()),
+                    pairs: cached.and_then(|(_, _, p)| *p),
+                }
+            })
+            .collect(),
+    }
+}
+
+fn serve_info(run: &EngineRun, restored: bool) -> ServeInfo {
+    let mut info = ServeInfo {
+        restored,
+        ..ServeInfo::default()
+    };
+    if let Some(st) = &run.report.incremental {
+        info.benches_replayed = st.benches_replayed as u64;
+        info.benches_seeded = st.benches_seeded as u64;
+        info.benches_fresh = st.benches_fresh as u64;
+        info.solutions_replayed = st.solutions_replayed as u64;
+        info.funcs_reused = st.funcs_reused as u64;
+        info.funcs_dirty = st.funcs_dirty as u64;
+    }
+    info
+}
+
+/// FNV-64 over one benchmark's diagnostics under every solver — the
+/// byte-identity currency for check results across daemon restarts.
+pub fn check_fingerprint(b: &BenchOutput, bc: &BenchChecks) -> u64 {
+    let mut h = Fnv64::new();
+    for row in &bc.rows {
+        h.write_str(&row.solver);
+        h.write_str(&diagnostics_json(b, bc, &row.solver));
+    }
+    h.finish()
+}

@@ -1,0 +1,509 @@
+//! Versioned, checksummed disk store for per-project analysis state.
+//!
+//! One file per project, `<dir>/<project>.json`:
+//!
+//! ```text
+//! ruf95-store v1 <fnv64-of-payload, 16 hex digits>
+//! { ...payload JSON on one line... }
+//! ```
+//!
+//! The payload carries, per benchmark, everything a restored session
+//! needs to warm-start without trusting the store for correctness:
+//! the source text (recompiled on restore), the FNV source/graph
+//! fingerprints it was analyzed under, the per-function [`FuncSummary`]
+//! facts in stable vocabulary (seeds for the tier-3 CI resume), each
+//! solver's canonical solution fingerprint, and the check-results
+//! fingerprint when checks ran. Solutions themselves are *not*
+//! persisted — they are graph-id-indexed and cheaper to re-derive from
+//! seeds than to re-validate — so a load can only ever seed work, never
+//! substitute for it.
+//!
+//! Every load failure — missing file, bad header, version or checksum
+//! mismatch, malformed or incomplete payload — degrades to an explicit
+//! [`LoadOutcome`] variant that the service maps to a cold start.
+//! Nothing in this module panics on hostile input.
+
+use alias::fingerprint::{fnv64, FuncSummary, StableOp, StablePair, StablePath};
+use proto::json::Value;
+use proto::{bytes_hex, fp_hex, parse_bytes_hex, parse_fp_hex};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Store format version; bumped on any payload schema change.
+pub const STORE_VERSION: u32 = 1;
+
+/// One benchmark's persisted state.
+#[derive(Debug, Clone)]
+pub struct StoredBench {
+    /// Benchmark name.
+    pub name: String,
+    /// Full source text, recompiled on restore.
+    pub source: String,
+    /// Interpreter input bytes for the checker oracle.
+    pub input: Vec<u8>,
+    /// FNV-64 of `source` at persist time.
+    pub source_fp: u64,
+    /// VDG content fingerprint at persist time.
+    pub graph_fp: u64,
+    /// `(analysis, canonical solution fingerprint)` per solver;
+    /// `None` for failed solves.
+    pub solution_fps: Vec<(String, Option<u64>)>,
+    /// Memoized per-function facts, the CI resume seeds.
+    pub summaries: alias::fxhash::HashMap<String, FuncSummary>,
+    /// FNV-64 over the benchmark's per-solver diagnostics, when a
+    /// check request ran.
+    pub check_fp: Option<u64>,
+}
+
+/// A project's full persisted state.
+#[derive(Debug, Clone, Default)]
+pub struct StoredProject {
+    /// The engine CI spec key the artifacts were computed under;
+    /// summaries are only sound seeds for an engine with the same key.
+    pub ci_spec_key: String,
+    /// One entry per benchmark, sorted by name.
+    pub benches: Vec<StoredBench>,
+}
+
+/// Result of loading a project file.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// No file on disk — a genuinely new project.
+    Missing,
+    /// The project's state, verified and decoded.
+    Loaded(StoredProject),
+    /// The file exists but is unusable (truncated, corrupt, malformed,
+    /// or written by a different store version). The service treats
+    /// this exactly like [`LoadOutcome::Missing`] — cold start — and
+    /// the next save overwrites the bad file.
+    Rejected {
+        /// Why the file was rejected.
+        reason: String,
+    },
+}
+
+/// Directory-backed store, one file per project.
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the directory-creation error.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Store> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Store { dir })
+    }
+
+    /// The file a project persists to.
+    pub fn path_of(&self, project: &str) -> PathBuf {
+        self.dir.join(format!("{project}.json"))
+    }
+
+    /// Loads and verifies one project's state. Never panics: every
+    /// failure mode becomes a [`LoadOutcome`] variant.
+    pub fn load(&self, project: &str) -> LoadOutcome {
+        let path = self.path_of(project);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::Missing,
+            Err(e) => {
+                return LoadOutcome::Rejected {
+                    reason: format!("unreadable: {e}"),
+                }
+            }
+        };
+        let Some((header, payload)) = text.split_once('\n') else {
+            return LoadOutcome::Rejected {
+                reason: "truncated: no payload line".into(),
+            };
+        };
+        let fields: Vec<&str> = header.split(' ').collect();
+        if fields.len() != 3 || fields[0] != "ruf95-store" {
+            return LoadOutcome::Rejected {
+                reason: format!("bad header {header:?}"),
+            };
+        }
+        if fields[1] != format!("v{STORE_VERSION}") {
+            return LoadOutcome::Rejected {
+                reason: format!(
+                    "version mismatch: file is {}, store is v{STORE_VERSION}",
+                    fields[1]
+                ),
+            };
+        }
+        let Some(expected) = parse_fp_hex(fields[2]) else {
+            return LoadOutcome::Rejected {
+                reason: format!("bad checksum field {:?}", fields[2]),
+            };
+        };
+        let payload = payload.trim_end_matches('\n');
+        if fnv64(payload.as_bytes()) != expected {
+            return LoadOutcome::Rejected {
+                reason: "checksum mismatch (corrupt or truncated payload)".into(),
+            };
+        }
+        let value = match Value::parse(payload) {
+            Ok(v) => v,
+            Err(e) => {
+                return LoadOutcome::Rejected {
+                    reason: format!("malformed payload: {e}"),
+                }
+            }
+        };
+        match decode_project(&value) {
+            Some(p) => LoadOutcome::Loaded(p),
+            None => LoadOutcome::Rejected {
+                reason: "incomplete payload (schema drift within v1?)".into(),
+            },
+        }
+    }
+
+    /// Persists one project's state, atomically (write temp + rename)
+    /// so a crash mid-write leaves the previous file intact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn save(&self, project: &str, state: &StoredProject) -> std::io::Result<()> {
+        let payload = encode_project(state).render();
+        let header = format!(
+            "ruf95-store v{STORE_VERSION} {}",
+            fp_hex(fnv64(payload.as_bytes()))
+        );
+        let path = self.path_of(project);
+        let tmp = self.dir.join(format!("{project}.json.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            writeln!(f, "{header}")?;
+            writeln!(f, "{payload}")?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Project names with a file in the store, sorted.
+    pub fn projects(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                if let Some(name) = e.file_name().to_str().and_then(|n| n.strip_suffix(".json")) {
+                    out.push(name.to_string());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+fn encode_path(p: &StablePath) -> Value {
+    Value::Obj(vec![
+        ("b".into(), Value::opt_str(p.base.as_deref())),
+        (
+            "o".into(),
+            Value::Arr(
+                p.ops
+                    .iter()
+                    .map(|op| match op {
+                        StableOp::Field(f) => Value::str(format!("f:{f}")),
+                        StableOp::Index => Value::str("ix"),
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_path(v: &Value) -> Option<StablePath> {
+    let ops = v
+        .get("o")?
+        .as_arr()?
+        .iter()
+        .map(|op| {
+            let s = op.as_str()?;
+            if s == "ix" {
+                Some(StableOp::Index)
+            } else {
+                s.strip_prefix("f:").map(|f| StableOp::Field(f.into()))
+            }
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(StablePath {
+        base: v.get("b").and_then(Value::as_str).map(str::to_string),
+        ops,
+    })
+}
+
+fn encode_summary(s: &FuncSummary) -> Value {
+    Value::Obj(vec![
+        ("fp".into(), Value::str(fp_hex(s.fingerprint))),
+        (
+            "outputs".into(),
+            Value::Arr(
+                s.outputs
+                    .iter()
+                    .map(|pairs| {
+                        Value::Arr(
+                            pairs
+                                .iter()
+                                .map(|p| {
+                                    Value::Obj(vec![
+                                        ("p".into(), encode_path(&p.path)),
+                                        ("r".into(), encode_path(&p.referent)),
+                                    ])
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "calls".into(),
+            Value::Arr(
+                s.calls
+                    .iter()
+                    .map(|(off, callees)| {
+                        Value::Arr(vec![
+                            Value::Int(*off as i64),
+                            Value::Arr(callees.iter().map(Value::str).collect()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_summary(v: &Value) -> Option<FuncSummary> {
+    let outputs = v
+        .get("outputs")?
+        .as_arr()?
+        .iter()
+        .map(|pairs| {
+            pairs
+                .as_arr()?
+                .iter()
+                .map(|p| {
+                    Some(StablePair {
+                        path: decode_path(p.get("p")?)?,
+                        referent: decode_path(p.get("r")?)?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let calls = v
+        .get("calls")?
+        .as_arr()?
+        .iter()
+        .map(|c| {
+            let c = c.as_arr()?;
+            let off = c.first()?.as_u64()?;
+            let callees = c
+                .get(1)?
+                .as_arr()?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()?;
+            Some((off as u32, callees))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(FuncSummary {
+        fingerprint: parse_fp_hex(v.get("fp")?.as_str()?)?,
+        outputs,
+        calls,
+    })
+}
+
+fn encode_project(p: &StoredProject) -> Value {
+    Value::Obj(vec![
+        ("ci_spec_key".into(), Value::str(&p.ci_spec_key)),
+        (
+            "benches".into(),
+            Value::Arr(
+                p.benches
+                    .iter()
+                    .map(|b| {
+                        // Sort function names so the file is byte-stable
+                        // across runs (hash-map iteration is not).
+                        let mut names: Vec<&String> = b.summaries.keys().collect();
+                        names.sort();
+                        Value::Obj(vec![
+                            ("name".into(), Value::str(&b.name)),
+                            ("source".into(), Value::str(&b.source)),
+                            ("input".into(), Value::str(bytes_hex(&b.input))),
+                            ("source_fp".into(), Value::str(fp_hex(b.source_fp))),
+                            ("graph_fp".into(), Value::str(fp_hex(b.graph_fp))),
+                            (
+                                "solutions".into(),
+                                Value::Arr(
+                                    b.solution_fps
+                                        .iter()
+                                        .map(|(a, fp)| {
+                                            Value::Obj(vec![
+                                                ("analysis".into(), Value::str(a)),
+                                                (
+                                                    "fp".into(),
+                                                    Value::opt_str(fp.map(fp_hex).as_deref()),
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "summaries".into(),
+                                Value::Obj(
+                                    names
+                                        .iter()
+                                        .map(|n| ((*n).clone(), encode_summary(&b.summaries[*n])))
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "check_fp".into(),
+                                Value::opt_str(b.check_fp.map(fp_hex).as_deref()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_project(v: &Value) -> Option<StoredProject> {
+    let benches = v
+        .get("benches")?
+        .as_arr()?
+        .iter()
+        .map(|b| {
+            let summaries = b
+                .get("summaries")?
+                .as_obj()?
+                .iter()
+                .map(|(name, s)| Some((name.clone(), decode_summary(s)?)))
+                .collect::<Option<alias::fxhash::HashMap<_, _>>>()?;
+            let solution_fps = b
+                .get("solutions")?
+                .as_arr()?
+                .iter()
+                .map(|s| {
+                    let analysis = s.get("analysis")?.as_str()?.to_string();
+                    let fp = match s.get("fp") {
+                        Some(Value::Null) | None => None,
+                        Some(f) => Some(parse_fp_hex(f.as_str()?)?),
+                    };
+                    Some((analysis, fp))
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some(StoredBench {
+                name: b.get("name")?.as_str()?.to_string(),
+                source: b.get("source")?.as_str()?.to_string(),
+                input: parse_bytes_hex(b.get("input")?.as_str()?)?,
+                source_fp: parse_fp_hex(b.get("source_fp")?.as_str()?)?,
+                graph_fp: parse_fp_hex(b.get("graph_fp")?.as_str()?)?,
+                solution_fps,
+                summaries,
+                check_fp: match b.get("check_fp") {
+                    Some(Value::Null) | None => None,
+                    Some(f) => Some(parse_fp_hex(f.as_str()?)?),
+                },
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(StoredProject {
+        ci_spec_key: v.get("ci_spec_key")?.as_str()?.to_string(),
+        benches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_project() -> StoredProject {
+        let mut summaries = alias::fxhash::HashMap::default();
+        summaries.insert(
+            "main".to_string(),
+            FuncSummary {
+                fingerprint: 0xfeed_f00d_dead_beef,
+                outputs: vec![
+                    vec![StablePair {
+                        path: StablePath {
+                            base: Some("g:gp".into()),
+                            ops: vec![],
+                        },
+                        referent: StablePath {
+                            base: Some("l:main:x".into()),
+                            ops: vec![StableOp::Field("f".into()), StableOp::Index],
+                        },
+                    }],
+                    vec![],
+                ],
+                calls: vec![(3, vec!["id".into(), "setg".into()])],
+            },
+        );
+        StoredProject {
+            ci_spec_key: "ci|site|none".into(),
+            benches: vec![StoredBench {
+                name: "span".into(),
+                source: "int main(void) { return 0; }\n".into(),
+                input: vec![1, 2, 3],
+                source_fp: 7,
+                graph_fp: u64::MAX,
+                solution_fps: vec![("ci".into(), Some(42)), ("cs".into(), None)],
+                summaries,
+                check_fp: Some(99),
+            }],
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join("ruf95-store-test-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        let p = sample_project();
+        store.save("alpha", &p).unwrap();
+        let LoadOutcome::Loaded(q) = store.load("alpha") else {
+            panic!("expected Loaded");
+        };
+        assert_eq!(q.ci_spec_key, p.ci_spec_key);
+        assert_eq!(q.benches.len(), 1);
+        let (a, b) = (&p.benches[0], &q.benches[0]);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.input, b.input);
+        assert_eq!(a.source_fp, b.source_fp);
+        assert_eq!(a.graph_fp, b.graph_fp);
+        assert_eq!(a.solution_fps, b.solution_fps);
+        assert_eq!(a.check_fp, b.check_fp);
+        let (sa, sb) = (&a.summaries["main"], &b.summaries["main"]);
+        assert_eq!(sa.fingerprint, sb.fingerprint);
+        assert_eq!(sa.outputs, sb.outputs);
+        assert_eq!(sa.calls, sb.calls);
+        assert_eq!(store.projects(), vec!["alpha".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_missing() {
+        let dir = std::env::temp_dir().join("ruf95-store-test-missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        assert!(matches!(store.load("ghost"), LoadOutcome::Missing));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

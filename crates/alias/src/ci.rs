@@ -295,7 +295,7 @@ pub fn analyze_ci_resume(
 }
 
 /// Delivers the full committed set of `src` to `(node, port)`.
-fn deliver_committed(s: &mut Solver, node: NodeId, port: usize, src: OutputId) {
+pub(crate) fn deliver_committed(s: &mut Solver, node: NodeId, port: usize, src: OutputId) {
     let pairs: Vec<Pair> = s.sets[src.0 as usize]
         .iter()
         .map(|id| s.interner.resolve(id))
@@ -305,32 +305,60 @@ fn deliver_committed(s: &mut Solver, node: NodeId, port: usize, src: OutputId) {
     }
 }
 
-struct Solver<'g> {
-    g: &'g Graph,
-    cfg: CiConfig,
-    paths: PathTable,
-    interner: PairInterner,
+pub(crate) struct Solver<'g> {
+    pub(crate) g: &'g Graph,
+    pub(crate) cfg: CiConfig,
+    pub(crate) paths: PathTable,
+    pub(crate) interner: PairInterner,
     /// Committed pairs (with pending deltas) per output.
-    sets: Vec<PairSet>,
+    pub(crate) sets: Vec<PairSet>,
     /// Naive-mode worklist: single `(input, pair)` deliveries.
     naive_wl: VecDeque<(InputId, PairId)>,
     /// Delta-mode worklist: outputs with a pending delta.
     out_wl: VecDeque<u32>,
     queued: Vec<bool>,
-    callees: HashMap<NodeId, Vec<VFuncId>>,
-    callers: HashMap<VFuncId, Vec<NodeId>>,
+    pub(crate) callees: HashMap<NodeId, Vec<VFuncId>>,
+    pub(crate) callers: HashMap<VFuncId, Vec<NodeId>>,
     /// Owner function of each heap base's allocation site (only filled
     /// under [`HeapNaming::CallString1`]).
     alloc_owner: HashMap<vdg::graph::BaseId, VFuncId>,
-    flow_ins: u64,
+    pub(crate) flow_ins: u64,
     flow_outs: u64,
     dedup_hits: u64,
     delta_batches: u64,
+    /// Emission mask for the demand-driven solver: when present, an
+    /// emission to an output outside the mask is dropped *before* it is
+    /// committed, so inactive outputs never accumulate partial sets.
+    /// `None` (the exhaustive solvers) admits every output.
+    pub(crate) active: Option<Vec<bool>>,
+    /// Delivery budget: the run loops stop once `flow_ins` reaches this
+    /// limit, leaving the worklists non-empty (the demand solver's
+    /// exhaustion signal). `u64::MAX` for the exhaustive solvers.
+    pub(crate) step_limit: u64,
     /// Reusable emission and side-input buffers (no per-delivery
     /// allocation in the hot loop).
     em: Vec<(OutputId, Pair)>,
     scratch_a: Vec<Pair>,
     scratch_b: Vec<Pair>,
+}
+
+/// The owned, graph-independent portion of a [`Solver`], carried by the
+/// demand-driven solver between point queries. The worklists and
+/// scratch buffers are deliberately absent: parts may only be extracted
+/// from a solver whose worklists are drained (or whose state is being
+/// abandoned after budget exhaustion).
+#[derive(Debug, Clone)]
+pub(crate) struct SolverParts {
+    pub(crate) paths: PathTable,
+    pub(crate) interner: PairInterner,
+    pub(crate) sets: Vec<PairSet>,
+    pub(crate) callees: HashMap<NodeId, Vec<VFuncId>>,
+    pub(crate) callers: HashMap<VFuncId, Vec<NodeId>>,
+    pub(crate) alloc_owner: HashMap<vdg::graph::BaseId, VFuncId>,
+    pub(crate) flow_ins: u64,
+    pub(crate) flow_outs: u64,
+    pub(crate) dedup_hits: u64,
+    pub(crate) delta_batches: u64,
 }
 
 /// Computes the owning function of every heap allocation site.
@@ -460,7 +488,7 @@ fn forward_to_caller(
 }
 
 impl<'g> Solver<'g> {
-    fn new(g: &'g Graph, cfg: CiConfig) -> Self {
+    pub(crate) fn new(g: &'g Graph, cfg: CiConfig) -> Self {
         let alloc_owner = if cfg.heap_naming == HeapNaming::CallString1 {
             alloc_owner_map(g)
         } else {
@@ -482,15 +510,65 @@ impl<'g> Solver<'g> {
             flow_outs: 0,
             dedup_hits: 0,
             delta_batches: 0,
+            active: None,
+            step_limit: u64::MAX,
             em: Vec::new(),
             scratch_a: Vec::new(),
             scratch_b: Vec::new(),
         }
     }
 
+    /// Rebuilds a solver around state carried over from earlier demand
+    /// queries. The committed sets, interner, path table, and call
+    /// graph resume exactly where [`Solver::into_parts`] left them;
+    /// worklists start empty (parts are only extracted at fixpoint).
+    pub(crate) fn from_parts(
+        g: &'g Graph,
+        cfg: CiConfig,
+        parts: SolverParts,
+        active: Vec<bool>,
+    ) -> Self {
+        let mut s = Solver::new(g, cfg);
+        s.paths = parts.paths;
+        s.interner = parts.interner;
+        s.sets = parts.sets;
+        s.callees = parts.callees;
+        s.callers = parts.callers;
+        s.alloc_owner = parts.alloc_owner;
+        s.flow_ins = parts.flow_ins;
+        s.flow_outs = parts.flow_outs;
+        s.dedup_hits = parts.dedup_hits;
+        s.delta_batches = parts.delta_batches;
+        s.active = Some(active);
+        s
+    }
+
+    /// Extracts the carry-over state. Call only at fixpoint (drained
+    /// worklists) — any queued deliveries are dropped.
+    pub(crate) fn into_parts(self) -> SolverParts {
+        SolverParts {
+            paths: self.paths,
+            interner: self.interner,
+            sets: self.sets,
+            callees: self.callees,
+            callers: self.callers,
+            alloc_owner: self.alloc_owner,
+            flow_ins: self.flow_ins,
+            flow_outs: self.flow_outs,
+            dedup_hits: self.dedup_hits,
+            delta_batches: self.delta_batches,
+        }
+    }
+
+    /// Whether the last [`Solver::run`] stopped on [`Solver::step_limit`]
+    /// rather than at fixpoint.
+    pub(crate) fn exhausted(&self) -> bool {
+        !self.naive_wl.is_empty() || !self.out_wl.is_empty()
+    }
+
     /// Seeds address/function/allocation constants with `(ε, base)` —
     /// the paper's initialization loop over base-locations.
-    fn seed(&mut self) {
+    pub(crate) fn seed(&mut self) {
         let mut seeds = Vec::new();
         for (id, n) in self.g.nodes() {
             let base = match n.kind {
@@ -506,7 +584,7 @@ impl<'g> Solver<'g> {
         }
     }
 
-    fn run(&mut self) {
+    pub(crate) fn run(&mut self) {
         match self.cfg.propagation {
             Propagation::Naive => self.run_naive(),
             Propagation::Delta => self.run_delta(),
@@ -515,6 +593,9 @@ impl<'g> Solver<'g> {
 
     fn run_naive(&mut self) {
         loop {
+            if self.flow_ins >= self.step_limit {
+                break;
+            }
             let item = match self.cfg.order {
                 WorklistOrder::Fifo => self.naive_wl.pop_front(),
                 WorklistOrder::Lifo => self.naive_wl.pop_back(),
@@ -529,6 +610,9 @@ impl<'g> Solver<'g> {
 
     fn run_delta(&mut self) {
         loop {
+            if self.flow_ins >= self.step_limit {
+                break;
+            }
             let item = match self.cfg.order {
                 WorklistOrder::Fifo => self.out_wl.pop_front(),
                 WorklistOrder::Lifo => self.out_wl.pop_back(),
@@ -552,7 +636,7 @@ impl<'g> Solver<'g> {
 
     /// Applies the transfer function for one delivered pair and flows
     /// the emissions out.
-    fn deliver(&mut self, node: NodeId, port: usize, pair: Pair) {
+    pub(crate) fn deliver(&mut self, node: NodeId, port: usize, pair: Pair) {
         let mut em = std::mem::take(&mut self.em);
         self.transfer(node, port, pair, &mut em);
         for &(out, p) in &em {
@@ -562,7 +646,7 @@ impl<'g> Solver<'g> {
         self.em = em;
     }
 
-    fn finish(self) -> CiResult {
+    pub(crate) fn finish(self) -> CiResult {
         let Solver {
             paths,
             interner,
@@ -613,7 +697,15 @@ impl<'g> Solver<'g> {
         }
     }
 
-    fn flow_out(&mut self, out: OutputId, pair: Pair) {
+    pub(crate) fn flow_out(&mut self, out: OutputId, pair: Pair) {
+        // Demand mask: emissions to outputs outside the solved region
+        // are dropped before they commit, so an inactive output's set
+        // stays empty (not partial) until its slice is activated.
+        if let Some(active) = &self.active {
+            if !active[out.0 as usize] {
+                return;
+            }
+        }
         let id = self.interner.intern(pair);
         let o = out.0 as usize;
         if self.sets[o].insert(id) {

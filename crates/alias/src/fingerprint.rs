@@ -691,7 +691,7 @@ fn intern_stable(
 /// The set of call targets the cone must assume for a call whose
 /// function input is (or becomes) dirty: the single named function for
 /// a direct `FuncConst` feed, every function otherwise.
-fn call_targets(g: &Graph, call: NodeId) -> Vec<VFuncId> {
+pub(crate) fn call_targets(g: &Graph, call: NodeId) -> Vec<VFuncId> {
     let src = g.input_src(call, 0);
     if let NodeKind::FuncConst(b) = &g.node(g.output(src).node).kind {
         if let BaseKind::Func { func } = g.base(*b).kind {

@@ -37,6 +37,7 @@ pub mod callstring;
 pub mod ci;
 pub mod cs;
 pub mod defuse;
+pub mod demand;
 pub mod fingerprint;
 pub mod fxhash;
 pub mod modref;
@@ -49,6 +50,7 @@ pub mod weihl;
 
 pub use ci::{analyze_ci, CiConfig, CiResult, Fault, HeapNaming, WorklistOrder};
 pub use cs::{analyze_cs, cs_subset_of_ci, CsConfig, CsResult, StepLimitExceeded};
+pub use demand::{DemandConfig, DemandSolution, DemandSolver, DemandState, DemandStats};
 pub use fingerprint::{extract_summaries, plan_ci_resume, CiResumePlan, FuncSummary, GraphIndex};
 pub use pairset::{PairId, PairInterner, PairSet, Propagation};
 pub use path::{AccessOp, Pair, PathId, PathTable};

@@ -591,6 +591,9 @@ pub enum SolverKind {
     CallString1,
     /// The assumption-set context-sensitive analysis (§4).
     Cs,
+    /// The demand-driven point-query view of the CI analysis. Not part
+    /// of [`SolverSpec::all`]: it answers queries, not spectra.
+    Demand,
 }
 
 impl SolverKind {
@@ -602,6 +605,7 @@ impl SolverKind {
             SolverKind::Ci => "ci",
             SolverKind::CallString1 => "k1",
             SolverKind::Cs => "cs",
+            SolverKind::Demand => "demand",
         }
     }
 }
@@ -676,6 +680,11 @@ impl SolverSpec {
         SolverSpec::new(SolverKind::CallString1)
     }
 
+    /// The demand-driven CI query solver, default knobs and budgets.
+    pub fn demand() -> SolverSpec {
+        SolverSpec::new(SolverKind::Demand)
+    }
+
     /// Looks up a default spec by [`Solver::name`].
     pub fn by_name(name: &str) -> Option<SolverSpec> {
         let kind = match name {
@@ -684,6 +693,7 @@ impl SolverSpec {
             "ci" => SolverKind::Ci,
             "k1" => SolverKind::CallString1,
             "cs" => SolverKind::Cs,
+            "demand" => SolverKind::Demand,
             _ => return None,
         };
         Some(SolverSpec::new(kind))
@@ -827,6 +837,12 @@ impl SolverSpec {
             }),
             SolverKind::Cs => Box::new(CsSolver {
                 config: self.cs_config(),
+            }),
+            SolverKind::Demand => Box::new(crate::demand::DemandSolver {
+                config: crate::demand::DemandConfig {
+                    ci: self.ci_config(),
+                    ..crate::demand::DemandConfig::default()
+                },
             }),
         }
     }

@@ -172,9 +172,13 @@ pub fn cmd_analyze(cx: &crate::Ctx) -> Result<(), String> {
 // query
 // ---------------------------------------------------------------------
 
-/// `ruf95 query`: point queries against an analyzed benchmark —
-/// `--site N` for the referent set at one indirect ref, `--a N --b N`
-/// for a may-alias verdict with witnesses.
+/// `ruf95 query`: point queries against a benchmark — `--site N` for
+/// the referent set at one indirect ref, `--a N --b N` for a may-alias
+/// verdict with witnesses. By default the source ships inline with the
+/// query and the service answers demand-driven: no exhaustive fixpoint
+/// runs unless the bench was already solved. `--exhaustive` restores
+/// the analyze-then-lookup flow (and is implied for non-CI solvers,
+/// which have no demand path).
 pub fn cmd_query(cx: &crate::Ctx) -> Result<(), String> {
     let analysis = cx.flags.get("analysis").unwrap_or("ci").to_string();
     let query = match (cx.flags.get("site"), cx.flags.get("a"), cx.flags.get("b")) {
@@ -189,22 +193,27 @@ pub fn cmd_query(cx: &crate::Ctx) -> Result<(), String> {
     };
     let project = project_of(cx);
     let mut transport = Transport::from_flags(&cx.flags)?;
-    // Make sure the daemon (or local service) has the bench: analyzing
-    // an unchanged source is a cache replay, so this is near-free.
     let jobs = vec![job_spec(&cx.name, &cx.source)];
-    transport
-        .send(&Request::Analyze {
-            project: project.clone(),
-            jobs: jobs.clone(),
-            fresh: false,
-            want_report: false,
-        })
-        .map_err(|m| render_service_err(m, &jobs))?;
+    let exhaustive = cx.flags.has("exhaustive") || !matches!(analysis.as_str(), "ci" | "demand");
+    if exhaustive {
+        // Make sure the daemon (or local service) has the bench solved:
+        // analyzing an unchanged source is a cache replay, so this is
+        // near-free on repeat.
+        transport
+            .send(&Request::Analyze {
+                project: project.clone(),
+                jobs: jobs.clone(),
+                fresh: false,
+                want_report: false,
+            })
+            .map_err(|m| render_service_err(m, &jobs))?;
+    }
     let resp = transport.send(&Request::Query {
         project,
         bench: cx.name.clone(),
         analysis,
         query,
+        job: (!exhaustive).then(|| jobs[0].clone()),
     })?;
     if cx.flags.has("json") {
         println!("{}", resp.to_value().render());
@@ -212,8 +221,16 @@ pub fn cmd_query(cx: &crate::Ctx) -> Result<(), String> {
     }
     match resp {
         Response::QueryResult {
-            analysis, answer, ..
+            analysis,
+            answer,
+            demand,
+            ..
         } => {
+            let analysis = if demand {
+                format!("{analysis}, demand")
+            } else {
+                analysis
+            };
             match answer {
                 proto::QueryAnswer::MayAlias {
                     may_alias,
@@ -525,9 +542,28 @@ pub fn cmd_client(cx: &crate::Ctx) -> Result<(), String> {
 }
 
 /// `ruf95 serve-bench`: measure cold vs warm vs restored latency and
-/// socket query throughput; write `BENCH_pr6.json`.
+/// socket query throughput; write `BENCH_pr6.json`. With `--queries`,
+/// measure the demand-driven query path instead and write
+/// `BENCH_pr7.json`: cold first-query latency (demand vs
+/// exhaustive-then-lookup), steady-state socket throughput, in-budget
+/// fraction, and the materialization fingerprint cross-check.
 pub fn cmd_serve_bench(cx: &crate::Ctx) -> Result<(), String> {
     let iters: u64 = cx.flags.get_parsed("iters", 200)?;
+    if cx.flags.has("queries") {
+        let out = cx.flags.get("out").unwrap_or("BENCH_pr7.json");
+        let result = serve::bench::run_queries(iters)?;
+        let json = result.to_json();
+        std::fs::write(out, &json).map_err(|e| format!("{out}: {e}"))?;
+        print!("{json}");
+        eprintln!(
+            "wrote {out}: demand first query {:.1}x faster than exhaustive, \
+             {:.0} queries/s, {:.1}% in budget",
+            result.cold_speedup,
+            result.query_rps,
+            result.in_budget_fraction * 100.0
+        );
+        return Ok(());
+    }
     let out = cx.flags.get("out").unwrap_or("BENCH_pr6.json");
     let store_flag = cx.flags.get("store").map(std::path::PathBuf::from);
     let tmp;

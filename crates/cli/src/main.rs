@@ -126,12 +126,13 @@ const COMMANDS: &[Command] = &[
     },
     Command {
         name: "query",
-        synopsis: "<file.c | bench:NAME> (--site N | --a N --b N) [--analysis NAME]",
-        about: "point alias queries against an analyzed benchmark",
+        synopsis: "<file.c | bench:NAME> (--site N | --a N --b N) [--analysis NAME] [--exhaustive]",
+        about: "point alias queries, demand-driven by default (no whole-program solve)",
         flag_help: &[
             "--site N         referent set at indirect ref N",
             "--a N / --b N    may-alias verdict for indirect refs N and M",
             "--analysis NAME  solver to query (default ci)",
+            "--exhaustive     solve the whole program first, then look the answer up",
             "--project NAME   session name on the service (default cli)",
             "--json           print the full typed response as JSON",
             "--connect ADDR   send to a running `ruf95 serve` daemon",
@@ -218,9 +219,10 @@ const COMMANDS: &[Command] = &[
     },
     Command {
         name: "serve-bench",
-        synopsis: "[--iters N] [--store DIR] [--out FILE]",
+        synopsis: "[--queries] [--iters N] [--store DIR] [--out FILE]",
         about: "measure cold/warm/restored latency and socket throughput",
         flag_help: &[
+            "--queries    benchmark demand-driven queries instead (BENCH_pr7.json)",
             "--iters N    socket query iterations (default 200)",
             "--store DIR  store directory for the restart leg (default: temp)",
             "--out FILE   output path (default BENCH_pr6.json)",

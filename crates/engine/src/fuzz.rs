@@ -171,8 +171,8 @@ pub struct FuzzViolation {
     /// The generator seed that produced the program.
     pub seed: u64,
     /// Which property failed: `"soundness"`, `"lattice"`,
-    /// `"divergence"`, `"incremental"`, `"checker"`, `"roundtrip"`, or
-    /// `"pipeline"`.
+    /// `"divergence"`, `"incremental"`, `"checker"`, `"demand"`,
+    /// `"roundtrip"`, or `"pipeline"`.
     pub kind: String,
     /// The solver (or solver pair) implicated.
     pub solver: String,
@@ -198,6 +198,12 @@ pub struct FuzzReport {
     pub overruns: u64,
     /// All confirmed violations, minimized when shrinking is on.
     pub violations: Vec<FuzzViolation>,
+    /// Demand point queries fired against the CI oracle.
+    pub demand_queries: u64,
+    /// Demand queries answered without falling back to the exhaustive
+    /// solution. A campaign where every query fell back checked
+    /// nothing, so callers assert this is positive.
+    pub demand_hits: u64,
     /// Campaign wall time.
     pub wall: Duration,
 }
@@ -211,6 +217,8 @@ impl FuzzReport {
         s.push_str(&format!("  \"clean\": {},\n", self.clean));
         s.push_str(&format!("  \"degraded\": {},\n", self.degraded));
         s.push_str(&format!("  \"overruns\": {},\n", self.overruns));
+        s.push_str(&format!("  \"demand_queries\": {},\n", self.demand_queries));
+        s.push_str(&format!("  \"demand_hits\": {},\n", self.demand_hits));
         s.push_str(&format!(
             "  \"wall_ms\": {:.3},\n",
             self.wall.as_secs_f64() * 1e3
@@ -242,13 +250,16 @@ impl FuzzReport {
     /// One-paragraph human summary.
     pub fn summary(&self) -> String {
         format!(
-            "fuzz: {} seeds in {:.2?} — {} clean, {} degraded, {} budget overruns, {} violations",
+            "fuzz: {} seeds in {:.2?} — {} clean, {} degraded, {} budget overruns, \
+             {} violations, {}/{} demand queries in budget",
             self.seeds,
             self.wall,
             self.clean,
             self.degraded,
             self.overruns,
             self.violations.len(),
+            self.demand_hits,
+            self.demand_queries,
         )
     }
 }
@@ -281,6 +292,8 @@ struct Findings {
     degraded: Vec<String>,
     overruns: u64,
     violations: Vec<Finding>,
+    demand_queries: u64,
+    demand_hits: u64,
 }
 
 /// Runs a fuzzing campaign. Seeds are checked in parallel; shrinking of
@@ -302,8 +315,12 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
     let mut clean = 0u64;
     let mut degraded = 0u64;
     let mut overruns = 0u64;
+    let mut demand_queries = 0u64;
+    let mut demand_hits = 0u64;
     let mut violations = Vec::new();
     for (seed, f, src) in outcomes {
+        demand_queries += f.demand_queries;
+        demand_hits += f.demand_hits;
         if f.violations.is_empty() && f.degraded.is_empty() && f.overruns == 0 {
             clean += 1;
         }
@@ -361,6 +378,8 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         degraded,
         overruns,
         violations,
+        demand_queries,
+        demand_hits,
         wall: t.elapsed(),
     }
 }
@@ -386,6 +405,8 @@ fn check_source(src: &str, cfg: &FuzzConfig, seed: u64) -> Findings {
         degraded: Vec::new(),
         overruns: 0,
         violations: Vec::new(),
+        demand_queries: 0,
+        demand_hits: 0,
     };
 
     // Printer round-trip: `print` must be a fixpoint of `parse ∘ print`,
@@ -581,6 +602,79 @@ fn check_source(src: &str, cfg: &FuzzConfig, seed: u64) -> Findings {
         }
     }
 
+    // Property 6 — demand-driven queries agree with the exhaustive CI
+    // oracle. Fires K pseudo-random point queries (both kinds) through
+    // one growing DemandState. A budget-exhausted query answers *from*
+    // the oracle, so it agrees by construction; the campaign separately
+    // aggregates the non-fallback rate and callers assert it is
+    // positive, so fallbacks cannot quietly hollow out the property.
+    {
+        let sites = graph.indirect_mem_ops();
+        if !sites.is_empty() {
+            let mut demand = alias::DemandState::new(
+                &graph,
+                alias::DemandConfig {
+                    ci: ci_spec.ci_config(),
+                    ..alias::DemandConfig::default()
+                },
+            );
+            let ci_rendered = |node| {
+                let mut v: Vec<String> = ci
+                    .loc_referents(&graph, node)
+                    .iter()
+                    .map(|&p| ci.paths.display(p, &graph))
+                    .collect();
+                v.sort();
+                v
+            };
+            // Tiny xorshift stream off the campaign seed: site picks
+            // must be deterministic per seed for shrink re-runs.
+            let mut rng = seed ^ 0x9e37_79b9_7f4a_7c15;
+            let mut pick = |n: usize| {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                (rng as usize) % n
+            };
+            const K: usize = 8;
+            for _ in 0..K {
+                let (a, _) = sites[pick(sites.len())];
+                let (b, _) = sites[pick(sites.len())];
+                let got = demand.loc_referents_rendered(&graph, a);
+                let want = ci_rendered(a);
+                if got != want {
+                    f.violations.push(Finding {
+                        kind: "demand",
+                        solver: "demand".to_string(),
+                        detail: format!(
+                            "referents_at node {a:?}: demand {got:?} != ci {want:?} ({job})"
+                        ),
+                    });
+                }
+                let (hit, witnesses) = demand.may_alias(&graph, a, b);
+                let ba = Solution::loc_referent_bases(&ci, &graph, a);
+                let bb = Solution::loc_referent_bases(&ci, &graph, b);
+                let want_w: Vec<_> = ba
+                    .iter()
+                    .copied()
+                    .filter(|x| bb.binary_search(x).is_ok())
+                    .collect();
+                if witnesses != want_w || hit == want_w.is_empty() {
+                    f.violations.push(Finding {
+                        kind: "demand",
+                        solver: "demand".to_string(),
+                        detail: format!(
+                            "may_alias {a:?}/{b:?}: demand {witnesses:?} != ci {want_w:?} ({job})"
+                        ),
+                    });
+                }
+            }
+            let ds = demand.stats();
+            f.demand_queries += ds.queries;
+            f.demand_hits += ds.demand_hits;
+        }
+    }
+
     // Property 1 — oracle soundness against the interpreter trace.
     match interp::run(
         &prog,
@@ -702,6 +796,13 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"seeds\": 8"));
         assert!(json.contains("\"violations\": []"));
+        assert!(r.demand_queries > 0, "demand property never fired");
+        assert!(
+            r.demand_hits > 0,
+            "every demand query fell back to the oracle — the property \
+             compared the oracle against itself"
+        );
+        assert!(json.contains("\"demand_queries\":"));
     }
 
     #[test]

@@ -147,6 +147,15 @@ pub struct ServeStats {
     /// Whether the request warm-started its session from the disk
     /// store.
     pub restored: bool,
+    /// Queries answered from the demand-solved region.
+    pub demand_hits: u64,
+    /// Queries answered from the exhaustive fallback solution.
+    pub demand_fallbacks: u64,
+    /// Demand queries that exhausted a slice or step budget.
+    pub demand_budget_exhausted: u64,
+    /// Microseconds the session has spent restoring from the disk
+    /// store (initial load plus lazy per-bench decode), cumulative.
+    pub restore_us: u64,
 }
 
 /// The full result of an engine run.
@@ -247,8 +256,17 @@ impl EngineReport {
         let serve = match &self.serve {
             Some(s) => format!(
                 "{{\"latency_us\": {}, \"benches_replayed\": {}, \
-                 \"solutions_replayed\": {}, \"restored\": {}}}",
-                s.latency_us, s.benches_replayed, s.solutions_replayed, s.restored
+                 \"solutions_replayed\": {}, \"restored\": {}, \
+                 \"demand_hits\": {}, \"demand_fallbacks\": {}, \
+                 \"demand_budget_exhausted\": {}, \"restore_us\": {}}}",
+                s.latency_us,
+                s.benches_replayed,
+                s.solutions_replayed,
+                s.restored,
+                s.demand_hits,
+                s.demand_fallbacks,
+                s.demand_budget_exhausted,
+                s.restore_us
             ),
             None => "null".into(),
         };
@@ -396,6 +414,10 @@ mod tests {
                 benches_replayed: 1,
                 solutions_replayed: 5,
                 restored: true,
+                demand_hits: 2,
+                demand_fallbacks: 1,
+                demand_budget_exhausted: 0,
+                restore_us: 120,
             }),
         }
     }
@@ -416,7 +438,9 @@ mod tests {
             "\"mode\": \"seeded(dirty=1/5)\"",
             "\"funcs_reused\": 4",
             "\"serve\": {\"latency_us\": 740, \"benches_replayed\": 1, \
-             \"solutions_replayed\": 5, \"restored\": true}",
+             \"solutions_replayed\": 5, \"restored\": true, \
+             \"demand_hits\": 2, \"demand_fallbacks\": 1, \
+             \"demand_budget_exhausted\": 0, \"restore_us\": 120}",
             "\"checks\": {\"diags\": [1, 0, 2, 0, 0, 3], \"true_positives\": 4, \
              \"false_positives\": 1, \"unreachable\": 1, \"refuted\": false}",
             "\"checks\": null",
@@ -452,9 +476,7 @@ mod tests {
         let mut b = sample();
         a.serve = Some(ServeStats {
             latency_us: 3,
-            benches_replayed: 0,
-            solutions_replayed: 0,
-            restored: false,
+            ..ServeStats::default()
         });
         b.serve = None;
         // A warm daemon answer and a plain in-process run of the same

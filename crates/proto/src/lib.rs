@@ -191,6 +191,10 @@ pub enum Request {
         analysis: String,
         /// The question.
         query: QueryKind,
+        /// Program source for the benchmark, letting the service answer
+        /// demand-driven without a prior `Analyze` (and without a disk
+        /// store). Ignored when the session already holds the bench.
+        job: Option<JobSpec>,
     },
     /// Service statistics: sessions, memory, request counts, uptime.
     Stats,
@@ -257,10 +261,14 @@ impl Request {
                 bench,
                 analysis,
                 query,
+                job,
             } => {
                 fields.push(("project".into(), Value::str(project)));
                 fields.push(("bench".into(), Value::str(bench)));
                 fields.push(("analysis".into(), Value::str(analysis)));
+                if let Some(job) = job {
+                    fields.push(("job".into(), job.to_value()));
+                }
                 let q = match query {
                     QueryKind::MayAlias { a, b } => Value::Obj(vec![
                         ("kind".into(), Value::str("may_alias")),
@@ -335,6 +343,10 @@ impl Request {
                     bench: need_str(v, "bench")?,
                     analysis: opt_str(v, "analysis").unwrap_or_else(|| "ci".into()),
                     query,
+                    job: match v.get("job") {
+                        Some(Value::Null) | None => None,
+                        Some(j) => Some(JobSpec::from_value(j)?),
+                    },
                 })
             }
             Some("stats") => Ok(Request::Stats),
@@ -395,6 +407,16 @@ pub struct ServeInfo {
     /// Whether this request warm-started the session from the disk
     /// store.
     pub restored: bool,
+    /// Queries answered from the demand-solved region (no exhaustive
+    /// fixpoint).
+    pub demand_hits: u64,
+    /// Queries answered from the exhaustive fallback solution.
+    pub demand_fallbacks: u64,
+    /// Demand queries that exhausted a slice or step budget.
+    pub demand_budget_exhausted: u64,
+    /// Microseconds spent restoring this session from the disk store
+    /// (load plus lazy per-bench decode), cumulative.
+    pub restore_us: u64,
 }
 
 impl ServeInfo {
@@ -420,6 +442,16 @@ impl ServeInfo {
             ("funcs_reused".into(), Value::Int(self.funcs_reused as i64)),
             ("funcs_dirty".into(), Value::Int(self.funcs_dirty as i64)),
             ("restored".into(), Value::Bool(self.restored)),
+            ("demand_hits".into(), Value::Int(self.demand_hits as i64)),
+            (
+                "demand_fallbacks".into(),
+                Value::Int(self.demand_fallbacks as i64),
+            ),
+            (
+                "demand_budget_exhausted".into(),
+                Value::Int(self.demand_budget_exhausted as i64),
+            ),
+            ("restore_us".into(), Value::Int(self.restore_us as i64)),
         ])
     }
 
@@ -434,6 +466,10 @@ impl ServeInfo {
             funcs_reused: n("funcs_reused"),
             funcs_dirty: n("funcs_dirty"),
             restored: get_bool(v, "restored"),
+            demand_hits: n("demand_hits"),
+            demand_fallbacks: n("demand_fallbacks"),
+            demand_budget_exhausted: n("demand_budget_exhausted"),
+            restore_us: n("restore_us"),
         }
     }
 }
@@ -544,6 +580,12 @@ pub struct ProjectStats {
     pub approx_bytes: u64,
     /// Milliseconds since the session last served a request.
     pub idle_ms: u64,
+    /// Queries answered from the session's demand-solved regions.
+    pub demand_hits: u64,
+    /// Queries answered from exhaustive fallback solutions.
+    pub demand_fallbacks: u64,
+    /// Microseconds spent restoring the session from the disk store.
+    pub restore_us: u64,
 }
 
 /// A response from the analysis service.
@@ -586,6 +628,9 @@ pub enum Response {
         analysis: String,
         /// The answer.
         answer: QueryAnswer,
+        /// Whether the demand-driven path answered (no exhaustive
+        /// fixpoint ran for this query).
+        demand: bool,
     },
     /// Result of [`Request::Stats`].
     Stats {
@@ -753,6 +798,7 @@ impl Response {
                 bench,
                 analysis,
                 answer,
+                demand,
             } => {
                 let ans = match answer {
                     QueryAnswer::MayAlias {
@@ -784,6 +830,7 @@ impl Response {
                     ("bench".into(), Value::str(bench)),
                     ("analysis".into(), Value::str(analysis)),
                     ("answer".into(), ans),
+                    ("demand".into(), Value::Bool(*demand)),
                 ])
             }
             Response::Stats {
@@ -817,6 +864,12 @@ impl Response {
                                     ("benches".into(), Value::Int(p.benches as i64)),
                                     ("approx_bytes".into(), Value::Int(p.approx_bytes as i64)),
                                     ("idle_ms".into(), Value::Int(p.idle_ms as i64)),
+                                    ("demand_hits".into(), Value::Int(p.demand_hits as i64)),
+                                    (
+                                        "demand_fallbacks".into(),
+                                        Value::Int(p.demand_fallbacks as i64),
+                                    ),
+                                    ("restore_us".into(), Value::Int(p.restore_us as i64)),
                                 ])
                             })
                             .collect(),
@@ -972,6 +1025,7 @@ impl Response {
                     bench: need_str(v, "bench")?,
                     analysis: need_str(v, "analysis")?,
                     answer,
+                    demand: get_bool(v, "demand"),
                 })
             }
             Some("stats") => Ok(Response::Stats {
@@ -999,6 +1053,12 @@ impl Response {
                                 .and_then(Value::as_u64)
                                 .unwrap_or(0),
                             idle_ms: p.get("idle_ms").and_then(Value::as_u64).unwrap_or(0),
+                            demand_hits: p.get("demand_hits").and_then(Value::as_u64).unwrap_or(0),
+                            demand_fallbacks: p
+                                .get("demand_fallbacks")
+                                .and_then(Value::as_u64)
+                                .unwrap_or(0),
+                            restore_us: p.get("restore_us").and_then(Value::as_u64).unwrap_or(0),
                         })
                     })
                     .collect::<Result<_, DecodeError>>()?,
@@ -1087,12 +1147,18 @@ mod tests {
             bench: "span".into(),
             analysis: "ci".into(),
             query: QueryKind::MayAlias { a: 0, b: 3 },
+            job: None,
         });
         round_trip_request(Request::Query {
             project: "p".into(),
             bench: "span".into(),
             analysis: "k1".into(),
             query: QueryKind::ReferentsAt { site: 7 },
+            job: Some(JobSpec {
+                name: "span".into(),
+                source: "int main(void) { return 0; }".into(),
+                input: vec![2],
+            }),
         });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Evict {
@@ -1123,6 +1189,10 @@ mod tests {
                 latency_us: 12,
                 benches_replayed: 1,
                 restored: true,
+                demand_hits: 3,
+                demand_fallbacks: 1,
+                demand_budget_exhausted: 1,
+                restore_us: 250,
                 ..ServeInfo::default()
             },
         });
@@ -1166,6 +1236,7 @@ mod tests {
                     kind: "write".into(),
                 },
             },
+            demand: true,
         });
         round_trip_response(Response::QueryResult {
             bench: "span".into(),
@@ -1179,6 +1250,7 @@ mod tests {
                 },
                 referents: vec!["g:a".into(), "l:main:x".into()],
             },
+            demand: false,
         });
         round_trip_response(Response::Stats {
             uptime_ms: 1000,
@@ -1190,6 +1262,9 @@ mod tests {
                 benches: 13,
                 approx_bytes: 4096,
                 idle_ms: 5,
+                demand_hits: 7,
+                demand_fallbacks: 1,
+                restore_us: 432,
             }],
         });
         round_trip_response(Response::Ok);

@@ -134,6 +134,7 @@ pub fn run(store_dir: &std::path::Path, query_iters: u64) -> Result<ServeBench, 
                 query: QueryKind::ReferentsAt {
                     site: (i % 2) as usize,
                 },
+                job: None,
             })
             .map_err(|e| format!("query: {e}"))?;
         if let Response::Error { message } = resp {
@@ -170,6 +171,221 @@ pub fn run(store_dir: &std::path::Path, query_iters: u64) -> Result<ServeBench, 
             0.0
         },
     })
+}
+
+// ---------------------------------------------------------------------
+// PR 7: demand-driven query benchmark (`serve-bench --queries`).
+// ---------------------------------------------------------------------
+
+/// The `BENCH_pr7.json` measurement set: what demand-driven queries buy
+/// over exhaustive-solve-then-lookup on the serve hot path.
+#[derive(Debug, Clone)]
+pub struct QueryBench {
+    /// Suite benchmarks measured.
+    pub benches: usize,
+    /// Total cold first-query latency across the suite, demand path:
+    /// fresh service, source inline with the query, no prior analyze.
+    pub demand_cold_us: u64,
+    /// Total cold first-query latency across the suite, exhaustive
+    /// path: fresh service, full analyze, then the same query.
+    pub exhaustive_cold_us: u64,
+    /// `exhaustive_cold_us / demand_cold_us`.
+    pub cold_speedup: f64,
+    /// Steady-state socket throughput: requests sent / wall seconds.
+    pub query_requests: u64,
+    pub query_secs: f64,
+    pub query_rps: f64,
+    /// Fraction of demand-path queries answered inside the budget
+    /// (demand hits over hits + fallbacks, from the service counters).
+    pub in_budget_fraction: f64,
+    /// Demand-then-materialized solution fingerprints equal a fresh
+    /// exhaustive CI solve on every suite benchmark.
+    pub fingerprint_match: bool,
+}
+
+fn expect_query(resp: Response, what: &str) -> Result<(), String> {
+    match resp {
+        Response::QueryResult { .. } => Ok(()),
+        Response::Error { message } => Err(format!("{what}: {message}")),
+        other => Err(format!("{what}: unexpected response {other:?}")),
+    }
+}
+
+/// Runs the demand-query measurement. Entirely in-memory: the store
+/// plays no role in first-query latency.
+///
+/// # Errors
+///
+/// Returns a description of the first failing request.
+pub fn run_queries(query_iters: u64) -> Result<QueryBench, String> {
+    // The paper suite plus the scaling sweep: the bundled programs are
+    // small enough that compile+lower dominates both paths, so the
+    // scaled chain/diamond programs — where the whole-program solve is
+    // the real cost — carry the cold-first-query comparison.
+    let mut jobs = suite_jobs();
+    jobs.extend(
+        suite::scaling::standard_suite(1995)
+            .into_iter()
+            .map(|p| JobSpec {
+                name: p.name,
+                source: p.source,
+                input: Vec::new(),
+            }),
+    );
+    // Every job must have a queryable site 0; some small generated
+    // diamonds come out with no indirect memory op at all.
+    jobs.retain(|j| {
+        cfront::compile(&j.source)
+            .ok()
+            .and_then(|p| vdg::build::lower(&p, &vdg::build::BuildOptions::default()).ok())
+            .is_some_and(|g| !g.indirect_mem_ops().is_empty())
+    });
+    let opts = || ServiceOptions {
+        store_dir: None,
+        mem_budget: 0,
+        threads: 0,
+    };
+    let query_for = |job: &JobSpec, with_source: bool| Request::Query {
+        project: "qbench".into(),
+        bench: job.name.clone(),
+        analysis: "ci".into(),
+        query: QueryKind::ReferentsAt { site: 0 },
+        job: with_source.then(|| job.clone()),
+    };
+
+    // Cold first query, demand path: one fresh service per benchmark,
+    // the source rides along with the query, nothing is pre-solved.
+    let mut demand_cold = 0u64;
+    for job in &jobs {
+        let mut svc = Service::new(opts()).map_err(|e| format!("store: {e}"))?;
+        let t = Instant::now();
+        expect_query(svc.handle(&query_for(job, true)), "demand query")?;
+        demand_cold += t.elapsed().as_micros() as u64;
+    }
+
+    // Cold first query, exhaustive path: analyze everything first,
+    // then look the answer up. This is what every query cost pre-PR7.
+    let mut exhaustive_cold = 0u64;
+    for job in &jobs {
+        let mut svc = Service::new(opts()).map_err(|e| format!("store: {e}"))?;
+        let t = Instant::now();
+        // `fresh: false` on an empty in-memory service is still a full
+        // cold solve; `fresh: true` would bypass the session and leave
+        // nothing for the lookup to find.
+        expect_analyzed(
+            svc.handle(&Request::Analyze {
+                project: "qbench".into(),
+                jobs: vec![job.clone()],
+                fresh: false,
+                want_report: false,
+            }),
+            "exhaustive analyze",
+        )?;
+        expect_query(svc.handle(&query_for(job, false)), "exhaustive query")?;
+        exhaustive_cold += t.elapsed().as_micros() as u64;
+    }
+
+    // Steady state: demand queries over a real socket, cycling through
+    // the suite, against one long-lived daemon.
+    let svc = Service::new(opts()).map_err(|e| format!("store: {e}"))?;
+    let handle = daemon::spawn(svc, "127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let mut client = daemon::Client::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
+    let t = Instant::now();
+    for i in 0..query_iters {
+        let job = &jobs[(i as usize) % jobs.len()];
+        let resp = client
+            .request(&query_for(job, true))
+            .map_err(|e| format!("query: {e}"))?;
+        expect_query(resp, "steady-state query")?;
+    }
+    let query_secs = t.elapsed().as_secs_f64();
+    // The service's own counters say how many of those stayed within
+    // the demand budget versus falling back to an exhaustive solve.
+    let in_budget_fraction = match client.request(&Request::Stats) {
+        Ok(Response::Stats { projects, .. }) => {
+            let hits: u64 = projects.iter().map(|p| p.demand_hits).sum();
+            let falls: u64 = projects.iter().map(|p| p.demand_fallbacks).sum();
+            if hits + falls == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + falls) as f64
+            }
+        }
+        _ => 0.0,
+    };
+    let _ = client.request(&Request::Shutdown);
+    handle.join();
+
+    // Cross-check: demand-then-materialize lands on the identical
+    // solution fingerprint as a fresh exhaustive CI solve, suite-wide.
+    let mut fingerprint_match = true;
+    for job in &jobs {
+        let prog = cfront::compile(&job.source).map_err(|e| format!("{}: {e}", job.name))?;
+        let graph = vdg::build::lower(&prog, &vdg::build::BuildOptions::default())
+            .map_err(|e| format!("{}: {e}", job.name))?;
+        let fresh = alias::analyze_ci(&graph, &alias::CiConfig::default());
+        let mut st = alias::DemandState::new(&graph, alias::DemandConfig::default());
+        if let Some(&(node, _)) = graph.indirect_mem_ops().first() {
+            let _ = st.loc_referents_rendered(&graph, node);
+        }
+        let mat = st.materialize(&graph);
+        if alias::solver::solution_fingerprint(&fresh, &graph)
+            != alias::solver::solution_fingerprint(&mat, &graph)
+        {
+            fingerprint_match = false;
+        }
+    }
+
+    Ok(QueryBench {
+        benches: jobs.len(),
+        demand_cold_us: demand_cold,
+        exhaustive_cold_us: exhaustive_cold,
+        cold_speedup: exhaustive_cold as f64 / (demand_cold.max(1)) as f64,
+        query_requests: query_iters,
+        query_secs,
+        query_rps: if query_secs > 0.0 {
+            query_iters as f64 / query_secs
+        } else {
+            0.0
+        },
+        in_budget_fraction,
+        fingerprint_match,
+    })
+}
+
+impl QueryBench {
+    /// Renders the `BENCH_pr7.json` document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"bench\": \"pr7_demand_queries\",\n");
+        s.push_str(&format!("  \"suite_benches\": {},\n", self.benches));
+        s.push_str(&format!(
+            "  \"demand_cold_first_query_us\": {},\n",
+            self.demand_cold_us
+        ));
+        s.push_str(&format!(
+            "  \"exhaustive_cold_first_query_us\": {},\n",
+            self.exhaustive_cold_us
+        ));
+        s.push_str(&format!(
+            "  \"cold_first_query_speedup\": {:.2},\n",
+            self.cold_speedup
+        ));
+        s.push_str(&format!(
+            "  \"query_requests\": {},\n  \"query_wall_s\": {:.4},\n  \"query_rps\": {:.1},\n",
+            self.query_requests, self.query_secs, self.query_rps
+        ));
+        s.push_str(&format!(
+            "  \"in_budget_fraction\": {:.4},\n",
+            self.in_budget_fraction
+        ));
+        s.push_str(&format!(
+            "  \"fingerprint_match\": {}\n",
+            self.fingerprint_match
+        ));
+        s.push_str("}\n");
+        s
+    }
 }
 
 impl ServeBench {

@@ -48,11 +48,59 @@ pub struct StoredBench {
     /// `(analysis, canonical solution fingerprint)` per solver;
     /// `None` for failed solves.
     pub solution_fps: Vec<(String, Option<u64>)>,
-    /// Memoized per-function facts, the CI resume seeds.
-    pub summaries: alias::fxhash::HashMap<String, FuncSummary>,
+    /// Memoized per-function facts, the CI resume seeds. Loaded lazily:
+    /// decoding is the dominant load cost, and a session that only
+    /// fields demand queries never needs the seeds at all.
+    pub summaries: StoredSummaries,
     /// FNV-64 over the benchmark's per-solver diagnostics, when a
     /// check request ran.
     pub check_fp: Option<u64>,
+}
+
+/// A benchmark's summaries, decoded on first touch rather than at load
+/// time — `Store::load` used to decode every bench's summary map
+/// eagerly, which made a warm restore *slower* than a cold solve for a
+/// session that then touched one bench.
+#[derive(Debug, Clone)]
+pub enum StoredSummaries {
+    /// Decoded facts, ready to seed a CI resume.
+    Ready(alias::fxhash::HashMap<String, FuncSummary>),
+    /// The raw `"summaries"` JSON object as loaded from disk.
+    Raw(Value),
+}
+
+impl Default for StoredSummaries {
+    fn default() -> Self {
+        StoredSummaries::Ready(alias::fxhash::HashMap::default())
+    }
+}
+
+impl StoredSummaries {
+    /// The decoded map, decoding (once) if this is still the raw disk
+    /// form. A malformed raw object decodes to the empty map: the
+    /// session then cold-solves that bench — the store can cost time,
+    /// never correctness.
+    pub fn decoded(&mut self) -> &alias::fxhash::HashMap<String, FuncSummary> {
+        if let StoredSummaries::Raw(v) = self {
+            let m = decode_summaries(v).unwrap_or_default();
+            *self = StoredSummaries::Ready(m);
+        }
+        match self {
+            StoredSummaries::Ready(m) => m,
+            StoredSummaries::Raw(_) => unreachable!("decoded above"),
+        }
+    }
+
+    /// An owned decoded map, *without* materializing the `Ready` form:
+    /// a raw entry decodes straight into the caller's hands and stays
+    /// raw here, so re-persisting remains a verbatim re-emit and no
+    /// second copy of the map is kept (or cloned) per bench.
+    pub fn decode_fresh(&self) -> alias::fxhash::HashMap<String, FuncSummary> {
+        match self {
+            StoredSummaries::Ready(m) => m.clone(),
+            StoredSummaries::Raw(v) => decode_summaries(v).unwrap_or_default(),
+        }
+    }
 }
 
 /// A project's full persisted state.
@@ -155,7 +203,7 @@ impl Store {
                 }
             }
         };
-        match decode_project(&value) {
+        match decode_project(value) {
             Some(p) => LoadOutcome::Loaded(p),
             None => LoadOutcome::Rejected {
                 reason: "incomplete payload (schema drift within v1?)".into(),
@@ -326,6 +374,15 @@ fn decode_summary(v: &Value) -> Option<FuncSummary> {
     })
 }
 
+/// Decodes a bench's full `"summaries"` object (the deferred half of
+/// project loading).
+fn decode_summaries(v: &Value) -> Option<alias::fxhash::HashMap<String, FuncSummary>> {
+    v.as_obj()?
+        .iter()
+        .map(|(name, s)| Some((name.clone(), decode_summary(s)?)))
+        .collect()
+}
+
 fn encode_project(p: &StoredProject) -> Value {
     Value::Obj(vec![
         ("ci_spec_key".into(), Value::str(&p.ci_spec_key)),
@@ -335,10 +392,24 @@ fn encode_project(p: &StoredProject) -> Value {
                 p.benches
                     .iter()
                     .map(|b| {
-                        // Sort function names so the file is byte-stable
-                        // across runs (hash-map iteration is not).
-                        let mut names: Vec<&String> = b.summaries.keys().collect();
-                        names.sort();
+                        let summaries = match &b.summaries {
+                            // Sort function names so the file is
+                            // byte-stable across runs (hash-map
+                            // iteration is not).
+                            StoredSummaries::Ready(m) => {
+                                let mut names: Vec<&String> = m.keys().collect();
+                                names.sort();
+                                Value::Obj(
+                                    names
+                                        .iter()
+                                        .map(|n| ((*n).clone(), encode_summary(&m[*n])))
+                                        .collect(),
+                                )
+                            }
+                            // Never-touched raw form: re-emit verbatim
+                            // (it round-tripped the checksum at load).
+                            StoredSummaries::Raw(v) => v.clone(),
+                        };
                         Value::Obj(vec![
                             ("name".into(), Value::str(&b.name)),
                             ("source".into(), Value::str(&b.source)),
@@ -362,15 +433,7 @@ fn encode_project(p: &StoredProject) -> Value {
                                         .collect(),
                                 ),
                             ),
-                            (
-                                "summaries".into(),
-                                Value::Obj(
-                                    names
-                                        .iter()
-                                        .map(|n| ((*n).clone(), encode_summary(&b.summaries[*n])))
-                                        .collect(),
-                                ),
-                            ),
+                            ("summaries".into(), summaries),
                             (
                                 "check_fp".into(),
                                 Value::opt_str(b.check_fp.map(fp_hex).as_deref()),
@@ -383,49 +446,62 @@ fn encode_project(p: &StoredProject) -> Value {
     ])
 }
 
-fn decode_project(v: &Value) -> Option<StoredProject> {
-    let benches = v
-        .get("benches")?
-        .as_arr()?
-        .iter()
-        .map(|b| {
-            let summaries = b
-                .get("summaries")?
-                .as_obj()?
-                .iter()
-                .map(|(name, s)| Some((name.clone(), decode_summary(s)?)))
-                .collect::<Option<alias::fxhash::HashMap<_, _>>>()?;
-            let solution_fps = b
-                .get("solutions")?
-                .as_arr()?
-                .iter()
-                .map(|s| {
-                    let analysis = s.get("analysis")?.as_str()?.to_string();
-                    let fp = match s.get("fp") {
-                        Some(Value::Null) | None => None,
-                        Some(f) => Some(parse_fp_hex(f.as_str()?)?),
-                    };
-                    Some((analysis, fp))
-                })
-                .collect::<Option<Vec<_>>>()?;
-            Some(StoredBench {
-                name: b.get("name")?.as_str()?.to_string(),
-                source: b.get("source")?.as_str()?.to_string(),
-                input: parse_bytes_hex(b.get("input")?.as_str()?)?,
-                source_fp: parse_fp_hex(b.get("source_fp")?.as_str()?)?,
-                graph_fp: parse_fp_hex(b.get("graph_fp")?.as_str()?)?,
-                solution_fps,
-                summaries,
-                check_fp: match b.get("check_fp") {
-                    Some(Value::Null) | None => None,
-                    Some(f) => Some(parse_fp_hex(f.as_str()?)?),
-                },
-            })
-        })
+/// Consumes the parsed payload so each bench's `"summaries"` subtree
+/// can be *moved* into [`StoredSummaries::Raw`] — cloning it at load
+/// time would cost more than the eager decode this laziness replaces.
+fn decode_project(v: Value) -> Option<StoredProject> {
+    let ci_spec_key = v.get("ci_spec_key")?.as_str()?.to_string();
+    let Value::Obj(fields) = v else { return None };
+    let benches_raw = fields.into_iter().find(|(k, _)| k == "benches")?.1;
+    let Value::Arr(items) = benches_raw else {
+        return None;
+    };
+    let benches = items
+        .into_iter()
+        .map(decode_bench)
         .collect::<Option<Vec<_>>>()?;
     Some(StoredProject {
-        ci_spec_key: v.get("ci_spec_key")?.as_str()?.to_string(),
+        ci_spec_key,
         benches,
+    })
+}
+
+fn decode_bench(b: Value) -> Option<StoredBench> {
+    let Value::Obj(mut fields) = b else {
+        return None;
+    };
+    // Shape-check only; per-function decoding is deferred to the first
+    // touch (StoredSummaries::decoded).
+    let idx = fields.iter().position(|(k, _)| k == "summaries")?;
+    let raw = fields.remove(idx).1;
+    raw.as_obj()?;
+    let summaries = StoredSummaries::Raw(raw);
+    let b = Value::Obj(fields);
+    let solution_fps = b
+        .get("solutions")?
+        .as_arr()?
+        .iter()
+        .map(|s| {
+            let analysis = s.get("analysis")?.as_str()?.to_string();
+            let fp = match s.get("fp") {
+                Some(Value::Null) | None => None,
+                Some(f) => Some(parse_fp_hex(f.as_str()?)?),
+            };
+            Some((analysis, fp))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(StoredBench {
+        name: b.get("name")?.as_str()?.to_string(),
+        source: b.get("source")?.as_str()?.to_string(),
+        input: parse_bytes_hex(b.get("input")?.as_str()?)?,
+        source_fp: parse_fp_hex(b.get("source_fp")?.as_str()?)?,
+        graph_fp: parse_fp_hex(b.get("graph_fp")?.as_str()?)?,
+        solution_fps,
+        summaries,
+        check_fp: match b.get("check_fp") {
+            Some(Value::Null) | None => None,
+            Some(f) => Some(parse_fp_hex(f.as_str()?)?),
+        },
     })
 }
 
@@ -464,7 +540,7 @@ mod tests {
                 source_fp: 7,
                 graph_fp: u64::MAX,
                 solution_fps: vec![("ci".into(), Some(42)), ("cs".into(), None)],
-                summaries,
+                summaries: StoredSummaries::Ready(summaries),
                 check_fp: Some(99),
             }],
         }
@@ -477,12 +553,15 @@ mod tests {
         let store = Store::open(&dir).unwrap();
         let p = sample_project();
         store.save("alpha", &p).unwrap();
-        let LoadOutcome::Loaded(q) = store.load("alpha") else {
+        let LoadOutcome::Loaded(mut q) = store.load("alpha") else {
             panic!("expected Loaded");
         };
         assert_eq!(q.ci_spec_key, p.ci_spec_key);
         assert_eq!(q.benches.len(), 1);
-        let (a, b) = (&p.benches[0], &q.benches[0]);
+        // Loading defers summary decoding; the first touch decodes.
+        assert!(matches!(q.benches[0].summaries, StoredSummaries::Raw(_)));
+        let mut p = p;
+        let (a, b) = (&mut p.benches[0], &mut q.benches[0]);
         assert_eq!(a.name, b.name);
         assert_eq!(a.source, b.source);
         assert_eq!(a.input, b.input);
@@ -490,11 +569,49 @@ mod tests {
         assert_eq!(a.graph_fp, b.graph_fp);
         assert_eq!(a.solution_fps, b.solution_fps);
         assert_eq!(a.check_fp, b.check_fp);
-        let (sa, sb) = (&a.summaries["main"], &b.summaries["main"]);
+        let (sa, sb) = (
+            &a.summaries.decoded()["main"],
+            &b.summaries.decoded()["main"],
+        );
         assert_eq!(sa.fingerprint, sb.fingerprint);
         assert_eq!(sa.outputs, sb.outputs);
         assert_eq!(sa.calls, sb.calls);
         assert_eq!(store.projects(), vec!["alpha".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn raw_summaries_reencode_byte_identically() {
+        // save → load (raw) → save must produce the same file as the
+        // original save, so a session that never touched a bench's
+        // summaries re-persists them without decoding.
+        let dir = std::env::temp_dir().join("ruf95-store-test-raw-reencode");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        store.save("alpha", &sample_project()).unwrap();
+        let first = std::fs::read_to_string(store.path_of("alpha")).unwrap();
+        let LoadOutcome::Loaded(q) = store.load("alpha") else {
+            panic!("expected Loaded");
+        };
+        store.save("alpha", &q).unwrap();
+        let second = std::fs::read_to_string(store.path_of("alpha")).unwrap();
+        assert_eq!(first, second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_summaries_decode_to_empty_not_reject() {
+        let mut p = sample_project();
+        p.benches[0].summaries =
+            StoredSummaries::Raw(Value::parse("{\"main\": {\"fp\": \"nope\"}}").unwrap());
+        let dir = std::env::temp_dir().join("ruf95-store-test-badsum");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        store.save("alpha", &p).unwrap();
+        let LoadOutcome::Loaded(mut q) = store.load("alpha") else {
+            panic!("bad summaries must not reject the whole project");
+        };
+        assert!(q.benches[0].summaries.decoded().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

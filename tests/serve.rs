@@ -205,6 +205,7 @@ fn query_after_restart_matches_live() {
             bench: bench.clone(),
             analysis: "ci".into(),
             query: QueryKind::ReferentsAt { site: 0 },
+            job: None,
         })
     };
 
@@ -352,12 +353,14 @@ fn client_script(project: &str) -> Vec<Request> {
             bench: bench.clone(),
             analysis: "ci".into(),
             query: QueryKind::MayAlias { a: 0, b: 1 },
+            job: None,
         },
         Request::Query {
             project: project.to_string(),
             bench,
             analysis: "steensgaard".into(),
             query: QueryKind::ReferentsAt { site: 0 },
+            job: None,
         },
         Request::Check {
             project: project.to_string(),
@@ -393,6 +396,7 @@ fn comparable(resp: &Response) -> String {
             bench,
             analysis,
             answer,
+            ..
         } => format!("query {bench} {analysis} {answer:?}"),
         other => format!("{other:?}"),
     }
@@ -533,6 +537,7 @@ fn unknown_bench_and_bad_site_are_clean_errors() {
         bench: "nope".into(),
         analysis: "ci".into(),
         query: QueryKind::ReferentsAt { site: 0 },
+        job: None,
     }) {
         Response::Error { message } => assert!(message.contains("analyze")),
         other => panic!("expected Error, got {other:?}"),
@@ -544,6 +549,7 @@ fn unknown_bench_and_bad_site_are_clean_errors() {
         bench: jobs[0].name.clone(),
         analysis: "ci".into(),
         query: QueryKind::ReferentsAt { site: 100_000 },
+        job: None,
     }) {
         Response::Error { message } => assert!(message.contains("out of range")),
         other => panic!("expected Error, got {other:?}"),
@@ -574,6 +580,7 @@ fn may_alias_is_symmetric_and_witnessed() {
             bench: "alias".into(),
             analysis: "ci".into(),
             query: QueryKind::MayAlias { a, b },
+            job: None,
         }) {
             Response::QueryResult {
                 answer:

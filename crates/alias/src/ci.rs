@@ -1512,25 +1512,18 @@ mod tests {
     /// memoize, fingerprint B against A, seed a resume, and require the
     /// result to be *numerically* identical to a fresh solve of B.
     fn check_resume(src_a: &str, src_b: &str, want_dirty: &[&str]) {
-        use crate::fingerprint::{extract_summaries, plan_ci_resume, GraphIndex};
+        use crate::fingerprint::{extract_ci_summaries, plan_ci_resume, GraphIndex};
         let cfg = CiConfig::default();
         let pa = cfront::compile(src_a).expect("A compiles");
         let ga = lower(&pa, &BuildOptions::default()).expect("A lowers");
         let ra = analyze_ci(&ga, &cfg);
         let ia = GraphIndex::build(&ga);
         assert_eq!(ia.unsafe_reason, None);
-        let sums = extract_summaries(&ga, &ia, &ra);
+        let prev = extract_ci_summaries(&ga, &ia, &ra).expect("summaries");
 
         let pb = cfront::compile(src_b).expect("B compiles");
         let gb = lower(&pb, &BuildOptions::default()).expect("B lowers");
         let ib = GraphIndex::build(&gb);
-        let mut prev: crate::fxhash::HashMap<String, crate::fingerprint::FuncSummary> =
-            crate::fxhash::HashMap::default();
-        for f in ga.func_ids() {
-            if let Some(s) = sums[f.0 as usize].clone() {
-                prev.insert(ga.func(f).name.clone(), s);
-            }
-        }
         let plan = plan_ci_resume(&gb, &ib, &prev).expect("plan");
         let dirty_names: Vec<&str> = plan
             .dirty

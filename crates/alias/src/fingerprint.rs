@@ -11,11 +11,15 @@
 //!    value kinds, and intra-function edge offsets. Two functions with
 //!    equal fingerprints lower to isomorphic subgraphs, so their
 //!    outputs correspond by offset.
-//! 2. **Stable facts** ([`FuncSummary`]): committed pairs re-expressed
-//!    with graph-independent vocabulary — base-locations by stable key
-//!    (global name, `func:local` name, heap site label, …) and access
-//!    paths as operator strings — so a summary extracted from one graph
-//!    can be re-interned into the [`PathTable`] of another.
+//! 2. **Stable facts** ([`crate::summary::FunctionSummary`]): committed
+//!    pairs re-expressed with graph-independent vocabulary —
+//!    base-locations by stable key (global name, `func:local` name,
+//!    heap site label, …) and access paths as operator strings — so a
+//!    summary extracted from one graph can be re-interned into the
+//!    [`PathTable`] of another. Each solver has its own fact shape
+//!    ([`crate::summary::FuncFacts`]); this module owns the CI shape
+//!    and the shared classification/cone machinery the other solvers'
+//!    planners build on ([`plan_base`], [`compute_cone_for`]).
 //! 3. **The dirty cone** ([`compute_cone`]): the forward closure, over
 //!    static consumer edges plus call/return boundaries, of every
 //!    output owned by a changed function. Outputs *outside* the cone
@@ -31,7 +35,8 @@
 
 use crate::ci::CiResult;
 use crate::fxhash::{HashMap, HashSet};
-use crate::path::{AccessOp, Pair, PathTable};
+use crate::path::{AccessOp, Pair, PathId, PathTable};
+use crate::summary::{FuncFacts, FunctionSummary, SolverSummaries, Vocab};
 use vdg::graph::{BaseKind, Graph, NodeId, NodeKind, OutputId, VFuncId, ValueKind};
 
 /// FNV-1a, 64-bit — the workspace-standard dependency-free hash.
@@ -399,7 +404,9 @@ impl GraphIndex {
 }
 
 /// One access operator with a stable (graph-independent) field name.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// `Ord` so vocabulary comparisons (memop-pruning drift, set-valued
+/// facts) can sort into a canonical order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StableOp {
     /// Struct/union field access, by field name.
     Field(String),
@@ -409,7 +416,7 @@ pub enum StableOp {
 
 /// An access path with graph-independent vocabulary: an optional base
 /// key (offset paths have none) plus operator spine.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StablePath {
     /// Stable key of the base-location, `None` for offset paths.
     pub base: Option<String>,
@@ -418,7 +425,7 @@ pub struct StablePath {
 }
 
 /// A points-to pair in stable vocabulary.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StablePair {
     /// Where the value lives.
     pub path: StablePath,
@@ -426,83 +433,222 @@ pub struct StablePair {
     pub referent: StablePath,
 }
 
-/// Memoized per-function facts from one CI solve, in stable vocabulary:
-/// the committed pair-set deltas the function's outputs accumulated,
-/// plus the call edges discovered at its call sites.
-#[derive(Debug, Clone)]
-pub struct FuncSummary {
-    /// The function's content fingerprint at extraction time.
-    pub fingerprint: u64,
-    /// Committed pairs per output, indexed by offset within the
-    /// function's output range.
-    pub outputs: Vec<Vec<StablePair>>,
-    /// Call-edge facts: `(call-node offset, sorted callee names)`.
-    pub calls: Vec<(u32, Vec<String>)>,
+/// Renders one interned path of `paths` in stable vocabulary. `None`
+/// when the path roots at a synthetic base (call-string heap naming),
+/// which has no graph-independent name.
+pub(crate) fn stable_path(
+    paths: &PathTable,
+    graph: &Graph,
+    index: &GraphIndex,
+    p: PathId,
+) -> Option<StablePath> {
+    let base = match paths.base_of(p) {
+        Some(b) => {
+            if paths.is_synthetic(b) {
+                return None;
+            }
+            Some(index.base_keys[b.0 as usize].clone())
+        }
+        None => None,
+    };
+    let ops = paths
+        .ops_of(p)
+        .into_iter()
+        .map(|op| match op {
+            AccessOp::Field(f) => StableOp::Field(graph.field_name(f).to_string()),
+            AccessOp::Index => StableOp::Index,
+        })
+        .collect();
+    Some(StablePath { base, ops })
 }
 
-/// Extracts per-function summaries from a CI solve. Returns `None` for
-/// a function whose facts cannot be expressed stably (synthetic bases
-/// under call-string heap naming).
-pub fn extract_summaries(
+/// Renders one pair of `paths` in stable vocabulary.
+pub(crate) fn stable_pair(
+    paths: &PathTable,
+    graph: &Graph,
+    index: &GraphIndex,
+    pr: Pair,
+) -> Option<StablePair> {
+    Some(StablePair {
+        path: stable_path(paths, graph, index, pr.path)?,
+        referent: stable_path(paths, graph, index, pr.referent)?,
+    })
+}
+
+/// Call-edge facts of function `f` from a solve's recorded callee map:
+/// `(call-node offset, sorted callee names)`, sorted by offset.
+pub(crate) fn stable_calls(
+    graph: &Graph,
+    index: &GraphIndex,
+    f: VFuncId,
+    callees: &HashMap<NodeId, Vec<VFuncId>>,
+) -> Vec<(u32, Vec<String>)> {
+    let fi = f.0 as usize;
+    let mut calls: Vec<(u32, Vec<String>)> = callees
+        .iter()
+        .filter(|(n, _)| index.node_owner[n.0 as usize] == f)
+        .map(|(n, fs)| {
+            let mut names: Vec<String> = fs.iter().map(|&c| graph.func(c).name.clone()).collect();
+            names.sort_unstable();
+            (n.0 - index.node_start[fi], names)
+        })
+        .collect();
+    calls.sort_unstable();
+    calls
+}
+
+/// Extracts the CI summary of one function: committed pairs per output
+/// offset plus call edges. `None` when a fact roots at a synthetic base
+/// (call-string heap naming).
+pub(crate) fn extract_ci_func(
     graph: &Graph,
     index: &GraphIndex,
     ci: &CiResult,
-) -> Vec<Option<FuncSummary>> {
-    let stable = |p: crate::path::PathId| -> Option<StablePath> {
-        let base = match ci.paths.base_of(p) {
-            Some(b) => {
-                if ci.paths.is_synthetic(b) {
-                    return None;
-                }
-                Some(index.base_keys[b.0 as usize].clone())
-            }
-            None => None,
-        };
-        let ops = ci
-            .paths
-            .ops_of(p)
-            .into_iter()
-            .map(|op| match op {
-                AccessOp::Field(f) => StableOp::Field(graph.field_name(f).to_string()),
-                AccessOp::Index => StableOp::Index,
-            })
-            .collect();
-        Some(StablePath { base, ops })
-    };
-    (0..graph.func_count())
-        .map(|fi| {
-            let f = VFuncId(fi as u32);
-            let (os, oe) = (index.out_start[fi], index.out_end[fi]);
-            let mut outputs = Vec::with_capacity((oe - os) as usize);
-            for o in os..oe {
-                let mut pairs = Vec::new();
-                for pr in ci.pairs(OutputId(o)) {
-                    pairs.push(StablePair {
-                        path: stable(pr.path)?,
-                        referent: stable(pr.referent)?,
-                    });
-                }
-                outputs.push(pairs);
-            }
-            let mut calls: Vec<(u32, Vec<String>)> = ci
-                .callees
-                .iter()
-                .filter(|(n, _)| index.node_owner[n.0 as usize] == f)
-                .map(|(n, fs)| {
-                    (
-                        n.0 - index.node_start[fi],
-                        fs.iter().map(|&c| graph.func(c).name.clone()).collect(),
-                    )
-                })
-                .collect();
-            calls.sort_unstable();
-            Some(FuncSummary {
-                fingerprint: index.func_fps[fi],
-                outputs,
-                calls,
-            })
+    f: VFuncId,
+) -> Option<FunctionSummary> {
+    let fi = f.0 as usize;
+    let (os, oe) = (index.out_start[fi], index.out_end[fi]);
+    let mut outputs = Vec::with_capacity((oe - os) as usize);
+    for o in os..oe {
+        let mut pairs = Vec::new();
+        for pr in ci.pairs(OutputId(o)) {
+            pairs.push(stable_pair(&ci.paths, graph, index, *pr)?);
+        }
+        outputs.push(pairs);
+    }
+    Some(FunctionSummary {
+        fingerprint: index.func_fps[fi],
+        calls: stable_calls(graph, index, f, &ci.callees),
+        facts: FuncFacts::Ci(outputs),
+    })
+}
+
+/// Extracts whole-program CI summaries. `None` when stable naming is
+/// unsafe or any function's facts cannot be expressed stably.
+pub fn extract_ci_summaries(
+    graph: &Graph,
+    index: &GraphIndex,
+    ci: &CiResult,
+) -> Option<SolverSummaries> {
+    if index.unsafe_reason.is_some() {
+        return None;
+    }
+    let mut out = SolverSummaries::new(Vocab::Ci);
+    for f in graph.func_ids() {
+        let s = extract_ci_func(graph, index, ci, f)?;
+        out.funcs.insert(graph.func(f).name.clone(), s);
+    }
+    Some(out)
+}
+
+/// The vocabulary-independent skeleton of a resume plan: which
+/// functions are clean (with their facts translated into next-graph
+/// vocabulary by the caller's closure), which are dirty, the clean
+/// functions' previous call edges, and the callees that lost an
+/// in-flow.
+pub(crate) struct PlanBase<T> {
+    /// Translated facts per clean function.
+    pub(crate) translated: HashMap<VFuncId, T>,
+    /// Dirty functions: changed fingerprint, deleted-from-summary, or
+    /// demoted on translation failure.
+    pub(crate) dirty: HashSet<VFuncId>,
+    /// Previous call edges of clean functions, in next-graph node ids.
+    pub(crate) prev_edges: HashMap<NodeId, Vec<VFuncId>>,
+    /// Functions that lost an in-flow: callees of a dirty or deleted
+    /// function.
+    pub(crate) lost_callees: HashSet<VFuncId>,
+}
+
+/// Classifies `next`'s functions against `prev` and translates each
+/// clean function's facts via `translate` (returning `None` demotes the
+/// function to dirty, exactly like a failed call-edge translation).
+/// Shared by every vocabulary's resume planner. Returns `None` when the
+/// index reports stable naming as unsafe.
+pub(crate) fn plan_base<T>(
+    next: &Graph,
+    index: &GraphIndex,
+    prev: &SolverSummaries,
+    mut translate: impl FnMut(VFuncId, &FunctionSummary) -> Option<T>,
+) -> Option<PlanBase<T>> {
+    if index.unsafe_reason.is_some() {
+        return None;
+    }
+    let clean: HashMap<VFuncId, &FunctionSummary> = next
+        .func_ids()
+        .filter_map(|f| {
+            prev.funcs
+                .get(&next.func(f).name)
+                .filter(|s| s.fingerprint == index.func_fps[f.0 as usize])
+                .map(|s| (f, s))
         })
-        .collect()
+        .collect();
+    let mut dirty: HashSet<VFuncId> = (0..next.func_count() as u32)
+        .map(VFuncId)
+        .filter(|f| !clean.contains_key(f))
+        .collect();
+    let mut translated: HashMap<VFuncId, T> = HashMap::default();
+    let mut edges: HashMap<VFuncId, Vec<(NodeId, Vec<VFuncId>)>> = HashMap::default();
+    'funcs: for (&f, summary) in &clean {
+        let fi = f.0 as usize;
+        let mut fe = Vec::with_capacity(summary.calls.len());
+        for (off, names) in &summary.calls {
+            let node = NodeId(index.node_start[fi] + off);
+            let mut callees = Vec::with_capacity(names.len());
+            for name in names {
+                let Some(&c) = index.func_by_name.get(name) else {
+                    dirty.insert(f);
+                    continue 'funcs;
+                };
+                callees.push(c);
+            }
+            fe.push((node, callees));
+        }
+        let Some(t) = translate(f, summary) else {
+            dirty.insert(f);
+            continue;
+        };
+        translated.insert(f, t);
+        edges.insert(f, fe);
+    }
+    translated.retain(|f, _| !dirty.contains(f));
+    edges.retain(|f, _| !dirty.contains(f));
+
+    // Prev call edges of clean functions, for the cone's return rule.
+    let mut prev_edges: HashMap<NodeId, Vec<VFuncId>> = HashMap::default();
+    for fe in edges.values() {
+        for (n, callees) in fe {
+            prev_edges.insert(*n, callees.clone());
+        }
+    }
+
+    // A dirty or deleted function's previous call edges are gone from
+    // the next-graph closure, but the callees they used to feed lost an
+    // in-flow: their committed sets may shrink, so their entries must
+    // join the cone. Without this, a callee whose only call site was
+    // deleted would be seeded with stale facts.
+    let mut lost_callees: HashSet<VFuncId> = HashSet::default();
+    for (name, summary) in &prev.funcs {
+        let gone = match index.func_by_name.get(name) {
+            Some(&f) => dirty.contains(&f),
+            None => true,
+        };
+        if !gone {
+            continue;
+        }
+        for (_, callee_names) in &summary.calls {
+            for c in callee_names {
+                if let Some(&t) = index.func_by_name.get(c) {
+                    lost_callees.insert(t);
+                }
+            }
+        }
+    }
+    Some(PlanBase {
+        translated,
+        dirty,
+        prev_edges,
+        lost_callees,
+    })
 }
 
 /// The plan for one seeded CI resume, in next-graph vocabulary.
@@ -525,115 +671,58 @@ pub struct CiResumePlan {
 }
 
 /// Plans a seeded CI resume of `next` given the previous run's
-/// summaries keyed by function name (`prev`, including functions that
-/// no longer exist). A next-graph function is *clean* when a
-/// same-named summary exists and its fingerprint matches; everything
-/// else is dirty. A clean function whose summary fails to translate (a
-/// base, field, or callee no longer exists) is demoted to dirty.
-/// Returns `None` when the index reports stable naming as unsafe.
+/// summaries (`prev`, including functions that no longer exist). A
+/// next-graph function is *clean* when a same-named summary exists and
+/// its fingerprint matches; everything else is dirty. A clean function
+/// whose summary fails to translate (a base, field, or callee no
+/// longer exists) is demoted to dirty. Returns `None` when the index
+/// reports stable naming as unsafe or `prev` speaks another
+/// vocabulary.
 pub fn plan_ci_resume(
     next: &Graph,
     index: &GraphIndex,
-    prev: &HashMap<String, FuncSummary>,
+    prev: &SolverSummaries,
 ) -> Option<CiResumePlan> {
-    if index.unsafe_reason.is_some() {
+    if prev.vocab != Vocab::Ci {
         return None;
     }
-    let clean: HashMap<VFuncId, &FuncSummary> = next
-        .func_ids()
-        .filter_map(|f| {
-            prev.get(&next.func(f).name)
-                .filter(|s| s.fingerprint == index.func_fps[f.0 as usize])
-                .map(|s| (f, s))
-        })
-        .collect();
     let mut paths = PathTable::for_graph(next);
-    // Per clean function: re-interned output pair sets + call edges.
-    type Translated = (Vec<Vec<Pair>>, Vec<(NodeId, Vec<VFuncId>)>);
-    let mut translated: HashMap<VFuncId, Translated> = HashMap::default();
-    let mut dirty: HashSet<VFuncId> = (0..next.func_count() as u32)
-        .map(VFuncId)
-        .filter(|f| !clean.contains_key(f))
-        .collect();
-
-    'funcs: for (&f, summary) in &clean {
+    let base = plan_base(next, index, prev, |f, summary| {
         let fi = f.0 as usize;
         let want = (index.out_end[fi] - index.out_start[fi]) as usize;
-        if summary.outputs.len() != want {
+        let FuncFacts::Ci(rows) = &summary.facts else {
+            return None;
+        };
+        if rows.len() != want {
             // Fingerprint equality should make this impossible; treat a
             // mismatch as a stale summary.
-            dirty.insert(f);
-            continue;
+            return None;
         }
         let mut outs = Vec::with_capacity(want);
-        for pairs in &summary.outputs {
+        for pairs in rows {
             let mut v = Vec::with_capacity(pairs.len());
             for sp in pairs {
-                let (Some(a), Some(b)) = (
-                    intern_stable(next, index, &mut paths, &sp.path),
-                    intern_stable(next, index, &mut paths, &sp.referent),
-                ) else {
-                    dirty.insert(f);
-                    continue 'funcs;
-                };
+                let a = intern_stable(next, index, &mut paths, &sp.path)?;
+                let b = intern_stable(next, index, &mut paths, &sp.referent)?;
                 v.push(Pair::new(a, b));
             }
             outs.push(v);
         }
-        let mut edges = Vec::with_capacity(summary.calls.len());
-        for (off, names) in &summary.calls {
-            let node = NodeId(index.node_start[fi] + off);
-            let mut callees = Vec::with_capacity(names.len());
-            for name in names {
-                let Some(&c) = index.func_by_name.get(name) else {
-                    dirty.insert(f);
-                    continue 'funcs;
-                };
-                callees.push(c);
-            }
-            edges.push((node, callees));
-        }
-        translated.insert(f, (outs, edges));
-    }
-    translated.retain(|f, _| !dirty.contains(f));
-
-    // Prev call edges of clean functions, for the cone's return rule.
-    let mut prev_edges: HashMap<NodeId, Vec<VFuncId>> = HashMap::default();
-    for (_, edges) in translated.values() {
-        for (n, callees) in edges {
-            prev_edges.insert(*n, callees.clone());
-        }
-    }
-
-    // A dirty or deleted function's previous call edges are gone from
-    // the next-graph closure, but the callees they used to feed lost an
-    // in-flow: their committed sets may shrink, so their entries must
-    // join the cone. Without this, a callee whose only call site was
-    // deleted would be seeded with stale facts.
-    let mut lost_callees: HashSet<VFuncId> = HashSet::default();
-    for (name, summary) in prev {
-        let gone = match index.func_by_name.get(name) {
-            Some(&f) => dirty.contains(&f),
-            None => true,
-        };
-        if !gone {
-            continue;
-        }
-        for (_, callee_names) in &summary.calls {
-            for c in callee_names {
-                if let Some(&t) = index.func_by_name.get(c) {
-                    lost_callees.insert(t);
-                }
-            }
-        }
-    }
+        Some(outs)
+    })?;
+    let PlanBase {
+        translated,
+        dirty,
+        prev_edges,
+        lost_callees,
+    } = base;
 
     let in_cone = compute_cone(next, index, &dirty, &prev_edges, &lost_callees);
     let cone_outputs = in_cone.iter().filter(|&&b| b).count();
 
     let mut seeds: Vec<Option<Vec<Pair>>> = vec![None; next.output_count()];
     let mut seeded_outputs = 0;
-    for (&f, (outs, _)) in &translated {
+    for (&f, outs) in &translated {
         let os = index.out_start[f.0 as usize];
         for (i, pairs) in outs.iter().enumerate() {
             let o = os + i as u32;
@@ -668,7 +757,7 @@ pub fn plan_ci_resume(
 
 /// Re-interns a stable path into `paths` over `next`. `None` when the
 /// base key or a field name no longer exists.
-fn intern_stable(
+pub(crate) fn intern_stable(
     next: &Graph,
     index: &GraphIndex,
     paths: &mut PathTable,
@@ -701,6 +790,29 @@ pub(crate) fn call_targets(g: &Graph, call: NodeId) -> Vec<VFuncId> {
     g.func_ids().collect()
 }
 
+/// Which solver's transfer system a dirty-cone closure must mirror.
+/// The CI rules are the base; CS and k=1 add paths a change can take
+/// that CI does not have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConeVocab {
+    /// CI rules (also sound for Weihl's value space: Weihl's per-node
+    /// emissions are a subset of CI's, and store-relation invalidation
+    /// is handled by the caller through `extra_roots`).
+    Ci,
+    /// CI rules plus: an in-cone actual re-derives the call's own
+    /// outputs (`repropagate_new_actual` re-emits return products at
+    /// the call), and the caller roots memory operations whose CI
+    /// pruning drifted via `extra_roots`.
+    Cs,
+    /// CI rules plus: an in-cone actual re-derives the call's own
+    /// outputs (`pull_returns` re-emits under the arriving context);
+    /// an in-cone function input and a lost caller re-derive *all*
+    /// outputs of the affected callee, not just its entries (a changed
+    /// activation set reaches every context-indexed slot, constants
+    /// included).
+    K1,
+}
+
 /// Computes the dirty cone: the outputs whose final committed sets may
 /// differ from the previous run. Everything outside provably receives
 /// exactly the deliveries of the previous run.
@@ -720,12 +832,37 @@ pub(crate) fn call_targets(g: &Graph, call: NodeId) -> Vec<VFuncId> {
 ///   recorded callees in the cone;
 /// - an in-cone input of `Return{f}` puts the outputs of `f`'s
 ///   previously recorded callers in the cone.
+///
+/// See [`ConeVocab`] for the CS and k=1 extensions.
 pub fn compute_cone(
     g: &Graph,
     index: &GraphIndex,
     dirty: &HashSet<VFuncId>,
     prev_edges: &HashMap<NodeId, Vec<VFuncId>>,
     lost_callees: &HashSet<VFuncId>,
+) -> Vec<bool> {
+    compute_cone_for(
+        g,
+        index,
+        dirty,
+        prev_edges,
+        lost_callees,
+        ConeVocab::Ci,
+        &[],
+    )
+}
+
+/// [`compute_cone`] parameterized by solver vocabulary plus extra cone
+/// roots (CS memop pruning drift; Weihl `Lookup` reads under a dirty
+/// store).
+pub(crate) fn compute_cone_for(
+    g: &Graph,
+    index: &GraphIndex,
+    dirty: &HashSet<VFuncId>,
+    prev_edges: &HashMap<NodeId, Vec<VFuncId>>,
+    lost_callees: &HashSet<VFuncId>,
+    vocab: ConeVocab,
+    extra_roots: &[OutputId],
 ) -> Vec<bool> {
     let mut prev_callers: HashMap<VFuncId, Vec<NodeId>> = HashMap::default();
     for (&n, callees) in prev_edges {
@@ -741,6 +878,22 @@ pub fn compute_cone(
             wl.push(o.0);
         }
     };
+    // A changed callee set (or lost caller) invalidates the callee's
+    // entries under CI/CS/Weihl; under k=1 it changes the callee's
+    // *activation set*, which indexes every context-keyed slot the
+    // callee owns — constants included — so the whole function joins.
+    let mark_target = |t: VFuncId, in_cone: &mut Vec<bool>, wl: &mut Vec<u32>| {
+        if vocab == ConeVocab::K1 {
+            let fi = t.0 as usize;
+            for o in index.out_start[fi]..index.out_end[fi] {
+                mark(OutputId(o), in_cone, wl);
+            }
+        } else {
+            for &out in &g.node(g.func(t).entry).outputs {
+                mark(out, in_cone, wl);
+            }
+        }
+    };
     for &f in dirty {
         let fi = f.0 as usize;
         for o in index.out_start[fi]..index.out_end[fi] {
@@ -751,9 +904,10 @@ pub fn compute_cone(
     // committed sets may shrink, and shrinkage propagates forward like
     // any other change.
     for &f in lost_callees {
-        for &out in &g.node(g.func(f).entry).outputs {
-            mark(out, &mut in_cone, &mut wl);
-        }
+        mark_target(f, &mut in_cone, &mut wl);
+    }
+    for &o in extra_roots {
+        mark(o, &mut in_cone, &mut wl);
     }
     while let Some(o) = wl.pop() {
         // Each consumer of an in-cone output re-derives some outputs.
@@ -768,13 +922,22 @@ pub fn compute_cone(
                             mark(out, &mut in_cone, &mut wl);
                         }
                         for t in call_targets(g, info.node) {
-                            for &out in &g.node(g.func(t).entry).outputs {
-                                mark(out, &mut in_cone, &mut wl);
+                            mark_target(t, &mut in_cone, &mut wl);
+                        }
+                    } else {
+                        if let Some(callees) = prev_edges.get(&info.node) {
+                            for &t in callees {
+                                mark_target(t, &mut in_cone, &mut wl);
                             }
                         }
-                    } else if let Some(callees) = prev_edges.get(&info.node) {
-                        for &t in callees {
-                            for &out in &g.node(g.func(t).entry).outputs {
+                        // Under CS a new actual re-derives the call's
+                        // own outputs (`repropagate_new_actual` pins
+                        // return products to the newly committed
+                        // assumption set); under k=1, `pull_returns`
+                        // re-emits at the call under the arriving
+                        // caller context.
+                        if matches!(vocab, ConeVocab::Cs | ConeVocab::K1) {
+                            for &out in &n.outputs {
                                 mark(out, &mut in_cone, &mut wl);
                             }
                         }

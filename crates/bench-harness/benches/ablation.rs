@@ -27,9 +27,7 @@ fn main() {
 
         let ci = SolverSpec::ci().solve_ci(&graph);
         r.bench(&format!("cs_optimized/{name}"), || {
-            SolverSpec::cs()
-                .solve_cs(&graph, Some(&ci))
-                .expect("budget")
+            SolverSpec::cs().solve(&graph, Some(&ci)).expect("budget")
         });
         r.bench(&format!("cs_no_subsumption/{name}"), || {
             // May overflow the step budget on the larger inputs —
@@ -39,13 +37,13 @@ fn main() {
             let _ = SolverSpec::cs()
                 .subsumption(false)
                 .max_steps(3_000_000)
-                .solve_cs(&graph, Some(&ci));
+                .solve(&graph, Some(&ci));
         });
         r.bench(&format!("cs_no_ci_pruning/{name}"), || {
             let _ = SolverSpec::cs()
                 .ci_pruning(false)
                 .max_steps(3_000_000)
-                .solve_cs(&graph, Some(&ci));
+                .solve(&graph, Some(&ci));
         });
     }
 

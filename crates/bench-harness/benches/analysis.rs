@@ -27,7 +27,7 @@ fn main() {
     }
     for (name, graph, ci) in &prepared {
         r.bench(&format!("cs/{name}"), || {
-            SolverSpec::cs().solve_cs(graph, Some(ci)).expect("budget")
+            SolverSpec::cs().solve(graph, Some(ci)).expect("budget")
         });
     }
     for name in ["bc", "assembler", "compiler"] {
@@ -67,13 +67,15 @@ fn main() {
         let prog = cfront::compile(b.source).unwrap();
         let graph = lower(&prog, &BuildOptions::default()).unwrap();
         r.bench("baselines_loader/weihl", || {
-            SolverSpec::weihl().solve_weihl(&graph, None)
+            SolverSpec::weihl().solve(&graph, None).expect("no budget")
         });
         r.bench("baselines_loader/steensgaard", || {
-            SolverSpec::steensgaard().solve_steensgaard(&graph)
+            SolverSpec::steensgaard()
+                .solve(&graph, None)
+                .expect("no budget")
         });
         r.bench("baselines_loader/k1_callstring", || {
-            SolverSpec::k1().solve_k1(&graph, None).unwrap()
+            SolverSpec::k1().solve(&graph, None).unwrap()
         });
     }
 

@@ -15,12 +15,14 @@ fn main() {
         let no_subsume = SolverSpec::cs()
             .subsumption(false)
             .max_steps(budget)
-            .solve_cs(&d.graph, Some(&d.ci));
+            .solve(&d.graph, Some(&d.ci))
+            .map(|s| s.into_cs().expect("cs result"));
         // CS without CI pruning.
         let no_prune = SolverSpec::cs()
             .ci_pruning(false)
             .max_steps(budget)
-            .solve_cs(&d.graph, Some(&d.ci));
+            .solve(&d.graph, Some(&d.ci))
+            .map(|s| s.into_cs().expect("cs result"));
         let fmt_cs = |r: &Result<alias::CsResult, alias::AnalysisError>| match r {
             Ok(cs) => format!("{}", cs.flow_ins),
             Err(_) => "OVERFLOW".to_string(),

@@ -34,7 +34,8 @@ fn main() {
             let cs = SolverSpec::cs()
                 .heap_naming(naming)
                 .max_steps(5_000_000)
-                .solve_cs(&graph, Some(&ci));
+                .solve(&graph, Some(&ci))
+                .map(|s| s.into_cs().expect("cs result"));
             match cs {
                 Ok(cs) => {
                     let row = spurious_row(&graph, &ci, &cs);

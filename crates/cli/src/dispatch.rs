@@ -546,9 +546,38 @@ pub fn cmd_client(cx: &crate::Ctx) -> Result<(), String> {
 /// measure the demand-driven query path instead and write
 /// `BENCH_pr7.json`: cold first-query latency (demand vs
 /// exhaustive-then-lookup), steady-state socket throughput, in-budget
-/// fraction, and the materialization fingerprint cross-check.
+/// fraction, and the materialization fingerprint cross-check. With
+/// `--summaries`, measure the per-solver summary-seeded warm-edit
+/// path and the wave-parallel extraction thread scaling, and write
+/// `BENCH_pr8.json` (fingerprint-cross-checked on every edit).
 pub fn cmd_serve_bench(cx: &crate::Ctx) -> Result<(), String> {
     let iters: u64 = cx.flags.get_parsed("iters", 200)?;
+    if cx.flags.has("summaries") {
+        let out = cx.flags.get("out").unwrap_or("BENCH_pr8.json");
+        let edits: usize = cx.flags.get_parsed("edits", 3)?;
+        let result = serve::bench::run_summaries(edits)?;
+        let json = result.to_json();
+        std::fs::write(out, &json).map_err(|e| format!("{out}: {e}"))?;
+        print!("{json}");
+        let spectrum = result
+            .solvers
+            .iter()
+            .map(|s| format!("{} {:.1}x", s.analysis, s.median_speedup))
+            .collect::<Vec<_>>()
+            .join(", ");
+        eprintln!(
+            "wrote {out}: median warm-edit speedup {spectrum}; \
+             {} fingerprint mismatches",
+            result.fingerprint_mismatches
+        );
+        if result.fingerprint_mismatches > 0 {
+            return Err(format!(
+                "{} seeded resumes diverged from fresh solves",
+                result.fingerprint_mismatches
+            ));
+        }
+        return Ok(());
+    }
     if cx.flags.has("queries") {
         let out = cx.flags.get("out").unwrap_or("BENCH_pr7.json");
         let result = serve::bench::run_queries(iters)?;

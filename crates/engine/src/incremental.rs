@@ -14,106 +14,198 @@
 //!    every cached solution is still exact and replays verbatim.
 //! 3. **Seeded resume** — the graph changed. Functions are
 //!    re-fingerprinted; fingerprint-matched functions contribute their
-//!    memoized committed pair-sets and call-edge facts as seeds, the
-//!    dirty cone (changed functions plus everything their facts can
-//!    reach) is re-solved from a delta worklist, and the subset-seeding
-//!    theorem (`alias::ci::analyze_ci_resume`) guarantees the result is
-//!    numerically identical to a from-scratch solve.
+//!    memoized [`SolverSummaries`] facts as seeds, the dirty cone
+//!    (changed functions plus everything their facts can reach) is
+//!    re-solved from a delta worklist, and the per-vocabulary
+//!    subset-seeding argument (`DESIGN.md` §12) guarantees the result
+//!    is numerically identical to a from-scratch solve.
 //!
-//! Only the flagship CI solver supports tier 3. The other solvers fall
-//! back to a fresh solve on changed benchmarks, each for a structural
-//! reason recorded in its [`SolveMode`]: Weihl's single global store
-//! collapses any dirty cone to the whole program; Steensgaard's
-//! unification merges are not revocable, so stale merges cannot be
-//! evicted; k=1's context slots are keyed to the edited call nodes; and
-//! the assumption-set CS analysis is whole-program by construction
-//! (its per-function assumption sets are conditioned on caller
-//! contexts the edit may have changed). All five still benefit from
-//! tiers 1–2, which in a corpus-style run cover every benchmark the
-//! edit did not touch.
+//! **All five solvers support tier 3** through the uniform
+//! [`Solver::resume`] capability: each resumes from summaries in its
+//! own stable vocabulary (CI/Weihl pair rows, k=1 per-context rows, CS
+//! qualified antichains, Steensgaard constraint atoms). A solver that
+//! cannot resume a particular edit — unstable naming, a configuration
+//! without stable summaries, a rejected plan — falls back to a fresh
+//! solve with the typed [`FreshReason`] recorded in its [`SolveMode`].
 //!
 //! Reuse is sound only when the same [`Engine`] configuration produced
-//! the cached run; the cache records the CI spec key and resets itself
-//! when it changes.
+//! the cached facts; the cache records the engine's full solver spec
+//! key and resets itself when it changes.
 
 use crate::report::IncrementalStats;
-use crate::{pool, BenchOutput, Engine, EngineReport, EngineRun, Job, Solved};
-use alias::ci::{analyze_ci_resume, CiResult};
-use alias::fingerprint::{extract_summaries, fnv64, plan_ci_resume, FuncSummary, GraphIndex};
+use crate::{compose, pool, BenchOutput, Engine, EngineReport, EngineRun, Job, Solved};
+use alias::ci::CiResult;
+use alias::fingerprint::{fnv64, GraphIndex};
 use alias::solver::SolutionBox;
+use alias::summary::{ResumeStats, SolverSummaries};
 use alias::{AnalysisError, Fault, HeapNaming};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vdg::build::lower;
-use vdg::graph::{Graph, VFuncId};
+use vdg::graph::Graph;
+
+/// Why a solver solved from scratch instead of reusing cached facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FreshReason {
+    /// No cached run for this benchmark.
+    NoCache,
+    /// The engine's solver spec changed, invalidating the whole cache.
+    SpecChange,
+    /// The benchmark was cached, but a replayed solution for this
+    /// solver was not (newly configured, or failed last time).
+    NotInCache,
+    /// The cache entry carries no summaries in this solver's
+    /// vocabulary.
+    NoSummaries,
+    /// Call-string heap naming keys heap paths to call sites, defeating
+    /// stable cross-edit summaries.
+    HeapNaming,
+    /// Fault injection is active; planted bugs must not be masked by
+    /// cached facts.
+    FaultInjection,
+    /// The graph's naming is unstable (the recorded reason), so
+    /// function fingerprints cannot be trusted across edits.
+    UnstableNaming(String),
+    /// No function's fingerprint survived the edit; seeding would win
+    /// nothing.
+    EveryFunctionChanged,
+    /// The solver rejected the resume plan (vocabulary mismatch, facts
+    /// outside the stable vocabulary, …).
+    PlanRejected,
+    /// The resume itself exhausted the solver's step budget.
+    StepBudget,
+}
+
+impl FreshReason {
+    /// Compact report rendering.
+    pub fn render(&self) -> String {
+        match self {
+            FreshReason::NoCache => "no cached run for this benchmark".into(),
+            FreshReason::SpecChange => "solver spec changed".into(),
+            FreshReason::NotInCache => "not in cache".into(),
+            FreshReason::NoSummaries => "no summaries for this solver".into(),
+            FreshReason::HeapNaming => "call-string heap naming defeats stable summaries".into(),
+            FreshReason::FaultInjection => "fault injection active".into(),
+            FreshReason::UnstableNaming(r) => format!("unstable naming: {r}"),
+            FreshReason::EveryFunctionChanged => "every function changed".into(),
+            FreshReason::PlanRejected => "resume plan rejected".into(),
+            FreshReason::StepBudget => "resume exhausted its step budget".into(),
+        }
+    }
+}
 
 /// How an incremental run obtained one solver's solution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SolveMode {
     /// Replayed verbatim from the cache (source or graph fingerprint
     /// match).
-    Replayed,
-    /// CI re-solved from a seeded dirty cone.
-    Seeded {
+    Replay,
+    /// Resumed from summaries with an *empty* dirty cone: every
+    /// function's facts replayed as seeds (a store-restored entry whose
+    /// graph still fingerprints clean).
+    Reseeded {
+        /// Outputs seeded from the previous summaries.
+        seeded_outputs: usize,
+        /// Total value outputs in the graph.
+        total_outputs: usize,
+    },
+    /// Resumed from summaries: clean functions seeded, the dirty cone
+    /// re-solved.
+    DirtyCone {
         /// Functions whose fingerprints (or fact translation) changed.
         dirty: usize,
         /// Functions whose memoized summaries were reused as seeds.
         clean: usize,
         /// Value outputs inside the dirty cone (re-solved).
         cone_outputs: usize,
+        /// Outputs seeded from the previous summaries.
+        seeded_outputs: usize,
         /// Total value outputs in the graph.
         total_outputs: usize,
     },
-    /// Solved from scratch, with the logged reason.
+    /// Solved from scratch, with the typed reason.
     Fresh {
         /// Why cached facts could not be used.
-        reason: String,
+        why: FreshReason,
     },
 }
 
 impl SolveMode {
+    /// The mode a successful [`Solver::resume`] outcome reports.
+    pub fn from_stats(stats: &ResumeStats) -> SolveMode {
+        if stats.dirty.is_empty() {
+            SolveMode::Reseeded {
+                seeded_outputs: stats.seeded_outputs,
+                total_outputs: stats.total_outputs,
+            }
+        } else {
+            SolveMode::DirtyCone {
+                dirty: stats.dirty.len(),
+                clean: stats.clean,
+                cone_outputs: stats.cone_outputs,
+                seeded_outputs: stats.seeded_outputs,
+                total_outputs: stats.total_outputs,
+            }
+        }
+    }
+
+    /// Whether the solution came out of a seeded resume (either
+    /// flavor).
+    pub fn is_resumed(&self) -> bool {
+        matches!(
+            self,
+            SolveMode::Reseeded { .. } | SolveMode::DirtyCone { .. }
+        )
+    }
+
     /// Compact report rendering: `"replayed"`,
+    /// `"reseeded(seeded=800/840)"`,
     /// `"seeded(dirty=1/9, cone=120/840)"`, or `"fresh(<reason>)"`.
     pub fn render(&self) -> String {
         match self {
-            SolveMode::Replayed => "replayed".into(),
-            SolveMode::Seeded {
+            SolveMode::Replay => "replayed".into(),
+            SolveMode::Reseeded {
+                seeded_outputs,
+                total_outputs,
+            } => format!("reseeded(seeded={seeded_outputs}/{total_outputs})"),
+            SolveMode::DirtyCone {
                 dirty,
                 clean,
                 cone_outputs,
                 total_outputs,
+                ..
             } => format!(
                 "seeded(dirty={dirty}/{}, cone={cone_outputs}/{total_outputs})",
                 dirty + clean
             ),
-            SolveMode::Fresh { reason } => format!("fresh({reason})"),
+            SolveMode::Fresh { why } => format!("fresh({})", why.render()),
         }
     }
 }
 
 /// What [`SummaryCache::summaries_of`] hands a persistent store: the
 /// source hash and graph fingerprint one benchmark's summaries were
-/// extracted under, plus the shared summary map itself.
-pub type StoredSummaries = (u64, u64, Arc<alias::fxhash::HashMap<String, FuncSummary>>);
+/// extracted under, plus the per-solver summary maps themselves.
+pub type StoredSummaries = (u64, u64, HashMap<String, Arc<SolverSummaries>>);
 
 /// One benchmark's memoized artifacts from a previous run.
 struct ProgramEntry {
     source_hash: u64,
     graph_fp: u64,
-    /// Memoized facts by function name. Matching stays
-    /// content-addressed — a summary seeds a next-graph function only
-    /// when its recorded fingerprint (which hashes the name and full
-    /// VDG shape) matches — but the planner also needs the *unmatched*
-    /// summaries, to invalidate the callees of edited and deleted
-    /// functions.
-    summaries: Arc<alias::fxhash::HashMap<String, FuncSummary>>,
+    /// Memoized per-solver summaries by [`Solver::name`]. Matching
+    /// stays content-addressed — a summary seeds a next-graph function
+    /// only when its recorded fingerprint (which hashes the name and
+    /// full VDG shape) matches — but the planners also need the
+    /// *unmatched* summaries, to invalidate the callees of edited and
+    /// deleted functions.
+    summaries: HashMap<String, Arc<SolverSummaries>>,
     /// In-memory artifacts, present for entries absorbed from a live
     /// run. `None` for entries restored from a disk store, which carry
     /// only the summaries: a restored entry cannot replay at tiers 1–2
-    /// (there are no cached solutions to hand back) but seeds the
-    /// tier-3 CI resume, which with an unchanged graph re-solves an
-    /// empty dirty cone instead of the whole program.
+    /// (there are no cached solutions to hand back) but seeds every
+    /// solver's tier-3 resume, which with an unchanged graph re-solves
+    /// an empty dirty cone instead of the whole program.
     arts: Option<EntryArtifacts>,
 }
 
@@ -133,7 +225,7 @@ struct EntryArtifacts {
 /// keyed by benchmark name. Feed it successive runs with
 /// [`Engine::analyze_incremental_with`] to analyze an edit chain.
 pub struct SummaryCache {
-    ci_spec_key: String,
+    spec_key: String,
     entries: HashMap<String, ProgramEntry>,
 }
 
@@ -148,11 +240,12 @@ impl SummaryCache {
         self.entries.is_empty()
     }
 
-    /// The engine CI spec key this cache's facts were computed under.
+    /// The engine solver-spec key this cache's facts were computed
+    /// under (the CI spec plus every configured solver spec).
     /// Persistent stores record it so a restored cache is never seeded
     /// into an engine with different solver knobs.
-    pub fn ci_spec_key(&self) -> &str {
-        &self.ci_spec_key
+    pub fn spec_key(&self) -> &str {
+        &self.spec_key
     }
 
     /// Benchmark names with cached artifacts, sorted.
@@ -164,7 +257,7 @@ impl SummaryCache {
 
     /// Order-of-magnitude estimate of this cache's resident memory, in
     /// bytes. Counts the dominant owners — VDG nodes/outputs, memoized
-    /// summary pairs, and cached solution pairs — at fixed per-item
+    /// summary fact rows, and cached solution pairs — at fixed per-item
     /// costs; auxiliary structure (hash tables, Arc headers, strings)
     /// rides in the constants. Used by the serving layer's LRU eviction
     /// budget, where relative session weight matters and exact byte
@@ -176,9 +269,7 @@ impl SummaryCache {
                 let summaries: usize = e
                     .summaries
                     .values()
-                    .map(|s| {
-                        48 * s.outputs.iter().map(Vec::len).sum::<usize>() + 32 * s.calls.len() + 64
-                    })
+                    .map(|s| 48 * s.fact_rows() + 64 * s.funcs.len() + 64)
                     .sum();
                 let arts = e
                     .arts
@@ -197,29 +288,30 @@ impl SummaryCache {
             .sum()
     }
 
-    /// Seeds the cache with per-function summaries restored from a
+    /// Seeds the cache with per-solver summaries restored from a
     /// persistent store, keyed to the `source_hash`/`graph_fp` they
     /// were extracted under. The entry carries no programs or
     /// solutions, so the next analyze of the benchmark cannot replay
     /// at tiers 1–2; instead it recompiles and — when the lowered
     /// graph's fingerprint still matches function-for-function — seeds
-    /// the tier-3 CI resume from the restored summaries, re-solving an
-    /// empty dirty cone. The subset-seeding theorem makes the result
-    /// bit-identical to a from-scratch solve either way, so a corrupt
-    /// or stale store can cost time but never correctness.
+    /// every solver's tier-3 resume from the restored summaries,
+    /// re-solving an empty dirty cone. The subset-seeding argument
+    /// makes the result bit-identical to a from-scratch solve either
+    /// way, so a corrupt or stale store can cost time but never
+    /// correctness.
     pub fn seed_restored(
         &mut self,
         name: &str,
         source_hash: u64,
         graph_fp: u64,
-        summaries: alias::fxhash::HashMap<String, FuncSummary>,
+        summaries: HashMap<String, Arc<SolverSummaries>>,
     ) {
         self.entries.insert(
             name.to_string(),
             ProgramEntry {
                 source_hash,
                 graph_fp,
-                summaries: Arc::new(summaries),
+                summaries,
                 arts: None,
             },
         );
@@ -232,28 +324,40 @@ impl SummaryCache {
     pub fn summaries_of(&self, name: &str) -> Option<StoredSummaries> {
         self.entries
             .get(name)
-            .map(|e| (e.source_hash, e.graph_fp, Arc::clone(&e.summaries)))
+            .map(|e| (e.source_hash, e.graph_fp, e.summaries.clone()))
     }
 
-    /// Memoizes every benchmark of `run`: summaries are extracted from
-    /// the shared CI solution, solutions are cloned for replay.
+    /// Memoizes every benchmark of `run`: per-solver summaries are
+    /// extracted from each solution bottom-up, solutions are cloned for
+    /// replay.
     pub fn absorb(&mut self, run: &EngineRun) {
         for b in &run.benches {
             let index = Arc::new(GraphIndex::build(&b.graph));
-            self.absorb_bench(b, index);
+            self.absorb_bench(b, index, 1);
         }
     }
 
-    fn absorb_bench(&mut self, b: &BenchOutput, index: Arc<GraphIndex>) {
-        let mut summaries = alias::fxhash::HashMap::default();
+    /// Absorbs one benchmark, summarizing each solution over `threads`
+    /// workers via the bottom-up composition driver
+    /// ([`compose::summarize`]).
+    fn absorb_bench(&mut self, b: &BenchOutput, index: Arc<GraphIndex>, threads: usize) {
+        let mut summaries: HashMap<String, Arc<SolverSummaries>> = HashMap::new();
         if index.unsafe_reason.is_none() {
-            for (fi, s) in extract_summaries(&b.graph, &index, &b.ci)
-                .into_iter()
-                .enumerate()
-            {
-                if let Some(s) = s {
-                    let name = b.graph.func(VFuncId(fi as u32)).name.clone();
-                    summaries.insert(name, s);
+            if let Some(s) = compose::summarize(&b.graph, &index, b.ci.as_ref(), None, threads) {
+                summaries.insert("ci".into(), Arc::new(s));
+            }
+            for solved in &b.solutions {
+                if solved.analysis == "ci" {
+                    // The listed "ci" slot is a clone of the shared
+                    // prepare-stage run summarized above.
+                    continue;
+                }
+                if let Some(sol) = &solved.solution {
+                    if let Some(s) =
+                        compose::summarize(&b.graph, &index, sol.as_ref(), Some(&b.ci), threads)
+                    {
+                        summaries.insert(solved.analysis.clone(), Arc::new(s));
+                    }
                 }
             }
         }
@@ -271,7 +375,7 @@ impl SummaryCache {
             ProgramEntry {
                 source_hash: fnv64(b.source.as_bytes()),
                 graph_fp: index.graph_fp,
-                summaries: Arc::new(summaries),
+                summaries,
                 arts: Some(EntryArtifacts {
                     program: Arc::clone(&b.program),
                     graph: Arc::clone(&b.graph),
@@ -289,7 +393,7 @@ impl SummaryCache {
 struct PrevMeta {
     source_hash: u64,
     graph_fp: u64,
-    summaries: Arc<alias::fxhash::HashMap<String, FuncSummary>>,
+    summaries: HashMap<String, Arc<SolverSummaries>>,
     /// Whether the entry holds cached solutions to replay. Restored
     /// (summaries-only) entries must skip tiers 1–2 and go straight to
     /// the seeded resume, whatever the fingerprints say.
@@ -311,8 +415,8 @@ enum IncPrep {
         frontend: Duration,
         lowering: Duration,
     },
-    /// The graph changed: CI was re-solved (seeded or fresh) and every
-    /// other solver needs a stage-2 fresh solve.
+    /// The graph changed: CI was re-solved (resumed or fresh) and every
+    /// other solver gets a stage-2 resume-or-solve.
     Solve {
         program: Arc<cfront::Program>,
         graph: Arc<Graph>,
@@ -328,10 +432,10 @@ enum IncPrep {
 }
 
 impl Engine {
-    /// An empty summary cache bound to this engine's CI spec.
+    /// An empty summary cache bound to this engine's solver specs.
     pub fn cache(&self) -> SummaryCache {
         SummaryCache {
-            ci_spec_key: self.ci.key(),
+            spec_key: self.spec_key(),
             entries: HashMap::new(),
         }
     }
@@ -372,11 +476,13 @@ impl Engine {
         } else {
             self.threads
         };
-        if cache.ci_spec_key != self.ci.key() {
+        let mut spec_reset = false;
+        if cache.spec_key != self.spec_key() {
             // Cached facts were computed under different knobs; none
             // are sound to reuse.
             cache.entries.clear();
-            cache.ci_spec_key = self.ci.key();
+            cache.spec_key = self.spec_key();
+            spec_reset = true;
         }
 
         let metas: Vec<Option<PrevMeta>> = jobs
@@ -385,26 +491,35 @@ impl Engine {
                 cache.entries.get(&j.name).map(|e| PrevMeta {
                     source_hash: e.source_hash,
                     graph_fp: e.graph_fp,
-                    summaries: Arc::clone(&e.summaries),
+                    summaries: e.summaries.clone(),
                     replayable: e.arts.is_some(),
                 })
             })
             .collect();
+        let no_cache_why = || {
+            if spec_reset {
+                FreshReason::SpecChange
+            } else {
+                FreshReason::NoCache
+            }
+        };
 
         // Stage 1 — prepare: hash, compile, fingerprint, and (for
         // changed graphs) re-solve CI seeded from the clean functions'
         // summaries. Parallel over benchmarks.
         let prepared: Vec<Result<IncPrep, AnalysisError>> =
             pool::run_indexed(jobs.len(), threads, |i| {
-                self.prepare_incremental(&jobs[i], metas[i].as_ref())
+                self.prepare_incremental(&jobs[i], metas[i].as_ref(), no_cache_why())
             });
         let mut preps = Vec::with_capacity(jobs.len());
         for p in prepared {
             preps.push(p?);
         }
 
-        // Stage 2 — solve: fresh (benchmark × non-CI solver) jobs for
-        // the changed benchmarks only.
+        // Stage 2 — resume-or-solve (benchmark × non-CI solver) jobs
+        // for the changed benchmarks only: each solver first tries to
+        // resume from its own cached vocabulary, falling back to a
+        // fresh solve with the typed reason.
         let solve_jobs: Vec<(usize, usize)> = preps
             .iter()
             .enumerate()
@@ -420,28 +535,58 @@ impl Engine {
         let solved: Vec<(usize, usize, Solved)> =
             pool::run_indexed(solve_jobs.len(), threads, |k| {
                 let (bi, si) = solve_jobs[k];
-                let (graph, ci) = match &preps[bi] {
-                    IncPrep::Solve { graph, ci, .. } => (graph, ci),
+                let (graph, index, ci) = match &preps[bi] {
+                    IncPrep::Solve {
+                        graph, index, ci, ..
+                    } => (graph, index, ci),
                     _ => unreachable!("solve job on replayed benchmark"),
                 };
                 let s = &self.solvers[si];
+                let prev = metas[bi].as_ref().and_then(|m| m.summaries.get(s.name()));
                 let t = Instant::now();
-                let outcome = s.solve(graph, Some(ci));
+                let (outcome, mode) = match prev {
+                    None => {
+                        let why = if metas[bi].is_some() {
+                            FreshReason::NoSummaries
+                        } else {
+                            no_cache_why()
+                        };
+                        (s.solve(graph, Some(ci)), SolveMode::Fresh { why })
+                    }
+                    Some(prev) => match s.resume(graph, index, prev, Some(ci)) {
+                        Some(Ok(out)) => {
+                            let mode = SolveMode::from_stats(&out.stats);
+                            (Ok(out.solution), mode)
+                        }
+                        Some(Err(_)) => (
+                            s.solve(graph, Some(ci)),
+                            SolveMode::Fresh {
+                                why: FreshReason::StepBudget,
+                            },
+                        ),
+                        None => {
+                            let why = match &index.unsafe_reason {
+                                Some(r) => FreshReason::UnstableNaming(r.clone()),
+                                None => FreshReason::PlanRejected,
+                            };
+                            (s.solve(graph, Some(ci)), SolveMode::Fresh { why })
+                        }
+                    },
+                };
                 let wall = t.elapsed();
-                let had_cache = metas[bi].is_some();
                 let solved = match outcome {
                     Ok(solution) => Solved {
                         analysis: s.name().to_string(),
                         wall,
                         solution: Some(solution),
-                        mode: Some(fresh_mode(s.name(), had_cache)),
+                        mode: Some(mode),
                         error: None,
                     },
                     Err(e) => Solved {
                         analysis: s.name().to_string(),
                         wall,
                         solution: None,
-                        mode: Some(fresh_mode(s.name(), had_cache)),
+                        mode: Some(mode),
                         error: Some(e.in_context(s.name(), &jobs[bi].name).to_string()),
                     },
                 };
@@ -456,7 +601,8 @@ impl Engine {
         }
 
         // Stage 3 — assemble (driver thread: cached solutions are not
-        // `Sync`), then fold the finished run back into the cache.
+        // `Sync`), then fold the finished run back into the cache,
+        // summarizing each fresh solution bottom-up in parallel.
         let mut stats = IncrementalStats::default();
         let mut outputs = Vec::with_capacity(jobs.len());
         let mut indexes = Vec::with_capacity(jobs.len());
@@ -467,7 +613,7 @@ impl Engine {
         }
         for (out, index) in outputs.iter().zip(indexes) {
             if let Some(index) = index {
-                cache.absorb_bench(out, index);
+                cache.absorb_bench(out, index, threads);
             }
         }
 
@@ -488,6 +634,7 @@ impl Engine {
         &self,
         job: &Job,
         meta: Option<&PrevMeta>,
+        no_cache_why: FreshReason,
     ) -> Result<IncPrep, AnalysisError> {
         let t0 = Instant::now();
         if let Some(m) = meta {
@@ -517,59 +664,62 @@ impl Engine {
             }
         }
 
-        // The graph changed (or was never cached): re-solve CI, seeded
-        // from fingerprint-matched functions when that is sound.
+        // The graph changed (or was never cached): re-solve CI through
+        // its own resume capability, seeded from fingerprint-matched
+        // functions when that is sound. The reason gates are checked
+        // here (rather than trusting `resume`'s opaque `None`) so the
+        // report can say *why* a fresh solve happened.
         let cfg = self.ci.ci_config();
-        let fresh = |reason: &str| -> (Option<_>, SolveMode) {
-            (
-                None,
-                SolveMode::Fresh {
-                    reason: reason.to_string(),
-                },
-            )
-        };
-        let (plan, ci_mode) = match &meta {
-            None => fresh("no cached run for this benchmark"),
-            Some(_) if cfg.heap_naming != HeapNaming::Site => {
-                fresh("call-string heap naming defeats stable summaries")
-            }
-            Some(_) if cfg.fault != Fault::None => fresh("fault injection active"),
-            Some(_) if index.unsafe_reason.is_some() => {
-                let reason = index.unsafe_reason.as_deref().unwrap_or_default();
-                fresh(&format!("unstable naming: {reason}"))
-            }
-            Some(m) => {
+        let fresh = |why: FreshReason| SolveMode::Fresh { why };
+        let prev_ci = meta.and_then(|m| m.summaries.get("ci"));
+        let t2 = Instant::now();
+        let mut resumed: Option<(CiResult, ResumeStats)> = None;
+        let ci_mode = match (meta, prev_ci) {
+            (None, _) => fresh(no_cache_why),
+            _ if cfg.heap_naming != HeapNaming::Site => fresh(FreshReason::HeapNaming),
+            _ if cfg.fault != Fault::None => fresh(FreshReason::FaultInjection),
+            _ if index.unsafe_reason.is_some() => fresh(FreshReason::UnstableNaming(
+                index.unsafe_reason.clone().unwrap_or_default(),
+            )),
+            (Some(_), None) => fresh(FreshReason::NoSummaries),
+            (Some(_), Some(prev)) => {
                 let any_clean = graph.func_ids().any(|f| {
-                    m.summaries
+                    prev.funcs
                         .get(&graph.func(f).name)
                         .is_some_and(|s| s.fingerprint == index.func_fps[f.0 as usize])
                 });
                 if !any_clean {
-                    fresh("every function changed")
+                    fresh(FreshReason::EveryFunctionChanged)
                 } else {
-                    match plan_ci_resume(&graph, &index, &m.summaries) {
-                        Some(plan) => {
-                            let mode = SolveMode::Seeded {
-                                dirty: plan.dirty.len(),
-                                clean: graph.func_count() - plan.dirty.len(),
-                                cone_outputs: plan.cone_outputs,
-                                total_outputs: graph.output_count(),
-                            };
-                            (Some(plan), mode)
+                    let ci_solver = self.ci.build();
+                    match ci_solver.resume(&graph, &index, prev, None) {
+                        Some(Ok(out)) => {
+                            let mode = SolveMode::from_stats(&out.stats);
+                            let ci = out
+                                .solution
+                                .into_ci()
+                                .expect("the CI solver resumes to a CI result");
+                            resumed = Some((ci, out.stats));
+                            mode
                         }
-                        None => fresh("resume plan rejected"),
+                        Some(Err(_)) => fresh(FreshReason::StepBudget),
+                        None => fresh(FreshReason::PlanRejected),
                     }
                 }
             }
         };
-        let (funcs_reused, funcs_dirty) = match &ci_mode {
-            SolveMode::Seeded { dirty, clean, .. } => (*clean, *dirty),
-            _ => (0, graph.func_count()),
+        let (funcs_reused, funcs_dirty) = match &resumed {
+            Some((_, stats)) => (stats.clean, stats.dirty.len()),
+            None => (0, graph.func_count()),
         };
-        let t2 = Instant::now();
-        let ci = match plan {
-            Some(plan) => analyze_ci_resume(&graph, &cfg, plan),
-            None => self.ci.solve_ci(&graph),
+        let ci = match resumed {
+            Some((ci, _)) => ci,
+            None => self
+                .ci
+                .solve(&graph, None)
+                .expect("the CI solver has no step budget")
+                .into_ci()
+                .expect("the engine's ci spec must describe the CI analysis"),
         };
         let ci_wall = t2.elapsed();
         Ok(IncPrep::Solve {
@@ -667,9 +817,10 @@ impl Engine {
                 funcs_reused,
                 funcs_dirty,
             } => {
-                match ci_mode {
-                    SolveMode::Seeded { .. } => stats.benches_seeded += 1,
-                    _ => stats.benches_fresh += 1,
+                if ci_mode.is_resumed() {
+                    stats.benches_seeded += 1;
+                } else {
+                    stats.benches_fresh += 1;
                 }
                 stats.funcs_reused += funcs_reused;
                 stats.funcs_dirty += funcs_dirty;
@@ -698,6 +849,11 @@ impl Engine {
                         });
                     }
                 }
+                for s in &out.solutions {
+                    if s.mode.as_ref().is_some_and(SolveMode::is_resumed) {
+                        stats.solutions_resumed += 1;
+                    }
+                }
                 Ok((out, Some(index)))
             }
         }
@@ -722,7 +878,7 @@ impl Engine {
                     analysis: s.name().to_string(),
                     wall: t.elapsed(),
                     solution: Some(sol.clone_box()),
-                    mode: Some(SolveMode::Replayed),
+                    mode: Some(SolveMode::Replay),
                     error: None,
                 });
                 continue;
@@ -730,7 +886,7 @@ impl Engine {
             let outcome = s.solve(&out.graph, Some(&out.ci));
             let wall = t.elapsed();
             let mode = Some(SolveMode::Fresh {
-                reason: "not in cache".into(),
+                why: FreshReason::NotInCache,
             });
             out.solutions.push(match outcome {
                 Ok(solution) => Solved {
@@ -749,26 +905,6 @@ impl Engine {
                 },
             });
         }
-    }
-}
-
-/// Why each non-CI solver re-solves from scratch on a changed
-/// benchmark. These are structural properties of the algorithms, not
-/// implementation gaps; `DESIGN.md` §8 gives the argument for each.
-fn fresh_mode(solver: &str, had_cache: bool) -> SolveMode {
-    let reason = if !had_cache {
-        "no cached run for this benchmark"
-    } else {
-        match solver {
-            "weihl" => "global store collapses any dirty cone",
-            "steensgaard" => "unification merges are not revocable",
-            "k1" => "context slots are keyed to edited call nodes",
-            "cs" => "assumption sets are whole-program",
-            _ => "no incremental strategy",
-        }
-    };
-    SolveMode::Fresh {
-        reason: reason.to_string(),
     }
 }
 
@@ -820,17 +956,13 @@ mod tests {
         assert_eq!(stats.benches_replayed, 1);
         assert_eq!(stats.solutions_replayed, 5);
         for s in &inc.benches[0].solutions {
-            assert!(
-                matches!(s.mode, Some(SolveMode::Replayed)),
-                "{}",
-                s.analysis
-            );
+            assert!(matches!(s.mode, Some(SolveMode::Replay)), "{}", s.analysis);
         }
         assert_matches_fresh(&e, &inc, &jobs);
     }
 
     #[test]
-    fn edited_function_seeds_ci_and_matches_fresh() {
+    fn edited_function_resumes_every_solver_and_matches_fresh() {
         let e = Engine::new().threads(2);
         let prev = e.run(&[job("t", A)]).unwrap();
         let jobs = vec![job("t", B)];
@@ -846,20 +978,21 @@ mod tests {
             .and_then(|s| s.mode.clone())
             .expect("ci mode");
         assert!(
-            matches!(ci_mode, SolveMode::Seeded { dirty: 1, .. }),
+            matches!(ci_mode, SolveMode::DirtyCone { dirty: 1, .. }),
             "{}",
             ci_mode.render()
         );
-        // Non-CI solvers re-solve fresh, each with its structural reason.
+        // Every solver — not just CI — resumes from its own vocabulary.
         for s in &inc.benches[0].solutions {
-            if s.analysis != "ci" {
-                assert!(
-                    matches!(s.mode, Some(SolveMode::Fresh { .. })),
-                    "{}",
-                    s.analysis
-                );
-            }
+            let mode = s.mode.as_ref().expect("mode");
+            assert!(
+                mode.is_resumed(),
+                "{} fell back to {}",
+                s.analysis,
+                mode.render()
+            );
         }
+        assert_eq!(stats.solutions_resumed, 5);
         assert_matches_fresh(&e, &inc, &jobs);
     }
 
@@ -909,6 +1042,44 @@ mod tests {
         // Identical source, but the cached facts were for other knobs:
         // everything must re-solve fresh, not replay.
         assert_eq!(r.report.incremental.as_ref().unwrap().benches_fresh, 1);
+        for s in &r.benches[0].solutions {
+            assert!(
+                matches!(
+                    s.mode,
+                    Some(SolveMode::Fresh {
+                        why: FreshReason::SpecChange
+                    })
+                ),
+                "{}: {:?}",
+                s.analysis,
+                s.mode
+            );
+        }
         assert_matches_fresh(&e2, &r, &jobs);
+    }
+
+    #[test]
+    fn restored_summaries_reseed_without_artifacts() {
+        // Simulate a disk-store restore: strip the artifacts, keep the
+        // summaries. The next analyze cannot replay, but every solver
+        // resumes an empty dirty cone.
+        let e = Engine::new().threads(1);
+        let mut cache = e.cache();
+        let jobs = vec![job("t", A)];
+        e.analyze_incremental_with(&mut cache, &jobs).unwrap();
+        let (sh, gfp, sums) = cache.summaries_of("t").expect("absorbed");
+        assert!(sums.len() >= 5, "all five vocabularies extracted");
+        let mut cache2 = e.cache();
+        cache2.seed_restored("t", sh, gfp, sums);
+        let r = e.analyze_incremental_with(&mut cache2, &jobs).unwrap();
+        for s in &r.benches[0].solutions {
+            assert!(
+                matches!(s.mode, Some(SolveMode::Reseeded { .. })),
+                "{}: {:?}",
+                s.analysis,
+                s.mode
+            );
+        }
+        assert_matches_fresh(&e, &r, &jobs);
     }
 }

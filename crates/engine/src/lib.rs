@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod compose;
 pub mod fuzz;
 pub mod incremental;
 pub mod pool;
@@ -45,7 +46,7 @@ pub mod shrink;
 
 pub use check::{BenchChecks, CheckCache};
 pub use fuzz::{FuzzConfig, FuzzReport, FuzzViolation, PlantedFault};
-pub use incremental::{SolveMode, SummaryCache};
+pub use incremental::{FreshReason, SolveMode, SummaryCache};
 pub use report::{
     BenchmarkReport, CheckMetrics, EngineReport, IncrementalStats, ServeStats, SolverMetrics,
 };
@@ -118,6 +119,7 @@ impl Job {
 /// [`Engine::run`] or [`Engine::run_suite`].
 pub struct Engine {
     threads: usize,
+    specs: Vec<SolverSpec>,
     solvers: Vec<Arc<dyn Solver>>,
     build: BuildOptions,
     ci: SolverSpec,
@@ -133,12 +135,11 @@ impl Engine {
     /// An engine over all five solvers with default options and
     /// auto-detected parallelism.
     pub fn new() -> Self {
+        let specs = SolverSpec::all();
         Engine {
             threads: 0,
-            solvers: SolverSpec::all()
-                .iter()
-                .map(|s| Arc::from(s.build()))
-                .collect(),
+            solvers: specs.iter().map(|s| Arc::from(s.build())).collect(),
+            specs,
             build: BuildOptions::default(),
             ci: SolverSpec::ci(),
         }
@@ -151,19 +152,15 @@ impl Engine {
         self
     }
 
-    /// Replaces the solver list. The shared CI solution is computed in
-    /// the prepare stage regardless (it is the common vocabulary the
-    /// other solvers key their path tables off), and a listed `"ci"`
-    /// solver reports that run rather than re-solving.
-    pub fn solvers(mut self, solvers: Vec<Box<dyn Solver>>) -> Self {
-        self.solvers = solvers.into_iter().map(Arc::from).collect();
-        self
-    }
-
     /// Replaces the solver list with solvers built from `specs` — the
-    /// preferred configuration surface (see [`SolverSpec`]).
+    /// single configuration surface (see [`SolverSpec`]): no caller
+    /// constructs a solver stage by hand. The shared CI solution is
+    /// computed in the prepare stage regardless (it is the common
+    /// vocabulary the other solvers key their path tables off), and a
+    /// listed `"ci"` solver reports that run rather than re-solving.
     pub fn specs(mut self, specs: &[SolverSpec]) -> Self {
         self.solvers = specs.iter().map(|s| Arc::from(s.build())).collect();
+        self.specs = specs.to_vec();
         self
     }
 
@@ -179,6 +176,17 @@ impl Engine {
     pub fn ci_spec(mut self, ci: SolverSpec) -> Self {
         self.ci = ci;
         self
+    }
+
+    /// The stable key over every configured solver spec (CI first).
+    /// Cached facts are reusable only between engines that share it.
+    pub(crate) fn spec_key(&self) -> String {
+        let mut key = self.ci.key();
+        for s in &self.specs {
+            key.push('|');
+            key.push_str(&s.key());
+        }
+        key
     }
 
     /// Runs the engine over the full bundled suite.
@@ -322,7 +330,12 @@ impl Engine {
         let graph = lower(&program, &self.build)?;
         let lowering = t1.elapsed();
         let t2 = Instant::now();
-        let ci = self.ci.solve_ci(&graph);
+        let ci = self
+            .ci
+            .solve(&graph, None)
+            .expect("the CI solver has no step budget")
+            .into_ci()
+            .expect("the engine's ci spec must describe the CI analysis");
         let ci_wall = t2.elapsed();
         Ok(Prepared {
             name: job.name.clone(),

@@ -109,6 +109,9 @@ pub struct IncrementalStats {
     pub funcs_dirty: usize,
     /// Individual solver solutions replayed from cache.
     pub solutions_replayed: usize,
+    /// Individual solver solutions obtained by a seeded resume
+    /// (`reseeded(..)` or `seeded(..)` modes), across all solvers.
+    pub solutions_resumed: usize,
 }
 
 /// Per-benchmark stage timings, sizes, and solver metrics.
@@ -243,13 +246,15 @@ impl EngineReport {
         let inc = match &self.incremental {
             Some(s) => format!(
                 "{{\"benches_replayed\": {}, \"benches_seeded\": {}, \"benches_fresh\": {}, \
-                 \"funcs_reused\": {}, \"funcs_dirty\": {}, \"solutions_replayed\": {}}}",
+                 \"funcs_reused\": {}, \"funcs_dirty\": {}, \"solutions_replayed\": {}, \
+                 \"solutions_resumed\": {}}}",
                 s.benches_replayed,
                 s.benches_seeded,
                 s.benches_fresh,
                 s.funcs_reused,
                 s.funcs_dirty,
-                s.solutions_replayed
+                s.solutions_replayed,
+                s.solutions_resumed
             ),
             None => "null".into(),
         };

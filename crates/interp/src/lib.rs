@@ -60,7 +60,11 @@ mod tests {
         let p = cfront::compile(src).expect("compiles");
         let g = lower(&p, &BuildOptions::default()).expect("lowers");
         let ci = SolverSpec::ci().solve_ci(&g);
-        let cs = SolverSpec::cs().solve_cs(&g, Some(&ci)).expect("cs budget");
+        let cs = SolverSpec::cs()
+            .solve(&g, Some(&ci))
+            .expect("cs budget")
+            .into_cs()
+            .expect("cs result");
         let out = run(&p, &Config::default()).expect("runs");
         let v_ci = check_solution(&p, &g, &ci, &out.trace);
         assert!(v_ci.is_empty(), "CI violations: {v_ci:#?}");

@@ -16,7 +16,7 @@
 //! ## Wire format
 //!
 //! One frame = one JSON object on one line, terminated by `\n`. Every
-//! request carries `"v": 1` (the protocol version); a server rejects
+//! request carries `"v": 2` (the protocol version); a server rejects
 //! frames with any other version rather than guessing. 64-bit
 //! fingerprints are encoded as 16-digit lowercase hex *strings*
 //! ([`fp_hex`]/[`parse_fp_hex`]) so no JSON consumer ever loses
@@ -33,8 +33,10 @@ use json::Value;
 use std::fmt;
 use std::io::{BufRead, Write};
 
-/// Protocol version carried in every request frame.
-pub const VERSION: i64 = 1;
+/// Protocol version carried in every request frame. `v2` accompanied
+/// the unified per-solver summary vocabulary: frames and stores written
+/// under `v1` (CI-only summaries) are rejected rather than half-read.
+pub const VERSION: i64 = 2;
 
 /// Renders a 64-bit fingerprint as fixed-width lowercase hex.
 pub fn fp_hex(fp: u64) -> String {

@@ -353,6 +353,211 @@ pub fn run_queries(query_iters: u64) -> Result<QueryBench, String> {
     })
 }
 
+// ---------------------------------------------------------------------
+// PR 8: per-solver summary-seeded resume benchmark
+// (`serve-bench --summaries`).
+// ---------------------------------------------------------------------
+
+/// Warm-edit statistics for one solver.
+#[derive(Debug, Clone)]
+pub struct SolverEditStats {
+    /// Solver name (`weihl` … `cs`).
+    pub analysis: String,
+    /// Edits measured.
+    pub edits: usize,
+    /// Median `fresh wall / warm wall` across edits of the full-sweep
+    /// re-analysis: one program edited, the rest replayed from their
+    /// summaries — the corpus-edit scenario the serve layer exists for.
+    pub median_speedup: f64,
+    /// Total fresh re-analysis wall across edits, microseconds.
+    pub fresh_us: u64,
+    /// Total warm (summary-seeded) re-analysis wall across edits.
+    pub warm_us: u64,
+    /// Edits where any benchmark's warm solution fingerprint diverged
+    /// from the fresh solve's. Must be zero: the resume is a pure
+    /// optimization.
+    pub mismatches: usize,
+}
+
+/// The `BENCH_pr8.json` measurement set: what compositional bottom-up
+/// summaries buy each solver after an edit, plus the intra-solve
+/// thread scaling of the wave-parallel summary extraction.
+#[derive(Debug, Clone)]
+pub struct SummariesBench {
+    /// Scaled programs driven (solve-dominated chain/diamond sweep).
+    pub programs: usize,
+    /// Per-solver warm-edit statistics, spectrum order.
+    pub solvers: Vec<SolverEditStats>,
+    /// Sum of per-solver fingerprint mismatches. CI asserts zero.
+    pub fingerprint_mismatches: usize,
+    /// Serial (`threads = 1`) summary-extraction wall over the largest
+    /// program, all five vocabularies, microseconds.
+    pub compose_serial_us: u64,
+    /// Same extraction under auto parallelism.
+    pub compose_parallel_us: u64,
+    /// `compose_serial_us / compose_parallel_us` (≈ available
+    /// parallel speedup of the SCC wave schedule; ~1.0 on one core).
+    pub compose_scaling: f64,
+}
+
+/// Runs the per-solver warm-edit measurement. For each solver: prime a
+/// single-solver engine's cache on the full scaling sweep (untimed,
+/// once per trial via `absorb`), apply a seeded edit to *one* program,
+/// then re-analyze the whole sweep warm (edited program resumes from
+/// its summaries, the rest replay) versus fresh — comparing every
+/// benchmark's solution fingerprint on every trial.
+///
+/// # Errors
+///
+/// Returns a description of the first failing solve.
+pub fn run_summaries(edits_per_program: usize) -> Result<SummariesBench, String> {
+    use engine::{Engine, Job};
+    use suite::edit::apply_random_edit;
+
+    // The solve-dominated scaling sweep: on the small paper programs
+    // the frontend dwarfs every solver and warm-edit gains vanish into
+    // noise; the chain/diamond programs are where summaries matter.
+    let programs = suite::scaling::standard_suite(1995);
+    let jobs: Vec<Job> = programs
+        .iter()
+        .map(|p| Job::new(&p.name, &p.source))
+        .collect();
+    let trials = edits_per_program.max(1) * jobs.len();
+    let mut solvers = Vec::new();
+    let mut total_mismatches = 0usize;
+    for spec in alias::SolverSpec::all() {
+        let engine = Engine::new().threads(1).specs(std::slice::from_ref(&spec));
+        let baseline = engine
+            .run(&jobs)
+            .map_err(|e| format!("{}: baseline: {e}", spec.name()))?;
+        let mut speedups: Vec<f64> = Vec::new();
+        let mut fresh_total = 0u64;
+        let mut warm_total = 0u64;
+        let mut mismatches = 0usize;
+        let mut seed = 0u64;
+        while speedups.len() < trials && seed < trials as u64 * 16 {
+            let bi = speedups.len() % jobs.len();
+            seed += 1;
+            let Some(step) = apply_random_edit(&jobs[bi].source, seed) else {
+                continue;
+            };
+            let mut edited = jobs.clone();
+            edited[bi].source = step.source.clone();
+            // Prime the cache outside the timer: absorbing the baseline
+            // is the one-time cost of entering incremental mode, paid
+            // once per edit chain, not once per edit.
+            let mut cache = engine.cache();
+            cache.absorb(&baseline);
+            let t = Instant::now();
+            let warm = engine
+                .analyze_incremental_with(&mut cache, &edited)
+                .map_err(|e| format!("{}: warm: {e}", spec.name()))?;
+            let w_us = t.elapsed().as_micros() as u64;
+            let t = Instant::now();
+            let fresh = engine
+                .run(&edited)
+                .map_err(|e| format!("{}: fresh: {e}", spec.name()))?;
+            let f_us = t.elapsed().as_micros() as u64;
+            fresh_total += f_us;
+            warm_total += w_us;
+            speedups.push(f_us.max(1) as f64 / w_us.max(1) as f64);
+            for (wb, fb) in warm.benches.iter().zip(&fresh.benches) {
+                let fp = |b: &engine::BenchOutput| {
+                    b.solution(spec.name())
+                        .map(|s| alias::solver::solution_fingerprint(s, &b.graph))
+                };
+                if fp(wb) != fp(fb) || fp(fb).is_none() {
+                    mismatches += 1;
+                }
+            }
+        }
+        speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = if speedups.is_empty() {
+            0.0
+        } else {
+            speedups[speedups.len() / 2]
+        };
+        total_mismatches += mismatches;
+        solvers.push(SolverEditStats {
+            analysis: spec.name().to_string(),
+            edits: speedups.len(),
+            median_speedup: median,
+            fresh_us: fresh_total,
+            warm_us: warm_total,
+            mismatches,
+        });
+    }
+
+    // Intra-solve thread scaling of the wave-parallel summary
+    // extraction: all five vocabularies over the largest program.
+    let big = programs
+        .iter()
+        .max_by_key(|p| p.source.len())
+        .expect("nonempty sweep");
+    let run = engine::Engine::new()
+        .threads(1)
+        .run(&[engine::Job::new(&big.name, &big.source)])
+        .map_err(|e| format!("{}: compose: {e}", big.name))?;
+    let b = &run.benches[0];
+    let index = alias::fingerprint::GraphIndex::build(&b.graph);
+    let time_compose = |threads: usize| -> u64 {
+        let t = Instant::now();
+        for s in &b.solutions {
+            if let Some(sol) = s.solution.as_deref() {
+                let _ = engine::compose::summarize(&b.graph, &index, sol, Some(&b.ci), threads);
+            }
+        }
+        t.elapsed().as_micros() as u64
+    };
+    let compose_serial_us = time_compose(1).max(1);
+    let compose_parallel_us = time_compose(0).max(1);
+
+    Ok(SummariesBench {
+        programs: programs.len(),
+        solvers,
+        fingerprint_mismatches: total_mismatches,
+        compose_serial_us,
+        compose_parallel_us,
+        compose_scaling: compose_serial_us as f64 / compose_parallel_us as f64,
+    })
+}
+
+impl SummariesBench {
+    /// Renders the `BENCH_pr8.json` document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"bench\": \"pr8_summaries\",\n");
+        s.push_str(&format!("  \"programs\": {},\n", self.programs));
+        s.push_str("  \"solvers\": [\n");
+        for (i, sv) in self.solvers.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"analysis\": \"{}\", \"edits\": {}, \
+                 \"median_warm_edit_speedup\": {:.2}, \"fresh_wall_us\": {}, \
+                 \"warm_wall_us\": {}, \"fingerprint_mismatches\": {}}}{}\n",
+                sv.analysis,
+                sv.edits,
+                sv.median_speedup,
+                sv.fresh_us,
+                sv.warm_us,
+                sv.mismatches,
+                if i + 1 < self.solvers.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"fingerprint_mismatches\": {},\n",
+            self.fingerprint_mismatches
+        ));
+        s.push_str(&format!(
+            "  \"compose_serial_us\": {},\n  \"compose_parallel_us\": {},\n  \
+             \"compose_thread_scaling\": {:.2}\n",
+            self.compose_serial_us, self.compose_parallel_us, self.compose_scaling
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
 impl QueryBench {
     /// Renders the `BENCH_pr7.json` document.
     pub fn to_json(&self) -> String {

@@ -2,7 +2,7 @@
 //! [`Service`], plus the client side.
 //!
 //! Framing is [`proto::write_frame`]/[`proto::read_frame`]: one JSON
-//! object per line, `"v": 1` version tag. One thread per connection;
+//! object per line, `"v": 2` version tag. One thread per connection;
 //! every request takes the service mutex, so the daemon's answers are
 //! exactly the answers of a serial in-process [`Service`].
 //!

@@ -225,7 +225,7 @@ impl Service {
             if let Some(store) = &self.store {
                 let t = Instant::now();
                 if let LoadOutcome::Loaded(p) = store.load(project) {
-                    if p.ci_spec_key == session.cache.ci_spec_key() {
+                    if p.spec_key == session.cache.spec_key() {
                         // Summaries stay raw here; the first analyze or
                         // check touching a bench decodes and seeds it
                         // (see seed_pending).
@@ -400,7 +400,7 @@ impl Service {
             let summaries = session
                 .cache
                 .summaries_of(&b.name)
-                .map(|(_, _, m)| (*m).clone())
+                .map(|(_, _, m)| m)
                 .unwrap_or_default();
             session.stored.insert(
                 b.name.clone(),
@@ -844,7 +844,7 @@ impl Service {
         let mut benches: Vec<StoredBench> = session.stored.values().cloned().collect();
         benches.sort_by(|a, b| a.name.cmp(&b.name));
         let state = StoredProject {
-            ci_spec_key: session.cache.ci_spec_key().to_string(),
+            spec_key: session.cache.spec_key().to_string(),
             benches,
         };
         // A failed save degrades to colder restarts, not wrong answers;

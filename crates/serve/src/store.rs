@@ -3,34 +3,50 @@
 //! One file per project, `<dir>/<project>.json`:
 //!
 //! ```text
-//! ruf95-store v1 <fnv64-of-payload, 16 hex digits>
+//! ruf95-store v2 <fnv64-of-payload, 16 hex digits>
 //! { ...payload JSON on one line... }
 //! ```
 //!
 //! The payload carries, per benchmark, everything a restored session
 //! needs to warm-start without trusting the store for correctness:
 //! the source text (recompiled on restore), the FNV source/graph
-//! fingerprints it was analyzed under, the per-function [`FuncSummary`]
-//! facts in stable vocabulary (seeds for the tier-3 CI resume), each
-//! solver's canonical solution fingerprint, and the check-results
-//! fingerprint when checks ran. Solutions themselves are *not*
-//! persisted — they are graph-id-indexed and cheaper to re-derive from
-//! seeds than to re-validate — so a load can only ever seed work, never
-//! substitute for it.
+//! fingerprints it was analyzed under, one versioned summary payload
+//! *per solver* — each naming its vocabulary and carrying that solver's
+//! per-function [`FunctionSummary`] facts, the seeds for every solver's
+//! tier-3 resume — each solver's canonical solution fingerprint, and
+//! the check-results fingerprint when checks ran. Solutions themselves
+//! are *not* persisted — they are graph-id-indexed and cheaper to
+//! re-derive from seeds than to re-validate — so a load can only ever
+//! seed work, never substitute for it.
 //!
 //! Every load failure — missing file, bad header, version or checksum
 //! mismatch, malformed or incomplete payload — degrades to an explicit
-//! [`LoadOutcome`] variant that the service maps to a cold start.
-//! Nothing in this module panics on hostile input.
+//! [`LoadOutcome`] variant that the service maps to a cold start. In
+//! particular a `v1` file (CI-only summaries, pre-unification schema)
+//! is rejected wholesale rather than half-decoded. Nothing in this
+//! module panics on hostile input.
 
-use alias::fingerprint::{fnv64, FuncSummary, StableOp, StablePair, StablePath};
+use alias::fingerprint::{fnv64, StableOp, StablePair, StablePath};
+use alias::summary::{
+    FuncFacts, FunctionSummary, MemOpPruning, SolverSummaries, StableAssum, StableCtx,
+    SteensConstraint, Vocab,
+};
 use proto::json::Value;
 use proto::{bytes_hex, fp_hex, parse_bytes_hex, parse_fp_hex};
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-/// Store format version; bumped on any payload schema change.
-pub const STORE_VERSION: u32 = 1;
+/// Store format version; bumped on any payload schema change. `v2`
+/// replaced the CI-only summary map with one versioned
+/// [`SummaryPayload`](self) per solver.
+pub const STORE_VERSION: u32 = 2;
+
+/// Version tag inside each per-solver summary payload, independent of
+/// the file header so a future payload-only change can keep the outer
+/// framing.
+pub const SUMMARY_PAYLOAD_VERSION: i64 = 2;
 
 /// One benchmark's persisted state.
 #[derive(Debug, Clone)]
@@ -48,41 +64,42 @@ pub struct StoredBench {
     /// `(analysis, canonical solution fingerprint)` per solver;
     /// `None` for failed solves.
     pub solution_fps: Vec<(String, Option<u64>)>,
-    /// Memoized per-function facts, the CI resume seeds. Loaded lazily:
-    /// decoding is the dominant load cost, and a session that only
-    /// fields demand queries never needs the seeds at all.
+    /// Memoized per-solver facts, the tier-3 resume seeds. Loaded
+    /// lazily: decoding is the dominant load cost, and a session that
+    /// only fields demand queries never needs the seeds at all.
     pub summaries: StoredSummaries,
     /// FNV-64 over the benchmark's per-solver diagnostics, when a
     /// check request ran.
     pub check_fp: Option<u64>,
 }
 
-/// A benchmark's summaries, decoded on first touch rather than at load
-/// time — `Store::load` used to decode every bench's summary map
-/// eagerly, which made a warm restore *slower* than a cold solve for a
-/// session that then touched one bench.
+/// A benchmark's per-solver summaries, decoded on first touch rather
+/// than at load time — `Store::load` used to decode every bench's
+/// summary maps eagerly, which made a warm restore *slower* than a cold
+/// solve for a session that then touched one bench.
 #[derive(Debug, Clone)]
 pub enum StoredSummaries {
-    /// Decoded facts, ready to seed a CI resume.
-    Ready(alias::fxhash::HashMap<String, FuncSummary>),
+    /// Decoded facts by solver name, ready to seed every solver's
+    /// resume.
+    Ready(HashMap<String, Arc<SolverSummaries>>),
     /// The raw `"summaries"` JSON object as loaded from disk.
     Raw(Value),
 }
 
 impl Default for StoredSummaries {
     fn default() -> Self {
-        StoredSummaries::Ready(alias::fxhash::HashMap::default())
+        StoredSummaries::Ready(HashMap::default())
     }
 }
 
 impl StoredSummaries {
-    /// The decoded map, decoding (once) if this is still the raw disk
-    /// form. A malformed raw object decodes to the empty map: the
-    /// session then cold-solves that bench — the store can cost time,
-    /// never correctness.
-    pub fn decoded(&mut self) -> &alias::fxhash::HashMap<String, FuncSummary> {
+    /// The decoded per-solver map, decoding (once) if this is still the
+    /// raw disk form. A malformed payload decodes to no entry for that
+    /// solver: the session then cold-solves with it — the store can
+    /// cost time, never correctness.
+    pub fn decoded(&mut self) -> &HashMap<String, Arc<SolverSummaries>> {
         if let StoredSummaries::Raw(v) = self {
-            let m = decode_summaries(v).unwrap_or_default();
+            let m = decode_summaries(v);
             *self = StoredSummaries::Ready(m);
         }
         match self {
@@ -94,11 +111,11 @@ impl StoredSummaries {
     /// An owned decoded map, *without* materializing the `Ready` form:
     /// a raw entry decodes straight into the caller's hands and stays
     /// raw here, so re-persisting remains a verbatim re-emit and no
-    /// second copy of the map is kept (or cloned) per bench.
-    pub fn decode_fresh(&self) -> alias::fxhash::HashMap<String, FuncSummary> {
+    /// second copy of the maps is kept (or cloned) per bench.
+    pub fn decode_fresh(&self) -> HashMap<String, Arc<SolverSummaries>> {
         match self {
             StoredSummaries::Ready(m) => m.clone(),
-            StoredSummaries::Raw(v) => decode_summaries(v).unwrap_or_default(),
+            StoredSummaries::Raw(v) => decode_summaries(v),
         }
     }
 }
@@ -106,9 +123,10 @@ impl StoredSummaries {
 /// A project's full persisted state.
 #[derive(Debug, Clone, Default)]
 pub struct StoredProject {
-    /// The engine CI spec key the artifacts were computed under;
-    /// summaries are only sound seeds for an engine with the same key.
-    pub ci_spec_key: String,
+    /// The engine's full solver-spec key (CI spec plus every configured
+    /// solver spec) the artifacts were computed under; summaries are
+    /// only sound seeds for an engine with the same key.
+    pub spec_key: String,
     /// One entry per benchmark, sorted by name.
     pub benches: Vec<StoredBench>,
 }
@@ -121,9 +139,10 @@ pub enum LoadOutcome {
     /// The project's state, verified and decoded.
     Loaded(StoredProject),
     /// The file exists but is unusable (truncated, corrupt, malformed,
-    /// or written by a different store version). The service treats
-    /// this exactly like [`LoadOutcome::Missing`] — cold start — and
-    /// the next save overwrites the bad file.
+    /// or written by a different store version — including pre-v2
+    /// CI-only files). The service treats this exactly like
+    /// [`LoadOutcome::Missing`] — cold start — and the next save
+    /// overwrites the bad file.
     Rejected {
         /// Why the file was rejected.
         reason: String,
@@ -206,7 +225,7 @@ impl Store {
         match decode_project(value) {
             Some(p) => LoadOutcome::Loaded(p),
             None => LoadOutcome::Rejected {
-                reason: "incomplete payload (schema drift within v1?)".into(),
+                reason: "incomplete payload (schema drift within v2?)".into(),
             },
         }
     }
@@ -254,6 +273,12 @@ impl Store {
     }
 }
 
+// ---------------------------------------------------------------------
+// Stable-vocabulary codecs. Encoders emit canonical (sorted) forms so
+// the file is byte-stable across runs; decoders return `None` on any
+// shape violation, which the caller degrades to "no seeds".
+// ---------------------------------------------------------------------
+
 fn encode_path(p: &StablePath) -> Value {
     Value::Obj(vec![
         ("b".into(), Value::opt_str(p.base.as_deref())),
@@ -292,30 +317,300 @@ fn decode_path(v: &Value) -> Option<StablePath> {
     })
 }
 
-fn encode_summary(s: &FuncSummary) -> Value {
+fn encode_pair(p: &StablePair) -> Value {
+    Value::Obj(vec![
+        ("p".into(), encode_path(&p.path)),
+        ("r".into(), encode_path(&p.referent)),
+    ])
+}
+
+fn decode_pair(v: &Value) -> Option<StablePair> {
+    Some(StablePair {
+        path: decode_path(v.get("p")?)?,
+        referent: decode_path(v.get("r")?)?,
+    })
+}
+
+fn encode_pair_rows(rows: &[Vec<StablePair>]) -> Value {
+    Value::Arr(
+        rows.iter()
+            .map(|pairs| Value::Arr(pairs.iter().map(encode_pair).collect()))
+            .collect(),
+    )
+}
+
+fn decode_pair_rows(v: &Value) -> Option<Vec<Vec<StablePair>>> {
+    v.as_arr()?
+        .iter()
+        .map(|pairs| pairs.as_arr()?.iter().map(decode_pair).collect())
+        .collect()
+}
+
+fn encode_ctx(c: &StableCtx) -> Value {
+    match c {
+        StableCtx::Root => Value::Null,
+        StableCtx::Call { func, offset } => Value::Obj(vec![
+            ("f".into(), Value::str(func)),
+            ("o".into(), Value::Int(*offset as i64)),
+        ]),
+    }
+}
+
+fn decode_ctx(v: &Value) -> Option<StableCtx> {
+    match v {
+        Value::Null => Some(StableCtx::Root),
+        _ => Some(StableCtx::Call {
+            func: v.get("f")?.as_str()?.to_string(),
+            offset: v.get("o")?.as_u64()? as u32,
+        }),
+    }
+}
+
+fn encode_assum(a: &StableAssum) -> Value {
+    Value::Obj(vec![
+        ("i".into(), Value::Int(a.formal as i64)),
+        ("pr".into(), encode_pair(&a.pair)),
+    ])
+}
+
+fn decode_assum(v: &Value) -> Option<StableAssum> {
+    Some(StableAssum {
+        formal: v.get("i")?.as_u64()? as u32,
+        pair: decode_pair(v.get("pr")?)?,
+    })
+}
+
+fn encode_atom(a: &SteensConstraint) -> Value {
+    let int = |n: u32| Value::Int(n as i64);
+    let opt_int = |n: Option<u32>| n.map_or(Value::Null, |n| Value::Int(n as i64));
+    let ints = |ns: &[u32]| Value::Arr(ns.iter().map(|&n| int(n)).collect());
+    Value::Arr(match a {
+        SteensConstraint::Base { out, base } => {
+            vec![Value::str("b"), int(*out), Value::str(base)]
+        }
+        SteensConstraint::Move { dst, src } => vec![Value::str("m"), int(*dst), int(*src)],
+        SteensConstraint::Load { out, loc } => vec![Value::str("l"), int(*out), int(*loc)],
+        SteensConstraint::Store { loc, val } => vec![Value::str("s"), int(*loc), int(*val)],
+        SteensConstraint::Copy { dst, src } => vec![Value::str("c"), int(*dst), int(*src)],
+        SteensConstraint::CallTo {
+            callee,
+            args,
+            result,
+        } => vec![
+            Value::str("ct"),
+            Value::str(callee),
+            ints(args),
+            opt_int(*result),
+        ],
+        SteensConstraint::CallIndirect { args, result } => {
+            vec![Value::str("cx"), ints(args), opt_int(*result)]
+        }
+    })
+}
+
+fn decode_atom(v: &Value) -> Option<SteensConstraint> {
+    let a = v.as_arr()?;
+    let int = |i: usize| a.get(i)?.as_u64().map(|n| n as u32);
+    let opt_int = |i: usize| match a.get(i) {
+        Some(Value::Null) => Some(None),
+        Some(v) => v.as_u64().map(|n| Some(n as u32)),
+        None => None,
+    };
+    let ints = |i: usize| -> Option<Vec<u32>> {
+        a.get(i)?
+            .as_arr()?
+            .iter()
+            .map(|n| n.as_u64().map(|n| n as u32))
+            .collect()
+    };
+    Some(match a.first()?.as_str()? {
+        "b" => SteensConstraint::Base {
+            out: int(1)?,
+            base: a.get(2)?.as_str()?.to_string(),
+        },
+        "m" => SteensConstraint::Move {
+            dst: int(1)?,
+            src: int(2)?,
+        },
+        "l" => SteensConstraint::Load {
+            out: int(1)?,
+            loc: int(2)?,
+        },
+        "s" => SteensConstraint::Store {
+            loc: int(1)?,
+            val: int(2)?,
+        },
+        "c" => SteensConstraint::Copy {
+            dst: int(1)?,
+            src: int(2)?,
+        },
+        "ct" => SteensConstraint::CallTo {
+            callee: a.get(1)?.as_str()?.to_string(),
+            args: ints(2)?,
+            result: opt_int(3)?,
+        },
+        "cx" => SteensConstraint::CallIndirect {
+            args: ints(1)?,
+            result: opt_int(2)?,
+        },
+        _ => return None,
+    })
+}
+
+fn encode_facts(f: &FuncFacts) -> Value {
+    match f {
+        FuncFacts::Ci(rows) | FuncFacts::Weihl(rows) => encode_pair_rows(rows),
+        FuncFacts::K1(rows) => Value::Arr(
+            rows.iter()
+                .map(|ctxs| {
+                    Value::Arr(
+                        ctxs.iter()
+                            .map(|(c, pairs)| {
+                                Value::Arr(vec![
+                                    encode_ctx(c),
+                                    Value::Arr(pairs.iter().map(encode_pair).collect()),
+                                ])
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        ),
+        FuncFacts::Cs { outputs, memops } => Value::Obj(vec![
+            (
+                "outputs".into(),
+                Value::Arr(
+                    outputs
+                        .iter()
+                        .map(|row| {
+                            Value::Arr(
+                                row.iter()
+                                    .map(|(p, antichain)| {
+                                        Value::Arr(vec![
+                                            encode_pair(p),
+                                            Value::Arr(
+                                                antichain
+                                                    .iter()
+                                                    .map(|set| {
+                                                        Value::Arr(
+                                                            set.iter().map(encode_assum).collect(),
+                                                        )
+                                                    })
+                                                    .collect(),
+                                            ),
+                                        ])
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "memops".into(),
+                Value::Arr(
+                    memops
+                        .iter()
+                        .map(|m| {
+                            Value::Obj(vec![
+                                ("o".into(), Value::Int(m.offset as i64)),
+                                ("s".into(), Value::Bool(m.single)),
+                                (
+                                    "lr".into(),
+                                    Value::Arr(m.loc_refs.iter().map(encode_path).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        FuncFacts::Steens(atoms) => Value::Arr(atoms.iter().map(encode_atom).collect()),
+    }
+}
+
+fn decode_facts(vocab: Vocab, v: &Value) -> Option<FuncFacts> {
+    Some(match vocab {
+        Vocab::Ci => FuncFacts::Ci(decode_pair_rows(v)?),
+        Vocab::Weihl => FuncFacts::Weihl(decode_pair_rows(v)?),
+        Vocab::K1 => FuncFacts::K1(
+            v.as_arr()?
+                .iter()
+                .map(|ctxs| {
+                    ctxs.as_arr()?
+                        .iter()
+                        .map(|entry| {
+                            let entry = entry.as_arr()?;
+                            let ctx = decode_ctx(entry.first()?)?;
+                            let pairs = entry
+                                .get(1)?
+                                .as_arr()?
+                                .iter()
+                                .map(decode_pair)
+                                .collect::<Option<Vec<_>>>()?;
+                            Some((ctx, pairs))
+                        })
+                        .collect()
+                })
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        Vocab::Cs => FuncFacts::Cs {
+            outputs: v
+                .get("outputs")?
+                .as_arr()?
+                .iter()
+                .map(|row| {
+                    row.as_arr()?
+                        .iter()
+                        .map(|entry| {
+                            let entry = entry.as_arr()?;
+                            let pair = decode_pair(entry.first()?)?;
+                            let antichain = entry
+                                .get(1)?
+                                .as_arr()?
+                                .iter()
+                                .map(|set| {
+                                    set.as_arr()?
+                                        .iter()
+                                        .map(decode_assum)
+                                        .collect::<Option<Vec<_>>>()
+                                })
+                                .collect::<Option<Vec<_>>>()?;
+                            Some((pair, antichain))
+                        })
+                        .collect()
+                })
+                .collect::<Option<Vec<_>>>()?,
+            memops: v
+                .get("memops")?
+                .as_arr()?
+                .iter()
+                .map(|m| {
+                    Some(MemOpPruning {
+                        offset: m.get("o")?.as_u64()? as u32,
+                        single: m.get("s")?.as_bool()?,
+                        loc_refs: m
+                            .get("lr")?
+                            .as_arr()?
+                            .iter()
+                            .map(decode_path)
+                            .collect::<Option<Vec<_>>>()?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+        },
+        Vocab::Steens => FuncFacts::Steens(
+            v.as_arr()?
+                .iter()
+                .map(decode_atom)
+                .collect::<Option<Vec<_>>>()?,
+        ),
+    })
+}
+
+fn encode_func(s: &FunctionSummary) -> Value {
     Value::Obj(vec![
         ("fp".into(), Value::str(fp_hex(s.fingerprint))),
-        (
-            "outputs".into(),
-            Value::Arr(
-                s.outputs
-                    .iter()
-                    .map(|pairs| {
-                        Value::Arr(
-                            pairs
-                                .iter()
-                                .map(|p| {
-                                    Value::Obj(vec![
-                                        ("p".into(), encode_path(&p.path)),
-                                        ("r".into(), encode_path(&p.referent)),
-                                    ])
-                                })
-                                .collect(),
-                        )
-                    })
-                    .collect(),
-            ),
-        ),
         (
             "calls".into(),
             Value::Arr(
@@ -330,27 +625,11 @@ fn encode_summary(s: &FuncSummary) -> Value {
                     .collect(),
             ),
         ),
+        ("facts".into(), encode_facts(&s.facts)),
     ])
 }
 
-fn decode_summary(v: &Value) -> Option<FuncSummary> {
-    let outputs = v
-        .get("outputs")?
-        .as_arr()?
-        .iter()
-        .map(|pairs| {
-            pairs
-                .as_arr()?
-                .iter()
-                .map(|p| {
-                    Some(StablePair {
-                        path: decode_path(p.get("p")?)?,
-                        referent: decode_path(p.get("r")?)?,
-                    })
-                })
-                .collect::<Option<Vec<_>>>()
-        })
-        .collect::<Option<Vec<_>>>()?;
+fn decode_func(vocab: Vocab, v: &Value) -> Option<FunctionSummary> {
     let calls = v
         .get("calls")?
         .as_arr()?
@@ -367,25 +646,72 @@ fn decode_summary(v: &Value) -> Option<FuncSummary> {
             Some((off as u32, callees))
         })
         .collect::<Option<Vec<_>>>()?;
-    Some(FuncSummary {
+    Some(FunctionSummary {
         fingerprint: parse_fp_hex(v.get("fp")?.as_str()?)?,
-        outputs,
         calls,
+        facts: decode_facts(vocab, v.get("facts")?)?,
     })
 }
 
-/// Decodes a bench's full `"summaries"` object (the deferred half of
-/// project loading).
-fn decode_summaries(v: &Value) -> Option<alias::fxhash::HashMap<String, FuncSummary>> {
-    v.as_obj()?
+/// Encodes one solver's whole-program summaries as a versioned payload
+/// naming its vocabulary.
+fn encode_payload(s: &SolverSummaries) -> Value {
+    // Sort function names so the file is byte-stable across runs
+    // (hash-map iteration is not).
+    let mut names: Vec<&String> = s.funcs.keys().collect();
+    names.sort();
+    Value::Obj(vec![
+        ("v".into(), Value::Int(SUMMARY_PAYLOAD_VERSION)),
+        ("vocab".into(), Value::str(s.vocab.name())),
+        (
+            "funcs".into(),
+            Value::Obj(
+                names
+                    .iter()
+                    .map(|n| ((*n).clone(), encode_func(&s.funcs[*n])))
+                    .collect(),
+            ),
+        ),
+        (
+            "store".into(),
+            Value::Arr(s.store.iter().map(encode_pair).collect()),
+        ),
+    ])
+}
+
+fn decode_payload(v: &Value) -> Option<SolverSummaries> {
+    if v.get("v")?.as_i64()? != SUMMARY_PAYLOAD_VERSION {
+        return None;
+    }
+    let vocab = Vocab::by_name(v.get("vocab")?.as_str()?)?;
+    let mut out = SolverSummaries::new(vocab);
+    for (name, f) in v.get("funcs")?.as_obj()? {
+        out.funcs.insert(name.clone(), decode_func(vocab, f)?);
+    }
+    out.store = v
+        .get("store")?
+        .as_arr()?
         .iter()
-        .map(|(name, s)| Some((name.clone(), decode_summary(s)?)))
+        .map(decode_pair)
+        .collect::<Option<Vec<_>>>()?;
+    Some(out)
+}
+
+/// Decodes a bench's full `"summaries"` object (the deferred half of
+/// project loading). A malformed payload drops that solver's entry —
+/// the session then solves it fresh — rather than rejecting the rest.
+fn decode_summaries(v: &Value) -> HashMap<String, Arc<SolverSummaries>> {
+    let Some(obj) = v.as_obj() else {
+        return HashMap::default();
+    };
+    obj.iter()
+        .filter_map(|(name, s)| Some((name.clone(), Arc::new(decode_payload(s)?))))
         .collect()
 }
 
 fn encode_project(p: &StoredProject) -> Value {
     Value::Obj(vec![
-        ("ci_spec_key".into(), Value::str(&p.ci_spec_key)),
+        ("spec_key".into(), Value::str(&p.spec_key)),
         (
             "benches".into(),
             Value::Arr(
@@ -393,16 +719,13 @@ fn encode_project(p: &StoredProject) -> Value {
                     .iter()
                     .map(|b| {
                         let summaries = match &b.summaries {
-                            // Sort function names so the file is
-                            // byte-stable across runs (hash-map
-                            // iteration is not).
                             StoredSummaries::Ready(m) => {
                                 let mut names: Vec<&String> = m.keys().collect();
                                 names.sort();
                                 Value::Obj(
                                     names
                                         .iter()
-                                        .map(|n| ((*n).clone(), encode_summary(&m[*n])))
+                                        .map(|n| ((*n).clone(), encode_payload(&m[*n])))
                                         .collect(),
                                 )
                             }
@@ -450,7 +773,7 @@ fn encode_project(p: &StoredProject) -> Value {
 /// can be *moved* into [`StoredSummaries::Raw`] — cloning it at load
 /// time would cost more than the eager decode this laziness replaces.
 fn decode_project(v: Value) -> Option<StoredProject> {
-    let ci_spec_key = v.get("ci_spec_key")?.as_str()?.to_string();
+    let spec_key = v.get("spec_key")?.as_str()?.to_string();
     let Value::Obj(fields) = v else { return None };
     let benches_raw = fields.into_iter().find(|(k, _)| k == "benches")?.1;
     let Value::Arr(items) = benches_raw else {
@@ -460,17 +783,14 @@ fn decode_project(v: Value) -> Option<StoredProject> {
         .into_iter()
         .map(decode_bench)
         .collect::<Option<Vec<_>>>()?;
-    Some(StoredProject {
-        ci_spec_key,
-        benches,
-    })
+    Some(StoredProject { spec_key, benches })
 }
 
 fn decode_bench(b: Value) -> Option<StoredBench> {
     let Value::Obj(mut fields) = b else {
         return None;
     };
-    // Shape-check only; per-function decoding is deferred to the first
+    // Shape-check only; per-solver decoding is deferred to the first
     // touch (StoredSummaries::decoded).
     let idx = fields.iter().position(|(k, _)| k == "summaries")?;
     let raw = fields.remove(idx).1;
@@ -509,30 +829,95 @@ fn decode_bench(b: Value) -> Option<StoredBench> {
 mod tests {
     use super::*;
 
-    fn sample_project() -> StoredProject {
-        let mut summaries = alias::fxhash::HashMap::default();
-        summaries.insert(
-            "main".to_string(),
-            FuncSummary {
-                fingerprint: 0xfeed_f00d_dead_beef,
-                outputs: vec![
-                    vec![StablePair {
-                        path: StablePath {
-                            base: Some("g:gp".into()),
-                            ops: vec![],
-                        },
-                        referent: StablePath {
-                            base: Some("l:main:x".into()),
-                            ops: vec![StableOp::Field("f".into()), StableOp::Index],
-                        },
-                    }],
-                    vec![],
-                ],
-                calls: vec![(3, vec!["id".into(), "setg".into()])],
+    fn pair(base: &str, referent: &str) -> StablePair {
+        StablePair {
+            path: StablePath {
+                base: Some(base.into()),
+                ops: vec![],
             },
-        );
+            referent: StablePath {
+                base: Some(referent.into()),
+                ops: vec![StableOp::Field("f".into()), StableOp::Index],
+            },
+        }
+    }
+
+    /// One summary container per solver vocabulary, covering every
+    /// `FuncFacts` variant the codec must round-trip.
+    fn sample_summaries() -> HashMap<String, Arc<SolverSummaries>> {
+        let func = |facts: FuncFacts| FunctionSummary {
+            fingerprint: 0xfeed_f00d_dead_beef,
+            calls: vec![(3, vec!["id".into(), "setg".into()])],
+            facts,
+        };
+        let mut all = HashMap::default();
+        for vocab in [Vocab::Ci, Vocab::Weihl, Vocab::K1, Vocab::Cs, Vocab::Steens] {
+            let facts = match vocab {
+                Vocab::Ci => FuncFacts::Ci(vec![vec![pair("g:gp", "l:main:x")], vec![]]),
+                Vocab::Weihl => FuncFacts::Weihl(vec![vec![], vec![pair("g:a", "g:b")]]),
+                Vocab::K1 => FuncFacts::K1(vec![vec![
+                    (StableCtx::Root, vec![pair("g:gp", "g:g1")]),
+                    (
+                        StableCtx::Call {
+                            func: "main".into(),
+                            offset: 7,
+                        },
+                        vec![],
+                    ),
+                ]]),
+                Vocab::Cs => FuncFacts::Cs {
+                    outputs: vec![vec![(
+                        pair("g:gp", "g:g1"),
+                        vec![
+                            vec![StableAssum {
+                                formal: 1,
+                                pair: pair("l:f:p", "g:g2"),
+                            }],
+                            vec![],
+                        ],
+                    )]],
+                    memops: vec![MemOpPruning {
+                        offset: 9,
+                        single: true,
+                        loc_refs: vec![StablePath {
+                            base: Some("g:g1".into()),
+                            ops: vec![],
+                        }],
+                    }],
+                },
+                Vocab::Steens => FuncFacts::Steens(vec![
+                    SteensConstraint::Base {
+                        out: 0,
+                        base: "g:g1".into(),
+                    },
+                    SteensConstraint::Move { dst: 1, src: 0 },
+                    SteensConstraint::Load { out: 2, loc: 1 },
+                    SteensConstraint::Store { loc: 1, val: 2 },
+                    SteensConstraint::Copy { dst: 3, src: 4 },
+                    SteensConstraint::CallTo {
+                        callee: "id".into(),
+                        args: vec![5, 6],
+                        result: Some(7),
+                    },
+                    SteensConstraint::CallIndirect {
+                        args: vec![],
+                        result: None,
+                    },
+                ]),
+            };
+            let mut s = SolverSummaries::new(vocab);
+            s.funcs.insert("main".to_string(), func(facts));
+            if vocab == Vocab::Weihl {
+                s.store = vec![pair("g:store", "g:g2")];
+            }
+            all.insert(vocab.name().to_string(), Arc::new(s));
+        }
+        all
+    }
+
+    fn sample_project() -> StoredProject {
         StoredProject {
-            ci_spec_key: "ci|site|none".into(),
+            spec_key: "ci|site|none|weihl|steens|ci|k1|cs".into(),
             benches: vec![StoredBench {
                 name: "span".into(),
                 source: "int main(void) { return 0; }\n".into(),
@@ -540,14 +925,14 @@ mod tests {
                 source_fp: 7,
                 graph_fp: u64::MAX,
                 solution_fps: vec![("ci".into(), Some(42)), ("cs".into(), None)],
-                summaries: StoredSummaries::Ready(summaries),
+                summaries: StoredSummaries::Ready(sample_summaries()),
                 check_fp: Some(99),
             }],
         }
     }
 
     #[test]
-    fn save_load_round_trips() {
+    fn save_load_round_trips_every_vocabulary() {
         let dir = std::env::temp_dir().join("ruf95-store-test-roundtrip");
         let _ = std::fs::remove_dir_all(&dir);
         let store = Store::open(&dir).unwrap();
@@ -556,7 +941,7 @@ mod tests {
         let LoadOutcome::Loaded(mut q) = store.load("alpha") else {
             panic!("expected Loaded");
         };
-        assert_eq!(q.ci_spec_key, p.ci_spec_key);
+        assert_eq!(q.spec_key, p.spec_key);
         assert_eq!(q.benches.len(), 1);
         // Loading defers summary decoding; the first touch decodes.
         assert!(matches!(q.benches[0].summaries, StoredSummaries::Raw(_)));
@@ -569,13 +954,12 @@ mod tests {
         assert_eq!(a.graph_fp, b.graph_fp);
         assert_eq!(a.solution_fps, b.solution_fps);
         assert_eq!(a.check_fp, b.check_fp);
-        let (sa, sb) = (
-            &a.summaries.decoded()["main"],
-            &b.summaries.decoded()["main"],
-        );
-        assert_eq!(sa.fingerprint, sb.fingerprint);
-        assert_eq!(sa.outputs, sb.outputs);
-        assert_eq!(sa.calls, sb.calls);
+        let (sa, sb) = (a.summaries.decoded(), b.summaries.decoded());
+        assert_eq!(sa.len(), 5, "one payload per solver");
+        for (solver, expect) in sa {
+            let got = &sb[solver];
+            assert_eq!(**expect, **got, "{solver} diverged in the round trip");
+        }
         assert_eq!(store.projects(), vec!["alpha".to_string()]);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -603,7 +987,7 @@ mod tests {
     fn malformed_summaries_decode_to_empty_not_reject() {
         let mut p = sample_project();
         p.benches[0].summaries =
-            StoredSummaries::Raw(Value::parse("{\"main\": {\"fp\": \"nope\"}}").unwrap());
+            StoredSummaries::Raw(Value::parse("{\"ci\": {\"vocab\": \"nope\"}}").unwrap());
         let dir = std::env::temp_dir().join("ruf95-store-test-badsum");
         let _ = std::fs::remove_dir_all(&dir);
         let store = Store::open(&dir).unwrap();
@@ -612,6 +996,50 @@ mod tests {
             panic!("bad summaries must not reject the whole project");
         };
         assert!(q.benches[0].summaries.decoded().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_payload_version_drops_that_solver_only() {
+        let mut p = sample_project();
+        // One stale-versioned payload among good ones: only it drops.
+        let good = encode_payload(&sample_summaries()["ci"]).render();
+        let raw = format!(
+            "{{\"ci\": {good}, \"cs\": {{\"v\": 1, \"vocab\": \"cs\", \"funcs\": {{}}, \"store\": []}}}}"
+        );
+        p.benches[0].summaries = StoredSummaries::Raw(Value::parse(&raw).unwrap());
+        let dir = std::env::temp_dir().join("ruf95-store-test-payloadver");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        store.save("alpha", &p).unwrap();
+        let LoadOutcome::Loaded(mut q) = store.load("alpha") else {
+            panic!("expected Loaded");
+        };
+        let decoded = q.benches[0].summaries.decoded();
+        assert!(decoded.contains_key("ci"));
+        assert!(!decoded.contains_key("cs"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_store_files_are_rejected() {
+        // A pre-unification v1 file (CI-only summaries) must cold-start,
+        // not half-decode: the header version gates the whole payload.
+        let dir = std::env::temp_dir().join("ruf95-store-test-v1");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        let payload = r#"{"ci_spec_key": "k", "benches": []}"#;
+        let text = format!(
+            "ruf95-store v1 {}\n{payload}\n",
+            fp_hex(fnv64(payload.as_bytes()))
+        );
+        std::fs::write(store.path_of("old"), text).unwrap();
+        match store.load("old") {
+            LoadOutcome::Rejected { reason } => {
+                assert!(reason.contains("version mismatch"), "{reason}");
+            }
+            other => panic!("v1 file must be rejected, got {other:?}"),
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -18,7 +18,9 @@ fn probe_all() {
         let ci = SolverSpec::ci().solve_ci(&graph);
         let ci_t = t0.elapsed();
         let t1 = std::time::Instant::now();
-        let cs = SolverSpec::cs().solve_cs(&graph, Some(&ci));
+        let cs = SolverSpec::cs()
+            .solve(&graph, Some(&ci))
+            .map(|s| s.into_cs().expect("cs result"));
         let cs_t = t1.elapsed();
         match cs {
             Ok(cs) => {

@@ -7,17 +7,14 @@
 //! cargo run --release -p engine --example suite_report
 //! ```
 
-use alias::solver::{CiSolver, CsSolver};
+use alias::solver::SolverSpec;
 use alias::stats::{compare_at_indirect_refs, spurious_row};
 use engine::Engine;
 use vdg::stats::size_stats;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = Engine::new()
-        .solvers(vec![
-            Box::new(CiSolver::default()),
-            Box::new(CsSolver::default()),
-        ])
+        .specs(&[SolverSpec::ci(), SolverSpec::cs()])
         .run_suite()?;
     println!(
         "{:<10} {:>6} {:>6} {:>9} {:>9} {:>7} {:>6} {:>9}",

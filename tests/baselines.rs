@@ -31,7 +31,11 @@ fn build(src: &str) -> (cfront::Program, vdg::Graph, alias::CiResult) {
 fn ci_within_weihl_on_suite() {
     for b in suite::benchmarks() {
         let (_, graph, ci) = build(b.source);
-        let w = SolverSpec::weihl().solve_weihl(&graph, Some(&ci));
+        let w = SolverSpec::weihl()
+            .solve(&graph, Some(&ci))
+            .expect("no budget")
+            .into_weihl()
+            .expect("weihl result");
         assert!(
             ci_subset_of_weihl(&graph, &ci, &w),
             "{}: CI escaped the program-wide solution",
@@ -46,7 +50,11 @@ fn ci_within_weihl_on_suite() {
 fn ci_within_steensgaard_on_suite() {
     for b in suite::benchmarks() {
         let (_, graph, ci) = build(b.source);
-        let mut st = SolverSpec::steensgaard().solve_steensgaard(&graph);
+        let mut st = SolverSpec::steensgaard()
+            .solve(&graph, None)
+            .expect("no budget")
+            .into_steens()
+            .expect("steensgaard result");
         assert!(
             ci_within_steensgaard(&graph, &ci, &mut st),
             "{}: CI escaped the unification solution",
@@ -63,8 +71,10 @@ fn k1_within_ci_and_headline_holds_for_k1_too() {
     for b in suite::benchmarks() {
         let (_, graph, ci) = build(b.source);
         let k1 = SolverSpec::k1()
-            .solve_k1(&graph, Some(&ci))
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            .solve(&graph, Some(&ci))
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name))
+            .into_k1()
+            .expect("k1 result");
         for o in graph.output_ids() {
             let ci_set: HashSet<Pair> = ci.pairs(o).iter().copied().collect();
             for p in k1.pairs(o) {
@@ -89,7 +99,11 @@ fn steensgaard_is_coarser_or_equal_at_every_op() {
     let mut strictly_coarser = false;
     for b in suite::benchmarks() {
         let (_, graph, ci) = build(b.source);
-        let mut st = SolverSpec::steensgaard().solve_steensgaard(&graph);
+        let mut st = SolverSpec::steensgaard()
+            .solve(&graph, None)
+            .expect("no budget")
+            .into_steens()
+            .expect("steensgaard result");
         for (node, _) in graph.all_mem_ops() {
             let fine = ci_referent_bases(&ci, &graph, node);
             let coarse = st.loc_bases(&graph, node);
@@ -116,10 +130,18 @@ fn baselines_are_runtime_sound() {
             },
         )
         .unwrap();
-        let w = SolverSpec::weihl().solve_weihl(&graph, None);
+        let w = SolverSpec::weihl()
+            .solve(&graph, None)
+            .expect("no budget")
+            .into_weihl()
+            .expect("weihl result");
         let v = interp::check_solution(&prog, &graph, &w, &out.trace);
         assert!(v.is_empty(), "{}: Weihl unsound: {v:#?}", b.name);
-        let k1 = SolverSpec::k1().solve_k1(&graph, None).unwrap();
+        let k1 = SolverSpec::k1()
+            .solve(&graph, None)
+            .unwrap()
+            .into_k1()
+            .expect("k1 result");
         let v = interp::check_solution(&prog, &graph, &k1, &out.trace);
         assert!(v.is_empty(), "{}: k=1 unsound: {v:#?}", b.name);
     }
@@ -142,7 +164,11 @@ fn steensgaard_is_runtime_sound_at_base_granularity() {
         // CI is runtime-sound (tests/soundness.rs); if CI bases are
         // within Steensgaard's bases at every op (checked above), then
         // Steensgaard is sound by inclusion. Assert the chain explicitly.
-        let mut st = SolverSpec::steensgaard().solve_steensgaard(&graph);
+        let mut st = SolverSpec::steensgaard()
+            .solve(&graph, None)
+            .expect("no budget")
+            .into_steens()
+            .expect("steensgaard result");
         assert!(ci_within_steensgaard(&graph, &ci, &mut st), "{}", b.name);
         let v = interp::check_solution(&prog, &graph, &ci, &out.trace);
         assert!(v.is_empty(), "{}", b.name);

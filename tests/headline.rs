@@ -13,8 +13,10 @@ fn pipeline(src: &str) -> (vdg::Graph, alias::CiResult, alias::CsResult) {
     let graph = lower(&prog, &BuildOptions::default()).expect("lowers");
     let ci = SolverSpec::ci().solve_ci(&graph);
     let cs = SolverSpec::cs()
-        .solve_cs(&graph, Some(&ci))
-        .expect("budget");
+        .solve(&graph, Some(&ci))
+        .expect("budget")
+        .into_cs()
+        .expect("cs result");
     (graph, ci, cs)
 }
 

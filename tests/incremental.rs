@@ -7,9 +7,10 @@
 //! solution_dump`) of every solver must be byte-identical to a
 //! from-scratch run on the edited source. The harness drives the
 //! seeded edit generator (`suite::edit`) over every bundled benchmark:
-//! ≥200 independent single edits, multi-step edit chains threaded
-//! through one `SummaryCache`, and a full five-solver pass under both
-//! one worker thread and auto parallelism.
+//! ≥200 independent single edits, multi-step five-solver edit chains
+//! threaded through one `SummaryCache`, a full five-solver pass under
+//! both one worker thread and auto parallelism, and a direct
+//! parallel-vs-serial cross-check of the composed summary maps.
 
 use alias::solver::solution_dump;
 use alias::SolverSpec;
@@ -89,12 +90,13 @@ fn two_hundred_seeded_edits_match_from_scratch() {
     );
 }
 
-/// Multi-step edit chains threaded through one `SummaryCache`: every
-/// step is verified, so a stale summary absorbed at step k would be
-/// caught at step k+1.
+/// Multi-step edit chains threaded through one `SummaryCache`, with
+/// the full five-solver stack: every step of every solver is verified,
+/// so a stale summary absorbed at step k — in *any* solver's
+/// vocabulary — would be caught at step k+1.
 #[test]
-fn edit_chains_stay_equivalent_at_every_step() {
-    let e = ci_engine(1);
+fn edit_chains_stay_equivalent_at_every_step_for_all_five_solvers() {
+    let e = Engine::new().threads(1);
     for (bi, b) in suite::benchmarks().iter().enumerate() {
         let mut cache = e.cache();
         e.analyze_incremental_with(&mut cache, &[job(b.name, b.source)])
@@ -107,9 +109,64 @@ fn edit_chains_stay_equivalent_at_every_step() {
             let inc = e
                 .analyze_incremental_with(&mut cache, &jobs)
                 .expect("chain step");
+            assert_eq!(
+                inc.benches[0].solutions.len(),
+                alias::SolverSpec::all().len(),
+                "the chain must drive the whole solver spectrum"
+            );
             let fresh = e.run(&jobs).expect("fresh");
             let label = format!("{} chain step {si} ({})", b.name, step.edit.description);
             assert_equivalent(&inc, &fresh, &label);
+        }
+    }
+}
+
+/// Summary composition is wave-parallel inside a solve; the composed
+/// facts must not depend on the worker-thread count. One cache is
+/// filled serially, one under auto parallelism, and every solver's
+/// per-function summary map must agree exactly.
+#[test]
+fn parallel_and_serial_summary_composition_agree() {
+    let jobs = Job::suite();
+    let serial = Engine::new().threads(1);
+    let parallel = Engine::new().threads(0);
+    let mut serial_cache = serial.cache();
+    let mut parallel_cache = parallel.cache();
+    serial
+        .analyze_incremental_with(&mut serial_cache, &jobs)
+        .expect("serial run");
+    parallel
+        .analyze_incremental_with(&mut parallel_cache, &jobs)
+        .expect("parallel run");
+    assert_eq!(serial_cache.spec_key(), parallel_cache.spec_key());
+    for j in &jobs {
+        let (s_src, s_graph, s_sums) = serial_cache
+            .summaries_of(&j.name)
+            .unwrap_or_else(|| panic!("{}: missing from serial cache", j.name));
+        let (p_src, p_graph, p_sums) = parallel_cache
+            .summaries_of(&j.name)
+            .unwrap_or_else(|| panic!("{}: missing from parallel cache", j.name));
+        assert_eq!(
+            (s_src, s_graph),
+            (p_src, p_graph),
+            "{}: keys differ",
+            j.name
+        );
+        assert_eq!(
+            s_sums.len(),
+            alias::SolverSpec::all().len(),
+            "{}: one summary payload per solver",
+            j.name
+        );
+        for (solver, s) in &s_sums {
+            let p = p_sums
+                .get(solver)
+                .unwrap_or_else(|| panic!("{}: {solver} missing from parallel cache", j.name));
+            assert_eq!(
+                **s, **p,
+                "{}: {solver} summaries depend on the thread count",
+                j.name
+            );
         }
     }
 }

@@ -28,8 +28,10 @@ fn all_benchmarks_flow_through_the_pipeline() {
         let ci = SolverSpec::ci().solve_ci(&graph);
         assert!(ci.total_pairs() > 0, "{}: no points-to pairs", b.name);
         let cs = SolverSpec::cs()
-            .solve_cs(&graph, Some(&ci))
-            .unwrap_or_else(|e| panic!("{}: CS blew the budget: {e}", b.name));
+            .solve(&graph, Some(&ci))
+            .unwrap_or_else(|e| panic!("{}: CS blew the budget: {e}", b.name))
+            .into_cs()
+            .expect("cs result");
         assert!(
             cs_subset_of_ci(&graph, &ci, &cs),
             "{}: CS produced a pair CI lacks",

@@ -30,8 +30,10 @@ fn cs_subset_of_ci_on_random_programs() {
         let (_, graph) = build(seed);
         let ci = SolverSpec::ci().solve_ci(&graph);
         let cs = SolverSpec::cs()
-            .solve_cs(&graph, Some(&ci))
-            .expect("budget");
+            .solve(&graph, Some(&ci))
+            .expect("budget")
+            .into_cs()
+            .expect("cs result");
         assert!(cs_subset_of_ci(&graph, &ci, &cs), "seed {seed}");
     }
 }
@@ -90,12 +92,15 @@ fn subsumption_preserves_results() {
         let (_, graph) = build(seed);
         let ci = SolverSpec::ci().solve_ci(&graph);
         let optimized = SolverSpec::cs()
-            .solve_cs(&graph, Some(&ci))
-            .expect("budget");
+            .solve(&graph, Some(&ci))
+            .expect("budget")
+            .into_cs()
+            .expect("cs result");
         let no_subsume = SolverSpec::cs()
             .subsumption(false)
             .max_steps(30_000_000)
-            .solve_cs(&graph, Some(&ci));
+            .solve(&graph, Some(&ci))
+            .map(|s| s.into_cs().expect("cs result"));
         // Without subsumption the algorithm may legitimately blow its
         // budget; when it finishes, the answers must agree.
         if let Ok(no_subsume) = no_subsume {
@@ -116,12 +121,15 @@ fn ci_pruning_is_sandwiched() {
         let (_, graph) = build(seed);
         let ci = SolverSpec::ci().solve_ci(&graph);
         let pruned = SolverSpec::cs()
-            .solve_cs(&graph, Some(&ci))
-            .expect("budget");
+            .solve(&graph, Some(&ci))
+            .expect("budget")
+            .into_cs()
+            .expect("cs result");
         let maximal = SolverSpec::cs()
             .ci_pruning(false)
             .max_steps(30_000_000)
-            .solve_cs(&graph, Some(&ci));
+            .solve(&graph, Some(&ci))
+            .map(|s| s.into_cs().expect("cs result"));
         assert!(cs_subset_of_ci(&graph, &ci, &pruned), "seed {seed}");
         if let Ok(maximal) = maximal {
             for o in graph.output_ids() {
@@ -148,8 +156,10 @@ fn runtime_soundness() {
         let v = interp::check_solution(&prog, &graph, &ci, &out.trace);
         assert!(v.is_empty(), "seed {seed}: CI violations: {v:#?}");
         let cs = SolverSpec::cs()
-            .solve_cs(&graph, Some(&ci))
-            .expect("budget");
+            .solve(&graph, Some(&ci))
+            .expect("budget")
+            .into_cs()
+            .expect("cs result");
         let v = interp::check_solution(&prog, &graph, &cs, &out.trace);
         assert!(v.is_empty(), "seed {seed}: CS violations: {v:#?}");
     }
@@ -162,19 +172,29 @@ fn baseline_spectrum_on_random_programs() {
     for seed in 0..CASES {
         let (_, graph) = build(seed);
         let ci = SolverSpec::ci().solve_ci(&graph);
-        let w = SolverSpec::weihl().solve_weihl(&graph, Some(&ci));
+        let w = SolverSpec::weihl()
+            .solve(&graph, Some(&ci))
+            .expect("no budget")
+            .into_weihl()
+            .expect("weihl result");
         assert!(
             alias::weihl::ci_subset_of_weihl(&graph, &ci, &w),
             "seed {seed}"
         );
-        let mut st = SolverSpec::steensgaard().solve_steensgaard(&graph);
+        let mut st = SolverSpec::steensgaard()
+            .solve(&graph, None)
+            .expect("no budget")
+            .into_steens()
+            .expect("steensgaard result");
         assert!(
             alias::steensgaard::ci_within_steensgaard(&graph, &ci, &mut st),
             "seed {seed}"
         );
         let k1 = SolverSpec::k1()
-            .solve_k1(&graph, Some(&ci))
-            .expect("budget");
+            .solve(&graph, Some(&ci))
+            .expect("budget")
+            .into_k1()
+            .expect("k1 result");
         for o in graph.output_ids() {
             let ci_set: std::collections::HashSet<_> = ci.pairs(o).iter().collect();
             for p in k1.pairs(o) {
@@ -191,10 +211,18 @@ fn baselines_runtime_sound_on_random_programs() {
         let (prog, graph) = build(seed);
         let out = interp::run(&prog, &interp::Config::default())
             .unwrap_or_else(|e| panic!("seed {seed}: crashed: {e}"));
-        let w = SolverSpec::weihl().solve_weihl(&graph, None);
+        let w = SolverSpec::weihl()
+            .solve(&graph, None)
+            .expect("no budget")
+            .into_weihl()
+            .expect("weihl result");
         let v = interp::check_solution(&prog, &graph, &w, &out.trace);
         assert!(v.is_empty(), "seed {seed}: Weihl violations: {v:#?}");
-        let k1 = SolverSpec::k1().solve_k1(&graph, None).expect("budget");
+        let k1 = SolverSpec::k1()
+            .solve(&graph, None)
+            .expect("budget")
+            .into_k1()
+            .expect("k1 result");
         let v = interp::check_solution(&prog, &graph, &k1, &out.trace);
         assert!(v.is_empty(), "seed {seed}: k=1 violations: {v:#?}");
     }
@@ -228,8 +256,10 @@ fn big_programs_stay_within_budget() {
         let graph = lower(&prog, &BuildOptions::default()).expect("lowers");
         let ci = SolverSpec::ci().solve_ci(&graph);
         let cs = SolverSpec::cs()
-            .solve_cs(&graph, Some(&ci))
-            .expect("budget");
+            .solve(&graph, Some(&ci))
+            .expect("budget")
+            .into_cs()
+            .expect("cs result");
         assert!(cs_subset_of_ci(&graph, &ci, &cs), "seed {seed}");
     }
 }

@@ -293,7 +293,17 @@ fn corrupted_store_payload_cold_starts() {
 fn version_mismatched_store_file_cold_starts() {
     assert_cold_start_fallback("version", |file| {
         let text = std::fs::read_to_string(file).unwrap();
-        std::fs::write(file, text.replacen("ruf95-store v1 ", "ruf95-store v9 ", 1)).unwrap();
+        std::fs::write(file, text.replacen("ruf95-store v2 ", "ruf95-store v9 ", 1)).unwrap();
+    });
+}
+
+/// A pre-unification `v1` store (CI-only summary schema) must be
+/// rejected wholesale and cold-start, not half-decoded.
+#[test]
+fn v1_store_file_cold_starts() {
+    assert_cold_start_fallback("v1", |file| {
+        let text = std::fs::read_to_string(file).unwrap();
+        std::fs::write(file, text.replacen("ruf95-store v2 ", "ruf95-store v1 ", 1)).unwrap();
     });
 }
 

@@ -33,7 +33,11 @@ fn check_benchmark(name: &str, scheme: RecLocalScheme) {
     let v = check_solution(&prog, &graph, &ci, &out.trace);
     assert!(v.is_empty(), "{name}: CI unsound ({scheme:?}): {v:#?}");
 
-    let cs = SolverSpec::cs().solve_cs(&graph, Some(&ci)).unwrap();
+    let cs = SolverSpec::cs()
+        .solve(&graph, Some(&ci))
+        .unwrap()
+        .into_cs()
+        .expect("cs result");
     let v = check_solution(&prog, &graph, &cs, &out.trace);
     assert!(v.is_empty(), "{name}: CS unsound ({scheme:?}): {v:#?}");
 }
@@ -102,7 +106,11 @@ fn recursive_downward_escape_is_sound_under_both_schemes() {
         let ci = SolverSpec::ci().solve_ci(&graph);
         let v = check_solution(&prog, &graph, &ci, &out.trace);
         assert!(v.is_empty(), "{scheme:?}: {v:#?}");
-        let cs = SolverSpec::cs().solve_cs(&graph, Some(&ci)).unwrap();
+        let cs = SolverSpec::cs()
+            .solve(&graph, Some(&ci))
+            .unwrap()
+            .into_cs()
+            .expect("cs result");
         let v = check_solution(&prog, &graph, &cs, &out.trace);
         assert!(v.is_empty(), "{scheme:?} CS: {v:#?}");
     }

@@ -92,6 +92,19 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// One-shot digest of several parts, each length-prefixed so the
+/// concatenation is unambiguous: `["ab", "c"]` and `["a", "bc"]` hash
+/// differently. The campaign runner keys its deduplication maps with
+/// this (check kind + source line, property + solver + repro).
+pub fn fnv64_parts(parts: &[&[u8]]) -> u64 {
+    let mut h = Fnv64::new();
+    for p in parts {
+        h.write_u32(p.len() as u32);
+        h.write(p);
+    }
+    h.finish()
+}
+
 /// Per-graph stable naming plus content fingerprints.
 ///
 /// Built once per lowered graph; everything the incremental planner

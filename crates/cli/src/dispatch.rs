@@ -617,3 +617,65 @@ pub fn cmd_serve_bench(cx: &crate::Ctx) -> Result<(), String> {
     );
     Ok(())
 }
+
+/// Resumable ecosystem-scale campaign: chunked differential jobs with
+/// panic isolation, a checksummed journal, quarantine, and a
+/// deduplicated `CAMPAIGN_report.json`. Exit is nonzero when the
+/// completed report contains any violation or any quarantined job, so
+/// CI can gate on the command directly.
+pub fn cmd_campaign(cx: &crate::Ctx) -> Result<(), String> {
+    let defaults = engine::CampaignConfig::default();
+    let mut fuzz = engine::FuzzConfig {
+        gen: if cx.flags.has("default-gen") {
+            suite::generator::GenConfig::default()
+        } else {
+            suite::generator::GenConfig::campaign()
+        },
+        corpus_stats: true,
+        ..engine::FuzzConfig::default()
+    };
+    fuzz.budget_ms = cx.flags.get_parsed("budget-ms", fuzz.budget_ms)?;
+    fuzz.max_steps = cx.flags.get_parsed("max-steps", fuzz.max_steps)?;
+    fuzz.interp_steps = cx.flags.get_parsed("interp-steps", fuzz.interp_steps)?;
+    fuzz.shrink = !cx.flags.has("no-shrink");
+    let cfg = engine::CampaignConfig {
+        seeds: cx.flags.get_parsed("seeds", defaults.seeds)?,
+        start_seed: cx.flags.get_parsed("start-seed", 0)?,
+        chunk: cx.flags.get_parsed("chunk", defaults.chunk)?,
+        threads: cx.flags.get_parsed("threads", 0)?,
+        dir: cx.flags.get("dir").unwrap_or("campaign").into(),
+        fuzz,
+        max_chunks: match cx.flags.get("max-chunks") {
+            Some(_) => Some(cx.flags.get_parsed("max-chunks", 0)?),
+            None => None,
+        },
+        report_out: cx.flags.get("out").map(Into::into),
+        panic_seed: match cx.flags.get("panic-seed") {
+            Some(_) => Some(cx.flags.get_parsed("panic-seed", 0)?),
+            None => None,
+        },
+        progress: !cx.flags.has("quiet"),
+    };
+    let outcome = engine::campaign::run(&cfg).map_err(|e| e.to_string())?;
+    print!("{}", outcome.summary());
+    let Some(report) = &outcome.report else {
+        return Ok(());
+    };
+    println!("report: {}", outcome.report_path.display());
+    if !report.quarantine.is_empty() {
+        println!("quarantine: {}", outcome.quarantine_dir.display());
+    }
+    if cx.flags.has("json") {
+        print!("{}", report.to_json());
+    }
+    let bad = report.violations_total > 0 || !report.quarantine.is_empty();
+    if bad {
+        Err(format!(
+            "campaign found {} violation(s) and quarantined {} job(s)",
+            report.violations_total,
+            report.quarantine.len()
+        ))
+    } else {
+        Ok(())
+    }
+}

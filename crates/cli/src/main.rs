@@ -175,6 +175,42 @@ const COMMANDS: &[Command] = &[
         run: cmd_fuzz,
     },
     Command {
+        name: "campaign",
+        synopsis: "[--seeds N] [--chunk N] [--dir DIR] [--max-chunks N] [--out FILE] [--no-shrink]",
+        about: "resumable ecosystem-scale campaign with quarantine and deduplicated report",
+        flag_help: &[
+            "--seeds N        seeds to drive through all solvers+checkers (default 10000)",
+            "--start-seed N   first seed of the range (default 0)",
+            "--chunk N        seeds per journal chunk — the resume granularity (default 500)",
+            "--dir DIR        state directory: journal, quarantine, report (default campaign)",
+            "--max-chunks N   checkpoint and stop after N chunks this invocation",
+            "--out FILE       also write CAMPAIGN_report.json to FILE",
+            "--threads N      worker threads, 0 = all cores (default 0)",
+            "--budget-ms N    advisory per-solver wall budget in ms (default 200)",
+            "--max-steps N    solver step budget (default 2000000)",
+            "--interp-steps N interpreter step budget (default 1000000)",
+            "--default-gen    plain generator shapes instead of the campaign preset",
+            "--no-shrink      skip quarantine/counterexample minimisation",
+            "--quiet          no per-chunk progress on stderr",
+            "--json           also print the final report JSON to stdout",
+        ],
+        value_flags: &[
+            "seeds",
+            "start-seed",
+            "chunk",
+            "dir",
+            "max-chunks",
+            "out",
+            "threads",
+            "budget-ms",
+            "max-steps",
+            "interp-steps",
+            "panic-seed",
+        ],
+        needs_source: false,
+        run: dispatch::cmd_campaign,
+    },
+    Command {
         name: "incremental",
         synopsis: "<file.c | bench:NAME> [--edits N] [--seed N] [--next FILE] [--json]",
         about: "re-analyze after edits, reusing memoized summaries",

@@ -74,6 +74,39 @@ pub struct FuzzConfig {
     /// program; the campaign then requires each solver's checker run to
     /// flag it ([`PlantedFault::None`] for plain campaigns).
     pub planted: PlantedFault,
+    /// Collect corpus-scale statistics per seed (checker-diagnostic
+    /// dedup keys, per-function fingerprints) for the campaign runner's
+    /// aggregation. Off for plain fuzzing — it adds a full checker
+    /// sweep per seed.
+    pub corpus_stats: bool,
+}
+
+/// Typed outcome of one differential job, for exact campaign accounting
+/// and quarantine triage. Budget exhaustion is the *deterministic* kind
+/// (a solver's step budget or the interpreter's step budget), never the
+/// advisory wall-clock overrun counter, so outcome classification is
+/// reproducible across runs and resumes. `Crashed` is assigned by the
+/// campaign's `catch_unwind` wrapper — `check_source` itself treats a
+/// panic as a bug, not an outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Every property ran to completion (violations may still exist).
+    Completed,
+    /// A step budget was exhausted; the affected checks were skipped.
+    OverBudget,
+    /// The job panicked and was isolated by the campaign runner.
+    Crashed,
+}
+
+impl JobOutcome {
+    /// Stable lowercase name, used in journals and quarantine files.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobOutcome::Completed => "completed",
+            JobOutcome::OverBudget => "over-budget",
+            JobOutcome::Crashed => "crashed",
+        }
+    }
 }
 
 /// A program-level memory-safety defect the fuzzer plants into generated
@@ -161,6 +194,7 @@ impl Default for FuzzConfig {
             shrink: true,
             fault: Fault::None,
             planted: PlantedFault::None,
+            corpus_stats: false,
         }
     }
 }
@@ -194,6 +228,10 @@ pub struct FuzzReport {
     /// Seeds where a solver hit its step budget or the interpreter hit
     /// its own (checks for that pairing skipped, seed still counted).
     pub degraded: u64,
+    /// Seeds whose typed outcome is [`JobOutcome::OverBudget`] — a
+    /// deterministic step-budget exhaustion, the subset of `degraded`
+    /// that campaign quarantine triage cares about.
+    pub over_budget: u64,
     /// Solver runs that exceeded the wall-clock budget.
     pub overruns: u64,
     /// All confirmed violations, minimized when shrinking is on.
@@ -216,6 +254,7 @@ impl FuzzReport {
         s.push_str(&format!("  \"seeds\": {},\n", self.seeds));
         s.push_str(&format!("  \"clean\": {},\n", self.clean));
         s.push_str(&format!("  \"degraded\": {},\n", self.degraded));
+        s.push_str(&format!("  \"over_budget\": {},\n", self.over_budget));
         s.push_str(&format!("  \"overruns\": {},\n", self.overruns));
         s.push_str(&format!("  \"demand_queries\": {},\n", self.demand_queries));
         s.push_str(&format!("  \"demand_hits\": {},\n", self.demand_hits));
@@ -250,12 +289,13 @@ impl FuzzReport {
     /// One-paragraph human summary.
     pub fn summary(&self) -> String {
         format!(
-            "fuzz: {} seeds in {:.2?} — {} clean, {} degraded, {} budget overruns, \
-             {} violations, {}/{} demand queries in budget",
+            "fuzz: {} seeds in {:.2?} — {} clean, {} degraded ({} over step budget), \
+             {} wall overruns, {} violations, {}/{} demand queries in budget",
             self.seeds,
             self.wall,
             self.clean,
             self.degraded,
+            self.over_budget,
             self.overruns,
             self.violations.len(),
             self.demand_hits,
@@ -281,19 +321,55 @@ fn esc(s: &str) -> String {
 }
 
 /// A property failure before shrinking attaches the repro.
-struct Finding {
-    kind: &'static str,
-    solver: String,
-    detail: String,
+pub(crate) struct Finding {
+    pub(crate) kind: &'static str,
+    pub(crate) solver: String,
+    pub(crate) detail: String,
 }
 
 /// Everything one source text yields under the differential checks.
-struct Findings {
-    degraded: Vec<String>,
-    overruns: u64,
-    violations: Vec<Finding>,
-    demand_queries: u64,
-    demand_hits: u64,
+pub(crate) struct Findings {
+    pub(crate) degraded: Vec<String>,
+    pub(crate) overruns: u64,
+    /// A solver or interpreter *step* budget was exhausted — the
+    /// deterministic signal behind [`JobOutcome::OverBudget`].
+    pub(crate) budget_exhausted: bool,
+    pub(crate) violations: Vec<Finding>,
+    pub(crate) demand_queries: u64,
+    pub(crate) demand_hits: u64,
+    /// Raw checker diagnostics under the CI solution (corpus stats).
+    pub(crate) diag_total: u64,
+    /// Deduplication keys (`fnv64` of check kind + offending source
+    /// line) of those diagnostics, unique and sorted (corpus stats).
+    pub(crate) diag_keys: Vec<u64>,
+    /// Per-function structural fingerprints of the lowered graph
+    /// (corpus stats).
+    pub(crate) func_fps: Vec<u64>,
+    /// Per-solver wall micros, for throughput summaries only — never
+    /// part of canonical campaign output.
+    pub(crate) solver_us: Vec<(&'static str, u64)>,
+}
+
+impl Findings {
+    /// The typed outcome of this job (`Crashed` is assigned one layer
+    /// up, by the campaign's `catch_unwind` wrapper).
+    pub(crate) fn outcome(&self) -> JobOutcome {
+        if self.budget_exhausted {
+            JobOutcome::OverBudget
+        } else {
+            JobOutcome::Completed
+        }
+    }
+}
+
+/// Whether the error's root cause is a step-budget exhaustion — the
+/// deterministic budget signal, as opposed to wall-clock overruns.
+fn is_step_limit(e: &AnalysisError) -> bool {
+    match e {
+        AnalysisError::StepLimit(_) => true,
+        AnalysisError::Context { source, .. } => is_step_limit(source),
+        _ => false,
+    }
 }
 
 /// Runs a fuzzing campaign. Seeds are checked in parallel; shrinking of
@@ -314,6 +390,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
 
     let mut clean = 0u64;
     let mut degraded = 0u64;
+    let mut over_budget = 0u64;
     let mut overruns = 0u64;
     let mut demand_queries = 0u64;
     let mut demand_hits = 0u64;
@@ -326,6 +403,9 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         }
         if !f.degraded.is_empty() {
             degraded += 1;
+        }
+        if f.outcome() == JobOutcome::OverBudget {
+            over_budget += 1;
         }
         overruns += f.overruns;
         for v in f.violations {
@@ -376,6 +456,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         seeds: cfg.seeds,
         clean,
         degraded,
+        over_budget,
         overruns,
         violations,
         demand_queries,
@@ -399,14 +480,19 @@ pub fn check_source_for_test(src: &str, cfg: &FuzzConfig, seed: u64) -> Vec<(Str
 /// Checks one source text against all three differential properties
 /// plus the printer round-trip. Never panics on solver or interpreter
 /// resource exhaustion — those degrade the seed instead.
-fn check_source(src: &str, cfg: &FuzzConfig, seed: u64) -> Findings {
+pub(crate) fn check_source(src: &str, cfg: &FuzzConfig, seed: u64) -> Findings {
     let job = format!("seed {seed}");
     let mut f = Findings {
         degraded: Vec::new(),
         overruns: 0,
+        budget_exhausted: false,
         violations: Vec::new(),
         demand_queries: 0,
         demand_hits: 0,
+        diag_total: 0,
+        diag_keys: Vec::new(),
+        func_fps: Vec::new(),
+        solver_us: Vec::new(),
     };
 
     // Printer round-trip: `print` must be a fixpoint of `parse ∘ print`,
@@ -454,7 +540,9 @@ fn check_source(src: &str, cfg: &FuzzConfig, seed: u64) -> Findings {
     let ci_spec = SolverSpec::ci().fault(cfg.fault);
     let t_ci = Instant::now();
     let ci = ci_spec.solve_ci(&graph);
-    if t_ci.elapsed() > budget {
+    let ci_elapsed = t_ci.elapsed();
+    f.solver_us.push(("ci", ci_elapsed.as_micros() as u64));
+    if ci_elapsed > budget {
         f.overruns += 1;
     }
     let mut solved: Vec<(&'static str, SolutionBox)> = Vec::new();
@@ -472,15 +560,41 @@ fn check_source(src: &str, cfg: &FuzzConfig, seed: u64) -> Findings {
         } else {
             spec.solve(&graph, Some(&ci))
         };
-        if t.elapsed() > budget {
+        let elapsed = t.elapsed();
+        if spec.kind() != SolverKind::Ci {
+            f.solver_us.push((name, elapsed.as_micros() as u64));
+        }
+        if elapsed > budget {
             f.overruns += 1;
         }
         match outcome {
             Ok(sol) => solved.push((name, sol)),
-            Err(e) => f.degraded.push(e.in_context(name, &job).to_string()),
+            Err(e) => {
+                if is_step_limit(&e) {
+                    f.budget_exhausted = true;
+                }
+                f.degraded.push(e.in_context(name, &job).to_string());
+            }
         }
     }
     let by_name = |n: &str| solved.iter().find(|(s, _)| *s == n).map(|(_, b)| &**b);
+
+    // Corpus-scale statistics for campaign dedup accounting: checker
+    // diagnostics keyed by (check kind, offending source line) — the
+    // generator's statement grammar repeats identical lines across
+    // thousands of programs, so line-keyed dedup is where repetitive
+    // corpora pay off — plus per-function structural fingerprints for
+    // cross-program function dedup.
+    if cfg.corpus_stats {
+        let idx = alias::fingerprint::GraphIndex::build(&graph);
+        f.func_fps = idx.func_fps.clone();
+        let diags = checker::run_checks(&graph, &ci, &ci.callees);
+        f.diag_total = diags.len() as u64;
+        let mut keys: Vec<u64> = diags.iter().map(|d| diag_key(src, d)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        f.diag_keys = keys;
+    }
 
     // Property 2 — the precision lattice, coarse ⊇ fine. Note the two
     // context-sensitive analyses are *not* on one chain: k=1 call
@@ -557,7 +671,12 @@ fn check_source(src: &str, cfg: &FuzzConfig, seed: u64) -> Findings {
                     });
                 }
             }
-            Err(e) => f.degraded.push(e.in_context(name, &job).to_string()),
+            Err(e) => {
+                if is_step_limit(&e) {
+                    f.budget_exhausted = true;
+                }
+                f.degraded.push(e.in_context(name, &job).to_string());
+            }
         }
     }
 
@@ -595,9 +714,13 @@ fn check_source(src: &str, cfg: &FuzzConfig, seed: u64) -> Findings {
                         }
                     }
                 }
-                Err(e) => f
-                    .degraded
-                    .push(e.in_context("incremental", &job).to_string()),
+                Err(e) => {
+                    if is_step_limit(&e) {
+                        f.budget_exhausted = true;
+                    }
+                    f.degraded
+                        .push(e.in_context("incremental", &job).to_string());
+                }
             }
         }
     }
@@ -702,10 +825,31 @@ fn check_source(src: &str, cfg: &FuzzConfig, seed: u64) -> Findings {
                 }
             }
         }
-        Err(e) => f.degraded.push(format!("interp on {job}: {e}")),
+        Err(e) => {
+            if matches!(e, interp::RunError::StepLimit) {
+                f.budget_exhausted = true;
+            }
+            f.degraded.push(format!("interp on {job}: {e}"));
+        }
     }
 
     f
+}
+
+/// Deduplication key for one checker diagnostic: the check kind plus
+/// the trimmed text of the source line it points at. Two programs
+/// emitting the same statement with the same defect collapse to one
+/// key, which is exactly the repetition campaign corpora exhibit.
+fn diag_key(src: &str, d: &checker::Diagnostic) -> u64 {
+    let start = (d.span.start as usize).min(src.len());
+    let line_start = src[..start].rfind('\n').map_or(0, |i| i + 1);
+    let line_end = src[line_start..]
+        .find('\n')
+        .map_or(src.len(), |i| line_start + i);
+    alias::fingerprint::fnv64_parts(&[
+        d.kind.name().as_bytes(),
+        src[line_start..line_end].trim().as_bytes(),
+    ])
 }
 
 /// Locates the first indirect reference where `fine` escapes `coarse`

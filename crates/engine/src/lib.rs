@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod check;
 pub mod compose;
 pub mod fuzz;
@@ -44,8 +45,11 @@ pub mod pool;
 pub mod report;
 pub mod shrink;
 
+pub use campaign::{
+    CampaignCase, CampaignConfig, CampaignError, CampaignOutcome, CampaignReport, QuarantineCase,
+};
 pub use check::{BenchChecks, CheckCache};
-pub use fuzz::{FuzzConfig, FuzzReport, FuzzViolation, PlantedFault};
+pub use fuzz::{FuzzConfig, FuzzReport, FuzzViolation, JobOutcome, PlantedFault};
 pub use incremental::{FreshReason, SolveMode, SummaryCache};
 pub use report::{
     BenchmarkReport, CheckMetrics, EngineReport, IncrementalStats, ServeStats, SolverMetrics,

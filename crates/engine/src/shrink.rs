@@ -659,6 +659,67 @@ mod tests {
         assert!(compiles(&best) && pred(&best));
     }
 
+    /// Every pass runs to its own internal fixpoint before returning
+    /// (each restarts after a successful removal), so a second
+    /// invocation on its own output must find nothing: no progress
+    /// report, no text change, at most one predicate evaluation per
+    /// rejected candidate. A pass that violated this would make
+    /// [`shrink`]'s outer loop spin without converging.
+    #[test]
+    fn every_pass_is_idempotent_on_its_own_output() {
+        type Pass = fn(&mut String, &dyn Fn(&str) -> bool, &mut usize) -> bool;
+        let passes: [(&str, Pass); 7] = [
+            ("drop_funcs", drop_funcs),
+            ("drop_params", drop_params),
+            ("drop_globals", drop_globals),
+            ("drop_stmts", drop_stmts),
+            ("unwrap_blocks", unwrap_blocks),
+            ("strip_assigns", strip_assigns),
+            ("drop_lines", drop_lines),
+        ];
+        // One composite program with removal opportunities for every
+        // pass: an uncalled function, a dead parameter, an unused
+        // global, an ignorable statement, a vacuous wrapper, and a
+        // strippable assignment.
+        let src = "int g; int lonely;\n\
+             void junk(void) { lonely = 9; }\n\
+             int *id(int *q, int dead) { return q; }\n\
+             int main(void) { int *p; if (1) { p = id(&g, 2); } g = 1; junk(); return 0; }";
+        let pred = |s: &str| s.contains("id(&");
+        for (name, pass) in passes {
+            let mut best = src.to_string();
+            let mut budget = MAX_CANDIDATES;
+            pass(&mut best, &pred, &mut budget);
+            assert!(
+                compiles(&best) && pred(&best),
+                "{name} must preserve the invariant"
+            );
+            let after_first = best.clone();
+            let mut budget = MAX_CANDIDATES;
+            let progressed = pass(&mut best, &pred, &mut budget);
+            assert!(!progressed, "{name} must be idempotent (reported progress)");
+            assert_eq!(
+                best, after_first,
+                "{name} must be idempotent (changed text)"
+            );
+        }
+    }
+
+    /// [`shrink`] itself is idempotent: its output is a fixpoint of a
+    /// second full run, so campaign dedup keys computed over minimized
+    /// repros are stable.
+    #[test]
+    fn shrink_output_is_a_fixpoint_of_shrink() {
+        let src = "int g; int noise;\n\
+             void junk(void) { noise = 3; }\n\
+             int *id(int *q) { return q; }\n\
+             int main(void) { int *p; if (1) { p = id(&g); } junk(); return 0; }";
+        let pred = |s: &str| cfront::compile(s).is_ok() && s.contains("id(&");
+        let once = shrink(src, &pred);
+        let twice = shrink(&once, &pred);
+        assert_eq!(once, twice);
+    }
+
     #[test]
     fn shrink_composes_the_passes_to_a_fixpoint() {
         let src = "int g; int noise;\n\

@@ -26,6 +26,24 @@ pub struct GenConfig {
     /// Emit a global function pointer `gfp`, statements that retarget
     /// it, and guarded indirect calls through it.
     pub indirect_calls: bool,
+    /// Emit a global *table* of function pointers (`ftab[3]`), slot
+    /// retargeting statements, and guarded indexed indirect calls —
+    /// recursion through function-pointer tables, a shape the 1995
+    /// paper's benchmarks never had.
+    pub fptr_table: bool,
+    /// Emit array-of-pointer shapes: a global `int *gparr[4]`, a
+    /// per-function local `int *larr[2]`, and a global struct holding a
+    /// pointer array (`struct pack { int *slots[2]; }`), with
+    /// literal-index load and store statement forms over each.
+    pub ptr_arrays: bool,
+    /// Emit heap blocks (`malloc` / store / load / `free` over a
+    /// dedicated local that no other statement can reach) and
+    /// whole-struct `memcpy` into the otherwise-untouched `gnode`.
+    pub heap: bool,
+    /// Maximum call depth `main` passes to its top-level calls (the `d`
+    /// budget every call chain decrements). Raising it exercises longer
+    /// chains through recursion and the function-pointer table.
+    pub call_depth: usize,
 }
 
 impl Default for GenConfig {
@@ -36,15 +54,83 @@ impl Default for GenConfig {
             max_depth: 3,
             recursion: true,
             indirect_calls: true,
+            fptr_table: false,
+            ptr_arrays: false,
+            heap: false,
+            call_depth: 3,
         }
     }
 }
 
+impl GenConfig {
+    /// The campaign-scale corpus: more and bigger functions, deeper
+    /// call chains, and every shape knob on. Kept separate from
+    /// [`GenConfig::default`] so the default seed stream (which several
+    /// planted-fault tests are tuned against) stays byte-identical.
+    pub fn campaign() -> Self {
+        GenConfig {
+            funcs: 6,
+            stmts_per_func: 10,
+            call_depth: 4,
+            fptr_table: true,
+            ptr_arrays: true,
+            heap: true,
+            ..GenConfig::default()
+        }
+    }
+}
+
+/// Statement forms beyond the 17 base ones, enabled by shape knobs.
+/// With every knob off the extras list is empty and the per-statement
+/// RNG draw (`0..17 + extras`) is unchanged, so default-config output
+/// is byte-for-byte what it was before the knobs existed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Extra {
+    /// `gparr[i] = &x;`
+    ParrStore,
+    /// `p = gparr[i];`
+    ParrLoad,
+    /// `larr[i] = &x;`
+    LarrStore,
+    /// `p = larr[i];`
+    LarrLoad,
+    /// `gpack.slots[i] = &x;`
+    PackStore,
+    /// `p = gpack.slots[i];`
+    PackLoad,
+    /// `ftab[i] = fnK;`
+    FtabRetarget,
+    /// `if (d > 0) { if (ftab[i] != NULL) { p = ftab[i](...); } }`
+    FtabCall,
+    /// `h0 = malloc(..); *h0 = v; x = *h0; free(h0);`
+    HeapBlock,
+    /// `memcpy(&gnode, s, sizeof(struct node)); x = gnode.v;`
+    CopyNode,
+}
+
 /// Generates a self-contained mini-C program from a seed.
 pub fn generate(seed: u64, cfg: &GenConfig) -> String {
+    let mut extras = Vec::new();
+    if cfg.ptr_arrays {
+        extras.extend([
+            Extra::ParrStore,
+            Extra::ParrLoad,
+            Extra::LarrStore,
+            Extra::LarrLoad,
+            Extra::PackStore,
+            Extra::PackLoad,
+        ]);
+    }
+    if cfg.fptr_table && cfg.funcs > 0 {
+        extras.extend([Extra::FtabRetarget, Extra::FtabCall]);
+    }
+    if cfg.heap {
+        extras.extend([Extra::HeapBlock, Extra::CopyNode]);
+    }
     let mut g = Gen {
         rng: Rng::seed_from_u64(seed),
         cfg: cfg.clone(),
+        extras,
         out: String::new(),
     };
     g.program();
@@ -54,6 +140,7 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> String {
 struct Gen {
     rng: Rng,
     cfg: GenConfig,
+    extras: Vec<Extra>,
     out: String,
 }
 
@@ -86,6 +173,11 @@ impl Gen {
         self.cfg.indirect_calls && self.cfg.funcs > 0
     }
 
+    /// Whether the program carries the function-pointer table.
+    fn has_ftab(&self) -> bool {
+        self.cfg.fptr_table && self.cfg.funcs > 0
+    }
+
     fn program(&mut self) {
         self.out.push_str(
             "struct node { int v; int *p; struct node *next; };\n\
@@ -94,9 +186,20 @@ impl Gen {
              int garr[4];\n\
              struct node gnode;\n",
         );
+        if self.cfg.ptr_arrays {
+            self.out.push_str(
+                "int *gparr[4];\n\
+                 struct pack { int *slots[2]; };\n\
+                 struct pack gpack;\n",
+            );
+        }
         if self.has_gfp() {
             self.out
                 .push_str("int *(*gfp)(int, int *, int **, struct node *);\n");
+        }
+        if self.has_ftab() {
+            self.out
+                .push_str("int *(*ftab[3])(int, int *, int **, struct node *);\n");
         }
         self.out.push('\n');
         for i in 0..self.cfg.funcs {
@@ -114,11 +217,23 @@ impl Gen {
             "    int l0; int l1;\n\
              \u{20}   int t0; int t1; int t2; int t3;\n\
              \u{20}   int *q0; int *q1;\n\
-             \u{20}   int **qq;\n\
-             \u{20}   l0 = 1; l1 = 2;\n\
+             \u{20}   int **qq;\n",
+        );
+        if self.cfg.ptr_arrays {
+            self.out.push_str("    int *larr[2];\n");
+        }
+        if self.cfg.heap {
+            self.out.push_str("    int *h0;\n");
+        }
+        self.out.push_str(
+            "    l0 = 1; l1 = 2;\n\
              \u{20}   q0 = &l0; q1 = &g0;\n\
              \u{20}   qq = &q0;\n",
         );
+        if self.cfg.ptr_arrays {
+            // Both slots definitely valid before any `larr[i]` load.
+            self.out.push_str("    larr[0] = &l0; larr[1] = &g1;\n");
+        }
         let scope = Scope {
             calls_left: std::cell::Cell::new(2),
             ints: vec![
@@ -158,8 +273,13 @@ impl Gen {
     }
 
     fn stmt(&mut self, sc: &Scope, level: usize, depth: usize) {
-        let choice = self.rng.gen_range(0..17);
+        let choice = self.rng.gen_range(0..17 + self.extras.len());
         self.indent(level);
+        if choice >= 17 {
+            let extra = self.extras[choice - 17];
+            self.extra_stmt(extra, sc, level, depth);
+            return;
+        }
         match choice {
             0 => {
                 let x = self.pick(&sc.ints).to_string();
@@ -304,6 +424,99 @@ impl Gen {
         }
     }
 
+    /// Emits one knob-gated statement form. The leading indent for the
+    /// first line has already been written by [`Gen::stmt`]; guarded
+    /// forms whose preconditions fail fall back to the same default
+    /// assignment the base grammar uses.
+    fn extra_stmt(&mut self, extra: Extra, sc: &Scope, level: usize, depth: usize) {
+        match extra {
+            Extra::ParrStore => {
+                let i = self.rng.gen_range(0..4);
+                let x = self.pick(&sc.ints).to_string();
+                let _ = writeln!(self.out, "gparr[{i}] = &{x};");
+            }
+            Extra::ParrLoad => {
+                // Safe: `main` fills all four slots before any call.
+                let i = self.rng.gen_range(0..4);
+                let p = self.pick(&sc.ptrs).to_string();
+                let _ = writeln!(self.out, "{p} = gparr[{i}];");
+            }
+            Extra::LarrStore => {
+                let i = self.rng.gen_range(0..2);
+                let x = self.pick(&sc.ints).to_string();
+                let _ = writeln!(self.out, "larr[{i}] = &{x};");
+            }
+            Extra::LarrLoad => {
+                // Safe: the prologue fills both slots.
+                let i = self.rng.gen_range(0..2);
+                let p = self.pick(&sc.ptrs).to_string();
+                let _ = writeln!(self.out, "{p} = larr[{i}];");
+            }
+            Extra::PackStore => {
+                let i = self.rng.gen_range(0..2);
+                let x = self.pick(&sc.ints).to_string();
+                let _ = writeln!(self.out, "gpack.slots[{i}] = &{x};");
+            }
+            Extra::PackLoad => {
+                // Safe: `main` fills both slots before any call.
+                let i = self.rng.gen_range(0..2);
+                let p = self.pick(&sc.ptrs).to_string();
+                let _ = writeln!(self.out, "{p} = gpack.slots[{i}];");
+            }
+            Extra::FtabRetarget => {
+                let i = self.rng.gen_range(0..3);
+                let target = self.rng.gen_range(0..self.cfg.funcs);
+                let _ = writeln!(self.out, "ftab[{i}] = fn{target};");
+            }
+            Extra::FtabCall if sc.calls_left.get() > 0 && depth == self.cfg.max_depth => {
+                // Indexed indirect call: the depth bound keeps it
+                // terminating even when slots point back at the caller,
+                // and `main` aims every slot before the first call, so
+                // the null guard never fires at runtime — it exists so
+                // shrunk repros stay safe when `main`'s init is dropped.
+                sc.calls_left.set(sc.calls_left.get() - 1);
+                let i = self.rng.gen_range(0..3);
+                let p = self.pick(&sc.ptrs).to_string();
+                let a = self.pick(&sc.ints).to_string();
+                let pp = self.pick(&sc.pptrs).to_string();
+                let s = self.pick(&sc.nodes).to_string();
+                let _ = writeln!(
+                    self.out,
+                    "if (d > 0) {{ if (ftab[{i}] != NULL) {{ {p} = ftab[{i}](d - 1, &{a}, {pp}, {s}); }} }}"
+                );
+            }
+            Extra::HeapBlock => {
+                // Self-contained heap lifetime over `h0`, which is kept
+                // out of the scope's pointer list so no other statement
+                // can observe it between `free` and the next `malloc`.
+                let v = self.rng.gen_range(0..100);
+                let x = self.pick(&sc.ints).to_string();
+                self.out.push_str("h0 = (int *) malloc(sizeof(int));\n");
+                self.indent(level);
+                let _ = writeln!(self.out, "*h0 = {v};");
+                self.indent(level);
+                let _ = writeln!(self.out, "{x} = *h0;");
+                self.indent(level);
+                self.out.push_str("free(h0);\n");
+            }
+            Extra::CopyNode => {
+                // Whole-struct copy through the memcpy builtin (the
+                // CopyMem node): `gnode` is written only here and its
+                // fields are read back, so the copy is never dead.
+                let s = self.pick(&sc.nodes).to_string();
+                let x = self.pick(&sc.ints).to_string();
+                let _ = writeln!(self.out, "memcpy(&gnode, {s}, sizeof(struct node));");
+                self.indent(level);
+                let _ = writeln!(self.out, "{x} = gnode.v;");
+            }
+            Extra::FtabCall => {
+                let x = self.pick(&sc.ints).to_string();
+                let y = self.pick(&sc.ints).to_string();
+                let _ = writeln!(self.out, "{x} = {y} + 1;");
+            }
+        }
+    }
+
     fn main_fn(&mut self) {
         self.out.push_str(
             "int main(void) {\n\
@@ -319,9 +532,23 @@ impl Gen {
              \u{20}   n1.v = 1; n1.p = &m0; n1.next = &n2;\n\
              \u{20}   n2.v = 2; n2.p = &g1; n2.next = NULL;\n",
         );
+        if self.cfg.ptr_arrays {
+            // Every pointer-array slot valid before the first call, so
+            // the load forms inside function bodies are always defined.
+            self.out.push_str(
+                "    gparr[0] = &g0; gparr[1] = &g1; gparr[2] = &g2; gparr[3] = &m0;\n\
+                 \u{20}   gpack.slots[0] = &m1; gpack.slots[1] = &g0;\n",
+            );
+        }
         if self.has_gfp() {
             let target = self.rng.gen_range(0..self.cfg.funcs);
             let _ = writeln!(self.out, "    gfp = fn{target};");
+        }
+        if self.has_ftab() {
+            for i in 0..3 {
+                let target = self.rng.gen_range(0..self.cfg.funcs);
+                let _ = writeln!(self.out, "    ftab[{i}] = fn{target};");
+            }
         }
         let calls = if self.cfg.funcs == 0 {
             0
@@ -330,7 +557,7 @@ impl Gen {
         };
         for _ in 0..calls {
             let target = self.rng.gen_range(0..self.cfg.funcs);
-            let depth = self.rng.gen_range(2..=3);
+            let depth = self.rng.gen_range(2..=self.cfg.call_depth.max(2));
             let arg = if self.rng.gen_bool(0.5) { "&m0" } else { "&m1" };
             let node = if self.rng.gen_bool(0.5) { "&n1" } else { "&n2" };
             let _ = writeln!(
@@ -365,6 +592,38 @@ mod tests {
             let src = generate(seed, &GenConfig::default());
             cfront::compile(&src)
                 .unwrap_or_else(|e| panic!("seed {seed} failed to compile:\n{src}\n{e}"));
+        }
+    }
+
+    #[test]
+    fn campaign_preset_programs_compile() {
+        for seed in 0..20 {
+            let src = generate(seed, &GenConfig::campaign());
+            cfront::compile(&src)
+                .unwrap_or_else(|e| panic!("campaign seed {seed} failed to compile:\n{src}\n{e}"));
+        }
+    }
+
+    #[test]
+    fn shape_knobs_do_not_disturb_the_default_stream() {
+        // Several planted-fault tests are tuned against specific seed
+        // windows of the default generator; the shape knobs must be
+        // invisible while off.
+        let deep = GenConfig {
+            call_depth: 3,
+            ..GenConfig::default()
+        };
+        for seed in [0, 42, 192] {
+            assert_eq!(generate(seed, &GenConfig::default()), generate(seed, &deep));
+            let campaign = generate(seed, &GenConfig::campaign());
+            assert_ne!(generate(seed, &GenConfig::default()), campaign);
+        }
+        let default_src = generate(7, &GenConfig::default());
+        for marker in ["gparr", "larr", "gpack", "ftab", "malloc", "memcpy"] {
+            assert!(
+                !default_src.contains(marker),
+                "default config must not emit `{marker}`"
+            );
         }
     }
 }

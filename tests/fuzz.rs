@@ -108,6 +108,88 @@ fn planted_fault_is_minimized_to_a_small_repro() {
     );
 }
 
+/// Budget exhaustion is a *typed, deterministic* outcome, not a silent
+/// degradation: a step-starved solver or interpreter marks the seed
+/// over-budget, the count lands in the report (and its JSON), and a
+/// healthy run reports zero. Wall-clock overruns stay a separate,
+/// advisory counter.
+#[test]
+fn step_budget_exhaustion_is_a_typed_outcome() {
+    // Solver step starvation: CS and k=1 exhaust on every seed.
+    let cfg = FuzzConfig {
+        seeds: 3,
+        threads: 1,
+        shrink: false,
+        max_steps: 1,
+        ..FuzzConfig::default()
+    };
+    let r = fuzz(&cfg);
+    assert_eq!(
+        r.over_budget, 3,
+        "every step-starved seed must be typed over-budget"
+    );
+    assert!(r.to_json().contains("\"over_budget\": 3"));
+    assert!(r.summary().contains("over step budget"));
+
+    // Interpreter step starvation is the same typed outcome.
+    let cfg = FuzzConfig {
+        seeds: 3,
+        threads: 1,
+        shrink: false,
+        interp_steps: 1,
+        ..FuzzConfig::default()
+    };
+    let r = fuzz(&cfg);
+    assert_eq!(r.over_budget, 3, "interp starvation must be typed too");
+
+    // A healthy run types every seed as completed.
+    let cfg = FuzzConfig {
+        seeds: 3,
+        threads: 1,
+        shrink: false,
+        ..FuzzConfig::default()
+    };
+    assert_eq!(fuzz(&cfg).over_budget, 0);
+}
+
+/// The shrinker's emitted repro is a standalone violating program *and*
+/// a fixpoint of the shrinker itself — re-running the exact shrink
+/// predicate on the minimized text finds the same violation, and
+/// re-shrinking changes nothing. Campaign dedup fingerprints key off
+/// minimized text, so both properties are load-bearing.
+#[test]
+fn minimized_repro_still_violates_standalone_and_is_a_shrink_fixpoint() {
+    let cfg = FuzzConfig {
+        seeds: 1,
+        start_seed: 192,
+        threads: 1,
+        shrink: true,
+        fault: Fault::OverStrongUpdates,
+        ..FuzzConfig::default()
+    };
+    let r = fuzz(&cfg);
+    let v = r
+        .violations
+        .iter()
+        .find(|v| v.minimized.is_some())
+        .expect("the top-ranked violation gets a shrink slot");
+    let m = v.minimized.as_ref().unwrap();
+    let labels = engine::fuzz::check_source_for_test(m, &cfg, v.seed);
+    assert!(
+        labels.iter().any(|(k, s)| *k == v.kind && *s == v.solver),
+        "minimized repro must reproduce ({}, {}) standalone; got {labels:?}",
+        v.kind,
+        v.solver
+    );
+    let pred = |s: &str| {
+        engine::fuzz::check_source_for_test(s, &cfg, v.seed)
+            .iter()
+            .any(|(k, sv)| *k == v.kind && *sv == v.solver)
+    };
+    let again = engine::shrink::shrink(m, &pred);
+    assert_eq!(&again, m, "emitted repros must be shrink fixpoints");
+}
+
 /// The committed fixture — a past run's auto-minimized counterexample —
 /// keeps regressing the over-strong-update fault: the healthy CI solver
 /// is sound on it, the faulted one is not. The shape is minimal: a

@@ -722,6 +722,52 @@ mod tests {
     }
 
     #[test]
+    fn copied_func_const_call_slices_to_the_union_of_targets() {
+        // Regression for the sharpened `fingerprint::call_targets`: a
+        // callee reached as `fp = fa; ... fp = fb;` (a Gamma over two
+        // FuncConst feeds) used to collapse the sliced may-call
+        // relation to *every* function, dragging unrelated code into
+        // each demand slice. It must resolve to exactly {fa, fb} —
+        // `untouched` stays out — while answers remain exact.
+        let g = graph_of(
+            "int a; int b; int u;\n\
+             int *fa(void) { return &a; }\n\
+             int *fb(void) { return &b; }\n\
+             void untouched(void) { u = u + 1; }\n\
+             int main(void) { int *(*fp)(void); int c; c = getchar();\n\
+               if (c) { fp = fa; } else { fp = fb; }\n\
+               untouched();\n\
+               return *(fp()); }",
+        );
+        let ci = ci_of(&g);
+        let mut st = DemandState::new(&g, DemandConfig::default());
+        let rendered = |ts: &Vec<VFuncId>| {
+            let mut v: Vec<String> = ts.iter().map(|&f| g.func(f).name.clone()).collect();
+            v.sort();
+            v
+        };
+        assert!(
+            st.may_targets
+                .values()
+                .any(|ts| rendered(ts) == ["fa", "fb"]),
+            "the indirect call should slice to {{fa, fb}}: {:?}",
+            st.may_targets.values().map(rendered).collect::<Vec<_>>()
+        );
+        assert!(
+            st.may_targets.values().all(|ts| ts.len() < g.func_count()),
+            "no call should fall back to the every-function set"
+        );
+        for (node, _) in g.indirect_mem_ops() {
+            assert_eq!(
+                st.loc_referents_rendered(&g, node),
+                rendered_ci(&ci, &g, node),
+                "site {node:?}"
+            );
+        }
+        assert_eq!(st.stats().fallbacks, 0);
+    }
+
+    #[test]
     fn solution_view_reports_demand() {
         let g = graph_of(INTERPROC);
         let sol = DemandSolution::new(&g, DemandConfig::default());

@@ -791,16 +791,46 @@ pub(crate) fn intern_stable(
 }
 
 /// The set of call targets the cone must assume for a call whose
-/// function input is (or becomes) dirty: the single named function for
-/// a direct `FuncConst` feed, every function otherwise.
+/// function input is (or becomes) dirty: a structural backward walk
+/// from the call's function input through the value-preserving nodes —
+/// `PassThrough` forwards input 0, `Gamma` unions every input —
+/// collecting the `FuncConst` feeds, so a function value copied through
+/// scalar locals and merged over branches still resolves to the union
+/// of named targets instead of every function. Nodes that cannot carry
+/// a function value (scalar/null constants, primops) contribute
+/// nothing; any other producer (a load from memory, a call result)
+/// makes the feed opaque and the answer falls back to every function,
+/// as does a walk that finds no target at all.
 pub(crate) fn call_targets(g: &Graph, call: NodeId) -> Vec<VFuncId> {
-    let src = g.input_src(call, 0);
-    if let NodeKind::FuncConst(b) = &g.node(g.output(src).node).kind {
-        if let BaseKind::Func { func } = g.base(*b).kind {
-            return vec![func];
+    let mut funcs: Vec<VFuncId> = Vec::new();
+    let mut seen: HashSet<OutputId> = HashSet::default();
+    let mut wl = vec![g.input_src(call, 0)];
+    while let Some(o) = wl.pop() {
+        if !seen.insert(o) {
+            continue;
+        }
+        let id = g.output(o).node;
+        match &g.node(id).kind {
+            NodeKind::FuncConst(b) => match g.base(*b).kind {
+                BaseKind::Func { func } => funcs.push(func),
+                _ => return g.func_ids().collect(),
+            },
+            NodeKind::ScalarConst | NodeKind::NullConst | NodeKind::Primop => {}
+            NodeKind::PassThrough => wl.push(g.input_src(id, 0)),
+            NodeKind::Gamma => {
+                for port in 0..g.node(id).inputs.len() {
+                    wl.push(g.input_src(id, port));
+                }
+            }
+            _ => return g.func_ids().collect(),
         }
     }
-    g.func_ids().collect()
+    if funcs.is_empty() {
+        return g.func_ids().collect();
+    }
+    funcs.sort_unstable();
+    funcs.dedup();
+    funcs
 }
 
 /// Which solver's transfer system a dirty-cone closure must mirror.
@@ -988,4 +1018,85 @@ pub(crate) fn compute_cone_for(
         }
     }
     in_cone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdg::build::{lower, BuildOptions};
+
+    fn graph_of(src: &str) -> Graph {
+        let p = cfront::compile(src).expect("compiles");
+        lower(&p, &BuildOptions::default()).expect("lowers")
+    }
+
+    fn only_call(g: &Graph) -> NodeId {
+        // The synthetic root's call to `main` is not under test.
+        let owner = crate::modref::node_owner_map(g);
+        let main = g.func_ids().find(|&f| g.func(f).name == "main").unwrap();
+        let calls: Vec<NodeId> = g
+            .nodes()
+            .filter(|(id, n)| matches!(n.kind, NodeKind::Call) && owner[id.0 as usize] == main)
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(
+            calls.len(),
+            1,
+            "fixture should have exactly one call in main"
+        );
+        calls[0]
+    }
+
+    fn target_names(g: &Graph, call: NodeId) -> Vec<String> {
+        let mut v: Vec<String> = call_targets(g, call)
+            .into_iter()
+            .map(|f| g.func(f).name.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn copied_func_const_call_resolves_to_the_union_of_targets() {
+        // `p` is set to `f` then conditionally to `g`: the call's
+        // function input is a Gamma over two FuncConst feeds, and the
+        // walk must answer {f, g} — not every function (`h` and `main`
+        // would previously leak in).
+        let g = graph_of(
+            "int c;\n\
+             int f(int x) { return x + 1; }\n\
+             int g(int x) { return x + 2; }\n\
+             int h(int x) { return x + 3; }\n\
+             int main(void) { int (*p)(int); p = f; if (c) { p = g; } return p(1); }",
+        );
+        assert_eq!(target_names(&g, only_call(&g)), ["f", "g"]);
+    }
+
+    #[test]
+    fn direct_func_const_call_still_resolves_to_one_target() {
+        let g = graph_of(
+            "int f(int x) { return x; }\n\
+             int h(int x) { return x + 1; }\n\
+             int main(void) { return f(2); }",
+        );
+        assert_eq!(target_names(&g, only_call(&g)), ["f"]);
+    }
+
+    #[test]
+    fn memory_fed_call_falls_back_to_every_function() {
+        // The callee comes out of a global slot (a Lookup): the
+        // structural walk cannot see through the store and must keep
+        // the conservative every-function answer.
+        let g = graph_of(
+            "int (*gp)(int);\n\
+             int f(int x) { return x; }\n\
+             int main(void) { gp = f; return gp(3); }",
+        );
+        let call = only_call(&g);
+        assert_eq!(
+            call_targets(&g, call).len(),
+            g.func_count(),
+            "a load-fed callee stays opaque"
+        );
+    }
 }

@@ -424,6 +424,19 @@ pub enum Stmt {
     Break(Span),
     Continue(Span),
     Block(Block),
+    /// `spawn f(args);` — runs `f` on a new thread under the SC thread
+    /// model. `call` is an [`ExprKind::Call`] whose callee must resolve
+    /// to a named user function (enforced by sema, which also restricts
+    /// `spawn` to `main`). The call result is discarded.
+    Spawn {
+        /// The underlying call expression, type-checked like any call.
+        call: ExprId,
+        /// Span of the `spawn` keyword.
+        span: Span,
+    },
+    /// `join;` — blocks until every thread spawned so far has finished
+    /// (a join-all barrier; only allowed in `main`).
+    Join(Span),
 }
 
 /// A brace-delimited statement sequence.
@@ -528,6 +541,35 @@ impl Program {
     /// Iterates over function ids.
     pub fn func_ids(&self) -> impl Iterator<Item = FuncId> {
         (0..self.funcs.len() as u32).map(FuncId)
+    }
+
+    /// Whether any function body contains a `spawn` statement (i.e. the
+    /// program uses the thread model).
+    pub fn uses_threads(&self) -> bool {
+        fn block_spawns(b: &Block) -> bool {
+            b.stmts.iter().any(stmt_spawns)
+        }
+        fn stmt_spawns(s: &Stmt) -> bool {
+            match s {
+                Stmt::Spawn { .. } => true,
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => block_spawns(then_blk) || else_blk.as_ref().is_some_and(block_spawns),
+                Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+                    block_spawns(body)
+                }
+                Stmt::Switch { cases, default, .. } => {
+                    cases.iter().any(|c| block_spawns(&c.body))
+                        || default.as_ref().is_some_and(block_spawns)
+                }
+                Stmt::Block(b) => block_spawns(b),
+                _ => false,
+            }
+        }
+        self.funcs
+            .iter()
+            .filter_map(|f| f.body.as_ref())
+            .any(block_spawns)
     }
 }
 

@@ -680,6 +680,25 @@ impl Parser {
                 Ok(Stmt::Continue(span))
             }
             KwSwitch => self.switch_stmt(),
+            KwSpawn => {
+                let span = self.span();
+                self.bump();
+                let call = self.expr()?;
+                if !matches!(self.exprs.get(call).kind, ExprKind::Call { .. }) {
+                    return Err(Diagnostic::new(
+                        self.exprs.get(call).span,
+                        "`spawn` requires a function call",
+                    ));
+                }
+                self.expect(Semi)?;
+                Ok(Stmt::Spawn { call, span })
+            }
+            KwJoin => {
+                let span = self.span();
+                self.bump();
+                self.expect(Semi)?;
+                Ok(Stmt::Join(span))
+            }
             _ => {
                 let e = self.expr()?;
                 self.expect(Semi)?;

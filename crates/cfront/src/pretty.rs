@@ -268,6 +268,12 @@ fn print_stmt(p: &Program, s: &Stmt, level: usize, out: &mut String) {
             print_block(p, b, level, out);
             out.push('\n');
         }
+        Stmt::Spawn { call, .. } => {
+            let _ = writeln!(out, "spawn {};", print_expr(p, *call));
+        }
+        Stmt::Join(_) => {
+            let _ = writeln!(out, "join;");
+        }
     }
 }
 
@@ -453,6 +459,15 @@ mod tests {
         fixpoint(
             "char buf[32] = \"hi\\n\"; int table[3] = {1, 2, 3};\n\
              int main(void) { char *p; p = buf; return (int)p[0] + table[1]; }",
+        );
+    }
+
+    #[test]
+    fn fixpoint_spawn_join() {
+        fixpoint(
+            "int g;\n\
+             void worker(int x) { g = x; }\n\
+             int main(void) { spawn worker(1); spawn worker(2); join; return g; }",
         );
     }
 }

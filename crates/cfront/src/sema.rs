@@ -80,6 +80,7 @@ pub fn check(program: &mut Program) -> Result<(), FrontendError> {
                 scopes: Vec::new(),
                 vars: &mut Vec::new(),
                 ret: None,
+                in_main: false,
                 diags: &mut diags,
             };
             ck.check_initializer(init, ty);
@@ -93,6 +94,7 @@ pub fn check(program: &mut Program) -> Result<(), FrontendError> {
         };
         let mut vars = std::mem::take(&mut funcs[fi].vars);
         let ret = funcs[fi].ret;
+        let in_main = funcs[fi].name == "main";
         {
             let mut ck = Checker {
                 types,
@@ -104,6 +106,7 @@ pub fn check(program: &mut Program) -> Result<(), FrontendError> {
                 scopes: vec![HashMap::new()],
                 vars: &mut vars,
                 ret: Some(ret),
+                in_main,
                 diags: &mut diags,
             };
             // Parameters populate the outermost scope.
@@ -142,6 +145,8 @@ struct Checker<'a> {
     vars: &'a mut Vec<VarSlot>,
     /// Return type; `None` when checking global initializers.
     ret: Option<TypeId>,
+    /// Whether the enclosing function is `main` (gates `spawn`/`join`).
+    in_main: bool,
     diags: &'a mut Vec<Diagnostic>,
 }
 
@@ -283,6 +288,44 @@ impl<'a> Checker<'a> {
             }
             Stmt::Break(_) | Stmt::Continue(_) => {}
             Stmt::Block(b) => self.check_block(b),
+            Stmt::Spawn { call, span } => {
+                let (call, span) = (*call, *span);
+                if !self.in_main {
+                    self.error(span, "`spawn` is only allowed in `main`");
+                }
+                self.check_expr(call);
+                // The thread entry must be a statically named user
+                // function: spawn sites are call-graph roots, so an
+                // indirect entry would leave the thread's code unknown.
+                let callee = match self.exprs.get(call).kind {
+                    ExprKind::Call { callee, .. } => callee,
+                    _ => unreachable!("parser only builds Spawn over calls"),
+                };
+                match self.exprs.get(callee).kind {
+                    ExprKind::Ident {
+                        target: Some(IdentTarget::Func(f)),
+                        ref name,
+                        ..
+                    } => {
+                        if name == "main" {
+                            self.error(span, "cannot `spawn` `main`");
+                        }
+                        let _ = f;
+                    }
+                    ExprKind::Ident {
+                        target: Some(IdentTarget::Builtin(_)),
+                        ..
+                    } => {
+                        self.error(span, "cannot `spawn` a library builtin");
+                    }
+                    _ => self.error(span, "`spawn` requires a direct call to a named function"),
+                }
+            }
+            Stmt::Join(span) => {
+                if !self.in_main {
+                    self.error(*span, "`join` is only allowed in `main`");
+                }
+            }
         }
     }
 
@@ -1021,5 +1064,52 @@ mod tests {
     fn aggregates_are_not_conditions() {
         let e = check_err("struct s { int a; }; void f(struct s v) { if (v) return; }");
         assert!(e.diagnostics[0].message.contains("scalar"));
+    }
+
+    #[test]
+    fn spawn_and_join_accepted_in_main() {
+        let p = check_ok(
+            "int g;\n\
+             void worker(int x) { g = x; }\n\
+             int main(void) { spawn worker(1); join; return g; }",
+        );
+        assert!(p.uses_threads());
+    }
+
+    #[test]
+    fn spawn_outside_main_is_rejected() {
+        let e = check_err(
+            "void worker(void) { }\n\
+             void outer(void) { spawn worker(); }\n\
+             int main(void) { outer(); return 0; }",
+        );
+        assert!(e.diagnostics[0].message.contains("main"));
+    }
+
+    #[test]
+    fn join_outside_main_is_rejected() {
+        let e = check_err(
+            "void outer(void) { join; }\n\
+             int main(void) { outer(); return 0; }",
+        );
+        assert!(e.diagnostics[0].message.contains("main"));
+    }
+
+    #[test]
+    fn spawn_of_builtin_is_rejected() {
+        let e = check_err("int main(void) { spawn printf(\"x\"); join; return 0; }");
+        assert!(!e.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn spawn_of_main_is_rejected() {
+        let e = check_err("int main(void) { spawn main(); join; return 0; }");
+        assert!(!e.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn program_without_spawn_does_not_use_threads() {
+        let p = check_ok("int main(void) { return 0; }");
+        assert!(!p.uses_threads());
     }
 }

@@ -51,6 +51,8 @@ pub enum TokenKind {
     KwShort,
     KwFloat,
     KwDouble,
+    KwSpawn,
+    KwJoin,
 
     // Punctuation and operators.
     LParen,
@@ -148,6 +150,8 @@ impl TokenKind {
             KwShort => "short",
             KwFloat => "float",
             KwDouble => "double",
+            KwSpawn => "spawn",
+            KwJoin => "join",
             LParen => "(",
             RParen => ")",
             LBrace => "{",
@@ -229,6 +233,8 @@ impl TokenKind {
             "short" => KwShort,
             "float" => KwFloat,
             "double" => KwDouble,
+            "spawn" => KwSpawn,
+            "join" => KwJoin,
             _ => return None,
         })
     }

@@ -1,4 +1,4 @@
-//! The six checkers. Each is a pure function of the VDG, a
+//! The checkers. Each is a pure function of the VDG, a
 //! [`Solution`], and the solver-discovered call graph, so the same code
 //! runs under all five analyses and diagnostic-set differences measure
 //! analysis precision alone.
@@ -36,6 +36,7 @@ pub fn run_checks(
     check_dangling_local(graph, sol, &mut diags);
     check_uninit_and_dead(graph, sol, callees, &mut diags);
     check_null_deref(graph, sol, &mut diags);
+    crate::race::check_races(graph, sol, callees, &mut diags);
     diags.sort_by_key(|d| (d.span.start, d.kind, d.node.0));
     diags
 }
@@ -46,7 +47,7 @@ fn intersects(a: &[BaseId], b: &[BaseId]) -> bool {
 }
 
 /// Display names of the sorted base set, for witness text.
-fn base_names(graph: &Graph, bases: &[BaseId]) -> String {
+pub(crate) fn base_names(graph: &Graph, bases: &[BaseId]) -> String {
     bases
         .iter()
         .map(|&b| graph.base(b).display())
@@ -166,6 +167,7 @@ fn check_use_after_free(
                 message: format!("{verb} heap object possibly freed earlier"),
                 witness,
                 related_spans: related,
+                related_sites: Vec::new(),
             });
         }
     }
@@ -213,6 +215,7 @@ fn check_double_free(
                 message: "heap object possibly freed twice".to_string(),
                 witness,
                 related_spans: related,
+                related_sites: Vec::new(),
             });
         }
     }
@@ -255,6 +258,7 @@ fn check_dangling_local(graph: &Graph, sol: &dyn Solution, diags: &mut Vec<Diagn
                 ),
                 witness: vec![format!("may point to {}", base_names(graph, &own))],
                 related_spans: Vec::new(),
+                related_sites: Vec::new(),
             });
         }
     }
@@ -305,6 +309,7 @@ fn check_dangling_local(graph: &Graph, sol: &dyn Solution, diags: &mut Vec<Diagn
                 format!("stored into {}", base_names(graph, &outlive)),
             ],
             related_spans: Vec::new(),
+            related_sites: Vec::new(),
         });
     }
 }
@@ -344,6 +349,7 @@ fn check_uninit_and_dead(
                     base_names(graph, &sol.loc_referent_bases(graph, node))
                 )],
                 related_spans: Vec::new(),
+                related_sites: Vec::new(),
             });
         }
     }
@@ -387,6 +393,7 @@ fn check_uninit_and_dead(
             message: "store that no read may observe".to_string(),
             witness: vec![format!("writes {}", base_names(graph, &bases))],
             related_spans: Vec::new(),
+            related_sites: Vec::new(),
         });
     }
 }
@@ -413,6 +420,7 @@ fn check_null_deref(graph: &Graph, sol: &dyn Solution, diags: &mut Vec<Diagnosti
             message: format!("indirect {verb} through a null or uninitialized pointer"),
             witness: vec!["referent set is empty".to_string()],
             related_spans: Vec::new(),
+            related_sites: Vec::new(),
         });
     }
 }

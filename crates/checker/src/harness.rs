@@ -7,19 +7,24 @@
 //! client is a diagnostic tool, so the currency is true/false-positive
 //! counts instead of referent-set sizes.
 
-use crate::label::{label_diagnostics, refuted_fault, Label, LabeledDiagnostic};
+use crate::label::{label_with_races, refuted_fault, refuted_race, Label, LabeledDiagnostic};
 use crate::{CheckKind, Diagnostic};
 use alias::{AnalysisError, CiResult, SolverSpec};
-use cfront::ast::Program;
-use interp::exec::{run_traced, Config, RunRecord};
+use cfront::ast::{ExprId, Program};
+use interp::exec::{explore_races, run_traced, Config, RaceObs, RunRecord};
 use interp::FaultInfo;
 use vdg::graph::Graph;
+
+/// How many thread interleavings the oracle explores when grading race
+/// diagnostics for a threaded program (round-robin plus seeded
+/// preemption; see [`interp::explore_races`]).
+pub const RACE_SCHEDULES: usize = 8;
 
 /// Per-kind and per-label diagnostic counts for one solver.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CheckCounts {
     /// Diagnostics per checker, in [`CheckKind::all`] order.
-    pub by_kind: [usize; 6],
+    pub by_kind: [usize; 7],
     /// Oracle-confirmed diagnostics.
     pub true_positives: usize,
     /// Diagnostics whose site executed without the defect.
@@ -74,6 +79,10 @@ pub struct PrecisionRow {
     /// A runtime fault no diagnostic predicted — a soundness failure of
     /// the checker+solver pair. Must be `None` everywhere.
     pub refuted: Option<FaultInfo>,
+    /// A race pair observed under some explored schedule that no
+    /// [`CheckKind::DataRace`] diagnostic predicted — the interleaving
+    /// analogue of `refuted`. Must be `None` everywhere.
+    pub refuted_race: Option<(ExprId, ExprId)>,
     /// The tallies.
     pub counts: CheckCounts,
 }
@@ -107,6 +116,22 @@ pub fn oracle_run(prog: &Program, input: &[u8]) -> RunRecord {
     )
 }
 
+/// Bounded interleaving exploration for race grading: `None` for a
+/// sequential program, otherwise the union of races and executed sites
+/// over [`RACE_SCHEDULES`] schedules with `input` served to `getchar()`.
+pub fn oracle_races(prog: &Program, input: &[u8]) -> Option<RaceObs> {
+    prog.uses_threads().then(|| {
+        explore_races(
+            prog,
+            &Config {
+                input: input.to_vec(),
+                ..Config::default()
+            },
+            RACE_SCHEDULES,
+        )
+    })
+}
+
 /// Runs every checker under each of `specs`, labels all diagnostics
 /// against one oracle run, and returns one row per solver (in the given
 /// order).
@@ -122,25 +147,30 @@ pub fn precision_table(
 ) -> Result<Vec<PrecisionRow>, AnalysisError> {
     let ci = SolverSpec::ci().solve_ci(graph);
     let rec = oracle_run(prog, input);
+    // Threaded programs additionally get a bounded interleaving
+    // exploration, so race diagnostics are graded against every
+    // explored schedule rather than one arbitrary one.
+    let obs = oracle_races(prog, input);
     let mut rows = Vec::with_capacity(specs.len());
     for spec in specs {
         let diags = check_with_spec(graph, spec, &ci)?;
         let refuted = refuted_fault(&diags, &rec);
-        let labeled = label_diagnostics(diags, &rec);
+        let refuted_race = obs.as_ref().and_then(|o| refuted_race(&diags, o));
+        let labeled = label_with_races(diags, &rec, obs.as_ref());
         let counts = CheckCounts::from_labeled(&labeled);
         rows.push(PrecisionRow {
             solver: spec.name().to_string(),
             labeled,
             refuted,
+            refuted_race,
             counts,
         });
     }
     Ok(rows)
 }
 
-/// Short column heads for the six checkers, in [`CheckKind::all`]
-/// order.
-pub const KIND_HEADS: [&str; 6] = ["uaf", "dfree", "dangl", "uninit", "null", "dead"];
+/// Short column heads for the checkers, in [`CheckKind::all`] order.
+pub const KIND_HEADS: [&str; 7] = ["uaf", "dfree", "dangl", "uninit", "null", "dead", "race"];
 
 /// Renders rows as an aligned paper-style table:
 ///
@@ -176,6 +206,13 @@ pub fn render_table(rows: &[PrecisionRow]) -> String {
         );
         if let Some(f) = &r.refuted {
             let _ = writeln!(out, "  !! refuted: unpredicted runtime fault {:?}", f.kind);
+        }
+        if let Some((a, b)) = &r.refuted_race {
+            let _ = writeln!(
+                out,
+                "  !! refuted: unpredicted data race between sites {} and {}",
+                a.0, b.0
+            );
         }
     }
     out

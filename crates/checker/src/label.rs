@@ -21,7 +21,7 @@
 
 use crate::{CheckKind, Diagnostic};
 use cfront::ast::ExprId;
-use interp::exec::{FaultKind, RunRecord, Trace};
+use interp::exec::{FaultKind, RaceObs, RunRecord, Trace};
 
 /// The oracle's verdict on one diagnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,11 +73,37 @@ fn executed(kind: CheckKind, site: ExprId, t: &Trace) -> bool {
         }
         CheckKind::UninitRead => t.reads.contains_key(&site),
         CheckKind::DeadStore => t.writes.contains_key(&site),
+        CheckKind::DataRace => accessed,
     }
 }
 
-/// Grades `diags` against one oracle run.
+/// Normalizes a race site pair to the `(min, max)` form the interpreter
+/// records.
+fn norm_pair(a: ExprId, b: ExprId) -> (ExprId, ExprId) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Grades `diags` against one oracle run. Race diagnostics are graded
+/// against the run's own observed races only; pass schedule-exploration
+/// evidence via [`label_with_races`] when available.
 pub fn label_diagnostics(diags: Vec<Diagnostic>, rec: &RunRecord) -> Vec<LabeledDiagnostic> {
+    label_with_races(diags, rec, None)
+}
+
+/// Grades `diags` against one oracle run plus, for race diagnostics,
+/// the union of races and executed sites observed across a bounded
+/// schedule exploration ([`interp::explore_races`]): a race pair seen
+/// under *any* schedule confirms the diagnostic, and a site that
+/// executed under any schedule counts as reached.
+pub fn label_with_races(
+    diags: Vec<Diagnostic>,
+    rec: &RunRecord,
+    obs: Option<&RaceObs>,
+) -> Vec<LabeledDiagnostic> {
     diags
         .into_iter()
         .map(|diag| {
@@ -96,10 +122,17 @@ pub fn label_diagnostics(diags: Vec<Diagnostic>, rec: &RunRecord) -> Vec<Labeled
                 CheckKind::DeadStore => {
                     t.writes.contains_key(&site) && !t.observed_writes.contains(&site)
                 }
+                CheckKind::DataRace => diag.related_sites.iter().any(|&r| {
+                    let p = norm_pair(site, r);
+                    t.races.contains(&p) || obs.is_some_and(|o| o.pairs.contains(&p))
+                }),
             };
+            let reached = executed(diag.kind, site, t)
+                || (diag.kind == CheckKind::DataRace
+                    && obs.is_some_and(|o| o.executed.contains(&site)));
             let label = if confirmed {
                 Label::TruePositive
-            } else if executed(diag.kind, site, t) {
+            } else if reached {
                 Label::FalsePositive
             } else {
                 Label::Unreachable
@@ -107,6 +140,24 @@ pub fn label_diagnostics(diags: Vec<Diagnostic>, rec: &RunRecord) -> Vec<Labeled
             LabeledDiagnostic { diag, label }
         })
         .collect()
+}
+
+/// If the bounded schedule exploration observed a race no [`DataRace`]
+/// diagnostic predicted, returns that pair — a soundness refutation of
+/// the race checker+solver pair, the interleaving analogue of
+/// [`refuted_fault`]. `None` when every observed race is covered.
+///
+/// [`DataRace`]: CheckKind::DataRace
+pub fn refuted_race(diags: &[Diagnostic], obs: &RaceObs) -> Option<(ExprId, ExprId)> {
+    obs.pairs
+        .iter()
+        .find(|&&p| {
+            !diags.iter().any(|d| {
+                d.kind == CheckKind::DataRace
+                    && d.related_sites.iter().any(|&r| norm_pair(d.site, r) == p)
+            })
+        })
+        .copied()
 }
 
 /// The diagnostic kinds that would have predicted a given runtime

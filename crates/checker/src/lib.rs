@@ -2,8 +2,8 @@
 //!
 //! The paper's precision spectrum (Weihl → Steensgaard → CI → k=1 →
 //! assumption-set CS) is usually scored in pairs and referent-set
-//! sizes. This crate scores it the way a tool consumer would: six
-//! memory-safety checkers run over the VDG, each driven by *any*
+//! sizes. This crate scores it the way a tool consumer would: seven
+//! safety checkers run over the VDG, each driven by *any*
 //! [`alias::Solution`], so the same checker code produces one
 //! diagnostic set per solver. Differences between those sets are pure
 //! analysis precision — the checker logic never changes.
@@ -24,7 +24,11 @@
 //!   (a null or uninitialized pointer: such a pointer contributes no
 //!   points-to pairs, so a sound empty set means the access can never
 //!   succeed);
-//! - **dead-store** — a store no load or copy may observe.
+//! - **dead-store** — a store no load or copy may observe;
+//! - **data-race** — conflicting accesses from threads the VDG's
+//!   may-happen-in-parallel relation says can run concurrently, found
+//!   by intersecting per-thread transitive mod/ref footprints
+//!   ([`race`]).
 //!
 //! Every diagnostic is anchored to a [`cfront::Span`] and an AST site,
 //! which is what makes the **oracle labeling** possible: the
@@ -41,10 +45,13 @@
 pub mod checks;
 pub mod harness;
 pub mod label;
+pub mod race;
 
 pub use checks::run_checks;
-pub use harness::{precision_table, render_table, CheckCounts, PrecisionRow};
-pub use label::{label_diagnostics, refuted_fault, Label, LabeledDiagnostic};
+pub use harness::{precision_table, render_table, CheckCounts, PrecisionRow, RACE_SCHEDULES};
+pub use label::{
+    label_diagnostics, label_with_races, refuted_fault, refuted_race, Label, LabeledDiagnostic,
+};
 
 use cfront::ast::ExprId;
 use cfront::source::{SourceFile, Span};
@@ -65,6 +72,9 @@ pub enum CheckKind {
     NullDeref,
     /// Store that no load or copy may observe.
     DeadStore,
+    /// Conflicting unsynchronized accesses from concurrently-live
+    /// threads, at least one of them a write.
+    DataRace,
 }
 
 impl CheckKind {
@@ -77,11 +87,12 @@ impl CheckKind {
             CheckKind::UninitRead => "uninit-read",
             CheckKind::NullDeref => "null-deref",
             CheckKind::DeadStore => "dead-store",
+            CheckKind::DataRace => "data-race",
         }
     }
 
-    /// All six kinds, in report order.
-    pub fn all() -> [CheckKind; 6] {
+    /// All seven kinds, in report order.
+    pub fn all() -> [CheckKind; 7] {
         [
             CheckKind::UseAfterFree,
             CheckKind::DoubleFree,
@@ -89,6 +100,7 @@ impl CheckKind {
             CheckKind::UninitRead,
             CheckKind::NullDeref,
             CheckKind::DeadStore,
+            CheckKind::DataRace,
         ]
     }
 }
@@ -138,8 +150,12 @@ pub struct Diagnostic {
     /// rendered as short strings.
     pub witness: Vec<String>,
     /// Spans of related sites (the frees of a use-after-free / double
-    /// free), for secondary carets.
+    /// free, the partner access of a data race), for secondary carets.
     pub related_spans: Vec<Span>,
+    /// AST sites of the related operations, parallel in meaning to
+    /// [`Diagnostic::related_spans`]. The race labeler joins
+    /// `(site, related_site)` pairs against oracle-observed race pairs.
+    pub related_sites: Vec<ExprId>,
 }
 
 impl Diagnostic {

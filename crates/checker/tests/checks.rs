@@ -372,3 +372,216 @@ fn precision_table_runs_all_solvers_on_benchmarks() {
         assert!(table.contains("FP-rate"), "{table}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// data-race checker + interleaving oracle
+// ---------------------------------------------------------------------------
+
+const RACY_GLOBAL: &str = r#"
+int g;
+void worker(int x) { g = x; }
+int main(void) {
+    int r;
+    spawn worker(1);
+    g = 2;
+    join;
+    r = g;
+    return r;
+}
+"#;
+
+#[test]
+fn racy_global_write_is_flagged_by_every_solver_and_oracle_confirmed() {
+    let (prog, graph) = pipeline(RACY_GLOBAL);
+    let rows =
+        precision_table(&prog, &graph, &SolverSpec::all(), &[]).expect("all solvers within budget");
+    assert_eq!(rows.len(), 5);
+    for r in &rows {
+        let races: Vec<_> = rows_races(r);
+        assert!(
+            !races.is_empty(),
+            "{}: expected a data-race diagnostic on the planted race",
+            r.solver
+        );
+        assert!(
+            races.iter().any(|l| l.label == Label::TruePositive),
+            "{}: the planted race should be oracle-confirmed, got {:?}",
+            r.solver,
+            races.iter().map(|l| l.label).collect::<Vec<_>>()
+        );
+        assert!(
+            races.iter().all(|l| l.diag.severity == Severity::Warning),
+            "{}: races are warnings (latent, schedule-dependent)",
+            r.solver
+        );
+        assert!(
+            races.iter().all(|l| !l.diag.related_sites.is_empty()),
+            "{}: a race diagnostic must carry its partner access",
+            r.solver
+        );
+        assert!(r.refuted.is_none());
+        assert!(
+            r.refuted_race.is_none(),
+            "{}: every observed race must be predicted",
+            r.solver
+        );
+    }
+}
+
+fn rows_races(r: &checker::PrecisionRow) -> Vec<&checker::LabeledDiagnostic> {
+    r.labeled
+        .iter()
+        .filter(|l| l.diag.kind == CheckKind::DataRace)
+        .collect()
+}
+
+#[test]
+fn join_synchronized_program_has_no_race_diagnostics() {
+    let src = r#"
+int g;
+void worker(int x) { g = x; }
+int main(void) {
+    spawn worker(5);
+    join;
+    g = g + 1;
+    return g;
+}
+"#;
+    let (prog, graph) = pipeline(src);
+    let rows =
+        precision_table(&prog, &graph, &SolverSpec::all(), &[]).expect("solvers within budget");
+    for r in &rows {
+        assert!(
+            rows_races(r).is_empty(),
+            "{}: join-all synchronizes the child, no race exists: {:?}",
+            r.solver,
+            rows_races(r)
+                .iter()
+                .map(|l| &l.diag.message)
+                .collect::<Vec<_>>()
+        );
+        assert!(r.refuted_race.is_none());
+    }
+}
+
+#[test]
+fn thread_local_locals_do_not_race() {
+    let src = r#"
+void worker(int x) {
+    int t;
+    t = x;
+    t = t + 1;
+}
+int main(void) {
+    spawn worker(1);
+    spawn worker(2);
+    join;
+    return 0;
+}
+"#;
+    for solver in ["weihl", "steensgaard", "ci", "k1", "cs"] {
+        let diags = check_under(src, solver);
+        assert!(
+            !diags.iter().any(|d| d.kind == CheckKind::DataRace),
+            "{solver}: direct accesses to a spawned function's locals touch \
+             distinct frames and must not race"
+        );
+    }
+}
+
+#[test]
+fn escaped_local_pointer_races_with_owner() {
+    let src = r#"
+void worker(int *p) { *p = 5; }
+int main(void) {
+    int x;
+    x = 1;
+    spawn worker(&x);
+    x = 2;
+    join;
+    return x;
+}
+"#;
+    let (prog, graph) = pipeline(src);
+    let rows =
+        precision_table(&prog, &graph, &SolverSpec::all(), &[]).expect("solvers within budget");
+    for r in &rows {
+        assert!(
+            !rows_races(r).is_empty(),
+            "{}: the child writes main's `x` through an escaped pointer while \
+             main writes it directly",
+            r.solver
+        );
+        assert!(r.refuted_race.is_none());
+    }
+}
+
+#[test]
+fn concurrent_reads_are_not_a_race() {
+    let src = r#"
+int g;
+void worker(void) {
+    int t;
+    t = g;
+}
+int main(void) {
+    int u;
+    g = 1;
+    spawn worker();
+    u = g;
+    join;
+    return u;
+}
+"#;
+    for solver in ["weihl", "steensgaard", "ci", "k1", "cs"] {
+        let diags = check_under(src, solver);
+        assert!(
+            !diags.iter().any(|d| d.kind == CheckKind::DataRace),
+            "{solver}: two reads of `g` with no concurrent write do not race"
+        );
+    }
+}
+
+#[test]
+fn race_false_positives_are_monotone_across_the_spectrum() {
+    // A racy program with enough pointer structure for the solvers to
+    // diverge: the child writes through one of two pointers, so coarser
+    // referent sets can only add race pairs.
+    let src = r#"
+int a;
+int b;
+void worker(int *p) { *p = 1; }
+int main(void) {
+    int *q;
+    q = &a;
+    if (getchar() > 64) { q = &b; }
+    spawn worker(q);
+    a = 3;
+    join;
+    return a + b;
+}
+"#;
+    let (prog, graph) = pipeline(src);
+    let rows =
+        precision_table(&prog, &graph, &SolverSpec::all(), b"A").expect("solvers within budget");
+    let count = |name: &str| {
+        rows.iter()
+            .find(|r| r.solver == name)
+            .map(|r| rows_races(r).len())
+            .expect("solver row")
+    };
+    assert!(count("cs") <= count("ci"), "CS ≤ CI violated");
+    assert!(count("k1") <= count("ci"), "k1 ≤ CI violated");
+    assert!(count("ci") <= count("weihl"), "CI ≤ Weihl violated");
+    assert!(
+        count("ci") <= count("steensgaard"),
+        "CI ≤ Steensgaard violated"
+    );
+    for r in &rows {
+        assert!(
+            r.refuted_race.is_none(),
+            "{}: missed observed race",
+            r.solver
+        );
+    }
+}

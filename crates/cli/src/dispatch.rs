@@ -341,13 +341,14 @@ pub fn cmd_check(cx: &crate::Ctx) -> Result<(), String> {
     Ok(())
 }
 
-/// Diagnostic totals for one solver across all checked benchmarks.
+/// Diagnostic totals for one solver (or every solver under `"all"`)
+/// across all checked benchmarks.
 fn totals_for(benches: &[BenchCheckInfo], analysis: &str) -> (u64, u64, u64, u64) {
     let mut totals = (0, 0, 0, 0);
     for s in benches
         .iter()
         .flat_map(|b| &b.solvers)
-        .filter(|s| s.analysis == analysis)
+        .filter(|s| analysis == "all" || s.analysis == analysis)
     {
         totals.0 += s.diags.iter().sum::<u64>();
         totals.1 += s.true_positives;
@@ -626,7 +627,9 @@ pub fn cmd_serve_bench(cx: &crate::Ctx) -> Result<(), String> {
 pub fn cmd_campaign(cx: &crate::Ctx) -> Result<(), String> {
     let defaults = engine::CampaignConfig::default();
     let mut fuzz = engine::FuzzConfig {
-        gen: if cx.flags.has("default-gen") {
+        gen: if cx.flags.has("threaded") {
+            suite::generator::GenConfig::threaded()
+        } else if cx.flags.has("default-gen") {
             suite::generator::GenConfig::default()
         } else {
             suite::generator::GenConfig::campaign()

@@ -160,19 +160,38 @@ const COMMANDS: &[Command] = &[
     Command {
         name: "fuzz",
         synopsis:
-            "[--seeds N] [--start-seed N] [--budget-ms N] [--threads N] [--no-shrink] [--json]",
+            "[--seeds N] [--start-seed N] [--budget-ms N] [--threads N] [--threaded] [--no-shrink] [--json]",
         about: "differential fuzzing campaign over all five solvers",
         flag_help: &[
             "--seeds N       number of seeds to run (default 100)",
             "--start-seed N  first seed of the range (default 0)",
             "--budget-ms N   per-solver wall-clock budget in ms (default 200)",
             "--threads N     worker threads, 0 = all cores (default 0)",
+            "--threaded      spawn-heavy generator preset: every seed also runs",
+            "                the race-soundness and race-monotonicity properties",
             "--no-shrink     skip counterexample minimisation",
             "--json          print the full FuzzReport as JSON",
         ],
         value_flags: &["seeds", "start-seed", "budget-ms", "threads"],
         needs_source: false,
         run: cmd_fuzz,
+    },
+    Command {
+        name: "stats",
+        synopsis: "[--seeds N] [--start-seed N] [--suite] [--threaded] [--json]",
+        about: "campaign-corpus dedup accounting: unique function fingerprints",
+        flag_help: &[
+            "--seeds N       generated programs to scan (default 200)",
+            "--start-seed N  first seed of the range (default 0)",
+            "--suite         also scan the bundled benchmarks and litmus programs",
+            "--threaded      scan the spawn-heavy threaded preset instead",
+            "--default-gen   plain generator shapes instead of the campaign preset",
+            "--threads N     worker threads, 0 = all cores (default 0)",
+            "--json          print the stats as JSON",
+        ],
+        value_flags: &["seeds", "start-seed", "threads"],
+        needs_source: false,
+        run: cmd_stats,
     },
     Command {
         name: "campaign",
@@ -190,6 +209,7 @@ const COMMANDS: &[Command] = &[
             "--max-steps N    solver step budget (default 2000000)",
             "--interp-steps N interpreter step budget (default 1000000)",
             "--default-gen    plain generator shapes instead of the campaign preset",
+            "--threaded       spawn-heavy preset: race soundness/monotonicity per seed",
             "--no-shrink      skip quarantine/counterexample minimisation",
             "--quiet          no per-chunk progress on stderr",
             "--json           also print the final report JSON to stdout",
@@ -658,6 +678,11 @@ fn cmd_fuzz(cx: &Ctx) -> Result<(), String> {
         budget_ms: cx.flags.get_parsed("budget-ms", 200)?,
         threads: cx.flags.get_parsed("threads", 0)?,
         shrink: !cx.flags.has("no-shrink"),
+        gen: if cx.flags.has("threaded") {
+            suite::generator::GenConfig::threaded()
+        } else {
+            suite::generator::GenConfig::default()
+        },
         ..engine::FuzzConfig::default()
     };
     let report = engine::fuzz::fuzz(&cfg);
@@ -683,6 +708,33 @@ fn cmd_fuzz(cx: &Ctx) -> Result<(), String> {
             report.violations.len()
         ))
     }
+}
+
+/// Corpus dedup accounting: scans a campaign-shaped corpus (plus,
+/// optionally, the bundled suite) and reports unique-function
+/// fingerprint counts and the dedup ratio a cross-program summary pool
+/// would realize.
+fn cmd_stats(cx: &Ctx) -> Result<(), String> {
+    let cfg = engine::stats::StatsConfig {
+        seeds: cx.flags.get_parsed("seeds", 200)?,
+        start_seed: cx.flags.get_parsed("start-seed", 0)?,
+        gen: if cx.flags.has("threaded") {
+            suite::generator::GenConfig::threaded()
+        } else if cx.flags.has("default-gen") {
+            suite::generator::GenConfig::default()
+        } else {
+            suite::generator::GenConfig::campaign()
+        },
+        include_suite: cx.flags.has("suite"),
+        threads: cx.flags.get_parsed("threads", 0)?,
+    };
+    let s = engine::stats::collect(&cfg);
+    if cx.flags.has("json") {
+        println!("{}", s.to_json());
+    } else {
+        print!("{}", s.summary());
+    }
+    Ok(())
 }
 
 /// Minimal JSON string literal for the `incremental --json` envelope

@@ -109,3 +109,34 @@ fn bad_inputs_fail_cleanly() {
     assert!(!ok);
     assert!(stderr.contains("undeclared"), "{stderr}");
 }
+
+#[test]
+fn stats_reports_corpus_dedup() {
+    let (out, err, ok) = ruf95(&["stats", "--seeds", "6", "--threads", "1"]);
+    assert!(ok, "{err}");
+    assert!(
+        out.contains("functions:") && out.contains("unique"),
+        "{out}"
+    );
+    let (json, err, ok) = ruf95(&["stats", "--seeds", "3", "--threads", "1", "--json"]);
+    assert!(ok, "{err}");
+    assert!(json.contains("\"func_dedup_ratio\""), "{json}");
+}
+
+#[test]
+fn threaded_fuzz_and_litmus_check_pass_end_to_end() {
+    let (out, err, ok) = ruf95(&[
+        "fuzz",
+        "--seeds",
+        "4",
+        "--threaded",
+        "--threads",
+        "1",
+        "--no-shrink",
+    ]);
+    assert!(ok, "threaded fuzz failed: {out}\n{err}");
+    assert!(out.contains("0 violations"), "{out}");
+    let (out, err, ok) = ruf95(&["check", "bench:litmus_race_global", "--analysis", "all"]);
+    assert!(ok, "litmus check failed: {out}\n{err}");
+    assert!(out.contains("data-race") || out.contains("race"), "{out}");
+}

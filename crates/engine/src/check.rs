@@ -17,8 +17,8 @@
 
 use crate::report::CheckMetrics;
 use crate::{BenchOutput, EngineRun};
-use checker::harness::oracle_run;
-use checker::{label_diagnostics, refuted_fault, CheckKind, LabeledDiagnostic};
+use checker::harness::{oracle_races, oracle_run};
+use checker::{label_with_races, refuted_fault, refuted_race, CheckKind, LabeledDiagnostic};
 use std::collections::HashMap;
 
 /// One benchmark's oracle-labeled diagnostics, one row per solver.
@@ -31,9 +31,12 @@ pub struct BenchChecks {
 }
 
 impl BenchChecks {
-    /// Whether any solver's row carries an oracle-refuted fault.
+    /// Whether any solver's row carries an oracle-refuted fault or an
+    /// oracle-refuted (unpredicted) data race.
     pub fn any_refuted(&self) -> bool {
-        self.rows.iter().any(|r| r.refuted.is_some())
+        self.rows
+            .iter()
+            .any(|r| r.refuted.is_some() || r.refuted_race.is_some())
     }
 }
 
@@ -48,24 +51,28 @@ pub struct CheckCache {
 
 fn check_bench(b: &BenchOutput) -> Vec<checker::PrecisionRow> {
     let rec = oracle_run(&b.program, &b.input);
+    let obs = oracle_races(&b.program, &b.input);
     b.solutions
         .iter()
         .map(|s| {
-            let (labeled, refuted): (Vec<LabeledDiagnostic>, _) = match s.solution.as_deref() {
-                Some(sol) => {
-                    let diags = checker::run_checks(&b.graph, sol, &b.ci.callees);
-                    let refuted = refuted_fault(&diags, &rec);
-                    (label_diagnostics(diags, &rec), refuted)
-                }
-                // A failed solve (step-budget overflow) has no solution
-                // to check; the row stays empty rather than refuted.
-                None => (Vec::new(), None),
-            };
+            let (labeled, refuted, race): (Vec<LabeledDiagnostic>, _, _) =
+                match s.solution.as_deref() {
+                    Some(sol) => {
+                        let diags = checker::run_checks(&b.graph, sol, &b.ci.callees);
+                        let refuted = refuted_fault(&diags, &rec);
+                        let race = obs.as_ref().and_then(|o| refuted_race(&diags, o));
+                        (label_with_races(diags, &rec, obs.as_ref()), refuted, race)
+                    }
+                    // A failed solve (step-budget overflow) has no solution
+                    // to check; the row stays empty rather than refuted.
+                    None => (Vec::new(), None, None),
+                };
             let counts = checker::CheckCounts::from_labeled(&labeled);
             checker::PrecisionRow {
                 solver: s.analysis.clone(),
                 labeled,
                 refuted,
+                refuted_race: race,
                 counts,
             }
         })
@@ -134,24 +141,38 @@ impl EngineRun {
 pub fn render_diagnostics(b: &BenchOutput, checks: &BenchChecks, analysis: &str) -> String {
     let file = cfront::SourceFile::new(&b.name, &b.source);
     let mut out = String::new();
-    let Some(row) = checks.rows.iter().find(|r| r.solver == analysis) else {
-        return out;
-    };
-    for l in &row.labeled {
-        out.push_str(&l.diag.render(&file));
-        out.push_str(&format!("\n  oracle: {}\n", l.label.name()));
-    }
-    if let Some(f) = &row.refuted {
-        out.push_str(&format!(
-            "!! refuted: runtime fault {:?} at an unflagged site ({})\n",
-            f.kind, f.message
-        ));
+    let all = analysis == "all";
+    for row in &checks.rows {
+        if !all && row.solver != analysis {
+            continue;
+        }
+        if all && !row.labeled.is_empty() {
+            out.push_str(&format!("---- {} ----\n", row.solver));
+        }
+        for l in &row.labeled {
+            out.push_str(&l.diag.render(&file));
+            out.push_str(&format!("\n  oracle: {}\n", l.label.name()));
+        }
+        if let Some(f) = &row.refuted {
+            out.push_str(&format!(
+                "!! refuted: runtime fault {:?} at an unflagged site ({})\n",
+                f.kind, f.message
+            ));
+        }
+        if let Some((a, b)) = &row.refuted_race {
+            out.push_str(&format!(
+                "!! refuted: observed data race between sites {} and {} that no diagnostic predicted\n",
+                a.0, b.0
+            ));
+        }
     }
     out
 }
 
 /// JSON rendering of labeled diagnostics for `ruf95 check --json`:
-/// an array of objects, one per diagnostic of the chosen solver.
+/// an array of objects, one per diagnostic of the chosen solver — or of
+/// every solver when `analysis` is `"all"` (each object names its
+/// solver in `"analysis"`).
 pub fn diagnostics_json(b: &BenchOutput, checks: &BenchChecks, analysis: &str) -> String {
     let file = cfront::SourceFile::new(&b.name, &b.source);
     let jstr = |s: &str| {
@@ -162,12 +183,11 @@ pub fn diagnostics_json(b: &BenchOutput, checks: &BenchChecks, analysis: &str) -
                 .replace('\n', "\\n")
         )
     };
-    let Some(row) = checks.rows.iter().find(|r| r.solver == analysis) else {
-        return "[]".to_string();
-    };
-    let items: Vec<String> = row
-        .labeled
+    let items: Vec<String> = checks
+        .rows
         .iter()
+        .filter(|r| analysis == "all" || r.solver == analysis)
+        .flat_map(|row| row.labeled.iter())
         .map(|l| {
             let lc = file.line_col(l.diag.span.start);
             format!(
@@ -226,6 +246,10 @@ pub fn fp_monotone_violation(checks: &[BenchChecks]) -> Option<String> {
                 CheckKind::UseAfterFree,
                 CheckKind::DoubleFree,
                 CheckKind::DanglingLocal,
+                // The race checker intersects referent sets over a
+                // solver-independent MHP relation, so a pair the fine
+                // solver flags, any coarser solver flags too.
+                CheckKind::DataRace,
             ];
             let sites = |row: &checker::PrecisionRow| -> Vec<(u32, CheckKind)> {
                 row.labeled
@@ -248,12 +272,17 @@ pub fn fp_monotone_violation(checks: &[BenchChecks]) -> Option<String> {
     None
 }
 
-/// Total oracle-labeled counts across one solver's rows, for summary
-/// lines: `(diagnostics, true positives, false positives, unreachable)`.
+/// Total oracle-labeled counts across one solver's rows (or across all
+/// five when `analysis` is `"all"`), for summary lines:
+/// `(diagnostics, true positives, false positives, unreachable)`.
 pub fn totals_for(checks: &[BenchChecks], analysis: &str) -> (usize, usize, usize, usize) {
     let mut t = (0, 0, 0, 0);
     for bc in checks {
-        if let Some(r) = bc.rows.iter().find(|r| r.solver == analysis) {
+        for r in bc
+            .rows
+            .iter()
+            .filter(|r| analysis == "all" || r.solver == analysis)
+        {
             t.0 += r.counts.total();
             t.1 += r.counts.true_positives;
             t.2 += r.counts.false_positives;

@@ -33,6 +33,15 @@
 //!    dead store) is appended to every generated program, and every
 //!    solver's `checker::run_checks` sweep must flag its kind.
 //!
+//! For programs that spawn threads (the generator's
+//! [`GenConfig::threaded`] preset, or any hand-written repro), two more
+//! properties fire: **race soundness** — every racing pair the bounded
+//! interleaving oracle ([`interp::explore_races`]) observes must be
+//! covered by a data-race diagnostic under every solver — and **race
+//! monotonicity** — data-race sites must shrink along the lattice edges
+//! of property 2, so finer alias information can only remove race
+//! reports, never add them.
+//!
 //! The additional [`FuzzConfig::fault`] knob deliberately injects a
 //! known bug into the CI solver; the planted-bug self-test uses it to
 //! prove the whole detect-and-minimize loop actually fires.
@@ -833,6 +842,70 @@ pub(crate) fn check_source(src: &str, cfg: &FuzzConfig, seed: u64) -> Findings {
         }
     }
 
+    // Property 7 — threaded race soundness and monotonicity. For
+    // programs that spawn threads, the bounded interleaving oracle
+    // replays the program under [`checker::RACE_SCHEDULES`] seeded
+    // schedules; every racing pair it observes must be covered by a
+    // data-race diagnostic from every solver (a miss means the static
+    // checker under-approximated MHP footprints), and data-race sites
+    // must shrink monotonically along the same lattice edges as
+    // Property 2 — a finer solver may drop a coarse solver's false
+    // positives but never invent a race the coarser referent sets
+    // already covered.
+    if prog.uses_threads() {
+        let obs = interp::explore_races(
+            &prog,
+            &interp::Config {
+                max_steps: cfg.interp_steps,
+                ..interp::Config::default()
+            },
+            checker::RACE_SCHEDULES,
+        );
+        let mut race_sites: Vec<(&'static str, std::collections::BTreeSet<u32>)> = Vec::new();
+        for (name, sol) in &solved {
+            let diags = checker::run_checks(&graph, &**sol, &ci.callees);
+            if let Some((x, y)) = checker::refuted_race(&diags, &obs) {
+                f.violations.push(Finding {
+                    kind: "race-soundness",
+                    solver: name.to_string(),
+                    detail: format!(
+                        "oracle observed a race between sites {} and {} that no \
+                         data-race diagnostic covers ({job})",
+                        x.0, y.0
+                    ),
+                });
+            }
+            race_sites.push((
+                name,
+                diags
+                    .iter()
+                    .filter(|d| d.kind == checker::CheckKind::DataRace)
+                    .map(|d| d.span.start)
+                    .collect(),
+            ));
+        }
+        let sites = |n: &str| race_sites.iter().find(|(s, _)| *s == n).map(|(_, v)| v);
+        for (coarse, fine) in [
+            ("weihl", "ci"),
+            ("steensgaard", "ci"),
+            ("ci", "k1"),
+            ("ci", "cs"),
+        ] {
+            let (Some(c), Some(d)) = (sites(coarse), sites(fine)) else {
+                continue; // a degraded side skips the comparison
+            };
+            if let Some(s) = d.iter().find(|s| !c.contains(s)) {
+                f.violations.push(Finding {
+                    kind: "race-monotone",
+                    solver: format!("{coarse}⊉{fine}"),
+                    detail: format!(
+                        "{fine} reports a data race at byte {s} that {coarse} does not ({job})"
+                    ),
+                });
+            }
+        }
+    }
+
     f
 }
 
@@ -840,7 +913,7 @@ pub(crate) fn check_source(src: &str, cfg: &FuzzConfig, seed: u64) -> Findings {
 /// the trimmed text of the source line it points at. Two programs
 /// emitting the same statement with the same defect collapse to one
 /// key, which is exactly the repetition campaign corpora exhibit.
-fn diag_key(src: &str, d: &checker::Diagnostic) -> u64 {
+pub(crate) fn diag_key(src: &str, d: &checker::Diagnostic) -> u64 {
     let start = (d.span.start as usize).min(src.len());
     let line_start = src[..start].rfind('\n').map_or(0, |i| i + 1);
     let line_end = src[line_start..]
@@ -990,6 +1063,53 @@ mod tests {
                 .count(),
             5,
             "all five solvers should be reported as missing the plant"
+        );
+    }
+
+    #[test]
+    fn threaded_campaign_is_clean_under_race_properties() {
+        // The threaded generator preset spawns workers from main, so
+        // every seed exercises Property 7 (race soundness against the
+        // interleaving oracle, race monotonicity along the lattice) on
+        // top of the sequential properties.
+        let cfg = FuzzConfig {
+            seeds: 8,
+            threads: 1,
+            shrink: false,
+            gen: GenConfig::threaded(),
+            ..FuzzConfig::default()
+        };
+        let r = fuzz(&cfg);
+        assert!(
+            r.violations.is_empty(),
+            "threaded campaign violations: {:?}",
+            r.violations
+                .iter()
+                .map(|v| format!("{} {} {}", v.kind, v.solver, v.detail))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn race_properties_cover_a_hand_written_racy_repro() {
+        // A minimal planted race: main and the worker both write `g`
+        // between spawn and join. The static checker must cover every
+        // pair the oracle observes (no race-soundness finding) and the
+        // spectrum must stay monotone (no race-monotone finding).
+        let src = "int g;\n\
+                   void worker(void) { g = 2; }\n\
+                   int main(void) { spawn worker(); g = 2; join; return g; }\n";
+        let prog = cfront::compile(src).expect("repro compiles");
+        assert!(prog.uses_threads(), "repro must reach Property 7");
+        let found = check_source(src, &FuzzConfig::default(), 0);
+        assert!(
+            found.violations.is_empty(),
+            "racy repro violations: {:?}",
+            found
+                .violations
+                .iter()
+                .map(|v| format!("{} {} {}", v.kind, v.solver, v.detail))
+                .collect::<Vec<_>>()
         );
     }
 

@@ -44,6 +44,7 @@ pub mod incremental;
 pub mod pool;
 pub mod report;
 pub mod shrink;
+pub mod stats;
 
 pub use campaign::{
     CampaignCase, CampaignConfig, CampaignError, CampaignOutcome, CampaignReport, QuarantineCase,
@@ -90,6 +91,19 @@ impl Job {
     /// The full bundled benchmark suite, in Figure 2 order.
     pub fn suite() -> Vec<Job> {
         suite::benchmarks()
+            .iter()
+            .map(|b| Job {
+                name: b.name.to_string(),
+                source: b.source.to_string(),
+                input: b.input.to_vec(),
+            })
+            .collect()
+    }
+
+    /// The threaded litmus benchmarks ([`suite::litmus`]): planted-race
+    /// and race-free fixtures for the data-race checker.
+    pub fn litmus() -> Vec<Job> {
+        suite::litmus()
             .iter()
             .map(|b| Job {
                 name: b.name.to_string(),

@@ -62,8 +62,8 @@ pub struct SolverMetrics {
 pub struct CheckMetrics {
     /// Diagnostics per checker, in `checker::CheckKind::all()` order:
     /// use-after-free, double-free, dangling-local, uninit-read,
-    /// null-deref, dead-store.
-    pub diags: [usize; 6],
+    /// null-deref, dead-store, data-race.
+    pub diags: [usize; 7],
     /// Oracle-confirmed diagnostics.
     pub true_positives: usize,
     /// Diagnostics whose site executed without the defect.
@@ -386,7 +386,7 @@ mod tests {
                         mode: Some("seeded(dirty=1/5)".into()),
                         error: None,
                         checks: Some(CheckMetrics {
-                            diags: [1, 0, 2, 0, 0, 3],
+                            diags: [1, 0, 2, 0, 0, 3, 1],
                             true_positives: 4,
                             false_positives: 1,
                             unreachable: 1,
@@ -446,7 +446,7 @@ mod tests {
              \"solutions_replayed\": 5, \"restored\": true, \
              \"demand_hits\": 2, \"demand_fallbacks\": 1, \
              \"demand_budget_exhausted\": 0, \"restore_us\": 120}",
-            "\"checks\": {\"diags\": [1, 0, 2, 0, 0, 3], \"true_positives\": 4, \
+            "\"checks\": {\"diags\": [1, 0, 2, 0, 0, 3, 1], \"true_positives\": 4, \
              \"false_positives\": 1, \"unreachable\": 1, \"refuted\": false}",
             "\"checks\": null",
         ] {

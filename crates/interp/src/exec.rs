@@ -11,8 +11,9 @@
 use crate::memory::{AbsLoc, CStep, Loc, Memory, Origin, Value};
 use cfront::ast::*;
 use cfront::types::{TypeKind, TypeTable};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::sync::{Condvar, Mutex};
 
 /// Interpreter limits and inputs.
 #[derive(Debug, Clone)]
@@ -21,6 +22,11 @@ pub struct Config {
     pub max_steps: u64,
     /// Bytes served to `getchar()`.
     pub input: Vec<u8>,
+    /// Thread-interleaving seed for programs that `spawn`: 0 selects the
+    /// deterministic round-robin schedule, any other value drives seeded
+    /// preemption (random quanta and successor choice). Sequential
+    /// programs ignore it entirely.
+    pub sched_seed: u64,
 }
 
 impl Default for Config {
@@ -28,6 +34,7 @@ impl Default for Config {
         Config {
             max_steps: 10_000_000,
             input: Vec::new(),
+            sched_seed: 0,
         }
     }
 }
@@ -107,6 +114,11 @@ pub struct Trace {
     /// the value escaped (reachability evidence for return-site
     /// diagnostics).
     pub returns: HashSet<ExprId>,
+    /// Data races observed under this run's thread schedule: normalized
+    /// `(min, max)` pairs of access-site expressions that touched the
+    /// same concrete location from concurrent threads, at least one of
+    /// them writing. Always empty for sequential programs.
+    pub races: BTreeSet<(ExprId, ExprId)>,
 }
 
 /// Result of a complete run.
@@ -128,16 +140,16 @@ pub struct Outcome {
 ///
 /// Returns [`RunError`] for dynamic errors or step-budget exhaustion.
 pub fn run(prog: &Program, cfg: &Config) -> Result<Outcome, RunError> {
-    let mut x = Exec::new(prog, cfg.clone());
-    match x.run_program() {
-        Ok(exit) | Err(Stop::Exit(exit)) => Ok(Outcome {
+    let (mut w, r) = run_raw(prog, cfg);
+    match r {
+        Ok(exit) | Err(StopSig::Exit(exit)) => Ok(Outcome {
             exit,
-            stdout: std::mem::take(&mut x.out),
-            steps: x.steps,
-            trace: std::mem::take(&mut x.trace),
+            stdout: std::mem::take(&mut w.out),
+            steps: w.steps,
+            trace: std::mem::take(&mut w.trace),
         }),
-        Err(Stop::Error(m)) => Err(RunError::Dynamic(m)),
-        Err(Stop::StepLimit) => Err(RunError::StepLimit),
+        Err(StopSig::Error(m)) => Err(RunError::Dynamic(m)),
+        Err(StopSig::StepLimit) => Err(RunError::StepLimit),
     }
 }
 
@@ -164,20 +176,57 @@ pub struct RunRecord {
 /// program yields everything it touched before the fault plus the fault
 /// classification itself.
 pub fn run_traced(prog: &Program, cfg: &Config) -> RunRecord {
-    let mut x = Exec::new(prog, cfg.clone());
-    let (exit, error) = match x.run_program() {
-        Ok(exit) | Err(Stop::Exit(exit)) => (Some(exit), None),
-        Err(Stop::Error(m)) => (None, Some(RunError::Dynamic(m))),
-        Err(Stop::StepLimit) => (None, Some(RunError::StepLimit)),
+    let (mut w, r) = run_raw(prog, cfg);
+    let (exit, error) = match r {
+        Ok(exit) | Err(StopSig::Exit(exit)) => (Some(exit), None),
+        Err(StopSig::Error(m)) => (None, Some(RunError::Dynamic(m))),
+        Err(StopSig::StepLimit) => (None, Some(RunError::StepLimit)),
     };
     RunRecord {
         exit,
-        stdout: std::mem::take(&mut x.out),
-        steps: x.steps,
+        stdout: std::mem::take(&mut w.out),
+        steps: w.steps,
         error,
-        fault: x.fault.take(),
-        trace: std::mem::take(&mut x.trace),
+        fault: w.fault.take(),
+        trace: std::mem::take(&mut w.trace),
     }
+}
+
+/// Union of race observations across several bounded interleavings.
+#[derive(Debug, Clone, Default)]
+pub struct RaceObs {
+    /// Normalized `(min, max)` racing site pairs observed under any
+    /// explored schedule.
+    pub pairs: BTreeSet<(ExprId, ExprId)>,
+    /// Access and free sites that executed under at least one schedule
+    /// (reachability evidence for diagnostic labeling).
+    pub executed: BTreeSet<ExprId>,
+    /// How many schedules ran.
+    pub schedules: usize,
+}
+
+/// Runs `prog` under up to `schedules` distinct thread interleavings —
+/// the deterministic round-robin schedule first, then seeded preemption
+/// — and unions the observed data races and executed sites. Sequential
+/// programs get a single run.
+pub fn explore_races(prog: &Program, cfg: &Config, schedules: usize) -> RaceObs {
+    let n = if prog.uses_threads() {
+        schedules.max(1)
+    } else {
+        1
+    };
+    let mut obs = RaceObs::default();
+    for k in 0..n {
+        let mut c = cfg.clone();
+        c.sched_seed = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let rec = run_traced(prog, &c);
+        obs.pairs.extend(rec.trace.races.iter().copied());
+        obs.executed.extend(rec.trace.reads.keys().copied());
+        obs.executed.extend(rec.trace.writes.keys().copied());
+        obs.executed.extend(rec.trace.frees.keys().copied());
+        obs.schedules += 1;
+    }
+    obs
 }
 
 enum Stop {
@@ -189,6 +238,36 @@ enum Stop {
 impl From<String> for Stop {
     fn from(m: String) -> Stop {
         Stop::Error(m)
+    }
+}
+
+/// A cloneable program-wide stop reason, set once in the shared
+/// [`World`] by whichever thread stops first and propagated to every
+/// other thread at its next scheduling point.
+#[derive(Debug, Clone)]
+enum StopSig {
+    Error(String),
+    Exit(i64),
+    StepLimit,
+}
+
+impl From<Stop> for StopSig {
+    fn from(s: Stop) -> StopSig {
+        match s {
+            Stop::Error(m) => StopSig::Error(m),
+            Stop::Exit(v) => StopSig::Exit(v),
+            Stop::StepLimit => StopSig::StepLimit,
+        }
+    }
+}
+
+impl From<StopSig> for Stop {
+    fn from(s: StopSig) -> Stop {
+        match s {
+            StopSig::Error(m) => Stop::Error(m),
+            StopSig::Exit(v) => Stop::Exit(v),
+            StopSig::StepLimit => Stop::StepLimit,
+        }
     }
 }
 
@@ -205,12 +284,53 @@ struct Frame {
     locals: Vec<u32>,
 }
 
-struct Exec<'p> {
-    prog: &'p Program,
-    cfg: Config,
+/// How many child threads can be live at once. Spawning a ninth before a
+/// `join` reaps the pool is a dynamic error.
+const MAX_CHILDREN: usize = 8;
+
+/// Steps between voluntary preemptions under the round-robin schedule.
+const RR_QUANTUM: u64 = 7;
+
+/// One child-thread slot of the scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotState {
+    live: bool,
+    finished: bool,
+    /// Index into [`World::instances`] of the occupying spawn instance.
+    inst: u32,
+}
+
+/// A spawn instance's interval on the logical spawn/join clock.
+#[derive(Debug, Clone, Copy)]
+struct Inst {
+    spawn_seq: u64,
+    join_seq: Option<u64>,
+}
+
+/// One recorded access for race detection.
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    inst: u32,
+    /// Logical clock value ([`World::seq`]) at access time.
+    at: u64,
+    site: ExprId,
+}
+
+/// Access history of one concrete location.
+#[derive(Debug, Clone, Default)]
+struct LocAccesses {
+    last_write: Option<Access>,
+    reads: Vec<Access>,
+}
+
+/// All interpreter state shared between threads. Exactly one thread owns
+/// the `World` at a time (lockstep execution): it runs until it yields,
+/// then hands the whole value to the next thread through the [`Baton`].
+/// Sequential programs keep it in their single [`Exec`] with zero
+/// synchronization.
+struct World {
     mem: Memory,
     globals: Vec<u32>,
-    frames: Vec<Frame>,
     trace: Trace,
     out: String,
     steps: u64,
@@ -220,16 +340,33 @@ struct Exec<'p> {
     /// Last traced write site per abstract location, for runtime
     /// def/use ([`Trace::observed_writes`] / [`Trace::uninit_reads`]).
     last_writer: HashMap<AbsLoc, ExprId>,
+    /// Whether the program can spawn at all; `false` keeps every
+    /// threading hook inert.
+    threaded: bool,
+    /// First stop reason program-wide; later threads observe it at their
+    /// next tick and unwind.
+    stop: Option<StopSig>,
+    sched_seed: u64,
+    /// Xorshift state for seeded preemption.
+    srng: u64,
+    /// Steps left before the current thread must offer a yield.
+    quantum_left: u64,
+    /// Main is parked at a `join` barrier.
+    main_blocked: bool,
+    slots: Vec<SlotState>,
+    /// Logical clock, bumped at each spawn and join barrier.
+    seq: u64,
+    /// Spawn instances; index 0 is main.
+    instances: Vec<Inst>,
+    /// Per-concrete-location access history for race detection.
+    access: HashMap<Loc, LocAccesses>,
 }
 
-impl<'p> Exec<'p> {
-    fn new(prog: &'p Program, cfg: Config) -> Self {
-        Exec {
-            prog,
-            cfg,
+impl Default for World {
+    fn default() -> Self {
+        World {
             mem: Memory::new(),
             globals: Vec::new(),
-            frames: Vec::new(),
             trace: Trace::default(),
             out: String::new(),
             steps: 0,
@@ -237,14 +374,284 @@ impl<'p> Exec<'p> {
             rng: 0x2545F4914F6CDD1D,
             fault: None,
             last_writer: HashMap::new(),
+            threaded: false,
+            stop: None,
+            sched_seed: 0,
+            srng: 1,
+            quantum_left: RR_QUANTUM,
+            main_blocked: false,
+            slots: Vec::new(),
+            seq: 0,
+            instances: Vec::new(),
+            access: HashMap::new(),
+        }
+    }
+}
+
+impl World {
+    fn new(cfg: &Config, threaded: bool) -> Self {
+        World {
+            threaded,
+            sched_seed: cfg.sched_seed,
+            srng: cfg.sched_seed | 1,
+            slots: vec![SlotState::default(); MAX_CHILDREN],
+            instances: vec![Inst {
+                spawn_seq: 0,
+                join_seq: None,
+            }],
+            ..World::default()
         }
     }
 
+    fn next_srng(&mut self) -> u64 {
+        let mut x = self.srng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.srng = x;
+        x
+    }
+
+    /// Picks the thread to run next among main (unless blocked) and the
+    /// unfinished live children, resetting the quantum: round-robin with
+    /// a fixed quantum for seed 0, seeded choice and quantum otherwise.
+    /// Falls back to main when nothing is runnable (the `join` barrier
+    /// and stop-propagation cases).
+    fn pick_next(&mut self, me: usize, exclude_me: bool) -> usize {
+        let mut cands: Vec<usize> = Vec::with_capacity(MAX_CHILDREN + 1);
+        if !self.main_blocked {
+            cands.push(0);
+        }
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.live && !s.finished {
+                cands.push(i + 1);
+            }
+        }
+        if exclude_me {
+            cands.retain(|&c| c != me);
+        }
+        if cands.is_empty() {
+            return 0;
+        }
+        if self.sched_seed == 0 {
+            self.quantum_left = RR_QUANTUM;
+            *cands.iter().find(|&&c| c > me).unwrap_or(&cands[0])
+        } else {
+            let r = self.next_srng();
+            self.quantum_left = 1 + (r >> 17) % 12;
+            cands[(r % cands.len() as u64) as usize]
+        }
+    }
+}
+
+/// A queued child-thread body: `func(args)` running as spawn instance
+/// `inst`.
+struct Task {
+    func: u32,
+    args: Vec<Value>,
+    inst: u32,
+}
+
+#[derive(Default)]
+struct BatonState {
+    /// The world, present while parked or in transit between threads.
+    world: Option<World>,
+    /// Which thread should take it next.
+    current: usize,
+    shutdown: bool,
+    /// Pending task per child thread id (index 0 unused).
+    tasks: Vec<Option<Task>>,
+}
+
+/// The lockstep hand-off point: a mailbox holding the [`World`] while no
+/// thread runs, plus task dispatch and shutdown for the worker pool.
+struct Baton {
+    state: Mutex<BatonState>,
+    cv: Condvar,
+}
+
+impl Baton {
+    fn new(children: usize) -> Self {
+        Baton {
+            state: Mutex::new(BatonState {
+                tasks: (0..=children).map(|_| None).collect(),
+                ..BatonState::default()
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn pass(&self, w: World, next: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.world = Some(w);
+        st.current = next;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the world is handed to `me`; `None` on shutdown.
+    fn take(&self, me: usize) -> Option<World> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.shutdown {
+                return None;
+            }
+            if st.current == me && st.world.is_some() {
+                return st.world.take();
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn deposit(&self, thread: usize, t: Task) {
+        let mut st = self.state.lock().unwrap();
+        st.tasks[thread] = Some(t);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until a task is queued for `me`; `None` on shutdown.
+    fn wait_task(&self, me: usize) -> Option<Task> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.shutdown {
+                return None;
+            }
+            if let Some(t) = st.tasks[me].take() {
+                return Some(t);
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn shutdown_all(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+fn fold(r: R<i64>) -> Result<i64, StopSig> {
+    match r {
+        Ok(v) | Err(Stop::Exit(v)) => Ok(v),
+        Err(Stop::Error(m)) => Err(StopSig::Error(m)),
+        Err(Stop::StepLimit) => Err(StopSig::StepLimit),
+    }
+}
+
+/// Stack size for interpreter threads. Each interpreted frame consumes
+/// several host frames (large ones in unoptimized builds), so the
+/// 128-frame depth limit needs far more room than a default test-thread
+/// stack; the reservation is virtual and committed lazily.
+const INTERP_STACK: usize = 16 * 1024 * 1024;
+
+/// Runs the program to completion and returns the final [`World`] plus
+/// the folded outcome. The interpreter always runs on a dedicated
+/// thread with a known-large stack; threaded programs additionally get
+/// a scoped worker pool driven through the [`Baton`].
+fn run_raw(prog: &Program, cfg: &Config) -> (World, Result<i64, StopSig>) {
+    let threaded = prog.uses_threads();
+    let world = World::new(cfg, threaded);
+    let baton = Baton::new(MAX_CHILDREN);
+    std::thread::scope(|s| {
+        if threaded {
+            for i in 1..=MAX_CHILDREN {
+                let b = &baton;
+                std::thread::Builder::new()
+                    .stack_size(INTERP_STACK)
+                    .spawn_scoped(s, move || worker_loop(prog, cfg, b, i))
+                    .expect("spawn interpreter worker");
+            }
+        }
+        let bref = &baton;
+        let main = std::thread::Builder::new()
+            .stack_size(INTERP_STACK)
+            .spawn_scoped(s, move || {
+                let mut x = Exec {
+                    prog,
+                    cfg,
+                    me: 0,
+                    instance: 0,
+                    baton: if threaded { Some(bref) } else { None },
+                    holds: true,
+                    w: world,
+                    frames: Vec::new(),
+                };
+                let r = x.run_program();
+                let sig = fold(r);
+                // Lockstep hand-off means main owns the world again once
+                // it unwinds. Record why the program stopped, then
+                // release the still-parked workers so the scope closes.
+                match &sig {
+                    Ok(v) => {
+                        x.w.stop.get_or_insert(StopSig::Exit(*v));
+                    }
+                    Err(e) => {
+                        x.w.stop.get_or_insert(e.clone());
+                    }
+                }
+                bref.shutdown_all();
+                (std::mem::take(&mut x.w), sig)
+            })
+            .expect("spawn interpreter main thread");
+        main.join().expect("interpreter main thread panicked")
+    })
+}
+
+/// Body of one pooled worker thread: wait for a task, wait for the
+/// baton, interpret the spawned call, then mark the slot finished and
+/// pass the world on. Exits on shutdown.
+fn worker_loop(prog: &Program, cfg: &Config, baton: &Baton, me: usize) {
+    while let Some(task) = baton.wait_task(me) {
+        let mut x = Exec {
+            prog,
+            cfg,
+            me,
+            instance: task.inst,
+            baton: Some(baton),
+            holds: false,
+            w: World::default(),
+            frames: Vec::new(),
+        };
+        if x.take_world().is_err() {
+            return;
+        }
+        let r = x.call_user(task.func, task.args);
+        if !x.holds {
+            // Unwound through a failed take (shutdown mid-wait): there
+            // is no world to hand back.
+            return;
+        }
+        if let Err(stop) = r {
+            let sig = StopSig::from(stop);
+            x.w.stop.get_or_insert(sig);
+        }
+        x.w.slots[me - 1].finished = true;
+        let next = x.w.pick_next(me, true);
+        x.pass_to(next);
+    }
+}
+
+struct Exec<'p> {
+    prog: &'p Program,
+    cfg: &'p Config,
+    /// Thread id: 0 is main, `i + 1` runs child slot `i`.
+    me: usize,
+    /// Spawn-instance id for race ordering (0 = main).
+    instance: u32,
+    /// Hand-off point; `None` for sequential runs.
+    baton: Option<&'p Baton>,
+    /// Whether this thread currently owns `w` (the execution token).
+    /// While parked, `w` is a dummy default value.
+    holds: bool,
+    w: World,
+    frames: Vec<Frame>,
+}
+
+impl<'p> Exec<'p> {
     /// Records the first memory-safety fault and returns the matching
     /// dynamic-error stop.
     fn fault(&mut self, kind: FaultKind, site: ExprId, msg: &str) -> Stop {
-        if self.fault.is_none() {
-            self.fault = Some(FaultInfo {
+        if self.w.fault.is_none() {
+            self.w.fault = Some(FaultInfo {
                 kind,
                 site,
                 message: msg.to_string(),
@@ -258,26 +665,214 @@ impl<'p> Exec<'p> {
     }
 
     fn tick(&mut self) -> R<()> {
-        self.steps += 1;
-        if self.steps > self.cfg.max_steps {
+        self.w.steps += 1;
+        if self.w.steps > self.cfg.max_steps {
+            if self.w.threaded {
+                self.w.stop.get_or_insert(StopSig::StepLimit);
+            }
             return Err(Stop::StepLimit);
         }
+        if self.w.threaded {
+            if let Some(s) = &self.w.stop {
+                return Err(s.clone().into());
+            }
+            if self.w.quantum_left == 0 {
+                self.yield_baton()?;
+            } else {
+                self.w.quantum_left -= 1;
+            }
+        }
         Ok(())
+    }
+
+    // ----- thread scheduling ----------------------------------------------
+
+    /// Hands the world to `next` and parks until it comes back.
+    fn pass_to(&mut self, next: usize) {
+        let w = std::mem::take(&mut self.w);
+        self.holds = false;
+        self.baton.expect("threaded run").pass(w, next);
+    }
+
+    fn take_world(&mut self) -> R<()> {
+        match self.baton.expect("threaded run").take(self.me) {
+            Some(w) => {
+                self.w = w;
+                self.holds = true;
+                Ok(())
+            }
+            None => Err(Stop::Error("interpreter shut down".into())),
+        }
+    }
+
+    /// Quantum expiry: offer the world to the scheduler's next pick and
+    /// wait for our turn again.
+    fn yield_baton(&mut self) -> R<()> {
+        let next = self.w.pick_next(self.me, false);
+        if next != self.me {
+            self.pass_to(next);
+            self.take_world()?;
+        }
+        if let Some(s) = &self.w.stop {
+            return Err(s.clone().into());
+        }
+        Ok(())
+    }
+
+    /// `spawn f(args)`: evaluate callee and arguments in the parent,
+    /// claim a free slot, open a new spawn instance on the logical
+    /// clock, and queue the task for that slot's worker.
+    fn exec_spawn(&mut self, call: ExprId) -> R<()> {
+        let ExprKind::Call { callee, args } = self.prog.exprs.get(call).kind.clone() else {
+            return Err(Stop::Error("spawn of a non-call expression".into()));
+        };
+        let Value::Func(f) = self.eval(callee)? else {
+            return Err(Stop::Error("spawned callee is not a function".into()));
+        };
+        let mut argv = Vec::with_capacity(args.len());
+        for &a in &args {
+            argv.push(self.eval(a)?);
+        }
+        let Some(baton) = self.baton else {
+            return Err(Stop::Error("spawn without a thread pool".into()));
+        };
+        let Some(slot) = self.w.slots.iter().position(|s| !s.live) else {
+            return Err(Stop::Error(format!(
+                "too many live threads (limit {MAX_CHILDREN})"
+            )));
+        };
+        self.w.seq += 1;
+        let inst = self.w.instances.len() as u32;
+        self.w.instances.push(Inst {
+            spawn_seq: self.w.seq,
+            join_seq: None,
+        });
+        self.w.slots[slot] = SlotState {
+            live: true,
+            finished: false,
+            inst,
+        };
+        baton.deposit(
+            slot + 1,
+            Task {
+                func: f,
+                args: argv,
+                inst,
+            },
+        );
+        Ok(())
+    }
+
+    /// `join`: barrier until every live child finishes, then reap them
+    /// all at one new point on the logical clock.
+    fn exec_join(&mut self) -> R<()> {
+        if !self.w.threaded {
+            return Ok(());
+        }
+        loop {
+            if let Some(s) = &self.w.stop {
+                return Err(s.clone().into());
+            }
+            if !self.w.slots.iter().any(|s| s.live) {
+                return Ok(());
+            }
+            if self.w.slots.iter().all(|s| !s.live || s.finished) {
+                self.w.seq += 1;
+                let j = self.w.seq;
+                let World {
+                    slots, instances, ..
+                } = &mut self.w;
+                for s in slots.iter_mut() {
+                    if s.live {
+                        instances[s.inst as usize].join_seq = Some(j);
+                        s.live = false;
+                        s.finished = false;
+                    }
+                }
+                return Ok(());
+            }
+            self.w.main_blocked = true;
+            let next = self.w.pick_next(self.me, true);
+            self.pass_to(next);
+            self.take_world()?;
+            self.w.main_blocked = false;
+        }
+    }
+
+    /// Flags conflicting cross-thread accesses to the same concrete
+    /// location. An earlier access happens-before the current one iff it
+    /// came from the same instance, from main before this instance was
+    /// spawned, or from an instance joined before our spawn (or — when
+    /// we are main — joined by now). Unordered conflicting pairs with at
+    /// least one write land in [`Trace::races`].
+    fn note_access(&mut self, site: ExprId, loc: &Loc, is_write: bool) {
+        if !self.w.threaded || self.w.instances.len() == 1 {
+            return;
+        }
+        let me = self.instance;
+        let now = self.w.seq;
+        let insts = &self.w.instances;
+        let ordered = |x: &Access| {
+            if x.inst == me {
+                return true;
+            }
+            let mine = insts[me as usize];
+            if x.inst == 0 && x.at < mine.spawn_seq {
+                return true;
+            }
+            match insts[x.inst as usize].join_seq {
+                Some(j) => j <= mine.spawn_seq || (me == 0 && j <= now),
+                None => false,
+            }
+        };
+        let entry = self.w.access.entry(loc.clone()).or_default();
+        let mut pairs: Vec<(ExprId, ExprId)> = Vec::new();
+        if let Some(xw) = &entry.last_write {
+            if !ordered(xw) {
+                pairs.push((xw.site.min(site), xw.site.max(site)));
+            }
+        }
+        if is_write {
+            for r in &entry.reads {
+                if !ordered(r) {
+                    pairs.push((r.site.min(site), r.site.max(site)));
+                }
+            }
+            entry.last_write = Some(Access {
+                inst: me,
+                at: now,
+                site,
+            });
+            entry.reads.clear();
+        } else if let Some(r) = entry
+            .reads
+            .iter_mut()
+            .find(|r| r.inst == me && r.site == site)
+        {
+            r.at = now;
+        } else {
+            entry.reads.push(Access {
+                inst: me,
+                at: now,
+                site,
+            });
+        }
+        self.w.trace.races.extend(pairs);
     }
 
     fn run_program(&mut self) -> R<i64> {
         // Globals.
         for (i, g) in self.prog.globals.iter().enumerate() {
             let v = Memory::value_of_type(self.types(), g.ty);
-            let o = self.mem.alloc(v, Origin::Global(i as u32));
-            self.globals.push(o);
+            let o = self.w.mem.alloc(v, Origin::Global(i as u32));
+            self.w.globals.push(o);
         }
         // A pseudo-frame so global initializers can evaluate.
         self.frames.push(Frame { locals: Vec::new() });
         for gi in 0..self.prog.globals.len() {
             let g = &self.prog.globals[gi];
             if let Some(init) = g.init {
-                let loc = Loc::of(self.globals[gi]);
+                let loc = Loc::of(self.w.globals[gi]);
                 self.run_initializer(&loc, g.ty, init)?;
             }
         }
@@ -304,7 +899,7 @@ impl<'p> Exec<'p> {
         let mut locals = Vec::with_capacity(decl.vars.len());
         for (vi, v) in decl.vars.iter().enumerate() {
             let init = Memory::value_of_type(self.types(), v.ty);
-            let o = self.mem.alloc(
+            let o = self.w.mem.alloc(
                 init,
                 Origin::Local {
                     func: f,
@@ -315,7 +910,8 @@ impl<'p> Exec<'p> {
         }
         for (i, a) in args.into_iter().enumerate().take(decl.n_params) {
             let loc = Loc::of(locals[i]);
-            self.mem
+            self.w
+                .mem
                 .write(&loc, a, &self.prog.types)
                 .map_err(Stop::Error)?;
         }
@@ -336,27 +932,29 @@ impl<'p> Exec<'p> {
     // ----- tracing helpers --------------------------------------------------
 
     fn record_read(&mut self, e: ExprId, loc: &Loc) {
-        let a = self.mem.abstract_loc(loc, self.types());
-        match self.last_writer.get(&a) {
+        let a = self.w.mem.abstract_loc(loc, &self.prog.types);
+        match self.w.last_writer.get(&a) {
             Some(&w) => {
-                self.trace.observed_writes.insert(w);
+                self.w.trace.observed_writes.insert(w);
             }
             None => {
-                self.trace.uninit_reads.insert(e);
+                self.w.trace.uninit_reads.insert(e);
             }
         }
-        self.trace.reads.entry(e).or_default().insert(a);
+        self.w.trace.reads.entry(e).or_default().insert(a);
+        self.note_access(e, loc, false);
     }
 
     fn record_write(&mut self, e: ExprId, loc: &Loc) {
-        let a = self.mem.abstract_loc(loc, self.types());
-        self.last_writer.insert(a.clone(), e);
-        self.trace.writes.entry(e).or_default().insert(a);
+        let a = self.w.mem.abstract_loc(loc, &self.prog.types);
+        self.w.last_writer.insert(a.clone(), e);
+        self.w.trace.writes.entry(e).or_default().insert(a);
+        self.note_access(e, loc, true);
     }
 
     fn read_at(&mut self, e: ExprId, loc: &Loc) -> R<Value> {
         self.record_read(e, loc);
-        match self.mem.read(loc, &self.prog.types) {
+        match self.w.mem.read(loc, &self.prog.types) {
             Ok(v) => Ok(v),
             Err(m) => Err(self.classify_mem_error(e, m)),
         }
@@ -367,9 +965,9 @@ impl<'p> Exec<'p> {
         // A pointer to a current-frame local stored outside that frame is
         // escape evidence for the dangling-local checker.
         if !self.frame().locals.contains(&loc.obj) && self.points_into_frame(&v) {
-            self.trace.local_escapes.insert(e);
+            self.w.trace.local_escapes.insert(e);
         }
-        match self.mem.write(loc, v, &self.prog.types) {
+        match self.w.mem.write(loc, v, &self.prog.types) {
             Ok(()) => Ok(()),
             Err(m) => Err(self.classify_mem_error(e, m)),
         }
@@ -425,7 +1023,8 @@ impl<'p> Exec<'p> {
                 // Re-entering a block re-initializes the object shape
                 // (loops redeclare block-scoped locals).
                 let fresh = Memory::value_of_type(self.types(), *ty);
-                self.mem
+                self.w
+                    .mem
                     .write(&Loc::of(obj), fresh, &self.prog.types)
                     .map_err(Stop::Error)?;
                 if let Some(init) = init {
@@ -528,12 +1127,12 @@ impl<'p> Exec<'p> {
                 let v = match value {
                     Some(v) => {
                         let val = self.eval(*v)?;
-                        self.trace.returns.insert(*v);
+                        self.w.trace.returns.insert(*v);
                         // Returning a pointer to one of this frame's
                         // locals is escape evidence for the
                         // dangling-local checker.
                         if self.points_into_frame(&val) {
-                            self.trace.local_escapes.insert(*v);
+                            self.w.trace.local_escapes.insert(*v);
                         }
                         val
                     }
@@ -544,6 +1143,14 @@ impl<'p> Exec<'p> {
             Stmt::Break(_) => Ok(Flow::Break),
             Stmt::Continue(_) => Ok(Flow::Continue),
             Stmt::Block(b) => self.exec_block(b),
+            Stmt::Spawn { call, .. } => {
+                self.exec_spawn(*call)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Join(_) => {
+                self.exec_join()?;
+                Ok(Flow::Normal)
+            }
         }
     }
 
@@ -576,7 +1183,8 @@ impl<'p> Exec<'p> {
                 // `char buf[N] = "text"`.
                 for (i, b) in s.bytes().chain(std::iter::once(0)).enumerate() {
                     let el = loc.push(CStep::Elem(i as u32));
-                    self.mem
+                    self.w
+                        .mem
                         .write(&el, Value::Int(b as i64), &self.prog.types)
                         .map_err(Stop::Error)?;
                 }
@@ -609,7 +1217,7 @@ impl<'p> Exec<'p> {
         match kind {
             ExprKind::Ident { target, .. } => match target.expect("resolved") {
                 IdentTarget::Local(slot) => Ok(Loc::of(self.frame().locals[slot.0 as usize])),
-                IdentTarget::Global(g) => Ok(Loc::of(self.globals[g.0 as usize])),
+                IdentTarget::Global(g) => Ok(Loc::of(self.w.globals[g.0 as usize])),
                 _ => Err(Stop::Error("function is not an object lvalue".into())),
             },
             ExprKind::Unary {
@@ -652,7 +1260,7 @@ impl<'p> Exec<'p> {
                 }
             }
             ExprKind::StrLit(s) => {
-                let o = self.mem.str_object(e, &s);
+                let o = self.w.mem.str_object(e, &s);
                 Ok(Loc::of(o))
             }
             _ => Err(Stop::Error("expression is not an lvalue".into())),
@@ -691,7 +1299,7 @@ impl<'p> Exec<'p> {
             }
             ExprKind::Null => Ok(Value::Null),
             ExprKind::StrLit(ref s) => {
-                let o = self.mem.str_object(e, s);
+                let o = self.w.mem.str_object(e, s);
                 Ok(Value::Ptr(Loc::of(o).push(CStep::Elem(0))))
             }
             ExprKind::Ident { target, .. } => match target.expect("resolved") {
@@ -997,9 +1605,9 @@ impl<'p> Exec<'p> {
     }
 
     fn getchar(&mut self) -> i64 {
-        match self.cfg.input.get(self.input_pos) {
+        match self.cfg.input.get(self.w.input_pos) {
             Some(&b) => {
-                self.input_pos += 1;
+                self.w.input_pos += 1;
                 b as i64
             }
             None => -1,
@@ -1007,7 +1615,8 @@ impl<'p> Exec<'p> {
     }
 
     fn read_byte(&mut self, loc: &Loc) -> R<i64> {
-        self.mem
+        self.w
+            .mem
             .read(loc, &self.prog.types)
             .map_err(Stop::Error)?
             .as_int()
@@ -1031,7 +1640,8 @@ impl<'p> Exec<'p> {
 
     fn write_c_string(&mut self, mut loc: Loc, s: &str) -> R<()> {
         for b in s.bytes().chain(std::iter::once(0)) {
-            self.mem
+            self.w
+                .mem
                 .write(&loc, Value::Int(b as i64), &self.prog.types)
                 .map_err(Stop::Error)?;
             loc = loc.add(1).map_err(Stop::Error)?;
@@ -1094,18 +1704,20 @@ impl<'p> Exec<'p> {
         use Builtin::*;
         match b {
             Malloc | Calloc => {
-                let o = self.mem.alloc(Value::Uninit, Origin::Heap(e));
+                let o = self.w.mem.alloc(Value::Uninit, Origin::Heap(e));
                 Ok(Value::Ptr(Loc::of(o).push(CStep::Elem(0))))
             }
             Realloc => {
-                let o = self.mem.alloc(Value::Uninit, Origin::Heap(e));
+                let o = self.w.mem.alloc(Value::Uninit, Origin::Heap(e));
                 if let Value::Ptr(src) = &argv[0] {
                     let root = Loc::of(src.obj);
                     let v = self
+                        .w
                         .mem
                         .read(&root, &self.prog.types)
                         .map_err(Stop::Error)?;
-                    self.mem
+                    self.w
+                        .mem
                         .write(&Loc::of(o), v, &self.prog.types)
                         .map_err(Stop::Error)?;
                 }
@@ -1116,7 +1728,7 @@ impl<'p> Exec<'p> {
                     return Err(Stop::Error("strdup of non-pointer".into()));
                 };
                 let s = self.c_string(src)?;
-                let o = self.mem.alloc(Value::Uninit, Origin::Heap(e));
+                let o = self.w.mem.alloc(Value::Uninit, Origin::Heap(e));
                 let dst = Loc::of(o).push(CStep::Elem(0));
                 self.write_c_string(dst.clone(), &s)?;
                 Ok(Value::Ptr(dst))
@@ -1125,7 +1737,7 @@ impl<'p> Exec<'p> {
                 // `free(NULL)` is a no-op, as in C.
                 Value::Null => Ok(Value::Int(0)),
                 Value::Ptr(l) => {
-                    if !matches!(self.mem.origin(l.obj), Origin::Heap(_)) {
+                    if !matches!(self.w.mem.origin(l.obj), Origin::Heap(_)) {
                         return Err(self.fault(
                             FaultKind::InvalidFree,
                             e,
@@ -1134,9 +1746,9 @@ impl<'p> Exec<'p> {
                     }
                     // Record the free site first so the trace keys are
                     // exactly the executed frees, faulting or not.
-                    let a = self.mem.abstract_loc(&Loc::of(l.obj), self.types());
-                    self.trace.frees.entry(e).or_default().insert(a);
-                    if !self.mem.free(l.obj) {
+                    let a = self.w.mem.abstract_loc(&Loc::of(l.obj), self.types());
+                    self.w.trace.frees.entry(e).or_default().insert(a);
+                    if !self.w.mem.free(l.obj) {
                         return Err(self.fault(
                             FaultKind::DoubleFree,
                             e,
@@ -1210,8 +1822,13 @@ impl<'p> Exec<'p> {
                 // model (callers use `sizeof` of that object).
                 let dc = Self::container(&d);
                 let sc = Self::container(&s);
-                let v = self.mem.read(&sc, &self.prog.types).map_err(Stop::Error)?;
-                self.mem
+                let v = self
+                    .w
+                    .mem
+                    .read(&sc, &self.prog.types)
+                    .map_err(Stop::Error)?;
+                self.w
+                    .mem
                     .write(&dc, v, &self.prog.types)
                     .map_err(Stop::Error)?;
                 Ok(argv[0].clone())
@@ -1223,6 +1840,7 @@ impl<'p> Exec<'p> {
                 let fill = argv[1].clone();
                 let dc = Self::container(&d);
                 let slot = self
+                    .w
                     .mem
                     .slot_mut(&dc, &self.prog.types)
                     .map_err(Stop::Error)?;
@@ -1236,7 +1854,7 @@ impl<'p> Exec<'p> {
                 let fmt = self.c_string(f)?;
                 let s = self.format(&fmt, &argv[1..])?;
                 let n = s.len() as i64;
-                self.out.push_str(&s);
+                self.w.out.push_str(&s);
                 Ok(Value::Int(n))
             }
             Sprintf => {
@@ -1253,13 +1871,13 @@ impl<'p> Exec<'p> {
                     return Err(Stop::Error("puts of non-pointer".into()));
                 };
                 let s = self.c_string(p)?;
-                self.out.push_str(&s);
-                self.out.push('\n');
+                self.w.out.push_str(&s);
+                self.w.out.push('\n');
                 Ok(Value::Int(0))
             }
             Putchar => {
                 let c = argv[0].as_int().map_err(Stop::Error)?;
-                self.out.push(c as u8 as char);
+                self.w.out.push(c as u8 as char);
                 Ok(Value::Int(c))
             }
             Getchar => Ok(Value::Int(self.getchar())),
@@ -1282,14 +1900,15 @@ impl<'p> Exec<'p> {
             Exit => Err(Stop::Exit(argv[0].as_int().map_err(Stop::Error)?)),
             Abs => Ok(Value::Int(argv[0].as_int().map_err(Stop::Error)?.abs())),
             Rand => {
-                self.rng = self
+                self.w.rng = self
+                    .w
                     .rng
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
-                Ok(Value::Int(((self.rng >> 33) & 0x7fff_ffff) as i64))
+                Ok(Value::Int(((self.w.rng >> 33) & 0x7fff_ffff) as i64))
             }
             Srand => {
-                self.rng = argv[0].as_int().map_err(Stop::Error)? as u64 | 1;
+                self.w.rng = argv[0].as_int().map_err(Stop::Error)? as u64 | 1;
                 Ok(Value::Int(0))
             }
         }

@@ -27,7 +27,8 @@ pub mod memory;
 pub mod oracle;
 
 pub use exec::{
-    run, run_traced, Config, FaultInfo, FaultKind, Outcome, RunError, RunRecord, Trace,
+    explore_races, run, run_traced, Config, FaultInfo, FaultKind, Outcome, RaceObs, RunError,
+    RunRecord, Trace,
 };
 pub use oracle::{check_solution, check_solution_dyn, Violation};
 
@@ -461,6 +462,11 @@ mod fault_tests {
         run_traced(&p, &Config::default())
     }
 
+    fn exec(src: &str) -> Outcome {
+        let p = cfront::compile(src).expect("compiles");
+        run(&p, &Config::default()).expect("runs")
+    }
+
     #[test]
     fn free_then_exit_is_clean() {
         let rec = traced(
@@ -573,5 +579,178 @@ mod fault_tests {
         .unwrap();
         let err = run(&p, &Config::default()).unwrap_err();
         assert!(matches!(err, RunError::Dynamic(ref m) if m.contains("use after free")));
+    }
+
+    // ----- threads ---------------------------------------------------------
+
+    #[test]
+    fn spawn_join_runs_child_to_completion() {
+        let out = exec(
+            "int g;\n\
+             void worker(void) { g = 41; }\n\
+             int main(void) { g = 1; spawn worker(); join; return g + 1; }",
+        );
+        assert_eq!(out.exit, 42);
+    }
+
+    #[test]
+    fn spawned_children_receive_arguments() {
+        let out = exec(
+            "int a; int b;\n\
+             void put(int *dst, int v) { *dst = v; }\n\
+             int main(void) { spawn put(&a, 30); spawn put(&b, 12); join; \
+             return a + b; }",
+        );
+        assert_eq!(out.exit, 42);
+    }
+
+    #[test]
+    fn join_without_spawn_is_a_no_op() {
+        let out = exec("int main(void) { join; return 7; }");
+        assert_eq!(out.exit, 7);
+    }
+
+    #[test]
+    fn spawn_loop_reuses_slots_after_join() {
+        let out = exec(
+            "int g;\n\
+             void bump(void) { g = g + 1; }\n\
+             int main(void) { int i; g = 0; \
+             for (i = 0; i < 20; i = i + 1) { spawn bump(); join; } \
+             return g; }",
+        );
+        assert_eq!(out.exit, 20);
+    }
+
+    #[test]
+    fn too_many_live_threads_is_a_dynamic_error() {
+        let p = cfront::compile(
+            "void idle(void) { }\n\
+             int main(void) { int i; \
+             for (i = 0; i < 9; i = i + 1) { spawn idle(); } join; return 0; }",
+        )
+        .unwrap();
+        let err = run(&p, &Config::default()).unwrap_err();
+        assert!(matches!(err, RunError::Dynamic(ref m) if m.contains("too many live threads")));
+    }
+
+    #[test]
+    fn child_dynamic_error_stops_the_program() {
+        let p = cfront::compile(
+            "void boom(void) { int *p; p = NULL; *p = 1; }\n\
+             int main(void) { spawn boom(); join; return 0; }",
+        )
+        .unwrap();
+        let err = run(&p, &Config::default()).unwrap_err();
+        assert!(matches!(err, RunError::Dynamic(ref m) if m.contains("null pointer")));
+    }
+
+    #[test]
+    fn child_exit_sets_the_program_exit_code() {
+        let out = exec(
+            "void quit(void) { exit(5); }\n\
+             int main(void) { spawn quit(); join; return 0; }",
+        );
+        assert_eq!(out.exit, 5);
+    }
+
+    #[test]
+    fn threaded_runs_are_deterministic_per_seed() {
+        let p = cfront::compile(
+            "int g;\n\
+             void a(void) { int i; for (i = 0; i < 50; i = i + 1) { g = g * 3 + 1; } }\n\
+             void b(void) { int i; for (i = 0; i < 50; i = i + 1) { g = g * 5 + 2; } }\n\
+             int main(void) { g = 1; spawn a(); spawn b(); join; return g % 97; }",
+        )
+        .unwrap();
+        for seed in [0u64, 1, 0xDEAD] {
+            let cfg = Config {
+                sched_seed: seed,
+                ..Config::default()
+            };
+            let x = run(&p, &cfg).expect("runs");
+            let y = run(&p, &cfg).expect("runs");
+            assert_eq!(x.exit, y.exit, "seed {seed} nondeterministic");
+            assert_eq!(x.steps, y.steps, "seed {seed} step drift");
+        }
+    }
+
+    #[test]
+    fn unsynchronized_global_write_is_a_race() {
+        let rec = traced(
+            "int g;\n\
+             void w(void) { g = 2; }\n\
+             int main(void) { spawn w(); g = 1; join; return g; }",
+        );
+        assert!(
+            !rec.trace.races.is_empty(),
+            "conflicting writes should race"
+        );
+    }
+
+    #[test]
+    fn joined_child_write_then_main_read_is_not_a_race() {
+        let rec = traced(
+            "int g;\n\
+             void w(void) { g = 2; }\n\
+             int main(void) { spawn w(); join; return g; }",
+        );
+        assert_eq!(rec.exit, Some(2));
+        assert!(rec.trace.races.is_empty(), "join orders the accesses");
+    }
+
+    #[test]
+    fn disjoint_locations_do_not_race() {
+        let rec = traced(
+            "int a; int b;\n\
+             void w(void) { a = 1; }\n\
+             int main(void) { spawn w(); b = 2; join; return a + b; }",
+        );
+        assert_eq!(rec.exit, Some(3));
+        assert!(rec.trace.races.is_empty());
+    }
+
+    #[test]
+    fn explore_races_finds_read_write_race_under_some_schedule() {
+        let p = cfront::compile(
+            "int g;\n\
+             void w(void) { g = 2; }\n\
+             int main(void) { int x; spawn w(); x = g; join; return x; }",
+        )
+        .unwrap();
+        let obs = explore_races(&p, &Config::default(), 8);
+        assert_eq!(obs.schedules, 8);
+        assert!(!obs.pairs.is_empty(), "read/write race should be observed");
+    }
+
+    #[test]
+    fn explore_races_on_sequential_program_runs_once_and_sees_nothing() {
+        let p = cfront::compile("int main(void) { return 0; }").unwrap();
+        let obs = explore_races(&p, &Config::default(), 8);
+        assert_eq!(obs.schedules, 1);
+        assert!(obs.pairs.is_empty());
+    }
+
+    #[test]
+    fn sequential_behavior_is_identical_with_thread_support() {
+        // A representative sequential program must produce the same
+        // outcome and step count regardless of the scheduler seed (the
+        // thread hooks must be fully inert without `spawn`).
+        let p = cfront::compile(
+            "int main(void) { int i; int s; s = 0; \
+             for (i = 0; i < 100; i = i + 1) { s = s + i; } return s % 251; }",
+        )
+        .unwrap();
+        let base = run(&p, &Config::default()).expect("runs");
+        let seeded = run(
+            &p,
+            &Config {
+                sched_seed: 99,
+                ..Config::default()
+            },
+        )
+        .expect("runs");
+        assert_eq!(base.exit, seeded.exit);
+        assert_eq!(base.steps, seeded.steps);
     }
 }

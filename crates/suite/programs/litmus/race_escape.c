@@ -1,0 +1,18 @@
+/* litmus: race through an escaped stack address.
+ *
+ * Main passes `&x` to the worker, so the worker's indirect store and
+ * main's direct store to its own local hit the same frame slot. This is
+ * the case the checker's thread-local-frame rule must NOT suppress:
+ * the common base is a local, but one access is indirect. */
+void worker(int *p) {
+    *p = 5;
+}
+
+int main(void) {
+    int x;
+    x = 5;
+    spawn worker(&x);
+    x = 5;
+    join;
+    return x - 5;
+}

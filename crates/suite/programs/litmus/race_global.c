@@ -1,0 +1,17 @@
+/* litmus: write-write race on a shared global.
+ *
+ * Both the spawned worker and main store to `g` before the join, so the
+ * two writes are unordered. Both write the same value, keeping the exit
+ * code schedule-independent while the race itself is real. */
+int g;
+
+void worker(int x) {
+    g = x;
+}
+
+int main(void) {
+    spawn worker(2);
+    g = 2;
+    join;
+    return g;
+}

@@ -1,0 +1,22 @@
+/* litmus: write-write race on a heap cell.
+ *
+ * Main hands the worker a pointer to a malloc'd cell and then stores
+ * through its own copy before the join. The race needs the points-to
+ * analysis: both accesses are indirect, and only their referent sets
+ * reveal the shared allocation site. */
+void worker(int *p) {
+    *p = 7;
+}
+
+int main(void) {
+    int *c;
+    int r;
+    c = (int *) malloc(sizeof(int));
+    *c = 7;
+    spawn worker(c);
+    *c = 7;
+    join;
+    r = *c;
+    free(c);
+    return r - 7;
+}

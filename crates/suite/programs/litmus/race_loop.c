@@ -1,0 +1,22 @@
+/* litmus: self-race of a respawned thread.
+ *
+ * The loop spawns three instances of the same worker with no
+ * intervening join, so two instances of the *same* spawn site may run
+ * in parallel — the read-modify-write of `g` races with itself. The
+ * increment of 0 keeps the exit schedule-independent. */
+int g;
+
+void worker(int x) {
+    g = g + x;
+}
+
+int main(void) {
+    int i;
+    i = 0;
+    while (i < 3) {
+        spawn worker(0);
+        i = i + 1;
+    }
+    join;
+    return g;
+}

@@ -1,0 +1,21 @@
+/* litmus: read-write race on a shared global.
+ *
+ * Main reads `g` while the worker's store to it is still pending; the
+ * read sees 0 or 1 depending on the schedule, but the branch keeps the
+ * exit code schedule-independent. */
+int g;
+
+void worker(void) {
+    g = 1;
+}
+
+int main(void) {
+    int seen;
+    spawn worker();
+    seen = g;
+    join;
+    if (seen > 1) {
+        return 1;
+    }
+    return 0;
+}

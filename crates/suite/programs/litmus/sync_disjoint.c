@@ -1,0 +1,22 @@
+/* litmus: race-free — concurrent threads touch disjoint globals.
+ *
+ * Both workers run in parallel with each other and with main, but their
+ * footprints do not overlap: `wa` only writes `a`, `wb` only writes
+ * `b`, and main reads both only after the join. */
+int a;
+int b;
+
+void wa(void) {
+    a = 1;
+}
+
+void wb(void) {
+    b = 2;
+}
+
+int main(void) {
+    spawn wa();
+    spawn wb();
+    join;
+    return a + b;
+}

@@ -1,0 +1,17 @@
+/* litmus: race-free — join-all orders the worker before main's access.
+ *
+ * The worker's store to `g` happens strictly before main's
+ * read-modify-write: the join is a barrier. No checker may flag a race
+ * here under any solver. */
+int g;
+
+void worker(int x) {
+    g = x;
+}
+
+int main(void) {
+    spawn worker(3);
+    join;
+    g = g + 1;
+    return g;
+}

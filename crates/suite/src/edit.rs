@@ -464,7 +464,8 @@ fn collect_stmt_exprs(s: &Stmt, out: &mut Vec<ExprId>) {
                 out.push(*e);
             }
         }
-        Stmt::Break(_) | Stmt::Continue(_) | Stmt::Block(_) => {}
+        Stmt::Spawn { call, .. } => out.push(*call),
+        Stmt::Break(_) | Stmt::Continue(_) | Stmt::Block(_) | Stmt::Join(_) => {}
     }
 }
 

@@ -44,6 +44,14 @@ pub struct GenConfig {
     /// budget every call chain decrements). Raising it exercises longer
     /// chains through recursion and the function-pointer table.
     pub call_depth: usize,
+    /// Emit `spawn`/`join` in `main`: one to three scalar-only worker
+    /// threads race on the shared `int` globals while main keeps
+    /// mutating them (and may run a sequential pointer-heavy call)
+    /// before the join-all. Raced memory is never pointer-typed — the
+    /// soundness precondition of the flow-sensitive solvers. Default
+    /// **off** — threaded programs have schedule-dependent exit codes,
+    /// so only the race-checker properties opt in.
+    pub threads: bool,
 }
 
 impl Default for GenConfig {
@@ -58,6 +66,7 @@ impl Default for GenConfig {
             ptr_arrays: false,
             heap: false,
             call_depth: 3,
+            threads: false,
         }
     }
 }
@@ -75,6 +84,17 @@ impl GenConfig {
             fptr_table: true,
             ptr_arrays: true,
             heap: true,
+            ..GenConfig::default()
+        }
+    }
+
+    /// The threaded preset: the default grammar plus `spawn`/`join` in
+    /// `main`. Separate from [`GenConfig::campaign`] so the sequential
+    /// campaign corpus stays byte-identical; the race-soundness and
+    /// race-monotonicity fuzz properties use this.
+    pub fn threaded() -> Self {
+        GenConfig {
+            threads: true,
             ..GenConfig::default()
         }
     }
@@ -205,7 +225,39 @@ impl Gen {
         for i in 0..self.cfg.funcs {
             self.function(i);
         }
+        if self.cfg.threads {
+            for i in 0..2 {
+                self.worker(i);
+            }
+        }
         self.main_fn();
+    }
+
+    /// A spawnable worker: straight-line scalar arithmetic over the
+    /// shared `int` globals and a thread-local temporary. Deliberately
+    /// pointer-free — see the threaded block in [`Gen::main_fn`] for
+    /// why raced memory must stay scalar.
+    fn worker(&mut self, idx: usize) {
+        let _ = writeln!(self.out, "void wrk{idx}(int k) {{");
+        self.out.push_str("    int t;\n    t = k;\n");
+        let stmts = self.rng.gen_range(3..=6);
+        for _ in 0..stmts {
+            let g = self.rng.gen_range(0..3);
+            let _ = match self.rng.gen_range(0..5) {
+                0 => writeln!(self.out, "    g{g} = g{g} + k;"),
+                1 => writeln!(self.out, "    t = g{g};"),
+                2 => writeln!(self.out, "    g{g} = t + 1;"),
+                3 => {
+                    let n = self.rng.gen_range(0..4);
+                    writeln!(self.out, "    if (t > {n}) {{ g{g} = g{g} + 1; }}")
+                }
+                _ => {
+                    let m = self.rng.gen_range(1..4);
+                    writeln!(self.out, "    g{g} = k * {m};")
+                }
+            };
+        }
+        self.out.push_str("}\n\n");
     }
 
     fn function(&mut self, idx: usize) {
@@ -550,6 +602,32 @@ impl Gen {
                 let _ = writeln!(self.out, "    ftab[{i}] = fn{target};");
             }
         }
+        if self.cfg.threads {
+            // One to three concurrent children, all scalar-only workers
+            // (`wrk*`): raced memory is int-typed globals, never
+            // pointers. This is the soundness precondition of the
+            // flow-sensitive solvers — a racing write to a *pointer*
+            // cell can deliver referents along interleavings the VDG
+            // never sequences, so only the flow-insensitive baselines
+            // would stay sound (DESIGN §14). Main keeps mutating shared
+            // scalars in the pending region — and may run a sequential
+            // pointer-heavy call, whose scalar-global accesses race
+            // with the workers while its pointer flows stay
+            // main-thread-local — then join-all. Well under the
+            // interpreter's 8-live-thread cap.
+            let spawns = self.rng.gen_range(1..=3);
+            for _ in 0..spawns {
+                let w = self.rng.gen_range(0..2);
+                let k = self.rng.gen_range(1..5);
+                let _ = writeln!(self.out, "    spawn wrk{w}({k});");
+            }
+            self.out.push_str("    g0 = g0 + 1;\n");
+            if self.cfg.funcs > 0 && self.rng.gen_bool(0.5) {
+                let target = self.rng.gen_range(0..self.cfg.funcs);
+                let _ = writeln!(self.out, "    mp = fn{target}(2, &m0, mpp, &n1);");
+            }
+            self.out.push_str("    join;\n");
+        }
         let calls = if self.cfg.funcs == 0 {
             0
         } else {
@@ -605,6 +683,28 @@ mod tests {
     }
 
     #[test]
+    fn threaded_preset_programs_compile_spawn_and_terminate() {
+        for seed in 0..20 {
+            let src = generate(seed, &GenConfig::threaded());
+            let prog = cfront::compile(&src)
+                .unwrap_or_else(|e| panic!("threaded seed {seed} failed to compile:\n{src}\n{e}"));
+            assert!(prog.uses_threads(), "threaded seed {seed} never spawns");
+            for sched in [0u64, 7] {
+                interp::run(
+                    &prog,
+                    &interp::Config {
+                        sched_seed: sched,
+                        ..interp::Config::default()
+                    },
+                )
+                .unwrap_or_else(|e| {
+                    panic!("threaded seed {seed} sched {sched} faulted:\n{src}\n{e:?}")
+                });
+            }
+        }
+    }
+
+    #[test]
     fn shape_knobs_do_not_disturb_the_default_stream() {
         // Several planted-fault tests are tuned against specific seed
         // windows of the default generator; the shape knobs must be
@@ -619,7 +719,9 @@ mod tests {
             assert_ne!(generate(seed, &GenConfig::default()), campaign);
         }
         let default_src = generate(7, &GenConfig::default());
-        for marker in ["gparr", "larr", "gpack", "ftab", "malloc", "memcpy"] {
+        for marker in [
+            "gparr", "larr", "gpack", "ftab", "malloc", "memcpy", "spawn",
+        ] {
             assert!(
                 !default_src.contains(marker),
                 "default config must not emit `{marker}`"

@@ -68,9 +68,49 @@ a man a plan a canal panama",
     ]
 }
 
-/// Looks up a benchmark by name.
+macro_rules! litmus {
+    ($name:literal, $file:literal, $exit:expr) => {
+        Benchmark {
+            name: concat!("litmus_", $name),
+            source: include_str!(concat!("../programs/litmus/", $file)),
+            input: b"",
+            expected_exit: $exit,
+        }
+    };
+}
+
+/// The threaded litmus benchmarks: tiny programs with a planted data
+/// race (`litmus_race_*`) or a deliberately race-free synchronization
+/// shape (`litmus_sync_*`). Kept out of [`benchmarks`] so the paper
+/// suite — and every sequential report fingerprint derived from it —
+/// stays frozen at thirteen programs; [`by_name`] finds both. Every
+/// program's exit code is schedule-independent, so `expected_exit`
+/// holds under any interleaving.
+pub fn litmus() -> Vec<Benchmark> {
+    vec![
+        litmus!("race_global", "race_global.c", 2),
+        litmus!("race_rw", "race_rw.c", 0),
+        litmus!("race_heap", "race_heap.c", 0),
+        litmus!("race_escape", "race_escape.c", 0),
+        litmus!("race_loop", "race_loop.c", 0),
+        litmus!("sync_join", "sync_join.c", 4),
+        litmus!("sync_disjoint", "sync_disjoint.c", 3),
+    ]
+}
+
+/// Whether a litmus benchmark (by name) carries a planted race, by the
+/// registry's naming convention.
+pub fn litmus_has_race(name: &str) -> bool {
+    name.starts_with("litmus_race_")
+}
+
+/// Looks up a benchmark by name, searching the paper suite first and
+/// the threaded litmus set second.
 pub fn by_name(name: &str) -> Option<Benchmark> {
-    benchmarks().into_iter().find(|b| b.name == name)
+    benchmarks()
+        .into_iter()
+        .chain(litmus())
+        .find(|b| b.name == name)
 }
 
 #[cfg(test)]
@@ -87,6 +127,41 @@ mod tests {
         assert_eq!(names.len(), 13);
         assert!(by_name("bc").is_some());
         assert!(by_name("gcc").is_none());
+    }
+
+    #[test]
+    fn litmus_registry_is_separate_and_findable() {
+        let l = litmus();
+        assert_eq!(l.len(), 7);
+        assert!(l.iter().all(|b| b.name.starts_with("litmus_")));
+        assert!(by_name("litmus_race_global").is_some());
+        assert!(litmus_has_race("litmus_race_global"));
+        assert!(!litmus_has_race("litmus_sync_join"));
+        // The paper suite stays frozen: no litmus program leaks in.
+        assert!(benchmarks().iter().all(|b| !b.name.starts_with("litmus_")));
+    }
+
+    #[test]
+    fn litmus_exit_codes_hold_under_default_and_seeded_schedules() {
+        for b in litmus() {
+            let prog = cfront::compile(b.source).unwrap_or_else(|e| panic!("{}: {e:?}", b.name));
+            assert!(prog.uses_threads(), "{} must spawn threads", b.name);
+            for seed in [0u64, 1, 0xC0FFEE] {
+                let out = interp::run(
+                    &prog,
+                    &interp::Config {
+                        sched_seed: seed,
+                        ..interp::Config::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{} seed {seed}: {e:?}", b.name));
+                assert_eq!(
+                    out.exit, b.expected_exit,
+                    "{} seed {seed}: exit codes are schedule-independent by construction",
+                    b.name
+                );
+            }
+        }
     }
 
     #[test]

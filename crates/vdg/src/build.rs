@@ -49,6 +49,8 @@ pub fn lower(program: &Program, opts: &BuildOptions) -> Result<Graph, Diagnostic
         b.lower_func(VFuncId(i as u32), f)?;
     }
     b.lower_root()?;
+    let tm = compute_thread_model(program, std::mem::take(&mut b.spawns));
+    b.g.set_thread_model(tm);
     let g = b.finish();
     debug_assert_eq!(g.validate(), Ok(()));
     Ok(g)
@@ -110,6 +112,13 @@ struct Builder<'p> {
     str_count: u32,
     heap_count: u32,
 
+    // --- thread model (spawn sites live only while lowering `main`) ---
+    /// Per-spawn child-store gammas awaiting a patch input at the next
+    /// join-all barrier (or at `main`'s returns / fall-through).
+    pending_spawn_gammas: Vec<NodeId>,
+    /// Spawn sites in lowering (source) order.
+    spawns: Vec<SpawnInfo>,
+
     // --- per-function lowering state ---
     cur_func: VFuncId,
     state: Option<State>,
@@ -131,6 +140,8 @@ impl<'p> Builder<'p> {
             recursive: Vec::new(),
             str_count: 0,
             heap_count: 0,
+            pending_spawn_gammas: Vec::new(),
+            spawns: Vec::new(),
             cur_func: VFuncId(0),
             state: None,
             loops: Vec::new(),
@@ -427,6 +438,7 @@ impl<'p> Builder<'p> {
         self.scalar_const = None;
         self.null_const = None;
         self.loops.clear();
+        self.pending_spawn_gammas.clear();
 
         let out_kinds: Vec<ValueKind> = std::iter::once(ValueKind::Store)
             .chain(f.params().iter().map(|p| value_kind(self.types(), p.ty)))
@@ -465,6 +477,7 @@ impl<'p> Builder<'p> {
         // Implicit return on fall-through.
         if self.state.is_some() {
             let store = self.store();
+            self.patch_pending_spawns(store);
             let ret = self
                 .g
                 .add_node(NodeKind::Return { func: fid }, &[], f.span, None);
@@ -667,6 +680,7 @@ impl<'p> Builder<'p> {
                     None => None,
                 };
                 let store = self.store();
+                self.patch_pending_spawns(store);
                 let fid = self.cur_func;
                 // The return's site is its value expression, letting the
                 // dangling-local checker match runtime escape evidence.
@@ -696,9 +710,108 @@ impl<'p> Builder<'p> {
                     .continues
                     .push(st);
             }
+            Stmt::Spawn { call, span } => self.lower_spawn(*call, *span)?,
+            Stmt::Join(_) => {
+                // A join-all barrier: every pending child's input store
+                // learns what the parent wrote up to here, and the parent
+                // continues with the store as-is (child effects already
+                // flow in through each post-spawn merge gamma).
+                let store = self.store();
+                self.patch_pending_spawns(store);
+                self.pending_spawn_gammas.clear();
+            }
             Stmt::Block(b) => self.lower_block(b)?,
         }
         Ok(())
+    }
+
+    /// Lowers `spawn f(args)`: the child runs concurrently with the rest
+    /// of `main`, so its input store is a gamma merging the store at the
+    /// spawn with the parent's store at later join points (patched via
+    /// [`Builder::patch_pending_spawns`]), and the parent's store after
+    /// the spawn merges in the child's output store. The resulting cyclic
+    /// store flow is resolved by the solvers' fixpoints and soundly
+    /// over-approximates every SC interleaving.
+    fn lower_spawn(&mut self, call: ExprId, span: Span) -> Result<(), Diagnostic> {
+        if self.spawns.len() >= 64 {
+            return Err(Diagnostic::new(
+                span,
+                "too many `spawn` sites (the thread model caps them at 64)",
+            ));
+        }
+        let ExprKind::Call { callee, args } = self.expr(call).kind.clone() else {
+            unreachable!("parser only builds Spawn over calls");
+        };
+        let ExprKind::Ident {
+            target: Some(IdentTarget::Func(f)),
+            ..
+        } = self.expr(callee).kind
+        else {
+            unreachable!("sema restricts spawn to direct calls of named functions");
+        };
+        let fid = VFuncId(f.0);
+        let fv = self.func_const(fid, span);
+        let mut argvs = Vec::with_capacity(args.len());
+        for &a in &args {
+            argvs.push(self.eval_rvalue_for(a)?);
+        }
+        let s_spawn = self.store();
+
+        // Child input store: seeded with the store at the spawn; later
+        // join points add the parent's store so parent writes made while
+        // the child runs stay visible to it.
+        let child_gamma = self
+            .g
+            .add_node(NodeKind::Gamma, &[ValueKind::Store], span, None);
+        self.g.add_input(child_gamma, s_spawn);
+        let child_in = self.g.node(child_gamma).outputs[0];
+
+        // The thread's call; its result port exists (solvers expect the
+        // usual call shape) but is never consumed.
+        let ret_ty = self.ty_of(call);
+        let out_kinds: Vec<ValueKind> = if matches!(self.types().kind(ret_ty), TypeKind::Void) {
+            vec![ValueKind::Store]
+        } else {
+            vec![ValueKind::Store, value_kind(self.types(), ret_ty)]
+        };
+        let call_node = self
+            .g
+            .add_node(NodeKind::Call, &out_kinds, span, Some(call));
+        self.g.add_input(call_node, fv);
+        self.g.add_input(call_node, child_in);
+        for v in argvs {
+            self.g.add_input(call_node, v);
+        }
+        let child_out = self.g.node(call_node).outputs[0];
+
+        // Parent store after the spawn: the child may or may not have run
+        // (and written) yet.
+        let after = self.node1(
+            NodeKind::Gamma,
+            ValueKind::Store,
+            span,
+            None,
+            &[s_spawn, child_out],
+        );
+        self.state().store = after;
+
+        self.pending_spawn_gammas.push(child_gamma);
+        self.spawns.push(SpawnInfo {
+            node: call_node,
+            site: call,
+            span,
+            callee: fid,
+        });
+        Ok(())
+    }
+
+    /// Feeds `store` into every pending spawned child's input-store gamma
+    /// (at joins, `main`'s returns, and its fall-through end).
+    fn patch_pending_spawns(&mut self, store: OutputId) {
+        for i in 0..self.pending_spawn_gammas.len() {
+            let gm = self.pending_spawn_gammas[i];
+            self.g.add_input(gm, store);
+        }
     }
 
     /// Shared lowering for `while` / `do-while` / `for` loop bodies.
@@ -1470,12 +1583,201 @@ impl<'p> Builder<'p> {
     }
 }
 
+// ----- thread model --------------------------------------------------------------
+
+/// Computes the [`ThreadModel`] for the lowered spawn sites: a structural
+/// pending-spawn-set walk of `main` (see [`ThreadModel`] for the rules).
+fn compute_thread_model(prog: &Program, spawns: Vec<SpawnInfo>) -> ThreadModel {
+    let mut tm = ThreadModel {
+        mhp: vec![0; spawns.len()],
+        spawns,
+        pending_at: HashMap::new(),
+    };
+    if tm.spawns.is_empty() {
+        return tm;
+    }
+    let site_bit: HashMap<ExprId, usize> = tm
+        .spawns
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.site, i))
+        .collect();
+    let Some(main) = prog.func_by_name("main") else {
+        return tm;
+    };
+    let Some(body) = &prog.funcs[main.0 as usize].body else {
+        return tm;
+    };
+    let mut w = MhpWalk {
+        prog,
+        site_bit,
+        pending_at: std::mem::take(&mut tm.pending_at),
+        mhp: std::mem::take(&mut tm.mhp),
+    };
+    w.walk_block(body, 0);
+    tm.pending_at = w.pending_at;
+    tm.mhp = w.mhp;
+    tm
+}
+
+struct MhpWalk<'p> {
+    prog: &'p Program,
+    /// Spawn-call expression -> spawn-site index.
+    site_bit: HashMap<ExprId, usize>,
+    pending_at: HashMap<ExprId, u64>,
+    mhp: Vec<u64>,
+}
+
+impl MhpWalk<'_> {
+    /// Tags every expression under `e` with the current pending mask
+    /// (union across walk passes, so loop fixpoints only widen).
+    fn record(&mut self, e: ExprId, p: u64) {
+        if p == 0 {
+            return;
+        }
+        walk_expr(self.prog, e, &mut |id| {
+            *self.pending_at.entry(id).or_insert(0) |= p;
+        });
+    }
+
+    fn walk_block(&mut self, b: &Block, mut p: u64) -> u64 {
+        for s in &b.stmts {
+            p = self.walk_stmt(s, p);
+        }
+        p
+    }
+
+    fn walk_stmt(&mut self, s: &Stmt, p: u64) -> u64 {
+        match s {
+            Stmt::Spawn { call, .. } => {
+                // Spawn arguments are evaluated before the child starts.
+                self.record(*call, p);
+                // Dead spawns (unreachable code) were never lowered and
+                // have no site index.
+                let Some(&i) = self.site_bit.get(call) else {
+                    return p;
+                };
+                let bit = 1u64 << i;
+                // The new thread may run in parallel with every pending
+                // one — including a previous instance of itself when the
+                // site re-executes in a loop without an intervening join.
+                self.mhp[i] |= p;
+                let mut rest = p;
+                while rest != 0 {
+                    let j = rest.trailing_zeros() as usize;
+                    self.mhp[j] |= bit;
+                    rest &= rest - 1;
+                }
+                p | bit
+            }
+            Stmt::Join(_) => 0,
+            Stmt::Expr(e) => {
+                self.record(*e, p);
+                p
+            }
+            Stmt::Local { init, .. } => {
+                if let Some(i) = init {
+                    self.record(*i, p);
+                }
+                p
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    self.record(*v, p);
+                }
+                p
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.record(*cond, p);
+                let pt = self.walk_block(then_blk, p);
+                let pe = match else_blk {
+                    Some(b) => self.walk_block(b, p),
+                    None => p,
+                };
+                pt | pe
+            }
+            Stmt::While { cond, body } => self.walk_loop(Some(*cond), None, body, p),
+            Stmt::DoWhile { body, cond } => self.walk_loop(Some(*cond), None, body, p),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let p = match init {
+                    Some(i) => self.walk_stmt(i, p),
+                    None => p,
+                };
+                self.walk_loop(*cond, *step, body, p)
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+                ..
+            } => {
+                self.record(*scrutinee, p);
+                let mut out = if default.is_some() { 0 } else { p };
+                for c in cases {
+                    out |= self.walk_block(&c.body, p);
+                }
+                if let Some(d) = default {
+                    out |= self.walk_block(d, p);
+                }
+                out
+            }
+            Stmt::Break(_) | Stmt::Continue(_) => p,
+            Stmt::Block(b) => self.walk_block(b, p),
+        }
+    }
+
+    /// Loop fixpoint: iterate the body from `entry | last-exit` until the
+    /// pending set stabilizes. Masks only widen (≤ 64 bits), so this
+    /// terminates quickly; the result conservatively covers zero or more
+    /// iterations of `while`/`for` and one or more of `do-while`.
+    fn walk_loop(
+        &mut self,
+        cond: Option<ExprId>,
+        step: Option<ExprId>,
+        body: &Block,
+        entry: u64,
+    ) -> u64 {
+        let mut pin = entry;
+        loop {
+            if let Some(c) = cond {
+                self.record(c, pin);
+            }
+            let pend = self.walk_block(body, pin);
+            let pend = match step {
+                Some(st) => {
+                    self.record(st, pend);
+                    pend
+                }
+                None => pend,
+            };
+            let next = entry | pend;
+            if next == pin {
+                return pin;
+            }
+            pin = next;
+        }
+    }
+}
+
 // ----- AST walking helpers ------------------------------------------------------
 
 fn span_of_stmt(p: &Program, s: &Stmt) -> Span {
     match s {
         Stmt::Expr(e) => p.exprs.get(*e).span,
-        Stmt::Return { span, .. } | Stmt::Break(span) | Stmt::Continue(span) => *span,
+        Stmt::Return { span, .. }
+        | Stmt::Break(span)
+        | Stmt::Continue(span)
+        | Stmt::Spawn { span, .. }
+        | Stmt::Join(span) => *span,
         Stmt::Local { span, .. } => *span,
         Stmt::Switch { span, .. } => *span,
         Stmt::If { cond, .. } | Stmt::While { cond, .. } | Stmt::DoWhile { cond, .. } => {
@@ -1601,6 +1903,7 @@ fn stmt_exprs(s: &Stmt, out: &mut Vec<ExprId>) {
         }
         Stmt::Switch { scrutinee, .. } => out.push(*scrutinee),
         Stmt::Return { value, .. } => out.extend(value.iter().copied()),
+        Stmt::Spawn { call, .. } => out.push(*call),
         _ => {}
     }
 }

@@ -249,6 +249,61 @@ pub struct InputInfo {
     pub src: OutputId,
 }
 
+/// A `spawn` site in `main` under the SC thread model.
+#[derive(Debug, Clone)]
+pub struct SpawnInfo {
+    /// The spawned call's [`NodeKind::Call`] node.
+    pub node: NodeId,
+    /// The underlying call expression ([`cfront::ast::ExprKind::Call`]),
+    /// anchoring diagnostics and oracle traces.
+    pub site: ExprId,
+    /// Span of the `spawn` keyword.
+    pub span: Span,
+    /// The spawned thread's entry function.
+    pub callee: VFuncId,
+}
+
+/// The program's static thread structure: spawn sites, a per-expression
+/// pending-spawn mask over `main`, and a spawn-site may-happen-in-parallel
+/// relation. Spawn sites are numbered in source order and capped at 64 so
+/// pending sets fit a `u64` bitmask.
+///
+/// The pending-set analysis is a structural walk of `main`: `spawn` adds
+/// its site's bit, `join` (a join-all barrier) clears the set, branches
+/// union their arms, and loops run to a fixpoint. It over-approximates
+/// which spawned threads may still be live at each point, so the race
+/// checker's MHP relation is sound (never misses a concurrent pair).
+#[derive(Debug, Clone, Default)]
+pub struct ThreadModel {
+    /// Spawn sites of `main`, in source order.
+    pub spawns: Vec<SpawnInfo>,
+    /// For each expression of `main`, the bitmask of spawn sites whose
+    /// threads may still be running when the expression executes.
+    pub pending_at: HashMap<ExprId, u64>,
+    /// `mhp[i]` is the bitmask of spawn sites that may run in parallel
+    /// with site `i`. Bit `i` itself set means two instances of the same
+    /// site may overlap (a respawn in a loop without an intervening join).
+    pub mhp: Vec<u64>,
+}
+
+impl ThreadModel {
+    /// Whether the program spawns any threads.
+    pub fn uses_threads(&self) -> bool {
+        !self.spawns.is_empty()
+    }
+
+    /// Whether spawn sites `i` and `j` may run in parallel.
+    pub fn spawns_mhp(&self, i: usize, j: usize) -> bool {
+        self.mhp.get(i).is_some_and(|m| m & (1u64 << j) != 0)
+    }
+
+    /// The pending-spawn mask at an expression of `main` (0 when the
+    /// expression is not in `main` or no spawn is live there).
+    pub fn pending(&self, e: ExprId) -> u64 {
+        self.pending_at.get(&e).copied().unwrap_or(0)
+    }
+}
+
 /// Per-function information.
 #[derive(Debug, Clone)]
 pub struct FuncInfo {
@@ -282,6 +337,8 @@ pub struct Graph {
     global_bases: Vec<BaseId>,
     /// Base of each store-resident local: `(func, slot)` -> base.
     local_bases: HashMap<(u32, u32), BaseId>,
+    /// Static thread structure (empty for sequential programs).
+    thread_model: ThreadModel,
 }
 
 impl Graph {
@@ -372,6 +429,16 @@ impl Graph {
     ) {
         self.global_bases = global_bases;
         self.local_bases = local_bases;
+    }
+
+    /// Installs the thread model (builder).
+    pub fn set_thread_model(&mut self, tm: ThreadModel) {
+        self.thread_model = tm;
+    }
+
+    /// The program's static thread structure.
+    pub fn thread_model(&self) -> &ThreadModel {
+        &self.thread_model
     }
 
     /// The base-location of a global variable.

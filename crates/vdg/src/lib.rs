@@ -28,8 +28,8 @@ pub mod stats;
 
 pub use build::{lower, BuildOptions, RecLocalScheme};
 pub use graph::{
-    BaseId, BaseInfo, BaseKind, FieldId, Graph, InputId, Node, NodeId, NodeKind, OutputId, VFuncId,
-    ValueKind,
+    BaseId, BaseInfo, BaseKind, FieldId, Graph, InputId, Node, NodeId, NodeKind, OutputId,
+    SpawnInfo, ThreadModel, VFuncId, ValueKind,
 };
 
 #[cfg(test)]
@@ -406,5 +406,125 @@ mod tests {
                 )
         });
         assert!(agg_lookup);
+    }
+
+    // ----- thread model ----------------------------------------------------
+
+    fn build_threaded(src: &str) -> (cfront::ast::Program, Graph) {
+        let p = cfront::compile(src).expect("compiles");
+        let g = lower(&p, &BuildOptions::default()).expect("lowers");
+        (p, g)
+    }
+
+    #[test]
+    fn spawn_lowers_to_call_with_cyclic_store_gamma() {
+        let (_, g) = build_threaded(
+            "int g;\n\
+             void w(void) { g = 2; }\n\
+             int main(void) { spawn w(); g = 1; join; return g; }",
+        );
+        assert_eq!(g.validate(), Ok(()));
+        let tm = g.thread_model();
+        assert!(tm.uses_threads());
+        assert_eq!(tm.spawns.len(), 1);
+        // The spawned call is a real Call node whose store input is a
+        // gamma, and that gamma also has a later (higher-numbered) store
+        // input patched in at the join — the cross-thread cycle.
+        let call = tm.spawns[0].node;
+        let n = g.node(call);
+        assert!(matches!(n.kind, NodeKind::Call));
+        let child_in = g.output(g.input_src(call, 1)).node;
+        let gamma = g.node(child_in);
+        assert!(matches!(gamma.kind, NodeKind::Gamma));
+        let n_gamma_inputs = gamma.inputs.len();
+        assert!(
+            (0..n_gamma_inputs)
+                .any(|port| g.output(g.input_src(child_in, port)).node.0 > child_in.0),
+            "spawn store gamma should be patched with a later store"
+        );
+    }
+
+    #[test]
+    fn spawn_edges_reach_the_callee_in_the_call_graph() {
+        let (p, g) = build_threaded(
+            "int g;\n\
+             void w(void) { g = 2; }\n\
+             int main(void) { spawn w(); join; return g; }",
+        );
+        let w = p.func_by_name("w").expect("w exists");
+        let tm = g.thread_model();
+        assert_eq!(tm.spawns[0].callee.0, w.0);
+    }
+
+    #[test]
+    fn concurrent_spawns_are_mhp_and_join_separates() {
+        let (_, g) = build_threaded(
+            "int g;\n\
+             void a(void) { g = 1; }\n\
+             void b(void) { g = 2; }\n\
+             int main(void) { spawn a(); spawn b(); join; spawn a(); join; return g; }",
+        );
+        let tm = g.thread_model();
+        assert_eq!(tm.spawns.len(), 3);
+        assert!(tm.spawns_mhp(0, 1), "both live before the join");
+        assert!(tm.spawns_mhp(1, 0), "mhp is symmetric");
+        assert!(!tm.spawns_mhp(0, 2), "join separates spawn 0 from spawn 2");
+        assert!(!tm.spawns_mhp(1, 2));
+        assert!(
+            !tm.spawns_mhp(0, 0),
+            "a single straight-line spawn is not self-mhp"
+        );
+    }
+
+    #[test]
+    fn loop_respawn_is_self_mhp() {
+        let (_, g) = build_threaded(
+            "int g;\n\
+             void w(void) { g = g + 1; }\n\
+             int main(void) { int i; for (i = 0; i < 3; i = i + 1) { spawn w(); } \
+             join; return g; }",
+        );
+        let tm = g.thread_model();
+        assert_eq!(tm.spawns.len(), 1);
+        assert!(
+            tm.spawns_mhp(0, 0),
+            "a spawn re-entered by a loop without an intervening join overlaps itself"
+        );
+    }
+
+    #[test]
+    fn pending_masks_cover_main_accesses_between_spawn_and_join() {
+        let (p, g) = build_threaded(
+            "int g;\n\
+             void w(void) { g = 2; }\n\
+             int main(void) { spawn w(); g = 1; join; g = 3; return g; }",
+        );
+        let tm = g.thread_model();
+        // Exactly the expressions between the spawn and the join carry
+        // the spawn's pending bit; everything after the join is clear.
+        let pending: Vec<_> = (0..p.exprs.len() as u32)
+            .map(cfront::ast::ExprId)
+            .filter(|&e| tm.pending(e) != 0)
+            .collect();
+        assert!(!pending.is_empty(), "the `g = 1` region must be pending");
+        for &e in &pending {
+            assert_eq!(tm.pending(e), 1, "only spawn bit 0 exists");
+        }
+        // `g = 3` and `return g` sit after the join: some assignment
+        // expressions must be clear.
+        let assigns: Vec<_> = (0..p.exprs.len() as u32)
+            .map(cfront::ast::ExprId)
+            .filter(|&e| matches!(p.exprs.get(e).kind, cfront::ast::ExprKind::Assign { .. }))
+            .collect();
+        assert!(assigns.iter().any(|&e| tm.pending(e) == 0));
+        assert!(assigns.iter().any(|&e| tm.pending(e) == 1));
+    }
+
+    #[test]
+    fn sequential_program_has_inert_thread_model() {
+        let g = build("int main(void) { return 0; }");
+        let tm = g.thread_model();
+        assert!(!tm.uses_threads());
+        assert!(tm.pending_at.is_empty());
     }
 }

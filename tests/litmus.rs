@@ -1,0 +1,198 @@
+//! Acceptance tests for the data-race checker over the threaded litmus
+//! suite ([`suite::litmus`]):
+//!
+//! * every planted race (`litmus_race_*`) is flagged by every one of
+//!   the five solvers and confirmed by the bounded interleaving oracle,
+//! * the race-free fixtures (`litmus_sync_*`) produce zero data-race
+//!   diagnostics under every solver,
+//! * no benchmark has an oracle-refuted fault or an oracle-refuted
+//!   (observed but unpredicted) race,
+//! * false-positive counts are monotone along the precision spectrum,
+//! * golden diagnostic snapshots (7 litmus programs × 5 solvers) under
+//!   `tests/snapshots/checks/`, refreshed like the solver snapshots:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test -p engine --test litmus
+//! ```
+
+use checker::{CheckKind, Label};
+use engine::{BenchChecks, Engine, Job};
+use std::path::PathBuf;
+
+fn snapshot_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/snapshots/checks")
+}
+
+fn run_litmus() -> (engine::EngineRun, Vec<BenchChecks>) {
+    let mut run = Engine::new().run(&Job::litmus()).expect("litmus run");
+    let checks = run.run_checks();
+    (run, checks)
+}
+
+#[test]
+fn planted_races_are_flagged_by_every_solver_and_oracle_confirmed() {
+    let (_, checks) = run_litmus();
+    for bc in checks.iter().filter(|bc| suite::litmus_has_race(&bc.name)) {
+        assert_eq!(bc.rows.len(), 5, "{}: five solver rows", bc.name);
+        for row in &bc.rows {
+            let races: Vec<_> = row
+                .labeled
+                .iter()
+                .filter(|l| l.diag.kind == CheckKind::DataRace)
+                .collect();
+            assert!(
+                !races.is_empty(),
+                "{}/{}: the planted race was not flagged",
+                bc.name,
+                row.solver
+            );
+            assert!(
+                races.iter().any(|l| l.label == Label::TruePositive),
+                "{}/{}: no race diagnostic was oracle-confirmed: {:?}",
+                bc.name,
+                row.solver,
+                races.iter().map(|l| l.label).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn race_free_fixtures_are_clean_under_every_solver() {
+    let (_, checks) = run_litmus();
+    for bc in checks.iter().filter(|bc| !suite::litmus_has_race(&bc.name)) {
+        for row in &bc.rows {
+            let races: Vec<_> = row
+                .labeled
+                .iter()
+                .filter(|l| l.diag.kind == CheckKind::DataRace)
+                .map(|l| &l.diag.message)
+                .collect();
+            assert!(
+                races.is_empty(),
+                "{}/{}: spurious race diagnostics: {races:?}",
+                bc.name,
+                row.solver
+            );
+        }
+    }
+}
+
+#[test]
+fn litmus_has_no_refuted_faults_or_races_and_monotone_fps() {
+    let (run, checks) = run_litmus();
+    for bc in &checks {
+        for row in &bc.rows {
+            assert!(
+                row.refuted.is_none(),
+                "{}/{}: oracle-refuted fault: {:?}",
+                bc.name,
+                row.solver,
+                row.refuted
+            );
+            assert!(
+                row.refuted_race.is_none(),
+                "{}/{}: the oracle observed a race no diagnostic predicted: {:?}",
+                bc.name,
+                row.solver,
+                row.refuted_race
+            );
+        }
+    }
+    assert_eq!(engine::check::fp_monotone_violation(&checks), None);
+    // Check metrics (including the race column) landed in the report.
+    for b in &run.report.benchmarks {
+        for s in &b.solvers {
+            assert!(
+                s.checks.is_some(),
+                "{}/{}: no check row",
+                b.name,
+                s.analysis
+            );
+        }
+    }
+}
+
+fn render_checks(b: &engine::BenchOutput, bc: &BenchChecks) -> String {
+    let file = cfront::SourceFile::new(&b.name, &b.source);
+    let mut out = String::new();
+    for row in &bc.rows {
+        out.push_str(&format!("==== {} ====\n", row.solver));
+        for l in &row.labeled {
+            let lc = file.line_col(l.diag.span.start);
+            out.push_str(&format!(
+                "{}:{} [{}] {} ({})\n",
+                lc.line,
+                lc.col,
+                l.diag.kind.name(),
+                l.diag.message,
+                l.label.name()
+            ));
+        }
+        if let Some((x, y)) = &row.refuted_race {
+            out.push_str(&format!("!! refuted race: sites {} {}\n", x.0, y.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn litmus_diagnostics_match_golden_snapshots() {
+    let update = std::env::var_os("UPDATE_SNAPSHOTS").is_some();
+    let dir = snapshot_dir();
+    let (run, checks) = run_litmus();
+    let mut stale: Vec<String> = Vec::new();
+    for (b, bc) in run.benches.iter().zip(&checks) {
+        let got = render_checks(b, bc);
+        let path = dir.join(format!("{}.txt", b.name));
+        if update {
+            std::fs::create_dir_all(&dir).expect("snapshot dir");
+            std::fs::write(&path, &got).expect("write snapshot");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|_| panic!("missing snapshot {path:?}; run with UPDATE_SNAPSHOTS=1"));
+        if got != want {
+            let g: Vec<&str> = got.lines().collect();
+            let w: Vec<&str> = want.lines().collect();
+            let k = g
+                .iter()
+                .zip(&w)
+                .position(|(a, b)| a != b)
+                .unwrap_or(g.len().min(w.len()));
+            stale.push(format!(
+                "{}: line {} differs\n  got:  {}\n  want: {}",
+                b.name,
+                k + 1,
+                g.get(k).unwrap_or(&"<eof>"),
+                w.get(k).unwrap_or(&"<eof>")
+            ));
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "stale litmus snapshots (UPDATE_SNAPSHOTS=1 to refresh after an intentional change):\n{}",
+        stale.join("\n")
+    );
+}
+
+#[test]
+fn litmus_snapshots_cover_every_benchmark_and_solver() {
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        return;
+    }
+    let dir = snapshot_dir();
+    for b in suite::litmus() {
+        let path = dir.join(format!("{}.txt", b.name));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|_| panic!("missing snapshot {path:?}; run with UPDATE_SNAPSHOTS=1"));
+        for solver in ["weihl", "steensgaard", "ci", "k1", "cs"] {
+            assert!(
+                text.contains(&format!("==== {solver} ====")),
+                "{}: litmus snapshot lacks {solver} section",
+                b.name
+            );
+        }
+    }
+}
